@@ -1,0 +1,30 @@
+PYTHON ?= python
+
+.PHONY: install test bench figures examples all clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro figures
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/capacity_planning.py
+	$(PYTHON) examples/fleet_report.py
+	$(PYTHON) examples/reliability.py
+	$(PYTHON) examples/optimization_whatifs.py
+	$(PYTHON) examples/roofline_analysis.py
+	$(PYTHON) examples/batch_size_tradeoff.py
+
+all: test bench
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

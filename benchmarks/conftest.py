@@ -1,0 +1,1 @@
+"""Benchmark fixtures live in bench_utils; nothing shared here."""

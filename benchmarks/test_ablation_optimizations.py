@@ -1,0 +1,125 @@
+"""Ablation: the optimization opportunities of §III-A.2 — caching and
+quantization — plus the multi-node scale-out the paper could not test.
+
+* HBM hot-row caching recovers Big Basin's system-memory placement penalty;
+* int8/int4 quantization makes M3 fit where FP32 could not, at negligible
+  reconstruction error;
+* multi-node Big Basin GPU placement for M3 vs a single Zion (§VI-B's
+  analytical-model claim).
+"""
+
+import numpy as np
+
+from bench_utils import record, run_once
+
+from repro.analysis import render_table
+from repro.configs import build_m2, build_m3
+from repro.core import EmbeddingTable, QuantizedEmbeddingTable, quantization_error
+from repro.hardware import BIG_BASIN, ZION
+from repro.perf import (
+    cached_system_memory_throughput,
+    gpu_server_throughput,
+    quantized_capacity_report,
+)
+from repro.placement import PlacementStrategy, plan_gpu_memory, plan_placement, plan_system_memory
+
+
+def _run_caching():
+    m2 = build_m2()
+    base = gpu_server_throughput(m2, 3200, BIG_BASIN, plan_system_memory(m2, BIG_BASIN))
+    rows = [["0 GB (baseline)", f"{base.throughput:,.0f}", "0%"]]
+    outcomes = [base.throughput]
+    for budget in (1e9, 4e9, 16e9):
+        report, cache = cached_system_memory_throughput(m2, 3200, BIG_BASIN, budget)
+        rows.append(
+            [
+                f"{budget / 1e9:.0f} GB",
+                f"{report.throughput:,.0f}",
+                f"{cache.absorbed_lookup_fraction:.0%}",
+            ]
+        )
+        outcomes.append(report.throughput)
+    return rows, outcomes
+
+
+def test_ablation_caching(benchmark):
+    rows, outcomes = run_once(benchmark, _run_caching)
+    record(
+        "ablation_caching",
+        render_table(
+            ["HBM cache budget", "ex/s", "lookups absorbed"],
+            rows,
+            title="Ablation: hot-row HBM cache over Big Basin system-memory placement (M2)",
+        ),
+    )
+    assert outcomes[-1] > 1.5 * outcomes[0]  # cache recovers real throughput
+    assert all(b >= a * 0.99 for a, b in zip(outcomes, outcomes[1:]))  # monotone
+
+
+def _run_quantization():
+    m3 = build_m3()
+    capacity = quantized_capacity_report(m3, BIG_BASIN)
+    rng = np.random.default_rng(0)
+    # reconstruction error measured on a representative table sample
+    from repro.core import TableSpec
+
+    spec = TableSpec("sample", hash_size=5000, dim=64)
+    table = EmbeddingTable(spec, rng)
+    errors = {bits: quantization_error(table.weight, bits) for bits in (8, 4, 2)}
+    rows = [
+        [
+            f"{r.bits}-bit",
+            f"{r.table_bytes / 1e9:.0f} GB",
+            "yes" if r.fits_gpu_memory else "no",
+            r.min_gpus,
+            f"{errors.get(r.bits, 0.0):.4f}" if r.bits in errors else "-",
+        ]
+        for r in capacity
+    ]
+    return rows, capacity, errors
+
+
+def test_ablation_quantization(benchmark):
+    rows, capacity, errors = run_once(benchmark, _run_quantization)
+    record(
+        "ablation_quantization",
+        render_table(
+            ["precision", "M3 table state", "fits 1x Big Basin HBM", "min GPUs", "RMS rel err"],
+            rows,
+            title="Ablation: embedding quantization vs M3 capacity (§III-A.2)",
+        ),
+    )
+    by_bits = {r.bits: r for r in capacity}
+    assert not by_bits[32].fits_gpu_memory
+    assert by_bits[8].fits_gpu_memory
+    assert errors[8] < 0.01  # int8 nearly lossless
+    assert errors[4] < 0.1
+
+
+def _run_multinode():
+    m3 = build_m3()
+    multi_plan = plan_gpu_memory(m3, BIG_BASIN, num_nodes=2)
+    multi = gpu_server_throughput(m3, 800, BIG_BASIN, multi_plan)
+    zion = gpu_server_throughput(
+        m3, 800, ZION, plan_placement(m3, ZION, PlacementStrategy.SYSTEM_MEMORY)
+    )
+    return multi, zion
+
+
+def test_ablation_multinode_vs_zion(benchmark):
+    multi, zion = run_once(benchmark, _run_multinode)
+    record(
+        "ablation_multinode_vs_zion",
+        render_table(
+            ["setup", "ex/s", "ex/s/W"],
+            [
+                ["2x Big Basin (GPU memory, 100GbE exchange)",
+                 f"{multi.throughput:,.0f}", f"{multi.perf_per_watt:.2f}"],
+                ["1x Zion (system memory)",
+                 f"{zion.throughput:,.0f}", f"{zion.perf_per_watt:.2f}"],
+            ],
+            title="Ablation: M3 on multi-node Big Basin vs one Zion (§VI-B)",
+        ),
+    )
+    assert zion.throughput > 3 * multi.throughput
+    assert zion.perf_per_watt > 5 * multi.perf_per_watt

@@ -1,0 +1,137 @@
+"""Ablation: placement-planner design choices.
+
+DESIGN.md calls out three planner choices worth ablating:
+
+* replication of small tables (vs forcing model-parallel sharding);
+* hybrid spill priority (hot-tables-first into HBM vs byte-driven);
+* remote-PS balancing by bytes vs by access frequency.
+"""
+
+from dataclasses import replace
+
+from bench_utils import record, run_once
+
+from repro.analysis import render_table
+from repro.configs import make_test_model
+from repro.core import InteractionType, MLPSpec, ModelConfig, TableSpec
+from repro.hardware import BIG_BASIN, DUAL_SOCKET_CPU
+from repro.perf import gpu_server_throughput
+from repro.placement import (
+    PlacementStrategy,
+    PlannerConfig,
+    plan_gpu_memory,
+    plan_remote_cpu,
+)
+
+
+def _skewed_model() -> ModelConfig:
+    """Half hot tables, half cold — where balancing policy matters."""
+    tables = tuple(
+        TableSpec(
+            f"t{i}",
+            hash_size=2_000_000,
+            dim=64,
+            mean_lookups=40.0 if i % 2 == 0 else 1.0,
+        )
+        for i in range(16)
+    )
+    return ModelConfig(
+        "skewed", 256, tables, MLPSpec((512,)), MLPSpec((512,)), InteractionType.CONCAT
+    )
+
+
+def _run_ablation():
+    rows = []
+
+    # 1. replication on/off for a small-table model
+    small = make_test_model(512, 32, hash_size=200_000)
+    plan_repl = plan_gpu_memory(small, BIG_BASIN)
+    plan_shard = plan_gpu_memory(
+        small, BIG_BASIN, cfg=PlannerConfig(replicate_threshold_bytes=0.0)
+    )
+    t_repl = gpu_server_throughput(small, 1600, BIG_BASIN, plan_repl).throughput
+    t_shard = gpu_server_throughput(small, 1600, BIG_BASIN, plan_shard).throughput
+    rows.append(["replication (small tables)", f"{t_repl:,.0f}", f"{t_shard:,.0f}",
+                 f"{t_repl / t_shard:.2f}x"])
+
+    # 2. remote balancing by accesses vs bytes on a skewed model
+    skewed = _skewed_model()
+    by_bytes = plan_remote_cpu(skewed, DUAL_SOCKET_CPU, num_ps=4,
+                               cfg=PlannerConfig(balance_by="bytes"))
+    by_access = plan_remote_cpu(skewed, DUAL_SOCKET_CPU, num_ps=4,
+                                cfg=PlannerConfig(balance_by="accesses"))
+
+    def max_ps_load(plan, model):
+        lookups = {t.name: t.effective_mean_lookups for t in model.tables}
+        loads = {}
+        for s in plan.shards:
+            loads[s.location.index] = loads.get(s.location.index, 0.0) + lookups[s.table_name]
+        return max(loads.values()) / (sum(loads.values()) / len(loads))
+
+    imb_bytes = max_ps_load(by_bytes, skewed)
+    imb_access = max_ps_load(by_access, skewed)
+    rows.append(["remote balance (max/mean PS load)", f"{imb_bytes:.2f}",
+                 f"{imb_access:.2f}", "accesses" if imb_access < imb_bytes else "bytes"])
+
+    return rows, (t_repl, t_shard, imb_bytes, imb_access)
+
+
+def test_ablation_placement_policy(benchmark):
+    rows, (t_repl, t_shard, imb_bytes, imb_access) = run_once(benchmark, _run_ablation)
+    record(
+        "ablation_placement_policy",
+        render_table(
+            ["choice", "variant A", "variant B", "winner/effect"],
+            rows,
+            title="Ablation: placement-planner design choices",
+        ),
+    )
+    # replication must not hurt, and removes the all-to-all
+    assert t_repl >= 0.95 * t_shard
+    # access-aware balancing reduces the hottest PS's load share
+    assert imb_access <= imb_bytes + 1e-9
+
+
+def _run_partitioning():
+    """Partitioning policies on a hot-table model: naive table-wise (no hot
+    splitting), the default (hot tables auto-striped), and full row-wise."""
+    from repro.core import InteractionType, MLPSpec, ModelConfig, TableSpec
+
+    tables = (TableSpec("hot", 4_000_000, dim=64, mean_lookups=200.0),) + tuple(
+        TableSpec(f"cold{i}", 4_000_000, dim=64, mean_lookups=5.0) for i in range(7)
+    )
+    model = ModelConfig(
+        "hot", 64, tables, MLPSpec((128,)), MLPSpec((128,)), InteractionType.CONCAT
+    )
+    naive = plan_gpu_memory(
+        model, BIG_BASIN, cfg=PlannerConfig(hot_table_split_factor=1e9)
+    )
+    default = plan_gpu_memory(model, BIG_BASIN)
+    row_wise = plan_gpu_memory(
+        model, BIG_BASIN, cfg=PlannerConfig(partitioning="row_wise")
+    )
+    t_naive = gpu_server_throughput(model, 1600, BIG_BASIN, naive).throughput
+    t_default = gpu_server_throughput(model, 1600, BIG_BASIN, default).throughput
+    t_row = gpu_server_throughput(model, 1600, BIG_BASIN, row_wise).throughput
+    return t_naive, t_default, t_row
+
+
+def test_ablation_partitioning(benchmark):
+    t_naive, t_default, t_row = run_once(benchmark, _run_partitioning)
+    record(
+        "ablation_partitioning",
+        render_table(
+            ["partitioning", "ex/s"],
+            [
+                ["table-wise, no hot splitting", f"{t_naive:,.0f}"],
+                ["table-wise + hot-table striping (default)", f"{t_default:,.0f}"],
+                ["full row-wise", f"{t_row:,.0f}"],
+            ],
+            title=(
+                "Ablation: GPU partitioning with one ultra-hot table "
+                "(striping the hot table removes the hot-GPU straggler)"
+            ),
+        ),
+    )
+    assert t_default > 1.2 * t_naive  # hot-table striping pays
+    assert t_row >= 0.9 * t_default  # full row-wise is comparable here

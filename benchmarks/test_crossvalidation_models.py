@@ -1,0 +1,60 @@
+"""Bench: cross-validate the analytical performance model against the
+event-level simulations.
+
+The throughput figures come from the analytical model; the discrete-event
+simulations make queueing, barriers, and imbalance emergent.  They are
+independent implementations over the same operator costs, so agreement
+within a factor is a meaningful internal-consistency check (the closest
+thing to "measuring the hardware" this reproduction has).
+"""
+
+from bench_utils import record, run_once
+
+from repro.analysis import render_table
+from repro.configs import make_test_model
+from repro.distributed import ClusterConfig, simulate_cpu_cluster, simulate_gpu_server
+from repro.hardware import BIG_BASIN
+from repro.perf import cpu_cluster_throughput, gpu_server_throughput
+from repro.placement import PlacementStrategy, plan_placement
+
+
+def _run():
+    rows = []
+    ratios = []
+    # CPU clusters at three scales
+    m = make_test_model(512, 16)
+    for trainers, sparse_ps in ((2, 1), (6, 3), (12, 6)):
+        analytic = cpu_cluster_throughput(m, 200, trainers, sparse_ps, 1).throughput
+        des = simulate_cpu_cluster(
+            m, ClusterConfig(trainers, sparse_ps, 1, seed=0), horizon_s=1.0
+        ).throughput
+        ratios.append(des / analytic)
+        rows.append(
+            [f"CPU {trainers}T/{sparse_ps}sPS", f"{analytic:,.0f}", f"{des:,.0f}",
+             f"{des / analytic:.2f}"]
+        )
+    # GPU servers at two batch sizes
+    g = make_test_model(512, 32, hash_size=2_000_000)
+    plan = plan_placement(g, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
+    for batch in (800, 3200):
+        analytic = gpu_server_throughput(g, batch, BIG_BASIN, plan).throughput
+        des = simulate_gpu_server(g, batch, BIG_BASIN, plan, num_iterations=30).throughput
+        ratios.append(des / analytic)
+        rows.append(
+            [f"BigBasin gpu_mem B{batch}", f"{analytic:,.0f}", f"{des:,.0f}",
+             f"{des / analytic:.2f}"]
+        )
+    return rows, ratios
+
+
+def test_crossvalidation_models(benchmark):
+    rows, ratios = run_once(benchmark, _run)
+    record(
+        "crossvalidation_models",
+        render_table(
+            ["setup", "analytic ex/s", "event-sim ex/s", "ratio"],
+            rows,
+            title="Cross-validation: analytical model vs event-level simulation",
+        ),
+    )
+    assert all(0.4 < r < 2.5 for r in ratios)

@@ -1,0 +1,24 @@
+"""Bench (extension): the hash-size / accuracy trade-off, measured.
+
+§III-A.2 claims smaller hash sizes trade accuracy for memory via
+collisions; the paper never plots it.  This bench trains real students at
+shrinking hash sizes over a fixed raw-id space and asserts the monotone NE
+degradation the claim implies.
+"""
+
+from bench_utils import record, run_once
+
+from repro.experiments import ext_hash_accuracy
+
+
+def test_extension_hash_accuracy(benchmark):
+    result = run_once(benchmark, ext_hash_accuracy.run)
+    record("extension_hash_accuracy", ext_hash_accuracy.render(result))
+
+    nes = [p.normalized_entropy for p in result.points]  # largest -> smallest hash
+    # quality degrades monotonically as collisions increase
+    assert all(b >= a - 0.002 for a, b in zip(nes, nes[1:]))
+    # the 1000-ids-per-row extreme pays a clearly visible penalty
+    assert nes[-1] > result.baseline_ne * 1.02
+    # while the 10x compression point stays within a modest budget
+    assert nes[1] < result.baseline_ne * 1.02

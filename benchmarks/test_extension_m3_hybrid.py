@@ -1,0 +1,67 @@
+"""Bench (extension): hybrid placement for M3 on Big Basin.
+
+The paper evaluates M3 on Big Basin only with remote-CPU placement (Table
+III: 0.67x of the CPU baseline) because the tables exceed HBM.  But M3
+only *barely* exceeds HBM (241 GB of state vs ~230 GB usable), and the
+paper's own §IV-B.1 describes the hybrid option: "placing as much as
+tables as it can fit could reduce the pressure on the CPU".  Our planner
+quantifies it: ~96% of bytes stay in HBM, the spill rides the host
+pipeline, and predicted throughput lands several times above the remote
+placement.  EXPERIMENTS.md discusses the headroom caveat.
+"""
+
+from bench_utils import record, run_once
+
+from repro.analysis import render_table
+from repro.configs import PRODUCTION_MODELS, PRODUCTION_SETUPS
+from repro.hardware import BIG_BASIN, DUAL_SOCKET_CPU, CapacityError
+from repro.perf import cpu_cluster_throughput, gpu_server_throughput
+from repro.placement import LocationKind, PlacementStrategy, plan_gpu_memory, plan_placement
+
+
+def _run():
+    m3 = PRODUCTION_MODELS["M3_prod"]()
+    setup = PRODUCTION_SETUPS["M3_prod"]
+    cpu = cpu_cluster_throughput(
+        m3, setup.cpu_batch_per_trainer, setup.cpu_trainers,
+        setup.cpu_sparse_ps, setup.cpu_dense_ps,
+    ).throughput
+    gpu_mem_feasible = True
+    try:
+        plan_gpu_memory(m3, BIG_BASIN)
+    except CapacityError:
+        gpu_mem_feasible = False
+    remote = gpu_server_throughput(
+        m3, setup.gpu_batch, BIG_BASIN,
+        plan_placement(m3, BIG_BASIN, PlacementStrategy.REMOTE_CPU,
+                       num_ps=setup.gpu_remote_ps, ps_platform=DUAL_SOCKET_CPU),
+    ).throughput
+    hybrid_plan = plan_placement(m3, BIG_BASIN, PlacementStrategy.HYBRID)
+    kinds = hybrid_plan.bytes_by_kind()
+    hbm_fraction = kinds.get(LocationKind.GPU, 0.0) / sum(kinds.values())
+    hybrid = gpu_server_throughput(m3, setup.gpu_batch, BIG_BASIN, hybrid_plan).throughput
+    return cpu, remote, hybrid, hbm_fraction, gpu_mem_feasible
+
+
+def test_extension_m3_hybrid(benchmark):
+    cpu, remote, hybrid, hbm_fraction, gpu_mem_feasible = run_once(benchmark, _run)
+    rows = [
+        ["CPU production setup", f"{cpu:,.0f}", "1.00x"],
+        ["Big Basin remote (paper's choice)", f"{remote:,.0f}", f"{remote / cpu:.2f}x"],
+        ["Big Basin hybrid (this repo's planner)", f"{hybrid:,.0f}", f"{hybrid / cpu:.2f}x"],
+    ]
+    record(
+        "extension_m3_hybrid",
+        render_table(
+            ["setup", "ex/s", "vs CPU"],
+            rows,
+            title=(
+                "Extension: hybrid placement for M3 on one Big Basin "
+                f"(HBM holds {hbm_fraction:.0%} of table bytes; pure GPU placement "
+                f"feasible: {gpu_mem_feasible})"
+            ),
+        ),
+    )
+    assert not gpu_mem_feasible  # the paper's premise holds
+    assert hbm_fraction > 0.6  # most bytes still fit in HBM
+    assert hybrid > 2 * remote  # the untried option was worth a lot

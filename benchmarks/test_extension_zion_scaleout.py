@@ -1,0 +1,59 @@
+"""Bench (extension): multi-terabyte models over multiple Zion servers.
+
+The paper's conclusion names the open challenge: "model sizes grow into
+multiple terabytes which requires scaling out on multiple Zion servers."
+This bench takes a ~4 TB-state model, shows a single Zion cannot hold it,
+and sweeps the node count with the performance model — inter-node exchange
+over 4x IB-100 makes scaling sublinear but effective.
+"""
+
+import pytest
+
+from bench_utils import record, run_once
+
+from repro.analysis import render_table
+from repro.configs import make_test_model
+from repro.hardware import ZION, CapacityError
+from repro.perf import gpu_server_throughput
+from repro.placement import model_embedding_footprint, plan_system_memory
+
+
+def _run():
+    model = make_test_model(512, 64, hash_size=120_000_000, name="multi-tb")
+    state_tb = model_embedding_footprint(model) / 1e12
+    single_feasible = True
+    try:
+        plan_system_memory(model, ZION)
+    except CapacityError:
+        single_feasible = False
+    points = []
+    for nodes in (3, 4, 6, 8):
+        plan = plan_system_memory(model, ZION, num_nodes=nodes)
+        report = gpu_server_throughput(model, 1600, ZION, plan)
+        points.append((nodes, report.throughput, report.perf_per_watt))
+    return state_tb, single_feasible, points
+
+
+def test_extension_zion_scaleout(benchmark):
+    state_tb, single_feasible, points = run_once(benchmark, _run)
+    rows = [
+        [nodes, f"{thr:,.0f}", f"{ppw:.2f}", f"{thr / points[0][1]:.2f}x"]
+        for nodes, thr, ppw in points
+    ]
+    record(
+        "extension_zion_scaleout",
+        render_table(
+            ["Zion nodes", "ex/s", "ex/s/W", "vs 3 nodes"],
+            rows,
+            title=(
+                f"Extension: {state_tb:.1f} TB of embedding state over multiple "
+                f"Zions (single Zion feasible: {single_feasible})"
+            ),
+        ),
+    )
+    assert not single_feasible  # genuinely multi-TB
+    assert state_tb > 2.0
+    throughputs = [thr for _, thr, _ in points]
+    # scale-out helps monotonically but sublinearly
+    assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+    assert throughputs[-1] / throughputs[0] < 8 / 3  # sublinear vs node ratio

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 1 (production models across platforms).
+
+Targets: throughput grows CPU -> Big Basin -> Zion for M1/M2; M3 scales
+poorly on Big Basin but Zion's 2 TB / ~1 TB/s memory recovers it.
+"""
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig01_production
+
+
+def test_fig01_production_throughput(benchmark):
+    result = run_once(benchmark, fig01_production.run)
+    record("fig01_production_throughput", fig01_production.render(result))
+
+    by_name = result.by_name()
+    m1, m2, m3 = by_name["M1_prod"], by_name["M2_prod"], by_name["M3_prod"]
+
+    # M1: CPU < Big Basin <= Zion
+    assert m1.big_basin_relative > 1.5
+    assert m1.zion_relative >= m1.big_basin_relative
+    # M2: Zion best, all within the same ballpark
+    assert m2.zion_relative >= m2.big_basin_relative
+    assert m2.zion_relative > 0.9
+    # M3: Big Basin below CPU; Zion well above both
+    assert m3.big_basin_relative < 1.0
+    assert m3.zion_relative > 1.5
+    assert m3.zion_relative > 2 * m3.big_basin_relative

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 2 (workload training frequency and duration)."""
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig02_workloads
+
+
+def test_fig02_workload_freq_duration(benchmark):
+    result = run_once(benchmark, fig02_workloads.run, 0, 7)
+    record("fig02_workload_freq_duration", fig02_workloads.render(result))
+
+    by_family = result.by_family()
+    # recommendation models are the most frequently trained (>50% of cycles)
+    assert result.recommendation_share() > 0.5
+    assert by_family["news_feed"].runs_per_day > by_family["facer"].runs_per_day
+    assert (
+        by_family["news_feed"].runs_per_day
+        > by_family["language_translation"].runs_per_day
+    )
+    # translation runs are the longest
+    durations = {f: s.mean_duration_hours for f, s in by_family.items()}
+    assert max(durations, key=durations.get) == "language_translation"

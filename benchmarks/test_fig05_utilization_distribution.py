@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 5 (utilization distributions at fixed scale).
+
+Targets: trainers show high mean utilization with a narrow spread;
+parameter servers show lower means, wider spread, and a longer tail.
+"""
+
+import numpy as np
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig05_utilization
+
+
+def test_fig05_utilization_distribution(benchmark):
+    result = run_once(benchmark, fig05_utilization.run, 30)
+    record("fig05_utilization_distribution", fig05_utilization.render(result))
+
+    trainer = result.summaries["trainer_cpu"]
+    ps_nic = result.summaries["sparse_ps_nic"]
+    dense_ps = result.summaries["dense_ps_nic"]
+
+    # trainers: high and comparatively narrow
+    assert trainer.mean > 0.5
+    # parameter servers: lower mean than trainers
+    assert ps_nic.mean < trainer.mean
+    assert dense_ps.mean < trainer.mean
+    # run-to-run variability exists everywhere (wide-Gaussian claim)
+    for s in result.summaries.values():
+        assert s.std > 0.0
+    # every sample is a valid utilization
+    for arr in result.samples.as_dict().values():
+        assert np.all((arr >= 0) & (arr <= 1))

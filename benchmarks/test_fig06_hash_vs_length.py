@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 6 (hash size vs mean feature length per table).
+
+Targets: hash sizes span 30..20M with model means 5.7M / 7.3M / 3.7M, and
+table size is not strongly coupled to access frequency ("the access
+frequency does not always correlate with the embedding table size").
+"""
+
+import pytest
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig06_07_embedding_stats
+
+
+def test_fig06_hash_vs_length(benchmark):
+    result = run_once(benchmark, fig06_07_embedding_stats.run)
+    record("fig06_hash_vs_length", fig06_07_embedding_stats.render(result))
+
+    stats = result.by_name()
+    for name, mean in (("M1_prod", 5.7e6), ("M2_prod", 7.3e6), ("M3_prod", 3.7e6)):
+        assert stats[name].mean_hash_size == pytest.approx(mean, rel=0.02)
+        assert stats[name].min_hash_size >= 30
+        assert stats[name].max_hash_size <= 20_000_000
+    # weak size-access coupling: |corr| well below 1 for every model
+    for s in stats.values():
+        assert abs(s.size_access_correlation) < 0.8

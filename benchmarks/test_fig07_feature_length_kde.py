@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 7 (feature-length distributions with KDE).
+
+Targets: power-law-like feature lengths (a few hot tables dominate
+accesses) with the published per-model means of 28 / 17 / 49 lookups.
+"""
+
+import numpy as np
+import pytest
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig06_07_embedding_stats
+
+
+def test_fig07_feature_length_kde(benchmark):
+    result = run_once(benchmark, fig06_07_embedding_stats.run)
+    record("fig07_feature_length_kde", fig06_07_embedding_stats.render(result))
+
+    stats = result.by_name()
+    for name, mean in (("M1_prod", 28.0), ("M2_prod", 17.0), ("M3_prod", 49.0)):
+        s = stats[name]
+        assert s.mean_feature_length == pytest.approx(mean, rel=0.01)
+        # power-law shape: finite alpha and concentrated access mass
+        assert 1.2 < s.power_law_alpha < 5.0
+        assert s.access_gini > 0.25
+        # the KDE is a proper density over the support
+        integral = np.trapezoid(s.kde_density, s.kde_grid)
+        assert integral > 0.5  # most mass inside the plotted range
+        # density peaks below the mean (right-skewed distribution)
+        peak_at = s.kde_grid[np.argmax(s.kde_density)]
+        assert peak_at < s.mean_feature_length

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 9 (trainer / parameter-server count histograms).
+
+Targets: over 40% of workflows share the modal trainer count; the PS-count
+distribution is wider (memory-driven experimentation).
+"""
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig09_servers
+
+
+def test_fig09_server_histogram(benchmark):
+    result = run_once(benchmark, fig09_servers.run, 400, 0)
+    record("fig09_server_histogram", fig09_servers.render(result))
+
+    assert result.modal_trainer_share > 0.40  # paper: "over 40%"
+    assert result.distinct_ps_counts > result.distinct_trainer_counts
+    assert result.ps_spread > 0.2  # PS counts "vary greatly"

@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 10 (dense x sparse feature sweep, CPU vs GPU).
+
+Targets: GPU throughput higher in all configurations; throughput falls as
+either feature count grows; GPU power efficiency is best for dense-heavy
+models and loses to CPU in the sparse-heavy corner (speedup below the 7.3x
+power premium).
+"""
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig10_feature_sweep
+
+
+def test_fig10_sparse_dense_sweep(benchmark):
+    result = run_once(benchmark, fig10_feature_sweep.run)
+    record("fig10_sparse_dense_sweep", fig10_feature_sweep.render(result))
+
+    # GPU faster everywhere
+    assert all(p.speedup > 1.0 for p in result.points)
+    # throughput decreases with feature counts on both systems
+    assert result.at(64, 4).gpu_throughput > result.at(64, 128).gpu_throughput
+    assert result.at(64, 4).cpu_throughput > result.at(4096, 4).cpu_throughput
+    # efficiency: dense-heavy corner wins on perf/W, sparse-heavy loses
+    assert result.at(4096, 4).gpu_power_efficient
+    assert not result.at(64, 128).gpu_power_efficient
+    # GPU advantage grows with dense features at fixed sparse count
+    assert result.at(4096, 4).speedup > result.at(64, 4).speedup

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 11 (batch-size scaling on CPU and GPU).
+
+Targets: CPU throughput has an interior optimum and declines beyond it;
+GPU throughput rises roughly linearly then saturates.
+"""
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig11_batch_scaling
+
+
+def test_fig11_batch_scaling(benchmark):
+    result = run_once(benchmark, fig11_batch_scaling.run)
+    record("fig11_batch_scaling", fig11_batch_scaling.render(result))
+
+    # CPU: interior optimum with a real decline after it
+    peak = max(result.cpu_throughput)
+    assert result.cpu_throughput[0] < peak  # rising edge
+    assert result.cpu_throughput[-1] < 0.8 * peak  # falling edge
+    assert result.cpu_optimal_batch not in (
+        result.cpu_batches[0],
+        result.cpu_batches[-1],
+    )
+
+    # GPU: monotone rise, early gains large, late gains small (saturation)
+    gpu = result.gpu_throughput
+    assert all(b > a for a, b in zip(gpu, gpu[1:]))
+    early_gain = gpu[1] / gpu[0]
+    assert early_gain > 1.5
+    assert result.gpu_saturation_ratio < 1.2

@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 12 (hash-size scaling on CPU and GPU).
+
+Targets: CPU throughput flat across hash sizes; GPU throughput holds while
+tables fit in HBM, drops sharply once tables spill into system memory, and
+the configuration eventually becomes infeasible on a single Big Basin.
+"""
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig12_hash_scaling
+
+
+def test_fig12_hash_scaling(benchmark):
+    result = run_once(benchmark, fig12_hash_scaling.run)
+    record("fig12_hash_scaling", fig12_hash_scaling.render(result))
+
+    # CPU flat
+    assert result.cpu_flatness() < 1.05
+
+    feasible = result.gpu_feasible_points()
+    assert len(feasible) >= 3
+    in_hbm = [p for p in feasible if p.system_spill_fraction < 0.05]
+    spilled = [p for p in feasible if p.system_spill_fraction > 0.3]
+    assert in_hbm and spilled
+    best_in_hbm = max(p.gpu_throughput for p in in_hbm)
+    worst_spilled = min(p.gpu_throughput for p in spilled)
+    assert worst_spilled < 0.6 * best_in_hbm  # significant drop
+
+    # smallest hash sizes use replication (no all-to-all needed)
+    assert result.points[0].replicated_tables > 0
+    # the sweep ends beyond single-server capacity
+    assert result.points[-1].gpu_throughput is None

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 13 (throughput under varying MLP dimensions).
+
+Targets: normalized throughput near-flat through 256^3, then falling, with
+CPU dropping faster than GPU at the largest stacks.
+"""
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig13_mlp_dims
+
+
+def test_fig13_mlp_dims(benchmark):
+    result = run_once(benchmark, fig13_mlp_dims.run)
+    record("fig13_mlp_dims", fig13_mlp_dims.render(result))
+
+    norm = {mlp: (cpu, gpu) for mlp, cpu, gpu in result.normalized()}
+    # flat through 256^3
+    assert norm["256^3"][0] > 0.85
+    assert norm["256^3"][1] > 0.80
+    # large stacks hurt, CPU more than GPU
+    cpu_last, gpu_last = norm["2048^4"]
+    assert cpu_last < 0.3
+    assert cpu_last < gpu_last
+    # monotone non-increasing trends
+    cpu_series = [cpu for _, cpu, _ in result.normalized()]
+    assert all(b <= a * 1.02 for a, b in zip(cpu_series, cpu_series[1:]))

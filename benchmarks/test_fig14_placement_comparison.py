@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 14 (M2 placement options, Big Basin vs Zion).
+
+Targets (§VI-B): Big Basin best with GPU-memory placement, with system
+memory several times slower; Zion best with system-memory placement (and
+the global best); Zion's GPU-memory placement much slower than Big Basin's
+(no direct GPU-GPU link); remote placement worst on both, Zion only
+slightly ahead.
+"""
+
+from bench_utils import record, run_once
+
+from repro.experiments import fig14_placement
+from repro.placement import PlacementStrategy
+
+
+def test_fig14_placement_comparison(benchmark):
+    result = run_once(benchmark, fig14_placement.run)
+    record("fig14_placement_comparison", fig14_placement.render(result))
+
+    bb_gpu = result.throughput("BigBasin", PlacementStrategy.GPU_MEMORY)
+    bb_sys = result.throughput("BigBasin", PlacementStrategy.SYSTEM_MEMORY)
+    bb_remote = result.throughput("BigBasin", PlacementStrategy.REMOTE_CPU)
+    zion_gpu = result.throughput("Zion", PlacementStrategy.GPU_MEMORY)
+    zion_sys = result.throughput("Zion", PlacementStrategy.SYSTEM_MEMORY)
+    zion_remote = result.throughput("Zion", PlacementStrategy.REMOTE_CPU)
+
+    # Big Basin ordering and the ~4x GPU-vs-system gap
+    assert bb_gpu > bb_sys > bb_remote
+    assert 2.0 < bb_gpu / bb_sys < 8.0
+    # Zion ordering: system memory wins
+    assert zion_sys > zion_gpu > zion_remote
+    # Zion GPU placement much slower than Big Basin's (no NVLink)
+    assert zion_gpu < 0.7 * bb_gpu
+    # Zion system-memory is the global best bar
+    assert zion_sys == max(p.throughput for p in result.points)
+    # remote: worst everywhere, Zion only slightly better
+    assert zion_remote >= bb_remote
+    assert zion_remote < 1.3 * bb_remote

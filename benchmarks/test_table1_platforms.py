@@ -1,0 +1,17 @@
+"""Bench: regenerate Table I (hardware platform details)."""
+
+from bench_utils import record, run_once
+
+from repro.experiments import table1_platforms
+
+
+def test_table1_platforms(benchmark):
+    result = run_once(benchmark, table1_platforms.run)
+    record("table1_platforms", table1_platforms.render(result))
+
+    platforms = result.by_name()
+    assert platforms["BigBasin"].nameplate_watts / platforms[
+        "DualSocketCPU"
+    ].nameplate_watts == 7.3
+    assert platforms["Zion"].system_memory == 2e12
+    assert platforms["BigBasin"].num_gpus == 8

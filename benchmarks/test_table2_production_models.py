@@ -1,0 +1,19 @@
+"""Bench: regenerate Table II (production model descriptions)."""
+
+from bench_utils import record, run_once
+
+from repro.experiments import table2_models
+
+
+def test_table2_production_models(benchmark):
+    result = run_once(benchmark, table2_models.run)
+    record("table2_production_models", table2_models.render(result))
+
+    models = result.by_name()
+    assert models["M1_prod"].num_sparse == 30
+    assert models["M2_prod"].num_sparse == 13
+    assert models["M3_prod"].num_sparse == 127
+    # embedding sizes: tens / tens / hundreds of GB
+    assert 1e10 < models["M1_prod"].embedding_bytes < 1e11
+    assert 1e10 < models["M2_prod"].embedding_bytes < 1e11
+    assert 1e11 < models["M3_prod"].embedding_bytes < 1e12

@@ -1,0 +1,26 @@
+"""Characterization analytics: KDE, distribution stats, table rendering."""
+
+from .kde import GaussianKDE, scott_bandwidth
+from .stats import (
+    DistributionSummary,
+    cdf_points,
+    fit_power_law_alpha,
+    gini_coefficient,
+    histogram,
+    summarize,
+)
+from .tables import format_si, render_bars, render_table
+
+__all__ = [
+    "GaussianKDE",
+    "scott_bandwidth",
+    "histogram",
+    "DistributionSummary",
+    "summarize",
+    "fit_power_law_alpha",
+    "gini_coefficient",
+    "cdf_points",
+    "render_table",
+    "render_bars",
+    "format_si",
+]

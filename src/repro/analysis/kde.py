@@ -1,0 +1,45 @@
+"""Gaussian kernel density estimation.
+
+Figure 7 overlays KDE curves on the feature-length histograms; this is a
+self-contained Gaussian KDE with Scott's-rule bandwidth (numerically
+validated against ``scipy.stats.gaussian_kde`` in the test suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianKDE", "scott_bandwidth"]
+
+
+def scott_bandwidth(samples: np.ndarray) -> float:
+    """Scott's rule: ``sigma * n^(-1/5)`` for 1-D data."""
+    x = np.asarray(samples, dtype=np.float64).reshape(-1)
+    if len(x) < 2:
+        raise ValueError("need at least 2 samples for a bandwidth estimate")
+    sigma = x.std(ddof=1)
+    if sigma == 0:
+        raise ValueError("samples are constant; KDE bandwidth undefined")
+    return float(sigma * len(x) ** (-1.0 / 5.0))
+
+
+class GaussianKDE:
+    """1-D Gaussian kernel density estimate."""
+
+    def __init__(self, samples: np.ndarray, bandwidth: float | None = None) -> None:
+        self.samples = np.asarray(samples, dtype=np.float64).reshape(-1)
+        if len(self.samples) == 0:
+            raise ValueError("need at least one sample")
+        self.bandwidth = bandwidth if bandwidth is not None else scott_bandwidth(self.samples)
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    def evaluate(self, grid: np.ndarray) -> np.ndarray:
+        """Density at each grid point; integrates to ~1 over the real line."""
+        grid = np.asarray(grid, dtype=np.float64).reshape(-1)
+        z = (grid[:, None] - self.samples[None, :]) / self.bandwidth
+        kernel = np.exp(-0.5 * z**2) / np.sqrt(2 * np.pi)
+        return kernel.mean(axis=1) / self.bandwidth
+
+    def __call__(self, grid: np.ndarray) -> np.ndarray:
+        return self.evaluate(grid)

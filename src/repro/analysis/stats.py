@@ -1,0 +1,136 @@
+"""Statistics helpers for the characterization figures.
+
+Histograms (Figures 5, 9), distribution summaries (mean/percentiles/tails),
+power-law tail fitting for feature-length distributions (Figure 7's
+"resembles a power-law" observation), and a normality-width measure for the
+"wide Gaussian" utilization claim (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "histogram",
+    "DistributionSummary",
+    "summarize",
+    "fit_power_law_alpha",
+    "gini_coefficient",
+    "cdf_points",
+]
+
+
+def histogram(
+    samples: np.ndarray, bins: int = 10, range_: tuple[float, float] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Counts and bin edges (thin wrapper with validation)."""
+    x = np.asarray(samples, dtype=np.float64).reshape(-1)
+    if len(x) == 0:
+        raise ValueError("cannot histogram empty data")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(x, bins=bins, range=range_)
+    return counts, edges
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Compact description of one utilization/metric distribution."""
+
+    mean: float
+    std: float
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def iqr(self) -> float:
+        return self.p75 - self.p25
+
+    @property
+    def tail_ratio(self) -> float:
+        """p95/median — long-tail indicator (the PS distributions of Fig 5
+        have a visibly longer tail than the trainer distributions)."""
+        if self.median == 0:
+            return float("inf")
+        return self.p95 / self.median
+
+    def row(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "p5": self.p5,
+            "median": self.median,
+            "p95": self.p95,
+            "tail_ratio": self.tail_ratio,
+        }
+
+
+def summarize(samples: np.ndarray) -> DistributionSummary:
+    x = np.asarray(samples, dtype=np.float64).reshape(-1)
+    if len(x) == 0:
+        raise ValueError("cannot summarize empty data")
+    p5, p25, p50, p75, p95 = np.percentile(x, [5, 25, 50, 75, 95])
+    return DistributionSummary(
+        mean=float(x.mean()),
+        std=float(x.std(ddof=1)) if len(x) > 1 else 0.0,
+        p5=float(p5),
+        p25=float(p25),
+        median=float(p50),
+        p75=float(p75),
+        p95=float(p95),
+        minimum=float(x.min()),
+        maximum=float(x.max()),
+        count=len(x),
+    )
+
+
+def fit_power_law_alpha(samples: np.ndarray, x_min: float = 1.0) -> float:
+    """Maximum-likelihood (Hill) estimator of the power-law exponent alpha
+    for the tail ``x >= x_min``: ``alpha = 1 + n / sum(ln(x / x_min))``."""
+    x = np.asarray(samples, dtype=np.float64).reshape(-1)
+    if x_min <= 0:
+        raise ValueError(f"x_min must be positive, got {x_min}")
+    tail = x[x >= x_min]
+    if len(tail) < 2:
+        raise ValueError("need at least 2 tail samples to fit alpha")
+    logs = np.log(tail / x_min)
+    total = logs.sum()
+    if total <= 0:
+        raise ValueError("tail samples are all at x_min; alpha undefined")
+    return float(1.0 + len(tail) / total)
+
+
+def gini_coefficient(samples: np.ndarray) -> float:
+    """Inequality of access/size distributions in [0, 1); 0 == uniform.
+
+    Used to quantify the "small number of tables accessed much more
+    frequently than others" observation (§III-A.2).
+    """
+    x = np.sort(np.asarray(samples, dtype=np.float64).reshape(-1))
+    if len(x) == 0:
+        raise ValueError("cannot compute Gini of empty data")
+    if np.any(x < 0):
+        raise ValueError("Gini requires non-negative samples")
+    total = x.sum()
+    if total == 0:
+        return 0.0
+    n = len(x)
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * x).sum() / (n * total)) - (n + 1.0) / n)
+
+
+def cdf_points(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative fractions)."""
+    x = np.sort(np.asarray(samples, dtype=np.float64).reshape(-1))
+    if len(x) == 0:
+        raise ValueError("cannot compute CDF of empty data")
+    fractions = np.arange(1, len(x) + 1) / len(x)
+    return x, fractions

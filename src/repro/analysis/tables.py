@@ -1,0 +1,63 @@
+"""ASCII table / bar rendering for bench output.
+
+The benchmark harness prints paper-style tables and bar charts to stdout;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "render_bars", "format_si"]
+
+
+def format_si(value: float, digits: int = 3) -> str:
+    """Human-scale formatting: 1234567 -> '1.23M'."""
+    if value != value:  # NaN
+        return "nan"
+    magnitude = abs(value)
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if magnitude >= threshold:
+            return f"{value / threshold:.{digits}g}{suffix}"
+    return f"{value:.{digits}g}"
+
+
+def render_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """Fixed-width table with a header rule."""
+    if not headers:
+        raise ValueError("need at least one header")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: list[str], values: list[float], width: int = 40, title: str = ""
+) -> str:
+    """Horizontal ASCII bar chart, scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        raise ValueError("nothing to render")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("need at least one positive value")
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| {format_si(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+``python -m repro <subcommand>`` exposes the library's main workflows:
+
+* ``describe`` — Table II-style description of a model config;
+* ``throughput`` — evaluate one (platform, placement, batch) setup;
+* ``optimize`` — rank all feasible setups for a model (the §I selection
+  problem);
+* ``figures`` — regenerate paper figures/tables to stdout;
+* ``fleet`` — fleet characterization report;
+* ``train`` — quick functional training run on synthetic data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import render_table
+from .configs import PRODUCTION_MODELS, make_test_model
+from .core.config import ModelConfig
+
+__all__ = ["main", "build_parser", "resolve_model"]
+
+
+def resolve_model(spec: str) -> ModelConfig:
+    """Parse a model spec: a production name (``M1_prod``) or
+    ``test:<dense>x<sparse>[:hash]`` (e.g. ``test:512x32:1000000``)."""
+    if spec in PRODUCTION_MODELS:
+        return PRODUCTION_MODELS[spec]()
+    if spec.startswith("test:"):
+        body = spec[len("test:"):]
+        parts = body.split(":")
+        try:
+            dense_s, sparse_s = parts[0].split("x")
+            num_dense, num_sparse = int(dense_s), int(sparse_s)
+            hash_size = int(parts[1]) if len(parts) > 1 else 100_000
+        except (ValueError, IndexError) as err:
+            raise ValueError(
+                f"bad test model spec {spec!r}; expected test:<dense>x<sparse>[:hash]"
+            ) from err
+        return make_test_model(num_dense, num_sparse, hash_size=hash_size)
+    raise ValueError(
+        f"unknown model {spec!r}; use one of {sorted(PRODUCTION_MODELS)} "
+        "or test:<dense>x<sparse>[:hash]"
+    )
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    model = resolve_model(args.model)
+    desc = model.describe()
+    rows = [[k, v if not isinstance(v, float) else f"{v:.2f}"] for k, v in desc.items()]
+    rows.append(["total parameters", f"{model.total_parameters:,}"])
+    rows.append(["dense param MB", f"{model.dense_parameter_bytes / 1e6:.1f}"])
+    print(render_table(["property", "value"], rows, title=f"Model: {model.name}"))
+    return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    from .hardware import DUAL_SOCKET_CPU, PLATFORMS
+    from .perf import cpu_cluster_throughput, gpu_server_throughput
+    from .placement import PlacementStrategy, plan_placement
+
+    model = resolve_model(args.model)
+    if args.platform == "cpu":
+        report = cpu_cluster_throughput(
+            model,
+            args.batch,
+            num_trainers=args.trainers,
+            num_sparse_ps=args.sparse_ps,
+            num_dense_ps=args.dense_ps,
+        )
+    else:
+        platform = PLATFORMS[args.platform]
+        strategy = PlacementStrategy(args.placement)
+        plan = plan_placement(
+            model,
+            platform,
+            strategy,
+            num_ps=args.sparse_ps,
+            ps_platform=DUAL_SOCKET_CPU,
+        )
+        report = gpu_server_throughput(model, args.batch, platform, plan)
+    print(report.describe())
+    rows = [[k, f"{v * 1e3:.3f} ms"] for k, v in report.breakdown.components.items()]
+    print(render_table(["component", "time"], rows, title="Iteration breakdown"))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from .perf import Objective, optimize_setup
+
+    model = resolve_model(args.model)
+    objective = Objective(args.objective)
+    result = optimize_setup(
+        model, objective=objective, min_throughput=args.min_throughput
+    )
+    rows = [
+        [c.label, f"{c.throughput:,.0f}", f"{c.perf_per_watt:.2f}"]
+        for c in result.ranked()[: args.top]
+    ]
+    print(
+        render_table(
+            ["setup", "ex/s", "ex/s/W"],
+            rows,
+            title=f"Best setups for {model.name} by {objective.value}",
+        )
+    )
+    return 0
+
+
+_FIGURES = {
+    "table1": "table1_platforms",
+    "table2": "table2_models",
+    "table3": "table3_comparison",
+    "fig1": "fig01_production",
+    "fig2": "fig02_workloads",
+    "fig5": "fig05_utilization",
+    "fig6": "fig06_07_embedding_stats",
+    "fig7": "fig06_07_embedding_stats",
+    "fig9": "fig09_servers",
+    "fig10": "fig10_feature_sweep",
+    "fig11": "fig11_batch_scaling",
+    "fig12": "fig12_hash_scaling",
+    "fig13": "fig13_mlp_dims",
+    "fig14": "fig14_placement",
+    "fig15": "fig15_accuracy",
+}
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import importlib
+
+    names = args.only if args.only else [
+        "table1", "table2", "table3", "fig1", "fig2", "fig6", "fig9",
+        "fig10", "fig11", "fig12", "fig13", "fig14",
+    ]
+    seen = set()
+    for name in names:
+        if name not in _FIGURES:
+            print(f"unknown figure {name!r}; choices: {sorted(_FIGURES)}", file=sys.stderr)
+            return 2
+        module_name = _FIGURES[name]
+        if module_name in seen:
+            continue
+        seen.add(module_name)
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        print(module.render(module.run()))
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import generate_report
+
+    text = generate_report(include_training=args.with_training)
+    if args.output == "-":
+        print(text)
+    else:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(text)} chars)")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .experiments import fig02_workloads, fig09_servers
+
+    print(fig02_workloads.render(fig02_workloads.run(seed=args.seed, num_days=args.days)))
+    print()
+    print(fig09_servers.render(fig09_servers.run(num_runs=args.runs, seed=args.seed)))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .core import Adagrad, DLRM, Trainer, evaluate
+    from .data import SyntheticDataGenerator, train_eval_split
+
+    model_cfg = resolve_model(args.model)
+    if model_cfg.embedding_parameters > 500_000_000:
+        print(
+            "refusing to functionally train a production-size model in a CLI "
+            "demo; use a test:<dense>x<sparse> spec",
+            file=sys.stderr,
+        )
+        return 2
+    gen = SyntheticDataGenerator(model_cfg, rng=args.seed, seed_teacher=True)
+    stream, eval_batches = train_eval_split(gen, batch_size=args.batch, num_eval_batches=2)
+    model = DLRM(model_cfg, rng=args.seed + 1)
+    trainer = Trainer(
+        model,
+        lambda m: Adagrad(m.dense_parameters(), m.embedding_tables(), lr=args.lr),
+    )
+    result = trainer.train(stream, max_examples=args.examples)
+    metrics = evaluate(model, eval_batches)
+    print(
+        f"{result.steps} steps, {result.examples_seen:,} examples | "
+        f"final loss {result.smoothed_final_loss:.4f} | "
+        f"NE {metrics['normalized_entropy']:.4f}"
+        + (f" | AUC {metrics['auc']:.4f}" if "auc" in metrics else "")
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DLRM training-efficiency reproduction (HPCA 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="describe a model configuration")
+    p.add_argument("--model", default="M1_prod")
+    p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser("throughput", help="evaluate one training setup")
+    p.add_argument("--model", default="M1_prod")
+    p.add_argument("--platform", default="BigBasin",
+                   choices=["cpu", "BigBasin", "BigBasin-16GB", "Zion"])
+    p.add_argument("--placement", default="gpu_memory",
+                   choices=["gpu_memory", "system_memory", "remote_cpu", "hybrid"])
+    p.add_argument("--batch", type=int, default=1600)
+    p.add_argument("--trainers", type=int, default=8)
+    p.add_argument("--sparse-ps", type=int, default=8)
+    p.add_argument("--dense-ps", type=int, default=2)
+    p.set_defaults(func=_cmd_throughput)
+
+    p = sub.add_parser("optimize", help="rank all feasible setups for a model")
+    p.add_argument("--model", default="M1_prod")
+    p.add_argument("--objective", default="throughput",
+                   choices=["throughput", "perf_per_watt"])
+    p.add_argument("--min-throughput", type=float, default=0.0)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser("figures", help="regenerate paper figures/tables")
+    p.add_argument("--only", nargs="*", metavar="FIG",
+                   help=f"subset of {sorted(_FIGURES)}")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("report", help="write the consolidated reproduction report")
+    p.add_argument("--output", default="-", help="path or '-' for stdout")
+    p.add_argument("--with-training", action="store_true",
+                   help="include the (slow) Figure 15 real-training experiment")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("fleet", help="fleet characterization report")
+    p.add_argument("--days", type=int, default=7)
+    p.add_argument("--runs", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("train", help="functional training run on synthetic data")
+    p.add_argument("--model", default="test:32x8")
+    p.add_argument("--batch", type=int, default=256)
+    p.add_argument("--examples", type=int, default=20_000)
+    p.add_argument("--lr", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from .hardware import CapacityError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CapacityError as err:
+        print(f"error: does not fit — {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2

@@ -1,0 +1,94 @@
+"""Test-suite model factory and the Section V sweep grids.
+
+The paper's design-space exploration (§V) uses a parameterized model with
+uniform tables: dense features 64..4096, sparse features 4..128, fixed hash
+size 100000, lookups truncated at 32, MLP dims 512^3, batch 200 (CPU) /
+1600 (GPU).  :func:`make_test_model` builds exactly that family.
+"""
+
+from __future__ import annotations
+
+from ..core.config import InteractionType, MLPSpec, ModelConfig, uniform_tables
+
+__all__ = [
+    "make_test_model",
+    "DENSE_SWEEP",
+    "SPARSE_SWEEP",
+    "BATCH_SWEEP_CPU",
+    "BATCH_SWEEP_GPU",
+    "HASH_SWEEP",
+    "MLP_SWEEP",
+    "DEFAULT_CPU_BATCH",
+    "DEFAULT_GPU_BATCH",
+    "DEFAULT_HASH_SIZE",
+    "DEFAULT_MLP",
+    "TEST_SUITE_MEAN_LOOKUPS",
+    "TEST_SUITE_TRUNCATION",
+]
+
+#: §V fixed parameters.
+DEFAULT_CPU_BATCH = 200
+DEFAULT_GPU_BATCH = 1600
+DEFAULT_HASH_SIZE = 100_000
+DEFAULT_MLP = "512^3"
+#: "We truncate number of look-ups per table to 32, to limit outliers."
+TEST_SUITE_TRUNCATION = 32
+#: Mean lookups per table in the sweep (the paper fixes the truncation but
+#: not the mean; 10 sits inside the Figure 7 bulk).
+TEST_SUITE_MEAN_LOOKUPS = 10.0
+
+#: §V-A: "numbers of dense features between 64 and 4096".
+DENSE_SWEEP = (64, 256, 1024, 4096)
+#: §V-A: "counts of sparse features ranging between 4 and 128".
+SPARSE_SWEEP = (4, 16, 64, 128)
+#: §V-B batch-size scaling ranges.
+BATCH_SWEEP_CPU = (25, 50, 100, 200, 400, 800, 1600)
+BATCH_SWEEP_GPU = (100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600)
+#: §V-C hash-size scaling: spans the replicated regime (tables fit on every
+#: GPU), the sharded regime, the hybrid-spill regime (tables overflow HBM
+#: into system memory) and the single-server capacity wall.
+HASH_SWEEP = (
+    100_000,
+    1_000_000,
+    3_000_000,
+    6_000_000,
+    8_000_000,
+    10_000_000,
+    12_000_000,
+    16_000_000,
+)
+#: §V-D MLP dimension scaling (width^layers notation).
+MLP_SWEEP = ("64^2", "128^2", "256^3", "512^3", "1024^3", "2048^4")
+
+
+def make_test_model(
+    num_dense: int,
+    num_sparse: int,
+    mlp: str = DEFAULT_MLP,
+    hash_size: int = DEFAULT_HASH_SIZE,
+    dim: int = 64,
+    mean_lookups: float = TEST_SUITE_MEAN_LOOKUPS,
+    truncation: int | None = TEST_SUITE_TRUNCATION,
+    interaction: InteractionType = InteractionType.CONCAT,
+    name: str | None = None,
+) -> ModelConfig:
+    """Build one point of the §V design-space test suite.
+
+    The same MLP spec is used for the bottom and top stacks (the paper
+    sweeps a single ``width^layers`` knob for "the MLP dimensions").
+    """
+    spec = MLPSpec.from_notation(mlp)
+    return ModelConfig(
+        name=name or f"test-d{num_dense}-s{num_sparse}-{mlp}-h{hash_size}",
+        num_dense=num_dense,
+        tables=uniform_tables(
+            num_sparse,
+            hash_size,
+            dim=dim,
+            mean_lookups=mean_lookups,
+            truncation=truncation,
+        ),
+        bottom_mlp=spec,
+        top_mlp=spec,
+        interaction=interaction,
+    )

@@ -1,0 +1,283 @@
+"""Embedding tables with the hashing trick, pooled multi-hot lookups and
+sparse gradients.
+
+This module implements the sparse half of the recommendation model
+(paper §III-A.1/2): each sparse feature owns (or shares) an embedding table
+of ``hash_size x dim`` rows; a training example activates ``n`` indices whose
+rows are fetched and pooled (summed or averaged) into one d-dimensional
+vector, optionally truncating ``n`` to bound outliers.
+
+Gradients are kept *sparse*: a backward pass records only the touched rows,
+because production tables have millions of rows (Figure 6 shows hash sizes
+up to 20M) and a dense gradient would be both wrong in spirit and infeasible
+in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import PoolingType, TableSpec
+
+__all__ = [
+    "RaggedIndices",
+    "SparseGrad",
+    "EmbeddingTable",
+    "EmbeddingBagCollection",
+    "hash_raw_ids",
+]
+
+# Knuth's multiplicative constant; gives a cheap, deterministic, well-mixing
+# hash for the hashing trick without pulling in an external dependency.
+_HASH_MULTIPLIER = np.uint64(2654435761)
+_HASH_SHIFT = np.uint64(16)
+
+
+def hash_raw_ids(raw_ids: np.ndarray, hash_size: int) -> np.ndarray:
+    """Map arbitrary non-negative integer ids into ``[0, hash_size)``.
+
+    This is the hash function ``h_m: S_X -> {0..m-1}`` of paper §III-A.1.
+    Deterministic, vectorized, and collision-prone by design for small
+    ``hash_size`` (the accuracy/size trade-off the paper discusses).
+    """
+    if hash_size < 1:
+        raise ValueError(f"hash_size must be >= 1, got {hash_size}")
+    ids = np.asarray(raw_ids, dtype=np.uint64)
+    mixed = (ids * _HASH_MULTIPLIER) ^ (ids >> _HASH_SHIFT)
+    return (mixed % np.uint64(hash_size)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class RaggedIndices:
+    """Multi-hot sparse input for one feature over a batch.
+
+    ``values[offsets[i]:offsets[i+1]]`` are the activated indices of sample
+    ``i`` — the standard jagged/CSR layout.
+    """
+
+    values: np.ndarray  # int64, shape (total_lookups,)
+    offsets: np.ndarray  # int64, shape (batch+1,), offsets[0] == 0
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.int64)
+        offsets = np.asarray(self.offsets, dtype=np.int64)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "offsets", offsets)
+        if offsets.ndim != 1 or len(offsets) < 1 or offsets[0] != 0:
+            raise ValueError("offsets must be 1-D and start at 0")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if offsets[-1] != len(values):
+            raise ValueError(
+                f"offsets[-1]={offsets[-1]} must equal len(values)={len(values)}"
+            )
+
+    @classmethod
+    def from_lists(cls, per_sample: list[np.ndarray | list[int]]) -> "RaggedIndices":
+        """Build from one index list per sample."""
+        arrays = [np.asarray(a, dtype=np.int64) for a in per_sample]
+        lengths = np.array([len(a) for a in arrays], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        values = np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
+        return cls(values=values, offsets=offsets)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def total_lookups(self) -> int:
+        return int(self.offsets[-1])
+
+    def lengths(self) -> np.ndarray:
+        """Number of activated indices per sample (the feature lengths of Fig 7)."""
+        return np.diff(self.offsets)
+
+    def sample(self, i: int) -> np.ndarray:
+        return self.values[self.offsets[i] : self.offsets[i + 1]]
+
+    def truncate(self, max_per_sample: int) -> "RaggedIndices":
+        """Cap each sample at ``max_per_sample`` lookups (paper's truncation size)."""
+        if max_per_sample < 1:
+            raise ValueError("max_per_sample must be >= 1")
+        lengths = np.minimum(self.lengths(), max_per_sample)
+        new_offsets = np.concatenate([[0], np.cumsum(lengths)])
+        keep = np.zeros(len(self.values), dtype=bool)
+        for i in range(self.batch_size):
+            start = self.offsets[i]
+            keep[start : start + lengths[i]] = True
+        return RaggedIndices(values=self.values[keep], offsets=new_offsets)
+
+
+@dataclass
+class SparseGrad:
+    """Coalesced sparse gradient of one embedding table.
+
+    ``rows`` are unique row indices; ``values[i]`` is the summed gradient for
+    ``rows[i]``.  Sparse-aware optimizers (:mod:`repro.core.optim`) consume
+    this directly, updating only the touched rows.
+    """
+
+    rows: np.ndarray  # int64, shape (k,)
+    values: np.ndarray  # float64, shape (k, dim)
+
+    @classmethod
+    def coalesce(cls, indices: np.ndarray, grads: np.ndarray) -> "SparseGrad":
+        """Sum duplicate row contributions into one entry per unique row."""
+        rows, inverse = np.unique(indices, return_inverse=True)
+        summed = np.zeros((len(rows), grads.shape[1]), dtype=np.float64)
+        np.add.at(summed, inverse, grads)
+        return cls(rows=rows, values=summed)
+
+    @property
+    def nnz_rows(self) -> int:
+        return len(self.rows)
+
+
+class EmbeddingTable:
+    """One embedding lookup table with pooled multi-hot reads.
+
+    The forward pass is the EmbeddingBag operation: gather ``n`` rows per
+    sample, pool them (sum or mean), and return a ``(batch, dim)`` matrix.
+    """
+
+    def __init__(
+        self,
+        spec: TableSpec,
+        rng: np.random.Generator,
+        pooling: PoolingType = PoolingType.SUM,
+        init_scale: float | None = None,
+    ) -> None:
+        self.spec = spec
+        self.pooling = pooling
+        scale = init_scale if init_scale is not None else 1.0 / np.sqrt(spec.dim)
+        self.weight = rng.uniform(-scale, scale, size=(spec.hash_size, spec.dim))
+        # A stack of forward contexts: shared tables are looked up once per
+        # feature, and the collection walks features in reverse on backward.
+        self._saved: list[tuple[RaggedIndices, np.ndarray]] = []
+        self.sparse_grads: list[SparseGrad] = []
+
+    @property
+    def dim(self) -> int:
+        return self.spec.dim
+
+    @property
+    def hash_size(self) -> int:
+        return self.spec.hash_size
+
+    def forward(self, indices: RaggedIndices) -> np.ndarray:
+        """Pooled lookup; returns ``(batch, dim)``.
+
+        Samples with zero activated indices produce a zero vector (a
+        legitimate event for optional sparse features).
+        """
+        if self.spec.truncation is not None:
+            indices = indices.truncate(self.spec.truncation)
+        if len(indices.values) and (
+            indices.values.min() < 0 or indices.values.max() >= self.hash_size
+        ):
+            raise IndexError(
+                f"indices out of range for table {self.spec.name} "
+                f"(hash_size={self.hash_size})"
+            )
+        lengths = indices.lengths()
+        pooled = np.zeros((indices.batch_size, self.dim), dtype=np.float64)
+        if len(indices.values):
+            gathered = self.weight[indices.values]
+            sample_of = np.repeat(np.arange(indices.batch_size), lengths)
+            np.add.at(pooled, sample_of, gathered)
+        if self.pooling is PoolingType.MEAN:
+            divisor = np.maximum(lengths, 1).astype(np.float64)[:, None]
+            pooled = pooled / divisor
+        self._saved.append((indices, lengths))
+        return pooled
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        """Scatter ``(batch, dim)`` output gradients back into touched rows."""
+        if not self._saved:
+            raise RuntimeError("backward called before forward")
+        indices, lengths = self._saved.pop()
+        if grad_out.shape != (indices.batch_size, self.dim):
+            raise ValueError(
+                f"grad shape {grad_out.shape} != ({indices.batch_size}, {self.dim})"
+            )
+        if not len(indices.values):
+            return
+        if self.pooling is PoolingType.MEAN:
+            divisor = np.maximum(lengths, 1).astype(np.float64)[:, None]
+            grad_out = grad_out / divisor
+        sample_of = np.repeat(np.arange(indices.batch_size), lengths)
+        per_lookup = grad_out[sample_of]
+        self.sparse_grads.append(SparseGrad.coalesce(indices.values, per_lookup))
+
+    def zero_grad(self) -> None:
+        self.sparse_grads.clear()
+
+    def pop_grad(self) -> SparseGrad | None:
+        """Coalesce and clear all accumulated sparse gradients."""
+        if not self.sparse_grads:
+            return None
+        if len(self.sparse_grads) == 1:
+            grad = self.sparse_grads[0]
+        else:
+            rows = np.concatenate([g.rows for g in self.sparse_grads])
+            vals = np.concatenate([g.values for g in self.sparse_grads])
+            grad = SparseGrad.coalesce(rows, vals)
+        self.sparse_grads.clear()
+        return grad
+
+
+class EmbeddingBagCollection:
+    """All embedding tables of a model, with optional table sharing.
+
+    ``feature_to_table`` lets several semantically-similar sparse features
+    share one physical table (paper §III-A.2); by default each feature owns
+    its own table.
+    """
+
+    def __init__(
+        self,
+        specs: tuple[TableSpec, ...],
+        rng: np.random.Generator,
+        pooling: PoolingType = PoolingType.SUM,
+        feature_to_table: dict[str, str] | None = None,
+    ) -> None:
+        if feature_to_table is None:
+            feature_to_table = {s.name: s.name for s in specs}
+        table_names = {s.name for s in specs}
+        unknown = set(feature_to_table.values()) - table_names
+        if unknown:
+            raise ValueError(f"feature_to_table references unknown tables: {unknown}")
+        self.specs = specs
+        self.feature_to_table = dict(feature_to_table)
+        self.tables: dict[str, EmbeddingTable] = {
+            s.name: EmbeddingTable(s, rng, pooling=pooling) for s in specs
+        }
+        self.feature_names = list(feature_to_table.keys())
+
+    def forward(self, batch: dict[str, RaggedIndices]) -> dict[str, np.ndarray]:
+        """Look up every feature; returns feature name -> (batch, dim)."""
+        missing = set(self.feature_names) - set(batch.keys())
+        if missing:
+            raise KeyError(f"batch is missing sparse features: {sorted(missing)}")
+        out: dict[str, np.ndarray] = {}
+        for feature in self.feature_names:
+            table = self.tables[self.feature_to_table[feature]]
+            out[feature] = table.forward(batch[feature])
+        return out
+
+    def backward(self, grads: dict[str, np.ndarray]) -> None:
+        # Reverse order mirrors forward bookkeeping for shared tables.
+        for feature in reversed(self.feature_names):
+            table = self.tables[self.feature_to_table[feature]]
+            table.backward(grads[feature])
+
+    def zero_grad(self) -> None:
+        for table in self.tables.values():
+            table.zero_grad()
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.weight.nbytes for t in self.tables.values())

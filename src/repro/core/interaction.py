@@ -1,0 +1,119 @@
+"""Feature-interaction combiners (paper §III-A.3).
+
+Two combiners are implemented, matching the paper:
+
+* **Concatenation** — pooled embeddings of each sparse feature are
+  concatenated to the bottom-MLP output.
+* **Pairwise dot product** — the bottom-MLP output is treated as one more
+  d-dimensional embedding; all pairwise dot products between the ``n+1``
+  vectors are computed, and the resulting triangle is concatenated with the
+  original dense output.  This captures dense-sparse and sparse-sparse
+  interactions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ConcatInteraction", "DotInteraction", "make_interaction"]
+
+
+class ConcatInteraction:
+    """Concatenate ``[dense, emb_1, ..., emb_n]`` along the feature axis."""
+
+    def __init__(self, num_sparse: int, dim: int) -> None:
+        self.num_sparse = num_sparse
+        self.dim = dim
+        self._dense_width: int | None = None
+
+    def out_features(self, dense_width: int) -> int:
+        return dense_width + self.num_sparse * self.dim
+
+    def forward(self, dense: np.ndarray, embs: list[np.ndarray]) -> np.ndarray:
+        if len(embs) != self.num_sparse:
+            raise ValueError(f"expected {self.num_sparse} embeddings, got {len(embs)}")
+        self._dense_width = dense.shape[1]
+        return np.concatenate([dense] + embs, axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        if self._dense_width is None:
+            raise RuntimeError("backward called before forward")
+        w = self._dense_width
+        self._dense_width = None
+        grad_dense = grad_out[:, :w]
+        grad_embs = [
+            grad_out[:, w + i * self.dim : w + (i + 1) * self.dim]
+            for i in range(self.num_sparse)
+        ]
+        return grad_dense, grad_embs
+
+
+class DotInteraction:
+    """Pairwise dot products among ``[dense, emb_1, ..., emb_n]``.
+
+    The output is ``concat(dense, lower_triangle(T @ T^T))`` where ``T`` is
+    the ``(batch, n+1, d)`` stack of feature vectors; the strictly-lower
+    triangle has ``(n+1) * n / 2`` entries.
+    """
+
+    def __init__(self, num_sparse: int, dim: int) -> None:
+        self.num_sparse = num_sparse
+        self.dim = dim
+        n_vec = num_sparse + 1
+        self._tril = np.tril_indices(n_vec, k=-1)
+        self._stack: np.ndarray | None = None
+
+    @property
+    def num_pairs(self) -> int:
+        n_vec = self.num_sparse + 1
+        return n_vec * (n_vec - 1) // 2
+
+    def out_features(self, dense_width: int) -> int:
+        if dense_width != self.dim:
+            raise ValueError(
+                f"dot interaction needs dense width == embedding dim "
+                f"({dense_width} != {self.dim})"
+            )
+        return self.dim + self.num_pairs
+
+    def forward(self, dense: np.ndarray, embs: list[np.ndarray]) -> np.ndarray:
+        if len(embs) != self.num_sparse:
+            raise ValueError(f"expected {self.num_sparse} embeddings, got {len(embs)}")
+        if dense.shape[1] != self.dim:
+            raise ValueError(
+                f"dense width {dense.shape[1]} != embedding dim {self.dim}"
+            )
+        stack = np.stack([dense] + embs, axis=1)  # (B, n+1, d)
+        self._stack = stack
+        gram = stack @ stack.transpose(0, 2, 1)  # (B, n+1, n+1)
+        pairs = gram[:, self._tril[0], self._tril[1]]  # (B, num_pairs)
+        return np.concatenate([dense, pairs], axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        if self._stack is None:
+            raise RuntimeError("backward called before forward")
+        stack = self._stack
+        self._stack = None
+        batch, n_vec, _ = stack.shape
+        grad_dense_direct = grad_out[:, : self.dim]
+        grad_pairs = grad_out[:, self.dim :]
+        # Scatter pair gradients into a symmetric (n+1, n+1) matrix; since
+        # gram = T @ T^T, dT = (G + G^T) @ T, with G holding the triangle.
+        gram_grad = np.zeros((batch, n_vec, n_vec), dtype=np.float64)
+        gram_grad[:, self._tril[0], self._tril[1]] = grad_pairs
+        gram_grad = gram_grad + gram_grad.transpose(0, 2, 1)
+        grad_stack = gram_grad @ stack  # (B, n+1, d)
+        grad_dense = grad_stack[:, 0, :] + grad_dense_direct
+        grad_embs = [grad_stack[:, i + 1, :] for i in range(self.num_sparse)]
+        return grad_dense, grad_embs
+
+
+def make_interaction(kind, num_sparse: int, dim: int):
+    """Factory mapping :class:`repro.core.config.InteractionType` to a combiner."""
+    from .config import InteractionType
+
+    if kind is InteractionType.CONCAT:
+        return ConcatInteraction(num_sparse, dim)
+    if kind is InteractionType.DOT:
+        return DotInteraction(num_sparse, dim)
+    raise ValueError(f"unknown interaction type: {kind!r}")

@@ -1,0 +1,61 @@
+"""Losses for click-through-rate training.
+
+Recommendation models at Facebook are binary classifiers trained with
+cross-entropy; model quality is tracked as *normalized entropy* (paper §VI-C).
+The loss here is binary cross-entropy computed directly from logits in a
+numerically stable form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BCEWithLogitsLoss", "sigmoid"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class BCEWithLogitsLoss:
+    """Mean binary cross-entropy over a batch, from raw logits.
+
+    Uses ``max(x, 0) - x * y + log(1 + exp(-|x|))`` which never overflows.
+    ``backward`` returns the gradient with respect to the logits:
+    ``(sigmoid(x) - y) / batch``.
+    """
+
+    def __init__(self) -> None:
+        self._saved: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        if logits.shape != labels.shape:
+            raise ValueError(f"shape mismatch: {logits.shape} vs {labels.shape}")
+        if len(logits) == 0:
+            raise ValueError("empty batch")
+        if labels.min() < 0 or labels.max() > 1:
+            raise ValueError("labels must lie in [0, 1]")
+        self._saved = (logits, labels)
+        per_example = (
+            np.maximum(logits, 0.0)
+            - logits * labels
+            + np.log1p(np.exp(-np.abs(logits)))
+        )
+        return float(per_example.mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits, shape ``(batch, 1)``."""
+        if self._saved is None:
+            raise RuntimeError("backward called before forward")
+        logits, labels = self._saved
+        self._saved = None
+        grad = (sigmoid(logits) - labels) / len(logits)
+        return grad.reshape(-1, 1)

@@ -1,0 +1,105 @@
+"""Model-quality metrics.
+
+The paper tracks model quality as *normalized entropy* (NE) — cross-entropy
+normalized by the entropy of the empirical CTR — plus calibration.  A loss
+regression of 0.1–0.2% NE is called out as intolerable for recommendation
+use cases (§VI-C), so the metrics here report enough precision to resolve
+such gaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .loss import sigmoid
+
+__all__ = [
+    "log_loss",
+    "normalized_entropy",
+    "calibration",
+    "auc",
+    "accuracy",
+    "ne_gap_percent",
+]
+
+_EPS = 1e-12
+
+
+def log_loss(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Mean binary cross-entropy from probabilities."""
+    p = np.clip(np.asarray(predictions, dtype=np.float64).reshape(-1), _EPS, 1 - _EPS)
+    y = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if p.shape != y.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {y.shape}")
+    if len(p) == 0:
+        raise ValueError("empty input")
+    return float(-(y * np.log(p) + (1 - y) * np.log(1 - p)).mean())
+
+
+def normalized_entropy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Cross-entropy divided by the entropy of the background CTR.
+
+    NE < 1 means the model beats the constant-CTR predictor; lower is better.
+    """
+    y = np.asarray(labels, dtype=np.float64).reshape(-1)
+    ctr = float(np.clip(y.mean(), _EPS, 1 - _EPS))
+    background = -(ctr * np.log(ctr) + (1 - ctr) * np.log(1 - ctr))
+    return log_loss(predictions, y) / background
+
+
+def calibration(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Ratio of mean predicted CTR to empirical CTR (ideal == 1.0)."""
+    p = np.asarray(predictions, dtype=np.float64).reshape(-1)
+    y = np.asarray(labels, dtype=np.float64).reshape(-1)
+    empirical = y.mean()
+    if empirical <= 0:
+        raise ValueError("calibration undefined when no positive labels")
+    return float(p.mean() / empirical)
+
+
+def auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic (ties averaged)."""
+    s = np.asarray(scores, dtype=np.float64).reshape(-1)
+    y = np.asarray(labels).reshape(-1).astype(bool)
+    n_pos = int(y.sum())
+    n_neg = len(y) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC needs both positive and negative labels")
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty(len(s), dtype=np.float64)
+    sorted_scores = s[order]
+    # average ranks over tied groups
+    i = 0
+    while i < len(s):
+        j = i
+        while j + 1 < len(s) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum = ranks[y].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def accuracy(scores: np.ndarray, labels: np.ndarray, threshold: float = 0.0) -> float:
+    """Fraction of correct hard decisions at ``score > threshold``."""
+    s = np.asarray(scores, dtype=np.float64).reshape(-1)
+    y = np.asarray(labels).reshape(-1).astype(bool)
+    if len(s) == 0:
+        raise ValueError("empty input")
+    return float(((s > threshold) == y).mean())
+
+
+def ne_gap_percent(ne_candidate: float, ne_baseline: float) -> float:
+    """Relative NE regression in percent (positive == candidate is worse).
+
+    This is the quantity plotted in Figure 15 (accuracy/loss gap vs. the CPU
+    baseline as GPU batch size grows).
+    """
+    if ne_baseline <= 0:
+        raise ValueError("baseline NE must be positive")
+    return 100.0 * (ne_candidate - ne_baseline) / ne_baseline
+
+
+def predictions_from_logits(logits: np.ndarray) -> np.ndarray:
+    """Convenience: convert raw logits to probabilities."""
+    return sigmoid(np.asarray(logits, dtype=np.float64).reshape(-1))

@@ -1,0 +1,175 @@
+"""Multi-layer perceptron stacks with explicit forward/backward passes.
+
+The two MLP stacks of a recommendation model (paper §III-A.4) — the bottom
+stack over dense features and the top stack over the interaction output — are
+built from these layers.  Everything is plain numpy with hand-written
+backpropagation; no autograd framework is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import MLPSpec
+
+__all__ = ["Parameter", "Linear", "ReLU", "Sigmoid", "MLP"]
+
+
+class Parameter:
+    """A learnable tensor with its accumulated gradient.
+
+    Optimizers consume ``(value, grad)`` pairs; ``zero_grad`` resets the
+    accumulator between iterations.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.ascontiguousarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name or 'unnamed'}, shape={self.shape})"
+
+
+class Linear:
+    """Fully-connected layer ``y = x @ W.T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, name: str = "linear") -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("Linear dimensions must be positive")
+        # He/Kaiming initialization, appropriate for the ReLU stacks used here.
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(rng.normal(0.0, scale, size=(out_features, in_features)), f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_features), f"{name}.bias")
+        self._input: np.ndarray | None = None
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        return x @ self.weight.value.T + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        x = self._input
+        self.weight.grad += grad_out.T @ x
+        self.bias.grad += grad_out.sum(axis=0)
+        self._input = None
+        return grad_out @ self.weight.value
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class ReLU:
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.where(self._mask, grad_out, 0.0)
+        self._mask = None
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+
+class Sigmoid:
+    """Logistic activation (used only when a probability output is needed;
+    training goes through the numerically-stable loss in :mod:`repro.core.loss`)."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        grad = grad_out * self._out * (1.0 - self._out)
+        self._out = None
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+
+class MLP:
+    """A stack of ``Linear`` + ``ReLU`` layers described by an :class:`MLPSpec`.
+
+    ``final_activation=False`` leaves the last layer linear, which is how the
+    top stack feeds the scoring logit.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        spec: MLPSpec,
+        rng: np.random.Generator,
+        final_activation: bool = True,
+        name: str = "mlp",
+    ) -> None:
+        self.spec = spec
+        self.layers: list[object] = []
+        prev = in_features
+        for i, width in enumerate(spec.layer_sizes):
+            self.layers.append(Linear(prev, width, rng, name=f"{name}.{i}"))
+            is_last = i == len(spec.layer_sizes) - 1
+            if final_activation or not is_last:
+                self.layers.append(ReLU())
+            prev = width
+        self.in_features = in_features
+        self.out_features = prev
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params

@@ -1,0 +1,179 @@
+"""The DLRM-style recommendation model (paper Figure 3).
+
+``DLRM`` assembles the four architecture blocks the paper characterizes:
+
+1. bottom MLP over the concatenated dense features,
+2. embedding-table lookups for each sparse feature,
+3. feature interaction (concat or pairwise dot),
+4. top MLP producing the click logit.
+
+Forward and backward are explicit; the model exposes its dense
+:class:`~repro.core.mlp.Parameter` list and its embedding tables so
+optimizers and distributed-sync algorithms can treat the two halves
+differently (data-parallel dense, model-parallel sparse) — the same split
+that drives the systems design in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import InteractionType, ModelConfig, PoolingType
+from .embedding import EmbeddingBagCollection, RaggedIndices
+from .interaction import make_interaction
+from .mlp import MLP, Linear, Parameter
+
+__all__ = ["Batch", "DLRM"]
+
+
+class Batch:
+    """One mini-batch of training data.
+
+    Attributes:
+        dense: ``(batch, num_dense)`` float matrix of dense features.
+        sparse: mapping from sparse-feature name to :class:`RaggedIndices`.
+        labels: ``(batch,)`` array of {0, 1} click labels.
+    """
+
+    def __init__(
+        self,
+        dense: np.ndarray,
+        sparse: dict[str, RaggedIndices],
+        labels: np.ndarray,
+    ) -> None:
+        self.dense = np.asarray(dense, dtype=np.float64)
+        self.sparse = sparse
+        self.labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        if self.dense.ndim != 2:
+            raise ValueError(f"dense must be 2-D, got shape {self.dense.shape}")
+        if len(self.labels) != self.dense.shape[0]:
+            raise ValueError(
+                f"label count {len(self.labels)} != batch size {self.dense.shape[0]}"
+            )
+        for name, ragged in sparse.items():
+            if ragged.batch_size != self.size:
+                raise ValueError(
+                    f"sparse feature {name!r} batch {ragged.batch_size} != {self.size}"
+                )
+
+    @property
+    def size(self) -> int:
+        return self.dense.shape[0]
+
+    def total_lookups(self) -> int:
+        """Total embedding lookups this batch triggers (cost driver, §III-A.2)."""
+        return sum(r.total_lookups for r in self.sparse.values())
+
+
+class DLRM:
+    """Deep learning recommendation model with explicit backprop.
+
+    The forward pass returns raw logits of shape ``(batch,)``; combine with
+    :class:`repro.core.loss.BCEWithLogitsLoss` for training.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        rng: np.random.Generator | int | None = None,
+        pooling: PoolingType = PoolingType.SUM,
+    ) -> None:
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.config = config
+        self.bottom_mlp = MLP(config.num_dense, config.bottom_mlp, rng, name="bottom")
+        self.embeddings = EmbeddingBagCollection(config.tables, rng, pooling=pooling)
+        self.interaction = make_interaction(
+            config.interaction, config.num_sparse, config.embedding_dim
+        )
+        interaction_width = self.interaction.out_features(config.bottom_mlp.out_features)
+        self.top_mlp = MLP(interaction_width, config.top_mlp, rng, name="top")
+        self.scorer = Linear(config.top_mlp.out_features, 1, rng, name="scorer")
+        self._feature_order = [t.name for t in config.tables]
+
+    # -- forward / backward -------------------------------------------------
+
+    def forward(self, batch: Batch) -> np.ndarray:
+        """Compute click logits for a batch; returns shape ``(batch,)``."""
+        if batch.dense.shape[1] != self.config.num_dense:
+            raise ValueError(
+                f"batch has {batch.dense.shape[1]} dense features, "
+                f"model expects {self.config.num_dense}"
+            )
+        dense_out = self.bottom_mlp.forward(batch.dense)
+        emb_out = self.embeddings.forward(batch.sparse)
+        embs = [emb_out[name] for name in self._feature_order]
+        interacted = self.interaction.forward(dense_out, embs)
+        top_out = self.top_mlp.forward(interacted)
+        logits = self.scorer.forward(top_out)
+        return logits.reshape(-1)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backpropagate ``dLoss/dlogits`` of shape ``(batch, 1)`` or ``(batch,)``."""
+        grad = np.asarray(grad_logits, dtype=np.float64).reshape(-1, 1)
+        grad = self.scorer.backward(grad)
+        grad = self.top_mlp.backward(grad)
+        grad_dense, grad_embs = self.interaction.backward(grad)
+        self.embeddings.backward(
+            {name: g for name, g in zip(self._feature_order, grad_embs)}
+        )
+        self.bottom_mlp.backward(grad_dense)
+
+    def predict_proba(self, batch: Batch) -> np.ndarray:
+        """Click probabilities (no gradient bookkeeping is kept afterwards)."""
+        from .loss import sigmoid
+
+        logits = self.forward(batch)
+        self._discard_forward_state()
+        return sigmoid(logits)
+
+    def _discard_forward_state(self) -> None:
+        """Drop cached activations after an inference-only forward.
+
+        Embedding tables stack forward contexts (to support shared tables),
+        so inference-only forwards must clear them or the stack grows.
+        """
+        for table in self.embeddings.tables.values():
+            table._saved.clear()
+        if hasattr(self.interaction, "_stack"):
+            self.interaction._stack = None
+        if hasattr(self.interaction, "_dense_width"):
+            self.interaction._dense_width = None
+
+    # -- parameter access ----------------------------------------------------
+
+    def dense_parameters(self) -> list[Parameter]:
+        """MLP + scorer parameters — the data-parallel ("dense PS") half."""
+        return (
+            self.bottom_mlp.parameters()
+            + self.top_mlp.parameters()
+            + self.scorer.parameters()
+        )
+
+    def embedding_tables(self):
+        """The model-parallel ("sparse PS") half, in config order."""
+        return [self.embeddings.tables[name] for name in self._feature_order]
+
+    def zero_grad(self) -> None:
+        for p in self.dense_parameters():
+            p.zero_grad()
+        self.embeddings.zero_grad()
+
+    def num_parameters(self) -> int:
+        dense = sum(p.size for p in self.dense_parameters())
+        sparse = sum(t.weight.size for t in self.embeddings.tables.values())
+        return dense + sparse
+
+    # -- state serialization (for EASGD / checkpoint tests) -------------------
+
+    def get_dense_state(self) -> list[np.ndarray]:
+        return [p.value.copy() for p in self.dense_parameters()]
+
+    def set_dense_state(self, state: list[np.ndarray]) -> None:
+        params = self.dense_parameters()
+        if len(state) != len(params):
+            raise ValueError(f"state has {len(state)} tensors, expected {len(params)}")
+        for p, s in zip(params, state):
+            if p.value.shape != s.shape:
+                raise ValueError(f"shape mismatch for {p.name}: {p.value.shape} vs {s.shape}")
+            p.value[...] = s

@@ -1,0 +1,148 @@
+"""Optimizers with sparse-aware updates.
+
+The dense half of the model (MLP stacks) is updated with ordinary dense
+steps; embedding tables receive *row-sparse* updates touching only the rows
+looked up in the batch — production tables have millions of rows (Figure 6),
+so dense embedding updates are never materialized.
+
+SGD and Adagrad are provided (Adagrad is the de-facto standard for sparse
+embedding training); EASGD's elastic update lives in
+:mod:`repro.distributed.sync` since it couples multiple workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .embedding import EmbeddingTable, SparseGrad
+from .mlp import Parameter
+
+__all__ = ["SGD", "Adagrad"]
+
+
+class _OptimizerBase:
+    """Shared bookkeeping: the optimizer owns dense params and sparse tables."""
+
+    def __init__(
+        self,
+        dense_params: list[Parameter],
+        tables: list[EmbeddingTable] | None = None,
+        lr: float = 0.01,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.dense_params = list(dense_params)
+        self.tables = list(tables or [])
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.dense_params:
+            p.zero_grad()
+        for t in self.tables:
+            t.zero_grad()
+
+    def step(self) -> None:
+        for i, p in enumerate(self.dense_params):
+            self._dense_step(i, p)
+        for i, t in enumerate(self.tables):
+            grad = t.pop_grad()
+            if grad is not None:
+                self._sparse_step(i, t, grad)
+
+    # subclass hooks ---------------------------------------------------------
+
+    def _dense_step(self, idx: int, p: Parameter) -> None:
+        raise NotImplementedError
+
+    def _sparse_step(self, idx: int, table: EmbeddingTable, grad: SparseGrad) -> None:
+        raise NotImplementedError
+
+
+class SGD(_OptimizerBase):
+    """Plain stochastic gradient descent, optionally with momentum on the
+    dense parameters (momentum is not applied to embedding rows: momentum
+    state for multi-million-row tables would double their footprint, and
+    sparse momentum is ill-defined for rarely-touched rows)."""
+
+    def __init__(
+        self,
+        dense_params: list[Parameter],
+        tables: list[EmbeddingTable] | None = None,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(dense_params, tables, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = (
+            [np.zeros_like(p.value) for p in self.dense_params] if momentum else None
+        )
+
+    def _dense_step(self, idx: int, p: Parameter) -> None:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.value
+        if self._velocity is not None:
+            v = self._velocity[idx]
+            v *= self.momentum
+            v += grad
+            p.value -= self.lr * v
+        else:
+            p.value -= self.lr * grad
+
+    def _sparse_step(self, idx: int, table: EmbeddingTable, grad: SparseGrad) -> None:
+        table.weight[grad.rows] -= self.lr * grad.values
+
+
+class Adagrad(_OptimizerBase):
+    """Adagrad with per-row accumulator state for embedding tables.
+
+    The accumulator doubles the memory footprint of each table — exactly the
+    optimizer-state overhead that makes large models spill out of GPU HBM in
+    the paper's placement analysis (§IV-B.1).
+    """
+
+    def __init__(
+        self,
+        dense_params: list[Parameter],
+        tables: list[EmbeddingTable] | None = None,
+        lr: float = 0.01,
+        eps: float = 1e-10,
+        initial_accumulator: float = 0.0,
+    ) -> None:
+        super().__init__(dense_params, tables, lr)
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if initial_accumulator < 0:
+            raise ValueError("initial_accumulator must be >= 0")
+        self.eps = eps
+        self._dense_state = [
+            np.full_like(p.value, initial_accumulator) for p in self.dense_params
+        ]
+        self._table_state = [
+            np.full_like(t.weight, initial_accumulator) for t in self.tables
+        ]
+
+    def _dense_step(self, idx: int, p: Parameter) -> None:
+        state = self._dense_state[idx]
+        state += p.grad * p.grad
+        p.value -= self.lr * p.grad / (np.sqrt(state) + self.eps)
+
+    def _sparse_step(self, idx: int, table: EmbeddingTable, grad: SparseGrad) -> None:
+        state_rows = self._table_state[idx][grad.rows]
+        state_rows += grad.values * grad.values
+        self._table_state[idx][grad.rows] = state_rows
+        table.weight[grad.rows] -= self.lr * grad.values / (
+            np.sqrt(state_rows) + self.eps
+        )
+
+    def state_bytes(self) -> int:
+        """Optimizer-state footprint (used by the placement planner)."""
+        dense = sum(s.nbytes for s in self._dense_state)
+        sparse = sum(s.nbytes for s in self._table_state)
+        return dense + sparse

@@ -1,0 +1,132 @@
+"""Single-node training loop and evaluation harness.
+
+This is the functional training path used by the accuracy experiments
+(Figure 15): train a numpy DLRM on synthetic click data for a fixed example
+budget, evaluate normalized entropy on a held-out set, and compare across
+batch sizes / sync modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from .loss import BCEWithLogitsLoss, sigmoid
+from .metrics import auc, normalized_entropy
+from .model import Batch, DLRM
+
+__all__ = ["TrainResult", "Trainer", "evaluate"]
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    steps: int
+    examples_seen: int
+    final_loss: float
+    loss_history: list[float] = field(default_factory=list)
+
+    @property
+    def smoothed_final_loss(self) -> float:
+        """Mean of the last 10% of steps — less noisy than the last batch."""
+        tail = max(1, len(self.loss_history) // 10)
+        return float(np.mean(self.loss_history[-tail:]))
+
+
+def evaluate(model: DLRM, batches: Iterable[Batch]) -> dict[str, float]:
+    """Evaluate NE / log-loss / AUC over held-out batches."""
+    all_preds: list[np.ndarray] = []
+    all_labels: list[np.ndarray] = []
+    for batch in batches:
+        all_preds.append(model.predict_proba(batch))
+        all_labels.append(batch.labels)
+    if not all_preds:
+        raise ValueError("no evaluation batches provided")
+    preds = np.concatenate(all_preds)
+    labels = np.concatenate(all_labels)
+    result = {
+        "normalized_entropy": normalized_entropy(preds, labels),
+        "log_loss": float(
+            -np.mean(
+                labels * np.log(np.clip(preds, 1e-12, 1))
+                + (1 - labels) * np.log(np.clip(1 - preds, 1e-12, 1))
+            )
+        ),
+        "num_examples": float(len(labels)),
+    }
+    if 0 < labels.sum() < len(labels):
+        result["auc"] = auc(preds, labels)
+    return result
+
+
+class Trainer:
+    """Drives forward/backward/step over a batch stream.
+
+    The optimizer is built by ``optimizer_factory(model)`` so hyper-parameter
+    sweeps (:mod:`repro.core.tuning`) can rebuild fresh state per trial.
+    """
+
+    def __init__(
+        self,
+        model: DLRM,
+        optimizer_factory: Callable[[DLRM], object],
+        loss: BCEWithLogitsLoss | None = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer_factory(model)
+        self.loss = loss or BCEWithLogitsLoss()
+
+    def train_step(self, batch: Batch) -> float:
+        """One forward/backward/update; returns the batch loss."""
+        self.optimizer.zero_grad()
+        logits = self.model.forward(batch)
+        loss_value = self.loss.forward(logits, batch.labels)
+        grad = self.loss.backward()
+        self.model.backward(grad)
+        self.optimizer.step()
+        return loss_value
+
+    def train(
+        self,
+        batches: Iterator[Batch],
+        max_examples: int | None = None,
+        max_steps: int | None = None,
+    ) -> TrainResult:
+        """Train until an example or step budget is exhausted.
+
+        Figure 15's protocol fixes the *example* budget so that larger batch
+        sizes take proportionally fewer optimizer steps — the mechanism
+        behind the accuracy gap the paper reports.
+        """
+        if max_examples is None and max_steps is None:
+            raise ValueError("provide max_examples and/or max_steps")
+        history: list[float] = []
+        examples = 0
+        steps = 0
+        batches = iter(batches)
+        # Check budgets *before* pulling from the stream: the iterator may
+        # be shared (e.g. resuming after a checkpoint restore), and pulling
+        # a batch that is then discarded would silently skip data.
+        while True:
+            if max_steps is not None and steps >= max_steps:
+                break
+            if max_examples is not None and examples >= max_examples:
+                break
+            try:
+                batch = next(batches)
+            except StopIteration:
+                break
+            history.append(self.train_step(batch))
+            steps += 1
+            examples += batch.size
+        if steps == 0:
+            raise ValueError("batch stream was empty")
+        return TrainResult(
+            steps=steps,
+            examples_seen=examples,
+            final_loss=history[-1],
+            loss_history=history,
+        )

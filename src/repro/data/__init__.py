@@ -1,0 +1,38 @@
+"""Synthetic data substrate: feature generators, teacher click model, readers."""
+
+from .click_model import ClickModel
+from .dataset import FixedDataset
+from .distributions import (
+    power_law_mean_lengths,
+    sample_lognormal_with_mean,
+    sample_power_law,
+    zipf_probabilities,
+)
+from .preprocessing import (
+    DenseFeature,
+    PreprocessingPipeline,
+    RawEvent,
+    RawLogGenerator,
+    SparseFeature,
+)
+from .reader import BatchReader, train_eval_split
+from .synthetic import SyntheticDataGenerator, sample_lengths, sample_zipf_indices
+
+__all__ = [
+    "ClickModel",
+    "FixedDataset",
+    "sample_power_law",
+    "sample_lognormal_with_mean",
+    "zipf_probabilities",
+    "power_law_mean_lengths",
+    "SyntheticDataGenerator",
+    "sample_lengths",
+    "sample_zipf_indices",
+    "BatchReader",
+    "train_eval_split",
+    "RawEvent",
+    "RawLogGenerator",
+    "DenseFeature",
+    "SparseFeature",
+    "PreprocessingPipeline",
+]

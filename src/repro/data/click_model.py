@@ -1,0 +1,128 @@
+"""Ground-truth click model (teacher) for synthetic training data.
+
+The paper trains on production click logs we cannot ship, so accuracy
+experiments (Figure 15) need a *learnable* synthetic substitute: labels must
+carry signal in both the dense features and the sparse indices, otherwise
+every training run converges to the background CTR and batch-size effects
+vanish.
+
+The teacher assigns every embedding row a latent scalar and every dense
+feature a weight; an example's log-odds are a weighted sum of its dense
+features and the latent values of its activated indices.  A DLRM can
+represent this function (latents live in the embedding tables), so training
+loss meaningfully decreases and quality differences across batch sizes are
+observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..core.embedding import RaggedIndices
+from ..core.loss import sigmoid
+
+__all__ = ["ClickModel"]
+
+
+class ClickModel:
+    """Latent-factor teacher producing {0,1} labels for synthetic batches."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        rng: np.random.Generator | int | None = None,
+        dense_scale: float = 1.0,
+        sparse_scale: float = 1.0,
+        noise_scale: float = 0.25,
+        target_ctr: float = 0.3,
+    ) -> None:
+        if not 0 < target_ctr < 1:
+            raise ValueError(f"target_ctr must be in (0, 1), got {target_ctr}")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.config = config
+        self._rng = rng
+        self.dense_weights = rng.normal(
+            0.0, dense_scale / np.sqrt(max(config.num_dense, 1)), size=config.num_dense
+        )
+        # Latent value per embedding row, per table; scaled by the expected
+        # number of lookups so no single table dominates the log-odds.
+        self.table_latents: dict[str, np.ndarray] = {}
+        for table in config.tables:
+            scale = sparse_scale / np.sqrt(
+                max(table.effective_mean_lookups, 1.0) * config.num_sparse
+            )
+            self.table_latents[table.name] = rng.normal(0.0, scale, size=table.hash_size)
+        self.noise_scale = noise_scale
+        self.target_ctr = target_ctr
+        # Initial bias from the logit of the target CTR; feature variance
+        # pulls the realized CTR toward 0.5, so `calibrate` can refine it
+        # against an actual feature sample.
+        self.bias = float(np.log(target_ctr / (1 - target_ctr)))
+
+    def logits(self, dense: np.ndarray, sparse: dict[str, RaggedIndices]) -> np.ndarray:
+        """Noise-free log-odds for a batch."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape[1] != self.config.num_dense:
+            raise ValueError(
+                f"dense width {dense.shape[1]} != {self.config.num_dense}"
+            )
+        out = dense @ self.dense_weights + self.bias
+        for table in self.config.tables:
+            ragged = sparse[table.name]
+            latents = self.table_latents[table.name]
+            if len(ragged.values):
+                per_lookup = latents[ragged.values]
+                sample_of = np.repeat(
+                    np.arange(ragged.batch_size), ragged.lengths()
+                )
+                np.add.at(out, sample_of, per_lookup)
+        return out
+
+    def calibrate(
+        self,
+        dense: np.ndarray,
+        sparse: dict[str, RaggedIndices],
+        iterations: int = 25,
+    ) -> float:
+        """Adjust the bias so the mean probability over this feature sample
+        matches ``target_ctr`` (bisection on the bias offset)."""
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        base = self.logits(dense, sparse) - self.bias
+        lo, hi = -20.0, 20.0
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            if sigmoid(base + mid).mean() > self.target_ctr:
+                hi = mid
+            else:
+                lo = mid
+        self.bias = 0.5 * (lo + hi)
+        return self.bias
+
+    def sample_labels(
+        self,
+        dense: np.ndarray,
+        sparse: dict[str, RaggedIndices],
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Draw Bernoulli labels from the noisy teacher probabilities."""
+        rng = rng or self._rng
+        logits = self.logits(dense, sparse)
+        if self.noise_scale > 0:
+            logits = logits + rng.normal(0.0, self.noise_scale, size=logits.shape)
+        probs = sigmoid(logits)
+        return (rng.uniform(size=len(probs)) < probs).astype(np.float64)
+
+    def bayes_log_loss(self, num_samples: int = 20000) -> float:
+        """Monte-Carlo estimate of the irreducible (Bayes) log-loss.
+
+        Useful as a floor when interpreting normalized-entropy gaps.
+        """
+        rng = np.random.default_rng(7)
+        logits = rng.normal(self.bias, 1.0, size=num_samples)
+        probs = sigmoid(logits)
+        return float(
+            -(probs * np.log(probs) + (1 - probs) * np.log(1 - probs)).mean()
+        )

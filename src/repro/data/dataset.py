@@ -1,0 +1,126 @@
+"""Materialized datasets with epoch iteration.
+
+The streaming generator (:mod:`repro.data.synthetic`) models production
+one-pass training over effectively-infinite logs; research experiments and
+tests often want the complementary regime — a *fixed* dataset iterated in
+shuffled epochs, where multi-epoch overfitting becomes observable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core.embedding import RaggedIndices
+from ..core.model import Batch
+from .synthetic import SyntheticDataGenerator
+
+__all__ = ["FixedDataset"]
+
+
+class FixedDataset:
+    """A materialized set of examples supporting shuffled epoch iteration.
+
+    Stored in struct-of-arrays form: one dense matrix, one label vector,
+    and one :class:`RaggedIndices` per sparse feature over all examples.
+    """
+
+    def __init__(
+        self,
+        dense: np.ndarray,
+        sparse: dict[str, RaggedIndices],
+        labels: np.ndarray,
+    ) -> None:
+        self.dense = np.asarray(dense, dtype=np.float64)
+        self.labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        self.sparse = sparse
+        if self.dense.ndim != 2:
+            raise ValueError(f"dense must be 2-D, got {self.dense.shape}")
+        if len(self.labels) != self.dense.shape[0]:
+            raise ValueError("labels/dense length mismatch")
+        for name, ragged in sparse.items():
+            if ragged.batch_size != len(self):
+                raise ValueError(
+                    f"sparse feature {name!r} covers {ragged.batch_size} "
+                    f"examples, dataset has {len(self)}"
+                )
+
+    def __len__(self) -> int:
+        return self.dense.shape[0]
+
+    @classmethod
+    def generate(
+        cls, generator: SyntheticDataGenerator, num_examples: int
+    ) -> "FixedDataset":
+        """Materialize ``num_examples`` from a synthetic generator."""
+        if num_examples < 1:
+            raise ValueError("num_examples must be >= 1")
+        batch = generator.batch(num_examples)
+        return cls(dense=batch.dense, sparse=batch.sparse, labels=batch.labels)
+
+    def _subset_ragged(self, ragged: RaggedIndices, idx: np.ndarray) -> RaggedIndices:
+        lengths = ragged.lengths()[idx]
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        pieces = [ragged.sample(int(i)) for i in idx]
+        values = (
+            np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        )
+        return RaggedIndices(values=values, offsets=offsets)
+
+    def subset(self, idx: np.ndarray) -> Batch:
+        """Materialize the examples at ``idx`` as a training batch."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if len(idx) == 0:
+            raise ValueError("empty subset")
+        if idx.min() < 0 or idx.max() >= len(self):
+            raise IndexError("subset indices out of range")
+        return Batch(
+            dense=self.dense[idx],
+            sparse={
+                name: self._subset_ragged(r, idx) for name, r in self.sparse.items()
+            },
+            labels=self.labels[idx],
+        )
+
+    def split(self, eval_fraction: float, seed: int = 0) -> tuple["FixedDataset", "FixedDataset"]:
+        """Random train/eval split."""
+        if not 0 < eval_fraction < 1:
+            raise ValueError("eval_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(len(self))
+        n_eval = max(1, int(round(eval_fraction * len(self))))
+        eval_idx, train_idx = perm[:n_eval], perm[n_eval:]
+        if len(train_idx) == 0:
+            raise ValueError("eval_fraction leaves no training examples")
+
+        def build(idx: np.ndarray) -> "FixedDataset":
+            batch = self.subset(idx)
+            return FixedDataset(batch.dense, batch.sparse, batch.labels)
+
+        return build(train_idx), build(eval_idx)
+
+    def epochs(
+        self,
+        batch_size: int,
+        num_epochs: int | None = None,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> Iterator[Batch]:
+        """Yield mini-batches over (optionally shuffled) epochs.
+
+        ``num_epochs=None`` iterates forever (each epoch reshuffled).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        rng = np.random.default_rng(seed)
+        epoch = 0
+        while num_epochs is None or epoch < num_epochs:
+            order = rng.permutation(len(self)) if shuffle else np.arange(len(self))
+            for start in range(0, len(self), batch_size):
+                idx = order[start : start + batch_size]
+                if drop_last and len(idx) < batch_size:
+                    break
+                yield self.subset(idx)
+            epoch += 1

@@ -1,0 +1,231 @@
+"""The data-preprocessing phase (paper §II-A, phase 1 of the ML pipeline).
+
+"In the data preprocessing phase, we take unstructured data from persistent
+storage and manipulate it, in order to feed into a machine learning model."
+This module models that phase over synthetic *raw logs*:
+
+* :class:`RawLogGenerator` — produces raw events: named numeric fields
+  (unbounded scales) and named categorical fields (arbitrary 64-bit ids,
+  variable multiplicity);
+* :class:`DenseFeature` / :class:`SparseFeature` — per-feature transforms:
+  log-compression and running-moment standardization for dense fields, the
+  hashing trick plus truncation for categorical fields (§III-A.1);
+* :class:`PreprocessingPipeline` — applies the feature specs to raw events
+  and emits model-ready :class:`~repro.core.model.Batch` objects, labeling
+  them with a provided teacher or raw click field.
+
+The pipeline is fit/transform: statistics (means/variances) are learned on
+a calibration sample and frozen, as preprocessing jobs do in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import ModelConfig, TableSpec
+from ..core.embedding import RaggedIndices, hash_raw_ids
+from ..core.model import Batch
+
+__all__ = [
+    "RawEvent",
+    "RawLogGenerator",
+    "DenseFeature",
+    "SparseFeature",
+    "PreprocessingPipeline",
+]
+
+
+@dataclass(frozen=True)
+class RawEvent:
+    """One raw log event before feature extraction."""
+
+    numeric: dict[str, float]
+    categorical: dict[str, np.ndarray]  # name -> raw 64-bit ids
+    clicked: bool
+
+
+class RawLogGenerator:
+    """Synthetic raw event stream with production-like irregularity.
+
+    Numeric fields mix scales (counts, dwell times, ratios); categorical
+    fields emit variable numbers of huge raw ids (the unbounded index sets
+    that make hashing necessary, §III-A.1).
+    """
+
+    def __init__(
+        self,
+        numeric_fields: tuple[str, ...],
+        categorical_fields: tuple[str, ...],
+        rng: np.random.Generator | int | None = None,
+        mean_multiplicity: float = 3.0,
+        ctr: float = 0.3,
+    ) -> None:
+        if not numeric_fields and not categorical_fields:
+            raise ValueError("need at least one field")
+        if not 0 < ctr < 1:
+            raise ValueError(f"ctr must be in (0, 1), got {ctr}")
+        if mean_multiplicity < 0:
+            raise ValueError("mean_multiplicity must be >= 0")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.numeric_fields = tuple(numeric_fields)
+        self.categorical_fields = tuple(categorical_fields)
+        self.rng = rng
+        self.mean_multiplicity = mean_multiplicity
+        self.ctr = ctr
+        # per-field scale diversity: some fields are counts in the millions,
+        # others are ratios near 1
+        self._scales = {
+            name: 10 ** rng.uniform(-1, 6) for name in numeric_fields
+        }
+
+    def event(self) -> RawEvent:
+        numeric = {
+            name: float(self.rng.lognormal(0.0, 1.0) * scale)
+            for name, scale in self._scales.items()
+        }
+        categorical = {}
+        for name in self.categorical_fields:
+            count = self.rng.poisson(self.mean_multiplicity)
+            categorical[name] = self.rng.integers(
+                0, 2**48, size=count, dtype=np.uint64
+            )
+        return RawEvent(
+            numeric=numeric,
+            categorical=categorical,
+            clicked=bool(self.rng.uniform() < self.ctr),
+        )
+
+    def events(self, count: int) -> list[RawEvent]:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return [self.event() for _ in range(count)]
+
+
+@dataclass
+class DenseFeature:
+    """One dense feature: raw numeric field -> standardized scalar.
+
+    ``log_compress`` applies log1p before standardization — the usual fix
+    for heavy-tailed counters.
+    """
+
+    field_name: str
+    log_compress: bool = True
+    mean: float = 0.0
+    std: float = 1.0
+    fitted: bool = False
+
+    def _raw(self, event: RawEvent) -> float:
+        if self.field_name not in event.numeric:
+            raise KeyError(f"event missing numeric field {self.field_name!r}")
+        value = event.numeric[self.field_name]
+        return float(np.log1p(max(value, 0.0))) if self.log_compress else value
+
+    def fit(self, events: list[RawEvent]) -> None:
+        values = np.array([self._raw(e) for e in events])
+        self.mean = float(values.mean())
+        self.std = float(values.std()) or 1.0
+        self.fitted = True
+
+    def transform(self, event: RawEvent) -> float:
+        if not self.fitted:
+            raise RuntimeError(f"dense feature {self.field_name!r} not fitted")
+        return (self._raw(event) - self.mean) / self.std
+
+
+@dataclass
+class SparseFeature:
+    """One sparse feature: raw categorical ids -> hashed, truncated indices."""
+
+    field_name: str
+    hash_size: int
+    truncation: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.hash_size < 1:
+            raise ValueError("hash_size must be >= 1")
+        if self.truncation is not None and self.truncation < 1:
+            raise ValueError("truncation must be >= 1")
+
+    def transform(self, event: RawEvent) -> np.ndarray:
+        if self.field_name not in event.categorical:
+            raise KeyError(f"event missing categorical field {self.field_name!r}")
+        raw = event.categorical[self.field_name]
+        hashed = hash_raw_ids(raw, self.hash_size)
+        if self.truncation is not None:
+            hashed = hashed[: self.truncation]
+        return hashed
+
+
+class PreprocessingPipeline:
+    """Feature specs + frozen statistics -> model-ready batches."""
+
+    def __init__(
+        self,
+        dense: list[DenseFeature],
+        sparse: list[SparseFeature],
+    ) -> None:
+        if not dense and not sparse:
+            raise ValueError("pipeline needs at least one feature")
+        names = [f.field_name for f in dense] + [f.field_name for f in sparse]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate feature field names")
+        self.dense = list(dense)
+        self.sparse = list(sparse)
+
+    def fit(self, events: list[RawEvent]) -> "PreprocessingPipeline":
+        if not events:
+            raise ValueError("need calibration events")
+        for feature in self.dense:
+            feature.fit(events)
+        return self
+
+    def transform(self, events: list[RawEvent]) -> Batch:
+        """Produce one training batch from raw events (labels = clicks)."""
+        if not events:
+            raise ValueError("empty event list")
+        dense = np.array(
+            [[f.transform(e) for f in self.dense] for e in events]
+        ).reshape(len(events), len(self.dense))
+        sparse = {
+            f.field_name: RaggedIndices.from_lists(
+                [f.transform(e) for e in events]
+            )
+            for f in self.sparse
+        }
+        labels = np.array([1.0 if e.clicked else 0.0 for e in events])
+        return Batch(dense=dense, sparse=sparse, labels=labels)
+
+    def model_config(
+        self,
+        name: str,
+        bottom_mlp,
+        top_mlp,
+        dim: int = 16,
+        mean_lookups: float = 3.0,
+        interaction=None,
+    ) -> ModelConfig:
+        """Derive the matching :class:`ModelConfig` for this pipeline."""
+        from ..core.config import InteractionType
+
+        tables = tuple(
+            TableSpec(
+                name=f.field_name,
+                hash_size=f.hash_size,
+                dim=dim,
+                mean_lookups=mean_lookups,
+                truncation=f.truncation,
+            )
+            for f in self.sparse
+        )
+        return ModelConfig(
+            name=name,
+            num_dense=len(self.dense),
+            tables=tables,
+            bottom_mlp=bottom_mlp,
+            top_mlp=top_mlp,
+            interaction=interaction or InteractionType.CONCAT,
+        )

@@ -1,0 +1,28 @@
+"""Distributed training: functional sync algorithms and event-level cluster sim."""
+
+from .cluster import ClusterConfig, ClusterResult, simulate_cpu_cluster
+from .gpu_sim import GpuServerSimResult, simulate_gpu_server
+from .simulator import Event, Resource, Simulator
+from .sync import (
+    DelayedGradientTrainer,
+    EASGDConfig,
+    EASGDTrainer,
+    ShadowSyncTrainer,
+    SyncSGDTrainer,
+)
+
+__all__ = [
+    "Simulator",
+    "Resource",
+    "Event",
+    "ClusterConfig",
+    "ClusterResult",
+    "simulate_cpu_cluster",
+    "GpuServerSimResult",
+    "simulate_gpu_server",
+    "EASGDConfig",
+    "EASGDTrainer",
+    "DelayedGradientTrainer",
+    "SyncSGDTrainer",
+    "ShadowSyncTrainer",
+]

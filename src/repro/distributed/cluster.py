@@ -1,0 +1,267 @@
+"""Event-level simulation of the production CPU training pipeline (Figure 4).
+
+Each trainer loops: local compute (Hogwild over the MLPs) -> embedding
+lookup round trip against the sparse parameter servers -> periodic EASGD
+exchange with the dense parameter server.  Requests queue at per-server NIC
+and memory resources, so contention, imbalance, and utilization emerge from
+the event dynamics rather than closed-form caps.
+
+This cross-validates the analytical model in :mod:`repro.perf` and produces
+the per-run utilization samples behind Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..hardware.specs import DUAL_SOCKET_CPU, PlatformSpec
+from ..perf import ops
+from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
+from ..perf.pipeline import _aggregate_cpu_device, _cache_penalty, _dense_compute_cost
+from ..hardware.device import op_time
+from .simulator import Resource, Simulator
+
+__all__ = ["ClusterConfig", "ClusterResult", "simulate_cpu_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One CPU training cluster: server counts, batch size, jitter."""
+
+    num_trainers: int
+    num_sparse_ps: int
+    num_dense_ps: int
+    batch_per_trainer: int = 200
+    platform: PlatformSpec = DUAL_SOCKET_CPU
+    #: Multiplicative log-normal jitter applied per server to compute and
+    #: service rates — the system-level variability the paper cites ("the
+    #: tail at scale") on top of configuration differences.
+    jitter_sigma: float = 0.0
+    #: Straggler injection: this fraction of sparse parameter servers run
+    #: ``straggler_slowdown``x slower (degraded host, noisy neighbor).
+    #: Because every iteration waits for the slowest PS response, a single
+    #: straggler gates the whole cluster — "the tail at scale".
+    straggler_fraction: float = 0.0
+    straggler_slowdown: float = 4.0
+    #: Reader tier: ``None`` models the paper's norm ("we typically scale up
+    #: reader servers such that data reading is not a bottleneck",
+    #: §IV-B.2).  A number models that many reader servers; trainers stall
+    #: when the tier cannot keep up.
+    num_readers: int | None = None
+    reader_examples_per_s: float = 150_000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.num_trainers, self.num_sparse_ps, self.num_dense_ps) < 1:
+            raise ValueError("server counts must be >= 1")
+        if self.batch_per_trainer < 1:
+            raise ValueError("batch_per_trainer must be >= 1")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be >= 0")
+        if not 0 <= self.straggler_fraction <= 1:
+            raise ValueError("straggler_fraction must be in [0, 1]")
+        if self.straggler_slowdown < 1:
+            raise ValueError("straggler_slowdown must be >= 1")
+        if self.num_readers is not None and self.num_readers < 1:
+            raise ValueError("num_readers must be >= 1 when set")
+        if self.reader_examples_per_s <= 0:
+            raise ValueError("reader_examples_per_s must be positive")
+
+
+@dataclass
+class ClusterResult:
+    """Aggregated outcome of one simulated training window."""
+
+    throughput: float
+    sim_time: float
+    iterations_completed: int
+    trainer_cpu_utilization: list[float] = field(default_factory=list)
+    trainer_nic_utilization: list[float] = field(default_factory=list)
+    sparse_ps_mem_utilization: list[float] = field(default_factory=list)
+    sparse_ps_nic_utilization: list[float] = field(default_factory=list)
+    dense_ps_nic_utilization: list[float] = field(default_factory=list)
+
+    def utilization_summary(self) -> dict[str, float]:
+        return {
+            "trainer_cpu": float(np.mean(self.trainer_cpu_utilization)),
+            "trainer_nic": float(np.mean(self.trainer_nic_utilization)),
+            "sparse_ps_mem": float(np.mean(self.sparse_ps_mem_utilization)),
+            "sparse_ps_nic": float(np.mean(self.sparse_ps_nic_utilization)),
+            "dense_ps_nic": float(np.mean(self.dense_ps_nic_utilization)),
+        }
+
+
+class _Trainer:
+    """State machine: compute -> fan out PS requests -> wait -> repeat."""
+
+    def __init__(
+        self,
+        index: int,
+        sim: Simulator,
+        cluster: "_Cluster",
+        compute_time: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.index = index
+        self.sim = sim
+        self.cluster = cluster
+        self.compute_time = compute_time
+        self.rng = rng
+        self.iterations = 0
+        self.busy_compute = 0.0
+
+    def start(self) -> None:
+        # Desynchronize trainer start times.
+        self.sim.schedule(float(self.rng.uniform(0, self.compute_time)), self.begin_iteration)
+
+    def begin_iteration(self) -> None:
+        # Acquire the next mini-batch from the reader tier first: trainers
+        # stall here when readers are under-provisioned (§IV-B.2).
+        wait = 0.0
+        if self.cluster.reader is not None:
+            ready = self.cluster.reader.submit(
+                self.sim.now, float(self.cluster.cfg.batch_per_trainer)
+            )
+            wait = max(0.0, ready - self.sim.now)
+        jittered = self.compute_time * float(self.rng.lognormal(0.0, 0.05))
+        self.busy_compute += jittered
+        self.sim.schedule(wait + jittered, self.issue_lookups)
+
+    def issue_lookups(self) -> None:
+        c = self.cluster
+        now = self.sim.now
+        # Shard the lookup work round-robin across sparse PS; the iteration
+        # resumes when the slowest response lands.
+        per_ps_req = c.req_bytes / c.cfg.num_sparse_ps
+        per_ps_resp = c.pooled_bytes / c.cfg.num_sparse_ps
+        per_ps_mem = c.ps_mem_bytes / c.cfg.num_sparse_ps
+        latest = now
+        for ps_nic, ps_mem in zip(c.sparse_nic, c.sparse_mem):
+            t1 = ps_nic.submit(now, per_ps_req + 2.0 * per_ps_resp, c.nic_latency)
+            t2 = ps_mem.submit(t1, per_ps_mem)
+            latest = max(latest, t2)
+        # Trainer-side NIC serializes its own traffic too.
+        t_self = self.cluster.trainer_nic[self.index].submit(
+            now, c.req_bytes + 2.0 * c.pooled_bytes, c.nic_latency
+        )
+        latest = max(latest, t_self)
+        # Periodic EASGD exchange with a dense PS (async; charge the PS).
+        self.iterations += 1
+        if self.iterations % c.easgd_tau == 0:
+            dense = c.dense_nic[self.index % c.cfg.num_dense_ps]
+            dense.submit(now, 2.0 * c.dense_param_bytes, c.nic_latency)
+        self.sim.schedule_at(latest, self.finish_iteration)
+
+    def finish_iteration(self) -> None:
+        self.cluster.completed_examples += self.cluster.cfg.batch_per_trainer
+        self.cluster.completed_iterations += 1
+        self.begin_iteration()
+
+
+class _Cluster:
+    """Owns the resources and scalar per-iteration volumes."""
+
+    def __init__(self, model: ModelConfig, cfg: ClusterConfig, calib: Calibration) -> None:
+        self.cfg = cfg
+        rng = np.random.default_rng(cfg.seed)
+        b = cfg.batch_per_trainer
+
+        cpu = _aggregate_cpu_device(cfg.platform, calib)
+        dense_cost = _dense_compute_cost(model, b)
+        self.compute_time = op_time(cpu, dense_cost) * _cache_penalty(model, b, calib)
+        self.compute_time += calib.cpu_iteration_overhead_s
+
+        self.req_bytes = ops.lookup_request_bytes(model, b)
+        self.pooled_bytes = ops.pooled_embedding_bytes(model, b)
+        lookup = ops.embedding_lookup_cost(model, b)
+        update = ops.embedding_update_cost(model, b)
+        self.ps_mem_bytes = lookup.bytes + update.bytes
+        self.dense_param_bytes = ops.dense_param_bytes(model)
+        self.easgd_tau = max(1, int(calib.easgd_sync_period))
+        self.nic_latency = cfg.platform.nic.latency_s
+
+        def jit(base: float) -> float:
+            if cfg.jitter_sigma == 0:
+                return base
+            return base * float(rng.lognormal(0.0, cfg.jitter_sigma))
+
+        nic_rate = cfg.platform.nic.bandwidth
+        mem_rate = cpu.effective_bandwidth * calib.ps_service_efficiency
+        self.trainer_nic = [
+            Resource(f"trainer{i}/nic", jit(nic_rate)) for i in range(cfg.num_trainers)
+        ]
+        # Straggler injection: the first straggler_fraction of sparse PS are
+        # uniformly slowed (memory and NIC service).
+        num_stragglers = int(round(cfg.straggler_fraction * cfg.num_sparse_ps))
+
+        def straggle(i: int, rate: float) -> float:
+            return rate / cfg.straggler_slowdown if i < num_stragglers else rate
+
+        self.sparse_nic = [
+            Resource(
+                f"sps{i}/nic",
+                jit(straggle(i, nic_rate * calib.ps_service_efficiency)),
+            )
+            for i in range(cfg.num_sparse_ps)
+        ]
+        self.sparse_mem = [
+            Resource(f"sps{i}/mem", jit(straggle(i, mem_rate)))
+            for i in range(cfg.num_sparse_ps)
+        ]
+        self.dense_nic = [
+            Resource(f"dps{i}/nic", jit(nic_rate * calib.ps_service_efficiency))
+            for i in range(cfg.num_dense_ps)
+        ]
+        # The reader tier serves whole examples; rate is examples/second.
+        self.reader = (
+            Resource("readers", cfg.num_readers * cfg.reader_examples_per_s)
+            if cfg.num_readers is not None
+            else None
+        )
+        self._rng = rng
+        self.completed_examples = 0
+        self.completed_iterations = 0
+
+
+def simulate_cpu_cluster(
+    model: ModelConfig,
+    cfg: ClusterConfig,
+    horizon_s: float = 2.0,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> ClusterResult:
+    """Run the event simulation for ``horizon_s`` simulated seconds."""
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    cluster = _Cluster(model, cfg, calib)
+    sim = Simulator()
+    trainers = [
+        _Trainer(i, sim, cluster, cluster.compute_time, cluster._rng)
+        for i in range(cfg.num_trainers)
+    ]
+    for t in trainers:
+        t.start()
+    sim.run(horizon_s)
+
+    return ClusterResult(
+        throughput=cluster.completed_examples / horizon_s,
+        sim_time=horizon_s,
+        iterations_completed=cluster.completed_iterations,
+        trainer_cpu_utilization=[
+            min(1.0, t.busy_compute / horizon_s) for t in trainers
+        ],
+        trainer_nic_utilization=[
+            r.utilization(horizon_s) for r in cluster.trainer_nic
+        ],
+        sparse_ps_mem_utilization=[
+            r.utilization(horizon_s) for r in cluster.sparse_mem
+        ],
+        sparse_ps_nic_utilization=[
+            r.utilization(horizon_s) for r in cluster.sparse_nic
+        ],
+        dense_ps_nic_utilization=[
+            r.utilization(horizon_s) for r in cluster.dense_nic
+        ],
+    )

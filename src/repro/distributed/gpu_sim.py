@@ -1,0 +1,184 @@
+"""Event-level simulation of one GPU training server (Big Basin / Zion).
+
+Complements the analytical model in :mod:`repro.perf.pipeline` with an
+explicit per-iteration event schedule over 8 GPU resources, the host CPUs,
+PCIe, and the GPU interconnect:
+
+    host input prep -> embedding lookups (HBM, replicated + sharded)
+    -> all-to-all exchange -> dense fwd/bwd -> EASGD sync -> optimizer
+
+Each phase occupies its resource for the duration the operator costs imply;
+GPUs proceed in lockstep (synchronous data parallelism), so the iteration
+advances when the slowest GPU finishes — making load imbalance and
+straggler effects emergent rather than formulaic.  Used to cross-validate
+the analytical GPU model and to study per-GPU utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..hardware.device import OpCost, op_time
+from ..hardware.interconnect import alltoall_time, transfer_time
+from ..hardware.specs import PlatformSpec
+from ..perf import ops
+from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
+from ..perf.pipeline import _aggregate_cpu_device, _dense_compute_cost
+from ..placement.strategies import LocationKind, PlacementPlan
+
+__all__ = ["GpuServerSimResult", "simulate_gpu_server"]
+
+
+@dataclass
+class GpuServerSimResult:
+    """Outcome of an event-simulated GPU-server training window."""
+
+    throughput: float
+    iterations: int
+    sim_time: float
+    gpu_busy_fraction: list[float] = field(default_factory=list)
+    host_busy_fraction: float = 0.0
+    mean_iteration_s: float = 0.0
+
+    @property
+    def gpu_imbalance(self) -> float:
+        """max/mean busy fraction across GPUs (1.0 == perfectly balanced)."""
+        busy = np.array(self.gpu_busy_fraction)
+        if busy.mean() == 0:
+            return 1.0
+        return float(busy.max() / busy.mean())
+
+
+def _per_gpu_emb_times(
+    model: ModelConfig,
+    plan: PlacementPlan,
+    platform: PlatformSpec,
+    batch: int,
+    calib: Calibration,
+    jitter: np.ndarray,
+) -> list[float]:
+    """HBM embedding time per GPU: replicated work (local batch) plus this
+    GPU's share of sharded-table lookups."""
+    gpu = platform.gpu
+    n = platform.num_gpus
+    lookup = ops.embedding_lookup_cost(model, batch)
+    update = ops.embedding_update_cost(model, batch)
+    total = lookup + update
+    lk_total = max(model.mean_total_lookups, 1e-9)
+    repl_lk = 0.0
+    per_gpu_lk = [0.0] * n
+    for spec in model.tables:
+        for shard in plan.shards_for(spec.name):
+            if shard.replicated:
+                repl_lk += spec.effective_mean_lookups * shard.row_fraction
+            elif shard.location.kind is LocationKind.GPU:
+                per_gpu_lk[shard.location.index % n] += (
+                    spec.effective_mean_lookups * shard.row_fraction
+                )
+    times = []
+    for g in range(n):
+        frac = repl_lk / lk_total / n + per_gpu_lk[g] / lk_total
+        cost = OpCost(
+            flops=total.flops * frac,
+            bytes=total.bytes * frac,
+            kernels=max(1, int(math.ceil(2 * model.num_sparse / (8.0 * n)))),
+        )
+        times.append(op_time(gpu, cost) * float(jitter[g]))
+    return times
+
+
+def simulate_gpu_server(
+    model: ModelConfig,
+    batch: int,
+    platform: PlatformSpec,
+    plan: PlacementPlan,
+    num_iterations: int = 50,
+    gpu_jitter_sigma: float = 0.0,
+    seed: int = 0,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> GpuServerSimResult:
+    """Run ``num_iterations`` lockstep iterations on one GPU server.
+
+    Phases are barrier-synchronized (as NCCL collectives impose): the
+    iteration time is ``host_input + max_g(emb_g) + alltoall + dense +
+    sync``, with per-GPU log-normal jitter on compute when
+    ``gpu_jitter_sigma > 0``.
+    """
+    if num_iterations < 1:
+        raise ValueError("num_iterations must be >= 1")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if not platform.has_gpus:
+        raise ValueError(f"platform {platform.name} has no GPUs")
+    rng = np.random.default_rng(seed)
+    n = platform.num_gpus
+    gpu = platform.gpu
+    b_gpu = max(1, batch // n)
+
+    host = _aggregate_cpu_device(platform, calib)
+    host_input = (
+        model.num_sparse * calib.host_input_per_table_s
+        + ops.lookup_request_bytes(model, batch)
+        / (platform.pcie.bandwidth * platform.num_cpu_sockets)
+    )
+    dense_cost = _dense_compute_cost(model, b_gpu)
+    pooled = ops.pooled_embedding_bytes(model, batch)
+    tbl_gpu_frac = 0.0
+    for spec in model.tables:
+        for shard in plan.shards_for(spec.name):
+            if not shard.replicated and shard.location.kind is LocationKind.GPU:
+                tbl_gpu_frac += shard.row_fraction / model.num_sparse
+    if platform.gpu_interconnect is not None:
+        a2a = alltoall_time(platform.gpu_interconnect, tbl_gpu_frac * pooled / n, n)
+        if not platform.gpu_peer_direct:
+            a2a += 2 * model.num_sparse * tbl_gpu_frac * platform.gpu_interconnect.latency_s
+    else:
+        a2a = 2.0 * transfer_time(platform.pcie, tbl_gpu_frac * pooled / n)
+    a2a *= 2.0 * calib.collective_inefficiency
+    param_bytes = ops.dense_param_bytes(model)
+    if platform.gpu_interconnect is not None and platform.gpu_peer_direct:
+        from ..hardware.interconnect import allreduce_time
+
+        sync = allreduce_time(platform.gpu_interconnect, param_bytes, n)
+    else:
+        sync = 2.0 * transfer_time(platform.pcie, param_bytes)
+    sync *= (
+        calib.collective_inefficiency
+        * (1.0 - calib.async_overlap_fraction)
+        / calib.easgd_sync_period
+    )
+
+    gpu_busy = np.zeros(n)
+    host_busy = 0.0
+    now = 0.0
+    iteration_times = []
+    for _ in range(num_iterations):
+        start = now
+        # host input stage (serial before GPU work of this iteration)
+        host_busy += host_input
+        now += calib.gpu_iteration_overhead_s + host_input
+        jitter = (
+            rng.lognormal(0.0, gpu_jitter_sigma, size=n)
+            if gpu_jitter_sigma > 0
+            else np.ones(n)
+        )
+        emb_times = _per_gpu_emb_times(model, plan, platform, batch, calib, jitter)
+        dense_times = [op_time(gpu, dense_cost) * float(j) for j in jitter]
+        per_gpu = [e + d for e, d in zip(emb_times, dense_times)]
+        gpu_busy += np.array(per_gpu)
+        # barrier at the all-to-all and after dense compute
+        now += max(emb_times) + a2a + max(dense_times) + sync
+        iteration_times.append(now - start)
+    sim_time = now
+    return GpuServerSimResult(
+        throughput=num_iterations * batch / sim_time,
+        iterations=num_iterations,
+        sim_time=sim_time,
+        gpu_busy_fraction=[float(b / sim_time) for b in gpu_busy],
+        host_busy_fraction=float(host_busy / sim_time),
+        mean_iteration_s=float(np.mean(iteration_times)),
+    )

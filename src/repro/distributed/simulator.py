@@ -1,0 +1,101 @@
+"""A small discrete-event simulation core.
+
+Used by :mod:`repro.distributed.cluster` to model the production CPU
+training pipeline (Figure 4) at the event level: trainers iterate, requests
+queue at parameter-server resources, and per-resource busy time yields the
+utilization samples behind Figure 5's distributions.
+
+The core is deliberately minimal: a time-ordered event queue plus FIFO
+:class:`Resource` servers characterized by a service rate in bytes/second.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "Resource", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class Resource:
+    """A FIFO server processing work measured in bytes at ``rate`` bytes/s.
+
+    ``submit`` enqueues a job and returns its completion time; jobs are
+    served back-to-back (non-preemptive, single server).  Busy time is
+    tracked for utilization reporting.
+    """
+
+    def __init__(self, name: str, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"resource {name!r}: rate must be positive")
+        self.name = name
+        self.rate = rate
+        self._free_at = 0.0
+        self.busy_time = 0.0
+        self.jobs_served = 0
+
+    def submit(self, now: float, size_bytes: float, extra_latency: float = 0.0) -> float:
+        """Enqueue ``size_bytes`` of work arriving at ``now``; returns the
+        completion time (arrival queueing + service + fixed latency)."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        if now < 0:
+            raise ValueError("now must be >= 0")
+        start = max(now, self._free_at)
+        service = size_bytes / self.rate
+        self._free_at = start + service
+        self.busy_time += service
+        self.jobs_served += 1
+        return self._free_at + extra_latency
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` this resource spent serving."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return min(1.0, self.busy_time / horizon)
+
+
+class Simulator:
+    """Time-ordered event loop."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        heapq.heappush(
+            self._queue, Event(self.now + delay, next(self._seq), callback)
+        )
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._queue, Event(time, next(self._seq), callback))
+
+    def run(self, until: float) -> None:
+        """Process events in time order up to the horizon ``until``."""
+        if until < self.now:
+            raise ValueError("horizon is in the past")
+        while self._queue and self._queue[0].time <= until:
+            event = heapq.heappop(self._queue)
+            self.now = event.time
+            event.callback()
+            self.events_processed += 1
+        self.now = until

@@ -1,0 +1,45 @@
+"""Experiment drivers: one module per figure/table of the paper.
+
+Every module exposes ``run(...)`` returning a structured result and
+``render(result)`` producing the paper-style text output.  The benchmark
+harness under ``benchmarks/`` is a thin wrapper over these drivers, and the
+examples reuse them, so the figure logic lives in exactly one place.
+"""
+
+from . import (
+    ext_hash_accuracy,
+    report,
+    fig01_production,
+    fig02_workloads,
+    fig05_utilization,
+    fig06_07_embedding_stats,
+    fig09_servers,
+    fig10_feature_sweep,
+    fig11_batch_scaling,
+    fig12_hash_scaling,
+    fig13_mlp_dims,
+    fig14_placement,
+    fig15_accuracy,
+    table1_platforms,
+    table2_models,
+    table3_comparison,
+)
+
+__all__ = [
+    "fig01_production",
+    "fig02_workloads",
+    "fig05_utilization",
+    "fig06_07_embedding_stats",
+    "fig09_servers",
+    "fig10_feature_sweep",
+    "fig11_batch_scaling",
+    "fig12_hash_scaling",
+    "fig13_mlp_dims",
+    "fig14_placement",
+    "fig15_accuracy",
+    "table1_platforms",
+    "table2_models",
+    "table3_comparison",
+    "report",
+    "ext_hash_accuracy",
+]

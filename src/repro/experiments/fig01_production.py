@@ -1,0 +1,100 @@
+"""Figure 1 — relative throughput of M1/M2/M3 across hardware and placement.
+
+The figure shows, per production model, throughput normalized to the CPU
+production setup for: Big Basin with its best placement, and Zion with
+system-memory placement.  The headline shapes: throughput grows
+CPU -> Big Basin -> Zion for M1/M2; M3 scales poorly on Big Basin (remote
+placement, below CPU) while Zion recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import render_table
+from ..configs import PRODUCTION_MODELS, PRODUCTION_SETUPS
+from ..hardware import BIG_BASIN, DUAL_SOCKET_CPU, ZION
+from ..perf import cpu_cluster_throughput, gpu_server_throughput
+from ..placement import PlacementStrategy, plan_placement
+
+__all__ = ["ModelThroughputs", "Fig1Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class ModelThroughputs:
+    model_name: str
+    cpu: float
+    big_basin: float
+    big_basin_placement: str
+    zion: float
+
+    @property
+    def big_basin_relative(self) -> float:
+        return self.big_basin / self.cpu
+
+    @property
+    def zion_relative(self) -> float:
+        return self.zion / self.cpu
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    models: tuple[ModelThroughputs, ...]
+
+    def by_name(self) -> dict[str, ModelThroughputs]:
+        return {m.model_name: m for m in self.models}
+
+
+def run() -> Fig1Result:
+    out = []
+    for name, setup in PRODUCTION_SETUPS.items():
+        model = PRODUCTION_MODELS[name]()
+        cpu = cpu_cluster_throughput(
+            model,
+            setup.cpu_batch_per_trainer,
+            setup.cpu_trainers,
+            setup.cpu_sparse_ps,
+            setup.cpu_dense_ps,
+        ).throughput
+        if setup.gpu_placement is PlacementStrategy.REMOTE_CPU:
+            bb_plan = plan_placement(
+                model,
+                BIG_BASIN,
+                setup.gpu_placement,
+                num_ps=setup.gpu_remote_ps,
+                ps_platform=DUAL_SOCKET_CPU,
+            )
+        else:
+            bb_plan = plan_placement(model, BIG_BASIN, setup.gpu_placement)
+        big_basin = gpu_server_throughput(
+            model, setup.gpu_batch, BIG_BASIN, bb_plan
+        ).throughput
+        zion_plan = plan_placement(model, ZION, PlacementStrategy.SYSTEM_MEMORY)
+        zion = gpu_server_throughput(model, setup.gpu_batch, ZION, zion_plan).throughput
+        out.append(
+            ModelThroughputs(
+                model_name=name,
+                cpu=cpu,
+                big_basin=big_basin,
+                big_basin_placement=setup.gpu_placement.value,
+                zion=zion,
+            )
+        )
+    return Fig1Result(tuple(out))
+
+
+def render(result: Fig1Result) -> str:
+    rows = [
+        [
+            m.model_name,
+            "1.00x",
+            f"{m.big_basin_relative:.2f}x ({m.big_basin_placement})",
+            f"{m.zion_relative:.2f}x (system_memory)",
+        ]
+        for m in result.models
+    ]
+    return render_table(
+        ["model", "CPU cluster", "Big Basin", "Zion"],
+        rows,
+        title="Figure 1: relative training throughput (normalized to production CPU setup)",
+    )

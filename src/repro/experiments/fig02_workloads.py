@@ -1,0 +1,83 @@
+"""Figure 2 — training frequency vs duration per workload family.
+
+Regenerates the fleet population and reports each family's runs/day and
+mean duration; recommendation workloads (News Feed, Search) must dominate
+training frequency.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import render_table
+from ..fleet import sample_fleet_runs
+
+__all__ = ["FamilyStats", "Fig2Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class FamilyStats:
+    family: str
+    model_kind: str
+    runs_per_day: float
+    mean_duration_hours: float
+    p95_duration_hours: float
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    families: tuple[FamilyStats, ...]
+    num_days: int
+
+    def by_family(self) -> dict[str, FamilyStats]:
+        return {f.family: f for f in self.families}
+
+    def recommendation_share(self) -> float:
+        total = sum(f.runs_per_day for f in self.families)
+        rec = sum(
+            f.runs_per_day for f in self.families if f.model_kind == "recommendation"
+        )
+        return rec / total
+
+
+def run(seed: int = 0, num_days: int = 7) -> Fig2Result:
+    runs = sample_fleet_runs(seed, num_days=num_days)
+    grouped: dict[str, list] = collections.defaultdict(list)
+    kinds: dict[str, str] = {}
+    for r in runs:
+        grouped[r.family].append(r.duration_hours)
+        kinds[r.family] = r.model_kind
+    stats = tuple(
+        FamilyStats(
+            family=family,
+            model_kind=kinds[family],
+            runs_per_day=len(durations) / num_days,
+            mean_duration_hours=float(np.mean(durations)),
+            p95_duration_hours=float(np.percentile(durations, 95)),
+        )
+        for family, durations in sorted(grouped.items())
+    )
+    return Fig2Result(families=stats, num_days=num_days)
+
+
+def render(result: Fig2Result) -> str:
+    rows = [
+        [
+            f.family,
+            f.model_kind,
+            f"{f.runs_per_day:.0f}",
+            f"{f.mean_duration_hours:.1f}",
+            f"{f.p95_duration_hours:.1f}",
+        ]
+        for f in result.families
+    ]
+    table = render_table(
+        ["workload", "model kind", "runs/day", "mean hours", "p95 hours"],
+        rows,
+        title=f"Figure 2: workload frequency and duration over {result.num_days} days",
+    )
+    share = result.recommendation_share()
+    return table + f"\nrecommendation share of training runs: {share:.0%}"

@@ -1,0 +1,84 @@
+"""Figure 9 — histograms of trainer and parameter-server counts.
+
+Samples a month of ranking workflows, allocating servers per run from
+throughput tiers (trainers) and memory footprints (parameter servers).
+Targets: over 40% of runs share the modal trainer count, while the PS-count
+distribution is much wider.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import render_bars
+from ..fleet import sample_ranking_model, sample_server_counts
+
+__all__ = ["Fig9Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    trainer_histogram: dict[int, int]
+    ps_histogram: dict[int, int]
+    num_runs: int
+
+    @property
+    def modal_trainer_share(self) -> float:
+        return max(self.trainer_histogram.values()) / self.num_runs
+
+    @property
+    def distinct_trainer_counts(self) -> int:
+        return len(self.trainer_histogram)
+
+    @property
+    def distinct_ps_counts(self) -> int:
+        return len(self.ps_histogram)
+
+    @property
+    def ps_spread(self) -> float:
+        """Coefficient of variation of the PS counts."""
+        values = []
+        for count, n in self.ps_histogram.items():
+            values.extend([count] * n)
+        arr = np.array(values, dtype=np.float64)
+        return float(arr.std() / arr.mean())
+
+
+def run(num_runs: int = 400, seed: int = 0) -> Fig9Result:
+    if num_runs < 1:
+        raise ValueError("num_runs must be >= 1")
+    rng = np.random.default_rng(seed)
+    trainers: collections.Counter = collections.Counter()
+    ps: collections.Counter = collections.Counter()
+    for _ in range(num_runs):
+        model = sample_ranking_model(rng)
+        counts = sample_server_counts(rng, model)
+        trainers[counts.trainers] += 1
+        ps[counts.parameter_servers] += 1
+    return Fig9Result(
+        trainer_histogram=dict(sorted(trainers.items())),
+        ps_histogram=dict(sorted(ps.items())),
+        num_runs=num_runs,
+    )
+
+
+def render(result: Fig9Result) -> str:
+    trainer_bars = render_bars(
+        [f"{k} trainers" for k in result.trainer_histogram],
+        [float(v) for v in result.trainer_histogram.values()],
+        title="Figure 9 (left): number of trainers per workflow",
+    )
+    ps_bars = render_bars(
+        [f"{k} PS" for k in result.ps_histogram],
+        [float(v) for v in result.ps_histogram.values()],
+        title="Figure 9 (right): number of parameter servers per workflow",
+    )
+    footer = (
+        f"modal trainer share: {result.modal_trainer_share:.0%} (paper: >40%) | "
+        f"distinct trainer counts: {result.distinct_trainer_counts} | "
+        f"distinct PS counts: {result.distinct_ps_counts}"
+    )
+    return "\n".join([trainer_bars, "", ps_bars, footer])

@@ -1,0 +1,98 @@
+"""Figure 10 — throughput vs (dense, sparse) feature counts on CPU and GPU.
+
+Sweeps the §V test-suite grid (dense 64..4096 x sparse 4..128, MLP 512^3,
+hash 100000, batch 200 CPU / 1600 GPU) and reports CPU throughput, GPU
+throughput, and the efficiency comparison against Big Basin's 7.3x power
+premium.  Targets: GPU throughput higher everywhere; GPU power efficiency
+best for dense-heavy models and below CPU in the sparse-heavy corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import render_table
+from ..configs import (
+    DEFAULT_CPU_BATCH,
+    DEFAULT_GPU_BATCH,
+    DENSE_SWEEP,
+    SPARSE_SWEEP,
+    make_test_model,
+)
+from ..hardware import BIG_BASIN, DUAL_SOCKET_CPU
+from ..perf import cpu_cluster_throughput, gpu_server_throughput
+from ..placement import PlacementStrategy, plan_placement
+
+__all__ = ["SweepPoint", "Fig10Result", "run", "render"]
+
+#: Big Basin's power-capacity premium over the dual-socket CPU server; a
+#: GPU/CPU throughput ratio above this wins on power efficiency (§V-A).
+POWER_PREMIUM = BIG_BASIN.nameplate_watts / DUAL_SOCKET_CPU.nameplate_watts
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    num_dense: int
+    num_sparse: int
+    cpu_throughput: float
+    gpu_throughput: float
+
+    @property
+    def speedup(self) -> float:
+        return self.gpu_throughput / self.cpu_throughput
+
+    @property
+    def gpu_power_efficient(self) -> bool:
+        return self.speedup > POWER_PREMIUM
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    points: tuple[SweepPoint, ...]
+
+    def at(self, num_dense: int, num_sparse: int) -> SweepPoint:
+        for p in self.points:
+            if p.num_dense == num_dense and p.num_sparse == num_sparse:
+                return p
+        raise KeyError(f"no sweep point ({num_dense}, {num_sparse})")
+
+
+def run(
+    dense_sweep: tuple[int, ...] = DENSE_SWEEP,
+    sparse_sweep: tuple[int, ...] = SPARSE_SWEEP,
+) -> Fig10Result:
+    points = []
+    for nd in dense_sweep:
+        for ns in sparse_sweep:
+            model = make_test_model(nd, ns)
+            cpu = cpu_cluster_throughput(
+                model, DEFAULT_CPU_BATCH, 1, 1, 1
+            ).throughput
+            plan = plan_placement(model, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
+            gpu = gpu_server_throughput(
+                model, DEFAULT_GPU_BATCH, BIG_BASIN, plan
+            ).throughput
+            points.append(SweepPoint(nd, ns, cpu, gpu))
+    return Fig10Result(tuple(points))
+
+
+def render(result: Fig10Result) -> str:
+    rows = [
+        [
+            p.num_dense,
+            p.num_sparse,
+            f"{p.cpu_throughput:,.0f}",
+            f"{p.gpu_throughput:,.0f}",
+            f"{p.speedup:.1f}x",
+            "GPU" if p.gpu_power_efficient else "CPU",
+        ]
+        for p in result.points
+    ]
+    return render_table(
+        ["dense", "sparse", "CPU ex/s", "GPU ex/s", "GPU speedup", "perf/W winner"],
+        rows,
+        title=(
+            "Figure 10: feature-count sweep "
+            f"(power premium {POWER_PREMIUM:.1f}x; speedup above it => GPU wins on perf/W)"
+        ),
+    )

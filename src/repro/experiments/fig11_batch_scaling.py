@@ -1,0 +1,80 @@
+"""Figure 11 — batch-size scaling on CPU and GPU.
+
+Targets: CPU throughput peaks at a moderate batch and declines (cache
+spill); GPU throughput rises roughly linearly while launch overheads
+amortize, then saturates as communication balances compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import render_table
+from ..configs import BATCH_SWEEP_CPU, BATCH_SWEEP_GPU, make_test_model
+from ..core.config import ModelConfig
+from ..hardware import BIG_BASIN
+from ..perf import cpu_cluster_throughput, gpu_server_throughput
+from ..placement import PlacementStrategy, plan_placement
+
+__all__ = ["Fig11Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    cpu_batches: tuple[int, ...]
+    cpu_throughput: tuple[float, ...]
+    gpu_batches: tuple[int, ...]
+    gpu_throughput: tuple[float, ...]
+
+    @property
+    def cpu_optimal_batch(self) -> int:
+        best = max(range(len(self.cpu_batches)), key=lambda i: self.cpu_throughput[i])
+        return self.cpu_batches[best]
+
+    @property
+    def gpu_saturation_ratio(self) -> float:
+        """Throughput gain over the last batch doubling — ~1 means saturated."""
+        return self.gpu_throughput[-1] / self.gpu_throughput[-2]
+
+
+def default_model() -> ModelConfig:
+    return make_test_model(1024, 64, name="fig11")
+
+
+def run(
+    model: ModelConfig | None = None,
+    cpu_batches: tuple[int, ...] = BATCH_SWEEP_CPU,
+    gpu_batches: tuple[int, ...] = BATCH_SWEEP_GPU,
+) -> Fig11Result:
+    model = model or default_model()
+    cpu = tuple(
+        cpu_cluster_throughput(model, b, 1, 1, 1).throughput for b in cpu_batches
+    )
+    plan = plan_placement(model, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
+    gpu = tuple(
+        gpu_server_throughput(model, b, BIG_BASIN, plan).throughput
+        for b in gpu_batches
+    )
+    return Fig11Result(cpu_batches, cpu, gpu_batches, gpu)
+
+
+def render(result: Fig11Result) -> str:
+    cpu_rows = [
+        [b, f"{t:,.0f}", f"{t / max(result.cpu_throughput):.2f}"]
+        for b, t in zip(result.cpu_batches, result.cpu_throughput)
+    ]
+    gpu_rows = [
+        [b, f"{t:,.0f}", f"{t / max(result.gpu_throughput):.2f}"]
+        for b, t in zip(result.gpu_batches, result.gpu_throughput)
+    ]
+    cpu_table = render_table(
+        ["batch/trainer", "ex/s", "vs peak"],
+        cpu_rows,
+        title=f"Figure 11 (left): CPU batch scaling — optimum at {result.cpu_optimal_batch}",
+    )
+    gpu_table = render_table(
+        ["global batch", "ex/s", "vs peak"],
+        gpu_rows,
+        title="Figure 11 (right): GPU batch scaling (saturating)",
+    )
+    return cpu_table + "\n\n" + gpu_table

@@ -1,0 +1,81 @@
+"""Figure 14 — embedding placements on Big Basin vs Zion for M2.
+
+Targets (paper §VI-B): on Big Basin, GPU-memory placement is best and
+system memory ~4x slower; on Zion, system memory is best (its ~1 TB/s DRAM)
+and GPU-memory placement is much slower than Big Basin's (no GPU-GPU direct
+link in the prototype); remote placement is worst on both, with Zion only
+slightly ahead of Big Basin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import render_table
+from ..configs import PRODUCTION_MODELS, PRODUCTION_SETUPS
+from ..core.config import ModelConfig
+from ..hardware import BIG_BASIN, DUAL_SOCKET_CPU, ZION, PlatformSpec
+from ..perf import gpu_server_throughput
+from ..placement import PlacementStrategy, plan_placement
+
+__all__ = ["PlacementPoint", "Fig14Result", "run", "render"]
+
+_STRATEGIES = (
+    PlacementStrategy.GPU_MEMORY,
+    PlacementStrategy.SYSTEM_MEMORY,
+    PlacementStrategy.REMOTE_CPU,
+)
+
+
+@dataclass(frozen=True)
+class PlacementPoint:
+    platform: str
+    strategy: PlacementStrategy
+    throughput: float
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    points: tuple[PlacementPoint, ...]
+
+    def throughput(self, platform: str, strategy: PlacementStrategy) -> float:
+        for p in self.points:
+            if p.platform == platform and p.strategy is strategy:
+                return p.throughput
+        raise KeyError((platform, strategy))
+
+
+def run(
+    model: ModelConfig | None = None,
+    batch: int | None = None,
+    num_remote_ps: int = 8,
+    platforms: tuple[PlatformSpec, ...] = (BIG_BASIN, ZION),
+) -> Fig14Result:
+    model = model or PRODUCTION_MODELS["M2_prod"]()
+    batch = batch or PRODUCTION_SETUPS["M2_prod"].gpu_batch
+    points = []
+    for platform in platforms:
+        for strategy in _STRATEGIES:
+            plan = plan_placement(
+                model,
+                platform,
+                strategy,
+                num_ps=num_remote_ps,
+                ps_platform=DUAL_SOCKET_CPU,
+            )
+            report = gpu_server_throughput(model, batch, platform, plan)
+            points.append(PlacementPoint(platform.name, strategy, report.throughput))
+    return Fig14Result(tuple(points))
+
+
+def render(result: Fig14Result) -> str:
+    peak = max(p.throughput for p in result.points)
+    rows = [
+        [p.platform, p.strategy.value, f"{p.throughput:,.0f}", f"{p.throughput / peak:.2f}"]
+        for p in result.points
+    ]
+    return render_table(
+        ["platform", "placement", "ex/s", "vs best"],
+        rows,
+        title="Figure 14: M2 embedding placements on Big Basin vs Zion",
+    )

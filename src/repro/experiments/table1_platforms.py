@@ -1,0 +1,61 @@
+"""Table I — hardware platform details.
+
+Regenerates the platform-comparison table directly from the hardware specs
+so any drift between code and paper is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import render_table
+from ..hardware import BIG_BASIN, DUAL_SOCKET_CPU, GB, TB, ZION, PlatformSpec
+
+__all__ = ["Table1Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    platforms: tuple[PlatformSpec, ...]
+
+    def by_name(self) -> dict[str, PlatformSpec]:
+        return {p.name: p for p in self.platforms}
+
+
+def run() -> Table1Result:
+    return Table1Result((DUAL_SOCKET_CPU, BIG_BASIN, ZION))
+
+
+def _fmt_mem(size: float) -> str:
+    if size >= TB:
+        return f"~{size / TB:.0f} TB"
+    return f"{size / GB:.0f} GB"
+
+
+def render(result: Table1Result) -> str:
+    rows = []
+    for p in result.platforms:
+        rows.append(
+            [
+                p.name,
+                f"{p.num_gpus}x {p.gpu.name}" if p.has_gpus else "-",
+                _fmt_mem(p.gpu.mem_capacity) if p.has_gpus else "-",
+                _fmt_mem(p.system_memory),
+                f"{p.num_cpu_sockets} sockets",
+                p.nic.name,
+                f"{p.nameplate_watts:.0f} W",
+            ]
+        )
+    return render_table(
+        [
+            "platform",
+            "accelerators",
+            "accel memory",
+            "system memory",
+            "CPU",
+            "interconnect",
+            "power",
+        ],
+        rows,
+        title="Table I: hardware platform details",
+    )

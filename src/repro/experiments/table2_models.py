@@ -1,0 +1,60 @@
+"""Table II — descriptions of the three production models.
+
+Regenerates the model-description table from the sampled production
+configs, including derived quantities (embedding GB, parameter counts)
+that must land in the paper's stated orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import render_table
+from ..configs import PRODUCTION_MODELS
+from ..core.config import ModelConfig
+
+__all__ = ["Table2Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    models: tuple[ModelConfig, ...]
+
+    def by_name(self) -> dict[str, ModelConfig]:
+        return {m.name: m for m in self.models}
+
+
+def run() -> Table2Result:
+    return Table2Result(tuple(build() for build in PRODUCTION_MODELS.values()))
+
+
+def render(result: Table2Result) -> str:
+    rows = []
+    for m in result.models:
+        desc = m.describe()
+        rows.append(
+            [
+                m.name,
+                m.num_sparse,
+                m.num_dense,
+                f"{desc['embedding_gb']:.0f} GB",
+                f"{desc['mean_lookups']:.0f}",
+                desc["bottom_mlp"],
+                desc["top_mlp"],
+                f"{m.total_parameters / 1e9:.1f}B",
+            ]
+        )
+    return render_table(
+        [
+            "model",
+            "# sparse",
+            "# dense",
+            "embedding size",
+            "lookups/table",
+            "bottom MLP",
+            "top MLP",
+            "total params",
+        ],
+        rows,
+        title="Table II: production model descriptions",
+    )

@@ -1,0 +1,113 @@
+"""Table III — CPU vs Big Basin GPU optimal-setup comparison.
+
+For each production model, evaluate the paper's CPU production setup and
+the tuned single-Big-Basin prototype, and report relative throughput and
+power efficiency next to the paper's published ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import render_table
+from ..configs import PRODUCTION_MODELS, PRODUCTION_SETUPS, ProductionSetup
+from ..hardware import BIG_BASIN, DUAL_SOCKET_CPU
+from ..perf import ThroughputReport, cpu_cluster_throughput, gpu_server_throughput
+from ..placement import PlacementStrategy, plan_placement
+
+__all__ = ["ModelComparison", "Table3Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    model_name: str
+    cpu: ThroughputReport
+    gpu: ThroughputReport
+    paper_throughput_ratio: float
+    paper_efficiency_ratio: float
+
+    @property
+    def throughput_ratio(self) -> float:
+        return self.gpu.throughput / self.cpu.throughput
+
+    @property
+    def efficiency_ratio(self) -> float:
+        return self.gpu.perf_per_watt / self.cpu.perf_per_watt
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    comparisons: tuple[ModelComparison, ...]
+
+    def by_name(self) -> dict[str, ModelComparison]:
+        return {c.model_name: c for c in self.comparisons}
+
+
+def evaluate_setup(model_name: str, setup: ProductionSetup) -> ModelComparison:
+    """Evaluate one row of Table III."""
+    model = PRODUCTION_MODELS[model_name]()
+    cpu = cpu_cluster_throughput(
+        model,
+        setup.cpu_batch_per_trainer,
+        setup.cpu_trainers,
+        setup.cpu_sparse_ps,
+        setup.cpu_dense_ps,
+    )
+    if setup.gpu_placement is PlacementStrategy.REMOTE_CPU:
+        plan = plan_placement(
+            model,
+            BIG_BASIN,
+            setup.gpu_placement,
+            num_ps=setup.gpu_remote_ps,
+            ps_platform=DUAL_SOCKET_CPU,
+        )
+    else:
+        plan = plan_placement(model, BIG_BASIN, setup.gpu_placement)
+    gpu = gpu_server_throughput(model, setup.gpu_batch, BIG_BASIN, plan)
+    return ModelComparison(
+        model_name=model_name,
+        cpu=cpu,
+        gpu=gpu,
+        paper_throughput_ratio=setup.paper_relative_throughput,
+        paper_efficiency_ratio=setup.paper_power_efficiency,
+    )
+
+
+def run() -> Table3Result:
+    return Table3Result(
+        tuple(
+            evaluate_setup(name, setup) for name, setup in PRODUCTION_SETUPS.items()
+        )
+    )
+
+
+def render(result: Table3Result) -> str:
+    rows = []
+    for c in result.comparisons:
+        setup = PRODUCTION_SETUPS[c.model_name]
+        rows.append(
+            [
+                c.model_name,
+                f"{setup.cpu_trainers}T/{setup.cpu_sparse_ps + setup.cpu_dense_ps}PS",
+                setup.gpu_placement.value,
+                setup.gpu_batch,
+                f"{c.cpu.throughput:,.0f}",
+                f"{c.gpu.throughput:,.0f}",
+                f"{c.throughput_ratio:.2f}x (paper {c.paper_throughput_ratio}x)",
+                f"{c.efficiency_ratio:.2f}x (paper {c.paper_efficiency_ratio}x)",
+            ]
+        )
+    return render_table(
+        [
+            "model",
+            "CPU setup",
+            "EMB placement",
+            "GPU batch",
+            "CPU ex/s",
+            "GPU ex/s",
+            "GPU/CPU throughput",
+            "GPU/CPU power eff",
+        ],
+        rows,
+        title="Table III: CPU vs Big Basin optimal setup comparison",
+    )

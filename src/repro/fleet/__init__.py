@@ -1,0 +1,39 @@
+"""Fleet simulation: workload populations (Fig 2, 9) and utilization telemetry (Fig 5)."""
+
+from .assignment import (
+    FleetAssignment,
+    WorkloadAssignment,
+    assign_fleet,
+    sample_workload_population,
+)
+from .capacity import CapacityDemand, estimate_fleet_demand, forecast_growth
+from .telemetry import UtilizationSamples, collect_utilization_samples, jitter_model
+from .workloads import (
+    WORKLOAD_FAMILIES,
+    ServerCounts,
+    TrainingRun,
+    WorkloadFamily,
+    sample_fleet_runs,
+    sample_ranking_model,
+    sample_server_counts,
+)
+
+__all__ = [
+    "WorkloadFamily",
+    "WORKLOAD_FAMILIES",
+    "TrainingRun",
+    "sample_fleet_runs",
+    "sample_ranking_model",
+    "ServerCounts",
+    "sample_server_counts",
+    "UtilizationSamples",
+    "collect_utilization_samples",
+    "jitter_model",
+    "CapacityDemand",
+    "estimate_fleet_demand",
+    "forecast_growth",
+    "FleetAssignment",
+    "WorkloadAssignment",
+    "assign_fleet",
+    "sample_workload_population",
+]

@@ -1,0 +1,141 @@
+"""Heterogeneous-fleet workload assignment.
+
+The paper's introduction poses the operator's problem: given "a
+heterogeneous datacenter with a mix of CPU and GPU servers", pick the right
+system for each workload (§I).  :mod:`repro.perf.setup_optimizer` solves it
+for one model; this module lifts it to a *population*: assign every sampled
+workload its best setup under an objective and aggregate the fleet's server
+and power bill — then compare against a homogeneous all-CPU policy to
+quantify what hardware-aware placement is worth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
+from ..perf.setup_optimizer import CandidateSetup, Objective, optimize_setup
+from .workloads import sample_ranking_model
+
+__all__ = ["WorkloadAssignment", "FleetAssignment", "assign_fleet", "sample_workload_population"]
+
+
+@dataclass(frozen=True)
+class WorkloadAssignment:
+    """One workload's chosen setup, compared at iso-throughput.
+
+    The chosen setup usually delivers far more throughput than the CPU
+    baseline cluster, so raw power numbers are not comparable; the saving
+    is computed against the CPU power that *would be needed* to deliver
+    the chosen throughput at the baseline's perf/watt.
+    """
+
+    model_name: str
+    chosen: CandidateSetup
+    cpu_baseline: CandidateSetup
+
+    @property
+    def efficiency_gain(self) -> float:
+        """perf/watt of the chosen setup over the CPU baseline."""
+        return self.chosen.perf_per_watt / self.cpu_baseline.perf_per_watt
+
+    @property
+    def iso_throughput_cpu_watts(self) -> float:
+        """CPU power required to match the chosen setup's throughput."""
+        return self.chosen.throughput / self.cpu_baseline.perf_per_watt
+
+    @property
+    def power_saving_watts(self) -> float:
+        """Watts saved at iso-throughput by using the chosen setup."""
+        return self.iso_throughput_cpu_watts - self.chosen.report.power.nameplate_watts
+
+
+@dataclass(frozen=True)
+class FleetAssignment:
+    """The full fleet's assignment under one objective."""
+
+    assignments: tuple[WorkloadAssignment, ...]
+    objective: Objective
+
+    @property
+    def total_power_watts(self) -> float:
+        return sum(a.chosen.report.power.nameplate_watts for a in self.assignments)
+
+    @property
+    def cpu_only_power_watts(self) -> float:
+        """CPU power required to deliver every workload's chosen throughput."""
+        return sum(a.iso_throughput_cpu_watts for a in self.assignments)
+
+    @property
+    def power_saving_fraction(self) -> float:
+        baseline = self.cpu_only_power_watts
+        if baseline <= 0:
+            return 0.0
+        return 1.0 - self.total_power_watts / baseline
+
+    def gpu_share(self) -> float:
+        """Fraction of workloads assigned to a GPU platform."""
+        gpu = sum(1 for a in self.assignments if "CPU x" not in a.chosen.label)
+        return gpu / len(self.assignments)
+
+
+def sample_workload_population(
+    num_workloads: int, seed: int = 0
+) -> list[ModelConfig]:
+    """Sample a diverse ranking-model population for assignment studies."""
+    if num_workloads < 1:
+        raise ValueError("num_workloads must be >= 1")
+    rng = np.random.default_rng(seed)
+    return [
+        sample_ranking_model(rng, name=f"workload_{i}") for i in range(num_workloads)
+    ]
+
+
+def assign_fleet(
+    models: list[ModelConfig],
+    objective: Objective = Objective.PERF_PER_WATT,
+    throughput_floor_fraction: float = 1.0,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> FleetAssignment:
+    """Assign each workload its best setup.
+
+    Every candidate must deliver at least ``throughput_floor_fraction`` of
+    what the workload's CPU baseline achieves (training SLAs do not regress
+    when hardware changes).  The CPU baseline is the best CPU-cluster
+    candidate by throughput.
+
+    Raises:
+        ValueError: if ``models`` is empty or a workload has no feasible setup.
+    """
+    if not models:
+        raise ValueError("need at least one workload")
+    if not 0 <= throughput_floor_fraction <= 1:
+        raise ValueError("throughput_floor_fraction must be in [0, 1]")
+    assignments = []
+    for model in models:
+        all_candidates = optimize_setup(
+            model, objective=Objective.THROUGHPUT, calib=calib
+        )
+        cpu_candidates = [
+            c for c in all_candidates.candidates if c.label.startswith("CPU ")
+        ]
+        if not cpu_candidates:
+            raise ValueError(f"no CPU baseline feasible for {model.name}")
+        # The homogeneous policy would pick its own most power-efficient
+        # cluster size, so that is the fair baseline.
+        cpu_best = max(cpu_candidates, key=lambda c: c.perf_per_watt)
+        floor = throughput_floor_fraction * cpu_best.throughput
+        eligible = [c for c in all_candidates.candidates if c.throughput >= floor]
+        if objective is Objective.PERF_PER_WATT:
+            chosen = max(eligible, key=lambda c: c.perf_per_watt)
+        else:
+            chosen = max(eligible, key=lambda c: c.throughput)
+        assignments.append(
+            WorkloadAssignment(
+                model_name=model.name, chosen=chosen, cpu_baseline=cpu_best
+            )
+        )
+    return FleetAssignment(assignments=tuple(assignments), objective=objective)

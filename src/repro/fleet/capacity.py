@@ -1,0 +1,116 @@
+"""Fleet-level capacity accounting and growth forecasting.
+
+Two fleet facts anchor the paper's motivation: recommendation-training
+compute "quadrupled over the last 18 months" and recommendation workflow
+runs grew 7x over the same period (§I, §II-A).  This module turns the
+sampled workload population into aggregate capacity demand (servers and
+power by role) and forecasts it under a growth rate — the planning exercise
+that motivated building Zion in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.specs import DUAL_SOCKET_CPU, PlatformSpec
+from .workloads import (
+    WORKLOAD_FAMILIES,
+    WorkloadFamily,
+    sample_ranking_model,
+    sample_server_counts,
+)
+
+__all__ = ["CapacityDemand", "estimate_fleet_demand", "forecast_growth"]
+
+
+@dataclass(frozen=True)
+class CapacityDemand:
+    """Aggregate concurrent server demand of the recommendation fleet."""
+
+    trainer_servers: float
+    sparse_ps_servers: float
+    dense_ps_servers: float
+    reader_servers: float
+    power_watts: float
+
+    @property
+    def total_servers(self) -> float:
+        return (
+            self.trainer_servers
+            + self.sparse_ps_servers
+            + self.dense_ps_servers
+            + self.reader_servers
+        )
+
+    def scaled(self, factor: float) -> "CapacityDemand":
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return CapacityDemand(
+            trainer_servers=self.trainer_servers * factor,
+            sparse_ps_servers=self.sparse_ps_servers * factor,
+            dense_ps_servers=self.dense_ps_servers * factor,
+            reader_servers=self.reader_servers * factor,
+            power_watts=self.power_watts * factor,
+        )
+
+
+def estimate_fleet_demand(
+    num_sampled_runs: int = 200,
+    seed: int = 0,
+    families: tuple[WorkloadFamily, ...] = WORKLOAD_FAMILIES,
+    platform: PlatformSpec = DUAL_SOCKET_CPU,
+    readers_per_run: float = 2.0,
+) -> CapacityDemand:
+    """Expected *concurrent* server demand of the recommendation families.
+
+    Concurrency per family = runs/day * duration_hours / 24 (Little's law);
+    per-run server counts are sampled from the workload model and averaged.
+    """
+    if num_sampled_runs < 1:
+        raise ValueError("num_sampled_runs must be >= 1")
+    rng = np.random.default_rng(seed)
+    counts = [
+        sample_server_counts(rng, sample_ranking_model(rng))
+        for _ in range(num_sampled_runs)
+    ]
+    mean_trainers = float(np.mean([c.trainers for c in counts]))
+    mean_sparse = float(np.mean([c.sparse_ps for c in counts]))
+    mean_dense = float(np.mean([c.dense_ps for c in counts]))
+
+    concurrent_runs = sum(
+        f.runs_per_day_mean * f.duration_hours_mean / 24.0
+        for f in families
+        if f.model_kind == "recommendation"
+    )
+    trainers = concurrent_runs * mean_trainers
+    sparse = concurrent_runs * mean_sparse
+    dense = concurrent_runs * mean_dense
+    readers = concurrent_runs * readers_per_run
+    servers = trainers + sparse + dense + readers
+    return CapacityDemand(
+        trainer_servers=trainers,
+        sparse_ps_servers=sparse,
+        dense_ps_servers=dense,
+        reader_servers=readers,
+        power_watts=servers * platform.nameplate_watts,
+    )
+
+
+def forecast_growth(
+    base: CapacityDemand,
+    months: int,
+    runs_growth_per_18mo: float = 7.0,
+) -> list[tuple[int, CapacityDemand]]:
+    """Project demand month by month under compound workflow growth.
+
+    The paper observed 7x workflow growth over 18 months (§II-A); demand
+    scales with it.  Returns ``[(month, demand), ...]`` including month 0.
+    """
+    if months < 0:
+        raise ValueError("months must be >= 0")
+    if runs_growth_per_18mo <= 0:
+        raise ValueError("growth must be positive")
+    monthly = runs_growth_per_18mo ** (1.0 / 18.0)
+    return [(m, base.scaled(monthly**m)) for m in range(months + 1)]

@@ -1,0 +1,100 @@
+"""Utilization telemetry over repeated training runs (paper Figure 5).
+
+Figure 5 shows the utilization distributions of one ranking model trained
+repeatedly at a *fixed scale* (same server counts, same hardware): trainer
+CPU and memory-bandwidth utilization are high with small variance, while
+parameter-server utilizations are lower-mean with a wide spread and a long
+tail.  The spread comes from run-to-run *model-configuration* differences
+(feature sets change between experiments) plus system-level jitter.
+
+:func:`collect_utilization_samples` regenerates that population by jittering
+the model configuration and hardware service rates across runs and pushing
+each run through the event-level cluster simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..distributed.cluster import ClusterConfig, simulate_cpu_cluster
+from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
+
+__all__ = ["UtilizationSamples", "jitter_model", "collect_utilization_samples"]
+
+
+@dataclass
+class UtilizationSamples:
+    """Per-run utilization samples for each resource class of Figure 5."""
+
+    trainer_cpu: list[float] = field(default_factory=list)
+    trainer_nic: list[float] = field(default_factory=list)
+    sparse_ps_mem: list[float] = field(default_factory=list)
+    sparse_ps_nic: list[float] = field(default_factory=list)
+    dense_ps_nic: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        return {
+            "trainer_cpu": np.array(self.trainer_cpu),
+            "trainer_nic": np.array(self.trainer_nic),
+            "sparse_ps_mem": np.array(self.sparse_ps_mem),
+            "sparse_ps_nic": np.array(self.sparse_ps_nic),
+            "dense_ps_nic": np.array(self.dense_ps_nic),
+        }
+
+
+def jitter_model(
+    model: ModelConfig, rng: np.random.Generator, sigma: float = 0.25
+) -> ModelConfig:
+    """A run-to-run variant of ``model``: same architecture, jittered
+    per-table feature lengths (different experiment data / feature sets)."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    tables = tuple(
+        replace(
+            t,
+            mean_lookups=float(
+                max(0.1, t.mean_lookups * rng.lognormal(0.0, sigma))
+            ),
+        )
+        for t in model.tables
+    )
+    return replace(model, tables=tables)
+
+
+def collect_utilization_samples(
+    model: ModelConfig,
+    num_runs: int = 40,
+    num_trainers: int = 10,
+    num_sparse_ps: int = 8,
+    num_dense_ps: int = 2,
+    horizon_s: float = 1.0,
+    seed: int = 0,
+    config_sigma: float = 0.25,
+    hardware_jitter: float = 0.15,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> UtilizationSamples:
+    """Simulate ``num_runs`` training runs of one model at fixed scale and
+    collect per-server utilization samples."""
+    if num_runs < 1:
+        raise ValueError(f"num_runs must be >= 1, got {num_runs}")
+    rng = np.random.default_rng(seed)
+    samples = UtilizationSamples()
+    for run in range(num_runs):
+        variant = jitter_model(model, rng, sigma=config_sigma)
+        cfg = ClusterConfig(
+            num_trainers=num_trainers,
+            num_sparse_ps=num_sparse_ps,
+            num_dense_ps=num_dense_ps,
+            jitter_sigma=hardware_jitter,
+            seed=int(rng.integers(2**31)),
+        )
+        result = simulate_cpu_cluster(variant, cfg, horizon_s=horizon_s, calib=calib)
+        samples.trainer_cpu.extend(result.trainer_cpu_utilization)
+        samples.trainer_nic.extend(result.trainer_nic_utilization)
+        samples.sparse_ps_mem.extend(result.sparse_ps_mem_utilization)
+        samples.sparse_ps_nic.extend(result.sparse_ps_nic_utilization)
+        samples.dense_ps_nic.extend(result.dense_ps_nic_utilization)
+    return samples

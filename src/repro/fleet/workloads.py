@@ -1,0 +1,178 @@
+"""Fleet-level workload generation (paper §II, Figures 2 and 9).
+
+The paper characterizes *populations*: how often each workload family
+trains and for how long (Figure 2), and how many trainer / parameter
+servers the ranking workflows use over a month (Figure 9).  We regenerate
+those populations from first principles:
+
+* per-family training frequency and duration distributions calibrated to
+  Figure 2's qualitative placement (recommendation models train by far the
+  most frequently; translation runs are long; Facer runs are short);
+* per-run ranking-model configurations whose *memory requirements* drive
+  the parameter-server count — reproducing Figure 9's contrast between a
+  concentrated trainer-count distribution (throughput requirements change
+  rarely; >40% of runs share one trainer count) and a wide PS-count
+  distribution (feature experimentation changes memory needs constantly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import InteractionType, MLPSpec, ModelConfig, TableSpec
+from ..data.distributions import power_law_mean_lengths, sample_lognormal_with_mean
+from ..placement.planner import PlannerConfig, model_embedding_footprint
+
+__all__ = [
+    "WorkloadFamily",
+    "WORKLOAD_FAMILIES",
+    "TrainingRun",
+    "sample_fleet_runs",
+    "sample_ranking_model",
+    "ServerCounts",
+    "sample_server_counts",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """One workload family of Figure 2."""
+
+    name: str
+    model_kind: str
+    #: Mean training runs per day across the fleet (log-normal spread).
+    runs_per_day_mean: float
+    #: Mean run duration in hours (log-normal spread).
+    duration_hours_mean: float
+    spread_sigma: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.runs_per_day_mean <= 0 or self.duration_hours_mean <= 0:
+            raise ValueError(f"{self.name}: means must be positive")
+
+
+#: Figure 2 placement: recommendation (News Feed, Search) top-right — most
+#: frequent; translation long-running but rare; Facer rare and shorter.
+#: Recommendation training runs grew 7x over 18 months (§II-A).
+WORKLOAD_FAMILIES = (
+    WorkloadFamily("news_feed", "recommendation", runs_per_day_mean=400.0, duration_hours_mean=8.0),
+    WorkloadFamily("search", "recommendation", runs_per_day_mean=250.0, duration_hours_mean=6.0),
+    WorkloadFamily("language_translation", "rnn", runs_per_day_mean=15.0, duration_hours_mean=30.0),
+    WorkloadFamily("facer", "cnn", runs_per_day_mean=8.0, duration_hours_mean=4.0),
+)
+
+
+@dataclass(frozen=True)
+class TrainingRun:
+    """One sampled training run."""
+
+    family: str
+    model_kind: str
+    duration_hours: float
+    day: int
+
+
+def sample_fleet_runs(
+    rng: np.random.Generator | int | None = None,
+    num_days: int = 7,
+    families: tuple[WorkloadFamily, ...] = WORKLOAD_FAMILIES,
+) -> list[TrainingRun]:
+    """Sample every training run launched over ``num_days``."""
+    if num_days < 1:
+        raise ValueError(f"num_days must be >= 1, got {num_days}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    runs: list[TrainingRun] = []
+    for day in range(num_days):
+        for family in families:
+            count = rng.poisson(family.runs_per_day_mean)
+            durations = sample_lognormal_with_mean(
+                rng, count, family.duration_hours_mean, sigma=family.spread_sigma
+            )
+            runs.extend(
+                TrainingRun(family.name, family.model_kind, float(d), day)
+                for d in durations
+            )
+    return runs
+
+
+def sample_ranking_model(
+    rng: np.random.Generator, name: str = "ranking"
+) -> ModelConfig:
+    """One experimental ranking-model configuration.
+
+    ML engineers sweep features and architecture constantly (§IV-B.2:
+    "memory capacity requirement changes frequently"); sampling ranges
+    bracket the production models of Table II.
+    """
+    num_sparse = int(rng.integers(8, 128))
+    num_dense = int(rng.integers(128, 1200))
+    mean_hash = float(10 ** rng.uniform(5.0, 7.4))  # 100K .. 25M rows
+    mean_lookups = float(rng.uniform(5, 60))
+    hash_sizes = sample_lognormal_with_mean(
+        rng, num_sparse, mean_hash, sigma=1.4, clip_min=30, clip_max=2e7
+    )
+    lengths = power_law_mean_lengths(rng, num_sparse, overall_mean=mean_lookups)
+    tables = tuple(
+        TableSpec(
+            name=f"{name}_s{i}",
+            hash_size=max(30, int(hash_sizes[i])),
+            dim=64,
+            mean_lookups=float(lengths[i]),
+        )
+        for i in range(num_sparse)
+    )
+    width = int(rng.choice([256, 512, 1024]))
+    depth = int(rng.integers(2, 5))
+    return ModelConfig(
+        name=name,
+        num_dense=num_dense,
+        tables=tables,
+        bottom_mlp=MLPSpec((width,)),
+        top_mlp=MLPSpec(tuple([width] * depth)),
+        interaction=InteractionType.CONCAT,
+    )
+
+
+@dataclass(frozen=True)
+class ServerCounts:
+    """Trainer / parameter-server allocation of one workflow run."""
+
+    trainers: int
+    sparse_ps: int
+    dense_ps: int
+
+    @property
+    def parameter_servers(self) -> int:
+        return self.sparse_ps + self.dense_ps
+
+
+#: Usable DRAM of one CPU parameter server for table shards.
+_PS_USABLE_BYTES = 230e9
+#: Discrete trainer tiers; throughput requirements change rarely, so most
+#: workflows reuse the standard tier (>40% share one count, Fig 9).
+_TRAINER_TIERS = (5, 10, 15, 20, 30)
+_TRAINER_TIER_WEIGHTS = (0.2, 0.45, 0.15, 0.12, 0.08)
+
+
+def sample_server_counts(
+    rng: np.random.Generator,
+    model: ModelConfig,
+    planner: PlannerConfig = PlannerConfig(),
+) -> ServerCounts:
+    """Allocate servers for one run the way the fleet does.
+
+    Trainers come from a coarse throughput tier; sparse PS count is
+    *derived* from the model's embedding footprint (memory-capacity
+    driven), which is exactly why the PS histogram is wide while the
+    trainer histogram is concentrated.
+    """
+    trainers = int(rng.choice(_TRAINER_TIERS, p=_TRAINER_TIER_WEIGHTS))
+    footprint = model_embedding_footprint(model, planner)
+    sparse_ps = max(1, int(np.ceil(footprint / _PS_USABLE_BYTES)))
+    # Headroom factor: operators over-provision a little, sometimes a lot.
+    sparse_ps = max(1, int(np.ceil(sparse_ps * rng.uniform(1.0, 1.8))))
+    dense_ps = max(1, trainers // 5)
+    return ServerCounts(trainers=trainers, sparse_ps=sparse_ps, dense_ps=dense_ps)

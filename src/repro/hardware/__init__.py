@@ -1,0 +1,61 @@
+"""Hardware substrate: platform specs (Table I), roofline devices, links, power."""
+
+from .device import OpCost, arithmetic_intensity, batched_op_time, op_time, ridge_point
+from .interconnect import (
+    allreduce_time,
+    alltoall_time,
+    broadcast_time,
+    gather_time,
+    transfer_time,
+)
+from .memory import CapacityError, MemoryPool, usable_capacity
+from .power import ClusterPower, ServerAllocation, perf_per_watt
+from .specs import (
+    BIG_BASIN,
+    BIG_BASIN_16GB,
+    DUAL_SOCKET_CPU,
+    GB,
+    PLATFORMS,
+    TB,
+    ZION,
+    DeviceSpec,
+    LinkSpec,
+    PlatformSpec,
+    SKYLAKE_SOCKET,
+    V100_16GB,
+    V100_32GB,
+    ZION_SOCKET,
+)
+
+__all__ = [
+    "OpCost",
+    "op_time",
+    "batched_op_time",
+    "arithmetic_intensity",
+    "ridge_point",
+    "transfer_time",
+    "allreduce_time",
+    "alltoall_time",
+    "broadcast_time",
+    "gather_time",
+    "CapacityError",
+    "MemoryPool",
+    "usable_capacity",
+    "ClusterPower",
+    "ServerAllocation",
+    "perf_per_watt",
+    "DeviceSpec",
+    "LinkSpec",
+    "PlatformSpec",
+    "V100_16GB",
+    "V100_32GB",
+    "SKYLAKE_SOCKET",
+    "ZION_SOCKET",
+    "DUAL_SOCKET_CPU",
+    "BIG_BASIN_16GB",
+    "BIG_BASIN",
+    "ZION",
+    "PLATFORMS",
+    "GB",
+    "TB",
+]

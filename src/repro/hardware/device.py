@@ -1,0 +1,69 @@
+"""Roofline timing for compute devices.
+
+Every operator cost in :mod:`repro.perf` reduces to (flops, bytes) pairs;
+a device executes it in ``max(compute time, memory time) + launch overhead``
+— the classic roofline model the paper cites as the standard approach
+(§I, [52]), applied per operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import DeviceSpec
+
+__all__ = ["OpCost", "op_time", "batched_op_time", "arithmetic_intensity", "ridge_point"]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Resource demand of one operator invocation."""
+
+    flops: float = 0.0
+    bytes: float = 0.0
+    kernels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes < 0:
+            raise ValueError("flops and bytes must be >= 0")
+        if self.kernels < 0:
+            raise ValueError("kernels must be >= 0")
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            flops=self.flops + other.flops,
+            bytes=self.bytes + other.bytes,
+            kernels=self.kernels + other.kernels,
+        )
+
+    def scaled(self, factor: float) -> "OpCost":
+        """Scale flops/bytes (e.g. per-example -> per-batch); kernel count
+        is launch-bound, not data-bound, so it is left unchanged."""
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return OpCost(flops=self.flops * factor, bytes=self.bytes * factor, kernels=self.kernels)
+
+
+def op_time(device: DeviceSpec, cost: OpCost) -> float:
+    """Roofline execution time of ``cost`` on ``device`` (seconds)."""
+    compute = cost.flops / device.effective_flops
+    memory = cost.bytes / device.effective_bandwidth
+    return max(compute, memory) + cost.kernels * device.launch_overhead_s
+
+
+def batched_op_time(device: DeviceSpec, costs: list[OpCost]) -> float:
+    """Sequential execution of several operators on one device."""
+    return sum(op_time(device, c) for c in costs)
+
+
+def arithmetic_intensity(cost: OpCost) -> float:
+    """FLOPs per byte — where the op sits on the roofline x-axis."""
+    if cost.bytes == 0:
+        return float("inf")
+    return cost.flops / cost.bytes
+
+
+def ridge_point(device: DeviceSpec) -> float:
+    """Arithmetic intensity at which the device transitions from
+    bandwidth-bound to compute-bound."""
+    return device.effective_flops / device.effective_bandwidth

@@ -1,0 +1,78 @@
+"""Communication timing: point-to-point transfers and collectives.
+
+Embedding-table training moves data in two patterns the paper emphasizes:
+all-to-all exchanges of pooled embedding vectors between GPUs holding table
+shards, and all-reduce of data-parallel dense gradients.  Both are modeled
+with standard bandwidth-optimal collective cost formulas over a
+:class:`~repro.hardware.specs.LinkSpec`.
+"""
+
+from __future__ import annotations
+
+from .specs import LinkSpec
+
+__all__ = [
+    "transfer_time",
+    "allreduce_time",
+    "alltoall_time",
+    "broadcast_time",
+    "gather_time",
+]
+
+
+def _validate(size_bytes: float, num_ranks: int | None = None) -> None:
+    if size_bytes < 0:
+        raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+    if num_ranks is not None and num_ranks < 1:
+        raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+
+
+def transfer_time(link: LinkSpec, size_bytes: float) -> float:
+    """One point-to-point message."""
+    _validate(size_bytes)
+    if size_bytes == 0:
+        return 0.0
+    return link.latency_s + size_bytes / link.bandwidth
+
+
+def allreduce_time(link: LinkSpec, size_bytes: float, num_ranks: int) -> float:
+    """Ring all-reduce of ``size_bytes`` across ``num_ranks`` peers.
+
+    Each rank sends/receives ``2 * (n-1)/n * size`` bytes over 2(n-1) steps.
+    """
+    _validate(size_bytes, num_ranks)
+    if num_ranks == 1 or size_bytes == 0:
+        return 0.0
+    steps = 2 * (num_ranks - 1)
+    volume = 2.0 * (num_ranks - 1) / num_ranks * size_bytes
+    return steps * link.latency_s + volume / link.bandwidth
+
+
+def alltoall_time(link: LinkSpec, size_bytes_per_rank: float, num_ranks: int) -> float:
+    """All-to-all where every rank holds ``size_bytes_per_rank`` to scatter.
+
+    Each rank exchanges ``(n-1)/n`` of its buffer with peers.
+    """
+    _validate(size_bytes_per_rank, num_ranks)
+    if num_ranks == 1 or size_bytes_per_rank == 0:
+        return 0.0
+    volume = (num_ranks - 1) / num_ranks * size_bytes_per_rank
+    return (num_ranks - 1) * link.latency_s + volume / link.bandwidth
+
+
+def broadcast_time(link: LinkSpec, size_bytes: float, num_ranks: int) -> float:
+    """Pipelined tree/ring broadcast: ~1 full traversal of the buffer."""
+    _validate(size_bytes, num_ranks)
+    if num_ranks == 1 or size_bytes == 0:
+        return 0.0
+    import math
+
+    return math.ceil(math.log2(num_ranks)) * link.latency_s + size_bytes / link.bandwidth
+
+
+def gather_time(link: LinkSpec, size_bytes_per_rank: float, num_ranks: int) -> float:
+    """Root receives one buffer from each peer, serialized on its link."""
+    _validate(size_bytes_per_rank, num_ranks)
+    if num_ranks == 1 or size_bytes_per_rank == 0:
+        return 0.0
+    return (num_ranks - 1) * (link.latency_s + size_bytes_per_rank / link.bandwidth)

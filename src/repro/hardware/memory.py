@@ -1,0 +1,83 @@
+"""Memory pools with capacity accounting.
+
+The placement planner (:mod:`repro.placement`) packs embedding tables into
+GPU HBM and system DRAM; pools enforce the capacity limits that drive the
+paper's central finding — models whose tables exceed a single server's GPU
+memory scale poorly on Big Basin and shift the optimal placement (Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CapacityError", "MemoryPool", "usable_capacity"]
+
+#: Fraction of nameplate capacity usable for model state; the rest is
+#: reserved for activations, buffers, framework overhead.
+DEFAULT_HEADROOM = 0.9
+
+
+class CapacityError(RuntimeError):
+    """Raised when an allocation would exceed a pool's capacity."""
+
+    def __init__(self, pool: "MemoryPool", requested: float) -> None:
+        super().__init__(
+            f"pool {pool.name!r}: requested {requested / 1e9:.2f} GB but only "
+            f"{pool.available / 1e9:.2f} GB of {pool.capacity / 1e9:.2f} GB free"
+        )
+        self.pool = pool
+        self.requested = requested
+
+
+def usable_capacity(raw_bytes: float, headroom: float = DEFAULT_HEADROOM) -> float:
+    """Capacity available to model state after reserving runtime headroom."""
+    if raw_bytes < 0:
+        raise ValueError(f"raw_bytes must be >= 0, got {raw_bytes}")
+    if not 0 < headroom <= 1:
+        raise ValueError(f"headroom must be in (0, 1], got {headroom}")
+    return raw_bytes * headroom
+
+
+@dataclass
+class MemoryPool:
+    """A named memory region with explicit allocations."""
+
+    name: str
+    capacity: float  # bytes
+    allocations: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"pool {self.name!r}: capacity must be >= 0")
+
+    @property
+    def used(self) -> float:
+        return sum(self.allocations.values())
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.used
+
+    @property
+    def utilization(self) -> float:
+        return self.used / self.capacity if self.capacity else 0.0
+
+    def can_fit(self, size_bytes: float) -> bool:
+        return size_bytes <= self.available
+
+    def allocate(self, tag: str, size_bytes: float) -> None:
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+        if tag in self.allocations:
+            raise ValueError(f"pool {self.name!r}: tag {tag!r} already allocated")
+        if not self.can_fit(size_bytes):
+            raise CapacityError(self, size_bytes)
+        self.allocations[tag] = size_bytes
+
+    def free(self, tag: str) -> float:
+        if tag not in self.allocations:
+            raise KeyError(f"pool {self.name!r}: no allocation tagged {tag!r}")
+        return self.allocations.pop(tag)
+
+    def reset(self) -> None:
+        self.allocations.clear()

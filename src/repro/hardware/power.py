@@ -1,0 +1,83 @@
+"""Power accounting and performance-per-watt.
+
+The paper's efficiency headline is *throughput per watt* (§I, §V-A): Big
+Basin draws 7.3x the power of a dual-socket CPU server, so a GPU setup must
+beat the CPU baseline by more than 7.3x in throughput (at equal server
+counts) to win on power efficiency.  ``ClusterPower`` sums nameplate (or
+utilization-scaled) power over every server participating in a training
+setup — trainers, parameter servers, readers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .specs import PlatformSpec
+
+__all__ = ["ServerAllocation", "ClusterPower", "perf_per_watt"]
+
+
+@dataclass(frozen=True)
+class ServerAllocation:
+    """``count`` servers of one platform playing one role."""
+
+    platform: PlatformSpec
+    count: int
+    role: str = "trainer"
+    utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+        if not 0 <= self.utilization <= 1:
+            raise ValueError(f"utilization must be in [0, 1], got {self.utilization}")
+
+    @property
+    def nameplate_watts(self) -> float:
+        return self.count * self.platform.nameplate_watts
+
+    @property
+    def drawn_watts(self) -> float:
+        return self.count * self.platform.power_at_utilization(self.utilization)
+
+
+@dataclass
+class ClusterPower:
+    """Power footprint of a complete training setup."""
+
+    allocations: list[ServerAllocation] = field(default_factory=list)
+
+    def add(self, platform: PlatformSpec, count: int, role: str = "trainer", utilization: float = 1.0) -> "ClusterPower":
+        self.allocations.append(
+            ServerAllocation(platform=platform, count=count, role=role, utilization=utilization)
+        )
+        return self
+
+    @property
+    def total_servers(self) -> int:
+        return sum(a.count for a in self.allocations)
+
+    @property
+    def nameplate_watts(self) -> float:
+        """Provisioned power capacity — what the paper's 7.3x refers to."""
+        return sum(a.nameplate_watts for a in self.allocations)
+
+    @property
+    def drawn_watts(self) -> float:
+        """Utilization-scaled estimate of actual draw."""
+        return sum(a.drawn_watts for a in self.allocations)
+
+    def by_role(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for a in self.allocations:
+            out[a.role] = out.get(a.role, 0.0) + a.nameplate_watts
+        return out
+
+
+def perf_per_watt(throughput: float, watts: float) -> float:
+    """Examples/second per watt — the paper's training-efficiency metric."""
+    if throughput < 0:
+        raise ValueError(f"throughput must be >= 0, got {throughput}")
+    if watts <= 0:
+        raise ValueError(f"watts must be positive, got {watts}")
+    return throughput / watts

@@ -1,0 +1,292 @@
+"""Hardware platform descriptions (paper Table I).
+
+Three platforms are modeled, with the published numbers where the paper
+gives them and public V100 / Skylake datasheet values elsewhere:
+
+* **Dual-Socket CPU** — 2x Intel Skylake, 256 GB DRAM, 25 Gbps Ethernet.
+* **Big Basin** — 2 CPU sockets + 8x NVIDIA V100 (16/32 GB HBM2, 900 GB/s,
+  15.7 TF fp32) in an NVLink hybrid-cube mesh, 100 Gbps Ethernet.
+* **Zion (prototype)** — 8 CPU sockets, ~2 TB DRAM at ~1 TB/s, 8x V100
+  connected through the CPUs (no direct GPU-GPU link in the prototype,
+  §VI-B), 4x 100 Gbps InfiniBand.
+
+Power: the paper states Big Basin's power-capacity requirement is 7.3x the
+dual-socket CPU server (§V-A); we anchor the CPU server at 500 W nameplate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DeviceSpec",
+    "LinkSpec",
+    "PlatformSpec",
+    "V100_16GB",
+    "V100_32GB",
+    "SKYLAKE_SOCKET",
+    "ZION_SOCKET",
+    "DUAL_SOCKET_CPU",
+    "BIG_BASIN_16GB",
+    "BIG_BASIN",
+    "ZION",
+    "PLATFORMS",
+    "GB",
+    "TB",
+]
+
+GB = 1e9
+TB = 1e12
+
+#: Nameplate power of the baseline dual-socket CPU server.
+CPU_SERVER_WATTS = 500.0
+#: Big Basin requires 7.3x the CPU server's power capacity (paper §V-A).
+BIG_BASIN_WATTS = 7.3 * CPU_SERVER_WATTS
+#: Zion estimate: 8 sockets + 8 V100s + fabric.  Not published; documented
+#: in DESIGN.md as an engineering estimate.
+ZION_WATTS = 9.5 * CPU_SERVER_WATTS
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One compute device (GPU or CPU socket).
+
+    Attributes:
+        name: Human-readable identifier.
+        peak_flops: Peak fp32 FLOP/s.
+        mem_bandwidth: Device-local memory bandwidth, bytes/s.
+        mem_capacity: Device-local memory capacity, bytes.
+        launch_overhead_s: Fixed cost per offloaded kernel/op — the CUDA
+            API overhead the paper says large batches amortize (§V-B).
+        compute_efficiency: Achievable fraction of peak FLOP/s for the
+            GEMM-heavy DLRM kernels.
+        bandwidth_efficiency: Achievable fraction of peak memory bandwidth
+            for irregular embedding gathers.
+    """
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+    mem_capacity: float
+    launch_overhead_s: float
+    compute_efficiency: float = 0.5
+    bandwidth_efficiency: float = 0.6
+
+    def __post_init__(self) -> None:
+        if min(self.peak_flops, self.mem_bandwidth, self.mem_capacity) <= 0:
+            raise ValueError(f"device {self.name}: specs must be positive")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError(f"device {self.name}: bad compute_efficiency")
+        if not 0 < self.bandwidth_efficiency <= 1:
+            raise ValueError(f"device {self.name}: bad bandwidth_efficiency")
+
+    @property
+    def effective_flops(self) -> float:
+        return self.peak_flops * self.compute_efficiency
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.mem_bandwidth * self.bandwidth_efficiency
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A communication link: point-to-point bandwidth plus per-message latency."""
+
+    name: str
+    bandwidth: float  # bytes/s
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"link {self.name}: bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError(f"link {self.name}: latency must be >= 0")
+
+
+# -- device building blocks ---------------------------------------------------
+
+V100_16GB = DeviceSpec(
+    name="V100-16GB",
+    peak_flops=15.7e12,
+    mem_bandwidth=900 * GB,
+    mem_capacity=16 * GB,
+    launch_overhead_s=8e-6,
+    # Achieved fraction of peak for the modest per-GPU GEMMs of DLRM
+    # training (batch/8 examples per GPU, Caffe2-era kernels); far below
+    # the ~50% of large CNN GEMMs.
+    compute_efficiency=0.25,
+    bandwidth_efficiency=0.65,
+)
+
+V100_32GB = DeviceSpec(
+    name="V100-32GB",
+    peak_flops=15.7e12,
+    mem_bandwidth=900 * GB,
+    mem_capacity=32 * GB,
+    launch_overhead_s=8e-6,
+    # Achieved fraction of peak for the modest per-GPU GEMMs of DLRM
+    # training (batch/8 examples per GPU, Caffe2-era kernels); far below
+    # the ~50% of large CNN GEMMs.
+    compute_efficiency=0.25,
+    bandwidth_efficiency=0.65,
+)
+
+SKYLAKE_SOCKET = DeviceSpec(
+    name="Skylake-socket",
+    peak_flops=1.5e12,
+    mem_bandwidth=64 * GB,  # 6 channels DDR4 per socket, achievable
+    mem_capacity=128 * GB,  # half of the server's 256 GB
+    launch_overhead_s=5e-7,
+    compute_efficiency=0.45,
+    bandwidth_efficiency=0.70,
+)
+
+ZION_SOCKET = DeviceSpec(
+    name="Zion-socket",
+    peak_flops=1.8e12,
+    mem_bandwidth=125 * GB,  # 8 sockets x 125 GB/s ~= the paper's ~1 TB/s
+    mem_capacity=256 * GB,  # 8 sockets x 256 GB ~= the paper's ~2 TB
+    launch_overhead_s=5e-7,
+    compute_efficiency=0.45,
+    bandwidth_efficiency=0.70,
+)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A training server: CPU sockets, optional accelerators, links, power.
+
+    ``gpu_interconnect`` is the *intra-server* GPU-GPU path.  On Big Basin
+    this is the NVLink cube mesh; on prototype Zion there is no direct path,
+    so GPU traffic is staged through the CPUs over PCIe (modeled as a much
+    slower, higher-latency link — the §VI-B observation).
+    """
+
+    name: str
+    cpu_socket: DeviceSpec
+    num_cpu_sockets: int
+    gpu: DeviceSpec | None
+    num_gpus: int
+    system_memory: float  # bytes
+    gpu_interconnect: LinkSpec | None
+    pcie: LinkSpec
+    nic: LinkSpec
+    nameplate_watts: float
+    idle_fraction: float = 0.3
+    #: True when GPUs can exchange data without CPU involvement (NVLink /
+    #: peer-to-peer PCIe).  The prototype Zion lacks this (§VI-B), so every
+    #: collective pays per-message CPU staging costs.
+    gpu_peer_direct: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_cpu_sockets < 1:
+            raise ValueError(f"{self.name}: need at least one CPU socket")
+        if (self.gpu is None) != (self.num_gpus == 0):
+            raise ValueError(f"{self.name}: gpu spec and num_gpus disagree")
+        if self.system_memory <= 0:
+            raise ValueError(f"{self.name}: system_memory must be positive")
+        if self.nameplate_watts <= 0:
+            raise ValueError(f"{self.name}: nameplate_watts must be positive")
+        if not 0 <= self.idle_fraction < 1:
+            raise ValueError(f"{self.name}: idle_fraction must be in [0, 1)")
+
+    @property
+    def has_gpus(self) -> bool:
+        return self.num_gpus > 0
+
+    @property
+    def total_gpu_memory(self) -> float:
+        return (self.gpu.mem_capacity * self.num_gpus) if self.gpu else 0.0
+
+    @property
+    def cpu_peak_flops(self) -> float:
+        return self.cpu_socket.peak_flops * self.num_cpu_sockets
+
+    @property
+    def cpu_effective_flops(self) -> float:
+        return self.cpu_socket.effective_flops * self.num_cpu_sockets
+
+    @property
+    def system_mem_bandwidth(self) -> float:
+        return self.cpu_socket.mem_bandwidth * self.num_cpu_sockets
+
+    @property
+    def system_mem_effective_bandwidth(self) -> float:
+        return self.cpu_socket.effective_bandwidth * self.num_cpu_sockets
+
+    def power_at_utilization(self, utilization: float) -> float:
+        """Idle + utilization-proportional dynamic power."""
+        if not 0 <= utilization <= 1:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        idle = self.idle_fraction * self.nameplate_watts
+        return idle + (self.nameplate_watts - idle) * utilization
+
+
+# -- the three platforms of Table I -------------------------------------------
+
+_NVLINK_MESH = LinkSpec(name="NVLink-cube-mesh", bandwidth=100 * GB, latency_s=4e-6)
+_PCIE3 = LinkSpec(name="PCIe3-x16", bandwidth=12 * GB, latency_s=6e-6)
+_ETH_25G = LinkSpec(name="25GbE", bandwidth=25e9 / 8, latency_s=30e-6)
+_ETH_100G = LinkSpec(name="100GbE", bandwidth=100e9 / 8, latency_s=25e-6)
+_IB_4X100G = LinkSpec(name="4xIB-100G", bandwidth=4 * 100e9 / 8, latency_s=5e-6)
+#: Zion prototype's GPU-GPU path is staged through CPUs over PCIe (§VI-B):
+#: two PCIe hops plus CPU forwarding — low bandwidth, high per-message cost.
+_ZION_GPU_VIA_CPU = LinkSpec(name="GPU-via-CPU-PCIe", bandwidth=2 * GB, latency_s=50e-6)
+
+DUAL_SOCKET_CPU = PlatformSpec(
+    name="DualSocketCPU",
+    cpu_socket=SKYLAKE_SOCKET,
+    num_cpu_sockets=2,
+    gpu=None,
+    num_gpus=0,
+    system_memory=256 * GB,
+    gpu_interconnect=None,
+    pcie=_PCIE3,
+    nic=_ETH_25G,
+    nameplate_watts=CPU_SERVER_WATTS,
+)
+
+BIG_BASIN_16GB = PlatformSpec(
+    name="BigBasin-16GB",
+    cpu_socket=SKYLAKE_SOCKET,
+    num_cpu_sockets=2,
+    gpu=V100_16GB,
+    num_gpus=8,
+    system_memory=256 * GB,
+    gpu_interconnect=_NVLINK_MESH,
+    pcie=_PCIE3,
+    nic=_ETH_100G,
+    nameplate_watts=BIG_BASIN_WATTS,
+)
+
+BIG_BASIN = PlatformSpec(
+    name="BigBasin",
+    cpu_socket=SKYLAKE_SOCKET,
+    num_cpu_sockets=2,
+    gpu=V100_32GB,
+    num_gpus=8,
+    system_memory=256 * GB,
+    gpu_interconnect=_NVLINK_MESH,
+    pcie=_PCIE3,
+    nic=_ETH_100G,
+    nameplate_watts=BIG_BASIN_WATTS,
+)
+
+ZION = PlatformSpec(
+    name="Zion",
+    cpu_socket=ZION_SOCKET,
+    num_cpu_sockets=8,
+    gpu=V100_32GB,
+    num_gpus=8,
+    system_memory=2 * TB,
+    gpu_interconnect=_ZION_GPU_VIA_CPU,
+    pcie=_PCIE3,
+    nic=_IB_4X100G,
+    nameplate_watts=ZION_WATTS,
+    gpu_peer_direct=False,
+)
+
+PLATFORMS: dict[str, PlatformSpec] = {
+    p.name: p for p in (DUAL_SOCKET_CPU, BIG_BASIN_16GB, BIG_BASIN, ZION)
+}

@@ -1,0 +1,78 @@
+"""Calibration constants for the performance model.
+
+Analytical models need a handful of empirical efficiency factors.  They are
+collected here — and only here — so that (a) every fudge factor is explicit
+and documented, and (b) the ablation benches can perturb them.  Values were
+tuned so the *relative* results (who wins, by what factor, where crossovers
+fall) match the paper's figures; see EXPERIMENTS.md for the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Empirical efficiency factors applied on top of datasheet specs."""
+
+    #: Hogwild!-style multi-threaded trainer efficiency on a CPU server.
+    cpu_parallel_efficiency: float = 0.70
+    #: Aggregate last-level cache of a dual-socket trainer; activations
+    #: spilling past this degrade CPU throughput (Fig 11's CPU optimum).
+    cpu_llc_bytes: float = 32e6
+    #: Exponent of the cache-spill penalty (ws/llc)**exp once ws > llc.
+    cache_penalty_exponent: float = 0.8
+    #: Fixed per-iteration overhead on a CPU trainer (batch assembly,
+    #: framework dispatch, PS round-trip latency not overlapped).
+    cpu_iteration_overhead_s: float = 0.5e-3
+    #: Fixed per-iteration overhead on a GPU server (host-side launch
+    #: coordination, input split/copy) — amortized by big batches (§V-B).
+    gpu_iteration_overhead_s: float = 0.5e-3
+    #: Host-side cost per sparse feature per iteration on a GPU server:
+    #: splitting/packing each feature's jagged indices and dispatching its
+    #: lookup.  This is why sparse-feature-heavy models lose GPU efficiency
+    #: (Fig 10) — per-table software overhead does not batch away.
+    host_input_per_table_s: float = 50e-6
+    #: EASGD iterations between elastic syncs with the center parameters
+    #: (tau); dense traffic is divided by this.
+    easgd_sync_period: float = 16.0
+    #: Bytes/s of network payload one CPU server can marshal through its
+    #: network stack (serialization + memcpy); the "CPU resources on the
+    #: GPU server become the bottleneck" effect for remote placement.
+    net_stack_bytes_per_socket: float = 2.0e9
+    #: Fraction of a host's PCIe links usable concurrently for host<->GPU
+    #: embedding traffic (switch contention).
+    pcie_concurrency_per_socket: float = 1.0
+    #: Extra multiplier on collective times for imperfect overlap/stragglers.
+    collective_inefficiency: float = 1.3
+    #: Parameter-server software efficiency (request handling, locks).
+    ps_service_efficiency: float = 0.55
+    #: Per-iteration cost of the synchronous RPC fan-out to remote sparse
+    #: parameter servers from a GPU trainer: the GPU iteration cannot start
+    #: until every PS response lands, so it eats dispatch + straggler tail
+    #: ("lookup latency ... becomes a bottleneck", §VI-B).  CPU Hogwild
+    #: trainers hide this asynchronously and do not pay it.
+    remote_iteration_overhead_s: float = 13e-3
+    #: Fraction of dense-sync communication hidden under compute by the
+    #: asynchronous EASGD protocol on CPU trainers.
+    async_overlap_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cpu_parallel_efficiency",
+            "ps_service_efficiency",
+            "async_overlap_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if self.cpu_llc_bytes <= 0 or self.net_stack_bytes_per_socket <= 0:
+            raise ValueError("byte-rate constants must be positive")
+        if self.collective_inefficiency < 1:
+            raise ValueError("collective_inefficiency must be >= 1")
+
+
+DEFAULT_CALIBRATION = Calibration()

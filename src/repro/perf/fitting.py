@@ -1,0 +1,144 @@
+"""Calibration fitting: tune efficiency factors against published ratios.
+
+The shipped :class:`~repro.perf.calibration.Calibration` was tuned by hand
+against Table III; this module automates that process so the model can be
+re-fit when the cost equations change.  Coordinate descent over selected
+calibration fields minimizes the squared log-error between the model's
+GPU/CPU throughput ratios and the paper's published values — log-space
+because the targets are ratios and under/over-shooting should cost
+symmetrically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+from typing import Callable
+
+from ..configs.production import PRODUCTION_MODELS, PRODUCTION_SETUPS
+from ..hardware.specs import BIG_BASIN, DUAL_SOCKET_CPU
+from ..placement.planner import plan_placement
+from ..placement.strategies import PlacementStrategy
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .pipeline import cpu_cluster_throughput, gpu_server_throughput
+
+__all__ = ["FitResult", "table3_ratio_loss", "fit_calibration"]
+
+#: Table III's published GPU/CPU throughput ratios — the fitting targets.
+TABLE3_TARGETS = {
+    name: setup.paper_relative_throughput
+    for name, setup in PRODUCTION_SETUPS.items()
+}
+
+_CALIB_FIELD_NAMES = {f.name for f in fields(Calibration)}
+
+
+def table3_ratio_loss(calib: Calibration) -> float:
+    """Sum of squared log-errors of the Table III throughput ratios."""
+    loss = 0.0
+    for name, setup in PRODUCTION_SETUPS.items():
+        model = PRODUCTION_MODELS[name]()
+        cpu = cpu_cluster_throughput(
+            model,
+            setup.cpu_batch_per_trainer,
+            setup.cpu_trainers,
+            setup.cpu_sparse_ps,
+            setup.cpu_dense_ps,
+            calib=calib,
+        ).throughput
+        if setup.gpu_placement is PlacementStrategy.REMOTE_CPU:
+            plan = plan_placement(
+                model, BIG_BASIN, setup.gpu_placement,
+                num_ps=setup.gpu_remote_ps, ps_platform=DUAL_SOCKET_CPU,
+            )
+        else:
+            plan = plan_placement(model, BIG_BASIN, setup.gpu_placement)
+        gpu = gpu_server_throughput(
+            model, setup.gpu_batch, BIG_BASIN, plan, calib=calib
+        ).throughput
+        ratio = gpu / cpu
+        loss += (math.log(ratio) - math.log(TABLE3_TARGETS[name])) ** 2
+    return loss
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a calibration fit."""
+
+    calibration: Calibration
+    loss: float
+    initial_loss: float
+    evaluations: int
+
+    @property
+    def improved(self) -> bool:
+        return self.loss < self.initial_loss - 1e-12
+
+
+def fit_calibration(
+    knobs: tuple[str, ...] = (
+        "host_input_per_table_s",
+        "remote_iteration_overhead_s",
+        "ps_service_efficiency",
+    ),
+    start: Calibration = DEFAULT_CALIBRATION,
+    objective: Callable[[Calibration], float] | None = None,
+    rounds: int = 3,
+    step_factor: float = 1.3,
+) -> FitResult:
+    """Coordinate descent over ``knobs`` (multiplicative steps).
+
+    Each round tries scaling every knob up and down by ``step_factor``,
+    keeping any move that lowers the objective; the step shrinks every
+    round.  Bounded-fraction fields are clamped to (0, 1].
+
+    Raises:
+        ValueError: for unknown knob names or bad parameters.
+    """
+    unknown = set(knobs) - _CALIB_FIELD_NAMES
+    if unknown:
+        raise ValueError(f"unknown calibration fields: {sorted(unknown)}")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if step_factor <= 1.0:
+        raise ValueError("step_factor must exceed 1")
+    objective = objective or table3_ratio_loss
+
+    evaluations = 0
+
+    def evaluate(c: Calibration) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return objective(c)
+
+    current = start
+    current_loss = initial_loss = evaluate(current)
+    factor = step_factor
+    fraction_fields = {
+        "cpu_parallel_efficiency",
+        "ps_service_efficiency",
+        "async_overlap_fraction",
+        "pcie_concurrency_per_socket",
+    }
+    for _ in range(rounds):
+        for knob in knobs:
+            base = getattr(current, knob)
+            for direction in (factor, 1.0 / factor):
+                candidate_value = base * direction
+                if knob in fraction_fields:
+                    candidate_value = min(candidate_value, 1.0)
+                try:
+                    candidate = replace(current, **{knob: candidate_value})
+                except ValueError:
+                    continue
+                loss = evaluate(candidate)
+                if loss < current_loss:
+                    current, current_loss = candidate, loss
+                    base = candidate_value
+        factor = 1.0 + (factor - 1.0) / 2.0
+    return FitResult(
+        calibration=current,
+        loss=current_loss,
+        initial_loss=initial_loss,
+        evaluations=evaluations,
+    )

@@ -1,0 +1,555 @@
+"""Iteration-time assembly: model config + platform + placement -> throughput.
+
+This is the analytical performance model behind every throughput figure in
+the reproduction.  One training iteration is decomposed into the operator
+costs of :mod:`repro.perf.ops`, mapped onto the platform's resources
+(roofline compute, memory bandwidth, interconnects, NICs), and composed
+into an iteration time.  Stages that production software pipelines
+(host-side embedding work vs. GPU dense work; compute vs. async
+communication) are combined with ``max``; stages on the critical path are
+summed.
+
+Scenarios:
+
+* :func:`cpu_cluster_throughput` — the production CPU baseline: N trainers
+  with Hogwild threads + EASGD against dense/sparse parameter servers
+  (paper Figure 4).
+* :func:`gpu_server_throughput` — a Big Basin or Zion server (optionally
+  several, for multi-node GPU placement) with any embedding placement from
+  :mod:`repro.placement`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.config import ModelConfig
+from ..hardware.device import OpCost, op_time
+from ..hardware.interconnect import allreduce_time, alltoall_time, transfer_time
+from ..hardware.power import ClusterPower
+from ..hardware.specs import DUAL_SOCKET_CPU, DeviceSpec, PlatformSpec
+from ..placement.strategies import LocationKind, PlacementPlan, PlacementStrategy
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from . import ops
+
+__all__ = [
+    "IterationBreakdown",
+    "ThroughputReport",
+    "cpu_cluster_throughput",
+    "gpu_server_throughput",
+    "READER_EXAMPLES_PER_SEC",
+]
+
+#: One reader server keeps up with roughly this many examples/s (readers are
+#: scaled so data loading is never the bottleneck, §IV-B.2).
+READER_EXAMPLES_PER_SEC = 150_000.0
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """Per-iteration time components.
+
+    ``components`` are the charged (critical-path) segments summing to the
+    iteration time; ``hidden`` are pipelined segments that ran under the
+    critical path and were not charged.
+    """
+
+    components: dict[str, float]
+    hidden: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def bottleneck(self) -> str:
+        return max(self.components, key=self.components.get)
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Outcome of one performance-model evaluation."""
+
+    setup: str
+    model_name: str
+    global_batch: int
+    iteration_time_s: float
+    throughput: float  # examples / second
+    breakdown: IterationBreakdown
+    power: ClusterPower
+    utilizations: dict[str, float]
+    notes: tuple[str, ...] = ()
+
+    @property
+    def perf_per_watt(self) -> float:
+        return self.throughput / self.power.nameplate_watts
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.setup}: {self.throughput:,.0f} ex/s",
+            f"iter {self.iteration_time_s * 1e3:.2f} ms @ batch {self.global_batch}",
+            f"bottleneck {self.breakdown.bottleneck}",
+            f"{self.perf_per_watt:.2f} ex/s/W over {self.power.total_servers} servers",
+        ]
+        return " | ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary for downstream tooling."""
+        return {
+            "setup": self.setup,
+            "model": self.model_name,
+            "global_batch": self.global_batch,
+            "iteration_time_s": self.iteration_time_s,
+            "throughput": self.throughput,
+            "perf_per_watt": self.perf_per_watt,
+            "bottleneck": self.breakdown.bottleneck,
+            "components": dict(self.breakdown.components),
+            "hidden": dict(self.breakdown.hidden),
+            "utilizations": dict(self.utilizations),
+            "power_watts": self.power.nameplate_watts,
+            "servers": self.power.total_servers,
+            "notes": list(self.notes),
+        }
+
+
+def _aggregate_cpu_device(platform: PlatformSpec, calib: Calibration) -> DeviceSpec:
+    """All CPU sockets of a server as one roofline device, with the
+    multi-threaded (Hogwild) parallel-efficiency discount applied."""
+    sock = platform.cpu_socket
+    n = platform.num_cpu_sockets
+    return DeviceSpec(
+        name=f"{platform.name}-cpu-x{n}",
+        peak_flops=sock.peak_flops * n * calib.cpu_parallel_efficiency,
+        mem_bandwidth=sock.mem_bandwidth * n,
+        mem_capacity=platform.system_memory,
+        launch_overhead_s=sock.launch_overhead_s,
+        compute_efficiency=sock.compute_efficiency,
+        bandwidth_efficiency=sock.bandwidth_efficiency,
+    )
+
+
+def _cache_penalty(model: ModelConfig, batch: int, calib: Calibration) -> float:
+    """Throughput penalty once activations spill the trainer's LLC."""
+    ws = ops.activation_working_set_bytes(model, batch)
+    if ws <= calib.cpu_llc_bytes:
+        return 1.0
+    return (ws / calib.cpu_llc_bytes) ** calib.cache_penalty_exponent
+
+
+def _dense_compute_cost(model: ModelConfig, batch: int) -> OpCost:
+    """Bottom MLP + interaction + top MLP + scorer, forward and backward,
+    plus the dense optimizer step."""
+    cost = ops.mlp_cost(model.num_dense, model.bottom_mlp, batch, backward=False)
+    cost = cost + ops.mlp_cost(model.num_dense, model.bottom_mlp, batch, backward=True)
+    cost = cost + ops.interaction_cost(model, batch, backward=False)
+    cost = cost + ops.interaction_cost(model, batch, backward=True)
+    cost = cost + ops.mlp_cost(model.interaction_features, model.top_mlp, batch, backward=False)
+    cost = cost + ops.mlp_cost(model.interaction_features, model.top_mlp, batch, backward=True)
+    cost = cost + ops.dense_optimizer_cost(model)
+    return cost
+
+
+def _auto_readers(throughput: float) -> int:
+    return max(1, math.ceil(throughput / READER_EXAMPLES_PER_SEC))
+
+
+# ---------------------------------------------------------------------------
+# CPU distributed baseline (Figure 4 pipeline)
+# ---------------------------------------------------------------------------
+
+
+def cpu_cluster_throughput(
+    model: ModelConfig,
+    batch_per_trainer: int,
+    num_trainers: int,
+    num_sparse_ps: int,
+    num_dense_ps: int,
+    platform: PlatformSpec = DUAL_SOCKET_CPU,
+    num_readers: int | None = None,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> ThroughputReport:
+    """Throughput of the production CPU setup: data-parallel trainers with
+    EASGD dense sync and remote sparse parameter servers.
+
+    Per-trainer iteration time is ``overhead + max(local compute, NIC)``
+    (Hogwild threads overlap compute with communication); cluster throughput
+    is the trainer aggregate capped by sparse-PS memory/NIC service capacity
+    and dense-PS sync capacity.
+    """
+    if min(batch_per_trainer, num_trainers, num_sparse_ps, num_dense_ps) < 1:
+        raise ValueError("batch and server counts must be >= 1")
+    b = batch_per_trainer
+    cpu = _aggregate_cpu_device(platform, calib)
+
+    # -- trainer-local work
+    dense_cost = _dense_compute_cost(model, b)
+    compute = op_time(cpu, dense_cost) * _cache_penalty(model, b, calib)
+
+    # -- trainer network traffic per iteration
+    req = ops.lookup_request_bytes(model, b)
+    pooled = ops.pooled_embedding_bytes(model, b)
+    # EASGD exchanges the dense parameters with the center copy every tau
+    # iterations, and the exchange is mostly hidden under compute.
+    dense_sync_bytes = 2.0 * ops.dense_param_bytes(model) / calib.easgd_sync_period
+    dense_sync = dense_sync_bytes * (1.0 - calib.async_overlap_fraction)
+    nic_bytes = req + 2.0 * pooled + dense_sync
+    nic = transfer_time(platform.nic, nic_bytes) + 3 * platform.nic.latency_s
+
+    t_iter = calib.cpu_iteration_overhead_s + max(compute, nic)
+    per_trainer = b / t_iter
+    demand = num_trainers * per_trainer
+
+    # -- parameter-server capacity caps
+    ps_cpu = _aggregate_cpu_device(platform, calib)
+    lookup_cost = ops.embedding_lookup_cost(model, b)
+    update_cost = ops.embedding_update_cost(model, b)
+    ps_bytes_per_ex = (lookup_cost.bytes + update_cost.bytes) / b
+    ps_mem_supply = (
+        num_sparse_ps * ps_cpu.effective_bandwidth * calib.ps_service_efficiency
+    )
+    cap_sparse_mem = ps_mem_supply / ps_bytes_per_ex
+    ps_net_per_ex = (req + 2.0 * pooled) / b
+    cap_sparse_nic = (
+        num_sparse_ps * platform.nic.bandwidth * calib.ps_service_efficiency / ps_net_per_ex
+    )
+    dense_bytes_per_ex = dense_sync_bytes / b
+    cap_dense_nic = (
+        num_dense_ps * platform.nic.bandwidth * calib.ps_service_efficiency / dense_bytes_per_ex
+    )
+
+    throughput = min(demand, cap_sparse_mem, cap_sparse_nic, cap_dense_nic)
+    notes = []
+    if throughput < demand:
+        caps = {
+            "sparse PS memory": cap_sparse_mem,
+            "sparse PS NIC": cap_sparse_nic,
+            "dense PS NIC": cap_dense_nic,
+        }
+        notes.append(f"capped by {min(caps, key=caps.get)}")
+
+    readers = num_readers if num_readers is not None else _auto_readers(throughput)
+    power = ClusterPower()
+    power.add(platform, num_trainers, role="trainer", utilization=min(1.0, compute / t_iter))
+    ps_util = min(1.0, throughput / max(cap_sparse_mem, 1e-9))
+    power.add(platform, num_sparse_ps, role="sparse_ps", utilization=ps_util)
+    power.add(platform, num_dense_ps, role="dense_ps", utilization=min(1.0, throughput / cap_dense_nic))
+    power.add(platform, readers, role="reader", utilization=0.5)
+
+    utilizations = {
+        "trainer_cpu": min(1.0, compute / t_iter),
+        "trainer_nic": min(1.0, nic / t_iter),
+        "trainer_mem_bw": min(
+            1.0, (dense_cost.bytes / cpu.effective_bandwidth) / t_iter
+        ),
+        "sparse_ps_mem_bw": min(1.0, throughput * ps_bytes_per_ex / ps_mem_supply),
+        "sparse_ps_nic": min(1.0, throughput / cap_sparse_nic),
+        "dense_ps_nic": min(1.0, throughput / cap_dense_nic),
+    }
+
+    breakdown = IterationBreakdown(
+        components={
+            "overhead": calib.cpu_iteration_overhead_s,
+            "critical_path": max(compute, nic),
+        },
+        hidden={"compute": compute, "nic": nic},
+    )
+    return ThroughputReport(
+        setup=f"CPU x{num_trainers}T/{num_sparse_ps}sPS/{num_dense_ps}dPS",
+        model_name=model.name,
+        global_batch=b * num_trainers,
+        iteration_time_s=t_iter,
+        throughput=throughput,
+        breakdown=breakdown,
+        power=power,
+        utilizations=utilizations,
+        notes=tuple(notes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# GPU server (Big Basin / Zion) with a placement plan
+# ---------------------------------------------------------------------------
+
+
+def gpu_server_throughput(
+    model: ModelConfig,
+    batch: int,
+    platform: PlatformSpec,
+    plan: PlacementPlan,
+    ps_platform: PlatformSpec = DUAL_SOCKET_CPU,
+    num_readers: int | None = None,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> ThroughputReport:
+    """Throughput of one (or, for multi-node GPU placement, several) GPU
+    servers under a given embedding placement.
+
+    ``batch`` is the per-node batch; GPUs within a node run data-parallel
+    on ``batch / num_gpus`` examples while embedding shards are
+    model-parallel wherever the plan put them.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if not platform.has_gpus:
+        raise ValueError(f"platform {platform.name} has no GPUs")
+    gpu = platform.gpu
+    n_gpus = platform.num_gpus
+    nodes = plan.num_nodes
+    b_gpu = max(1, batch // n_gpus)
+    notes: list[str] = []
+
+    # -- dense path (always on the GPUs, data parallel)
+    dense_cost = _dense_compute_cost(model, b_gpu)
+    dense_time = op_time(gpu, dense_cost)
+    # EASGD-style dense sync (Table III: GPU setups also run easgd), mostly
+    # overlapped with compute.
+    param_bytes = ops.dense_param_bytes(model)
+    if platform.gpu_interconnect is not None and plan.strategy in (
+        PlacementStrategy.GPU_MEMORY,
+        PlacementStrategy.HYBRID,
+    ):
+        sync_link = platform.gpu_interconnect
+        sync_full = allreduce_time(sync_link, param_bytes, n_gpus * nodes)
+    else:
+        # staged through host memory over each GPU's own PCIe link
+        sync_full = 2.0 * transfer_time(platform.pcie, param_bytes)
+    dense_sync = (
+        sync_full
+        * calib.collective_inefficiency
+        * (1.0 - calib.async_overlap_fraction)
+        / calib.easgd_sync_period
+    )
+
+    # Per-iteration host work: packing/dispatching every sparse feature's
+    # jagged indices plus shipping them over PCIe.  Scales with the number
+    # of tables, not the batch — the per-table software overhead that makes
+    # sparse-heavy models GPU-inefficient (Fig 10).
+    pcie_agg_in = (
+        platform.pcie.bandwidth
+        * platform.num_cpu_sockets
+        * calib.pcie_concurrency_per_socket
+    )
+    host_input = (
+        model.num_sparse * calib.host_input_per_table_s
+        + ops.lookup_request_bytes(model, batch) / pcie_agg_in
+    )
+    components: dict[str, float] = {
+        "overhead": calib.gpu_iteration_overhead_s,
+        "host_input": host_input,
+    }
+    hidden: dict[str, float] = {}
+    utilizations: dict[str, float] = {}
+
+    # Lookup-weighted and table-weighted fractions of embedding work per
+    # location kind.  Lookup weights drive memory traffic; table weights
+    # drive pooled-vector wire volumes and kernel counts.
+    lk_frac = {"replicated": 0.0, "gpu": 0.0, "system": 0.0, "remote": 0.0}
+    tbl_frac = dict(lk_frac)
+    lk_total = max(model.mean_total_lookups, 1e-9)
+    # Per-GPU lookup load for sharded tables: table-wise partitioning can
+    # leave one GPU with the hot tables; the iteration waits for it.
+    gpu_loads: dict[tuple[int, int], float] = {}
+    for spec in model.tables:
+        for shard in plan.shards_for(spec.name):
+            if shard.replicated:
+                key = "replicated"
+            else:
+                key = shard.location.kind.value
+                if shard.location.kind is LocationKind.GPU:
+                    gpu_key = (shard.location.node, shard.location.index)
+                    gpu_loads[gpu_key] = gpu_loads.get(gpu_key, 0.0) + (
+                        spec.effective_mean_lookups * shard.row_fraction
+                    )
+            lk_frac[key] += spec.effective_mean_lookups * shard.row_fraction / lk_total
+            tbl_frac[key] += shard.row_fraction / model.num_sparse
+    frac_gpu = lk_frac["gpu"]
+    frac_repl = lk_frac["replicated"]
+    frac_system = lk_frac["system"]
+    frac_remote = lk_frac["remote"]
+
+    lookup_cost = ops.embedding_lookup_cost(model, batch)
+    update_cost = ops.embedding_update_cost(model, batch)
+    pooled = ops.pooled_embedding_bytes(model, batch)
+    req = ops.lookup_request_bytes(model, batch)
+
+    host = _aggregate_cpu_device(platform, calib)
+    host_time = 0.0
+    nic_time = 0.0
+    ps_cap = float("inf")
+
+    # -- embedding path, split by where the plan put the bytes
+    # Embedding ops for several tables are fused into batched kernels
+    # (standard practice: grouped EmbeddingBag), so launches grow slowly
+    # with table count.
+    emb_fusion = 8.0
+
+    if frac_repl > 0:
+        # Data-parallel replicas: each GPU looks up only its own b examples,
+        # locally, with no exchange (replica sync rides with dense EASGD).
+        per_gpu_cost = OpCost(
+            flops=(lookup_cost.flops + update_cost.flops) * frac_repl / n_gpus,
+            bytes=(lookup_cost.bytes + update_cost.bytes) * frac_repl / n_gpus,
+            kernels=max(
+                1,
+                int(math.ceil(2 * model.num_sparse * tbl_frac["replicated"] / emb_fusion)),
+            ),
+        )
+        components["emb_replicated"] = op_time(gpu, per_gpu_cost)
+
+    if frac_gpu > 0:
+        g_used = max(1, plan.sharded_gpus_used())
+        # The slowest shard-holder gates the exchange: charge the *maximum*
+        # per-GPU lookup share, not the average.  Row-wise striping makes
+        # this 1/g; table-wise packing of skewed tables makes it larger.
+        total_gpu_lookups = max(sum(gpu_loads.values()), 1e-12)
+        max_share = (
+            max(gpu_loads.values()) / total_gpu_lookups if gpu_loads else 1.0 / g_used
+        )
+        per_gpu_cost = OpCost(
+            flops=(lookup_cost.flops + update_cost.flops) * frac_gpu * max_share,
+            bytes=(lookup_cost.bytes + update_cost.bytes) * frac_gpu * max_share,
+            kernels=max(
+                1,
+                int(
+                    math.ceil(
+                        2 * model.num_sparse * tbl_frac["gpu"] / (g_used * emb_fusion)
+                    )
+                ),
+            ),
+        )
+        components["emb_hbm"] = op_time(gpu, per_gpu_cost)
+        a2a_pooled = tbl_frac["gpu"] * pooled
+        if platform.gpu_interconnect is not None:
+            a2a_intra = alltoall_time(
+                platform.gpu_interconnect, a2a_pooled / n_gpus, n_gpus
+            )
+            if not platform.gpu_peer_direct:
+                # every sharded table's exchange is staged device->host->device
+                a2a_intra += (
+                    2
+                    * model.num_sparse
+                    * tbl_frac["gpu"]
+                    * platform.gpu_interconnect.latency_s
+                )
+        else:
+            a2a_intra = 2.0 * transfer_time(platform.pcie, a2a_pooled / n_gpus)
+        # forward + backward embedding exchange
+        components["emb_alltoall"] = 2.0 * a2a_intra * calib.collective_inefficiency
+        if nodes > 1:
+            # Inter-node exchange over the NIC.  Conservatively unpooled on
+            # the wire (per-lookup vectors cross nodes before pooling),
+            # matching the pessimism of the paper's analytical model for
+            # multi-node Big Basin (§VI-B).
+            raw = batch * model.mean_total_lookups * model.embedding_dim * 4.0
+            inter_bytes = frac_gpu * raw * (nodes - 1) / nodes
+            inter = transfer_time(platform.nic, 2.0 * inter_bytes)
+            inter += 2 * model.num_sparse * platform.nic.latency_s
+            components["emb_internode"] = inter * calib.collective_inefficiency
+            notes.append(f"multi-node GPU placement over {nodes} nodes")
+
+    if frac_system > 0:
+        host_cost = OpCost(
+            flops=(lookup_cost.flops + update_cost.flops) * frac_system,
+            bytes=(lookup_cost.bytes + update_cost.bytes) * frac_system,
+            kernels=0,
+        )
+        host_time += op_time(host, host_cost)
+        pcie_agg = (
+            platform.pcie.bandwidth
+            * platform.num_cpu_sockets
+            * calib.pcie_concurrency_per_socket
+        )
+        host_time += 2.0 * tbl_frac["system"] * pooled / pcie_agg + platform.pcie.latency_s
+        if nodes > 1:
+            # Multi-node system-memory scale-out (the paper's closing
+            # challenge): each node's batch needs pooled vectors from the
+            # (nodes-1)/nodes of tables living on other nodes, shipped over
+            # the NIC with host network-stack processing on both ends.
+            cross = (nodes - 1) / nodes
+            wire = cross * (frac_system * req + 2.0 * tbl_frac["system"] * pooled)
+            nic_time += transfer_time(platform.nic, wire) + 4 * platform.nic.latency_s
+            stack_rate = calib.net_stack_bytes_per_socket * platform.num_cpu_sockets
+            host_time += 2.0 * wire / stack_rate  # serve remote + receive local
+            notes.append(f"multi-node system-memory scale-out over {nodes} nodes")
+
+    if frac_remote > 0:
+        n_ps = max(1, plan.remote_ps_used())
+        wire = frac_remote * req + 2.0 * tbl_frac["remote"] * pooled
+        nic_time = transfer_time(platform.nic, wire) + 4 * platform.nic.latency_s
+        # Synchronous PS fan-out: the GPU iteration blocks on the slowest
+        # parameter-server response every iteration.
+        components["remote_rpc"] = calib.remote_iteration_overhead_s
+        # CPU-side network-stack processing on the GPU server (§VI-A: data
+        # copies and send/recv made the Big Basin CPUs the bottleneck).
+        stack_rate = calib.net_stack_bytes_per_socket * platform.num_cpu_sockets
+        host_time += wire / stack_rate
+        # And the PCIe hop to get pooled vectors onto the GPUs.
+        pcie_agg = platform.pcie.bandwidth * platform.num_cpu_sockets
+        host_time += 2.0 * tbl_frac["remote"] * pooled / pcie_agg
+        ps_cpu = _aggregate_cpu_device(ps_platform, calib)
+        ps_bytes_per_ex = frac_remote * (lookup_cost.bytes + update_cost.bytes) / batch
+        ps_mem_supply = n_ps * ps_cpu.effective_bandwidth * calib.ps_service_efficiency
+        ps_net_per_ex = wire / batch
+        ps_net_supply = n_ps * ps_platform.nic.bandwidth * calib.ps_service_efficiency
+        ps_cap = min(
+            ps_mem_supply / max(ps_bytes_per_ex, 1e-12),
+            ps_net_supply / max(ps_net_per_ex, 1e-12),
+        )
+
+    components["dense_compute"] = dense_time
+    components["dense_sync"] = dense_sync
+
+    # Host-side embedding pipeline overlaps with GPU dense work across
+    # consecutive batches: charge only the excess beyond the GPU-side time.
+    gpu_side = sum(components.values())
+    host_side = host_time + nic_time
+    if host_side > gpu_side:
+        components["host_pipeline_excess"] = host_side - gpu_side
+        hidden["host_pipeline_overlapped"] = gpu_side
+    else:
+        hidden["host_pipeline"] = host_side
+
+    t_iter = sum(components.values())
+    node_throughput = batch / t_iter
+    throughput = nodes * node_throughput
+    if throughput > ps_cap:
+        throughput = ps_cap
+        notes.append("capped by remote sparse PS capacity")
+        t_iter = nodes * batch / throughput
+
+    readers = num_readers if num_readers is not None else _auto_readers(throughput)
+    power = ClusterPower()
+    gpu_util = min(1.0, (dense_time + components.get("emb_hbm", 0.0)) / t_iter)
+    power.add(platform, nodes, role="gpu_trainer", utilization=gpu_util)
+    if frac_remote > 0:
+        n_ps = max(1, plan.remote_ps_used())
+        power.add(ps_platform, n_ps, role="sparse_ps", utilization=min(1.0, throughput / ps_cap if ps_cap < float("inf") else 0.5))
+    power.add(DUAL_SOCKET_CPU, readers, role="reader", utilization=0.5)
+
+    utilizations.update(
+        {
+            "gpu_compute": min(1.0, dense_time / t_iter),
+            "gpu_mem_bw": min(
+                1.0,
+                (components.get("emb_hbm", 0.0) + dense_cost.bytes / gpu.effective_bandwidth)
+                / t_iter,
+            ),
+            "host_cpu": min(1.0, host_time / t_iter),
+            "nic": min(1.0, nic_time / t_iter),
+        }
+    )
+
+    setup = f"{platform.name}[{plan.strategy.value}]"
+    if nodes > 1:
+        setup += f" x{nodes}"
+    return ThroughputReport(
+        setup=setup,
+        model_name=model.name,
+        global_batch=batch * nodes,
+        iteration_time_s=t_iter,
+        throughput=throughput,
+        breakdown=IterationBreakdown(components=components, hidden=hidden),
+        power=power,
+        utilizations=utilizations,
+        notes=tuple(notes),
+    )

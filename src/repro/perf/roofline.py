@@ -1,0 +1,147 @@
+"""Roofline analysis of the DLRM operator mix.
+
+The paper cites the roofline model as the standard lens for predicting
+performance across architectures (§I, [52]).  This module classifies every
+operator of a training iteration by arithmetic intensity against a
+device's ridge point, quantifying *why* the systems behave as they do: MLP
+GEMMs sit compute-bound on CPUs but under the V100 ridge at small per-GPU
+batches, while embedding ops are deep in memory-bound territory everywhere
+— the structural reason embedding placement dominates the design space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import ModelConfig
+from ..hardware.device import OpCost, arithmetic_intensity, op_time, ridge_point
+from ..hardware.specs import DeviceSpec
+from . import ops
+
+__all__ = ["OperatorProfile", "RooflineReport", "roofline_report"]
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """One operator's position on a device's roofline."""
+
+    name: str
+    cost: OpCost
+    intensity: float  # flops / byte
+    time_s: float
+    bound: str  # "compute" or "memory"
+
+    @property
+    def flops(self) -> float:
+        return self.cost.flops
+
+    @property
+    def bytes(self) -> float:
+        return self.cost.bytes
+
+
+@dataclass(frozen=True)
+class RooflineReport:
+    """All operators of one iteration on one device."""
+
+    device: DeviceSpec
+    batch: int
+    operators: tuple[OperatorProfile, ...]
+
+    @property
+    def ridge_point(self) -> float:
+        return ridge_point(self.device)
+
+    def by_name(self) -> dict[str, OperatorProfile]:
+        return {o.name: o for o in self.operators}
+
+    @property
+    def memory_bound_time_fraction(self) -> float:
+        """Share of operator time spent in memory-bound operators."""
+        total = sum(o.time_s for o in self.operators)
+        if total == 0:
+            return 0.0
+        memory = sum(o.time_s for o in self.operators if o.bound == "memory")
+        return memory / total
+
+    def dominant_operator(self) -> OperatorProfile:
+        return max(self.operators, key=lambda o: o.time_s)
+
+
+def _profile(name: str, cost: OpCost, device: DeviceSpec) -> OperatorProfile:
+    intensity = arithmetic_intensity(cost)
+    return OperatorProfile(
+        name=name,
+        cost=cost,
+        intensity=intensity,
+        time_s=op_time(device, cost),
+        bound="compute" if intensity >= ridge_point(device) else "memory",
+    )
+
+
+def roofline_report(
+    model: ModelConfig, batch: int, device: DeviceSpec
+) -> RooflineReport:
+    """Profile every operator of one training iteration on ``device``.
+
+    Raises:
+        ValueError: on a non-positive batch.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    profiles = [
+        _profile(
+            "bottom_mlp_fwd",
+            ops.mlp_cost(model.num_dense, model.bottom_mlp, batch, backward=False),
+            device,
+        ),
+        _profile(
+            "bottom_mlp_bwd",
+            ops.mlp_cost(model.num_dense, model.bottom_mlp, batch, backward=True),
+            device,
+        ),
+        _profile(
+            "interaction_fwd", ops.interaction_cost(model, batch, backward=False), device
+        ),
+        _profile(
+            "interaction_bwd", ops.interaction_cost(model, batch, backward=True), device
+        ),
+        _profile(
+            "top_mlp_fwd",
+            ops.mlp_cost(model.interaction_features, model.top_mlp, batch, backward=False),
+            device,
+        ),
+        _profile(
+            "top_mlp_bwd",
+            ops.mlp_cost(model.interaction_features, model.top_mlp, batch, backward=True),
+            device,
+        ),
+        _profile("emb_lookup", ops.embedding_lookup_cost(model, batch), device),
+        _profile("emb_update", ops.embedding_update_cost(model, batch), device),
+        _profile("dense_optimizer", ops.dense_optimizer_cost(model), device),
+    ]
+    return RooflineReport(device=device, batch=batch, operators=tuple(profiles))
+
+
+def render(report: RooflineReport) -> str:
+    """Paper-style text table of the roofline classification."""
+    from ..analysis import format_si, render_table
+
+    rows = [
+        [
+            o.name,
+            format_si(o.flops),
+            format_si(o.bytes),
+            f"{o.intensity:.2f}",
+            f"{o.time_s * 1e6:.1f} us",
+            o.bound,
+        ]
+        for o in report.operators
+    ]
+    header = (
+        f"Roofline on {report.device.name} @ batch {report.batch} "
+        f"(ridge point {report.ridge_point:.1f} flops/byte)"
+    )
+    return render_table(
+        ["operator", "flops", "bytes", "intensity", "time", "bound"], rows, title=header
+    )

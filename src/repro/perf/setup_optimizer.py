@@ -1,0 +1,173 @@
+"""Automatic training-setup selection.
+
+The paper's introduction frames the operator's problem: "To select the
+optimal hardware system in a heterogeneous datacenter with a mix of CPU and
+GPU servers ... the large memory capacity requirement of embedding tables
+requires different software infrastructure" (§I).  This module solves that
+selection with the pieces built here: enumerate candidate setups (CPU
+clusters of several sizes; each GPU platform with every feasible placement
+and batch size), evaluate each with the performance model, and return the
+best under a chosen objective and constraints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.config import ModelConfig
+from ..hardware.specs import BIG_BASIN, DUAL_SOCKET_CPU, ZION, PlatformSpec
+from ..placement.planner import PlannerConfig, model_embedding_footprint, plan_placement
+from ..placement.strategies import PlacementStrategy
+from ..hardware.memory import CapacityError
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .pipeline import ThroughputReport, cpu_cluster_throughput, gpu_server_throughput
+
+__all__ = ["Objective", "CandidateSetup", "SetupSearchResult", "optimize_setup"]
+
+
+class Objective(enum.Enum):
+    """What "best" means for the selection."""
+
+    THROUGHPUT = "throughput"
+    PERF_PER_WATT = "perf_per_watt"
+
+
+@dataclass(frozen=True)
+class CandidateSetup:
+    """One evaluated setup."""
+
+    label: str
+    report: ThroughputReport
+
+    @property
+    def throughput(self) -> float:
+        return self.report.throughput
+
+    @property
+    def perf_per_watt(self) -> float:
+        return self.report.perf_per_watt
+
+
+@dataclass(frozen=True)
+class SetupSearchResult:
+    """All candidates plus the winner under the requested objective."""
+
+    candidates: tuple[CandidateSetup, ...]
+    objective: Objective
+
+    @property
+    def best(self) -> CandidateSetup:
+        key = (
+            (lambda c: c.throughput)
+            if self.objective is Objective.THROUGHPUT
+            else (lambda c: c.perf_per_watt)
+        )
+        return max(self.candidates, key=key)
+
+    def ranked(self) -> list[CandidateSetup]:
+        key = (
+            (lambda c: c.throughput)
+            if self.objective is Objective.THROUGHPUT
+            else (lambda c: c.perf_per_watt)
+        )
+        return sorted(self.candidates, key=key, reverse=True)
+
+
+def _cpu_candidates(
+    model: ModelConfig,
+    trainer_counts: tuple[int, ...],
+    batch_per_trainer: int,
+    calib: Calibration,
+):
+    footprint = model_embedding_footprint(model)
+    min_sparse_ps = max(1, int(-(-footprint // 230e9)))
+    for trainers in trainer_counts:
+        dense_ps = max(1, trainers // 5)
+        # Sparse PS are provisioned for capacity *and* bandwidth: beyond the
+        # capacity minimum, more PS relieve the lookup-service bottleneck
+        # for sparse-heavy models (the fleet's wide PS histogram, Fig 9).
+        ps_options = sorted(
+            {min_sparse_ps, 2 * min_sparse_ps, max(min_sparse_ps, trainers // 2)}
+        )
+        for sparse_ps in ps_options:
+            report = cpu_cluster_throughput(
+                model,
+                batch_per_trainer,
+                trainers,
+                sparse_ps,
+                dense_ps,
+                calib=calib,
+            )
+            yield CandidateSetup(
+                label=f"CPU x{trainers}T/{sparse_ps}sPS/{dense_ps}dPS",
+                report=report,
+            )
+
+
+def _gpu_candidates(
+    model: ModelConfig,
+    platforms: tuple[PlatformSpec, ...],
+    batches: tuple[int, ...],
+    max_remote_ps: int,
+    calib: Calibration,
+):
+    footprint = model_embedding_footprint(model)
+    remote_ps = max(1, int(-(-footprint // 230e9)))
+    remote_ps = min(max(remote_ps, 4), max_remote_ps)
+    for platform in platforms:
+        for strategy in PlacementStrategy:
+            try:
+                plan = plan_placement(
+                    model,
+                    platform,
+                    strategy,
+                    num_ps=remote_ps,
+                    ps_platform=DUAL_SOCKET_CPU,
+                )
+            except (CapacityError, ValueError):
+                continue
+            for batch in batches:
+                report = gpu_server_throughput(
+                    model, batch, platform, plan, calib=calib
+                )
+                yield CandidateSetup(
+                    label=f"{platform.name}/{strategy.value}@B{batch}",
+                    report=report,
+                )
+
+
+def optimize_setup(
+    model: ModelConfig,
+    objective: Objective = Objective.THROUGHPUT,
+    min_throughput: float = 0.0,
+    trainer_counts: tuple[int, ...] = (4, 8, 16, 32),
+    cpu_batch: int = 200,
+    gpu_batches: tuple[int, ...] = (800, 1600, 3200, 6400),
+    platforms: tuple[PlatformSpec, ...] = (BIG_BASIN, ZION),
+    max_remote_ps: int = 32,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> SetupSearchResult:
+    """Enumerate and rank training setups for ``model``.
+
+    ``min_throughput`` filters candidates that cannot meet a service-level
+    training-throughput requirement (the fleet picks server counts "based
+    on the throughput requirement", §IV-B.2).
+
+    Raises:
+        ValueError: when no candidate setup is feasible (or none meets
+            ``min_throughput``).
+    """
+    if min_throughput < 0:
+        raise ValueError("min_throughput must be >= 0")
+    candidates = list(_cpu_candidates(model, trainer_counts, cpu_batch, calib))
+    candidates.extend(
+        _gpu_candidates(model, platforms, gpu_batches, max_remote_ps, calib)
+    )
+    eligible = tuple(c for c in candidates if c.throughput >= min_throughput)
+    if not eligible:
+        raise ValueError(
+            f"no feasible setup reaches {min_throughput:,.0f} ex/s "
+            f"({len(candidates)} candidates evaluated)"
+        )
+    return SetupSearchResult(candidates=eligible, objective=objective)

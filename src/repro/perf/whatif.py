@@ -1,0 +1,129 @@
+"""What-if analyses for the optimization opportunities the paper sketches.
+
+Section III-A.2 points at two levers for the large-table problem: *caching*
+(skewed access means a small hot set serves most lookups) and *compression
+via quantization* (shrinking tables changes where they fit).  These
+functions quantify both with the existing performance and placement
+machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import ModelConfig
+from ..core.quantization import quantized_table_bytes
+from ..hardware.memory import usable_capacity
+from ..hardware.specs import PlatformSpec
+from ..placement.cache import CachePlan, plan_cache
+from ..placement.planner import PlannerConfig, table_footprint
+from ..placement.strategies import (
+    Location,
+    LocationKind,
+    PlacementPlan,
+    PlacementStrategy,
+    Shard,
+)
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .pipeline import ThroughputReport, gpu_server_throughput
+
+__all__ = [
+    "cached_system_memory_throughput",
+    "QuantizationCapacityRow",
+    "quantized_capacity_report",
+]
+
+
+def cached_system_memory_throughput(
+    model: ModelConfig,
+    batch: int,
+    platform: PlatformSpec,
+    cache_budget_bytes: float,
+    skew: float = 1.05,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> tuple[ThroughputReport, CachePlan]:
+    """System-memory placement with an HBM hot-row cache.
+
+    The cache is expressed as a synthetic placement plan: per table, the
+    Zipf hit fraction of its lookups is served from (replicated) GPU HBM
+    and the remainder from host DRAM.  A zero budget reduces to the plain
+    system-memory placement.
+    """
+    cache = plan_cache(model, cache_budget_bytes, skew=skew)
+    plan = PlacementPlan(strategy=PlacementStrategy.HYBRID)
+    cfg = PlannerConfig()
+    from ..placement.cache import zipf_hit_rate
+
+    for spec in model.tables:
+        rows = cache.cached_rows.get(spec.name, 0)
+        hit = zipf_hit_rate(spec.hash_size, rows, skew) if rows else 0.0
+        total_bytes = table_footprint(spec, cfg)
+        if hit > 0:
+            plan.shards.append(
+                Shard(
+                    spec.name,
+                    Location(LocationKind.GPU, index=0),
+                    bytes=rows * (spec.dim * 4 + 8) * platform.num_gpus,
+                    row_fraction=hit,
+                    replicated=True,
+                )
+            )
+        if hit < 1.0:
+            plan.shards.append(
+                Shard(
+                    spec.name,
+                    Location(LocationKind.SYSTEM),
+                    bytes=total_bytes,
+                    row_fraction=1.0 - hit,
+                )
+            )
+    plan.validate_complete({t.name for t in model.tables})
+    report = gpu_server_throughput(model, batch, platform, plan, calib=calib)
+    return report, cache
+
+
+@dataclass(frozen=True)
+class QuantizationCapacityRow:
+    """Storage feasibility of one precision level on one platform."""
+
+    bits: int
+    table_bytes: float
+    fits_gpu_memory: bool
+    min_gpus: int
+    fits_system_memory: bool
+
+
+def quantized_capacity_report(
+    model: ModelConfig,
+    platform: PlatformSpec,
+    bits_options: tuple[int, ...] = (32, 8, 4),
+    headroom: float = 0.9,
+) -> tuple[QuantizationCapacityRow, ...]:
+    """Where do the tables fit at each precision?
+
+    FP32 rows include Adagrad optimizer state (training); quantized rows
+    are serving-style storage (codes + scales), the compression use case
+    the paper cites for shrinking multi-hundred-GB models.
+    """
+    if not platform.has_gpus:
+        raise ValueError(f"platform {platform.name} has no GPUs")
+    rows = []
+    cfg = PlannerConfig(headroom=headroom)
+    gpu_usable = usable_capacity(platform.gpu.mem_capacity, headroom)
+    total_gpu = gpu_usable * platform.num_gpus
+    sys_usable = usable_capacity(platform.system_memory, headroom)
+    for bits in bits_options:
+        if bits == 32:
+            total = sum(table_footprint(t, cfg) for t in model.tables)
+        else:
+            total = sum(quantized_table_bytes(t, bits) for t in model.tables)
+        rows.append(
+            QuantizationCapacityRow(
+                bits=bits,
+                table_bytes=total,
+                fits_gpu_memory=total <= total_gpu,
+                min_gpus=max(1, int(-(-total // gpu_usable))),
+                fits_system_memory=total <= sys_usable,
+            )
+        )
+    return tuple(rows)

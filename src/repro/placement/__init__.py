@@ -1,0 +1,47 @@
+"""Embedding-table placement: strategies (Figure 8) and the packing planner."""
+
+from .planner import (
+    OPTIMIZER_STATE_MULTIPLIER,
+    PlannerConfig,
+    auto_plan,
+    feasible_strategies,
+    min_gpus_required,
+    model_embedding_footprint,
+    plan_gpu_memory,
+    plan_hybrid,
+    plan_placement,
+    plan_remote_cpu,
+    plan_system_memory,
+    table_footprint,
+)
+from .cache import CachePlan, plan_cache, zipf_hit_rate
+from .strategies import (
+    Location,
+    LocationKind,
+    PlacementPlan,
+    PlacementStrategy,
+    Shard,
+)
+
+__all__ = [
+    "PlacementStrategy",
+    "LocationKind",
+    "Location",
+    "Shard",
+    "PlacementPlan",
+    "PlannerConfig",
+    "OPTIMIZER_STATE_MULTIPLIER",
+    "table_footprint",
+    "model_embedding_footprint",
+    "min_gpus_required",
+    "plan_gpu_memory",
+    "plan_system_memory",
+    "plan_remote_cpu",
+    "plan_hybrid",
+    "plan_placement",
+    "auto_plan",
+    "feasible_strategies",
+    "CachePlan",
+    "plan_cache",
+    "zipf_hit_rate",
+]

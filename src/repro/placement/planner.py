@@ -1,0 +1,467 @@
+"""Placement planning: packing embedding tables into memory pools.
+
+Implements the software machinery the paper describes as necessary to train
+production models on GPU systems (§I, §IV-B.1): table-wise partitioning with
+greedy load balancing, row-wise sharding for tables larger than one HBM,
+capacity feasibility checks with optimizer-state overhead, and spill logic
+for the hybrid strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import ModelConfig, TableSpec
+from ..hardware.memory import DEFAULT_HEADROOM, CapacityError, MemoryPool, usable_capacity
+from ..hardware.specs import PlatformSpec
+from .strategies import (
+    Location,
+    LocationKind,
+    PlacementPlan,
+    PlacementStrategy,
+    Shard,
+)
+
+__all__ = [
+    "PlannerConfig",
+    "table_footprint",
+    "model_embedding_footprint",
+    "plan_gpu_memory",
+    "plan_system_memory",
+    "plan_remote_cpu",
+    "plan_hybrid",
+    "plan_placement",
+    "feasible_strategies",
+    "min_gpus_required",
+]
+
+#: Adagrad keeps one accumulator per weight, doubling table state (§IV-B.1's
+#: capacity pressure includes optimizer state).
+OPTIMIZER_STATE_MULTIPLIER = 2.0
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Knobs for placement planning."""
+
+    optimizer_multiplier: float = OPTIMIZER_STATE_MULTIPLIER
+    headroom: float = DEFAULT_HEADROOM
+    balance_by: str = "bytes"  # "bytes" or "accesses"
+    #: A table whose footprint is at most this many bytes may be replicated
+    #: on every GPU (data-parallel), avoiding the all-to-all exchange.
+    replicate_threshold_bytes: float = 256e6
+    #: At most this fraction of each GPU's usable HBM may hold replicas.
+    replicate_budget_fraction: float = 0.5
+    #: GPU partitioning for non-replicated tables: ``table_wise`` assigns
+    #: whole tables to GPUs (simple, but hot tables imbalance the load);
+    #: ``row_wise`` stripes every table across all GPUs (balanced lookups,
+    #: at the cost of touching every GPU for every table).
+    partitioning: str = "table_wise"
+    #: In table-wise mode, a table whose lookup share exceeds this multiple
+    #: of the balanced share (1/num_pools) is row-wise striped instead —
+    #: no single GPU should serve a hot table alone (the "carefully
+    #: partitioned" imbalance fix of §III-A.2).
+    hot_table_split_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.optimizer_multiplier < 1.0:
+            raise ValueError("optimizer_multiplier must be >= 1")
+        if self.balance_by not in ("bytes", "accesses"):
+            raise ValueError(f"balance_by must be 'bytes' or 'accesses', got {self.balance_by!r}")
+        if self.replicate_threshold_bytes < 0:
+            raise ValueError("replicate_threshold_bytes must be >= 0")
+        if not 0 <= self.replicate_budget_fraction < 1:
+            raise ValueError("replicate_budget_fraction must be in [0, 1)")
+        if self.partitioning not in ("table_wise", "row_wise"):
+            raise ValueError(
+                f"partitioning must be 'table_wise' or 'row_wise', got {self.partitioning!r}"
+            )
+        if self.hot_table_split_factor < 1.0:
+            raise ValueError("hot_table_split_factor must be >= 1")
+
+
+def table_footprint(spec: TableSpec, cfg: PlannerConfig = PlannerConfig()) -> float:
+    """Bytes of state one table needs (weights + optimizer accumulators)."""
+    return spec.size_bytes * cfg.optimizer_multiplier
+
+
+def model_embedding_footprint(model: ModelConfig, cfg: PlannerConfig = PlannerConfig()) -> float:
+    return sum(table_footprint(t, cfg) for t in model.tables)
+
+
+def min_gpus_required(model: ModelConfig, platform: PlatformSpec, cfg: PlannerConfig = PlannerConfig()) -> int:
+    """Lower bound on GPUs needed to hold all tables (row-wise splitting
+    allowed, so the bound is by total bytes)."""
+    if not platform.has_gpus:
+        raise ValueError(f"platform {platform.name} has no GPUs")
+    per_gpu = usable_capacity(platform.gpu.mem_capacity, cfg.headroom)
+    total = model_embedding_footprint(model, cfg)
+    return max(1, int(-(-total // per_gpu)))
+
+
+def _gpu_pools(platform: PlatformSpec, num_nodes: int, cfg: PlannerConfig) -> list[tuple[Location, MemoryPool]]:
+    pools = []
+    for node in range(num_nodes):
+        for gpu in range(platform.num_gpus):
+            cap = usable_capacity(platform.gpu.mem_capacity, cfg.headroom)
+            pools.append(
+                (
+                    Location(LocationKind.GPU, index=gpu, node=node),
+                    MemoryPool(name=f"node{node}/gpu{gpu}", capacity=cap),
+                )
+            )
+    return pools
+
+
+def _sort_key(spec: TableSpec, cfg: PlannerConfig) -> tuple[float, float]:
+    """Largest-first packing order, tie-broken by the other dimension so
+    equal-sized tables are still placed hot-first (LPT-style balance)."""
+    if cfg.balance_by == "accesses":
+        return (spec.effective_mean_lookups, float(spec.size_bytes))
+    return (float(spec.size_bytes), spec.effective_mean_lookups)
+
+
+def plan_gpu_memory(
+    model: ModelConfig,
+    platform: PlatformSpec,
+    num_nodes: int = 1,
+    cfg: PlannerConfig = PlannerConfig(),
+    allow_row_wise: bool = True,
+) -> PlacementPlan:
+    """Distribute tables over GPU HBM pools.
+
+    Small tables (within ``cfg.replicate_threshold_bytes`` and the per-GPU
+    replica budget) are replicated on every GPU so their lookups stay local.
+    The rest are table-wise packed greedy largest-first into the
+    least-loaded pool; tables that exceed a single pool are row-wise sharded
+    across pools when ``allow_row_wise`` (paper: "different partitioning
+    strategies can be used such as table-wise or row-wise").
+
+    Raises:
+        CapacityError: when the model cannot fit on ``num_nodes`` servers.
+    """
+    if not platform.has_gpus:
+        raise ValueError(f"platform {platform.name} has no GPUs")
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    pools = _gpu_pools(platform, num_nodes, cfg)
+    plan = PlacementPlan(strategy=PlacementStrategy.GPU_MEMORY, num_nodes=num_nodes)
+
+    # -- phase 1: replicate small tables, smallest-first, within budget
+    per_pool_budget = cfg.replicate_budget_fraction * usable_capacity(
+        platform.gpu.mem_capacity, cfg.headroom
+    )
+    replica_used = 0.0
+    to_shard: list[TableSpec] = []
+    for spec in sorted(model.tables, key=lambda t: t.size_bytes):
+        need = table_footprint(spec, cfg)
+        if (
+            need <= cfg.replicate_threshold_bytes
+            and replica_used + need <= per_pool_budget
+        ):
+            replica_used += need
+            for _, pool in pools:
+                pool.allocate(spec.name, need)
+            plan.shards.append(
+                Shard(
+                    spec.name,
+                    Location(LocationKind.GPU, index=0),
+                    need * len(pools),
+                    replicated=True,
+                )
+            )
+        else:
+            to_shard.append(spec)
+
+    # -- phase 2 (row-wise mode): stripe every remaining table across all
+    # pools evenly — balanced lookups, every GPU holds a slice of each table
+    if cfg.partitioning == "row_wise":
+        n_pools = len(pools)
+        for spec in to_shard:
+            need = table_footprint(spec, cfg)
+            slice_bytes = need / n_pools
+            for loc, pool in pools:
+                if not pool.can_fit(slice_bytes):
+                    raise CapacityError(pool, slice_bytes)
+                pool.allocate(spec.name, slice_bytes)
+                plan.shards.append(
+                    Shard(spec.name, loc, slice_bytes, row_fraction=1.0 / n_pools)
+                )
+        return plan
+
+    # -- phase 2 (table-wise mode): greedy largest-first into the feasible
+    # pool with the lightest accumulated *lookup* load ("differences in
+    # access ratios might create imbalances among servers if not carefully
+    # partitioned", §III-A.2), falling back to row-wise splitting.
+    lookup_load = {id(pool): 0.0 for _, pool in pools}
+    total_sharded_lookups = sum(t.effective_mean_lookups for t in to_shard)
+    hot_threshold = (
+        cfg.hot_table_split_factor / len(pools) * total_sharded_lookups
+        if to_shard
+        else float("inf")
+    )
+    for spec in sorted(to_shard, key=lambda t: _sort_key(t, cfg), reverse=True):
+        need = table_footprint(spec, cfg)
+        # Hot tables are striped row-wise so no single GPU serves them alone.
+        if allow_row_wise and spec.effective_mean_lookups > hot_threshold:
+            slice_bytes = need / len(pools)
+            if all(pool.can_fit(slice_bytes) for _, pool in pools):
+                for loc, pool in pools:
+                    pool.allocate(spec.name, slice_bytes)
+                    lookup_load[id(pool)] += spec.effective_mean_lookups / len(pools)
+                    plan.shards.append(
+                        Shard(
+                            spec.name,
+                            loc,
+                            slice_bytes,
+                            row_fraction=1.0 / len(pools),
+                        )
+                    )
+                continue
+        feasible = [(loc, pool) for loc, pool in pools if pool.can_fit(need)]
+        if feasible:
+            target_loc, target_pool = min(
+                feasible,
+                key=lambda lp: (lookup_load[id(lp[1])], -lp[1].available),
+            )
+            target_pool.allocate(spec.name, need)
+            lookup_load[id(target_pool)] += spec.effective_mean_lookups
+            plan.shards.append(Shard(spec.name, target_loc, need))
+            continue
+        pools.sort(key=lambda lp: lp[1].available, reverse=True)
+        if not allow_row_wise:
+            raise CapacityError(pools[0][1], need)
+        # Row-wise shard across pools, largest-available first.
+        remaining = need
+        placed_fraction = 0.0
+        for loc, pool in pools:
+            if remaining <= 0:
+                break
+            take = min(remaining, pool.available)
+            if take <= 0:
+                continue
+            pool.allocate(spec.name, take)
+            fraction = take / need
+            plan.shards.append(
+                Shard(spec.name, loc, take, row_fraction=fraction)
+            )
+            placed_fraction += fraction
+            remaining -= take
+        if remaining > 1e-6:
+            raise CapacityError(pools[0][1], remaining)
+        # Absorb float residue into the last shard so fractions sum to 1.
+        if abs(placed_fraction - 1.0) > 1e-12:
+            last = plan.shards[-1]
+            plan.shards[-1] = Shard(
+                last.table_name,
+                last.location,
+                last.bytes,
+                row_fraction=last.row_fraction + (1.0 - placed_fraction),
+            )
+    return plan
+
+
+def plan_system_memory(
+    model: ModelConfig,
+    platform: PlatformSpec,
+    num_nodes: int = 1,
+    cfg: PlannerConfig = PlannerConfig(),
+) -> PlacementPlan:
+    """Tables in the GPU server's DRAM (Zion's winning option, §VI-B).
+
+    ``num_nodes > 1`` is the paper's closing challenge — "model sizes grow
+    into multiple terabytes which requires scaling out on multiple Zion
+    servers": tables are packed across the nodes' system memories
+    (lookup-load balanced), and every iteration pays an inter-node exchange
+    for the non-local fraction.
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    pools = [
+        (
+            Location(LocationKind.SYSTEM, node=n),
+            MemoryPool(
+                name=f"{platform.name}/node{n}/system",
+                capacity=usable_capacity(platform.system_memory, cfg.headroom),
+            ),
+        )
+        for n in range(num_nodes)
+    ]
+    plan = PlacementPlan(
+        strategy=PlacementStrategy.SYSTEM_MEMORY, num_nodes=num_nodes
+    )
+    lookup_load = {id(pool): 0.0 for _, pool in pools}
+    for spec in sorted(model.tables, key=lambda t: _sort_key(t, cfg), reverse=True):
+        need = table_footprint(spec, cfg)
+        feasible = [(loc, pool) for loc, pool in pools if pool.can_fit(need)]
+        if not feasible:
+            pools.sort(key=lambda lp: lp[1].available, reverse=True)
+            raise CapacityError(pools[0][1], need)
+        loc, pool = min(
+            feasible, key=lambda lp: (lookup_load[id(lp[1])], -lp[1].available)
+        )
+        pool.allocate(spec.name, need)
+        lookup_load[id(pool)] += spec.effective_mean_lookups
+        plan.shards.append(Shard(spec.name, loc, need))
+    return plan
+
+
+def plan_remote_cpu(
+    model: ModelConfig,
+    ps_platform: PlatformSpec,
+    num_ps: int,
+    cfg: PlannerConfig = PlannerConfig(),
+) -> PlacementPlan:
+    """Shard tables over ``num_ps`` remote CPU parameter servers.
+
+    Balances by bytes or by access frequency (``cfg.balance_by``); the paper
+    notes access imbalance "might create imbalances among servers if not
+    carefully partitioned" (§III-A.2).
+    """
+    if num_ps < 1:
+        raise ValueError(f"num_ps must be >= 1, got {num_ps}")
+    pools = [
+        (
+            Location(LocationKind.REMOTE, index=i),
+            MemoryPool(
+                name=f"ps{i}",
+                capacity=usable_capacity(ps_platform.system_memory, cfg.headroom),
+            ),
+        )
+        for i in range(num_ps)
+    ]
+    plan = PlacementPlan(
+        strategy=PlacementStrategy.REMOTE_CPU, num_remote_ps=num_ps
+    )
+    loads = [0.0] * num_ps
+    for spec in sorted(model.tables, key=lambda t: _sort_key(t, cfg), reverse=True):
+        need = table_footprint(spec, cfg)
+        order = sorted(range(num_ps), key=lambda i: loads[i])
+        placed = False
+        for i in order:
+            loc, pool = pools[i]
+            if pool.can_fit(need):
+                pool.allocate(spec.name, need)
+                loads[i] += _sort_key(spec, cfg)[0]
+                plan.shards.append(Shard(spec.name, loc, need))
+                placed = True
+                break
+        if not placed:
+            raise CapacityError(pools[order[0]][1], need)
+    return plan
+
+
+def plan_hybrid(
+    model: ModelConfig,
+    platform: PlatformSpec,
+    cfg: PlannerConfig = PlannerConfig(),
+) -> PlacementPlan:
+    """Fill GPU HBM with the most-accessed tables, spill the rest to DRAM.
+
+    "Placing as much as tables as it can fit could reduce the pressure on
+    the CPU" (§IV-B.1) — prioritizing hot tables maximizes the traffic
+    served from HBM.
+    """
+    if not platform.has_gpus:
+        raise ValueError(f"platform {platform.name} has no GPUs")
+    gpu_pools = _gpu_pools(platform, 1, cfg)
+    system_pool = MemoryPool(
+        name=f"{platform.name}/system",
+        capacity=usable_capacity(platform.system_memory, cfg.headroom),
+    )
+    plan = PlacementPlan(strategy=PlacementStrategy.HYBRID)
+    system_loc = Location(LocationKind.SYSTEM)
+    # Hot tables first: accesses per byte is the natural caching priority.
+    def heat(spec: TableSpec) -> float:
+        return spec.effective_mean_lookups / max(spec.size_bytes, 1.0)
+
+    for spec in sorted(model.tables, key=heat, reverse=True):
+        need = table_footprint(spec, cfg)
+        gpu_pools.sort(key=lambda lp: lp[1].available, reverse=True)
+        loc, pool = gpu_pools[0]
+        if pool.can_fit(need):
+            pool.allocate(spec.name, need)
+            plan.shards.append(Shard(spec.name, loc, need))
+        else:
+            system_pool.allocate(spec.name, need)
+            plan.shards.append(Shard(spec.name, system_loc, need))
+    return plan
+
+
+def plan_placement(
+    model: ModelConfig,
+    platform: PlatformSpec,
+    strategy: PlacementStrategy,
+    num_nodes: int = 1,
+    num_ps: int = 0,
+    ps_platform: PlatformSpec | None = None,
+    cfg: PlannerConfig = PlannerConfig(),
+) -> PlacementPlan:
+    """Dispatch to the right planner and validate completeness."""
+    if strategy is PlacementStrategy.GPU_MEMORY:
+        plan = plan_gpu_memory(model, platform, num_nodes=num_nodes, cfg=cfg)
+    elif strategy is PlacementStrategy.SYSTEM_MEMORY:
+        plan = plan_system_memory(model, platform, num_nodes=num_nodes, cfg=cfg)
+    elif strategy is PlacementStrategy.REMOTE_CPU:
+        if ps_platform is None or num_ps < 1:
+            raise ValueError("remote placement needs ps_platform and num_ps >= 1")
+        plan = plan_remote_cpu(model, ps_platform, num_ps, cfg=cfg)
+    elif strategy is PlacementStrategy.HYBRID:
+        plan = plan_hybrid(model, platform, cfg=cfg)
+    else:  # pragma: no cover - exhaustive over enum
+        raise ValueError(f"unknown strategy {strategy!r}")
+    plan.validate_complete({t.name for t in model.tables})
+    return plan
+
+
+def auto_plan(
+    model: ModelConfig,
+    platform: PlatformSpec,
+    cfg: PlannerConfig = PlannerConfig(),
+) -> PlacementPlan:
+    """Pick the natural single-server placement: GPU memory when the model
+    fits, spilling to hybrid, then pure system memory.
+
+    This is the progression a practitioner follows as a model outgrows HBM
+    (§IV-B.1), and the mechanism behind the hash-size throughput cliff of
+    Figure 12.
+
+    Raises:
+        CapacityError: when even system memory cannot hold the tables.
+    """
+    for strategy in (
+        PlacementStrategy.GPU_MEMORY,
+        PlacementStrategy.HYBRID,
+        PlacementStrategy.SYSTEM_MEMORY,
+    ):
+        try:
+            return plan_placement(model, platform, strategy, cfg=cfg)
+        except CapacityError:
+            continue
+    # Surface the system-memory failure as the final error.
+    return plan_placement(model, platform, PlacementStrategy.SYSTEM_MEMORY, cfg=cfg)
+
+
+def feasible_strategies(
+    model: ModelConfig,
+    platform: PlatformSpec,
+    ps_platform: PlatformSpec | None = None,
+    max_ps: int = 32,
+    cfg: PlannerConfig = PlannerConfig(),
+) -> list[PlacementStrategy]:
+    """Which placements can hold this model on this platform at all."""
+    out: list[PlacementStrategy] = []
+    for strategy in PlacementStrategy:
+        try:
+            if strategy is PlacementStrategy.REMOTE_CPU:
+                if ps_platform is None:
+                    continue
+                plan_placement(
+                    model, platform, strategy, num_ps=max_ps, ps_platform=ps_platform, cfg=cfg
+                )
+            else:
+                plan_placement(model, platform, strategy, cfg=cfg)
+        except (CapacityError, ValueError):
+            continue
+        out.append(strategy)
+    return out

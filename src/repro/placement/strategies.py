@@ -1,0 +1,145 @@
+"""Embedding-table placement strategies (paper §IV-B.1, Figure 8).
+
+Four options are modeled, matching the paper's Figure 8:
+
+* ``GPU_MEMORY`` — tables distributed over the GPUs' HBM (table-wise or
+  row-wise partitioned).
+* ``SYSTEM_MEMORY`` — tables in the GPU server's own DRAM.
+* ``REMOTE_CPU`` — tables sharded over remote CPU parameter servers.
+* ``HYBRID`` — as many tables as fit in HBM, the rest in system memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["PlacementStrategy", "Location", "LocationKind", "Shard", "PlacementPlan"]
+
+
+class PlacementStrategy(enum.Enum):
+    GPU_MEMORY = "gpu_memory"
+    SYSTEM_MEMORY = "system_memory"
+    REMOTE_CPU = "remote_cpu"
+    HYBRID = "hybrid"
+
+
+class LocationKind(enum.Enum):
+    GPU = "gpu"
+    SYSTEM = "system"
+    REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class Location:
+    """A physical memory location: a GPU's HBM, server DRAM, or a remote PS."""
+
+    kind: LocationKind
+    index: int = 0  # GPU ordinal / remote-PS ordinal; 0 for system memory
+    node: int = 0  # server ordinal for multi-node GPU placement
+
+    def __post_init__(self) -> None:
+        if self.index < 0 or self.node < 0:
+            raise ValueError("location index/node must be >= 0")
+
+    def __str__(self) -> str:
+        if self.kind is LocationKind.GPU:
+            return f"node{self.node}/gpu{self.index}"
+        if self.kind is LocationKind.REMOTE:
+            return f"ps{self.index}"
+        return "system"
+
+
+@dataclass(frozen=True)
+class Shard:
+    """Part (or all) of one table materialized at one location.
+
+    ``replicated=True`` marks a data-parallel copy: the table is small
+    enough to live on *every* GPU, so lookups are purely local and no
+    all-to-all exchange is needed (replicas are kept loosely in sync the
+    same way the dense parameters are).  A replicated shard is recorded
+    once with the aggregate bytes across all copies.
+    """
+
+    table_name: str
+    location: Location
+    bytes: float
+    row_fraction: float = 1.0
+    replicated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0:
+            raise ValueError("shard bytes must be >= 0")
+        if not 0 < self.row_fraction <= 1:
+            raise ValueError(f"row_fraction must be in (0, 1], got {self.row_fraction}")
+
+
+@dataclass
+class PlacementPlan:
+    """The result of planning: every table mapped to one or more shards."""
+
+    strategy: PlacementStrategy
+    shards: list[Shard] = field(default_factory=list)
+    num_nodes: int = 1
+    num_remote_ps: int = 0
+
+    def shards_for(self, table_name: str) -> list[Shard]:
+        return [s for s in self.shards if s.table_name == table_name]
+
+    def table_names(self) -> set[str]:
+        return {s.table_name for s in self.shards}
+
+    def bytes_by_kind(self) -> dict[LocationKind, float]:
+        out: dict[LocationKind, float] = {}
+        for s in self.shards:
+            out[s.location.kind] = out.get(s.location.kind, 0.0) + s.bytes
+        return out
+
+    def gpus_used(self) -> int:
+        """Distinct GPUs holding at least one shard (across all nodes)."""
+        return len(
+            {
+                (s.location.node, s.location.index)
+                for s in self.shards
+                if s.location.kind is LocationKind.GPU
+            }
+        )
+
+    def sharded_gpus_used(self) -> int:
+        """Distinct GPUs holding a *model-parallel* (non-replicated) shard."""
+        return len(
+            {
+                (s.location.node, s.location.index)
+                for s in self.shards
+                if s.location.kind is LocationKind.GPU and not s.replicated
+            }
+        )
+
+    def replicated_tables(self) -> set[str]:
+        return {s.table_name for s in self.shards if s.replicated}
+
+    def remote_ps_used(self) -> int:
+        return len(
+            {
+                s.location.index
+                for s in self.shards
+                if s.location.kind is LocationKind.REMOTE
+            }
+        )
+
+    @property
+    def is_pure_gpu(self) -> bool:
+        return all(s.location.kind is LocationKind.GPU for s in self.shards)
+
+    def validate_complete(self, expected_tables: set[str]) -> None:
+        """Every expected table must be fully placed (row fractions sum to 1)."""
+        placed = self.table_names()
+        missing = expected_tables - placed
+        if missing:
+            raise ValueError(f"plan is missing tables: {sorted(missing)}")
+        for name in expected_tables:
+            total = sum(s.row_fraction for s in self.shards_for(name))
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(
+                    f"table {name!r}: row fractions sum to {total}, expected 1.0"
+                )

@@ -1,0 +1,37 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Batch, ModelConfig, RaggedIndices
+from repro.data import SyntheticDataGenerator
+
+
+def make_batch(config: ModelConfig, batch_size: int, seed: int = 0) -> Batch:
+    """Deterministic batch for a config (labels are coin flips)."""
+    gen = SyntheticDataGenerator(config, rng=seed)
+    return gen.batch(batch_size)
+
+
+def numeric_grad_scalar(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` w.r.t. array ``x``.
+
+    Mutates ``x`` in place during probing, restoring each entry.
+    """
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f()
+        flat[i] = orig - eps
+        lo = f()
+        flat[i] = orig
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def simple_ragged(per_sample: list[list[int]]) -> RaggedIndices:
+    return RaggedIndices.from_lists([np.array(s, dtype=np.int64) for s in per_sample])

@@ -1,0 +1,149 @@
+"""Tests for repro.analysis: KDE, stats, rendering."""
+
+import numpy as np
+import pytest
+from scipy.stats import gaussian_kde
+
+from repro.analysis import (
+    GaussianKDE,
+    cdf_points,
+    fit_power_law_alpha,
+    format_si,
+    gini_coefficient,
+    histogram,
+    render_bars,
+    render_table,
+    scott_bandwidth,
+    summarize,
+)
+
+
+class TestKDE:
+    def test_matches_scipy(self, rng):
+        samples = rng.normal(size=500)
+        grid = np.linspace(-3, 3, 50)
+        ours = GaussianKDE(samples).evaluate(grid)
+        scipy_kde = gaussian_kde(samples, bw_method="scott")(grid)
+        np.testing.assert_allclose(ours, scipy_kde, rtol=0.05, atol=0.01)
+
+    def test_integrates_to_one(self, rng):
+        samples = rng.normal(2.0, 0.5, size=300)
+        grid = np.linspace(-3, 7, 2000)
+        density = GaussianKDE(samples).evaluate(grid)
+        integral = np.trapezoid(density, grid)
+        assert integral == pytest.approx(1.0, abs=0.01)
+
+    def test_peak_near_mode(self, rng):
+        samples = rng.normal(5.0, 1.0, size=1000)
+        grid = np.linspace(0, 10, 200)
+        density = GaussianKDE(samples).evaluate(grid)
+        assert abs(grid[np.argmax(density)] - 5.0) < 0.5
+
+    def test_callable_interface(self, rng):
+        kde = GaussianKDE(rng.normal(size=50))
+        np.testing.assert_array_equal(kde(np.zeros(3)), kde.evaluate(np.zeros(3)))
+
+    def test_explicit_bandwidth(self, rng):
+        wide = GaussianKDE(rng.normal(size=100), bandwidth=2.0)
+        narrow = GaussianKDE(wide.samples, bandwidth=0.1)
+        grid = np.linspace(-5, 5, 100)
+        assert wide(grid).max() < narrow(grid).max()
+
+    def test_scott_bandwidth_shrinks_with_n(self, rng):
+        small = scott_bandwidth(rng.normal(size=50))
+        large = scott_bandwidth(rng.normal(size=5000))
+        assert large < small
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(np.array([]))
+        with pytest.raises(ValueError):
+            scott_bandwidth(np.array([1.0, 1.0, 1.0]))
+        with pytest.raises(ValueError):
+            GaussianKDE(np.array([1.0, 2.0]), bandwidth=0.0)
+
+
+class TestStats:
+    def test_histogram_counts(self):
+        counts, edges = histogram(np.array([1, 1, 2, 3]), bins=3)
+        assert counts.sum() == 4
+        assert len(edges) == 4
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            histogram(np.array([]), bins=3)
+        with pytest.raises(ValueError):
+            histogram(np.array([1.0]), bins=0)
+
+    def test_summary_percentile_ordering(self, rng):
+        s = summarize(rng.lognormal(0, 1, size=2000))
+        assert s.minimum <= s.p5 <= s.p25 <= s.median <= s.p75 <= s.p95 <= s.maximum
+        assert s.count == 2000
+
+    def test_long_tail_has_higher_tail_ratio(self, rng):
+        narrow = summarize(rng.normal(10, 0.1, size=2000))
+        heavy = summarize(rng.lognormal(0, 1.5, size=2000))
+        assert heavy.tail_ratio > narrow.tail_ratio
+
+    def test_summary_row_keys(self, rng):
+        row = summarize(rng.normal(size=10)).row()
+        assert set(row) == {"mean", "std", "p5", "median", "p95", "tail_ratio"}
+
+    def test_power_law_alpha_recovery(self, rng):
+        from repro.data import sample_power_law
+
+        samples = sample_power_law(rng, 50000, alpha=2.5, x_min=1.0)
+        assert fit_power_law_alpha(samples, x_min=1.0) == pytest.approx(2.5, rel=0.05)
+
+    def test_power_law_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law_alpha(np.array([1.0]), x_min=1.0)
+        with pytest.raises(ValueError):
+            fit_power_law_alpha(np.array([2.0, 3.0]), x_min=-1.0)
+
+    def test_gini_uniform_zero(self):
+        assert gini_coefficient(np.full(100, 5.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_high(self):
+        x = np.zeros(100)
+        x[0] = 100.0
+        assert gini_coefficient(x) > 0.9
+
+    def test_gini_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+    def test_cdf_points(self):
+        values, fractions = cdf_points(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(fractions, [1 / 3, 2 / 3, 1.0])
+
+
+class TestRendering:
+    def test_format_si(self):
+        assert format_si(1_234_567) == "1.23M"
+        assert format_si(999) == "999"
+        assert format_si(2.5e9) == "2.5G"
+        assert format_si(float("nan")) == "nan"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(l) for l in lines[1:])) <= 2  # consistent widths
+
+    def test_render_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_render_bars_scaling(self):
+        out = render_bars(["x", "yy"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_render_bars_validation(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [])
+        with pytest.raises(ValueError):
+            render_bars(["a"], [0.0])

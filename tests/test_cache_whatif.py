@@ -1,0 +1,99 @@
+"""Tests for hot-row caching (repro.placement.cache + perf what-if)."""
+
+import numpy as np
+import pytest
+
+from repro.configs import build_m2, make_test_model
+from repro.hardware import BIG_BASIN
+from repro.perf import cached_system_memory_throughput, gpu_server_throughput
+from repro.placement import plan_cache, plan_system_memory, zipf_hit_rate
+
+
+class TestZipfHitRate:
+    def test_bounds(self):
+        assert zipf_hit_rate(1000, 0) == 0.0
+        assert zipf_hit_rate(1000, 1000) == 1.0
+        assert zipf_hit_rate(1000, 2000) == 1.0
+
+    def test_monotone_in_cache_size(self):
+        rates = [zipf_hit_rate(100000, k) for k in (10, 100, 1000, 10000)]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_skew_concentrates(self):
+        # stronger skew -> same cache absorbs more traffic
+        assert zipf_hit_rate(100000, 100, skew=1.2) > zipf_hit_rate(
+            100000, 100, skew=0.8
+        )
+
+    def test_small_cache_outsized_hit_rate(self):
+        # 1% of rows should absorb far more than 1% of Zipf(1.05) traffic
+        assert zipf_hit_rate(1_000_000, 10_000, skew=1.05) > 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_hit_rate(0, 1)
+        with pytest.raises(ValueError):
+            zipf_hit_rate(10, -1)
+
+
+class TestPlanCache:
+    def test_budget_respected(self):
+        model = make_test_model(64, 8, hash_size=1_000_000)
+        plan = plan_cache(model, cache_budget_bytes=50e6)
+        assert plan.cache_bytes <= 50e6
+        assert 0 <= plan.absorbed_lookup_fraction <= 1
+
+    def test_zero_budget(self):
+        model = make_test_model(64, 8)
+        plan = plan_cache(model, 0.0)
+        assert plan.absorbed_lookup_fraction == 0.0
+        assert all(v == 0 for v in plan.cached_rows.values())
+
+    def test_hot_tables_prioritized(self):
+        from repro.core import InteractionType, MLPSpec, ModelConfig, TableSpec
+
+        tables = (
+            TableSpec("hot", 1_000_000, dim=64, mean_lookups=50.0),
+            TableSpec("cold", 1_000_000, dim=64, mean_lookups=0.5),
+        )
+        model = ModelConfig("m", 8, tables, MLPSpec((16,)), MLPSpec((16,)), InteractionType.CONCAT)
+        # budget covers ~one table's 10% head only
+        plan = plan_cache(model, cache_budget_bytes=30e6)
+        assert plan.cached_rows["hot"] > 0
+        assert plan.cached_rows["hot"] >= plan.cached_rows["cold"]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            plan_cache(make_test_model(64, 4), -1.0)
+
+
+class TestCachedSystemMemoryThroughput:
+    def test_cache_speeds_up_big_basin_sysmem(self):
+        """The paper's caching opportunity: a few GB of HBM cache recovers
+        most of Big Basin's system-memory placement penalty."""
+        m2 = build_m2()
+        base = gpu_server_throughput(
+            m2, 3200, BIG_BASIN, plan_system_memory(m2, BIG_BASIN)
+        )
+        cached, cache = cached_system_memory_throughput(m2, 3200, BIG_BASIN, 4e9)
+        assert cache.absorbed_lookup_fraction > 0.3
+        assert cached.throughput > 1.5 * base.throughput
+
+    def test_zero_budget_matches_baseline(self):
+        m2 = build_m2()
+        base = gpu_server_throughput(
+            m2, 3200, BIG_BASIN, plan_system_memory(m2, BIG_BASIN)
+        )
+        cached, _ = cached_system_memory_throughput(m2, 3200, BIG_BASIN, 0.0)
+        assert cached.throughput == pytest.approx(base.throughput, rel=0.05)
+
+    def test_diminishing_returns(self):
+        m2 = build_m2()
+        t = [
+            cached_system_memory_throughput(m2, 3200, BIG_BASIN, b)[0].throughput
+            for b in (1e9, 4e9, 16e9)
+        ]
+        assert t[1] >= t[0]
+        gain_early = t[1] - t[0]
+        gain_late = t[2] - t[1]
+        assert gain_late <= gain_early + 1.0

@@ -1,0 +1,82 @@
+"""Tests for the calibration-fitting tool."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.perf import DEFAULT_CALIBRATION, fit_calibration, table3_ratio_loss
+from repro.perf.fitting import TABLE3_TARGETS
+
+
+class TestObjective:
+    def test_shipped_calibration_close_to_targets(self):
+        """The shipped calibration must sit near the Table III targets:
+        log-loss below (0.25)^2 per model on average."""
+        loss = table3_ratio_loss(DEFAULT_CALIBRATION)
+        assert loss < 3 * 0.25**2
+
+    def test_targets_match_setups(self):
+        assert TABLE3_TARGETS == {
+            "M1_prod": 2.25,
+            "M2_prod": 0.85,
+            "M3_prod": 0.67,
+        }
+
+    def test_perturbation_hurts(self):
+        """Breaking a fitted knob far from its value must raise the loss."""
+        broken = replace(DEFAULT_CALIBRATION, ps_service_efficiency=0.1)
+        assert table3_ratio_loss(broken) > table3_ratio_loss(DEFAULT_CALIBRATION)
+
+
+class TestFitCalibration:
+    def test_recovers_from_perturbation(self):
+        """Start from a deliberately detuned calibration; the fitter must
+        reduce the loss substantially toward the shipped value."""
+        detuned = replace(
+            DEFAULT_CALIBRATION,
+            remote_iteration_overhead_s=DEFAULT_CALIBRATION.remote_iteration_overhead_s * 3,
+        )
+        start_loss = table3_ratio_loss(detuned)
+        result = fit_calibration(
+            knobs=("remote_iteration_overhead_s",), start=detuned, rounds=4
+        )
+        assert result.improved
+        assert result.loss < 0.5 * start_loss
+        assert result.evaluations > 1
+
+    def test_noop_when_already_optimal_on_cheap_objective(self):
+        """With a synthetic objective minimized at the start point, the
+        fitter returns the start unchanged."""
+        calls = []
+
+        def objective(c):
+            calls.append(1)
+            return abs(c.host_input_per_table_s - DEFAULT_CALIBRATION.host_input_per_table_s)
+
+        result = fit_calibration(
+            knobs=("host_input_per_table_s",),
+            objective=objective,
+            rounds=2,
+        )
+        assert result.calibration.host_input_per_table_s == pytest.approx(
+            DEFAULT_CALIBRATION.host_input_per_table_s
+        )
+        assert not result.improved
+
+    def test_fraction_fields_clamped(self):
+        def objective(c):
+            # rewards pushing the fraction up; must clamp at 1.0
+            return 1.0 - c.ps_service_efficiency
+
+        result = fit_calibration(
+            knobs=("ps_service_efficiency",), objective=objective, rounds=3
+        )
+        assert result.calibration.ps_service_efficiency <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_calibration(knobs=("not_a_field",))
+        with pytest.raises(ValueError):
+            fit_calibration(rounds=0)
+        with pytest.raises(ValueError):
+            fit_calibration(step_factor=1.0)

@@ -1,0 +1,129 @@
+"""Tests for repro.configs: Table II production models and §V sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.configs import (
+    BATCH_SWEEP_GPU,
+    DENSE_SWEEP,
+    EMBEDDING_DIM,
+    HASH_SIZE_MAX,
+    HASH_SIZE_MIN,
+    PRODUCTION_MODELS,
+    PRODUCTION_SETUPS,
+    SPARSE_SWEEP,
+    TEST_SUITE_TRUNCATION,
+    build_m1,
+    build_m2,
+    build_m3,
+    make_test_model,
+)
+from repro.core import InteractionType
+from repro.hardware import BIG_BASIN, ZION, CapacityError
+from repro.placement import plan_gpu_memory, plan_system_memory
+
+
+class TestTableII:
+    """The production models must match Table II's published aggregates."""
+
+    def test_m1_aggregates(self):
+        m = build_m1()
+        assert m.num_sparse == 30
+        assert m.num_dense == 800
+        assert m.bottom_mlp.notation() == "512^1"
+        assert m.top_mlp.notation() == "512^3"
+        # mean lookups per table == 28
+        assert m.mean_total_lookups / m.num_sparse == pytest.approx(28, rel=0.01)
+
+    def test_m2_aggregates(self):
+        m = build_m2()
+        assert m.num_sparse == 13
+        assert m.num_dense == 504
+        assert m.top_mlp.notation() == "1024-1024-512"
+        assert m.mean_total_lookups / m.num_sparse == pytest.approx(17, rel=0.01)
+
+    def test_m3_aggregates(self):
+        m = build_m3()
+        assert m.num_sparse == 127
+        assert m.num_dense == 809
+        assert m.top_mlp.notation() == "512-256-512-256-512"
+        assert m.mean_total_lookups / m.num_sparse == pytest.approx(49, rel=0.01)
+
+    def test_embedding_size_orders_of_magnitude(self):
+        """Table II: M1/M2 'tens of GB', M3 'hundreds of GB'."""
+        m1, m2, m3 = build_m1(), build_m2(), build_m3()
+        assert 10e9 < m1.embedding_bytes < 100e9
+        assert 10e9 < m2.embedding_bytes < 100e9
+        assert 100e9 < m3.embedding_bytes < 1000e9
+
+    def test_mean_hash_sizes_match_fig6(self):
+        """Figure 6: average hash sizes 5.7M / 7.3M / 3.7M."""
+        for build, mean in ((build_m1, 5.7e6), (build_m2, 7.3e6), (build_m3, 3.7e6)):
+            m = build()
+            realized = np.mean([t.hash_size for t in m.tables])
+            assert realized == pytest.approx(mean, rel=0.02)
+
+    def test_hash_sizes_within_fig6_range(self):
+        for build in (build_m1, build_m2, build_m3):
+            for t in build().tables:
+                assert HASH_SIZE_MIN <= t.hash_size <= HASH_SIZE_MAX
+
+    def test_feature_lengths_power_law_skew(self):
+        """Figure 7: a few tables are accessed far more than most."""
+        m3 = build_m3()
+        lengths = np.array([t.mean_lookups for t in m3.tables])
+        assert lengths.max() > 4 * np.median(lengths)
+
+    def test_fixed_embedding_dim(self):
+        for build in (build_m1, build_m2, build_m3):
+            assert build().embedding_dim == EMBEDDING_DIM
+
+    def test_deterministic_under_seed(self):
+        a, b = build_m1(), build_m1()
+        assert [t.hash_size for t in a.tables] == [t.hash_size for t in b.tables]
+
+    def test_registry_and_setups_aligned(self):
+        assert set(PRODUCTION_MODELS) == set(PRODUCTION_SETUPS)
+        for name, setup in PRODUCTION_SETUPS.items():
+            assert setup.model_name == name
+
+
+class TestCapacityStory:
+    """The placement narrative of the paper must hold for these configs."""
+
+    def test_m1_m2_fit_on_big_basin_gpus(self):
+        for build in (build_m1, build_m2):
+            plan = plan_gpu_memory(build(), BIG_BASIN)  # must not raise
+            assert plan.gpus_used() >= 1
+
+    def test_m3_does_not_fit_on_one_big_basin(self):
+        with pytest.raises(CapacityError):
+            plan_gpu_memory(build_m3(), BIG_BASIN)
+
+    def test_m3_fits_in_zion_system_memory(self):
+        plan = plan_system_memory(build_m3(), ZION)
+        assert len(plan.shards) == 127
+
+
+class TestSweeps:
+    def test_sweep_bounds_match_section_v(self):
+        assert min(DENSE_SWEEP) == 64 and max(DENSE_SWEEP) == 4096
+        assert min(SPARSE_SWEEP) == 4 and max(SPARSE_SWEEP) == 128
+        assert TEST_SUITE_TRUNCATION == 32
+
+    def test_batch_sweep_monotone(self):
+        assert list(BATCH_SWEEP_GPU) == sorted(BATCH_SWEEP_GPU)
+
+    def test_make_test_model_defaults(self):
+        m = make_test_model(256, 16)
+        assert m.num_dense == 256
+        assert m.num_sparse == 16
+        assert all(t.hash_size == 100_000 for t in m.tables)
+        assert all(t.truncation == 32 for t in m.tables)
+        assert m.bottom_mlp.notation() == "512^3"
+        assert m.interaction is InteractionType.CONCAT
+
+    def test_make_test_model_custom_mlp(self):
+        m = make_test_model(64, 4, mlp="128^2")
+        assert m.bottom_mlp.layer_sizes == (128, 128)
+        assert m.top_mlp.layer_sizes == (128, 128)

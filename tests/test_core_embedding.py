@@ -1,0 +1,230 @@
+"""Tests for repro.core.embedding: ragged batches, lookups, sparse grads."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmbeddingBagCollection,
+    EmbeddingTable,
+    PoolingType,
+    RaggedIndices,
+    SparseGrad,
+    TableSpec,
+    hash_raw_ids,
+    uniform_tables,
+)
+
+from helpers import numeric_grad_scalar, simple_ragged
+
+
+class TestHashRawIds:
+    def test_range(self, rng):
+        ids = rng.integers(0, 2**40, size=1000)
+        hashed = hash_raw_ids(ids, 97)
+        assert hashed.min() >= 0 and hashed.max() < 97
+
+    def test_deterministic(self):
+        ids = np.arange(100)
+        np.testing.assert_array_equal(hash_raw_ids(ids, 50), hash_raw_ids(ids, 50))
+
+    def test_collisions_exist_for_small_hash(self):
+        hashed = hash_raw_ids(np.arange(1000), 10)
+        assert len(np.unique(hashed)) == 10
+
+    def test_spreads_reasonably(self):
+        hashed = hash_raw_ids(np.arange(100000), 100)
+        counts = np.bincount(hashed, minlength=100)
+        assert counts.min() > 500 and counts.max() < 2000
+
+    def test_rejects_zero_hash_size(self):
+        with pytest.raises(ValueError):
+            hash_raw_ids(np.array([1]), 0)
+
+
+class TestRaggedIndices:
+    def test_from_lists(self):
+        r = simple_ragged([[1, 2], [], [3]])
+        assert r.batch_size == 3
+        assert r.total_lookups == 3
+        np.testing.assert_array_equal(r.lengths(), [2, 0, 1])
+        np.testing.assert_array_equal(r.sample(0), [1, 2])
+        np.testing.assert_array_equal(r.sample(1), [])
+
+    def test_empty_batch(self):
+        r = RaggedIndices(values=np.empty(0, dtype=np.int64), offsets=np.array([0]))
+        assert r.batch_size == 0
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            RaggedIndices(values=np.array([1, 2]), offsets=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            RaggedIndices(values=np.array([1, 2]), offsets=np.array([1, 2]))
+        with pytest.raises(ValueError):
+            RaggedIndices(values=np.array([1, 2]), offsets=np.array([0, 2, 1]))
+
+    def test_truncate(self):
+        r = simple_ragged([[1, 2, 3, 4], [5], [6, 7, 8]])
+        t = r.truncate(2)
+        np.testing.assert_array_equal(t.lengths(), [2, 1, 2])
+        np.testing.assert_array_equal(t.sample(0), [1, 2])
+        np.testing.assert_array_equal(t.sample(2), [6, 7])
+
+    def test_truncate_noop_when_under_limit(self):
+        r = simple_ragged([[1], [2, 3]])
+        t = r.truncate(5)
+        np.testing.assert_array_equal(t.values, r.values)
+
+    def test_truncate_rejects_zero(self):
+        with pytest.raises(ValueError):
+            simple_ragged([[1]]).truncate(0)
+
+
+class TestSparseGrad:
+    def test_coalesce_sums_duplicates(self):
+        idx = np.array([3, 1, 3])
+        grads = np.array([[1.0, 0.0], [0.5, 0.5], [2.0, 1.0]])
+        g = SparseGrad.coalesce(idx, grads)
+        np.testing.assert_array_equal(g.rows, [1, 3])
+        np.testing.assert_allclose(g.values, [[0.5, 0.5], [3.0, 1.0]])
+        assert g.nnz_rows == 2
+
+
+class TestEmbeddingTable:
+    def _table(self, rng, pooling=PoolingType.SUM, truncation=None, hash_size=20, dim=3):
+        spec = TableSpec("t", hash_size=hash_size, dim=dim, mean_lookups=2, truncation=truncation)
+        return EmbeddingTable(spec, rng, pooling=pooling)
+
+    def test_sum_pooling_matches_manual(self, rng):
+        table = self._table(rng)
+        r = simple_ragged([[0, 1], [5]])
+        out = table.forward(r)
+        np.testing.assert_allclose(out[0], table.weight[0] + table.weight[1])
+        np.testing.assert_allclose(out[1], table.weight[5])
+
+    def test_mean_pooling(self, rng):
+        table = self._table(rng, pooling=PoolingType.MEAN)
+        r = simple_ragged([[0, 1], [5]])
+        out = table.forward(r)
+        np.testing.assert_allclose(out[0], (table.weight[0] + table.weight[1]) / 2)
+
+    def test_empty_sample_gives_zero_vector(self, rng):
+        table = self._table(rng)
+        out = table.forward(simple_ragged([[], [3]]))
+        np.testing.assert_array_equal(out[0], np.zeros(3))
+
+    def test_out_of_range_rejected(self, rng):
+        table = self._table(rng, hash_size=5)
+        with pytest.raises(IndexError):
+            table.forward(simple_ragged([[7]]))
+
+    def test_truncation_applied_in_forward(self, rng):
+        table = self._table(rng, truncation=1)
+        r = simple_ragged([[0, 1]])
+        out = table.forward(r)
+        np.testing.assert_allclose(out[0], table.weight[0])
+
+    def test_backward_scatters_sparse_grad(self, rng):
+        table = self._table(rng)
+        r = simple_ragged([[0, 1], [1]])
+        table.forward(r)
+        table.backward(np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]]))
+        g = table.pop_grad()
+        np.testing.assert_array_equal(g.rows, [0, 1])
+        np.testing.assert_allclose(g.values[0], [1.0, 0.0, 0.0])
+        np.testing.assert_allclose(g.values[1], [1.0, 2.0, 0.0])  # summed
+
+    def test_backward_numeric_gradient(self, rng):
+        table = self._table(rng)
+        r = simple_ragged([[0, 2], [2, 4]])
+        coeff = rng.normal(size=(2, 3))
+
+        def loss():
+            return float((table.forward(r) * coeff).sum())
+
+        expected = numeric_grad_scalar(loss, table.weight)
+        table.zero_grad()
+        table.forward(r)
+        table.backward(coeff)
+        g = table.pop_grad()
+        dense = np.zeros_like(table.weight)
+        dense[g.rows] = g.values
+        np.testing.assert_allclose(dense, expected, rtol=1e-5, atol=1e-8)
+
+    def test_mean_pooling_numeric_gradient(self, rng):
+        table = self._table(rng, pooling=PoolingType.MEAN)
+        r = simple_ragged([[0, 2, 3], [4]])
+        coeff = rng.normal(size=(2, 3))
+
+        def loss():
+            return float((table.forward(r) * coeff).sum())
+
+        expected = numeric_grad_scalar(loss, table.weight)
+        table.zero_grad()
+        table.forward(r)
+        table.backward(coeff)
+        g = table.pop_grad()
+        dense = np.zeros_like(table.weight)
+        dense[g.rows] = g.values
+        np.testing.assert_allclose(dense, expected, rtol=1e-5, atol=1e-8)
+
+    def test_backward_without_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            self._table(rng).backward(np.zeros((1, 3)))
+
+    def test_pop_grad_empty_returns_none(self, rng):
+        assert self._table(rng).pop_grad() is None
+
+    def test_pop_grad_coalesces_multiple_backwards(self, rng):
+        table = self._table(rng)
+        for _ in range(2):
+            table.forward(simple_ragged([[1]]))
+            table.backward(np.ones((1, 3)))
+        g = table.pop_grad()
+        np.testing.assert_array_equal(g.rows, [1])
+        np.testing.assert_allclose(g.values, [[2.0, 2.0, 2.0]])
+
+
+class TestEmbeddingBagCollection:
+    def test_forward_all_features(self, rng):
+        specs = uniform_tables(2, 10, dim=3, mean_lookups=1)
+        coll = EmbeddingBagCollection(specs, rng)
+        batch = {s.name: simple_ragged([[0], [1]]) for s in specs}
+        out = coll.forward(batch)
+        assert set(out) == {s.name for s in specs}
+        assert out[specs[0].name].shape == (2, 3)
+
+    def test_missing_feature_raises(self, rng):
+        specs = uniform_tables(2, 10, dim=3)
+        coll = EmbeddingBagCollection(specs, rng)
+        with pytest.raises(KeyError):
+            coll.forward({specs[0].name: simple_ragged([[0]])})
+
+    def test_shared_table(self, rng):
+        specs = uniform_tables(1, 10, dim=3, prefix="shared")
+        coll = EmbeddingBagCollection(
+            specs,
+            rng,
+            feature_to_table={"feat_a": "shared_0", "feat_b": "shared_0"},
+        )
+        batch = {
+            "feat_a": simple_ragged([[1]]),
+            "feat_b": simple_ragged([[2]]),
+        }
+        out = coll.forward(batch)
+        table = coll.tables["shared_0"]
+        np.testing.assert_allclose(out["feat_a"][0], table.weight[1])
+        np.testing.assert_allclose(out["feat_b"][0], table.weight[2])
+        # Backward through both features accumulates into the shared table.
+        coll.backward({k: np.ones((1, 3)) for k in batch})
+        g = table.pop_grad()
+        assert set(g.rows) == {1, 2}
+
+    def test_unknown_shared_table_rejected(self, rng):
+        specs = uniform_tables(1, 10, dim=3)
+        with pytest.raises(ValueError):
+            EmbeddingBagCollection(specs, rng, feature_to_table={"f": "nope"})
+
+    def test_total_bytes(self, rng):
+        specs = uniform_tables(2, 10, dim=3)
+        coll = EmbeddingBagCollection(specs, rng)
+        assert coll.total_bytes == 2 * 10 * 3 * 8  # float64 in-memory

@@ -1,0 +1,100 @@
+"""Tests for repro.core.interaction: concat and dot combiners + gradients."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConcatInteraction, DotInteraction, InteractionType, make_interaction
+
+from helpers import numeric_grad_scalar
+
+
+class TestConcatInteraction:
+    def test_forward_layout(self, rng):
+        inter = ConcatInteraction(num_sparse=2, dim=3)
+        dense = rng.normal(size=(2, 5))
+        embs = [rng.normal(size=(2, 3)) for _ in range(2)]
+        out = inter.forward(dense, embs)
+        assert out.shape == (2, 5 + 6)
+        np.testing.assert_array_equal(out[:, :5], dense)
+        np.testing.assert_array_equal(out[:, 5:8], embs[0])
+        np.testing.assert_array_equal(out[:, 8:], embs[1])
+
+    def test_out_features(self):
+        assert ConcatInteraction(3, 4).out_features(10) == 10 + 12
+
+    def test_backward_splits(self, rng):
+        inter = ConcatInteraction(num_sparse=2, dim=3)
+        dense = rng.normal(size=(2, 5))
+        embs = [rng.normal(size=(2, 3)) for _ in range(2)]
+        out = inter.forward(dense, embs)
+        g_dense, g_embs = inter.backward(np.ones_like(out))
+        assert g_dense.shape == (2, 5)
+        assert len(g_embs) == 2 and g_embs[0].shape == (2, 3)
+
+    def test_wrong_emb_count_rejected(self, rng):
+        inter = ConcatInteraction(num_sparse=2, dim=3)
+        with pytest.raises(ValueError):
+            inter.forward(rng.normal(size=(2, 5)), [rng.normal(size=(2, 3))])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ConcatInteraction(1, 2).backward(np.zeros((1, 4)))
+
+
+class TestDotInteraction:
+    def test_pair_count(self):
+        inter = DotInteraction(num_sparse=3, dim=4)
+        assert inter.num_pairs == 6  # C(4, 2)
+        assert inter.out_features(4) == 4 + 6
+
+    def test_out_features_requires_dim_match(self):
+        with pytest.raises(ValueError):
+            DotInteraction(2, 4).out_features(5)
+
+    def test_forward_pairs_match_manual(self, rng):
+        inter = DotInteraction(num_sparse=2, dim=3)
+        dense = rng.normal(size=(1, 3))
+        e1, e2 = rng.normal(size=(1, 3)), rng.normal(size=(1, 3))
+        out = inter.forward(dense, [e1, e2])
+        np.testing.assert_array_equal(out[:, :3], dense)
+        pairs = out[0, 3:]
+        # tril order over [dense, e1, e2]: (e1,dense), (e2,dense), (e2,e1)
+        assert pairs[0] == pytest.approx(float((e1 * dense).sum()))
+        assert pairs[1] == pytest.approx(float((e2 * dense).sum()))
+        assert pairs[2] == pytest.approx(float((e2 * e1).sum()))
+
+    def test_gradients_numeric(self, rng):
+        inter = DotInteraction(num_sparse=2, dim=3)
+        dense = rng.normal(size=(2, 3))
+        embs = [rng.normal(size=(2, 3)) for _ in range(2)]
+        coeff = rng.normal(size=(2, inter.out_features(3)))
+
+        def loss():
+            return float((inter.forward(dense, list(embs)) * coeff).sum())
+
+        expected_dense = numeric_grad_scalar(loss, dense)
+        expected_embs = [numeric_grad_scalar(loss, e) for e in embs]
+        inter.forward(dense, list(embs))
+        g_dense, g_embs = inter.backward(coeff)
+        np.testing.assert_allclose(g_dense, expected_dense, rtol=1e-5, atol=1e-8)
+        for got, want in zip(g_embs, expected_embs):
+            np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-8)
+
+    def test_dense_width_mismatch_rejected(self, rng):
+        inter = DotInteraction(num_sparse=1, dim=3)
+        with pytest.raises(ValueError):
+            inter.forward(rng.normal(size=(1, 4)), [rng.normal(size=(1, 3))])
+
+
+class TestFactory:
+    def test_make_concat(self):
+        assert isinstance(
+            make_interaction(InteractionType.CONCAT, 2, 3), ConcatInteraction
+        )
+
+    def test_make_dot(self):
+        assert isinstance(make_interaction(InteractionType.DOT, 2, 3), DotInteraction)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_interaction("nope", 2, 3)

@@ -1,0 +1,163 @@
+"""Tests for repro.core.loss and repro.core.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BCEWithLogitsLoss,
+    accuracy,
+    auc,
+    calibration,
+    log_loss,
+    ne_gap_percent,
+    normalized_entropy,
+    sigmoid,
+)
+
+from helpers import numeric_grad_scalar
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_stable(self):
+        out = sigmoid(np.array([-1e4, 1e4]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+        assert np.isfinite(out).all()
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=100)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+
+class TestBCEWithLogitsLoss:
+    def test_matches_reference(self, rng):
+        logits = rng.normal(size=50)
+        labels = (rng.uniform(size=50) < 0.4).astype(float)
+        loss = BCEWithLogitsLoss().forward(logits, labels)
+        p = sigmoid(logits)
+        expected = -(labels * np.log(p) + (1 - labels) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(expected, rel=1e-10)
+
+    def test_extreme_logits_finite(self):
+        loss = BCEWithLogitsLoss().forward(np.array([1e4, -1e4]), np.array([0.0, 1.0]))
+        assert np.isfinite(loss)
+
+    def test_gradient_numeric(self, rng):
+        logits = rng.normal(size=10)
+        labels = (rng.uniform(size=10) < 0.5).astype(float)
+        crit = BCEWithLogitsLoss()
+
+        def loss():
+            return crit.forward(logits, labels)
+
+        expected = numeric_grad_scalar(loss, logits)
+        crit.forward(logits, labels)
+        grad = crit.backward().reshape(-1)
+        np.testing.assert_allclose(grad, expected, rtol=1e-6, atol=1e-9)
+
+    def test_gradient_formula(self):
+        crit = BCEWithLogitsLoss()
+        logits = np.array([0.0, 2.0])
+        labels = np.array([1.0, 0.0])
+        crit.forward(logits, labels)
+        grad = crit.backward().reshape(-1)
+        np.testing.assert_allclose(grad, (sigmoid(logits) - labels) / 2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BCEWithLogitsLoss().forward(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BCEWithLogitsLoss().forward(np.zeros(0), np.zeros(0))
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError):
+            BCEWithLogitsLoss().forward(np.zeros(2), np.array([0.0, 2.0]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            BCEWithLogitsLoss().backward()
+
+
+class TestNormalizedEntropy:
+    def test_constant_predictor_is_one(self):
+        labels = np.array([1.0, 0.0, 0.0, 1.0, 0.0])
+        ctr = labels.mean()
+        preds = np.full(5, ctr)
+        assert normalized_entropy(preds, labels) == pytest.approx(1.0)
+
+    def test_better_than_background_below_one(self):
+        labels = np.array([1.0, 0.0, 1.0, 0.0])
+        preds = np.array([0.9, 0.1, 0.8, 0.2])
+        assert normalized_entropy(preds, labels) < 1.0
+
+    def test_worse_than_background_above_one(self):
+        labels = np.array([1.0, 0.0, 1.0, 0.0])
+        preds = np.array([0.1, 0.9, 0.2, 0.8])
+        assert normalized_entropy(preds, labels) > 1.0
+
+
+class TestLogLoss:
+    def test_perfect_predictions_near_zero(self):
+        assert log_loss(np.array([1.0, 0.0]), np.array([1.0, 0.0])) < 1e-10
+
+    def test_clipping_keeps_finite(self):
+        assert np.isfinite(log_loss(np.array([0.0]), np.array([1.0])))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            log_loss(np.array([]), np.array([]))
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert auc(np.array([0.9, 0.8, 0.2, 0.1]), np.array([1, 1, 0, 0])) == 1.0
+
+    def test_inverted_ranking(self):
+        assert auc(np.array([0.1, 0.2, 0.8, 0.9]), np.array([1, 1, 0, 0])) == 0.0
+
+    def test_random_near_half(self, rng):
+        scores = rng.normal(size=5000)
+        labels = rng.uniform(size=5000) < 0.5
+        assert auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_averaged(self):
+        assert auc(np.array([0.5, 0.5]), np.array([1, 0])) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            auc(np.array([0.5, 0.6]), np.array([1, 1]))
+
+
+class TestCalibrationAccuracy:
+    def test_calibration_ideal(self):
+        labels = np.array([1.0, 0.0])
+        preds = np.array([0.7, 0.3])
+        assert calibration(preds, labels) == pytest.approx(1.0)
+
+    def test_calibration_no_positives_rejected(self):
+        with pytest.raises(ValueError):
+            calibration(np.array([0.5]), np.array([0.0]))
+
+    def test_accuracy(self):
+        assert accuracy(np.array([1.0, -1.0, 1.0]), np.array([1, 0, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestNEGap:
+    def test_positive_when_worse(self):
+        assert ne_gap_percent(1.01, 1.0) == pytest.approx(1.0)
+
+    def test_negative_when_better(self):
+        assert ne_gap_percent(0.998, 1.0) == pytest.approx(-0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            ne_gap_percent(1.0, 0.0)

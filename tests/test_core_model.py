@@ -1,0 +1,161 @@
+"""Tests for repro.core.model: the assembled DLRM."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DLRM,
+    Adagrad,
+    Batch,
+    BCEWithLogitsLoss,
+    InteractionType,
+    MLPSpec,
+    ModelConfig,
+    uniform_tables,
+)
+
+from helpers import make_batch, numeric_grad_scalar
+
+
+class TestBatch:
+    def test_valid_batch(self, tiny_config, tiny_generator):
+        batch = tiny_generator.batch(8)
+        assert batch.size == 8
+        assert batch.dense.shape == (8, tiny_config.num_dense)
+        assert set(batch.sparse) == {t.name for t in tiny_config.tables}
+
+    def test_total_lookups(self, tiny_generator):
+        batch = tiny_generator.batch(16)
+        assert batch.total_lookups() == sum(
+            r.total_lookups for r in batch.sparse.values()
+        )
+
+    def test_label_count_mismatch_rejected(self, tiny_generator):
+        good = tiny_generator.batch(4)
+        with pytest.raises(ValueError):
+            Batch(good.dense, good.sparse, np.zeros(3))
+
+    def test_sparse_batch_mismatch_rejected(self, tiny_config, tiny_generator):
+        b4 = tiny_generator.batch(4)
+        b8 = tiny_generator.batch(8)
+        with pytest.raises(ValueError):
+            Batch(b4.dense, b8.sparse, b4.labels)
+
+
+class TestDLRMForward:
+    def test_logit_shape(self, tiny_config, tiny_generator):
+        model = DLRM(tiny_config, rng=0)
+        logits = model.forward(tiny_generator.batch(8))
+        assert logits.shape == (8,)
+
+    def test_deterministic_given_seed(self, tiny_config, tiny_generator):
+        batch = tiny_generator.batch(8)
+        l1 = DLRM(tiny_config, rng=3).forward(batch)
+        l2 = DLRM(tiny_config, rng=3).forward(batch)
+        np.testing.assert_array_equal(l1, l2)
+
+    def test_concat_variant_works(self, concat_config):
+        model = DLRM(concat_config, rng=0)
+        batch = make_batch(concat_config, 8)
+        assert model.forward(batch).shape == (8,)
+
+    def test_wrong_dense_width_rejected(self, tiny_config, tiny_generator):
+        model = DLRM(tiny_config, rng=0)
+        batch = tiny_generator.batch(4)
+        bad = Batch(np.zeros((4, tiny_config.num_dense + 1)), batch.sparse, batch.labels)
+        with pytest.raises(ValueError):
+            model.forward(bad)
+
+    def test_predict_proba_in_unit_interval(self, tiny_config, tiny_generator):
+        model = DLRM(tiny_config, rng=0)
+        probs = model.predict_proba(tiny_generator.batch(32))
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_repeated_inference_does_not_leak_state(self, tiny_config, tiny_generator):
+        model = DLRM(tiny_config, rng=0)
+        for _ in range(3):
+            model.predict_proba(tiny_generator.batch(4))
+        for table in model.embeddings.tables.values():
+            assert not table._saved
+
+
+class TestDLRMBackward:
+    @pytest.mark.parametrize("interaction", [InteractionType.DOT, InteractionType.CONCAT])
+    def test_full_gradient_check(self, interaction):
+        config = ModelConfig(
+            name="gradcheck",
+            num_dense=3,
+            tables=uniform_tables(2, 12, dim=3, mean_lookups=2.0),
+            bottom_mlp=MLPSpec((4, 3)),
+            top_mlp=MLPSpec((4,)),
+            interaction=interaction,
+        )
+        model = DLRM(config, rng=1)
+        # Nudge biases off zero: an all-dead hidden layer otherwise leaves
+        # pre-activations exactly on the ReLU kink, where the analytic
+        # subgradient (0) and the central difference (slope 1/2) disagree.
+        nudge = np.random.default_rng(9)
+        for p in model.dense_parameters():
+            if "bias" in p.name:
+                p.value += nudge.normal(0.0, 0.05, size=p.value.shape)
+        batch = make_batch(config, 4, seed=2)
+        crit = BCEWithLogitsLoss()
+
+        def loss():
+            value = crit.forward(model.forward(batch), batch.labels)
+            model._discard_forward_state()
+            return value
+
+        # dense parameters
+        for p in model.dense_parameters():
+            expected = numeric_grad_scalar(loss, p.value)
+            model.zero_grad()
+            value = crit.forward(model.forward(batch), batch.labels)
+            model.backward(crit.backward())
+            np.testing.assert_allclose(
+                p.grad, expected, rtol=1e-4, atol=1e-7,
+                err_msg=f"gradient mismatch for {p.name}",
+            )
+        # one embedding table
+        table = model.embedding_tables()[0]
+        expected = numeric_grad_scalar(loss, table.weight)
+        model.zero_grad()
+        crit.forward(model.forward(batch), batch.labels)
+        model.backward(crit.backward())
+        g = table.pop_grad()
+        dense = np.zeros_like(table.weight)
+        if g is not None:
+            dense[g.rows] = g.values
+        np.testing.assert_allclose(dense, expected, rtol=1e-4, atol=1e-7)
+
+    def test_training_reduces_loss(self, tiny_config, tiny_generator):
+        model = DLRM(tiny_config, rng=0)
+        opt = Adagrad(model.dense_parameters(), model.embedding_tables(), lr=0.05)
+        crit = BCEWithLogitsLoss()
+        losses = []
+        for _ in range(60):
+            batch = tiny_generator.batch(64)
+            opt.zero_grad()
+            losses.append(crit.forward(model.forward(batch), batch.labels))
+            model.backward(crit.backward())
+            opt.step()
+        assert np.mean(losses[-10:]) < np.mean(losses[:10]) - 0.01
+
+
+class TestDLRMState:
+    def test_dense_state_roundtrip(self, tiny_config):
+        a = DLRM(tiny_config, rng=0)
+        b = DLRM(tiny_config, rng=1)
+        b.set_dense_state(a.get_dense_state())
+        for pa, pb in zip(a.dense_parameters(), b.dense_parameters()):
+            np.testing.assert_array_equal(pa.value, pb.value)
+
+    def test_state_shape_mismatch_rejected(self, tiny_config, concat_config):
+        a = DLRM(tiny_config, rng=0)
+        b = DLRM(concat_config, rng=0)
+        with pytest.raises(ValueError):
+            b.set_dense_state(a.get_dense_state())
+
+    def test_num_parameters_matches_config(self, tiny_config):
+        model = DLRM(tiny_config, rng=0)
+        assert model.num_parameters() == tiny_config.total_parameters

@@ -1,0 +1,152 @@
+"""Tests for repro.core.optim: SGD and Adagrad, dense and sparse paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SGD,
+    Adagrad,
+    EmbeddingTable,
+    Parameter,
+    SparseGrad,
+    TableSpec,
+)
+
+from helpers import simple_ragged
+
+
+def _param(rng, shape=(3, 2)):
+    return Parameter(rng.normal(size=shape))
+
+
+def _table(rng, hash_size=10, dim=3):
+    return EmbeddingTable(TableSpec("t", hash_size, dim=dim), rng)
+
+
+class TestSGD:
+    def test_dense_step(self, rng):
+        p = _param(rng)
+        before = p.value.copy()
+        p.grad += 1.0
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.value, before - 0.1)
+
+    def test_momentum_accumulates(self, rng):
+        p = _param(rng)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        before = p.value.copy()
+        p.grad[...] = 1.0
+        opt.step()
+        first_delta = (p.value - before).copy()
+        p.grad[...] = 1.0
+        opt.step()
+        second_delta = p.value - before - first_delta
+        # velocity grows: second step is larger
+        assert np.all(np.abs(second_delta) > np.abs(first_delta))
+
+    def test_weight_decay_shrinks(self, rng):
+        p = Parameter(np.full((2, 2), 10.0))
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        opt.step()  # grad is zero, only decay acts
+        assert np.all(p.value < 10.0)
+
+    def test_sparse_step_touches_only_rows(self, rng):
+        table = _table(rng)
+        before = table.weight.copy()
+        table.forward(simple_ragged([[2, 5]]))
+        table.backward(np.ones((1, 3)))
+        SGD([], [table], lr=0.5).step()
+        changed = np.where(np.any(table.weight != before, axis=1))[0]
+        np.testing.assert_array_equal(changed, [2, 5])
+        np.testing.assert_allclose(table.weight[2], before[2] - 0.5)
+
+    def test_zero_grad_clears_both(self, rng):
+        p = _param(rng)
+        table = _table(rng)
+        p.grad += 1
+        table.forward(simple_ragged([[0]]))
+        table.backward(np.ones((1, 3)))
+        opt = SGD([p], [table], lr=0.1)
+        opt.zero_grad()
+        assert np.all(p.grad == 0)
+        assert table.pop_grad() is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lr": 0.0},
+        {"lr": -1.0},
+        {"lr": 0.1, "momentum": 1.0},
+        {"lr": 0.1, "momentum": -0.1},
+        {"lr": 0.1, "weight_decay": -1.0},
+    ])
+    def test_bad_hyperparams_rejected(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            SGD([_param(rng)], **kwargs)
+
+
+class TestAdagrad:
+    def test_dense_first_step_is_lr_sign(self, rng):
+        p = Parameter(np.zeros((2, 2)))
+        p.grad[...] = 4.0
+        Adagrad([p], lr=0.1).step()
+        # update = lr * g / sqrt(g^2) = lr
+        np.testing.assert_allclose(p.value, -0.1, rtol=1e-6)
+
+    def test_effective_lr_decays(self, rng):
+        p = Parameter(np.zeros((1, 1)))
+        opt = Adagrad([p], lr=0.1)
+        deltas = []
+        for _ in range(3):
+            before = p.value.copy()
+            p.grad[...] = 1.0
+            opt.step()
+            deltas.append(float(np.abs(p.value - before).max()))
+            p.zero_grad()
+        assert deltas[0] > deltas[1] > deltas[2]
+
+    def test_sparse_state_per_row(self, rng):
+        table = _table(rng)
+        opt = Adagrad([], [table], lr=0.1)
+        # Hit row 1 twice, row 2 once: row 1's effective lr should decay.
+        deltas = {}
+        for step, rows in enumerate([[1], [1, 2]]):
+            before = table.weight.copy()
+            table.forward(simple_ragged([rows]))
+            table.backward(np.ones((1, 3)))
+            opt.step()
+            deltas[step] = np.abs(table.weight - before)
+        # second hit on row 1 moves less than the first hit on row 2
+        assert np.all(deltas[1][1] < deltas[1][2])
+
+    def test_untouched_rows_keep_state(self, rng):
+        table = _table(rng)
+        opt = Adagrad([], [table], lr=0.1)
+        table.forward(simple_ragged([[0]]))
+        table.backward(np.ones((1, 3)))
+        opt.step()
+        assert np.all(opt._table_state[0][1:] == 0)
+        assert np.all(opt._table_state[0][0] > 0)
+
+    def test_state_bytes_counts_everything(self, rng):
+        p = _param(rng, (4, 4))
+        table = _table(rng, hash_size=8, dim=2)
+        opt = Adagrad([p], [table], lr=0.1)
+        assert opt.state_bytes() == p.value.nbytes + table.weight.nbytes
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lr": 0.0},
+        {"lr": 0.1, "eps": 0.0},
+        {"lr": 0.1, "initial_accumulator": -1.0},
+    ])
+    def test_bad_hyperparams_rejected(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            Adagrad([_param(rng)], **kwargs)
+
+    def test_convergence_on_quadratic(self, rng):
+        # minimize ||x - 3||^2 with Adagrad
+        p = Parameter(np.zeros(4))
+        opt = Adagrad([p], lr=1.0)
+        for _ in range(400):
+            opt.zero_grad()
+            p.grad += 2 * (p.value - 3.0)
+            opt.step()
+        np.testing.assert_allclose(p.value, 3.0, atol=0.05)

@@ -1,0 +1,124 @@
+"""Tests for repro.core.training and repro.core.tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Adagrad,
+    DLRM,
+    SGD,
+    Trainer,
+    bayesian_search,
+    evaluate,
+    grid_search,
+    random_search,
+)
+
+
+def _trainer(config, lr=0.05, rng=0):
+    model = DLRM(config, rng=rng)
+    return Trainer(
+        model,
+        lambda m: Adagrad(m.dense_parameters(), m.embedding_tables(), lr=lr),
+    )
+
+
+class TestTrainer:
+    def test_train_step_returns_loss(self, tiny_config, tiny_generator):
+        t = _trainer(tiny_config)
+        loss = t.train_step(tiny_generator.batch(32))
+        assert np.isfinite(loss) and loss > 0
+
+    def test_train_respects_example_budget(self, tiny_config, tiny_generator):
+        t = _trainer(tiny_config)
+        result = t.train(tiny_generator.batches(32), max_examples=320)
+        assert result.examples_seen == 320
+        assert result.steps == 10
+
+    def test_train_respects_step_budget(self, tiny_config, tiny_generator):
+        t = _trainer(tiny_config)
+        result = t.train(tiny_generator.batches(32), max_steps=5)
+        assert result.steps == 5
+
+    def test_larger_batches_take_fewer_steps(self, tiny_config, tiny_generator):
+        small = _trainer(tiny_config).train(tiny_generator.batches(16), max_examples=640)
+        big = _trainer(tiny_config).train(tiny_generator.batches(64), max_examples=640)
+        assert small.steps == 4 * big.steps
+
+    def test_no_budget_rejected(self, tiny_config, tiny_generator):
+        with pytest.raises(ValueError):
+            _trainer(tiny_config).train(tiny_generator.batches(16))
+
+    def test_empty_stream_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            _trainer(tiny_config).train(iter([]), max_steps=5)
+
+    def test_loss_decreases_on_teacher_data(self, tiny_config, tiny_generator):
+        t = _trainer(tiny_config)
+        result = t.train(tiny_generator.batches(64), max_steps=80)
+        assert result.smoothed_final_loss < result.loss_history[0]
+
+    def test_works_with_sgd(self, tiny_config, tiny_generator):
+        model = DLRM(tiny_config, rng=0)
+        t = Trainer(model, lambda m: SGD(m.dense_parameters(), m.embedding_tables(), lr=0.05))
+        result = t.train(tiny_generator.batches(64), max_steps=40)
+        assert np.isfinite(result.final_loss)
+
+
+class TestEvaluate:
+    def test_metrics_present(self, tiny_config, tiny_generator):
+        model = DLRM(tiny_config, rng=0)
+        metrics = evaluate(model, [tiny_generator.batch(128) for _ in range(2)])
+        assert set(metrics) >= {"normalized_entropy", "log_loss", "num_examples"}
+        assert metrics["num_examples"] == 256
+
+    def test_trained_model_beats_untrained(self, tiny_config, tiny_generator):
+        eval_batches = [tiny_generator.batch(256) for _ in range(2)]
+        fresh = DLRM(tiny_config, rng=0)
+        ne_before = evaluate(fresh, eval_batches)["normalized_entropy"]
+        t = Trainer(
+            fresh,
+            lambda m: Adagrad(m.dense_parameters(), m.embedding_tables(), lr=0.05),
+        )
+        t.train(tiny_generator.batches(64), max_steps=120)
+        ne_after = evaluate(fresh, eval_batches)["normalized_entropy"]
+        assert ne_after < ne_before
+
+    def test_empty_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            evaluate(DLRM(tiny_config, rng=0), [])
+
+
+class TestSearch:
+    def _objective(self, lr: float) -> float:
+        # smooth bowl in log-space with optimum at lr = 0.01
+        return (np.log10(lr) + 2.0) ** 2
+
+    def test_grid_search_finds_bowl(self):
+        result = grid_search(self._objective, 1e-4, 1.0, num=9)
+        assert result.num_trials == 9
+        assert result.best.learning_rate == pytest.approx(0.01, rel=0.5)
+
+    def test_random_search_deterministic_seed(self):
+        a = random_search(self._objective, 1e-4, 1.0, num=5, rng=3)
+        b = random_search(self._objective, 1e-4, 1.0, num=5, rng=3)
+        assert [t.learning_rate for t in a.trials] == [t.learning_rate for t in b.trials]
+
+    def test_bayesian_beats_or_matches_random_on_budget(self):
+        bayes = bayesian_search(self._objective, 1e-4, 1.0, num=10, num_init=3, rng=1)
+        assert bayes.num_trials == 10
+        assert bayes.best.loss < 0.5  # found a near-optimal lr
+
+    def test_bayesian_trials_within_bounds(self):
+        result = bayesian_search(self._objective, 1e-3, 0.1, num=8, rng=0)
+        for t in result.trials:
+            assert 1e-3 * 0.999 <= t.learning_rate <= 0.1 * 1.001
+
+    @pytest.mark.parametrize("func", [grid_search, random_search, bayesian_search])
+    def test_bad_bounds_rejected(self, func):
+        with pytest.raises(ValueError):
+            func(self._objective, 1.0, 0.1)
+
+    def test_grid_needs_two_points(self):
+        with pytest.raises(ValueError):
+            grid_search(self._objective, 0.01, 0.1, num=1)

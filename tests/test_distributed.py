@@ -1,0 +1,407 @@
+"""Tests for repro.distributed: DES core, cluster sim, sync algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.configs import make_test_model
+from repro.core import evaluate
+from repro.data import SyntheticDataGenerator
+from repro.distributed import (
+    ClusterConfig,
+    DelayedGradientTrainer,
+    EASGDConfig,
+    EASGDTrainer,
+    Resource,
+    Simulator,
+    SyncSGDTrainer,
+    simulate_cpu_cluster,
+)
+from repro.perf import cpu_cluster_throughput
+
+
+class TestSimulatorCore:
+    def test_events_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.3, lambda: order.append("c"))
+        sim.run(until=1.0)
+        assert order == ["a", "b", "c"]
+        assert sim.now == 1.0
+        assert sim.events_processed == 3
+
+    def test_ties_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule(0.5, lambda t=tag: order.append(t))
+        sim.run(1.0)
+        assert order == ["a", "b", "c"]
+
+    def test_horizon_respected(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(1))
+        sim.run(until=1.0)
+        assert not fired
+
+    def test_chained_scheduling(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                sim.schedule(0.1, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(until=10.0)
+        assert count[0] == 5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_past_schedule_at_rejected(self):
+        sim = Simulator()
+        sim.run(1.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestResource:
+    def test_service_time(self):
+        r = Resource("r", rate=100.0)
+        done = r.submit(now=0.0, size_bytes=50.0)
+        assert done == pytest.approx(0.5)
+
+    def test_fifo_queueing(self):
+        r = Resource("r", rate=100.0)
+        first = r.submit(0.0, 100.0)
+        second = r.submit(0.0, 100.0)  # arrives while busy
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+    def test_idle_gap_not_counted_busy(self):
+        r = Resource("r", rate=100.0)
+        r.submit(0.0, 50.0)
+        r.submit(10.0, 50.0)
+        assert r.busy_time == pytest.approx(1.0)
+        assert r.utilization(20.0) == pytest.approx(0.05)
+
+    def test_extra_latency(self):
+        r = Resource("r", rate=100.0)
+        assert r.submit(0.0, 100.0, extra_latency=0.5) == pytest.approx(1.5)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("r", rate=0.0)
+
+
+class TestClusterSimulation:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return make_test_model(512, 16)
+
+    def test_throughput_close_to_analytic(self, model):
+        cfg = ClusterConfig(num_trainers=4, num_sparse_ps=2, num_dense_ps=1, seed=0)
+        des = simulate_cpu_cluster(model, cfg, horizon_s=1.0)
+        analytic = cpu_cluster_throughput(model, 200, 4, 2, 1)
+        assert des.throughput == pytest.approx(analytic.throughput, rel=0.5)
+
+    def test_scaling_with_trainers(self, model):
+        small = simulate_cpu_cluster(
+            model, ClusterConfig(2, 2, 1, seed=0), horizon_s=1.0
+        )
+        big = simulate_cpu_cluster(
+            model, ClusterConfig(6, 2, 1, seed=0), horizon_s=1.0
+        )
+        assert big.throughput > 1.8 * small.throughput
+
+    def test_utilizations_bounded(self, model):
+        cfg = ClusterConfig(4, 2, 1, jitter_sigma=0.2, seed=3)
+        r = simulate_cpu_cluster(model, cfg, horizon_s=0.5)
+        for values in (
+            r.trainer_cpu_utilization,
+            r.sparse_ps_mem_utilization,
+            r.dense_ps_nic_utilization,
+        ):
+            assert all(0 <= v <= 1 for v in values)
+
+    def test_jitter_creates_spread(self, model):
+        cfg = ClusterConfig(8, 4, 1, jitter_sigma=0.3, seed=1)
+        r = simulate_cpu_cluster(model, cfg, horizon_s=0.5)
+        assert np.std(r.sparse_ps_mem_utilization) > 0.01
+
+    def test_summary_keys(self, model):
+        r = simulate_cpu_cluster(model, ClusterConfig(2, 1, 1), horizon_s=0.2)
+        assert set(r.utilization_summary()) == {
+            "trainer_cpu",
+            "trainer_nic",
+            "sparse_ps_mem",
+            "sparse_ps_nic",
+            "dense_ps_nic",
+        }
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(0, 1, 1)
+        with pytest.raises(ValueError):
+            ClusterConfig(1, 1, 1, batch_per_trainer=0)
+
+
+class TestEASGD:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EASGDConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            EASGDConfig(alpha=1.5)
+        with pytest.raises(ValueError):
+            EASGDConfig(tau=0)
+
+    def test_training_reduces_loss(self, tiny_config, tiny_generator):
+        trainer = EASGDTrainer(tiny_config, EASGDConfig(num_workers=2, tau=2), lr=0.05, rng=0)
+        history = trainer.train(tiny_generator.batches(64), max_examples=16000)
+        assert np.mean(history[-5:]) < history[0]
+
+    def test_center_model_learns(self, tiny_config, tiny_generator):
+        trainer = EASGDTrainer(tiny_config, EASGDConfig(num_workers=2, tau=2), lr=0.05, rng=0)
+        eval_batches = [tiny_generator.batch(512)]
+        ne_before = evaluate(trainer.center_dlrm(), eval_batches)["normalized_entropy"]
+        trainer.train(tiny_generator.batches(64), max_examples=16000)
+        ne_after = evaluate(trainer.center_dlrm(), eval_batches)["normalized_entropy"]
+        assert ne_after < ne_before
+
+    def test_elastic_sync_pulls_workers_together(self, tiny_config, tiny_generator):
+        trainer = EASGDTrainer(tiny_config, EASGDConfig(num_workers=2, tau=1, alpha=0.5), lr=0.05, rng=0)
+        trainer.train(tiny_generator.batches(32), max_examples=4000)
+        w0 = trainer.workers[0].get_dense_state()
+        w1 = trainer.workers[1].get_dense_state()
+        center = trainer.center_state
+        for a, b, c in zip(w0, w1, center):
+            # workers stay within a bounded distance of the center
+            assert np.linalg.norm(a - c) < 10 * np.sqrt(c.size) + 1
+            assert np.linalg.norm(b - c) < 10 * np.sqrt(c.size) + 1
+
+    def test_workers_share_embedding_tables(self, tiny_config):
+        trainer = EASGDTrainer(tiny_config, EASGDConfig(num_workers=2), rng=0)
+        t0 = trainer.workers[0].embedding_tables()[0]
+        t1 = trainer.workers[1].embedding_tables()[0]
+        assert t0 is t1
+
+    def test_round_requires_matching_batches(self, tiny_config, tiny_generator):
+        trainer = EASGDTrainer(tiny_config, EASGDConfig(num_workers=2), rng=0)
+        with pytest.raises(ValueError):
+            trainer.round([tiny_generator.batch(8)])
+
+
+class TestDelayedGradient:
+    def test_staleness_zero_equals_sequential(self, tiny_config, tiny_generator):
+        trainer = DelayedGradientTrainer(tiny_config, staleness=0, lr=0.05, rng=0)
+        history = trainer.train(tiny_generator.batches(64), max_examples=8000)
+        assert np.mean(history[-5:]) < history[0]
+
+    def test_stale_gradients_still_converge(self, tiny_config, tiny_generator):
+        trainer = DelayedGradientTrainer(tiny_config, staleness=3, lr=0.05, rng=0)
+        history = trainer.train(tiny_generator.batches(64), max_examples=16000)
+        assert np.mean(history[-5:]) < history[0]
+
+    def test_higher_staleness_no_better(self, tiny_config):
+        """Asynchrony is a quality trade-off: heavy staleness should not
+        beat the sequential baseline on the same budget."""
+        results = {}
+        for staleness in (0, 8):
+            gen = SyntheticDataGenerator(tiny_config, rng=3, seed_teacher=True)
+            trainer = DelayedGradientTrainer(tiny_config, staleness=staleness, lr=0.05, rng=0)
+            trainer.train(gen.batches(64), max_examples=12000)
+            eval_gen = SyntheticDataGenerator(tiny_config, rng=3, seed_teacher=True)
+            results[staleness] = evaluate(trainer.model, [eval_gen.batch(1024)])[
+                "normalized_entropy"
+            ]
+        assert results[8] >= results[0] - 0.01
+
+    def test_negative_staleness_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            DelayedGradientTrainer(tiny_config, staleness=-1)
+
+
+class TestSyncSGD:
+    def test_converges(self, tiny_config, tiny_generator):
+        trainer = SyncSGDTrainer(tiny_config, num_workers=2, lr=0.05, rng=0)
+        history = trainer.train(tiny_generator.batches(32), max_examples=12000)
+        assert np.mean(history[-5:]) < history[0]
+
+    def test_equivalent_to_big_batch(self, tiny_config):
+        """Averaging K batches == one K-times-larger batch (same grads)."""
+        gen_a = SyntheticDataGenerator(tiny_config, rng=5, seed_teacher=True)
+        sync = SyncSGDTrainer(tiny_config, num_workers=2, lr=0.05, rng=9)
+        b1, b2 = gen_a.batch(16), gen_a.batch(16)
+        sync.step([b1, b2])
+
+        from repro.core import Adagrad, BCEWithLogitsLoss, Batch, DLRM, RaggedIndices
+
+        solo = DLRM(tiny_config, rng=9)
+        opt = Adagrad(solo.dense_parameters(), solo.embedding_tables(), lr=0.05)
+        merged_sparse = {}
+        for name in b1.sparse:
+            r1, r2 = b1.sparse[name], b2.sparse[name]
+            merged_sparse[name] = RaggedIndices(
+                values=np.concatenate([r1.values, r2.values]),
+                offsets=np.concatenate([r1.offsets, r2.offsets[1:] + r1.offsets[-1]]),
+            )
+        merged = Batch(
+            np.vstack([b1.dense, b2.dense]),
+            merged_sparse,
+            np.concatenate([b1.labels, b2.labels]),
+        )
+        crit = BCEWithLogitsLoss()
+        opt.zero_grad()
+        crit.forward(solo.forward(merged), merged.labels)
+        solo.backward(crit.backward())
+        opt.step()
+        for p_sync, p_solo in zip(
+            sync.model.dense_parameters(), solo.dense_parameters()
+        ):
+            np.testing.assert_allclose(p_sync.value, p_solo.value, rtol=1e-8, atol=1e-10)
+
+    def test_bad_worker_count_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            SyncSGDTrainer(tiny_config, num_workers=0)
+
+
+class TestStragglerInjection:
+    """'The tail at scale': one slow PS gates synchronous lookups (§III)."""
+
+    def test_one_straggler_caps_throughput(self):
+        m = make_test_model(64, 64, hash_size=1_000_000)
+        healthy = simulate_cpu_cluster(
+            m, ClusterConfig(8, 4, 1, seed=2), horizon_s=0.5
+        )
+        degraded = simulate_cpu_cluster(
+            m,
+            ClusterConfig(8, 4, 1, straggler_fraction=0.25, straggler_slowdown=4.0, seed=2),
+            horizon_s=0.5,
+        )
+        assert degraded.throughput < 0.7 * healthy.throughput
+
+    def test_straggler_shows_in_utilization_spread(self):
+        m = make_test_model(64, 64, hash_size=1_000_000)
+        r = simulate_cpu_cluster(
+            m,
+            ClusterConfig(8, 4, 1, straggler_fraction=0.25, straggler_slowdown=4.0, seed=2),
+            horizon_s=0.5,
+        )
+        utils = r.sparse_ps_mem_utilization
+        # the straggler is visibly busier than its healthy peers
+        assert max(utils) > 1.5 * min(utils)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(1, 1, 1, straggler_fraction=1.5)
+        with pytest.raises(ValueError):
+            ClusterConfig(1, 1, 1, straggler_slowdown=0.5)
+
+
+class TestGpuServerSimulation:
+    def test_close_to_analytic(self):
+        from repro.distributed import simulate_gpu_server
+        from repro.hardware import BIG_BASIN
+        from repro.perf import gpu_server_throughput
+        from repro.placement import PlacementStrategy, plan_placement
+
+        m = make_test_model(512, 32, hash_size=2_000_000)
+        plan = plan_placement(m, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
+        analytic = gpu_server_throughput(m, 1600, BIG_BASIN, plan).throughput
+        des = simulate_gpu_server(m, 1600, BIG_BASIN, plan, num_iterations=20)
+        assert 0.5 < des.throughput / analytic < 2.0
+
+    def test_jitter_slows_lockstep_iterations(self):
+        from repro.distributed import simulate_gpu_server
+        from repro.hardware import BIG_BASIN
+        from repro.placement import plan_gpu_memory
+
+        m = make_test_model(512, 32, hash_size=2_000_000)
+        plan = plan_gpu_memory(m, BIG_BASIN)
+        calm = simulate_gpu_server(m, 1600, BIG_BASIN, plan, num_iterations=30, seed=3)
+        noisy = simulate_gpu_server(
+            m, 1600, BIG_BASIN, plan, num_iterations=30, gpu_jitter_sigma=0.3, seed=3
+        )
+        # waiting for the slowest of 8 jittered GPUs costs throughput
+        assert noisy.throughput < calm.throughput
+
+    def test_gpu_busy_fractions_bounded(self):
+        from repro.distributed import simulate_gpu_server
+        from repro.hardware import BIG_BASIN
+        from repro.placement import plan_gpu_memory
+
+        m = make_test_model(512, 32, hash_size=2_000_000)
+        plan = plan_gpu_memory(m, BIG_BASIN)
+        r = simulate_gpu_server(m, 1600, BIG_BASIN, plan, num_iterations=10)
+        assert len(r.gpu_busy_fraction) == 8
+        assert all(0 <= b <= 1 for b in r.gpu_busy_fraction)
+        assert 0 <= r.host_busy_fraction <= 1
+        assert r.gpu_imbalance >= 1.0
+
+    def test_hot_table_creates_imbalance(self):
+        from repro.core import InteractionType, MLPSpec, ModelConfig, TableSpec
+        from repro.distributed import simulate_gpu_server
+        from repro.hardware import BIG_BASIN
+        from repro.placement import PlannerConfig, plan_gpu_memory
+
+        tables = (TableSpec("hot", 4_000_000, dim=64, mean_lookups=200.0),) + tuple(
+            TableSpec(f"cold{i}", 4_000_000, dim=64, mean_lookups=2.0)
+            for i in range(7)
+        )
+        m = ModelConfig("hot", 64, tables, MLPSpec((128,)), MLPSpec((128,)),
+                        InteractionType.CONCAT)
+        table_wise = plan_gpu_memory(m, BIG_BASIN)
+        row_wise = plan_gpu_memory(m, BIG_BASIN, cfg=PlannerConfig(partitioning="row_wise"))
+        imb_t = simulate_gpu_server(m, 1600, BIG_BASIN, table_wise, 10).gpu_imbalance
+        imb_r = simulate_gpu_server(m, 1600, BIG_BASIN, row_wise, 10).gpu_imbalance
+        assert imb_t > imb_r
+
+    def test_validation(self):
+        from repro.distributed import simulate_gpu_server
+        from repro.hardware import BIG_BASIN, DUAL_SOCKET_CPU
+        from repro.placement import plan_gpu_memory
+
+        m = make_test_model(64, 4)
+        plan = plan_gpu_memory(m, BIG_BASIN)
+        with pytest.raises(ValueError):
+            simulate_gpu_server(m, 1600, BIG_BASIN, plan, num_iterations=0)
+        with pytest.raises(ValueError):
+            simulate_gpu_server(m, 0, BIG_BASIN, plan)
+        with pytest.raises(ValueError):
+            simulate_gpu_server(m, 1600, DUAL_SOCKET_CPU, plan)
+
+
+class TestReaderTier:
+    """§IV-B.2: readers are scaled so data loading never stalls training;
+    under-provisioning them must visibly cap throughput."""
+
+    def test_ample_readers_do_not_stall(self):
+        m = make_test_model(512, 16)
+        base = simulate_cpu_cluster(m, ClusterConfig(6, 3, 1, seed=0), horizon_s=0.5)
+        with_readers = simulate_cpu_cluster(
+            m, ClusterConfig(6, 3, 1, num_readers=20, seed=0), horizon_s=0.5
+        )
+        assert with_readers.throughput == pytest.approx(base.throughput, rel=0.1)
+
+    def test_starved_readers_cap_throughput(self):
+        m = make_test_model(512, 16)
+        base = simulate_cpu_cluster(m, ClusterConfig(6, 3, 1, seed=0), horizon_s=0.5)
+        starved = simulate_cpu_cluster(
+            m,
+            ClusterConfig(6, 3, 1, num_readers=1, reader_examples_per_s=20_000, seed=0),
+            horizon_s=0.5,
+        )
+        assert starved.throughput < 0.5 * base.throughput
+        # the cap is the reader tier's aggregate rate
+        assert starved.throughput <= 20_000 * 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(1, 1, 1, num_readers=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(1, 1, 1, reader_examples_per_s=0)

@@ -1,0 +1,162 @@
+"""Tests for repro.fleet: workload populations and utilization telemetry."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.configs import make_test_model
+from repro.fleet import (
+    WORKLOAD_FAMILIES,
+    UtilizationSamples,
+    collect_utilization_samples,
+    jitter_model,
+    sample_fleet_runs,
+    sample_ranking_model,
+    sample_server_counts,
+)
+from repro.placement import model_embedding_footprint
+
+
+class TestWorkloadFamilies:
+    def test_recommendation_most_frequent(self):
+        """Figure 2: recommendation models are the most frequently trained."""
+        by_kind = collections.defaultdict(float)
+        for fam in WORKLOAD_FAMILIES:
+            by_kind[fam.model_kind] += fam.runs_per_day_mean
+        assert by_kind["recommendation"] > by_kind["rnn"]
+        assert by_kind["recommendation"] > by_kind["cnn"]
+
+    def test_translation_longest_runs(self):
+        durations = {f.name: f.duration_hours_mean for f in WORKLOAD_FAMILIES}
+        assert durations["language_translation"] == max(durations.values())
+
+
+class TestFleetRuns:
+    def test_volume_tracks_frequency(self):
+        runs = sample_fleet_runs(0, num_days=7)
+        by_family = collections.Counter(r.family for r in runs)
+        assert by_family["news_feed"] > by_family["language_translation"]
+        assert by_family["news_feed"] > by_family["facer"]
+
+    def test_deterministic_under_seed(self):
+        a = sample_fleet_runs(1, num_days=2)
+        b = sample_fleet_runs(1, num_days=2)
+        assert len(a) == len(b)
+        assert a[0].duration_hours == b[0].duration_hours
+
+    def test_durations_positive(self):
+        assert all(r.duration_hours > 0 for r in sample_fleet_runs(0, num_days=1))
+
+    def test_bad_days_rejected(self):
+        with pytest.raises(ValueError):
+            sample_fleet_runs(0, num_days=0)
+
+
+class TestRankingModelSampling:
+    def test_within_production_ranges(self, rng):
+        for _ in range(10):
+            m = sample_ranking_model(rng)
+            assert 8 <= m.num_sparse <= 128
+            assert 128 <= m.num_dense <= 1200
+            assert all(t.hash_size >= 30 for t in m.tables)
+
+    def test_diversity(self, rng):
+        sizes = {sample_ranking_model(rng).num_sparse for _ in range(20)}
+        assert len(sizes) > 5
+
+
+class TestServerCounts:
+    def test_trainer_counts_concentrated(self, rng):
+        """Figure 9: >40% of workflows share the modal trainer count."""
+        counts = [
+            sample_server_counts(rng, sample_ranking_model(rng)) for _ in range(300)
+        ]
+        hist = collections.Counter(c.trainers for c in counts)
+        modal_share = hist.most_common(1)[0][1] / len(counts)
+        assert modal_share > 0.35
+
+    def test_ps_counts_wide(self, rng):
+        """Figure 9: PS counts vary greatly with memory requirements."""
+        counts = [
+            sample_server_counts(rng, sample_ranking_model(rng)) for _ in range(300)
+        ]
+        ps = [c.parameter_servers for c in counts]
+        trainer_distinct = len(set(c.trainers for c in counts))
+        assert len(set(ps)) > trainer_distinct
+
+    def test_ps_tracks_footprint(self, rng):
+        small = make_test_model(64, 4, hash_size=100_000)
+        big = make_test_model(64, 64, hash_size=10_000_000)
+        s = sample_server_counts(rng, small)
+        b = sample_server_counts(rng, big)
+        assert b.sparse_ps >= s.sparse_ps
+        assert (
+            b.sparse_ps
+            >= model_embedding_footprint(big) / 230e9
+        )
+
+
+class TestJitterModel:
+    def test_preserves_architecture(self, rng):
+        m = make_test_model(128, 8)
+        j = jitter_model(m, rng, sigma=0.3)
+        assert j.num_sparse == m.num_sparse
+        assert j.num_dense == m.num_dense
+        assert [t.hash_size for t in j.tables] == [t.hash_size for t in m.tables]
+
+    def test_changes_lookups(self, rng):
+        m = make_test_model(128, 8)
+        j = jitter_model(m, rng, sigma=0.3)
+        assert any(
+            a.mean_lookups != b.mean_lookups for a, b in zip(m.tables, j.tables)
+        )
+
+    def test_zero_sigma_near_identity(self, rng):
+        m = make_test_model(128, 8)
+        j = jitter_model(m, rng, sigma=0.0)
+        assert all(
+            a.mean_lookups == pytest.approx(b.mean_lookups)
+            for a, b in zip(m.tables, j.tables)
+        )
+
+    def test_negative_sigma_rejected(self, rng):
+        with pytest.raises(ValueError):
+            jitter_model(make_test_model(64, 4), rng, sigma=-1)
+
+
+class TestUtilizationCollection:
+    @pytest.fixture(scope="class")
+    def samples(self) -> UtilizationSamples:
+        model = make_test_model(512, 16)
+        return collect_utilization_samples(
+            model,
+            num_runs=8,
+            num_trainers=4,
+            num_sparse_ps=3,
+            num_dense_ps=1,
+            horizon_s=0.3,
+            seed=1,
+        )
+
+    def test_sample_counts(self, samples):
+        assert len(samples.trainer_cpu) == 8 * 4
+        assert len(samples.sparse_ps_mem) == 8 * 3
+        assert len(samples.dense_ps_nic) == 8 * 1
+
+    def test_all_in_unit_interval(self, samples):
+        for arr in samples.as_dict().values():
+            assert np.all((arr >= 0) & (arr <= 1))
+
+    def test_fig5_shape_trainers_high_ps_lower(self, samples):
+        """Figure 5: trainer utilization high/narrow, PS lower mean."""
+        trainer_mean = np.mean(samples.trainer_cpu)
+        ps_nic_mean = np.mean(samples.sparse_ps_nic)
+        assert trainer_mean > ps_nic_mean
+
+    def test_run_to_run_variability_exists(self, samples):
+        assert np.std(samples.trainer_cpu) > 0.005
+
+    def test_bad_run_count_rejected(self):
+        with pytest.raises(ValueError):
+            collect_utilization_samples(make_test_model(64, 4), num_runs=0)

@@ -1,0 +1,65 @@
+"""Tests for heterogeneous-fleet workload assignment."""
+
+import pytest
+
+from repro.fleet import (
+    FleetAssignment,
+    assign_fleet,
+    sample_workload_population,
+)
+from repro.perf import Objective
+
+
+@pytest.fixture(scope="module")
+def population():
+    return sample_workload_population(4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def assignment(population) -> FleetAssignment:
+    return assign_fleet(population, objective=Objective.PERF_PER_WATT)
+
+
+class TestAssignFleet:
+    def test_every_workload_assigned(self, population, assignment):
+        assert len(assignment.assignments) == len(population)
+        names = {a.model_name for a in assignment.assignments}
+        assert names == {m.name for m in population}
+
+    def test_chosen_meets_throughput_floor(self, assignment):
+        for a in assignment.assignments:
+            assert a.chosen.throughput >= a.cpu_baseline.throughput * (1 - 1e-9)
+
+    def test_efficiency_gains_positive(self, assignment):
+        """Hardware-aware assignment never does worse than the CPU policy
+        (the CPU baseline is always a candidate)."""
+        for a in assignment.assignments:
+            assert a.efficiency_gain >= 1.0
+
+    def test_gains_in_plausible_range(self, assignment):
+        """Per-workload perf/watt gains should sit in the regime Table III
+        and Figure 10 establish — roughly 1x to ~15x, not orders more."""
+        for a in assignment.assignments:
+            assert a.efficiency_gain < 30
+
+    def test_fleet_saving_consistent(self, assignment):
+        assert 0 <= assignment.power_saving_fraction < 1
+        assert assignment.total_power_watts <= assignment.cpu_only_power_watts
+
+    def test_throughput_objective_prefers_speed(self, population):
+        fast = assign_fleet(population, objective=Objective.THROUGHPUT)
+        efficient = assign_fleet(population, objective=Objective.PERF_PER_WATT)
+        total_fast = sum(a.chosen.throughput for a in fast.assignments)
+        total_eff = sum(a.chosen.throughput for a in efficient.assignments)
+        assert total_fast >= total_eff
+
+    def test_gpu_share_reported(self, assignment):
+        assert 0 <= assignment.gpu_share() <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_fleet([])
+        with pytest.raises(ValueError):
+            sample_workload_population(0)
+        with pytest.raises(ValueError):
+            assign_fleet(sample_workload_population(1), throughput_floor_fraction=1.5)

@@ -1,0 +1,72 @@
+"""Tests for fleet capacity accounting and growth forecasting."""
+
+import pytest
+
+from repro.fleet import CapacityDemand, estimate_fleet_demand, forecast_growth
+
+
+class TestEstimateFleetDemand:
+    def test_components_positive_and_sum(self):
+        demand = estimate_fleet_demand(num_sampled_runs=50, seed=0)
+        assert demand.trainer_servers > 0
+        assert demand.sparse_ps_servers > 0
+        assert demand.total_servers == pytest.approx(
+            demand.trainer_servers
+            + demand.sparse_ps_servers
+            + demand.dense_ps_servers
+            + demand.reader_servers
+        )
+
+    def test_power_consistent_with_servers(self):
+        demand = estimate_fleet_demand(num_sampled_runs=50, seed=0)
+        assert demand.power_watts == pytest.approx(demand.total_servers * 500.0)
+
+    def test_trainers_dominate_ps(self):
+        """Fleet-wide, trainer servers outnumber parameter servers (Fig 9's
+        typical runs use ~10 trainers vs a handful of PS)."""
+        demand = estimate_fleet_demand(num_sampled_runs=100, seed=1)
+        assert demand.trainer_servers > demand.sparse_ps_servers
+
+    def test_deterministic_under_seed(self):
+        a = estimate_fleet_demand(num_sampled_runs=30, seed=5)
+        b = estimate_fleet_demand(num_sampled_runs=30, seed=5)
+        assert a.total_servers == b.total_servers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_fleet_demand(num_sampled_runs=0)
+
+
+class TestForecastGrowth:
+    def test_18_month_growth_matches_rate(self):
+        base = CapacityDemand(100, 50, 10, 20, 90_000)
+        series = forecast_growth(base, months=18, runs_growth_per_18mo=7.0)
+        assert len(series) == 19
+        month, final = series[-1]
+        assert month == 18
+        assert final.total_servers == pytest.approx(7.0 * base.total_servers, rel=1e-9)
+
+    def test_compound_monotone(self):
+        base = CapacityDemand(10, 5, 1, 2, 9_000)
+        series = forecast_growth(base, months=6)
+        totals = [d.total_servers for _, d in series]
+        assert all(b > a for a, b in zip(totals, totals[1:]))
+
+    def test_quadrupling_within_18_months(self):
+        """§I: training capacity quadrupled over 18 months — the 7x runs
+        growth implies crossing 4x well before month 18."""
+        base = estimate_fleet_demand(num_sampled_runs=30, seed=2)
+        series = forecast_growth(base, months=18)
+        crossing = next(
+            m for m, d in series if d.total_servers >= 4 * base.total_servers
+        )
+        assert crossing < 18
+
+    def test_validation(self):
+        base = CapacityDemand(1, 1, 1, 1, 2000)
+        with pytest.raises(ValueError):
+            forecast_growth(base, months=-1)
+        with pytest.raises(ValueError):
+            forecast_growth(base, months=2, runs_growth_per_18mo=0)
+        with pytest.raises(ValueError):
+            base.scaled(-1.0)

@@ -1,0 +1,202 @@
+"""Tests for repro.hardware: specs, roofline, interconnects, memory, power."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    BIG_BASIN,
+    BIG_BASIN_16GB,
+    DUAL_SOCKET_CPU,
+    GB,
+    PLATFORMS,
+    TB,
+    ZION,
+    CapacityError,
+    ClusterPower,
+    DeviceSpec,
+    LinkSpec,
+    MemoryPool,
+    OpCost,
+    allreduce_time,
+    alltoall_time,
+    arithmetic_intensity,
+    broadcast_time,
+    gather_time,
+    op_time,
+    perf_per_watt,
+    ridge_point,
+    transfer_time,
+    usable_capacity,
+)
+
+
+class TestTableIPlatforms:
+    """Table I constants must match the published platform details."""
+
+    def test_cpu_platform(self):
+        assert DUAL_SOCKET_CPU.num_cpu_sockets == 2
+        assert DUAL_SOCKET_CPU.system_memory == 256 * GB
+        assert DUAL_SOCKET_CPU.num_gpus == 0
+        assert DUAL_SOCKET_CPU.nic.bandwidth == pytest.approx(25e9 / 8)
+
+    def test_big_basin(self):
+        assert BIG_BASIN.num_gpus == 8
+        assert BIG_BASIN.gpu.peak_flops == pytest.approx(15.7e12)
+        assert BIG_BASIN.gpu.mem_bandwidth == pytest.approx(900 * GB)
+        assert BIG_BASIN.gpu.mem_capacity == 32 * GB
+        assert BIG_BASIN_16GB.gpu.mem_capacity == 16 * GB
+        assert BIG_BASIN.system_memory == 256 * GB
+        assert BIG_BASIN.nic.bandwidth == pytest.approx(100e9 / 8)
+        assert BIG_BASIN.gpu_peer_direct
+
+    def test_zion(self):
+        assert ZION.num_cpu_sockets == 8
+        assert ZION.system_memory == 2 * TB
+        # ~1 TB/s aggregate memory bandwidth
+        assert ZION.system_mem_bandwidth == pytest.approx(1e12, rel=0.05)
+        assert not ZION.gpu_peer_direct
+        assert ZION.nic.bandwidth == pytest.approx(4 * 100e9 / 8)
+
+    def test_big_basin_power_ratio(self):
+        """§V-A: Big Basin needs 7.3x the CPU server's power capacity."""
+        ratio = BIG_BASIN.nameplate_watts / DUAL_SOCKET_CPU.nameplate_watts
+        assert ratio == pytest.approx(7.3)
+
+    def test_registry(self):
+        assert set(PLATFORMS) == {"DualSocketCPU", "BigBasin-16GB", "BigBasin", "Zion"}
+
+    def test_gpu_memory_totals(self):
+        assert BIG_BASIN.total_gpu_memory == 256 * GB
+        assert BIG_BASIN_16GB.total_gpu_memory == 128 * GB
+        assert DUAL_SOCKET_CPU.total_gpu_memory == 0
+
+
+class TestRoofline:
+    def test_compute_bound(self):
+        dev = DeviceSpec("d", peak_flops=1e12, mem_bandwidth=1e11, mem_capacity=1e9,
+                         launch_overhead_s=0.0, compute_efficiency=1.0, bandwidth_efficiency=1.0)
+        cost = OpCost(flops=1e12, bytes=1.0, kernels=0)
+        assert op_time(dev, cost) == pytest.approx(1.0)
+
+    def test_bandwidth_bound(self):
+        dev = DeviceSpec("d", peak_flops=1e12, mem_bandwidth=1e11, mem_capacity=1e9,
+                         launch_overhead_s=0.0, compute_efficiency=1.0, bandwidth_efficiency=1.0)
+        cost = OpCost(flops=1.0, bytes=1e11, kernels=0)
+        assert op_time(dev, cost) == pytest.approx(1.0)
+
+    def test_launch_overhead_added(self):
+        dev = DeviceSpec("d", 1e12, 1e11, 1e9, launch_overhead_s=1e-5,
+                         compute_efficiency=1.0, bandwidth_efficiency=1.0)
+        assert op_time(dev, OpCost(0.0, 0.0, kernels=10)) == pytest.approx(1e-4)
+
+    def test_opcost_add_and_scale(self):
+        a = OpCost(10, 20, 1) + OpCost(5, 5, 2)
+        assert (a.flops, a.bytes, a.kernels) == (15, 25, 3)
+        s = a.scaled(2.0)
+        assert (s.flops, s.bytes, s.kernels) == (30, 50, 3)  # kernels unscaled
+
+    def test_ridge_point_and_intensity(self):
+        dev = DeviceSpec("d", 1e12, 1e11, 1e9, 0.0, 1.0, 1.0)
+        assert ridge_point(dev) == pytest.approx(10.0)
+        assert arithmetic_intensity(OpCost(100, 10)) == pytest.approx(10.0)
+        assert arithmetic_intensity(OpCost(100, 0)) == float("inf")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            OpCost(flops=-1)
+
+
+class TestInterconnect:
+    LINK = LinkSpec("test", bandwidth=1e9, latency_s=1e-5)
+
+    def test_transfer(self):
+        assert transfer_time(self.LINK, 1e9) == pytest.approx(1.0 + 1e-5)
+        assert transfer_time(self.LINK, 0) == 0.0
+
+    def test_allreduce_single_rank_free(self):
+        assert allreduce_time(self.LINK, 1e6, 1) == 0.0
+
+    def test_allreduce_volume_scales(self):
+        t2 = allreduce_time(self.LINK, 1e9, 2)
+        t8 = allreduce_time(self.LINK, 1e9, 8)
+        # 2(n-1)/n volume: 1.0 for n=2, 1.75 for n=8
+        assert t8 > t2
+        assert t8 == pytest.approx(1.75 + 14e-5, rel=1e-3)
+
+    def test_alltoall(self):
+        t = alltoall_time(self.LINK, 8e8, 8)
+        assert t == pytest.approx(0.7 + 7e-5, rel=1e-3)
+        assert alltoall_time(self.LINK, 8e8, 1) == 0.0
+
+    def test_broadcast_and_gather(self):
+        assert broadcast_time(self.LINK, 1e9, 8) == pytest.approx(1.0 + 3e-5, rel=1e-3)
+        assert gather_time(self.LINK, 1e8, 5) == pytest.approx(4 * (0.1 + 1e-5), rel=1e-3)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time(self.LINK, -1)
+
+
+class TestMemoryPool:
+    def test_allocate_free_cycle(self):
+        pool = MemoryPool("p", capacity=100.0)
+        pool.allocate("a", 60.0)
+        assert pool.used == 60.0 and pool.available == 40.0
+        assert pool.utilization == pytest.approx(0.6)
+        assert pool.free("a") == 60.0
+        assert pool.used == 0.0
+
+    def test_overflow_raises_capacity_error(self):
+        pool = MemoryPool("p", capacity=100.0)
+        pool.allocate("a", 80.0)
+        with pytest.raises(CapacityError) as err:
+            pool.allocate("b", 30.0)
+        assert err.value.pool is pool
+
+    def test_duplicate_tag_rejected(self):
+        pool = MemoryPool("p", capacity=100.0)
+        pool.allocate("a", 10.0)
+        with pytest.raises(ValueError):
+            pool.allocate("a", 10.0)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            MemoryPool("p", 10.0).free("nope")
+
+    def test_reset(self):
+        pool = MemoryPool("p", capacity=100.0)
+        pool.allocate("a", 10.0)
+        pool.reset()
+        assert pool.used == 0.0
+
+    def test_usable_capacity(self):
+        assert usable_capacity(100.0, headroom=0.9) == pytest.approx(90.0)
+        with pytest.raises(ValueError):
+            usable_capacity(100.0, headroom=1.5)
+
+
+class TestPower:
+    def test_cluster_power_sums(self):
+        power = ClusterPower()
+        power.add(DUAL_SOCKET_CPU, 4, role="trainer")
+        power.add(DUAL_SOCKET_CPU, 2, role="ps")
+        assert power.total_servers == 6
+        assert power.nameplate_watts == pytest.approx(6 * 500.0)
+        assert power.by_role() == {"trainer": 2000.0, "ps": 1000.0}
+
+    def test_drawn_less_than_nameplate_at_partial_utilization(self):
+        power = ClusterPower().add(BIG_BASIN, 1, utilization=0.5)
+        assert power.drawn_watts < power.nameplate_watts
+
+    def test_utilization_scaling(self):
+        idle = DUAL_SOCKET_CPU.power_at_utilization(0.0)
+        full = DUAL_SOCKET_CPU.power_at_utilization(1.0)
+        assert idle == pytest.approx(0.3 * 500.0)
+        assert full == pytest.approx(500.0)
+        with pytest.raises(ValueError):
+            DUAL_SOCKET_CPU.power_at_utilization(1.5)
+
+    def test_perf_per_watt(self):
+        assert perf_per_watt(1000.0, 500.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            perf_per_watt(1.0, 0.0)

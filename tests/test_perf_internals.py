@@ -1,0 +1,145 @@
+"""Tests for performance-model internals: breakdowns, utilizations, power
+roles, and behaviors not covered by the shape-pinning tests."""
+
+import pytest
+
+from repro.configs import build_m3, make_test_model
+from repro.hardware import BIG_BASIN, DUAL_SOCKET_CPU, ZION
+from repro.perf import (
+    DEFAULT_CALIBRATION,
+    Calibration,
+    cpu_cluster_throughput,
+    gpu_server_throughput,
+)
+from repro.perf.pipeline import READER_EXAMPLES_PER_SEC, _cache_penalty
+from repro.placement import PlacementStrategy, plan_gpu_memory, plan_placement
+
+
+class TestBreakdowns:
+    def test_gpu_components_sum_to_iteration(self):
+        m = make_test_model(512, 16)
+        plan = plan_gpu_memory(m, BIG_BASIN)
+        r = gpu_server_throughput(m, 1600, BIG_BASIN, plan)
+        assert r.breakdown.total == pytest.approx(r.iteration_time_s)
+        assert r.breakdown.bottleneck in r.breakdown.components
+
+    def test_gpu_memory_plan_has_no_host_excess_for_small_model(self):
+        m = make_test_model(256, 8)
+        plan = plan_gpu_memory(m, BIG_BASIN)
+        r = gpu_server_throughput(m, 1600, BIG_BASIN, plan)
+        assert "host_pipeline_excess" not in r.breakdown.components
+        assert "host_pipeline" in r.breakdown.hidden
+
+    def test_remote_plan_charges_rpc_overhead(self):
+        m = build_m3()
+        plan = plan_placement(
+            m, BIG_BASIN, PlacementStrategy.REMOTE_CPU,
+            num_ps=18, ps_platform=DUAL_SOCKET_CPU,
+        )
+        r = gpu_server_throughput(m, 800, BIG_BASIN, plan)
+        assert "remote_rpc" in r.breakdown.components
+        assert r.breakdown.components["remote_rpc"] == pytest.approx(
+            DEFAULT_CALIBRATION.remote_iteration_overhead_s
+        )
+
+    def test_replicated_component_for_small_tables(self):
+        m = make_test_model(256, 8, hash_size=100_000)
+        plan = plan_gpu_memory(m, BIG_BASIN)
+        r = gpu_server_throughput(m, 1600, BIG_BASIN, plan)
+        assert "emb_replicated" in r.breakdown.components
+        assert "emb_alltoall" not in r.breakdown.components
+
+
+class TestPowerAccounting:
+    def test_cpu_power_roles(self):
+        m = make_test_model(512, 16)
+        r = cpu_cluster_throughput(m, 200, 4, 2, 1)
+        roles = r.power.by_role()
+        assert set(roles) == {"trainer", "sparse_ps", "dense_ps", "reader"}
+        assert roles["trainer"] == pytest.approx(4 * 500.0)
+
+    def test_explicit_reader_count_honored(self):
+        m = make_test_model(512, 16)
+        r = cpu_cluster_throughput(m, 200, 4, 2, 1, num_readers=7)
+        assert r.power.by_role()["reader"] == pytest.approx(7 * 500.0)
+
+    def test_auto_readers_scale_with_throughput(self):
+        m = make_test_model(64, 4)
+        slow = cpu_cluster_throughput(m, 200, 1, 1, 1)
+        fast = cpu_cluster_throughput(m, 200, 16, 8, 4)
+        expected = -(-fast.throughput // READER_EXAMPLES_PER_SEC)
+        assert fast.power.by_role()["reader"] == pytest.approx(expected * 500.0)
+        assert fast.power.by_role()["reader"] >= slow.power.by_role()["reader"]
+
+    def test_gpu_remote_counts_ps_power(self):
+        m = build_m3()
+        plan = plan_placement(
+            m, BIG_BASIN, PlacementStrategy.REMOTE_CPU,
+            num_ps=18, ps_platform=DUAL_SOCKET_CPU,
+        )
+        r = gpu_server_throughput(m, 800, BIG_BASIN, plan)
+        roles = r.power.by_role()
+        assert roles["sparse_ps"] == pytest.approx(18 * 500.0)
+        assert roles["gpu_trainer"] == pytest.approx(BIG_BASIN.nameplate_watts)
+
+
+class TestUtilizations:
+    def test_cpu_utilizations_complete_and_bounded(self):
+        m = make_test_model(512, 16)
+        r = cpu_cluster_throughput(m, 200, 4, 2, 1)
+        expected_keys = {
+            "trainer_cpu", "trainer_nic", "trainer_mem_bw",
+            "sparse_ps_mem_bw", "sparse_ps_nic", "dense_ps_nic",
+        }
+        assert set(r.utilizations) == expected_keys
+        assert all(0 <= v <= 1 for v in r.utilizations.values())
+
+    def test_gpu_utilizations_bounded(self):
+        m = make_test_model(512, 16)
+        plan = plan_gpu_memory(m, BIG_BASIN)
+        r = gpu_server_throughput(m, 1600, BIG_BASIN, plan)
+        assert all(0 <= v <= 1 for v in r.utilizations.values())
+        assert r.utilizations["gpu_compute"] > 0
+
+
+class TestCachePenalty:
+    def test_no_penalty_below_llc(self):
+        m = make_test_model(64, 4)
+        assert _cache_penalty(m, 50, DEFAULT_CALIBRATION) == 1.0
+
+    def test_penalty_grows_with_batch(self):
+        m = make_test_model(4096, 64)
+        p_small = _cache_penalty(m, 200, DEFAULT_CALIBRATION)
+        p_big = _cache_penalty(m, 3200, DEFAULT_CALIBRATION)
+        assert p_big > p_small >= 1.0
+
+    def test_llc_knob(self):
+        m = make_test_model(4096, 64)
+        small_llc = Calibration(cpu_llc_bytes=1e6)
+        big_llc = Calibration(cpu_llc_bytes=1e9)
+        assert _cache_penalty(m, 800, small_llc) > _cache_penalty(m, 800, big_llc)
+
+
+class TestEasgdKnob:
+    def test_longer_sync_period_raises_dense_cap(self):
+        m = make_test_model(2048, 4)
+        rare = Calibration(easgd_sync_period=64)
+        frequent = Calibration(easgd_sync_period=1)
+        thr_rare = cpu_cluster_throughput(m, 200, 20, 2, 1, calib=rare).throughput
+        thr_freq = cpu_cluster_throughput(m, 200, 20, 2, 1, calib=frequent).throughput
+        assert thr_rare >= thr_freq
+
+
+class TestZionSpecifics:
+    def test_zion_sync_staged_through_host(self):
+        """Zion system-memory placement syncs dense params over PCIe,
+        not a GPU collective (no peer-direct path)."""
+        m = make_test_model(512, 16)
+        bb_plan = plan_placement(m, BIG_BASIN, PlacementStrategy.SYSTEM_MEMORY)
+        zion_plan = plan_placement(m, ZION, PlacementStrategy.SYSTEM_MEMORY)
+        bb = gpu_server_throughput(m, 1600, BIG_BASIN, bb_plan)
+        zion = gpu_server_throughput(m, 1600, ZION, zion_plan)
+        assert "dense_sync" in bb.breakdown.components
+        assert "dense_sync" in zion.breakdown.components
+        # both finite and small relative to the iteration
+        assert zion.breakdown.components["dense_sync"] < zion.iteration_time_s

@@ -1,0 +1,131 @@
+"""Tests for repro.perf.ops: operator cost accounting."""
+
+import pytest
+
+from repro.core import InteractionType, MLPSpec, ModelConfig, uniform_tables
+from repro.perf import ops
+
+
+def _model(num_dense=32, num_sparse=4, dim=8, lookups=5.0, interaction=InteractionType.CONCAT):
+    return ModelConfig(
+        name="opm",
+        num_dense=num_dense,
+        tables=uniform_tables(num_sparse, 1000, dim=dim, mean_lookups=lookups),
+        bottom_mlp=MLPSpec((16, 8)),
+        top_mlp=MLPSpec((8,)),
+        interaction=interaction,
+    )
+
+
+class TestMlpCosts:
+    def test_forward_flops_formula(self):
+        spec = MLPSpec((4, 2))
+        # layers: 3->4 and 4->2, batch 10: 2*10*(12 + 8)
+        assert ops.mlp_flops(3, spec, 10, backward=False) == 2 * 10 * (12 + 8)
+
+    def test_backward_doubles_flops(self):
+        spec = MLPSpec((4, 2))
+        fwd = ops.mlp_flops(3, spec, 10, backward=False)
+        assert ops.mlp_flops(3, spec, 10, backward=True) == 2 * fwd
+
+    def test_bytes_scale_with_batch(self):
+        spec = MLPSpec((4,))
+        b1 = ops.mlp_bytes(3, spec, 1, backward=False)
+        b100 = ops.mlp_bytes(3, spec, 100, backward=False)
+        assert b100 > b1  # activations grow
+        # weights are batch-independent: delta is purely activation traffic
+        assert b100 - b1 == pytest.approx(99 * (3 + 4) * 4)
+
+    def test_kernel_counts(self):
+        spec = MLPSpec((4, 2))
+        fwd = ops.mlp_cost(3, spec, 10, backward=False)
+        bwd = ops.mlp_cost(3, spec, 10, backward=True)
+        assert fwd.kernels == 2 * ops.KERNELS_PER_LAYER_FWD
+        assert bwd.kernels == 2 * ops.KERNELS_PER_LAYER_BWD
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ops.mlp_flops(3, MLPSpec((4,)), 0, backward=False)
+
+
+class TestInteractionCosts:
+    def test_concat_is_pure_data_movement(self):
+        cost = ops.interaction_cost(_model(), 10, backward=False)
+        assert cost.flops == 0.0
+        assert cost.bytes > 0
+
+    def test_dot_has_flops(self):
+        m = _model(interaction=InteractionType.DOT)
+        cost = ops.interaction_cost(m, 10, backward=False)
+        n_vec = m.num_sparse + 1
+        assert cost.flops == pytest.approx(2.0 * 10 * n_vec * n_vec * m.embedding_dim)
+
+    def test_backward_scales(self):
+        m = _model(interaction=InteractionType.DOT)
+        fwd = ops.interaction_cost(m, 10, backward=False)
+        bwd = ops.interaction_cost(m, 10, backward=True)
+        assert bwd.flops == 2 * fwd.flops and bwd.bytes == 2 * fwd.bytes
+
+
+class TestEmbeddingCosts:
+    def test_lookup_bytes_formula(self):
+        m = _model(num_sparse=4, dim=8, lookups=5.0)
+        cost = ops.embedding_lookup_cost(m, 10)
+        gathered = 10 * 20 * 8 * 4  # batch * total_lookups * dim * fp32
+        pooled = 10 * 4 * 8 * 4
+        assert cost.bytes == pytest.approx(
+            gathered * ops.EMB_RANDOM_ACCESS_PENALTY + pooled
+        )
+
+    def test_lookup_scales_with_feature_length(self):
+        short = ops.embedding_lookup_cost(_model(lookups=2.0), 10)
+        long = ops.embedding_lookup_cost(_model(lookups=20.0), 10)
+        assert long.bytes > 5 * short.bytes
+
+    def test_update_heavier_than_lookup(self):
+        m = _model()
+        assert (
+            ops.embedding_update_cost(m, 10).bytes
+            > ops.embedding_lookup_cost(m, 10).bytes * 0.5
+        )
+
+    def test_kernel_count_tracks_tables(self):
+        assert ops.embedding_lookup_cost(_model(num_sparse=7), 10).kernels == 7
+
+
+class TestCommVolumes:
+    def test_pooled_bytes(self):
+        m = _model(num_sparse=4, dim=8)
+        assert ops.pooled_embedding_bytes(m, 10) == 10 * 4 * 8 * 4
+
+    def test_request_bytes(self):
+        m = _model(num_sparse=4, lookups=5.0)
+        assert ops.lookup_request_bytes(m, 10) == 10 * 20 * 8
+
+    def test_dense_param_bytes_matches_config(self):
+        m = _model()
+        assert ops.dense_param_bytes(m) == m.dense_parameter_bytes
+
+    def test_truncation_caps_request(self):
+        m = ModelConfig(
+            "t",
+            8,
+            uniform_tables(2, 100, dim=4, mean_lookups=50.0, truncation=10),
+            MLPSpec((8,)),
+            MLPSpec((8,)),
+            InteractionType.CONCAT,
+        )
+        assert ops.lookup_request_bytes(m, 1) == 2 * 10 * 8
+
+
+class TestWorkingSet:
+    def test_scales_linearly_with_batch(self):
+        m = _model()
+        assert ops.activation_working_set_bytes(m, 200) == pytest.approx(
+            200 * ops.activation_working_set_bytes(m, 1)
+        )
+
+    def test_grows_with_model_width(self):
+        small = ops.activation_working_set_bytes(_model(num_dense=8), 10)
+        big = ops.activation_working_set_bytes(_model(num_dense=4096), 10)
+        assert big > small

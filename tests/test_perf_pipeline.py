@@ -1,0 +1,271 @@
+"""Tests for repro.perf.pipeline: the headline paper shapes must hold.
+
+These tests pin the qualitative reproduction targets from DESIGN.md: who
+wins, in which regime, and roughly by how much.  They are deliberately
+tolerant on magnitudes but strict on orderings and crossovers.
+"""
+
+import pytest
+
+from repro.configs import (
+    PRODUCTION_MODELS,
+    PRODUCTION_SETUPS,
+    make_test_model,
+)
+from repro.hardware import BIG_BASIN, DUAL_SOCKET_CPU, ZION, CapacityError
+from repro.perf import (
+    Calibration,
+    cpu_cluster_throughput,
+    gpu_server_throughput,
+)
+from repro.placement import PlacementStrategy, auto_plan, plan_gpu_memory, plan_placement
+
+
+def _cpu(model, **kw):
+    args = dict(batch_per_trainer=200, num_trainers=1, num_sparse_ps=1, num_dense_ps=1)
+    args.update(kw)
+    return cpu_cluster_throughput(model, **args)
+
+
+def _gpu(model, batch=1600, platform=BIG_BASIN, strategy=PlacementStrategy.GPU_MEMORY, **kw):
+    plan = plan_placement(
+        model, platform, strategy,
+        num_ps=kw.pop("num_ps", 0) or 0 if strategy is not PlacementStrategy.REMOTE_CPU else kw.pop("num_ps", 8),
+        ps_platform=DUAL_SOCKET_CPU,
+    )
+    return gpu_server_throughput(model, batch, platform, plan, **kw)
+
+
+class TestReportBasics:
+    def test_report_fields(self):
+        m = make_test_model(256, 16)
+        r = _cpu(m)
+        assert r.throughput > 0
+        assert r.iteration_time_s > 0
+        assert r.breakdown.total == pytest.approx(r.iteration_time_s)
+        assert 0 <= min(r.utilizations.values()) and max(r.utilizations.values()) <= 1
+        assert "ex/s" in r.describe()
+
+    def test_gpu_report_fields(self):
+        m = make_test_model(256, 16)
+        r = _gpu(m)
+        assert r.throughput > 0
+        assert r.perf_per_watt == pytest.approx(r.throughput / r.power.nameplate_watts)
+
+    def test_invalid_args_rejected(self):
+        m = make_test_model(64, 4)
+        with pytest.raises(ValueError):
+            _cpu(m, batch_per_trainer=0)
+        plan = plan_gpu_memory(m, BIG_BASIN)
+        with pytest.raises(ValueError):
+            gpu_server_throughput(m, 0, BIG_BASIN, plan)
+        with pytest.raises(ValueError):
+            gpu_server_throughput(m, 100, DUAL_SOCKET_CPU, plan)
+
+
+class TestTableIIIShapes:
+    """GPU/CPU throughput and efficiency ratios vs the paper's Table III."""
+
+    @pytest.fixture(scope="class")
+    def ratios(self):
+        out = {}
+        for name, setup in PRODUCTION_SETUPS.items():
+            m = PRODUCTION_MODELS[name]()
+            cpu = cpu_cluster_throughput(
+                m,
+                setup.cpu_batch_per_trainer,
+                setup.cpu_trainers,
+                setup.cpu_sparse_ps,
+                setup.cpu_dense_ps,
+            )
+            if setup.gpu_placement is PlacementStrategy.REMOTE_CPU:
+                plan = plan_placement(
+                    m, BIG_BASIN, setup.gpu_placement,
+                    num_ps=setup.gpu_remote_ps, ps_platform=DUAL_SOCKET_CPU,
+                )
+            else:
+                plan = plan_placement(m, BIG_BASIN, setup.gpu_placement)
+            gpu = gpu_server_throughput(m, setup.gpu_batch, BIG_BASIN, plan)
+            out[name] = (
+                gpu.throughput / cpu.throughput,
+                gpu.perf_per_watt / cpu.perf_per_watt,
+            )
+        return out
+
+    def test_m1_gpu_wins_clearly(self, ratios):
+        thr, eff = ratios["M1_prod"]
+        assert 1.5 < thr < 3.5  # paper: 2.25
+        assert eff > 2.0  # paper: 4.3
+
+    def test_m2_gpu_near_parity(self, ratios):
+        thr, eff = ratios["M2_prod"]
+        assert 0.6 < thr < 1.3  # paper: 0.85
+        assert eff > 1.5  # paper: 2.8
+
+    def test_m3_gpu_loses(self, ratios):
+        thr, eff = ratios["M3_prod"]
+        assert 0.4 < thr < 0.9  # paper: 0.67
+        assert eff < 1.0  # paper: 0.43 — GPU is power-inefficient for M3
+
+    def test_ordering_matches_paper(self, ratios):
+        assert ratios["M1_prod"][0] > ratios["M2_prod"][0] > ratios["M3_prod"][0]
+
+
+class TestFig10Shapes:
+    def test_gpu_always_faster(self):
+        for nd in (64, 4096):
+            for ns in (4, 128):
+                m = make_test_model(nd, ns)
+                assert _gpu(m).throughput > _cpu(m).throughput
+
+    def test_gpu_efficiency_best_for_dense_heavy(self):
+        dense_heavy = make_test_model(4096, 4)
+        sparse_heavy = make_test_model(64, 128)
+        r_dense = _gpu(dense_heavy).throughput / _cpu(dense_heavy).throughput
+        r_sparse = _gpu(sparse_heavy).throughput / _cpu(sparse_heavy).throughput
+        assert r_dense > r_sparse
+
+    def test_sparse_heavy_corner_loses_on_power(self):
+        """§V-A: GPU perf/watt can fall below CPU for sparse-heavy models."""
+        m = make_test_model(64, 128)
+        ratio = _gpu(m).throughput / _cpu(m).throughput
+        assert ratio < 7.3  # Big Basin power premium
+
+    def test_throughput_decreases_with_more_features(self):
+        base = _gpu(make_test_model(64, 4)).throughput
+        more_sparse = _gpu(make_test_model(64, 128)).throughput
+        more_dense = _gpu(make_test_model(4096, 4)).throughput
+        assert more_sparse < base and more_dense < base
+
+
+class TestFig11Shapes:
+    def test_cpu_has_interior_optimum(self):
+        m = make_test_model(1024, 64)
+        batches = (50, 100, 200, 400, 800, 1600)
+        thr = [_cpu(m, batch_per_trainer=b).throughput for b in batches]
+        peak = thr.index(max(thr))
+        assert 0 < peak < len(batches) - 1  # not monotone either way
+        assert thr[-1] < max(thr) * 0.8  # clear decline past optimum
+
+    def test_gpu_scales_then_saturates(self):
+        m = make_test_model(1024, 64)
+        batches = (100, 400, 1600, 6400, 25600)
+        thr = [_gpu(m, batch=b).throughput for b in batches]
+        assert all(b > a for a, b in zip(thr, thr[1:]))  # monotone rise
+        early_gain = thr[1] / thr[0]
+        late_gain = thr[-1] / thr[-2]
+        assert late_gain < early_gain * 0.5  # saturating
+
+
+class TestFig12Shapes:
+    def test_cpu_flat_with_hash_size(self):
+        thr = []
+        for h in (100_000, 1_000_000, 5_000_000):
+            m = make_test_model(1024, 64, hash_size=h)
+            thr.append(_cpu(m, num_sparse_ps=2).throughput)
+        assert max(thr) / min(thr) < 1.05
+
+    def test_gpu_drops_when_spilling(self):
+        fits = make_test_model(1024, 64, hash_size=3_000_000)
+        spills = make_test_model(1024, 64, hash_size=12_000_000)
+        r_fit = gpu_server_throughput(fits, 1600, BIG_BASIN, auto_plan(fits, BIG_BASIN))
+        r_spill = gpu_server_throughput(spills, 1600, BIG_BASIN, auto_plan(spills, BIG_BASIN))
+        assert r_spill.throughput < 0.6 * r_fit.throughput
+
+    def test_gpu_eventually_infeasible(self):
+        m = make_test_model(1024, 64, hash_size=60_000_000)
+        with pytest.raises(CapacityError):
+            auto_plan(m, BIG_BASIN)
+
+
+class TestFig13Shapes:
+    def test_flat_until_256_then_cpu_drops_faster(self):
+        mlps = ("64^2", "256^3", "512^3", "1024^3", "2048^4")
+        cpu, gpu = [], []
+        for mlp in mlps:
+            m = make_test_model(512, 64, mlp=mlp)
+            cpu.append(_cpu(m).throughput)
+            gpu.append(_gpu(m).throughput)
+        cpu_rel = [v / cpu[0] for v in cpu]
+        gpu_rel = [v / gpu[0] for v in gpu]
+        # little movement up to 256^3
+        assert cpu_rel[1] > 0.9 and gpu_rel[1] > 0.8
+        # large MLPs: CPU falls further than GPU
+        assert cpu_rel[-1] < gpu_rel[-1]
+        assert cpu_rel[-1] < 0.25
+
+
+class TestFig14Shapes:
+    @pytest.fixture(scope="class")
+    def m2(self):
+        return PRODUCTION_MODELS["M2_prod"]()
+
+    def _thr(self, m2, platform, strategy):
+        plan = plan_placement(
+            m2, platform, strategy, num_ps=8, ps_platform=DUAL_SOCKET_CPU
+        )
+        return gpu_server_throughput(m2, 3200, platform, plan).throughput
+
+    def test_big_basin_ordering(self, m2):
+        gpu_mem = self._thr(m2, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
+        sys_mem = self._thr(m2, BIG_BASIN, PlacementStrategy.SYSTEM_MEMORY)
+        remote = self._thr(m2, BIG_BASIN, PlacementStrategy.REMOTE_CPU)
+        assert gpu_mem > sys_mem > remote
+        # paper: system memory ~4x lower than GPU memory on Big Basin
+        assert 2.0 < gpu_mem / sys_mem < 8.0
+
+    def test_zion_ordering(self, m2):
+        gpu_mem = self._thr(m2, ZION, PlacementStrategy.GPU_MEMORY)
+        sys_mem = self._thr(m2, ZION, PlacementStrategy.SYSTEM_MEMORY)
+        remote = self._thr(m2, ZION, PlacementStrategy.REMOTE_CPU)
+        assert sys_mem > gpu_mem > remote
+
+    def test_zion_gpu_mem_much_lower_than_big_basin(self, m2):
+        """§VI-B: no GPU-GPU direct link on prototype Zion."""
+        bb = self._thr(m2, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
+        zion = self._thr(m2, ZION, PlacementStrategy.GPU_MEMORY)
+        assert zion < 0.7 * bb
+
+    def test_zion_sysmem_is_global_best(self, m2):
+        zion_sys = self._thr(m2, ZION, PlacementStrategy.SYSTEM_MEMORY)
+        bb_gpu = self._thr(m2, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
+        assert zion_sys >= 0.95 * bb_gpu
+
+    def test_remote_similar_on_both(self, m2):
+        bb = self._thr(m2, BIG_BASIN, PlacementStrategy.REMOTE_CPU)
+        zion = self._thr(m2, ZION, PlacementStrategy.REMOTE_CPU)
+        assert zion == pytest.approx(bb, rel=0.3)
+        assert zion >= bb  # "only slightly better"
+
+
+class TestMultiNodeAndZionForM3:
+    def test_zion_beats_multi_node_big_basin_for_m3(self):
+        """§VI-B: Zion is far more efficient than multi-Big-Basin for M3."""
+        m3 = PRODUCTION_MODELS["M3_prod"]()
+        with pytest.raises(CapacityError):
+            plan_gpu_memory(m3, BIG_BASIN, num_nodes=1)
+        multi = plan_gpu_memory(m3, BIG_BASIN, num_nodes=2)
+        multi_r = gpu_server_throughput(m3, 800, BIG_BASIN, multi)
+        zion_plan = plan_placement(m3, ZION, PlacementStrategy.SYSTEM_MEMORY)
+        zion_r = gpu_server_throughput(m3, 800, ZION, zion_plan)
+        assert zion_r.throughput > 3 * multi_r.throughput
+        assert zion_r.perf_per_watt > 5 * multi_r.perf_per_watt
+
+
+class TestCalibrationValidation:
+    def test_bad_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            Calibration(cpu_parallel_efficiency=0.0)
+        with pytest.raises(ValueError):
+            Calibration(collective_inefficiency=0.5)
+        with pytest.raises(ValueError):
+            Calibration(cpu_llc_bytes=-1)
+
+    def test_calibration_is_a_real_knob(self):
+        m = make_test_model(1024, 16)
+        slow = Calibration(cpu_parallel_efficiency=0.3)
+        fast = Calibration(cpu_parallel_efficiency=0.9)
+        assert (
+            cpu_cluster_throughput(m, 200, 1, 1, 1, calib=fast).throughput
+            > cpu_cluster_throughput(m, 200, 1, 1, 1, calib=slow).throughput
+        )

@@ -1,0 +1,164 @@
+"""Tests for the data-preprocessing phase (raw logs -> model batches)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Adagrad, DLRM, MLPSpec, Trainer
+from repro.data import (
+    DenseFeature,
+    PreprocessingPipeline,
+    RawEvent,
+    RawLogGenerator,
+    SparseFeature,
+)
+
+
+@pytest.fixture
+def raw_gen():
+    return RawLogGenerator(
+        numeric_fields=("dwell_ms", "impressions", "ctr_7d"),
+        categorical_fields=("item_ids", "page_ids"),
+        rng=0,
+    )
+
+
+@pytest.fixture
+def pipeline(raw_gen):
+    pipe = PreprocessingPipeline(
+        dense=[DenseFeature(f) for f in raw_gen.numeric_fields],
+        sparse=[
+            SparseFeature("item_ids", hash_size=1000, truncation=8),
+            SparseFeature("page_ids", hash_size=500),
+        ],
+    )
+    return pipe.fit(raw_gen.events(500))
+
+
+class TestRawLogGenerator:
+    def test_event_structure(self, raw_gen):
+        e = raw_gen.event()
+        assert set(e.numeric) == {"dwell_ms", "impressions", "ctr_7d"}
+        assert set(e.categorical) == {"item_ids", "page_ids"}
+        assert isinstance(e.clicked, bool)
+
+    def test_scale_diversity(self, raw_gen):
+        events = raw_gen.events(300)
+        means = {
+            name: np.mean([e.numeric[name] for e in events])
+            for name in raw_gen.numeric_fields
+        }
+        assert max(means.values()) > 100 * min(means.values())
+
+    def test_variable_multiplicity(self, raw_gen):
+        lengths = [len(e.categorical["item_ids"]) for e in raw_gen.events(200)]
+        assert len(set(lengths)) > 2
+
+    def test_ctr_respected(self):
+        gen = RawLogGenerator(("x",), ("c",), rng=1, ctr=0.25)
+        clicks = np.mean([gen.event().clicked for _ in range(2000)])
+        assert clicks == pytest.approx(0.25, abs=0.04)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RawLogGenerator((), ())
+        with pytest.raises(ValueError):
+            RawLogGenerator(("x",), (), ctr=1.5)
+
+
+class TestDenseFeature:
+    def test_standardization(self, raw_gen):
+        f = DenseFeature("impressions")
+        events = raw_gen.events(1000)
+        f.fit(events)
+        values = np.array([f.transform(e) for e in events])
+        assert values.mean() == pytest.approx(0.0, abs=1e-9)
+        assert values.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_log_compression_tames_tails(self, raw_gen):
+        events = raw_gen.events(1000)
+        compressed = DenseFeature("impressions", log_compress=True)
+        linear = DenseFeature("impressions", log_compress=False)
+        compressed.fit(events)
+        linear.fit(events)
+        c = np.array([compressed.transform(e) for e in events])
+        l = np.array([linear.transform(e) for e in events])
+        assert np.abs(c).max() < np.abs(l).max()
+
+    def test_transform_before_fit_rejected(self, raw_gen):
+        with pytest.raises(RuntimeError):
+            DenseFeature("impressions").transform(raw_gen.event())
+
+    def test_missing_field_rejected(self):
+        f = DenseFeature("nope")
+        with pytest.raises(KeyError):
+            f.fit([RawEvent(numeric={"x": 1.0}, categorical={}, clicked=False)])
+
+
+class TestSparseFeature:
+    def test_hashing_in_range(self, raw_gen):
+        f = SparseFeature("item_ids", hash_size=97)
+        for e in raw_gen.events(50):
+            out = f.transform(e)
+            if len(out):
+                assert out.min() >= 0 and out.max() < 97
+
+    def test_truncation(self):
+        f = SparseFeature("c", hash_size=100, truncation=2)
+        event = RawEvent(
+            numeric={}, categorical={"c": np.arange(10, dtype=np.uint64)}, clicked=False
+        )
+        assert len(f.transform(event)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparseFeature("c", hash_size=0)
+        with pytest.raises(ValueError):
+            SparseFeature("c", hash_size=10, truncation=0)
+
+
+class TestPipeline:
+    def test_batch_shape(self, pipeline, raw_gen):
+        batch = pipeline.transform(raw_gen.events(64))
+        assert batch.size == 64
+        assert batch.dense.shape == (64, 3)
+        assert set(batch.sparse) == {"item_ids", "page_ids"}
+        assert batch.sparse["item_ids"].lengths().max() <= 8  # truncation
+
+    def test_model_config_derived(self, pipeline):
+        cfg = pipeline.model_config(
+            "from-pipeline", MLPSpec((16, 8)), MLPSpec((8,))
+        )
+        assert cfg.num_dense == 3
+        assert cfg.num_sparse == 2
+        assert {t.hash_size for t in cfg.tables} == {1000, 500}
+
+    def test_end_to_end_training(self, pipeline, raw_gen):
+        """Raw logs -> preprocessing -> DLRM training runs end to end."""
+        cfg = pipeline.model_config("e2e", MLPSpec((16, 8)), MLPSpec((8,)))
+        model = DLRM(cfg, rng=0)
+        trainer = Trainer(
+            model,
+            lambda m: Adagrad(m.dense_parameters(), m.embedding_tables(), lr=0.05),
+        )
+        def stream():
+            while True:
+                yield pipeline.transform(raw_gen.events(64))
+        result = trainer.train(stream(), max_steps=10)
+        assert np.isfinite(result.final_loss)
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            PreprocessingPipeline(
+                dense=[DenseFeature("x")],
+                sparse=[SparseFeature("x", hash_size=10)],
+            )
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            PreprocessingPipeline(dense=[], sparse=[])
+
+    def test_empty_events_rejected(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.transform([])
+        with pytest.raises(ValueError):
+            PreprocessingPipeline(dense=[DenseFeature("x")], sparse=[]).fit([])

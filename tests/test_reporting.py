@@ -1,0 +1,77 @@
+"""Tests for report generation and serialization surfaces."""
+
+import json
+
+import pytest
+
+from repro.configs import make_test_model
+from repro.hardware import BIG_BASIN
+from repro.perf import gpu_server_throughput
+from repro.placement import plan_gpu_memory
+
+
+class TestThroughputReportToDict:
+    def test_json_serializable_and_complete(self):
+        m = make_test_model(256, 8)
+        plan = plan_gpu_memory(m, BIG_BASIN)
+        report = gpu_server_throughput(m, 1600, BIG_BASIN, plan)
+        d = report.to_dict()
+        json.dumps(d)  # must not raise
+        assert d["throughput"] == report.throughput
+        assert d["bottleneck"] == report.breakdown.bottleneck
+        assert d["power_watts"] == report.power.nameplate_watts
+        assert set(d["components"]) == set(report.breakdown.components)
+
+
+class TestConsolidatedReport:
+    def test_generate_report_contains_all_fast_sections(self):
+        from repro.experiments.report import generate_report
+
+        text = generate_report(include_utilization=False)
+        for needle in (
+            "Table I", "Table II", "Table III",
+            "Figure 1", "Figure 2", "Figure 9", "Figure 10",
+            "Figure 11", "Figure 12", "Figure 13", "Figure 14",
+        ):
+            assert needle in text
+        assert "Figure 15" not in text  # training excluded by default
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--output", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "Figure 14" in text
+
+
+class TestRenderingEdgeCases:
+    def test_format_si_terabytes(self):
+        from repro.analysis import format_si
+
+        assert format_si(2.5e12) == "2.5T"
+
+    def test_render_bars_with_zero_entry(self):
+        from repro.analysis import render_bars
+
+        out = render_bars(["a", "b"], [0.0, 10.0])
+        lines = out.splitlines()
+        assert lines[0].count("#") == 0
+        assert lines[1].count("#") == 40
+
+    def test_mlp_notation_strips_whitespace(self):
+        from repro.core import MLPSpec
+
+        assert MLPSpec.from_notation("  64^2 ").layer_sizes == (64, 64)
+
+
+class TestGpuSimEdgeCases:
+    def test_imbalance_with_zero_busy(self):
+        from repro.distributed import GpuServerSimResult
+
+        r = GpuServerSimResult(
+            throughput=0.0, iterations=0, sim_time=1.0,
+            gpu_busy_fraction=[0.0, 0.0],
+        )
+        assert r.gpu_imbalance == 1.0

@@ -1,0 +1,87 @@
+"""Tests for learning-rate schedules and the scheduled-optimizer wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Adagrad,
+    ConstantLR,
+    DLRM,
+    PolynomialDecayLR,
+    ScheduledOptimizer,
+    Trainer,
+    WarmupLR,
+)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantLR(0.1)
+        assert s.at(0) == s.at(1000) == 0.1
+
+    def test_warmup_ramps_then_flat(self):
+        s = WarmupLR(0.1, warmup_steps=10, start_factor=0.1)
+        assert s.at(0) == pytest.approx(0.01)
+        assert s.at(5) == pytest.approx(0.055)
+        assert s.at(10) == 0.1
+        assert s.at(100) == 0.1
+
+    def test_warmup_monotone(self):
+        s = WarmupLR(0.2, warmup_steps=50)
+        values = [s.at(i) for i in range(60)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_polynomial_linear_decay(self):
+        s = PolynomialDecayLR(0.1, total_steps=10, end_lr=0.0, power=1.0)
+        assert s.at(0) == pytest.approx(0.1)
+        assert s.at(5) == pytest.approx(0.05)
+        assert s.at(10) == 0.0
+        assert s.at(99) == 0.0
+
+    def test_polynomial_power_shapes(self):
+        sqrtish = PolynomialDecayLR(0.1, 100, power=0.5)
+        quad = PolynomialDecayLR(0.1, 100, power=2.0)
+        # at midpoint, higher power decays faster
+        assert quad.at(50) < sqrtish.at(50)
+
+    @pytest.mark.parametrize("make", [
+        lambda: ConstantLR(0.0),
+        lambda: WarmupLR(0.1, warmup_steps=0),
+        lambda: WarmupLR(0.1, 10, start_factor=0.0),
+        lambda: PolynomialDecayLR(0.1, 0),
+        lambda: PolynomialDecayLR(0.1, 10, end_lr=0.5),
+        lambda: PolynomialDecayLR(0.1, 10, power=0.0),
+    ])
+    def test_bad_params_rejected(self, make):
+        with pytest.raises(ValueError):
+            make()
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.1).at(-1)
+
+
+class TestScheduledOptimizer:
+    def test_lr_follows_schedule(self, tiny_config, tiny_generator):
+        model = DLRM(tiny_config, rng=0)
+        inner = Adagrad(model.dense_parameters(), model.embedding_tables(), lr=1.0)
+        sched = ScheduledOptimizer(inner, WarmupLR(0.1, warmup_steps=5))
+        trainer = Trainer(model, lambda m: sched)
+        trainer.train(tiny_generator.batches(32), max_steps=8)
+        assert sched.step_count == 8
+        assert inner.lr == pytest.approx(0.1)  # past warm-up
+
+    def test_warmup_helps_or_matches_at_high_lr(self, tiny_config):
+        """With an aggressive LR, warm-up should not hurt final loss."""
+        from repro.data import SyntheticDataGenerator
+
+        results = {}
+        for warmup in (False, True):
+            gen = SyntheticDataGenerator(tiny_config, rng=9, seed_teacher=True)
+            model = DLRM(tiny_config, rng=2)
+            inner = Adagrad(model.dense_parameters(), model.embedding_tables(), lr=0.5)
+            schedule = WarmupLR(0.5, warmup_steps=20) if warmup else ConstantLR(0.5)
+            trainer = Trainer(model, lambda m: ScheduledOptimizer(inner, schedule))
+            r = trainer.train(gen.batches(64), max_steps=100)
+            results[warmup] = r.smoothed_final_loss
+        assert results[True] <= results[False] + 0.05

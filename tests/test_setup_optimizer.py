@@ -1,0 +1,66 @@
+"""Tests for the automatic training-setup selection."""
+
+import pytest
+
+from repro.configs import build_m1, build_m3, make_test_model
+from repro.perf import Objective, optimize_setup
+
+
+class TestOptimizeSetup:
+    def test_returns_ranked_candidates(self):
+        m = make_test_model(512, 16)
+        result = optimize_setup(m)
+        assert len(result.candidates) > 3
+        ranked = result.ranked()
+        assert ranked[0].throughput >= ranked[-1].throughput
+        assert result.best is ranked[0]
+
+    def test_m1_prefers_gpu(self):
+        """M1 fits GPU memory and wins there (Table III)."""
+        result = optimize_setup(build_m1(), objective=Objective.THROUGHPUT,
+                                trainer_counts=(4, 8))
+        assert "BigBasin" in result.best.label or "Zion" in result.best.label
+
+    def test_m3_avoids_big_basin_gpu_memory(self):
+        """M3 cannot use pure Big Basin GPU-memory placement (Table II/III);
+        among the placements the paper evaluated for M3 (remote CPU, system
+        memory), Zion system-memory wins.  Note: the optimizer additionally
+        surfaces a *hybrid* Big Basin placement (96% of bytes in HBM) the
+        paper never tried — documented as an extension in EXPERIMENTS.md."""
+        result = optimize_setup(build_m3(), objective=Objective.THROUGHPUT)
+        labels = [c.label for c in result.candidates]
+        assert not any("BigBasin/gpu_memory" in l for l in labels)
+        # among the single-GPU-server placements the paper evaluated for M3
+        # (system memory / remote CPU), Zion system-memory wins
+        paper_evaluated = [
+            c
+            for c in result.candidates
+            if "hybrid" not in c.label and not c.label.startswith("CPU ")
+        ]
+        best_paper = max(paper_evaluated, key=lambda c: c.throughput)
+        assert "Zion/system_memory" in best_paper.label
+
+    def test_objectives_can_disagree(self):
+        """Throughput and perf/watt winners need not coincide."""
+        m = make_test_model(64, 128)  # sparse-heavy: GPU wins speed, not watts
+        thr = optimize_setup(m, objective=Objective.THROUGHPUT)
+        eff = optimize_setup(m, objective=Objective.PERF_PER_WATT)
+        assert thr.best.throughput >= eff.best.throughput
+        assert eff.best.perf_per_watt >= thr.best.perf_per_watt
+
+    def test_min_throughput_filters(self):
+        m = make_test_model(512, 16)
+        unfiltered = optimize_setup(m)
+        floor = unfiltered.ranked()[0].throughput * 0.5
+        filtered = optimize_setup(m, min_throughput=floor)
+        assert all(c.throughput >= floor for c in filtered.candidates)
+        assert len(filtered.candidates) <= len(unfiltered.candidates)
+
+    def test_impossible_requirement_raises(self):
+        m = make_test_model(64, 4)
+        with pytest.raises(ValueError, match="no feasible setup"):
+            optimize_setup(m, min_throughput=1e12)
+
+    def test_negative_requirement_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_setup(make_test_model(64, 4), min_throughput=-1)

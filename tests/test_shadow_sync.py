@@ -1,0 +1,66 @@
+"""Tests for the ShadowSync-style background synchronization trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate
+from repro.distributed import ShadowSyncTrainer
+
+
+class TestShadowSync:
+    def test_training_reduces_loss(self, tiny_config, tiny_generator):
+        trainer = ShadowSyncTrainer(tiny_config, num_workers=3, lr=0.05, rng=0)
+        history = trainer.train(tiny_generator.batches(64), max_examples=16000)
+        assert np.mean(history[-5:]) < history[0]
+
+    def test_center_model_learns(self, tiny_config, tiny_generator):
+        trainer = ShadowSyncTrainer(tiny_config, num_workers=2, lr=0.05, rng=0)
+        eval_batches = [tiny_generator.batch(512)]
+        before = evaluate(trainer.center_dlrm(), eval_batches)["normalized_entropy"]
+        trainer.train(tiny_generator.batches(64), max_examples=16000)
+        after = evaluate(trainer.center_dlrm(), eval_batches)["normalized_entropy"]
+        assert after < before
+
+    def test_round_robin_sync_touches_all_workers(self, tiny_config, tiny_generator):
+        trainer = ShadowSyncTrainer(tiny_config, num_workers=3, lr=0.05, rng=0)
+        # after num_workers rounds every worker synced once
+        for _ in range(3):
+            trainer.round([tiny_generator.batch(16) for _ in range(3)])
+        assert trainer.rounds == 3
+        # no worker strayed unboundedly from the center
+        for worker in trainer.workers:
+            for p, c in zip(worker.dense_parameters(), trainer.center_state):
+                assert np.linalg.norm(p.value - c) < 100
+
+    def test_never_blocks_semantics(self, tiny_config, tiny_generator):
+        """Exactly one background sync per round, regardless of workers."""
+        trainer = ShadowSyncTrainer(tiny_config, num_workers=4, lr=0.05, rng=0)
+        w_before = [w.get_dense_state() for w in trainer.workers]
+        trainer.round([tiny_generator.batch(16) for _ in range(4)])
+        # all four stepped (params changed), only worker 0 was pulled to center
+        changed = [
+            any(
+                not np.array_equal(a, b.value)
+                for a, b in zip(state, w.dense_parameters())
+            )
+            for state, w in zip(w_before, trainer.workers)
+        ]
+        assert all(changed)
+
+    def test_shared_tables(self, tiny_config):
+        trainer = ShadowSyncTrainer(tiny_config, num_workers=2, rng=0)
+        assert (
+            trainer.workers[0].embedding_tables()[0]
+            is trainer.workers[1].embedding_tables()[0]
+        )
+
+    def test_validation(self, tiny_config, tiny_generator):
+        with pytest.raises(ValueError):
+            ShadowSyncTrainer(tiny_config, num_workers=0)
+        with pytest.raises(ValueError):
+            ShadowSyncTrainer(tiny_config, num_workers=2, mix=0.0)
+        trainer = ShadowSyncTrainer(tiny_config, num_workers=2, rng=0)
+        with pytest.raises(ValueError):
+            trainer.round([tiny_generator.batch(8)])
+        with pytest.raises(ValueError):
+            trainer.train(tiny_generator.batches(8), max_examples=0)

@@ -1,0 +1,98 @@
+"""Tests for embedding-table sharing (paper §III-A.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmbeddingBagCollection,
+    TableSpec,
+    merge_shared_tables,
+    uniform_tables,
+)
+from helpers import simple_ragged
+
+
+def _tables():
+    return (
+        TableSpec("item_id", 1_000_000, dim=16, mean_lookups=1.0),
+        TableSpec("last_items", 800_000, dim=16, mean_lookups=20.0),
+        TableSpec("country", 200, dim=16, mean_lookups=1.0),
+    )
+
+
+class TestMergeSharedTables:
+    def test_merged_table_properties(self):
+        physical, mapping = merge_shared_tables(
+            _tables(), groups=(("item_id", "last_items"),)
+        )
+        assert len(physical) == 2
+        merged = next(t for t in physical if t.name == "item_id")
+        # shared hash sizing: the max of the group
+        assert merged.hash_size == 1_000_000
+        # lookups: every feature still looks up
+        assert merged.mean_lookups == pytest.approx(21.0)
+        assert mapping == {
+            "item_id": "item_id",
+            "last_items": "item_id",
+            "country": "country",
+        }
+
+    def test_size_reduction(self):
+        tables = _tables()
+        physical, _ = merge_shared_tables(tables, (("item_id", "last_items"),))
+        before = sum(t.size_bytes for t in tables)
+        after = sum(t.size_bytes for t in physical)
+        assert after < before
+
+    def test_truncation_merged(self):
+        tables = (
+            TableSpec("a", 100, dim=8, mean_lookups=5, truncation=8),
+            TableSpec("b", 100, dim=8, mean_lookups=5, truncation=16),
+        )
+        physical, _ = merge_shared_tables(tables, (("a", "b"),))
+        assert physical[0].truncation == 16
+
+    def test_no_groups_identity(self):
+        tables = _tables()
+        physical, mapping = merge_shared_tables(tables, ())
+        assert physical == tables
+        assert all(mapping[t.name] == t.name for t in tables)
+
+    @pytest.mark.parametrize("groups", [
+        (("item_id",),),                     # singleton
+        (("item_id", "nope"),),              # unknown feature
+        (("item_id", "last_items"), ("last_items", "country")),  # overlap
+    ])
+    def test_invalid_groups_rejected(self, groups):
+        with pytest.raises(ValueError):
+            merge_shared_tables(_tables(), groups)
+
+    def test_mixed_dims_rejected(self):
+        tables = (
+            TableSpec("a", 100, dim=8),
+            TableSpec("b", 100, dim=16),
+        )
+        with pytest.raises(ValueError):
+            merge_shared_tables(tables, (("a", "b"),))
+
+
+class TestSharedCollectionTraining:
+    def test_shared_collection_from_merge(self, rng):
+        """The merge output drives a working shared EmbeddingBagCollection."""
+        physical, mapping = merge_shared_tables(
+            uniform_tables(2, 100, dim=4, mean_lookups=2, prefix="f"),
+            groups=(("f_0", "f_1"),),
+        )
+        coll = EmbeddingBagCollection(physical, rng, feature_to_table=mapping)
+        batch = {
+            "f_0": simple_ragged([[1], [2]]),
+            "f_1": simple_ragged([[3], [1]]),
+        }
+        out = coll.forward(batch)
+        table = coll.tables["f_0"]
+        np.testing.assert_allclose(out["f_0"][0], table.weight[1])
+        np.testing.assert_allclose(out["f_1"][1], table.weight[1])
+        # gradients from both features land in one physical table
+        coll.backward({k: np.ones((2, 4)) for k in batch})
+        grad = table.pop_grad()
+        assert set(grad.rows) == {1, 2, 3}

@@ -1,0 +1,115 @@
+"""Validation and representation edge cases across the hardware/placement
+layer (constructor guards that the happy-path tests never hit)."""
+
+import pytest
+
+from repro.hardware import DeviceSpec, LinkSpec, OpCost, PlatformSpec
+from repro.hardware.specs import SKYLAKE_SOCKET, V100_32GB, _ETH_25G
+from repro.placement import Location, LocationKind, Shard
+
+
+class TestDeviceSpecValidation:
+    def test_non_positive_specs_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("d", 0, 1e9, 1e9, 1e-6)
+        with pytest.raises(ValueError):
+            DeviceSpec("d", 1e9, -1, 1e9, 1e-6)
+
+    def test_bad_efficiencies_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("d", 1e9, 1e9, 1e9, 1e-6, compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            DeviceSpec("d", 1e9, 1e9, 1e9, 1e-6, bandwidth_efficiency=1.5)
+
+    def test_effective_rates(self):
+        assert V100_32GB.effective_flops == pytest.approx(
+            V100_32GB.peak_flops * V100_32GB.compute_efficiency
+        )
+        assert SKYLAKE_SOCKET.effective_bandwidth == pytest.approx(
+            SKYLAKE_SOCKET.mem_bandwidth * SKYLAKE_SOCKET.bandwidth_efficiency
+        )
+
+
+class TestLinkSpecValidation:
+    def test_bad_link_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec("l", bandwidth=0.0, latency_s=1e-6)
+        with pytest.raises(ValueError):
+            LinkSpec("l", bandwidth=1e9, latency_s=-1.0)
+
+
+class TestPlatformSpecValidation:
+    def _kwargs(self, **overrides):
+        kwargs = dict(
+            name="p",
+            cpu_socket=SKYLAKE_SOCKET,
+            num_cpu_sockets=2,
+            gpu=V100_32GB,
+            num_gpus=8,
+            system_memory=1e11,
+            gpu_interconnect=None,
+            pcie=LinkSpec("pcie", 1e10, 1e-6),
+            nic=_ETH_25G,
+            nameplate_watts=1000.0,
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_gpu_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(**self._kwargs(gpu=None, num_gpus=8))
+        with pytest.raises(ValueError):
+            PlatformSpec(**self._kwargs(gpu=V100_32GB, num_gpus=0))
+
+    def test_bad_scalars_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(**self._kwargs(num_cpu_sockets=0))
+        with pytest.raises(ValueError):
+            PlatformSpec(**self._kwargs(system_memory=0.0))
+        with pytest.raises(ValueError):
+            PlatformSpec(**self._kwargs(nameplate_watts=0.0))
+        with pytest.raises(ValueError):
+            PlatformSpec(**self._kwargs(idle_fraction=1.0))
+
+    def test_aggregate_properties(self):
+        p = PlatformSpec(**self._kwargs())
+        assert p.cpu_peak_flops == pytest.approx(2 * SKYLAKE_SOCKET.peak_flops)
+        assert p.system_mem_bandwidth == pytest.approx(2 * SKYLAKE_SOCKET.mem_bandwidth)
+        assert p.system_mem_effective_bandwidth == pytest.approx(
+            2 * SKYLAKE_SOCKET.effective_bandwidth
+        )
+
+
+class TestOpCostEdges:
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            OpCost(1.0, 1.0).scaled(-1.0)
+
+    def test_negative_kernels_rejected(self):
+        with pytest.raises(ValueError):
+            OpCost(1.0, 1.0, kernels=-1)
+
+
+class TestLocationRepresentation:
+    def test_str_forms(self):
+        assert str(Location(LocationKind.GPU, index=3, node=1)) == "node1/gpu3"
+        assert str(Location(LocationKind.REMOTE, index=2)) == "ps2"
+        assert str(Location(LocationKind.SYSTEM)) == "system"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Location(LocationKind.GPU, index=-1)
+
+    def test_shard_repr_fields(self):
+        s = Shard("t", Location(LocationKind.GPU), bytes=10.0, row_fraction=0.5)
+        assert s.table_name == "t" and s.row_fraction == 0.5
+
+
+class TestSimulatorHorizon:
+    def test_backwards_horizon_rejected(self):
+        from repro.distributed import Simulator
+
+        sim = Simulator()
+        sim.run(2.0)
+        with pytest.raises(ValueError):
+            sim.run(1.0)
