@@ -1,1 +1,27 @@
-"""Benchmark fixtures live in bench_utils; nothing shared here."""
+"""Benchmark-suite configuration.
+
+Everything under ``benchmarks/`` runs full paper-scale grids (minutes, not
+milliseconds), so the whole directory is marked ``slow``; the fast
+qualitative versions of the headline claims live in
+``tests/test_golden_shapes.py`` and run in tier-1.  Deselect the slow set
+with ``pytest benchmarks -m "not slow"`` (or select it explicitly with
+``-m slow``).
+
+Shared fixtures/helpers live in :mod:`bench_utils`; nothing else is shared
+here.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: full paper-scale benchmark grids (excluded from tier-1 CI)",
+    )
+
+
+def pytest_collection_modifyitems(items):
+    slow = pytest.mark.slow
+    for item in items:
+        item.add_marker(slow)

@@ -28,6 +28,11 @@ Subpackages
 ``repro.fleet``
     Fleet-scale populations: workload families, server-count allocation,
     utilization telemetry.
+``repro.obs``
+    Observability layer: nestable span tracing with Chrome-trace export,
+    counter/gauge/histogram metrics registry with fleet-wide merging, and
+    ambient profiling hooks.  Off by default (NullTracer) on every hot
+    path.
 ``repro.analysis``
     KDE, distribution statistics, power-law fits, ASCII table rendering.
 ``repro.configs``

@@ -8,7 +8,9 @@
   problem);
 * ``figures`` — regenerate paper figures/tables to stdout;
 * ``fleet`` — fleet characterization report;
-* ``train`` — quick functional training run on synthetic data.
+* ``train`` — quick functional training run on synthetic data;
+* ``trace`` — run an experiment with span tracing on and write a Chrome
+  ``chrome://tracing`` / Perfetto JSON trace (see ``repro.obs``).
 """
 
 from __future__ import annotations
@@ -203,6 +205,71 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro trace <experiment>`` targets: name -> tracing driver.
+TRACE_EXPERIMENTS = ("fig11", "fig14", "table3", "cpu_sim", "gpu_sim", "train")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import Tracer
+
+    tracer = Tracer()
+    name = args.experiment
+    if name == "fig14":
+        from .experiments import fig14_placement
+
+        fig14_placement.run(tracer=tracer)
+    elif name == "fig11":
+        from .experiments import fig11_batch_scaling
+
+        fig11_batch_scaling.run(tracer=tracer)
+    elif name == "table3":
+        from .experiments import table3_comparison
+
+        table3_comparison.run(tracer=tracer)
+    elif name == "cpu_sim":
+        from .distributed import ClusterConfig, simulate_cpu_cluster
+
+        model = resolve_model(args.model if args.model else "test:512x32")
+        cfg = ClusterConfig(
+            num_trainers=4, num_sparse_ps=4, num_dense_ps=1, seed=args.seed
+        )
+        simulate_cpu_cluster(model, cfg, horizon_s=0.25, tracer=tracer)
+    elif name == "gpu_sim":
+        from .distributed import simulate_gpu_server
+        from .hardware import BIG_BASIN
+        from .placement import PlacementStrategy, plan_placement
+
+        model = resolve_model(args.model if args.model else "test:512x32")
+        plan = plan_placement(model, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
+        simulate_gpu_server(
+            model, 1600, BIG_BASIN, plan, num_iterations=20,
+            gpu_jitter_sigma=0.05, seed=args.seed, tracer=tracer,
+        )
+    elif name == "train":
+        from .core import Adagrad, DLRM, Trainer
+        from .data import SyntheticDataGenerator
+
+        model_cfg = resolve_model(args.model if args.model else "test:32x8")
+        gen = SyntheticDataGenerator(model_cfg, rng=args.seed, seed_teacher=True)
+        model = DLRM(model_cfg, rng=args.seed + 1)
+        trainer = Trainer(
+            model,
+            lambda m: Adagrad(m.dense_parameters(), m.embedding_tables(), lr=0.05),
+            tracer=tracer,
+        )
+        trainer.train(iter(lambda: gen.batch(256), None), max_steps=25)
+    else:  # pragma: no cover - argparse choices guard this
+        print(f"unknown trace experiment {name!r}", file=sys.stderr)
+        return 2
+    n = tracer.export_chrome(args.out)
+    totals = ", ".join(
+        f"{cat} {secs * 1e3:.2f} ms" for cat, secs in tracer.total_by_category().items()
+    )
+    print(f"wrote {args.out}: {n} spans ({totals})")
+    print("open in Perfetto (https://ui.perfetto.dev) or chrome://tracing")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -250,6 +317,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "trace", help="run an experiment with tracing and write a Chrome trace"
+    )
+    p.add_argument("experiment", choices=TRACE_EXPERIMENTS)
+    p.add_argument("--out", default="trace.json", help="output Chrome-trace path")
+    p.add_argument("--model", default=None,
+                   help="model spec for cpu_sim/gpu_sim/train targets")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("train", help="functional training run on synthetic data")
     p.add_argument("--model", default="test:32x8")

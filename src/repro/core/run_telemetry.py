@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.registry import MetricsRegistry
+
 __all__ = ["MetricsLogger", "MetricSeries", "InstrumentedTrainer"]
 
 
@@ -27,10 +29,20 @@ class MetricSeries:
     values: list[float] = field(default_factory=list)
 
     def record(self, step: int, value: float) -> None:
+        """Append ``(step, value)``.
+
+        Steps must be non-decreasing; recording the *same* step twice
+        overwrites the previous value (last-writer-wins), matching what a
+        production metrics pipeline does when a step is re-reported, e.g.
+        after a checkpoint restore replays the last step.
+        """
         if self.steps and step < self.steps[-1]:
             raise ValueError(
                 f"series {self.name!r}: step {step} < last step {self.steps[-1]}"
             )
+        if self.steps and step == self.steps[-1]:
+            self.values[-1] = float(value)
+            return
         self.steps.append(step)
         self.values.append(float(value))
 
@@ -78,6 +90,27 @@ class MetricsLogger:
             for step, value in zip(s.steps, s.values):
                 out.write(f"{step},{name},{value!r}\n")
         return out.getvalue()
+
+    def to_registry(self, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+        """Bridge this run's series into a :class:`repro.obs.MetricsRegistry`.
+
+        Per series ``name``: a histogram ``name`` over all recorded values, a
+        gauge ``name:last`` holding the final value, and a shared counter
+        ``telemetry_points`` counting every recorded observation.  Returns
+        the (possibly newly created) registry so per-run metrics can be
+        merged fleet-wide with :func:`repro.obs.merge_all`.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        points = registry.counter("telemetry_points")
+        for name in self.names():
+            series = self._series[name]
+            hist = registry.histogram(name)
+            for value in series.values:
+                if np.isfinite(value):  # e.g. lr is NaN when the optimizer has none
+                    hist.observe(value)
+            registry.gauge(f"{name}:last").set(series.values[-1])
+            points.inc(len(series))
+        return registry
 
     def summary(self) -> dict[str, dict[str, float]]:
         report = {}
@@ -128,3 +161,8 @@ class InstrumentedTrainer:
             if self._examples >= max_examples:
                 break
             self.train_step(batch)
+
+    def registry(self) -> MetricsRegistry:
+        """This run's metrics as a mergeable registry (see
+        :meth:`MetricsLogger.to_registry`)."""
+        return self.logger.to_registry()

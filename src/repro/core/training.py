@@ -13,6 +13,7 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
 from .loss import BCEWithLogitsLoss, sigmoid
 from .metrics import auc, normalized_entropy
 from .model import Batch, DLRM
@@ -74,19 +75,30 @@ class Trainer:
         model: DLRM,
         optimizer_factory: Callable[[DLRM], object],
         loss: BCEWithLogitsLoss | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer_factory(model)
         self.loss = loss or BCEWithLogitsLoss()
+        #: Observability hook (see :mod:`repro.obs`); defaults to the no-op
+        #: tracer, so instrumentation costs nothing unless opted in.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._step_index = 0
 
     def train_step(self, batch: Batch) -> float:
         """One forward/backward/update; returns the batch loss."""
-        self.optimizer.zero_grad()
-        logits = self.model.forward(batch)
-        loss_value = self.loss.forward(logits, batch.labels)
-        grad = self.loss.backward()
-        self.model.backward(grad)
-        self.optimizer.step()
+        tracer = self.tracer
+        with tracer.span("train_step", "iteration", step=self._step_index, batch=batch.size):
+            self.optimizer.zero_grad()
+            with tracer.span("forward", "compute"):
+                logits = self.model.forward(batch)
+                loss_value = self.loss.forward(logits, batch.labels)
+            with tracer.span("backward", "compute"):
+                grad = self.loss.backward()
+                self.model.backward(grad)
+            with tracer.span("optimizer_step", "compute"):
+                self.optimizer.step()
+        self._step_index += 1
         return loss_value
 
     def train(

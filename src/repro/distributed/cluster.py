@@ -22,6 +22,8 @@ from ..perf import ops
 from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
 from ..perf.pipeline import _aggregate_cpu_device, _cache_penalty, _dense_compute_cost
 from ..hardware.device import op_time
+from ..obs.registry import MetricsRegistry
+from ..obs.tracer import NullTracer, Tracer
 from .simulator import Resource, Simulator
 
 __all__ = ["ClusterConfig", "ClusterResult", "simulate_cpu_cluster"]
@@ -104,6 +106,7 @@ class _Trainer:
         cluster: "_Cluster",
         compute_time: float,
         rng: np.random.Generator,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         self.index = index
         self.sim = sim
@@ -112,6 +115,9 @@ class _Trainer:
         self.rng = rng
         self.iterations = 0
         self.busy_compute = 0.0
+        self.tracer = tracer
+        self._iter_start = 0.0
+        self._compute_end = 0.0
 
     def start(self) -> None:
         # Desynchronize trainer start times.
@@ -120,6 +126,7 @@ class _Trainer:
     def begin_iteration(self) -> None:
         # Acquire the next mini-batch from the reader tier first: trainers
         # stall here when readers are under-provisioned (§IV-B.2).
+        self._iter_start = self.sim.now
         wait = 0.0
         if self.cluster.reader is not None:
             ready = self.cluster.reader.submit(
@@ -128,6 +135,7 @@ class _Trainer:
             wait = max(0.0, ready - self.sim.now)
         jittered = self.compute_time * float(self.rng.lognormal(0.0, 0.05))
         self.busy_compute += jittered
+        self._compute_end = self.sim.now + wait + jittered
         self.sim.schedule(wait + jittered, self.issue_lookups)
 
     def issue_lookups(self) -> None:
@@ -158,14 +166,46 @@ class _Trainer:
     def finish_iteration(self) -> None:
         self.cluster.completed_examples += self.cluster.cfg.batch_per_trainer
         self.cluster.completed_iterations += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            now = self.sim.now
+            t0 = self._iter_start
+            parent = tracer.begin(
+                f"trainer{self.index}_iteration",
+                "iteration",
+                t0=t0,
+                tid=self.index,
+                trainer=self.index,
+                iteration=self.iterations,
+                straggler_ps=self.cluster.num_stragglers,
+            )
+            tracer.record(
+                "compute", "compute", t0=t0, duration=self._compute_end - t0, tid=self.index
+            )
+            tracer.record(
+                "ps_roundtrip",
+                "comm",
+                t0=self._compute_end,
+                duration=max(0.0, now - self._compute_end),
+                tid=self.index,
+                sparse_ps=self.cluster.cfg.num_sparse_ps,
+            )
+            tracer.end(parent, t1=now)
         self.begin_iteration()
 
 
 class _Cluster:
     """Owns the resources and scalar per-iteration volumes."""
 
-    def __init__(self, model: ModelConfig, cfg: ClusterConfig, calib: Calibration) -> None:
+    def __init__(
+        self,
+        model: ModelConfig,
+        cfg: ClusterConfig,
+        calib: Calibration,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.cfg = cfg
+        self.registry = registry
         rng = np.random.default_rng(cfg.seed)
         b = cfg.batch_per_trainer
 
@@ -191,11 +231,13 @@ class _Cluster:
         nic_rate = cfg.platform.nic.bandwidth
         mem_rate = cpu.effective_bandwidth * calib.ps_service_efficiency
         self.trainer_nic = [
-            Resource(f"trainer{i}/nic", jit(nic_rate)) for i in range(cfg.num_trainers)
+            Resource(f"trainer{i}/nic", jit(nic_rate), registry=registry)
+            for i in range(cfg.num_trainers)
         ]
         # Straggler injection: the first straggler_fraction of sparse PS are
         # uniformly slowed (memory and NIC service).
         num_stragglers = int(round(cfg.straggler_fraction * cfg.num_sparse_ps))
+        self.num_stragglers = num_stragglers
 
         def straggle(i: int, rate: float) -> float:
             return rate / cfg.straggler_slowdown if i < num_stragglers else rate
@@ -204,20 +246,29 @@ class _Cluster:
             Resource(
                 f"sps{i}/nic",
                 jit(straggle(i, nic_rate * calib.ps_service_efficiency)),
+                registry=registry,
             )
             for i in range(cfg.num_sparse_ps)
         ]
         self.sparse_mem = [
-            Resource(f"sps{i}/mem", jit(straggle(i, mem_rate)))
+            Resource(f"sps{i}/mem", jit(straggle(i, mem_rate)), registry=registry)
             for i in range(cfg.num_sparse_ps)
         ]
         self.dense_nic = [
-            Resource(f"dps{i}/nic", jit(nic_rate * calib.ps_service_efficiency))
+            Resource(
+                f"dps{i}/nic",
+                jit(nic_rate * calib.ps_service_efficiency),
+                registry=registry,
+            )
             for i in range(cfg.num_dense_ps)
         ]
         # The reader tier serves whole examples; rate is examples/second.
         self.reader = (
-            Resource("readers", cfg.num_readers * cfg.reader_examples_per_s)
+            Resource(
+                "readers",
+                cfg.num_readers * cfg.reader_examples_per_s,
+                registry=registry,
+            )
             if cfg.num_readers is not None
             else None
         )
@@ -231,14 +282,24 @@ def simulate_cpu_cluster(
     cfg: ClusterConfig,
     horizon_s: float = 2.0,
     calib: Calibration = DEFAULT_CALIBRATION,
+    tracer: Tracer | NullTracer | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> ClusterResult:
-    """Run the event simulation for ``horizon_s`` simulated seconds."""
+    """Run the event simulation for ``horizon_s`` simulated seconds.
+
+    ``tracer`` (optional) receives one ``iteration`` span per completed
+    trainer iteration on the simulated timeline, with ``compute`` and
+    ``ps_roundtrip`` child spans; ``registry`` (optional) receives
+    per-resource queue-depth/wait/busy histograms from every
+    :class:`~repro.distributed.simulator.Resource`.  Both default to off and
+    leave the simulation numerically untouched.
+    """
     if horizon_s <= 0:
         raise ValueError("horizon_s must be positive")
-    cluster = _Cluster(model, cfg, calib)
+    cluster = _Cluster(model, cfg, calib, registry=registry)
     sim = Simulator()
     trainers = [
-        _Trainer(i, sim, cluster, cluster.compute_time, cluster._rng)
+        _Trainer(i, sim, cluster, cluster.compute_time, cluster._rng, tracer=tracer)
         for i in range(cfg.num_trainers)
     ]
     for t in trainers:

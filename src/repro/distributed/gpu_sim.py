@@ -25,6 +25,7 @@ from ..core.config import ModelConfig
 from ..hardware.device import OpCost, op_time
 from ..hardware.interconnect import alltoall_time, transfer_time
 from ..hardware.specs import PlatformSpec
+from ..obs.tracer import NullTracer, Tracer
 from ..perf import ops
 from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
 from ..perf.pipeline import _aggregate_cpu_device, _dense_compute_cost
@@ -100,6 +101,7 @@ def simulate_gpu_server(
     gpu_jitter_sigma: float = 0.0,
     seed: int = 0,
     calib: Calibration = DEFAULT_CALIBRATION,
+    tracer: Tracer | NullTracer | None = None,
 ) -> GpuServerSimResult:
     """Run ``num_iterations`` lockstep iterations on one GPU server.
 
@@ -107,6 +109,11 @@ def simulate_gpu_server(
     iteration time is ``host_input + max_g(emb_g) + alltoall + dense +
     sync``, with per-GPU log-normal jitter on compute when
     ``gpu_jitter_sigma > 0``.
+
+    ``tracer`` (optional, default off) receives one ``iteration`` span per
+    simulated iteration with per-phase child spans and straggler attributes
+    (which GPU gated each barrier); tracing never touches the simulated
+    numbers.
     """
     if num_iterations < 1:
         raise ValueError("num_iterations must be >= 1")
@@ -156,7 +163,8 @@ def simulate_gpu_server(
     host_busy = 0.0
     now = 0.0
     iteration_times = []
-    for _ in range(num_iterations):
+    trace_on = tracer is not None and tracer.enabled
+    for it in range(num_iterations):
         start = now
         # host input stage (serial before GPU work of this iteration)
         host_busy += host_input
@@ -173,6 +181,41 @@ def simulate_gpu_server(
         # barrier at the all-to-all and after dense compute
         now += max(emb_times) + a2a + max(dense_times) + sync
         iteration_times.append(now - start)
+        if trace_on:
+            straggler = int(np.argmax(jitter))
+            parent = tracer.begin(
+                f"gpu_iteration_{it}",
+                "iteration",
+                t0=start,
+                iteration=it,
+                straggler_gpu=straggler,
+                jitter_max=float(jitter.max()),
+                imbalance=float(max(per_gpu) / max(np.mean(per_gpu), 1e-12)),
+            )
+            t = start
+            tracer.record(
+                "host_input", "memory", t0=t,
+                duration=calib.gpu_iteration_overhead_s + host_input,
+            )
+            t += calib.gpu_iteration_overhead_s + host_input
+            tracer.record(
+                "emb_lookup_barrier", "memory", t0=t, duration=max(emb_times),
+                straggler_gpu=int(np.argmax(emb_times)),
+            )
+            for g, e in enumerate(emb_times):
+                tracer.record("emb_lookup", "memory", t0=t, duration=e, tid=g + 1, gpu=g)
+            t += max(emb_times)
+            tracer.record("emb_alltoall", "comm", t0=t, duration=a2a)
+            t += a2a
+            tracer.record(
+                "dense_compute_barrier", "compute", t0=t, duration=max(dense_times),
+                straggler_gpu=int(np.argmax(dense_times)),
+            )
+            for g, d in enumerate(dense_times):
+                tracer.record("dense_compute", "compute", t0=t, duration=d, tid=g + 1, gpu=g)
+            t += max(dense_times)
+            tracer.record("easgd_sync", "comm", t0=t, duration=sync)
+            tracer.end(parent, t1=now)
     sim_time = now
     return GpuServerSimResult(
         throughput=num_iterations * batch / sim_time,

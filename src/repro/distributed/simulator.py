@@ -13,8 +13,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
+
+from ..obs.registry import MetricsRegistry
 
 __all__ = ["Event", "Resource", "Simulator"]
 
@@ -36,7 +39,9 @@ class Resource:
     tracked for utilization reporting.
     """
 
-    def __init__(self, name: str, rate: float) -> None:
+    def __init__(
+        self, name: str, rate: float, registry: MetricsRegistry | None = None
+    ) -> None:
         if rate <= 0:
             raise ValueError(f"resource {name!r}: rate must be positive")
         self.name = name
@@ -44,6 +49,21 @@ class Resource:
         self._free_at = 0.0
         self.busy_time = 0.0
         self.jobs_served = 0
+        # Optional telemetry: queue-depth-at-arrival and per-job wait/service
+        # histograms, labeled by resource name (see repro.obs.registry).
+        self._pending: deque[float] | None = None
+        self._h_depth = self._h_wait = self._h_service = None
+        if registry is not None:
+            self._pending = deque()
+            self._h_depth = registry.histogram("resource_queue_depth").labels(
+                resource=name
+            )
+            self._h_wait = registry.histogram("resource_queue_wait_s").labels(
+                resource=name
+            )
+            self._h_service = registry.histogram("resource_busy_s").labels(
+                resource=name
+            )
 
     def submit(self, now: float, size_bytes: float, extra_latency: float = 0.0) -> float:
         """Enqueue ``size_bytes`` of work arriving at ``now``; returns the
@@ -57,6 +77,14 @@ class Resource:
         self._free_at = start + service
         self.busy_time += service
         self.jobs_served += 1
+        if self._pending is not None:
+            # depth = jobs still in service/queue when this one arrives
+            while self._pending and self._pending[0] <= now:
+                self._pending.popleft()
+            self._h_depth.observe(float(len(self._pending)))
+            self._h_wait.observe(start - now)
+            self._h_service.observe(service)
+            self._pending.append(self._free_at)
         return self._free_at + extra_latency
 
     def utilization(self, horizon: float) -> float:

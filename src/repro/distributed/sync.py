@@ -30,6 +30,7 @@ from ..core.config import ModelConfig
 from ..core.loss import BCEWithLogitsLoss
 from ..core.model import Batch, DLRM
 from ..core.optim import Adagrad
+from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "EASGDConfig",
@@ -82,11 +83,13 @@ class EASGDTrainer:
         easgd: EASGDConfig,
         lr: float = 0.01,
         rng: np.random.Generator | int | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         self.config = config
         self.easgd = easgd
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # One "reference" model owns the shared embedding tables and serves
         # as the center for evaluation.
         self.center_model = DLRM(config, rng=rng)
@@ -129,23 +132,36 @@ class EASGDTrainer:
             raise ValueError(
                 f"need {self.easgd.num_workers} batches, got {len(batches)}"
             )
-        losses = []
-        for i, (worker, opt, batch) in enumerate(
-            zip(self.workers, self.optimizers, batches)
+        synced = (self.steps + 1) % self.easgd.tau == 0
+        with self.tracer.span(
+            "easgd_round",
+            "iteration",
+            step=self.steps,
+            workers=self.easgd.num_workers,
+            tau=self.easgd.tau,
+            synced=synced,
         ):
-            opt.zero_grad()
-            logits = worker.forward(batch)
-            losses.append(self.loss.forward(logits, batch.labels))
-            worker.backward(self.loss.backward())
-            opt.step()
-            # Apply this worker's sparse gradients to the shared tables
-            # immediately — the Hogwild update sequence.
-            self.sparse_optimizer.step()
-            self.examples_seen += batch.size
-        self.steps += 1
-        if self.steps % self.easgd.tau == 0:
-            for i in range(self.easgd.num_workers):
-                self._elastic_sync(i)
+            losses = []
+            for i, (worker, opt, batch) in enumerate(
+                zip(self.workers, self.optimizers, batches)
+            ):
+                with self.tracer.span("worker_step", "compute", worker=i, tid=i + 1):
+                    opt.zero_grad()
+                    logits = worker.forward(batch)
+                    losses.append(self.loss.forward(logits, batch.labels))
+                    worker.backward(self.loss.backward())
+                    opt.step()
+                    # Apply this worker's sparse gradients to the shared tables
+                    # immediately — the Hogwild update sequence.
+                    self.sparse_optimizer.step()
+                self.examples_seen += batch.size
+            self.steps += 1
+            if self.steps % self.easgd.tau == 0:
+                with self.tracer.span(
+                    "elastic_sync", "comm", alpha=self.easgd.alpha
+                ):
+                    for i in range(self.easgd.num_workers):
+                        self._elastic_sync(i)
         return float(np.mean(losses))
 
     def train(self, batch_stream: Iterator[Batch], max_examples: int) -> list[float]:
@@ -179,9 +195,11 @@ class DelayedGradientTrainer:
         staleness: int = 1,
         lr: float = 0.01,
         rng: np.random.Generator | int | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if staleness < 0:
             raise ValueError(f"staleness must be >= 0, got {staleness}")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.model = DLRM(config, rng=rng)
         self.optimizer = Adagrad(
             self.model.dense_parameters(), self.model.embedding_tables(), lr=lr
@@ -195,6 +213,15 @@ class DelayedGradientTrainer:
     def step(self, batch: Batch) -> float:
         """Compute gradients now, apply the gradients from ``staleness``
         steps ago (bootstrapping applies nothing until the pipe fills)."""
+        with self.tracer.span(
+            "delayed_step",
+            "iteration",
+            staleness=self.staleness,
+            pipe_fill=len(self._pending),
+        ):
+            return self._step(batch)
+
+    def _step(self, batch: Batch) -> float:
         self.optimizer.zero_grad()
         logits = self.model.forward(batch)
         loss_value = self.loss.forward(logits, batch.labels)
@@ -236,9 +263,11 @@ class SyncSGDTrainer:
         num_workers: int = 1,
         lr: float = 0.01,
         rng: np.random.Generator | int | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.model = DLRM(config, rng=rng)
         self.optimizer = Adagrad(
             self.model.dense_parameters(), self.model.embedding_tables(), lr=lr
@@ -250,20 +279,25 @@ class SyncSGDTrainer:
     def step(self, batches: list[Batch]) -> float:
         if len(batches) != self.num_workers:
             raise ValueError(f"need {self.num_workers} batches, got {len(batches)}")
-        self.optimizer.zero_grad()
-        losses = []
-        for batch in batches:
-            logits = self.model.forward(batch)
-            losses.append(self.loss.forward(logits, batch.labels))
-            self.model.backward(self.loss.backward())
-            self.examples_seen += batch.size
-        # Average the summed gradients over workers.
-        for p in self.model.dense_parameters():
-            p.grad /= self.num_workers
-        for table in self.model.embedding_tables():
-            for g in table.sparse_grads:
-                g.values /= self.num_workers
-        self.optimizer.step()
+        with self.tracer.span(
+            "sync_sgd_step", "iteration", workers=self.num_workers, staleness=0
+        ):
+            self.optimizer.zero_grad()
+            losses = []
+            for i, batch in enumerate(batches):
+                with self.tracer.span("worker_step", "compute", worker=i, tid=i + 1):
+                    logits = self.model.forward(batch)
+                    losses.append(self.loss.forward(logits, batch.labels))
+                    self.model.backward(self.loss.backward())
+                self.examples_seen += batch.size
+            # Average the summed gradients over workers.
+            with self.tracer.span("gradient_average", "comm"):
+                for p in self.model.dense_parameters():
+                    p.grad /= self.num_workers
+                for table in self.model.embedding_tables():
+                    for g in table.sparse_grads:
+                        g.values /= self.num_workers
+                self.optimizer.step()
         return float(np.mean(losses))
 
     def train(self, batch_stream: Iterator[Batch], max_examples: int) -> list[float]:
@@ -295,11 +329,13 @@ class ShadowSyncTrainer:
         mix: float = 0.5,
         lr: float = 0.01,
         rng: np.random.Generator | int | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if not 0 < mix <= 1:
             raise ValueError(f"mix must be in (0, 1], got {mix}")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         self.num_workers = num_workers
@@ -331,18 +367,29 @@ class ShadowSyncTrainer:
     def round(self, batches: list[Batch]) -> float:
         if len(batches) != self.num_workers:
             raise ValueError(f"need {self.num_workers} batches, got {len(batches)}")
-        losses = []
-        for worker, opt, batch in zip(self.workers, self.optimizers, batches):
-            opt.zero_grad()
-            logits = worker.forward(batch)
-            losses.append(self.loss.forward(logits, batch.labels))
-            worker.backward(self.loss.backward())
-            opt.step()
-            self.sparse_optimizer.step()
-            self.examples_seen += batch.size
-        # One background sync per round, round-robin over workers.
-        self._background_sync(self.rounds % self.num_workers)
-        self.rounds += 1
+        with self.tracer.span(
+            "shadow_sync_round",
+            "iteration",
+            round=self.rounds,
+            workers=self.num_workers,
+            synced_worker=self.rounds % self.num_workers,
+        ):
+            losses = []
+            for i, (worker, opt, batch) in enumerate(
+                zip(self.workers, self.optimizers, batches)
+            ):
+                with self.tracer.span("worker_step", "compute", worker=i, tid=i + 1):
+                    opt.zero_grad()
+                    logits = worker.forward(batch)
+                    losses.append(self.loss.forward(logits, batch.labels))
+                    worker.backward(self.loss.backward())
+                    opt.step()
+                    self.sparse_optimizer.step()
+                self.examples_seen += batch.size
+            # One background sync per round, round-robin over workers.
+            with self.tracer.span("background_sync", "comm", mix=self.mix):
+                self._background_sync(self.rounds % self.num_workers)
+            self.rounds += 1
         return float(np.mean(losses))
 
     def train(self, batch_stream: Iterator[Batch], max_examples: int) -> list[float]:

@@ -13,6 +13,7 @@ from ..analysis import render_table
 from ..configs import BATCH_SWEEP_CPU, BATCH_SWEEP_GPU, make_test_model
 from ..core.config import ModelConfig
 from ..hardware import BIG_BASIN
+from ..obs.tracer import NullTracer, Tracer
 from ..perf import cpu_cluster_throughput, gpu_server_throughput
 from ..placement import PlacementStrategy, plan_placement
 
@@ -45,14 +46,16 @@ def run(
     model: ModelConfig | None = None,
     cpu_batches: tuple[int, ...] = BATCH_SWEEP_CPU,
     gpu_batches: tuple[int, ...] = BATCH_SWEEP_GPU,
+    tracer: Tracer | NullTracer | None = None,
 ) -> Fig11Result:
     model = model or default_model()
     cpu = tuple(
-        cpu_cluster_throughput(model, b, 1, 1, 1).throughput for b in cpu_batches
+        cpu_cluster_throughput(model, b, 1, 1, 1, tracer=tracer).throughput
+        for b in cpu_batches
     )
     plan = plan_placement(model, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
     gpu = tuple(
-        gpu_server_throughput(model, b, BIG_BASIN, plan).throughput
+        gpu_server_throughput(model, b, BIG_BASIN, plan, tracer=tracer).throughput
         for b in gpu_batches
     )
     return Fig11Result(cpu_batches, cpu, gpu_batches, gpu)

@@ -15,6 +15,7 @@ from ..analysis import render_table
 from ..configs import PRODUCTION_MODELS, PRODUCTION_SETUPS
 from ..core.config import ModelConfig
 from ..hardware import BIG_BASIN, DUAL_SOCKET_CPU, ZION, PlatformSpec
+from ..obs.tracer import NullTracer, Tracer
 from ..perf import gpu_server_throughput
 from ..placement import PlacementStrategy, plan_placement
 
@@ -50,6 +51,7 @@ def run(
     batch: int | None = None,
     num_remote_ps: int = 8,
     platforms: tuple[PlatformSpec, ...] = (BIG_BASIN, ZION),
+    tracer: Tracer | NullTracer | None = None,
 ) -> Fig14Result:
     model = model or PRODUCTION_MODELS["M2_prod"]()
     batch = batch or PRODUCTION_SETUPS["M2_prod"].gpu_batch
@@ -63,7 +65,9 @@ def run(
                 num_ps=num_remote_ps,
                 ps_platform=DUAL_SOCKET_CPU,
             )
-            report = gpu_server_throughput(model, batch, platform, plan)
+            report = gpu_server_throughput(
+                model, batch, platform, plan, tracer=tracer
+            )
             points.append(PlacementPoint(platform.name, strategy, report.throughput))
     return Fig14Result(tuple(points))
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from ..analysis import render_table
 from ..configs import PRODUCTION_MODELS, PRODUCTION_SETUPS, ProductionSetup
 from ..hardware import BIG_BASIN, DUAL_SOCKET_CPU
+from ..obs.tracer import NullTracer, Tracer
 from ..perf import ThroughputReport, cpu_cluster_throughput, gpu_server_throughput
 from ..placement import PlacementStrategy, plan_placement
 
@@ -43,7 +44,11 @@ class Table3Result:
         return {c.model_name: c for c in self.comparisons}
 
 
-def evaluate_setup(model_name: str, setup: ProductionSetup) -> ModelComparison:
+def evaluate_setup(
+    model_name: str,
+    setup: ProductionSetup,
+    tracer: Tracer | NullTracer | None = None,
+) -> ModelComparison:
     """Evaluate one row of Table III."""
     model = PRODUCTION_MODELS[model_name]()
     cpu = cpu_cluster_throughput(
@@ -52,6 +57,7 @@ def evaluate_setup(model_name: str, setup: ProductionSetup) -> ModelComparison:
         setup.cpu_trainers,
         setup.cpu_sparse_ps,
         setup.cpu_dense_ps,
+        tracer=tracer,
     )
     if setup.gpu_placement is PlacementStrategy.REMOTE_CPU:
         plan = plan_placement(
@@ -63,7 +69,9 @@ def evaluate_setup(model_name: str, setup: ProductionSetup) -> ModelComparison:
         )
     else:
         plan = plan_placement(model, BIG_BASIN, setup.gpu_placement)
-    gpu = gpu_server_throughput(model, setup.gpu_batch, BIG_BASIN, plan)
+    gpu = gpu_server_throughput(
+        model, setup.gpu_batch, BIG_BASIN, plan, tracer=tracer
+    )
     return ModelComparison(
         model_name=model_name,
         cpu=cpu,
@@ -73,10 +81,11 @@ def evaluate_setup(model_name: str, setup: ProductionSetup) -> ModelComparison:
     )
 
 
-def run() -> Table3Result:
+def run(tracer: Tracer | NullTracer | None = None) -> Table3Result:
     return Table3Result(
         tuple(
-            evaluate_setup(name, setup) for name, setup in PRODUCTION_SETUPS.items()
+            evaluate_setup(name, setup, tracer=tracer)
+            for name, setup in PRODUCTION_SETUPS.items()
         )
     )
 

@@ -7,7 +7,12 @@ from .assignment import (
     sample_workload_population,
 )
 from .capacity import CapacityDemand, estimate_fleet_demand, forecast_growth
-from .telemetry import UtilizationSamples, collect_utilization_samples, jitter_model
+from .telemetry import (
+    UtilizationSamples,
+    aggregate_run_registries,
+    collect_utilization_samples,
+    jitter_model,
+)
 from .workloads import (
     WORKLOAD_FAMILIES,
     ServerCounts,
@@ -28,6 +33,7 @@ __all__ = [
     "sample_server_counts",
     "UtilizationSamples",
     "collect_utilization_samples",
+    "aggregate_run_registries",
     "jitter_model",
     "CapacityDemand",
     "estimate_fleet_demand",

@@ -20,9 +20,15 @@ import numpy as np
 
 from ..core.config import ModelConfig
 from ..distributed.cluster import ClusterConfig, simulate_cpu_cluster
+from ..obs.registry import MetricsRegistry, merge_all
 from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
 
-__all__ = ["UtilizationSamples", "jitter_model", "collect_utilization_samples"]
+__all__ = [
+    "UtilizationSamples",
+    "jitter_model",
+    "collect_utilization_samples",
+    "aggregate_run_registries",
+]
 
 
 @dataclass
@@ -43,6 +49,18 @@ class UtilizationSamples:
             "sparse_ps_nic": np.array(self.sparse_ps_nic),
             "dense_ps_nic": np.array(self.dense_ps_nic),
         }
+
+    def to_registry(self, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+        """Express the Figure 5 samples as a mergeable metrics registry: one
+        ``utilization`` histogram with a labeled child per resource class."""
+        registry = registry if registry is not None else MetricsRegistry()
+        hist = registry.histogram("utilization")
+        for resource, values in self.as_dict().items():
+            child = hist.labels(resource=resource)
+            for v in values:
+                hist.observe(float(v))
+                child.observe(float(v))
+        return registry
 
 
 def jitter_model(
@@ -75,13 +93,22 @@ def collect_utilization_samples(
     config_sigma: float = 0.25,
     hardware_jitter: float = 0.15,
     calib: Calibration = DEFAULT_CALIBRATION,
+    registry: MetricsRegistry | None = None,
 ) -> UtilizationSamples:
     """Simulate ``num_runs`` training runs of one model at fixed scale and
-    collect per-server utilization samples."""
+    collect per-server utilization samples.
+
+    When ``registry`` is given, each run records per-resource queue/busy
+    histograms into its *own* registry (exactly what a per-trainer collector
+    would ship) and the per-run registries are merged into ``registry`` —
+    the fleet-wide aggregation path, order-independent by construction (see
+    :mod:`repro.obs.registry`).
+    """
     if num_runs < 1:
         raise ValueError(f"num_runs must be >= 1, got {num_runs}")
     rng = np.random.default_rng(seed)
     samples = UtilizationSamples()
+    run_registries: list[MetricsRegistry] = []
     for run in range(num_runs):
         variant = jitter_model(model, rng, sigma=config_sigma)
         cfg = ClusterConfig(
@@ -91,10 +118,31 @@ def collect_utilization_samples(
             jitter_sigma=hardware_jitter,
             seed=int(rng.integers(2**31)),
         )
-        result = simulate_cpu_cluster(variant, cfg, horizon_s=horizon_s, calib=calib)
+        run_registry = MetricsRegistry() if registry is not None else None
+        result = simulate_cpu_cluster(
+            variant, cfg, horizon_s=horizon_s, calib=calib, registry=run_registry
+        )
+        if run_registry is not None:
+            run_registry.counter("runs").inc()
+            run_registries.append(run_registry)
         samples.trainer_cpu.extend(result.trainer_cpu_utilization)
         samples.trainer_nic.extend(result.trainer_nic_utilization)
         samples.sparse_ps_mem.extend(result.sparse_ps_mem_utilization)
         samples.sparse_ps_nic.extend(result.sparse_ps_nic_utilization)
         samples.dense_ps_nic.extend(result.dense_ps_nic_utilization)
+    if registry is not None:
+        registry.update(aggregate_run_registries(run_registries))
+        samples.to_registry(registry)
     return samples
+
+
+def aggregate_run_registries(
+    registries: list[MetricsRegistry],
+) -> MetricsRegistry:
+    """Fold per-run (or per-trainer) registries into one fleet-wide view.
+
+    Thin, intention-revealing wrapper over :func:`repro.obs.merge_all`;
+    merging is associative and commutative, so sharded collection pipelines
+    may pre-combine in any grouping.
+    """
+    return merge_all(registries)

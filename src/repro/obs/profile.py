@@ -1,0 +1,80 @@
+"""Ambient-tracer hooks: decorator and context-manager instrumentation.
+
+Some call sites can't thread a ``tracer=`` argument through every layer
+(e.g. a deeply nested helper).  This module provides an *ambient* tracer —
+a stack whose top is the currently-active tracer, defaulting to the no-op
+:data:`~repro.obs.tracer.NULL_TRACER` — plus a decorator and a block
+context manager that record against it:
+
+    with use_tracer(tracer):
+        run_experiment()          # @profiled functions now emit spans
+
+    @profiled(category="compute")
+    def dense_forward(...): ...
+
+    with profile_block("pack_indices", "memory", tables=n):
+        ...
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = ["current_tracer", "use_tracer", "profiled", "profile_block"]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+# The ambient tracer stack; the bottom element is permanent.
+_STACK: list[Tracer | NullTracer] = [NULL_TRACER]
+
+
+def current_tracer() -> Tracer | NullTracer:
+    """The innermost active tracer (``NULL_TRACER`` when none is in use)."""
+    return _STACK[-1]
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
+    """Make ``tracer`` the ambient tracer for the enclosed block."""
+    _STACK.append(tracer)
+    try:
+        yield tracer
+    finally:
+        popped = _STACK.pop()
+        if popped is not tracer:  # pragma: no cover - defensive
+            raise RuntimeError("use_tracer stack corrupted")
+
+
+def profiled(name: str | None = None, category: str = "compute") -> Callable[[_F], _F]:
+    """Decorator: record a wall-clock span around each call, on the ambient
+    tracer.  Zero-cost (one attribute check) when no tracer is active."""
+
+    def decorate(func: _F) -> _F:
+        span_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            tracer = _STACK[-1]
+            if not tracer.enabled:
+                return func(*args, **kwargs)
+            with tracer.span(span_name, category):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+@contextmanager
+def profile_block(name: str, category: str = "compute", **attrs: Any) -> Iterator[None]:
+    """Context manager: a wall-clock span on the ambient tracer."""
+    tracer = _STACK[-1]
+    if not tracer.enabled:
+        yield
+        return
+    with tracer.span(name, category, **attrs):
+        yield

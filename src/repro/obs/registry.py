@@ -1,0 +1,323 @@
+"""Metrics registry: counters, gauges, histograms with labels and merging.
+
+The production stack aggregates telemetry from many servers (trainers,
+parameter servers, readers) into fleet-wide views; the reproduction's
+analogue is a :class:`MetricsRegistry` per simulated run that can be
+combined across runs/trainers with :func:`merge_all`.
+
+Merging is **associative and commutative** (a property pinned in
+``tests/test_property_based.py``), which is what makes hierarchical
+aggregation order-independent: per-trainer -> per-run -> fleet gives the
+same registry regardless of grouping.  The per-metric merge rules are:
+
+* :class:`Counter` — values add;
+* :class:`Gauge` — element-wise ``max`` (a deliberate choice: "peak
+  observed" is the only last-value-free reduction that is associative,
+  commutative, and idempotent);
+* :class:`Histogram` — bucket counts, totals and min/max combine.
+
+Histograms store fixed exponential buckets (not raw samples), so memory is
+O(buckets) regardless of observation count and quantiles are interpolated
+within a bucket, clamped to the observed ``[min, max]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "merge_all",
+]
+
+#: Default histogram bucket upper bounds: 1e-9 .. 1e12 decades with two
+#: sub-decade points, covering nanosecond spans through fleet byte counts.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    round(m * 10.0**e, 12) for e in range(-9, 13) for m in (1.0, 2.5, 5.0)
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _LabeledMetric:
+    """Shared machinery: a parent metric owning labeled children."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._children: dict[tuple[tuple[str, str], ...], "_LabeledMetric"] = {}
+
+    def _new_child(self) -> "_LabeledMetric":
+        raise NotImplementedError
+
+    def labels(self, **labels: object) -> "_LabeledMetric":
+        """Get or create the child metric for a label set."""
+        if not labels:
+            raise ValueError(f"metric {self.name!r}: labels() requires labels")
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def children(self) -> dict[tuple[tuple[str, str], ...], "_LabeledMetric"]:
+        return dict(self._children)
+
+    def _merge_children_from(self, other: "_LabeledMetric") -> None:
+        for key, theirs in other._children.items():
+            mine = self._children.get(key)
+            if mine is None:
+                mine = self._new_child()
+                self._children[key] = mine
+            mine.update(theirs)
+
+    def update(self, other: "_LabeledMetric") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Counter(_LabeledMetric):
+    """Monotonically-increasing count; merge adds."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.value = 0.0
+
+    def _new_child(self) -> "Counter":
+        return Counter(self.name)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: amount must be >= 0")
+        self.value += float(amount)
+
+    def update(self, other: "Counter") -> None:
+        self.value += other.value
+        self._merge_children_from(other)
+
+    def to_dict(self) -> dict:
+        out: dict = {"type": "counter", "value": self.value}
+        if self._children:
+            out["children"] = {
+                "|".join(f"{k}={v}" for k, v in key): child.to_dict()
+                for key, child in sorted(self._children.items())
+            }
+        return out
+
+
+class Gauge(_LabeledMetric):
+    """Last-set value; merge takes the element-wise maximum."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.value: float | None = None
+
+    def _new_child(self) -> "Gauge":
+        return Gauge(self.name)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def update(self, other: "Gauge") -> None:
+        if other.value is not None:
+            self.value = other.value if self.value is None else max(self.value, other.value)
+        self._merge_children_from(other)
+
+    def to_dict(self) -> dict:
+        out: dict = {"type": "gauge", "value": self.value}
+        if self._children:
+            out["children"] = {
+                "|".join(f"{k}={v}" for k, v in key): child.to_dict()
+                for key, child in sorted(self._children.items())
+            }
+        return out
+
+
+class Histogram(_LabeledMetric):
+    """Fixed-bucket histogram with clamped quantile interpolation."""
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name)
+        if len(buckets) < 1:
+            raise ValueError(f"histogram {self.name!r}: need at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(buckets, buckets[1:])):
+            raise ValueError(f"histogram {self.name!r}: buckets must be increasing")
+        self.buckets = tuple(float(b) for b in buckets)
+        # counts[i] counts observations <= buckets[i]; the final slot is the
+        # +Inf overflow bucket.
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def _new_child(self) -> "Histogram":
+        return Histogram(self.name, self.buckets)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name!r}: cannot observe NaN")
+        # binary search for the first bucket bound >= value
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.buckets[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile: linear interpolation within the bucket
+        holding the rank, clamped to the observed ``[min, max]``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        assert self.min is not None and self.max is not None
+        rank = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= rank and c > 0:
+                lower = self.buckets[i - 1] if i >= 1 else self.min
+                upper = self.buckets[i] if i < len(self.buckets) else self.max
+                frac = 0.5 if c == 0 else (rank - (cum - c)) / c
+                est = lower + (upper - lower) * min(max(frac, 0.0), 1.0)
+                return min(max(est, self.min), self.max)
+        return self.max
+
+    def update(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge different bucket bounds"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        self._merge_children_from(other)
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "counts": list(self.counts),
+        }
+        if self._children:
+            out["children"] = {
+                "|".join(f"{k}={v}" for k, v in key): child.to_dict()
+                for key, child in sorted(self._children.items())
+            }
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _LabeledMetric] = {}
+
+    def _get_or_create(self, name: str, cls, *args) -> _LabeledMetric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, buckets if buckets is not None else DEFAULT_BUCKETS)
+            self._metrics[name] = metric
+        elif type(metric) is not Histogram:
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric  # type: ignore[return-value]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> _LabeledMetric:
+        if name not in self._metrics:
+            raise KeyError(f"no metric named {name!r}")
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def update(self, other: "MetricsRegistry") -> None:
+        """In-place merge of ``other`` into this registry."""
+        for name, theirs in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = Histogram(name, theirs.buckets)
+                else:
+                    mine = type(theirs)(name)
+                self._metrics[name] = mine
+            elif type(mine) is not type(theirs):
+                raise TypeError(
+                    f"metric {name!r}: cannot merge {type(theirs).__name__} "
+                    f"into {type(mine).__name__}"
+                )
+            mine.update(theirs)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Pure merge: a new registry combining self and other."""
+        out = MetricsRegistry()
+        out.update(self)
+        out.update(other)
+        return out
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-serializable dump (sorted by metric name)."""
+        return {name: self._metrics[name].to_dict() for name in self.names()}
+
+
+def merge_all(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """Fold any number of registries into one (order-independent)."""
+    out = MetricsRegistry()
+    for reg in registries:
+        out.update(reg)
+    return out

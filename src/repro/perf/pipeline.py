@@ -29,6 +29,7 @@ from ..hardware.device import OpCost, op_time
 from ..hardware.interconnect import allreduce_time, alltoall_time, transfer_time
 from ..hardware.power import ClusterPower
 from ..hardware.specs import DUAL_SOCKET_CPU, DeviceSpec, PlatformSpec
+from ..obs.tracer import NullTracer, Tracer
 from ..placement.strategies import LocationKind, PlacementPlan, PlacementStrategy
 from .calibration import DEFAULT_CALIBRATION, Calibration
 from . import ops
@@ -39,7 +40,28 @@ __all__ = [
     "cpu_cluster_throughput",
     "gpu_server_throughput",
     "READER_EXAMPLES_PER_SEC",
+    "SPAN_CATEGORIES",
 ]
+
+#: Span taxonomy for iteration components (see ``repro.obs``): which
+#: Chrome-trace category each :class:`IterationBreakdown` component maps to.
+SPAN_CATEGORIES: dict[str, str] = {
+    "overhead": "runtime",
+    "critical_path": "compute",
+    "compute": "compute",
+    "dense_compute": "compute",
+    "nic": "comm",
+    "dense_sync": "comm",
+    "emb_alltoall": "comm",
+    "emb_internode": "comm",
+    "remote_rpc": "comm",
+    "host_input": "memory",
+    "emb_replicated": "memory",
+    "emb_hbm": "memory",
+    "host_pipeline_excess": "memory",
+    "host_pipeline": "memory",
+    "host_pipeline_overlapped": "memory",
+}
 
 #: One reader server keeps up with roughly this many examples/s (readers are
 #: scaled so data loading is never the bottleneck, §IV-B.2).
@@ -65,6 +87,46 @@ class IterationBreakdown:
     @property
     def bottleneck(self) -> str:
         return max(self.components, key=self.components.get)
+
+    def trace(
+        self,
+        tracer: Tracer | NullTracer,
+        label: str,
+        t0: float | None = None,
+        *,
+        tid: int = 0,
+        **attrs,
+    ) -> float:
+        """Emit this breakdown as one ``iteration`` span with a child span
+        per component, laid out sequentially on the tracer's synthetic
+        timeline (``t0 = tracer.reserve(...)`` when not given).
+
+        Hidden (pipelined) segments are recorded at the iteration start with
+        an ``overlapped`` attribute so trace viewers show them stacked under
+        the critical path.  Returns the iteration end time.
+        """
+        if not tracer.enabled:
+            return 0.0
+        if t0 is None:
+            t0 = tracer.reserve(self.total)
+        parent = tracer.begin(label, "iteration", t0=t0, tid=tid, **attrs)
+        t = t0
+        for name, dur in self.components.items():
+            tracer.record(
+                name, SPAN_CATEGORIES.get(name, "compute"), t0=t, duration=dur, tid=tid
+            )
+            t += dur
+        for name, dur in self.hidden.items():
+            tracer.record(
+                name,
+                SPAN_CATEGORIES.get(name, "compute"),
+                t0=t0,
+                duration=min(dur, self.total),
+                tid=tid,
+                overlapped=True,
+            )
+        tracer.end(parent, t1=t0 + self.total)
+        return t0 + self.total
 
 
 @dataclass(frozen=True)
@@ -168,6 +230,7 @@ def cpu_cluster_throughput(
     platform: PlatformSpec = DUAL_SOCKET_CPU,
     num_readers: int | None = None,
     calib: Calibration = DEFAULT_CALIBRATION,
+    tracer: Tracer | NullTracer | None = None,
 ) -> ThroughputReport:
     """Throughput of the production CPU setup: data-parallel trainers with
     EASGD dense sync and remote sparse parameter servers.
@@ -254,6 +317,14 @@ def cpu_cluster_throughput(
         },
         hidden={"compute": compute, "nic": nic},
     )
+    if tracer is not None and tracer.enabled:
+        breakdown.trace(
+            tracer,
+            f"CPU x{num_trainers}T/{num_sparse_ps}sPS/{num_dense_ps}dPS",
+            model=model.name,
+            batch=b,
+            throughput=throughput,
+        )
     return ThroughputReport(
         setup=f"CPU x{num_trainers}T/{num_sparse_ps}sPS/{num_dense_ps}dPS",
         model_name=model.name,
@@ -280,6 +351,7 @@ def gpu_server_throughput(
     ps_platform: PlatformSpec = DUAL_SOCKET_CPU,
     num_readers: int | None = None,
     calib: Calibration = DEFAULT_CALIBRATION,
+    tracer: Tracer | NullTracer | None = None,
 ) -> ThroughputReport:
     """Throughput of one (or, for multi-node GPU placement, several) GPU
     servers under a given embedding placement.
@@ -542,6 +614,15 @@ def gpu_server_throughput(
     setup = f"{platform.name}[{plan.strategy.value}]"
     if nodes > 1:
         setup += f" x{nodes}"
+    if tracer is not None and tracer.enabled:
+        IterationBreakdown(components=components, hidden=hidden).trace(
+            tracer,
+            setup,
+            model=model.name,
+            batch=batch,
+            placement=plan.strategy.value,
+            throughput=throughput,
+        )
     return ThroughputReport(
         setup=setup,
         model_name=model.name,

@@ -1,0 +1,203 @@
+"""Golden-shape regression tests: the paper's headline orderings as tier-1.
+
+DESIGN.md's "headline shape targets" define what *reproduced* means for
+this repo, but until now they were asserted only in the slow ``benchmarks/``
+suite.  These tests pin the same qualitative claims on tiny, fast grids so
+any perf-model PR that silently breaks a paper-claimed ordering fails
+tier-1 immediately:
+
+* Figure 11 — CPU throughput saturates/declines at modest batch; GPU scales
+  near-linearly then saturates at large batch.
+* Figure 12 — CPU throughput is flat with hash size; GPU throughput drops
+  once tables spill out of HBM.
+* Figure 14 — Big Basin best with GPU-memory placement; Zion best with
+  system-memory placement; remote placement worst on both, with Zion
+  slightly ahead of Big Basin.
+* Table III — GPU:CPU throughput ratios per production model near the
+  published 2.25x / 0.85x / 0.67x, and ordered M1 > M2 > M3.
+
+Everything here uses the analytical model (no event simulation), so the
+whole module runs in well under a second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.configs import make_test_model
+from repro.experiments import (
+    fig11_batch_scaling,
+    fig12_hash_scaling,
+    fig14_placement,
+    table3_comparison,
+)
+from repro.placement import PlacementStrategy
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: batch-size scaling
+# ---------------------------------------------------------------------------
+
+
+class TestFig11BatchScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_batch_scaling.run(
+            model=make_test_model(1024, 64, name="golden-fig11"),
+            cpu_batches=(25, 50, 100, 200, 400, 800, 1600),
+            gpu_batches=(200, 400, 800, 1600, 6400, 25600),
+        )
+
+    def test_cpu_saturates_at_modest_batch(self, result):
+        """CPU throughput peaks at an interior batch size, not the largest."""
+        peak = result.cpu_optimal_batch
+        assert peak < result.cpu_batches[-1]
+        assert peak > result.cpu_batches[0]
+
+    def test_cpu_declines_past_peak(self, result):
+        """Past the peak (cache spill), bigger batches are strictly worse."""
+        peak_tp = max(result.cpu_throughput)
+        assert result.cpu_throughput[-1] < 0.9 * peak_tp
+
+    def test_gpu_scales_then_saturates(self, result):
+        """GPU throughput is monotonically increasing in batch size, with
+        early doublings near-linear and the last doubling clearly sublinear."""
+        tp = result.gpu_throughput
+        assert all(b > a for a, b in zip(tp, tp[1:]))
+        first_gain = tp[1] / tp[0]  # 200 -> 400
+        assert first_gain > 1.7  # near-linear while overheads amortize
+        # 6400 -> 25600 is a 4x batch bump; saturated means well under 4x.
+        last_gain = tp[-1] / tp[-2]
+        assert last_gain < 2.0
+
+    def test_gpu_beats_cpu_at_scale(self, result):
+        assert max(result.gpu_throughput) > 2.0 * max(result.cpu_throughput)
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: hash-size scaling
+# ---------------------------------------------------------------------------
+
+
+class TestFig12HashScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Tiny grid spanning the replicated / sharded / spill regimes plus
+        # the single-server capacity wall.
+        return fig12_hash_scaling.run(
+            hash_sweep=(100_000, 3_000_000, 10_000_000, 12_000_000, 16_000_000)
+        )
+
+    def test_cpu_flat_with_hash_size(self, result):
+        """Table size does not change CPU lookup cost: near-perfectly flat."""
+        assert result.cpu_flatness() < 1.05
+
+    def test_gpu_drops_with_hash_size(self, result):
+        """GPU throughput degrades markedly once tables outgrow HBM."""
+        feasible = result.gpu_feasible_points()
+        assert len(feasible) >= 3
+        small = feasible[0]
+        large = feasible[-1]
+        assert small.hash_size < large.hash_size
+        assert large.gpu_throughput < 0.8 * small.gpu_throughput
+
+    def test_gpu_eventually_infeasible(self, result):
+        """The sweep's largest point no longer fits one Big Basin at all."""
+        assert result.points[-1].gpu_throughput is None
+
+    def test_spill_grows_with_hash_size(self, result):
+        spills = [p.system_spill_fraction for p in result.points]
+        assert spills[0] == 0.0
+        assert spills[-1] == 1.0
+        assert all(b >= a for a, b in zip(spills, spills[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: placement ranking on Big Basin vs Zion
+# ---------------------------------------------------------------------------
+
+
+class TestFig14PlacementRanking:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14_placement.run()
+
+    def test_big_basin_best_with_gpu_memory(self, result):
+        bb = {
+            s: result.throughput("BigBasin", s)
+            for s in (
+                PlacementStrategy.GPU_MEMORY,
+                PlacementStrategy.SYSTEM_MEMORY,
+                PlacementStrategy.REMOTE_CPU,
+            )
+        }
+        assert max(bb, key=bb.get) is PlacementStrategy.GPU_MEMORY
+
+    def test_zion_best_with_system_memory(self, result):
+        zion = {
+            s: result.throughput("Zion", s)
+            for s in (
+                PlacementStrategy.GPU_MEMORY,
+                PlacementStrategy.SYSTEM_MEMORY,
+                PlacementStrategy.REMOTE_CPU,
+            )
+        }
+        assert max(zion, key=zion.get) is PlacementStrategy.SYSTEM_MEMORY
+
+    def test_remote_worst_on_both_platforms(self, result):
+        for platform in ("BigBasin", "Zion"):
+            remote = result.throughput(platform, PlacementStrategy.REMOTE_CPU)
+            for s in (PlacementStrategy.GPU_MEMORY, PlacementStrategy.SYSTEM_MEMORY):
+                assert remote < result.throughput(platform, s)
+
+    def test_zion_remote_slightly_above_big_basin_remote(self, result):
+        bb = result.throughput("BigBasin", PlacementStrategy.REMOTE_CPU)
+        zion = result.throughput("Zion", PlacementStrategy.REMOTE_CPU)
+        assert zion >= bb  # Zion slightly ahead...
+        assert zion < 1.5 * bb  # ...but only slightly (both PS-bound)
+
+
+# ---------------------------------------------------------------------------
+# Table III: GPU:CPU throughput ratios for M1/M2/M3
+# ---------------------------------------------------------------------------
+
+
+class TestTable3Ratios:
+    @pytest.fixture(scope="class")
+    def by_name(self):
+        return table3_comparison.run().by_name()
+
+    @pytest.mark.parametrize(
+        "name,tolerance",
+        [
+            # M1 reproduces at ~1.74x vs the paper's 2.25x (-23%): the
+            # analytical model undercharges the CPU baseline's Hogwild
+            # efficiency slightly.  Pinned at its honest tolerance so any
+            # further drift fails loudly.
+            ("M1_prod", 0.25),
+            ("M2_prod", 0.20),
+            ("M3_prod", 0.20),
+        ],
+    )
+    def test_throughput_ratio_near_paper(self, by_name, name, tolerance):
+        c = by_name[name]
+        rel = c.throughput_ratio / c.paper_throughput_ratio
+        assert 1 - tolerance <= rel <= 1 + tolerance, (
+            f"{name}: GPU/CPU {c.throughput_ratio:.2f}x vs paper "
+            f"{c.paper_throughput_ratio}x (rel {rel:.2f})"
+        )
+
+    def test_model_ordering_matches_paper(self, by_name):
+        """M1 (MLP-heavy) gains most from GPUs; M3 (embedding-heavy) loses."""
+        r1 = by_name["M1_prod"].throughput_ratio
+        r2 = by_name["M2_prod"].throughput_ratio
+        r3 = by_name["M3_prod"].throughput_ratio
+        assert r1 > r2 > r3
+        assert r1 > 1.0  # GPU wins M1 outright
+        assert r3 < 1.0  # GPU loses M3 (remote placement)
+
+    def test_power_efficiency_signs(self, by_name):
+        """Paper: GPU is power-efficient for M1/M2, inefficient for M3."""
+        assert by_name["M1_prod"].efficiency_ratio > 1.0
+        assert by_name["M2_prod"].efficiency_ratio > 1.0
+        assert by_name["M3_prod"].efficiency_ratio < 1.0

@@ -395,3 +395,145 @@ def test_throughput_positive_and_finite(num_dense, num_sparse, batch):
     gpu = gpu_server_throughput(model, batch, BIG_BASIN, plan)
     assert np.isfinite(gpu.throughput) and gpu.throughput > 0
     assert gpu.iteration_time_s > 0
+
+
+# -- observability invariants --------------------------------------------------
+#
+# The registry's merge must be associative and commutative (this is what
+# makes fleet aggregation order-independent), histogram quantiles must stay
+# inside the observed range, tracer spans must nest strictly, and the
+# Chrome export must survive a JSON round trip.
+
+from repro.obs import MetricsRegistry, Tracer, merge_all  # noqa: E402
+
+# Integer-valued floats keep counter/histogram sums exact in double
+# precision, so associativity can be asserted bit-for-bit (float addition
+# itself is only approximately associative).
+_metric_events = st.lists(
+    st.tuples(
+        st.sampled_from(["c1", "c2", "g1", "h1", "h2"]),
+        st.integers(min_value=0, max_value=10**6).map(float),
+    ),
+    max_size=30,
+)
+
+
+def _registry_from(events):
+    reg = MetricsRegistry()
+    for name, value in events:
+        if name.startswith("c"):
+            reg.counter(name).inc(value)
+        elif name.startswith("g"):
+            reg.gauge(name).set(value)
+        else:
+            reg.histogram(name).observe(value)
+    return reg
+
+
+@common
+@given(_metric_events, _metric_events, _metric_events)
+def test_registry_merge_associative(ev_a, ev_b, ev_c):
+    a1, b1, c1 = _registry_from(ev_a), _registry_from(ev_b), _registry_from(ev_c)
+    a2, b2, c2 = _registry_from(ev_a), _registry_from(ev_b), _registry_from(ev_c)
+    left = a1.merge(b1).merge(c1)
+    right = a2.merge(b2.merge(c2))
+    assert left.to_dict() == right.to_dict()
+
+
+@common
+@given(_metric_events, _metric_events)
+def test_registry_merge_commutative(ev_a, ev_b):
+    a1, b1 = _registry_from(ev_a), _registry_from(ev_b)
+    a2, b2 = _registry_from(ev_a), _registry_from(ev_b)
+    assert a1.merge(b1).to_dict() == b2.merge(a2).to_dict()
+
+
+@common
+@given(st.lists(_metric_events, min_size=1, max_size=5))
+def test_registry_merge_all_equals_sequential(event_groups):
+    regs_a = [_registry_from(ev) for ev in event_groups]
+    regs_b = [_registry_from(ev) for ev in event_groups]
+    folded = merge_all(regs_a)
+    acc = regs_b[0]
+    for reg in regs_b[1:]:
+        acc = acc.merge(reg)
+    assert folded.to_dict() == acc.to_dict()
+
+
+@common
+@given(
+    st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_histogram_quantiles_bounded_by_min_max(values, q):
+    from repro.obs import Histogram
+
+    h = Histogram("x")
+    for v in values:
+        h.observe(v)
+    est = h.quantile(q)
+    assert min(values) <= est <= max(values)
+    assert h.min == min(values) and h.max == max(values)
+    assert h.count == len(values)
+
+
+_span_trees = st.recursive(
+    st.tuples(st.sampled_from(["compute", "memory", "comm"]), st.just(())),
+    lambda children: st.tuples(
+        st.sampled_from(["compute", "memory", "comm", "iteration"]),
+        st.lists(children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+def _emit(tracer, clock, node):
+    category, children = node
+    span = tracer.begin(f"s{len(tracer.spans)}", category, t0=clock[0])
+    for child in children:
+        clock[0] += 1.0
+        _emit(tracer, clock, child)
+    clock[0] += 1.0
+    tracer.end(span, t1=clock[0])
+
+
+@common
+@given(st.lists(_span_trees, min_size=1, max_size=4))
+def test_spans_strictly_nested(trees):
+    tracer = Tracer()
+    clock = [0.0]
+    for tree in trees:
+        _emit(tracer, clock, tree)
+        clock[0] += 1.0
+    spans = tracer.finished()
+    assert len(spans) == len(tracer.spans)  # everything closed
+    for s in spans:
+        assert s.t1 is not None and s.t1 >= s.t0
+        if s.parent is not None:
+            p = tracer.spans[s.parent]
+            # child interval contained in parent interval
+            assert p.t0 <= s.t0 and s.t1 <= p.t1
+
+
+@common
+@given(st.lists(_span_trees, min_size=1, max_size=3))
+def test_chrome_export_roundtrips_json(trees):
+    import json
+
+    tracer = Tracer()
+    clock = [0.0]
+    for tree in trees:
+        _emit(tracer, clock, tree)
+    payload = tracer.to_chrome()
+    restored = json.loads(json.dumps(payload))
+    assert restored == payload
+    events = restored["traceEvents"]
+    assert len(events) == len(tracer.finished())
+    for e in events:
+        assert e["ph"] == "X"
+        assert e["dur"] >= 0
+        assert isinstance(e["args"], dict)
