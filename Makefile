@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench figures examples all clean
+.PHONY: install test bench bench-smoke bench-baseline figures examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -10,6 +10,14 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# CI-sized old-vs-new kernel benchmark, gated against the committed baseline.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernels.py --quick --check BENCH_kernels.json
+
+# Refresh the committed baseline (run on a quiet machine, then commit).
+bench-baseline:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernels.py --quick --out BENCH_kernels.json
 
 figures:
 	$(PYTHON) -m repro figures

@@ -6,7 +6,9 @@
 * ``throughput`` — evaluate one (platform, placement, batch) setup;
 * ``optimize`` — rank all feasible setups for a model (the §I selection
   problem);
-* ``figures`` — regenerate paper figures/tables to stdout;
+* ``figures`` — regenerate paper figures/tables to stdout (``--workers`` /
+  ``--cache-dir`` route the sweeps through ``repro.runtime``);
+* ``cache`` — inspect or clear the on-disk sweep result cache;
 * ``fleet`` — fleet characterization report;
 * ``train`` — quick functional training run on synthetic data;
 * ``trace`` — run an experiment with span tracing on and write a Chrome
@@ -130,13 +132,31 @@ _FIGURES = {
 }
 
 
+def _make_runner(args: argparse.Namespace):
+    """Build a SweepRunner from ``--workers/--cache-dir/--no-cache`` flags.
+
+    Returns ``None`` (pure serial path, no cache files touched) unless the
+    user opted into parallelism or caching.
+    """
+    want = args.workers != 1 or args.cache_dir is not None
+    if not want:
+        return None
+    from .runtime import ResultCache, SweepRunner, default_workers
+
+    workers = args.workers if args.workers > 0 else default_workers()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return SweepRunner(workers=workers, cache=cache)
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     import importlib
+    import inspect
 
     names = args.only if args.only else [
         "table1", "table2", "table3", "fig1", "fig2", "fig6", "fig9",
         "fig10", "fig11", "fig12", "fig13", "fig14",
     ]
+    runner = _make_runner(args)
     seen = set()
     for name in names:
         if name not in _FIGURES:
@@ -147,8 +167,44 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             continue
         seen.add(module_name)
         module = importlib.import_module(f"repro.experiments.{module_name}")
-        print(module.render(module.run()))
+        kwargs = {}
+        if runner is not None and "runner" in inspect.signature(module.run).parameters:
+            kwargs["runner"] = runner
+        print(module.render(module.run(**kwargs)))
         print()
+    if runner is not None and runner.cache is not None:
+        stats = runner.cache.stats()
+        print(
+            f"[runtime] workers={runner.workers} cache: "
+            f"{stats['hits']:.0f} hits / {stats['misses']:.0f} misses / "
+            f"{stats['stores']:.0f} stores ({runner.cache.root})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .runtime import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached entries from {cache.root}")
+        return 0
+    entries = cache.entries()
+    by_ns: dict[str, int] = {}
+    for path in entries:
+        ns = path.relative_to(cache.root).parts[0]
+        by_ns[ns] = by_ns.get(ns, 0) + 1
+    rows = [[ns, n] for ns, n in sorted(by_ns.items())]
+    rows.append(["total", len(entries)])
+    print(
+        render_table(
+            ["namespace", "entries"],
+            rows,
+            title=f"Result cache at {cache.root} ({cache.size_bytes():,} bytes)",
+        )
+    )
     return 0
 
 
@@ -304,7 +360,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figures", help="regenerate paper figures/tables")
     p.add_argument("--only", nargs="*", metavar="FIG",
                    help=f"subset of {sorted(_FIGURES)}")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel sweep workers (0 = one per core; default 1 = serial)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="memoize grid points under DIR (default $REPRO_CACHE_DIR"
+                        " or .repro-cache when --workers enables the runner)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="run the parallel sweeps without the on-disk result cache")
     p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
+    p.add_argument("action", choices=["info", "clear"])
+    p.add_argument("--cache-dir", default=None, metavar="DIR")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("report", help="write the consolidated reproduction report")
     p.add_argument("--output", default="-", help="path or '-' for stdout")

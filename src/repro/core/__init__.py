@@ -26,6 +26,7 @@ from .embedding import (
     SparseGrad,
     hash_raw_ids,
 )
+from . import kernels
 from .interaction import ConcatInteraction, DotInteraction, make_interaction
 from .loss import BCEWithLogitsLoss, sigmoid
 from .metrics import (
@@ -66,6 +67,7 @@ from .training import Trainer, TrainResult, evaluate
 from .tuning import SearchResult, Trial, bayesian_search, grid_search, random_search
 
 __all__ = [
+    "kernels",
     "FP32_BYTES",
     "InteractionType",
     "PoolingType",

@@ -162,8 +162,17 @@ class ModelConfig:
     bottom_mlp: MLPSpec
     top_mlp: MLPSpec
     interaction: InteractionType = InteractionType.DOT
+    #: Numeric precision of the functional model's weights and activations.
+    #: ``"float64"`` (default) preserves the historical bit-exact results;
+    #: ``"float32"`` matches the paper's production precision (§VI) and
+    #: halves memory bandwidth on the embedding/MLP hot paths.
+    compute_dtype: str = "float64"
 
     def __post_init__(self) -> None:
+        if self.compute_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"compute_dtype must be 'float32' or 'float64', got {self.compute_dtype!r}"
+            )
         if self.num_dense < 0:
             raise ValueError(f"num_dense must be >= 0, got {self.num_dense}")
         if not self.tables:
@@ -180,6 +189,13 @@ class ModelConfig:
             )
 
     # -- derived sizes -----------------------------------------------------
+
+    @property
+    def np_dtype(self):
+        """The numpy dtype implied by :attr:`compute_dtype`."""
+        import numpy as np
+
+        return np.dtype(self.compute_dtype)
 
     @property
     def num_sparse(self) -> int:

@@ -11,6 +11,11 @@ Gradients are kept *sparse*: a backward pass records only the touched rows,
 because production tables have millions of rows (Figure 6 shows hash sizes
 up to 20M) and a dense gradient would be both wrong in spirit and infeasible
 in memory.
+
+Hot paths (pooling, coalescing, truncation, bounds checks) are implemented
+by the vectorized kernels in :mod:`repro.core.kernels`; features sharing a
+physical table are gathered in **one** batched pass
+(:meth:`EmbeddingTable.forward_batched`).
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import kernels
 from .config import PoolingType, TableSpec
 
 __all__ = [
@@ -41,6 +47,10 @@ def hash_raw_ids(raw_ids: np.ndarray, hash_size: int) -> np.ndarray:
     This is the hash function ``h_m: S_X -> {0..m-1}`` of paper §III-A.1.
     Deterministic, vectorized, and collision-prone by design for small
     ``hash_size`` (the accuracy/size trade-off the paper discusses).
+
+    The output is range-safe by construction; wrap it in
+    ``RaggedIndices(values, offsets, safe_bound=hash_size)`` to let the
+    lookup skip its bounds re-scan.
     """
     if hash_size < 1:
         raise ValueError(f"hash_size must be >= 1, got {hash_size}")
@@ -55,10 +65,16 @@ class RaggedIndices:
 
     ``values[offsets[i]:offsets[i+1]]`` are the activated indices of sample
     ``i`` — the standard jagged/CSR layout.
+
+    ``safe_bound``, when set, asserts that every value is already known to
+    lie in ``[0, safe_bound)`` — e.g. because the values came from
+    :func:`hash_raw_ids` — which lets :class:`EmbeddingTable` skip its
+    defensive bounds re-scan for tables with ``hash_size >= safe_bound``.
     """
 
     values: np.ndarray  # int64, shape (total_lookups,)
     offsets: np.ndarray  # int64, shape (batch+1,), offsets[0] == 0
+    safe_bound: int | None = None  # values proven to be in [0, safe_bound)
 
     def __post_init__(self) -> None:
         values = np.asarray(self.values, dtype=np.int64)
@@ -75,13 +91,17 @@ class RaggedIndices:
             )
 
     @classmethod
-    def from_lists(cls, per_sample: list[np.ndarray | list[int]]) -> "RaggedIndices":
+    def from_lists(
+        cls,
+        per_sample: list[np.ndarray | list[int]],
+        safe_bound: int | None = None,
+    ) -> "RaggedIndices":
         """Build from one index list per sample."""
         arrays = [np.asarray(a, dtype=np.int64) for a in per_sample]
         lengths = np.array([len(a) for a in arrays], dtype=np.int64)
         offsets = np.concatenate([[0], np.cumsum(lengths)])
         values = np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
-        return cls(values=values, offsets=offsets)
+        return cls(values=values, offsets=offsets, safe_bound=safe_bound)
 
     @property
     def batch_size(self) -> int:
@@ -99,16 +119,16 @@ class RaggedIndices:
         return self.values[self.offsets[i] : self.offsets[i + 1]]
 
     def truncate(self, max_per_sample: int) -> "RaggedIndices":
-        """Cap each sample at ``max_per_sample`` lookups (paper's truncation size)."""
-        if max_per_sample < 1:
-            raise ValueError("max_per_sample must be >= 1")
-        lengths = np.minimum(self.lengths(), max_per_sample)
-        new_offsets = np.concatenate([[0], np.cumsum(lengths)])
-        keep = np.zeros(len(self.values), dtype=bool)
-        for i in range(self.batch_size):
-            start = self.offsets[i]
-            keep[start : start + lengths[i]] = True
-        return RaggedIndices(values=self.values[keep], offsets=new_offsets)
+        """Cap each sample at ``max_per_sample`` lookups (paper's truncation size).
+
+        Vectorized (see :func:`repro.core.kernels.truncate_ragged`); the
+        ``safe_bound`` certificate survives truncation since truncation only
+        drops values.
+        """
+        values, offsets = kernels.truncate_ragged(
+            self.values, self.offsets, max_per_sample
+        )
+        return RaggedIndices(values=values, offsets=offsets, safe_bound=self.safe_bound)
 
 
 @dataclass
@@ -121,14 +141,18 @@ class SparseGrad:
     """
 
     rows: np.ndarray  # int64, shape (k,)
-    values: np.ndarray  # float64, shape (k, dim)
+    values: np.ndarray  # float, shape (k, dim)
 
     @classmethod
     def coalesce(cls, indices: np.ndarray, grads: np.ndarray) -> "SparseGrad":
-        """Sum duplicate row contributions into one entry per unique row."""
-        rows, inverse = np.unique(indices, return_inverse=True)
-        summed = np.zeros((len(rows), grads.shape[1]), dtype=np.float64)
-        np.add.at(summed, inverse, grads)
+        """Sum duplicate row contributions into one entry per unique row.
+
+        Sort-based group reduction (:func:`repro.core.kernels.coalesce_rows`)
+        — agrees with the historical ``np.unique`` + ``np.add.at``
+        implementation to ~1 ULP and preserves the gradient dtype (float32
+        tables produce float32 sparse grads).
+        """
+        rows, summed = kernels.coalesce_rows(indices, grads)
         return cls(rows=rows, values=summed)
 
     @property
@@ -141,6 +165,8 @@ class EmbeddingTable:
 
     The forward pass is the EmbeddingBag operation: gather ``n`` rows per
     sample, pool them (sum or mean), and return a ``(batch, dim)`` matrix.
+    ``dtype`` selects the compute/storage precision (float64 default;
+    float32 halves bandwidth — the paper's production precision, §VI).
     """
 
     def __init__(
@@ -149,11 +175,13 @@ class EmbeddingTable:
         rng: np.random.Generator,
         pooling: PoolingType = PoolingType.SUM,
         init_scale: float | None = None,
+        dtype: np.dtype | type = np.float64,
     ) -> None:
         self.spec = spec
         self.pooling = pooling
         scale = init_scale if init_scale is not None else 1.0 / np.sqrt(spec.dim)
-        self.weight = rng.uniform(-scale, scale, size=(spec.hash_size, spec.dim))
+        weight = rng.uniform(-scale, scale, size=(spec.hash_size, spec.dim))
+        self.weight = weight.astype(np.dtype(dtype), copy=False)
         # A stack of forward contexts: shared tables are looked up once per
         # feature, and the collection walks features in reverse on backward.
         self._saved: list[tuple[RaggedIndices, np.ndarray]] = []
@@ -167,32 +195,73 @@ class EmbeddingTable:
     def hash_size(self) -> int:
         return self.spec.hash_size
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.weight.dtype
+
+    def _prepare(self, indices: RaggedIndices) -> RaggedIndices:
+        """Apply truncation and validate bounds (single pass; skipped when
+        the indices carry a sufficient ``safe_bound`` certificate)."""
+        if self.spec.truncation is not None:
+            indices = indices.truncate(self.spec.truncation)
+        if indices.safe_bound is None or indices.safe_bound > self.hash_size:
+            kernels.check_bounds(
+                indices.values,
+                self.hash_size,
+                what=f"indices for table {self.spec.name}",
+            )
+        return indices
+
     def forward(self, indices: RaggedIndices) -> np.ndarray:
         """Pooled lookup; returns ``(batch, dim)``.
 
         Samples with zero activated indices produce a zero vector (a
         legitimate event for optional sparse features).
         """
-        if self.spec.truncation is not None:
-            indices = indices.truncate(self.spec.truncation)
-        if len(indices.values) and (
-            indices.values.min() < 0 or indices.values.max() >= self.hash_size
-        ):
-            raise IndexError(
-                f"indices out of range for table {self.spec.name} "
-                f"(hash_size={self.hash_size})"
+        return self.forward_batched([indices])[0]
+
+    def forward_batched(self, features: list[RaggedIndices]) -> list[np.ndarray]:
+        """Pooled lookups for several features sharing this table in one
+        fused kernel dispatch.
+
+        All features' ragged layouts are concatenated into a single CSR
+        layout and pooled with one :func:`repro.core.kernels.gather_pool`
+        product — the ``(total_lookups, dim)`` gathered-row temporary of
+        the gather-then-pool formulation is never materialized, and shared
+        tables pay one kernel dispatch per step regardless of how many
+        features map to them.  Saved forward contexts are pushed in
+        feature order, so :meth:`backward` (called in reverse feature
+        order by the collection) pops them correctly.
+        """
+        # _prepare validates bounds (or accepts the safe_bound certificate),
+        # so the pooled product may skip its own check.
+        prepared = [self._prepare(ind) for ind in features]
+        if len(prepared) == 1:
+            splits = [
+                kernels.gather_pool(
+                    self.weight, prepared[0].values, prepared[0].offsets, check=False
+                )
+            ]
+        else:
+            all_values = np.concatenate([p.values for p in prepared])
+            shifts = np.cumsum([0] + [p.total_lookups for p in prepared])
+            all_offsets = np.concatenate(
+                [[0]] + [p.offsets[1:] + s for p, s in zip(prepared, shifts)]
             )
-        lengths = indices.lengths()
-        pooled = np.zeros((indices.batch_size, self.dim), dtype=np.float64)
-        if len(indices.values):
-            gathered = self.weight[indices.values]
-            sample_of = np.repeat(np.arange(indices.batch_size), lengths)
-            np.add.at(pooled, sample_of, gathered)
-        if self.pooling is PoolingType.MEAN:
-            divisor = np.maximum(lengths, 1).astype(np.float64)[:, None]
-            pooled = pooled / divisor
-        self._saved.append((indices, lengths))
-        return pooled
+            pooled_cat = kernels.gather_pool(
+                self.weight, all_values, all_offsets, check=False
+            )
+            bounds = np.cumsum([p.batch_size for p in prepared])[:-1]
+            splits = np.split(pooled_cat, bounds)
+        outs: list[np.ndarray] = []
+        for p, pooled in zip(prepared, splits):
+            lengths = p.lengths()
+            if self.pooling is PoolingType.MEAN:
+                divisor = np.maximum(lengths, 1).astype(pooled.dtype)
+                pooled = pooled / divisor[:, None]
+            self._saved.append((p, lengths))
+            outs.append(pooled)
+        return outs
 
     def backward(self, grad_out: np.ndarray) -> None:
         """Scatter ``(batch, dim)`` output gradients back into touched rows."""
@@ -205,12 +274,12 @@ class EmbeddingTable:
             )
         if not len(indices.values):
             return
+        grad_out = np.asarray(grad_out, dtype=self.weight.dtype)
         if self.pooling is PoolingType.MEAN:
-            divisor = np.maximum(lengths, 1).astype(np.float64)[:, None]
+            divisor = np.maximum(lengths, 1).astype(self.weight.dtype)[:, None]
             grad_out = grad_out / divisor
-        sample_of = np.repeat(np.arange(indices.batch_size), lengths)
-        per_lookup = grad_out[sample_of]
-        self.sparse_grads.append(SparseGrad.coalesce(indices.values, per_lookup))
+        rows, summed = kernels.expand_coalesce(indices.values, lengths, grad_out)
+        self.sparse_grads.append(SparseGrad(rows=rows, values=summed))
 
     def zero_grad(self) -> None:
         self.sparse_grads.clear()
@@ -234,7 +303,8 @@ class EmbeddingBagCollection:
 
     ``feature_to_table`` lets several semantically-similar sparse features
     share one physical table (paper §III-A.2); by default each feature owns
-    its own table.
+    its own table.  Features mapped to the same physical table are looked
+    up through the batched fast path — one fused gather per table per step.
     """
 
     def __init__(
@@ -243,6 +313,7 @@ class EmbeddingBagCollection:
         rng: np.random.Generator,
         pooling: PoolingType = PoolingType.SUM,
         feature_to_table: dict[str, str] | None = None,
+        dtype: np.dtype | type = np.float64,
     ) -> None:
         if feature_to_table is None:
             feature_to_table = {s.name: s.name for s in specs}
@@ -253,9 +324,16 @@ class EmbeddingBagCollection:
         self.specs = specs
         self.feature_to_table = dict(feature_to_table)
         self.tables: dict[str, EmbeddingTable] = {
-            s.name: EmbeddingTable(s, rng, pooling=pooling) for s in specs
+            s.name: EmbeddingTable(s, rng, pooling=pooling, dtype=dtype) for s in specs
         }
         self.feature_names = list(feature_to_table.keys())
+        # Features grouped by physical table, preserving feature order within
+        # each group — the unit of the fused multi-feature gather.
+        self._table_groups: list[tuple[str, list[str]]] = []
+        by_table: dict[str, list[str]] = {}
+        for feature in self.feature_names:
+            by_table.setdefault(self.feature_to_table[feature], []).append(feature)
+        self._table_groups = list(by_table.items())
 
     def forward(self, batch: dict[str, RaggedIndices]) -> dict[str, np.ndarray]:
         """Look up every feature; returns feature name -> (batch, dim)."""
@@ -263,9 +341,11 @@ class EmbeddingBagCollection:
         if missing:
             raise KeyError(f"batch is missing sparse features: {sorted(missing)}")
         out: dict[str, np.ndarray] = {}
-        for feature in self.feature_names:
-            table = self.tables[self.feature_to_table[feature]]
-            out[feature] = table.forward(batch[feature])
+        for table_name, features in self._table_groups:
+            table = self.tables[table_name]
+            pooled = table.forward_batched([batch[f] for f in features])
+            for feature, vec in zip(features, pooled):
+                out[feature] = vec
         return out
 
     def backward(self, grads: dict[str, np.ndarray]) -> None:

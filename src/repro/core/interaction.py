@@ -99,7 +99,9 @@ class DotInteraction:
         grad_pairs = grad_out[:, self.dim :]
         # Scatter pair gradients into a symmetric (n+1, n+1) matrix; since
         # gram = T @ T^T, dT = (G + G^T) @ T, with G holding the triangle.
-        gram_grad = np.zeros((batch, n_vec, n_vec), dtype=np.float64)
+        # Follow the activation dtype so float32 compute mode stays float32
+        # end-to-end (float64 inputs are unchanged).
+        gram_grad = np.zeros((batch, n_vec, n_vec), dtype=stack.dtype)
         gram_grad[:, self._tril[0], self._tril[1]] = grad_pairs
         gram_grad = gram_grad + gram_grad.transpose(0, 2, 1)
         grad_stack = gram_grad @ stack  # (B, n+1, d)

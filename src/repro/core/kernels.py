@@ -1,0 +1,358 @@
+"""Vectorized fast-path kernels for the sparse half of the model.
+
+The hot operations of embedding-bag training — pooled segment reduction,
+sparse-gradient coalescing, ragged truncation and index-bounds validation —
+were originally written with ``np.add.at`` and per-sample Python loops.
+Both are well-known numpy anti-patterns: ``np.add.at`` dispatches one
+scalar-ish ufunc inner loop per index, and Python-loop truncation costs
+O(batch) interpreter round trips per feature per step.
+
+This module replaces them with contiguous, single-dispatch kernels:
+
+* :func:`segment_sum` / :func:`segment_mean` — pooled reduction over a CSR
+  ragged layout expressed as a sparse-matrix product ``S @ data`` where
+  ``S`` is the (segments x lookups) indicator matrix sharing the ragged
+  offsets as its ``indptr``.  SciPy's CSR matmat kernel runs one C loop
+  with a dense inner loop over the embedding dim — an order of magnitude
+  faster than both ``np.add.at`` and ``np.add.reduceat`` (whose inner loop
+  is not vectorized across the trailing axis).  ``np.add.reduceat`` remains
+  as the fallback when SciPy is unavailable or dtypes are exotic;
+* :func:`gather_pool` — the *fused* embedding-bag forward: pooled lookup
+  as ``S @ weight`` where the lookup indices are the sparse matrix's
+  column indices.  The ``(total_lookups, dim)`` gathered-row temporary of
+  the gather-then-pool formulation is never materialized — the CSR kernel
+  streams rows of ``weight`` straight into the pooled output, which is
+  what makes small batches fast (the temporaries, not the FLOPs, dominate
+  there);
+* :func:`coalesce_rows` — duplicate-row gradient summation via a stable
+  sort + the same indicator-matrix product (the matrix's column order
+  performs the permutation, so the sorted gradient copy is never
+  materialized) instead of ``np.unique`` + ``np.add.at``;
+* :func:`expand_coalesce` — the fused embedding-bag backward: for pooled
+  bags every lookup in sample ``i`` receives ``grad_out[i]``, so the
+  per-row gradient sums are ``T @ grad_out`` with ``T[r, sample_of[j]]
+  += 1`` for each occurrence ``j`` of row ``r``.  The ``np.repeat``
+  expansion of ``grad_out`` to one row per lookup is never materialized
+  (the kernel re-reads the small ``(batch, dim)`` gradient, which stays
+  cache-resident, instead of streaming a lookup-sized copy);
+* :func:`truncate_ragged` — fully vectorized per-sample truncation using an
+  ``arange(total) - repeat(starts)`` position mask;
+* :func:`check_bounds` — single-pass index validation using an unsigned
+  reinterpretation (negative indices become huge, so *one* comparison
+  catches both underflow and overflow).
+
+Numerical contract: within each segment/row group the additions cover the
+same elements as the ``np.add.at`` originals, but ``reduceat``'s vectorized
+inner loop may re-associate a sum, so individual outputs can differ from
+the originals by ~1 ULP (the agreement is pinned at 1e-12 by
+``tests/test_kernels.py``).  The kernels themselves are deterministic:
+identical inputs produce identical bits on every run and in every worker
+process, which is what the runtime cache and the parallel-equals-serial
+sweep contract rely on.  The ``naive_*`` reference implementations of the
+replaced code paths are kept here for equivalence tests and the old-vs-new
+benchmark (``benchmarks/bench_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # scipy is a normal dependency (repro.core.tuning uses scipy.special),
+    # but the kernels degrade gracefully to pure-numpy without it.
+    import scipy.sparse as _sparse
+except ImportError:  # pragma: no cover - exercised only on scipy-less installs
+    _sparse = None
+
+#: Dtypes routed through the sparse-matmul fast path; anything else falls
+#: back to ``np.add.reduceat``.
+_MATMUL_DTYPES = (np.float32, np.float64, np.int32, np.int64)
+
+__all__ = [
+    "segment_sum",
+    "segment_mean",
+    "gather_pool",
+    "coalesce_rows",
+    "expand_coalesce",
+    "truncate_ragged",
+    "position_in_segment",
+    "check_bounds",
+    "naive_segment_sum",
+    "naive_coalesce_rows",
+    "naive_truncate_ragged",
+]
+
+
+# ---------------------------------------------------------------------------
+# fast kernels
+# ---------------------------------------------------------------------------
+
+
+def _indicator_matmul(
+    cols: np.ndarray, indptr: np.ndarray, data: np.ndarray, num_rows: int
+) -> np.ndarray:
+    """``S @ data`` for the CSR indicator matrix ``S[r, cols[j]] = 1``.
+
+    One fused permute-and-reduce: row ``r`` of the result is the sum of
+    ``data[cols[indptr[r]:indptr[r+1]]]`` accumulated in column order,
+    i.e. exactly the scalar-accumulation order of ``np.add.at``.
+    """
+    ones = np.ones(len(cols), dtype=data.dtype)
+    matrix = _sparse.csr_matrix(
+        (ones, cols, indptr), shape=(num_rows, data.shape[0])
+    )
+    return matrix @ data
+
+
+def _use_matmul(data: np.ndarray) -> bool:
+    return (
+        _sparse is not None
+        and data.ndim == 2
+        and data.dtype.type in _MATMUL_DTYPES
+    )
+
+
+def segment_sum(data: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Sum ``data[offsets[i]:offsets[i+1]]`` for every segment ``i``.
+
+    ``data`` has shape ``(total, ...)`` and ``offsets`` is the CSR offset
+    array of shape ``(num_segments + 1,)`` with ``offsets[-1] == total``.
+    Empty segments produce zeros.
+
+    Fast path: the reduction is one sparse-matrix product with the
+    indicator matrix whose ``indptr`` *is* ``offsets`` — no scatter, no
+    per-segment dispatch, dense SIMD inner loop over the trailing dim.
+    Fallback (no scipy / exotic dtype / ndim != 2): ``np.add.reduceat``
+    over the non-empty segment starts (empty segments have zero width, so
+    the non-empty starts partition ``data`` exactly).
+    """
+    data = np.asarray(data)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    num_segments = len(offsets) - 1
+    if offsets[-1] != data.shape[0]:
+        raise ValueError(
+            f"offsets[-1]={offsets[-1]} must equal data length {data.shape[0]}"
+        )
+    if data.shape[0] == 0 or num_segments == 0:
+        return np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
+    if _use_matmul(data):
+        cols = np.arange(data.shape[0], dtype=np.int64)
+        return _indicator_matmul(cols, offsets, data, num_segments)
+    out = np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
+    starts = offsets[:-1]
+    nonempty = offsets[1:] > starts
+    if nonempty.all():
+        # common case: one reduceat, no mask materialization
+        np.add.reduceat(data, starts, axis=0, out=out)
+        return out
+    if nonempty.any():
+        out[nonempty] = np.add.reduceat(data, starts[nonempty], axis=0)
+    return out
+
+
+def segment_mean(data: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Mean-pool each segment; empty segments produce zeros."""
+    summed = segment_sum(data, offsets)
+    lengths = np.diff(np.asarray(offsets, dtype=np.int64))
+    divisor = np.maximum(lengths, 1).astype(summed.dtype)
+    return summed / divisor.reshape((-1,) + (1,) * (summed.ndim - 1))
+
+
+def gather_pool(
+    weight: np.ndarray,
+    values: np.ndarray,
+    offsets: np.ndarray,
+    *,
+    check: bool = True,
+) -> np.ndarray:
+    """Fused pooled lookup: ``segment_sum(weight[values], offsets)`` without
+    the gathered-row temporary.
+
+    ``weight`` is ``(num_rows, dim)``, ``values`` the flat lookup indices,
+    ``offsets`` the CSR segment boundaries.  Returns ``(num_segments, dim)``
+    pooled sums; empty segments produce zeros.
+
+    Fast path: one CSR matrix-matrix product ``S @ weight`` where
+    ``values`` are the column indices and ``offsets`` the ``indptr`` — the
+    C kernel reads each referenced weight row once and accumulates it
+    directly into the output, in the same element order as the
+    gather-then-:func:`segment_sum` formulation (bit-identical results).
+    Fallback (no scipy / exotic dtype): materialized gather + reduceat.
+
+    ``check=False`` skips index validation when the caller has already
+    established ``0 <= values < len(weight)`` (e.g. via a ``safe_bound``
+    certificate) — the sparse kernel does *not* bounds-check on its own,
+    so the default revalidates rather than risk reading out of bounds.
+    """
+    weight = np.asarray(weight)
+    values = np.asarray(values, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    num_segments = len(offsets) - 1
+    if offsets[-1] != len(values):
+        raise ValueError(
+            f"offsets[-1]={offsets[-1]} must equal values length {len(values)}"
+        )
+    if check:
+        check_bounds(values, weight.shape[0])
+    if len(values) == 0 or num_segments == 0:
+        return np.zeros((num_segments,) + weight.shape[1:], dtype=weight.dtype)
+    if _use_matmul(weight):
+        return _indicator_matmul(values, offsets, weight, num_segments)
+    return segment_sum(weight[values], offsets)
+
+
+def coalesce_rows(indices: np.ndarray, grads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sum duplicate row contributions; returns ``(unique_rows, summed)``.
+
+    ``unique_rows`` is sorted ascending (matching ``np.unique``); within
+    each row group the contributions are gathered in occurrence order
+    (stable sort) and summed, matching the ``np.add.at`` original to
+    within ~1 ULP (see the module docstring's numerical contract).
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    grads = np.asarray(grads)
+    if not np.issubdtype(grads.dtype, np.floating):
+        grads = grads.astype(np.float64)
+    if len(indices) == 0:
+        return indices[:0], grads[:0]
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    # group starts: positions where the sorted row id changes
+    starts = np.concatenate([[0], np.flatnonzero(np.diff(sorted_idx)) + 1])
+    rows = sorted_idx[starts]
+    if _use_matmul(grads):
+        # The indicator matrix's columns are the stable-sorted occurrence
+        # positions, so the product permutes *and* group-reduces in one C
+        # pass — ``grads[order]`` is never materialized.
+        indptr = np.concatenate([starts, [len(indices)]])
+        return rows, _indicator_matmul(order, indptr, grads, len(rows))
+    summed = np.add.reduceat(grads[order], starts, axis=0)
+    return rows, summed
+
+
+def expand_coalesce(
+    indices: np.ndarray, lengths: np.ndarray, grad_out: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused pooled-bag backward: coalesced per-row gradient sums without
+    materializing the per-lookup gradient expansion.
+
+    Equivalent to ``coalesce_rows(indices, np.repeat(grad_out, lengths,
+    axis=0))`` — every lookup in sample ``i`` contributes ``grad_out[i]``
+    to its embedding row — but the ``(total_lookups, dim)`` repeat is never
+    built.  Fast path: ``T @ grad_out`` where ``T``'s column indices are
+    the *sample* ids of the stable-sorted lookups, so the CSR kernel
+    re-reads rows of the small ``(batch, dim)`` gradient in the exact
+    occurrence order :func:`coalesce_rows` would have summed the expanded
+    copies (bit-identical results).  Returns ``(unique_rows, summed)``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    grad_out = np.asarray(grad_out)
+    if not np.issubdtype(grad_out.dtype, np.floating):
+        grad_out = grad_out.astype(np.float64)
+    if len(indices) == 0:
+        return indices[:0], grad_out[:0]
+    if not _use_matmul(grad_out):
+        return coalesce_rows(indices, np.repeat(grad_out, lengths, axis=0))
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    starts = np.concatenate([[0], np.flatnonzero(np.diff(sorted_idx)) + 1])
+    rows = sorted_idx[starts]
+    sample_of = np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+    indptr = np.concatenate([starts, [len(indices)]])
+    return rows, _indicator_matmul(sample_of[order], indptr, grad_out, len(rows))
+
+
+def position_in_segment(offsets: np.ndarray) -> np.ndarray:
+    """For each element of a CSR layout, its 0-based rank within its segment.
+
+    The vectorized form of "how deep into its sample is this lookup":
+    ``arange(total) - repeat(starts, lengths)``.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.diff(offsets)
+    total = int(offsets[-1])
+    return np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], lengths)
+
+
+def truncate_ragged(
+    values: np.ndarray, offsets: np.ndarray, max_per_sample: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cap every segment at ``max_per_sample`` leading elements.
+
+    Returns ``(new_values, new_offsets)``.  Fully vectorized: an element
+    survives iff its rank within its segment is below the cap.
+    """
+    if max_per_sample < 1:
+        raise ValueError("max_per_sample must be >= 1")
+    values = np.asarray(values)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.diff(offsets)
+    if len(lengths) == 0 or not len(values) or int(lengths.max()) <= max_per_sample:
+        new_offsets = np.concatenate(
+            [[0], np.cumsum(np.minimum(lengths, max_per_sample))]
+        )
+        return values, new_offsets
+    new_lengths = np.minimum(lengths, max_per_sample)
+    new_offsets = np.concatenate([[0], np.cumsum(new_lengths)])
+    keep = position_in_segment(offsets) < max_per_sample
+    return values[keep], new_offsets
+
+
+def check_bounds(values: np.ndarray, upper: int, *, what: str = "indices") -> None:
+    """Raise ``IndexError`` unless every value lies in ``[0, upper)``.
+
+    Single pass: the int64 values are reinterpreted as uint64 (a free view,
+    no copy), under which negatives become astronomically large, so one
+    ``>= upper`` comparison catches both out-of-range directions.
+    """
+    if len(values) == 0:
+        return
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    if bool(np.any(values.view(np.uint64) >= np.uint64(upper))):
+        raise IndexError(f"{what} out of range [0, {upper})")
+
+
+# ---------------------------------------------------------------------------
+# reference (pre-optimization) implementations — kept for equivalence tests
+# and the old-vs-new benchmark; do not use on hot paths.
+# ---------------------------------------------------------------------------
+
+
+def naive_segment_sum(data: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """The original ``np.add.at`` pooling kernel."""
+    data = np.asarray(data)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.diff(offsets)
+    out = np.zeros((len(lengths),) + data.shape[1:], dtype=data.dtype)
+    if data.shape[0]:
+        sample_of = np.repeat(np.arange(len(lengths)), lengths)
+        np.add.at(out, sample_of, data)
+    return out
+
+
+def naive_coalesce_rows(
+    indices: np.ndarray, grads: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The original ``np.unique`` + ``np.add.at`` coalesce."""
+    rows, inverse = np.unique(np.asarray(indices, dtype=np.int64), return_inverse=True)
+    grads = np.asarray(grads, dtype=np.float64)
+    summed = np.zeros((len(rows),) + grads.shape[1:], dtype=np.float64)
+    np.add.at(summed, inverse, grads)
+    return rows, summed
+
+
+def naive_truncate_ragged(
+    values: np.ndarray, offsets: np.ndarray, max_per_sample: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The original per-sample Python-loop truncation."""
+    if max_per_sample < 1:
+        raise ValueError("max_per_sample must be >= 1")
+    values = np.asarray(values)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.minimum(np.diff(offsets), max_per_sample)
+    new_offsets = np.concatenate([[0], np.cumsum(lengths)])
+    keep = np.zeros(len(values), dtype=bool)
+    for i in range(len(lengths)):
+        start = offsets[i]
+        keep[start : start + lengths[i]] = True
+    return values[keep], new_offsets

@@ -22,8 +22,13 @@ class Parameter:
     accumulator between iterations.
     """
 
-    def __init__(self, value: np.ndarray, name: str = "") -> None:
-        self.value = np.ascontiguousarray(value, dtype=np.float64)
+    def __init__(
+        self,
+        value: np.ndarray,
+        name: str = "",
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        self.value = np.ascontiguousarray(value, dtype=np.dtype(dtype))
         self.grad = np.zeros_like(self.value)
         self.name = name
 
@@ -45,13 +50,24 @@ class Parameter:
 class Linear:
     """Fully-connected layer ``y = x @ W.T + b``."""
 
-    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, name: str = "linear") -> None:
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        name: str = "linear",
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
         if in_features < 1 or out_features < 1:
             raise ValueError("Linear dimensions must be positive")
         # He/Kaiming initialization, appropriate for the ReLU stacks used here.
         scale = np.sqrt(2.0 / in_features)
-        self.weight = Parameter(rng.normal(0.0, scale, size=(out_features, in_features)), f"{name}.weight")
-        self.bias = Parameter(np.zeros(out_features), f"{name}.bias")
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(out_features, in_features)),
+            f"{name}.weight",
+            dtype=dtype,
+        )
+        self.bias = Parameter(np.zeros(out_features), f"{name}.bias", dtype=dtype)
         self._input: np.ndarray | None = None
 
     @property
@@ -145,12 +161,13 @@ class MLP:
         rng: np.random.Generator,
         final_activation: bool = True,
         name: str = "mlp",
+        dtype: np.dtype | type = np.float64,
     ) -> None:
         self.spec = spec
         self.layers: list[object] = []
         prev = in_features
         for i, width in enumerate(spec.layer_sizes):
-            self.layers.append(Linear(prev, width, rng, name=f"{name}.{i}"))
+            self.layers.append(Linear(prev, width, rng, name=f"{name}.{i}", dtype=dtype))
             is_last = i == len(spec.layer_sizes) - 1
             if final_activation or not is_last:
                 self.layers.append(ReLU())

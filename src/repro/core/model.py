@@ -81,14 +81,24 @@ class DLRM:
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         self.config = config
-        self.bottom_mlp = MLP(config.num_dense, config.bottom_mlp, rng, name="bottom")
-        self.embeddings = EmbeddingBagCollection(config.tables, rng, pooling=pooling)
+        #: Compute precision for weights/activations (``config.compute_dtype``).
+        self.dtype = config.np_dtype
+        self.bottom_mlp = MLP(
+            config.num_dense, config.bottom_mlp, rng, name="bottom", dtype=self.dtype
+        )
+        self.embeddings = EmbeddingBagCollection(
+            config.tables, rng, pooling=pooling, dtype=self.dtype
+        )
         self.interaction = make_interaction(
             config.interaction, config.num_sparse, config.embedding_dim
         )
         interaction_width = self.interaction.out_features(config.bottom_mlp.out_features)
-        self.top_mlp = MLP(interaction_width, config.top_mlp, rng, name="top")
-        self.scorer = Linear(config.top_mlp.out_features, 1, rng, name="scorer")
+        self.top_mlp = MLP(
+            interaction_width, config.top_mlp, rng, name="top", dtype=self.dtype
+        )
+        self.scorer = Linear(
+            config.top_mlp.out_features, 1, rng, name="scorer", dtype=self.dtype
+        )
         self._feature_order = [t.name for t in config.tables]
 
     # -- forward / backward -------------------------------------------------
@@ -100,7 +110,7 @@ class DLRM:
                 f"batch has {batch.dense.shape[1]} dense features, "
                 f"model expects {self.config.num_dense}"
             )
-        dense_out = self.bottom_mlp.forward(batch.dense)
+        dense_out = self.bottom_mlp.forward(batch.dense.astype(self.dtype, copy=False))
         emb_out = self.embeddings.forward(batch.sparse)
         embs = [emb_out[name] for name in self._feature_order]
         interacted = self.interaction.forward(dense_out, embs)
@@ -110,7 +120,7 @@ class DLRM:
 
     def backward(self, grad_logits: np.ndarray) -> None:
         """Backpropagate ``dLoss/dlogits`` of shape ``(batch, 1)`` or ``(batch,)``."""
-        grad = np.asarray(grad_logits, dtype=np.float64).reshape(-1, 1)
+        grad = np.asarray(grad_logits, dtype=self.dtype).reshape(-1, 1)
         grad = self.scorer.backward(grad)
         grad = self.top_mlp.backward(grad)
         grad_dense, grad_embs = self.interaction.backward(grad)

@@ -115,9 +115,18 @@ class Trainer:
         """
         if max_examples is None and max_steps is None:
             raise ValueError("provide max_examples and/or max_steps")
+        budget = " and ".join(
+            part
+            for part in (
+                f"max_examples={max_examples}" if max_examples is not None else "",
+                f"max_steps={max_steps}" if max_steps is not None else "",
+            )
+            if part
+        )
         history: list[float] = []
         examples = 0
         steps = 0
+        stream_ended = False
         batches = iter(batches)
         # Check budgets *before* pulling from the stream: the iterator may
         # be shared (e.g. resuming after a checkpoint restore), and pulling
@@ -130,12 +139,32 @@ class Trainer:
             try:
                 batch = next(batches)
             except StopIteration:
+                stream_ended = True
                 break
             history.append(self.train_step(batch))
             steps += 1
+            # The final batch may overshoot the example budget; every one of
+            # its examples contributed to the last gradient, so all of them
+            # count toward ``examples_seen`` (it can exceed ``max_examples``
+            # by at most one batch).
             examples += batch.size
         if steps == 0:
-            raise ValueError("batch stream was empty")
+            if stream_ended:
+                raise ValueError(
+                    f"batch stream was empty before the first step (budget: {budget})"
+                )
+            raise ValueError(f"budget permits no training steps (budget: {budget})")
+        if stream_ended:
+            # Either budget being met counts as completion; otherwise the
+            # stream ran dry early and silently returning would misreport
+            # the run as having consumed its budget.
+            steps_met = max_steps is not None and steps >= max_steps
+            examples_met = max_examples is not None and examples >= max_examples
+            if not (steps_met or examples_met):
+                raise ValueError(
+                    f"batch stream ended after {examples} examples ({steps} steps), "
+                    f"short of the training budget ({budget})"
+                )
         return TrainResult(
             steps=steps,
             examples_seen=examples,

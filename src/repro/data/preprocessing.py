@@ -191,8 +191,10 @@ class PreprocessingPipeline:
             [[f.transform(e) for f in self.dense] for e in events]
         ).reshape(len(events), len(self.dense))
         sparse = {
+            # transform() routes ids through hash_raw_ids, so the indices are
+            # range-safe by construction and the lookup skips its bounds scan.
             f.field_name: RaggedIndices.from_lists(
-                [f.transform(e) for e in events]
+                [f.transform(e) for e in events], safe_bound=f.hash_size
             )
             for f in self.sparse
         }

@@ -118,7 +118,9 @@ class SyntheticDataGenerator:
         values = sample_zipf_indices(
             self.rng, int(offsets[-1]), spec.hash_size, self.index_skew
         )
-        return RaggedIndices(values=values, offsets=offsets)
+        # sample_zipf_indices maps ranks into [0, hash_size) by construction,
+        # so downstream lookups can skip their defensive bounds re-scan.
+        return RaggedIndices(values=values, offsets=offsets, safe_bound=spec.hash_size)
 
     def batch(self, batch_size: int) -> Batch:
         """Generate one complete training batch."""

@@ -95,7 +95,11 @@ class _RawIdTeacherData:
         hashed = hash_raw_ids(raw.astype(np.uint64), hash_size)
         return Batch(
             dense=dense,
-            sparse={"ids": RaggedIndices(values=hashed, offsets=offsets)},
+            sparse={
+                "ids": RaggedIndices(
+                    values=hashed, offsets=offsets, safe_bound=hash_size
+                )
+            },
             labels=labels,
         )
 
@@ -153,7 +157,11 @@ def run(
             eval_batches.append(
                 Batch(
                     dense=dense,
-                    sparse={"ids": RaggedIndices(values=hashed, offsets=offsets)},
+                    sparse={
+                        "ids": RaggedIndices(
+                            values=hashed, offsets=offsets, safe_bound=m
+                        )
+                    },
                     labels=labels,
                 )
             )

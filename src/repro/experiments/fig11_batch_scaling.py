@@ -17,7 +17,7 @@ from ..obs.tracer import NullTracer, Tracer
 from ..perf import cpu_cluster_throughput, gpu_server_throughput
 from ..placement import PlacementStrategy, plan_placement
 
-__all__ = ["Fig11Result", "run", "render"]
+__all__ = ["Fig11Result", "run", "render", "cpu_point", "gpu_point"]
 
 
 @dataclass(frozen=True)
@@ -42,13 +42,44 @@ def default_model() -> ModelConfig:
     return make_test_model(1024, 64, name="fig11")
 
 
+def cpu_point(model: ModelConfig, batch: int) -> float:
+    """One CPU grid point (module-level: picklable and cache-keyable)."""
+    return cpu_cluster_throughput(model, batch, 1, 1, 1).throughput
+
+
+def gpu_point(model: ModelConfig, batch: int) -> float:
+    """One GPU grid point (re-plans placement; deterministic per params)."""
+    plan = plan_placement(model, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
+    return gpu_server_throughput(model, batch, BIG_BASIN, plan).throughput
+
+
 def run(
     model: ModelConfig | None = None,
     cpu_batches: tuple[int, ...] = BATCH_SWEEP_CPU,
     gpu_batches: tuple[int, ...] = BATCH_SWEEP_GPU,
     tracer: Tracer | NullTracer | None = None,
+    runner=None,
 ) -> Fig11Result:
+    """Sweep batch sizes; with a :class:`~repro.runtime.SweepRunner` the grid
+    points execute in parallel and/or hit the on-disk result cache (the
+    serial ``runner=None`` path is unchanged and keeps per-point tracing)."""
     model = model or default_model()
+    if runner is not None:
+        cpu = tuple(
+            runner.map(
+                cpu_point,
+                [{"model": model, "batch": b} for b in cpu_batches],
+                namespace="fig11.cpu",
+            )
+        )
+        gpu = tuple(
+            runner.map(
+                gpu_point,
+                [{"model": model, "batch": b} for b in gpu_batches],
+                namespace="fig11.gpu",
+            )
+        )
+        return Fig11Result(cpu_batches, cpu, gpu_batches, gpu)
     cpu = tuple(
         cpu_cluster_throughput(model, b, 1, 1, 1, tracer=tracer).throughput
         for b in cpu_batches

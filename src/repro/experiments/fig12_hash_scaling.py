@@ -16,7 +16,7 @@ from ..hardware import BIG_BASIN, CapacityError
 from ..perf import cpu_cluster_throughput, gpu_server_throughput
 from ..placement import LocationKind, auto_plan
 
-__all__ = ["HashPoint", "Fig12Result", "run", "render"]
+__all__ = ["HashPoint", "Fig12Result", "run", "render", "hash_point"]
 
 
 @dataclass(frozen=True)
@@ -42,52 +42,70 @@ class Fig12Result:
         return [p for p in self.points if p.gpu_throughput is not None]
 
 
+def hash_point(hash_size: int, num_dense: int, num_sparse: int) -> dict:
+    """One Fig 12 grid point as a JSON-friendly dict (picklable, cacheable).
+
+    ``CapacityError`` (model does not fit one Big Basin) is folded into the
+    result rather than raised, so parallel execution never loses the
+    infeasibility information.
+    """
+    model = make_test_model(num_dense, num_sparse, hash_size=hash_size)
+    # CPU: scale sparse PS to the minimum that holds the tables, as the
+    # paper holds a single PS only while the model fits it.
+    from ..placement import model_embedding_footprint
+
+    min_ps = max(1, int(-(-model_embedding_footprint(model) // 230e9)))
+    cpu = cpu_cluster_throughput(model, DEFAULT_CPU_BATCH, 1, min_ps, 1).throughput
+    try:
+        plan = auto_plan(model, BIG_BASIN)
+        gpu = gpu_server_throughput(
+            model, DEFAULT_GPU_BATCH, BIG_BASIN, plan
+        ).throughput
+        kinds = plan.bytes_by_kind()
+        total = sum(kinds.values())
+        spill = kinds.get(LocationKind.SYSTEM, 0.0) / total if total else 0.0
+        return {
+            "hash_size": hash_size,
+            "cpu_throughput": cpu,
+            "gpu_throughput": gpu,
+            "gpu_strategy": plan.strategy.value,
+            "replicated_tables": len(plan.replicated_tables()),
+            "system_spill_fraction": spill,
+        }
+    except CapacityError:
+        return {
+            "hash_size": hash_size,
+            "cpu_throughput": cpu,
+            "gpu_throughput": None,
+            "gpu_strategy": None,
+            "replicated_tables": 0,
+            "system_spill_fraction": 1.0,
+        }
+
+
 def run(
     hash_sweep: tuple[int, ...] = HASH_SWEEP,
     num_dense: int = 1024,
     num_sparse: int = 64,
+    runner=None,
 ) -> Fig12Result:
-    points = []
-    for h in hash_sweep:
-        model = make_test_model(num_dense, num_sparse, hash_size=h)
-        # CPU: scale sparse PS to the minimum that holds the tables, as the
-        # paper holds a single PS only while the model fits it.
-        from ..placement import model_embedding_footprint
-
-        min_ps = max(1, int(-(-model_embedding_footprint(model) // 230e9)))
-        cpu = cpu_cluster_throughput(
-            model, DEFAULT_CPU_BATCH, 1, min_ps, 1
-        ).throughput
-        try:
-            plan = auto_plan(model, BIG_BASIN)
-            gpu = gpu_server_throughput(
-                model, DEFAULT_GPU_BATCH, BIG_BASIN, plan
-            ).throughput
-            kinds = plan.bytes_by_kind()
-            total = sum(kinds.values())
-            spill = kinds.get(LocationKind.SYSTEM, 0.0) / total if total else 0.0
-            points.append(
-                HashPoint(
-                    hash_size=h,
-                    cpu_throughput=cpu,
-                    gpu_throughput=gpu,
-                    gpu_strategy=plan.strategy.value,
-                    replicated_tables=len(plan.replicated_tables()),
-                    system_spill_fraction=spill,
-                )
-            )
-        except CapacityError:
-            points.append(
-                HashPoint(
-                    hash_size=h,
-                    cpu_throughput=cpu,
-                    gpu_throughput=None,
-                    gpu_strategy=None,
-                    replicated_tables=0,
-                    system_spill_fraction=1.0,
-                )
-            )
-    return Fig12Result(tuple(points))
+    """Sweep hash sizes; pass a :class:`~repro.runtime.SweepRunner` to
+    parallelize/memoize the grid points."""
+    if runner is not None:
+        raw = runner.map(
+            hash_point,
+            [
+                {"hash_size": h, "num_dense": num_dense, "num_sparse": num_sparse}
+                for h in hash_sweep
+            ],
+            namespace="fig12.hash",
+        )
+        return Fig12Result(tuple(HashPoint(**d) for d in raw))
+    return Fig12Result(
+        tuple(
+            HashPoint(**hash_point(h, num_dense, num_sparse)) for h in hash_sweep
+        )
+    )
 
 
 def render(result: Fig12Result) -> str:

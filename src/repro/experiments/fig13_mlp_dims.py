@@ -15,7 +15,7 @@ from ..hardware import BIG_BASIN
 from ..perf import cpu_cluster_throughput, gpu_server_throughput
 from ..placement import PlacementStrategy, plan_placement
 
-__all__ = ["MlpPoint", "Fig13Result", "run", "render"]
+__all__ = ["MlpPoint", "Fig13Result", "run", "render", "mlp_point"]
 
 
 @dataclass(frozen=True)
@@ -39,19 +39,36 @@ class Fig13Result:
         ]
 
 
+def mlp_point(mlp: str, num_dense: int, num_sparse: int) -> dict:
+    """One Fig 13 grid point as a JSON-friendly dict (picklable, cacheable)."""
+    model = make_test_model(num_dense, num_sparse, mlp=mlp)
+    cpu = cpu_cluster_throughput(model, DEFAULT_CPU_BATCH, 1, 1, 1).throughput
+    plan = plan_placement(model, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
+    gpu = gpu_server_throughput(model, DEFAULT_GPU_BATCH, BIG_BASIN, plan).throughput
+    return {"mlp": mlp, "cpu_throughput": cpu, "gpu_throughput": gpu}
+
+
 def run(
     mlp_sweep: tuple[str, ...] = MLP_SWEEP,
     num_dense: int = 512,
     num_sparse: int = 64,
+    runner=None,
 ) -> Fig13Result:
-    points = []
-    for mlp in mlp_sweep:
-        model = make_test_model(num_dense, num_sparse, mlp=mlp)
-        cpu = cpu_cluster_throughput(model, DEFAULT_CPU_BATCH, 1, 1, 1).throughput
-        plan = plan_placement(model, BIG_BASIN, PlacementStrategy.GPU_MEMORY)
-        gpu = gpu_server_throughput(model, DEFAULT_GPU_BATCH, BIG_BASIN, plan).throughput
-        points.append(MlpPoint(mlp, cpu, gpu))
-    return Fig13Result(tuple(points))
+    """Sweep MLP stacks; pass a :class:`~repro.runtime.SweepRunner` to
+    parallelize/memoize the grid points."""
+    if runner is not None:
+        raw = runner.map(
+            mlp_point,
+            [
+                {"mlp": m, "num_dense": num_dense, "num_sparse": num_sparse}
+                for m in mlp_sweep
+            ],
+            namespace="fig13.mlp",
+        )
+        return Fig13Result(tuple(MlpPoint(**d) for d in raw))
+    return Fig13Result(
+        tuple(MlpPoint(**mlp_point(m, num_dense, num_sparse)) for m in mlp_sweep)
+    )
 
 
 def render(result: Fig13Result) -> str:

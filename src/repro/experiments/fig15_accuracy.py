@@ -44,6 +44,7 @@ __all__ = [
     "Fig15Result",
     "SyncModeResult",
     "accuracy_model",
+    "train_eval_point",
     "run",
     "run_sync_mode_comparison",
     "render",
@@ -110,6 +111,37 @@ def _train_and_eval(
     return ne, result.steps
 
 
+def train_eval_point(
+    batch_size: int,
+    lr: float,
+    example_budget: int,
+    data_seed: int,
+    model_seed: int,
+    teacher_seed: int,
+    eval_seed: int,
+    num_eval_batches: int = 3,
+    eval_batch_size: int = 2048,
+) -> dict:
+    """One fully self-contained Fig 15 training run (picklable, cacheable).
+
+    Rebuilds the teacher and the held-out evaluation batches from their
+    seeds; :class:`~repro.data.ClickModel` is pure after ``__init__`` (label
+    draws come from the *generator's* RNG), so a reconstructed teacher is
+    bit-identical to one shared in-process.
+    """
+    from ..data import ClickModel
+
+    config = accuracy_model()
+    teacher = ClickModel(config, rng=teacher_seed)
+    eval_gen = SyntheticDataGenerator(config, rng=eval_seed, teacher=teacher)
+    eval_batches = [eval_gen.batch(eval_batch_size) for _ in range(num_eval_batches)]
+    ne, steps = _train_and_eval(
+        config, batch_size, lr, example_budget, eval_batches, teacher,
+        data_seed, model_seed,
+    )
+    return {"ne": float(ne), "steps": int(steps)}
+
+
 def run(
     baseline_batch: int = 128,
     gpu_batches: tuple[int, ...] = (256, 512, 1024, 2048),
@@ -118,6 +150,7 @@ def run(
     num_seeds: int = 3,
     seed: int = 0,
     use_bayesian: bool = False,
+    runner=None,
 ) -> Fig15Result:
     """Tune LR per batch size, train on the shared budget, report NE gaps.
 
@@ -125,11 +158,23 @@ def run(
     scale a single run's NE noise is comparable to the batch-size effect,
     so the gap is measured on the seed-averaged quality (the paper
     similarly trains on "high volumes of data" to resolve ~0.1% gaps).
+
+    With a :class:`~repro.runtime.SweepRunner` (and ``use_bayesian=False``)
+    every (batch, lr, seed) training run becomes an independent grid point
+    executed in parallel and/or served from the result cache; the point
+    grid and the best-LR selection replicate :func:`grid_search` exactly,
+    so the parallel path is numerically identical to the serial one
+    (Bayesian search is inherently sequential and stays serial).
     """
     if example_budget < baseline_batch:
         raise ValueError("example_budget must cover at least one baseline batch")
     if num_seeds < 1:
         raise ValueError("num_seeds must be >= 1")
+    if runner is not None and not use_bayesian:
+        return _run_parallel(
+            baseline_batch, gpu_batches, example_budget, tuning_trials,
+            num_seeds, seed, runner,
+        )
     config = accuracy_model()
     # One shared teacher; the held-out evaluation stream uses a *different*
     # RNG than the training streams (same distribution, disjoint examples —
@@ -170,6 +215,14 @@ def run(
             nes.append(ne)
         results[batch] = (best.learning_rate, float(np.mean(nes)), steps)
 
+    return _assemble(baseline_batch, gpu_batches, results)
+
+
+def _assemble(
+    baseline_batch: int,
+    gpu_batches: tuple[int, ...],
+    results: dict[int, tuple[float, float, int]],
+) -> Fig15Result:
     baseline_ne = results[baseline_batch][1]
     points = tuple(
         BatchPoint(
@@ -184,6 +237,72 @@ def run(
     return Fig15Result(
         baseline_batch=baseline_batch, baseline_ne=baseline_ne, points=points
     )
+
+
+def _run_parallel(
+    baseline_batch: int,
+    gpu_batches: tuple[int, ...],
+    example_budget: int,
+    tuning_trials: int,
+    num_seeds: int,
+    seed: int,
+    runner,
+) -> Fig15Result:
+    """Grid-search Fig 15 as two flat point sweeps over a SweepRunner.
+
+    Phase 1 evaluates every (batch, lr, tuning-seed) combination; phase 2
+    runs the ``num_seeds`` final trainings at each batch's tuned LR.  The
+    LR grid (log-spaced, ``tuning_trials`` points) and the argmin rule
+    (first minimum in LR order, NE meaned over two tuning seeds) replicate
+    the serial :func:`~repro.core.tuning.grid_search` path bit for bit.
+    """
+    if tuning_trials < 2:
+        raise ValueError(f"num must be >= 2, got {tuning_trials}")
+    common = {
+        "example_budget": example_budget,
+        "data_seed": seed,
+        "teacher_seed": seed + 999,
+        "eval_seed": seed + 5000,
+    }
+    lrs = [float(lr) for lr in np.logspace(np.log10(5e-3), np.log10(0.5), tuning_trials)]
+    batches = (baseline_batch, *gpu_batches)
+    tune_points = [
+        {"batch_size": b, "lr": lr, "model_seed": seed + 1 + s, **common}
+        for b in batches
+        for lr in lrs
+        for s in range(2)
+    ]
+    tune_raw = runner.map(train_eval_point, tune_points, namespace="fig15.tune")
+
+    best_lrs: dict[int, float] = {}
+    idx = 0
+    for b in batches:
+        best_lr, best_loss = None, None
+        for lr in lrs:
+            loss = float(np.mean([tune_raw[idx]["ne"], tune_raw[idx + 1]["ne"]]))
+            idx += 2
+            if best_loss is None or loss < best_loss:  # first minimum wins ties
+                best_lr, best_loss = lr, loss
+        best_lrs[b] = best_lr
+
+    final_points = [
+        {"batch_size": b, "lr": best_lrs[b], "model_seed": seed + 101 + s, **common}
+        for b in batches
+        for s in range(num_seeds)
+    ]
+    final_raw = runner.map(train_eval_point, final_points, namespace="fig15.final")
+
+    results: dict[int, tuple[float, float, int]] = {}
+    idx = 0
+    for b in batches:
+        chunk = final_raw[idx : idx + num_seeds]
+        idx += num_seeds
+        results[b] = (
+            best_lrs[b],
+            float(np.mean([r["ne"] for r in chunk])),
+            chunk[-1]["steps"],
+        )
+    return _assemble(baseline_batch, gpu_batches, results)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,29 @@
+"""Experiment runtime: parallel sweep execution + memoized results.
+
+Public surface:
+
+* :class:`SweepRunner` — executes independent grid points across a process
+  pool with cache lookups and obs-integrated telemetry;
+* :class:`ResultCache` — content-addressed on-disk JSON result store
+  (config-hash -> value) with code-change invalidation;
+* :func:`derive_seed` — deterministic per-point seed derivation;
+* :func:`default_workers` — worker-count selection helper.
+
+See ``DESIGN.md`` ("repro.runtime") for the cache key scheme and the
+determinism contract (parallel == serial, bit for bit).
+"""
+
+from .cache import MISS, ResultCache, canonical, canonical_json, code_token, fingerprint
+from .runner import SweepRunner, default_workers, derive_seed
+
+__all__ = [
+    "MISS",
+    "ResultCache",
+    "SweepRunner",
+    "canonical",
+    "canonical_json",
+    "code_token",
+    "default_workers",
+    "derive_seed",
+    "fingerprint",
+]

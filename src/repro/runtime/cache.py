@@ -1,0 +1,228 @@
+"""Content-addressed on-disk result cache for experiment grid points.
+
+Every headline figure is produced by re-running deterministic functions of
+a (config, seed) tuple; repeated ``python -m repro`` invocations and the
+benchmark suite were recomputing identical points from scratch.  The cache
+memoizes them on disk:
+
+* **Key scheme** — ``sha256(canonical_json({namespace, code, params}))``
+  where *namespace* identifies the point function, *code* is a hash of the
+  function's source text (see :func:`code_token`) and *params* is the
+  canonicalized keyword dict of the call.  Dataclasses (e.g.
+  :class:`~repro.core.config.ModelConfig`), enums, numpy scalars/arrays
+  and nested containers all canonicalize deterministically, so any change
+  to the model config, the seeds, **or the point function's code** yields
+  a different key — stale results can never be served.
+* **Storage** — one JSON file per result under
+  ``<root>/<namespace>/<key[:2]>/<key>.json`` (content-addressed layout;
+  two-level fan-out keeps directories small).  Writes are atomic
+  (tmp file + ``os.replace``) so concurrent workers never observe torn
+  entries.  JSON round-trips Python floats exactly (``repr``-based), so a
+  cache hit is bit-identical to the original computation.
+* **Observability** — hits/misses/stores are counted in a
+  :class:`~repro.obs.registry.MetricsRegistry` (labels: namespace).
+
+The cache root defaults to ``$REPRO_CACHE_DIR`` or ``.repro-cache/`` under
+the current directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import inspect
+import json
+import os
+import pathlib
+import tempfile
+import textwrap
+from typing import Any
+
+import numpy as np
+
+from ..obs.registry import MetricsRegistry
+
+__all__ = ["MISS", "ResultCache", "canonical", "canonical_json", "code_token", "fingerprint"]
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class _Miss:
+    """Sentinel distinguishing 'no cached value' from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<cache MISS>"
+
+
+MISS = _Miss()
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-serializable form.
+
+    Handles dataclasses (by field), enums (by value), numpy scalars and
+    arrays (arrays by dtype/shape/content digest), dicts (sorted keys) and
+    sequences.  Raises ``TypeError`` for objects with no stable canonical
+    form (e.g. open file handles) rather than guessing.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": canonical(obj.value)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__name__, "fields": fields}
+    if isinstance(obj, np.generic):
+        return canonical(obj.item())
+    if isinstance(obj, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest(),
+            "dtype": str(obj.dtype),
+            "shape": list(obj.shape),
+        }
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonical(v) for v in obj)
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for cache keying")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text of :func:`canonical`."""
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(obj: Any) -> str:
+    """sha256 hex digest of the canonical form of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+
+
+def code_token(fn: Any) -> str:
+    """A short token identifying a function's *implementation*.
+
+    Hashes the function's (dedented) source text so editing the point
+    function invalidates its cached results; falls back to the qualified
+    name when source is unavailable (builtins, REPL lambdas).
+    """
+    override = getattr(fn, "__code_token__", None)
+    if override is not None:
+        return str(override)
+    name = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', type(fn).__name__)}"
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError):
+        return hashlib.sha256(name.encode()).hexdigest()[:16]
+    return hashlib.sha256((name + "\n" + source).encode()).hexdigest()[:16]
+
+
+class ResultCache:
+    """Content-addressed JSON store memoizing experiment point results."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        metrics: MetricsRegistry | None = None,
+        enabled: bool = True,
+    ) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = pathlib.Path(root)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.enabled = enabled
+
+    # -- keying -------------------------------------------------------------
+
+    def key(self, namespace: str, params: dict, code: str | None = None) -> str:
+        """Cache key for one point: namespace + code token + params."""
+        return fingerprint({"namespace": namespace, "code": code or "", "params": params})
+
+    def key_for(self, fn, params: dict, namespace: str | None = None) -> str:
+        """Key for calling ``fn(**params)`` — includes ``fn``'s code token."""
+        ns = namespace or f"{fn.__module__}.{fn.__qualname__}"
+        return self.key(ns, params, code=code_token(fn))
+
+    def _path(self, namespace: str, key: str) -> pathlib.Path:
+        safe_ns = namespace.replace(os.sep, "_").replace("/", "_") or "_"
+        return self.root / safe_ns / key[:2] / f"{key}.json"
+
+    # -- storage ------------------------------------------------------------
+
+    def load(self, namespace: str, key: str) -> Any:
+        """Return the cached value for ``key`` or the :data:`MISS` sentinel."""
+        if not self.enabled:
+            return MISS
+        path = self._path(namespace, key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.metrics.counter("runtime.cache.misses").inc()
+            self.metrics.counter("runtime.cache.misses").labels(namespace=namespace).inc()
+            return MISS
+        self.metrics.counter("runtime.cache.hits").inc()
+        self.metrics.counter("runtime.cache.hits").labels(namespace=namespace).inc()
+        return entry["value"]
+
+    def store(self, namespace: str, key: str, value: Any, params: dict | None = None) -> None:
+        """Atomically persist ``value`` (must be JSON-serializable)."""
+        if not self.enabled:
+            return
+        path = self._path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "namespace": namespace, "value": value}
+        if params is not None:
+            entry["params"] = canonical(params)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.metrics.counter("runtime.cache.stores").inc()
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> list[pathlib.Path]:
+        """All cached entry files currently on disk."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.rglob("*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> dict[str, float]:
+        """Current hit/miss/store counts."""
+        out = {}
+        for name in ("hits", "misses", "stores"):
+            metric = f"runtime.cache.{name}"
+            out[name] = (
+                self.metrics.get(metric).value if metric in self.metrics else 0.0
+            )
+        return out

@@ -1,0 +1,238 @@
+"""Parallel, memoized execution of independent experiment grid points.
+
+The figure sweeps (Fig 11/12/13/15) and tuning trials are embarrassingly
+parallel: every grid point is a pure function of its parameters (all seeds
+included).  :class:`SweepRunner` executes such points across a
+``ProcessPoolExecutor``, consults the content-addressed
+:class:`~repro.runtime.cache.ResultCache` before computing anything, and
+reports cache hits/misses, point latencies and worker utilization through
+the shared :class:`~repro.obs.registry.MetricsRegistry` / span tracer.
+
+Determinism contract: results are returned **in input order**, and every
+point carries its own explicit seeds (see :func:`derive_seed`), so
+``workers=8`` produces bit-identical results to serial execution — an
+invariant pinned by ``tests/test_runtime.py``.
+
+Worker-count selection: ``workers`` <= 1 (the default) runs serially in
+process — zero overhead, full tracer fidelity.  ``workers`` >= 2 forks a
+pool; sensible values are ``min(num_points, os.cpu_count())``, which
+:func:`default_workers` computes.  Functions crossing the process boundary
+must be module-level (picklable); the runner *pre-checks* picklability and
+silently falls back to serial for closures, counting the event in
+``runtime.sweep.serial_fallback``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from ..obs.registry import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
+from .cache import MISS, ResultCache, code_token, fingerprint
+
+__all__ = ["SweepRunner", "derive_seed", "default_workers"]
+
+
+def derive_seed(base_seed: int, *parts: Any) -> int:
+    """A deterministic, order-independent-of-execution seed for one point.
+
+    Stable across processes and Python versions (sha256 of the canonical
+    parts, not ``hash()``), so a grid point's RNG stream depends only on
+    *what* the point is, never on *when or where* it runs.
+    """
+    digest = fingerprint({"base": int(base_seed), "parts": list(parts)})
+    return int(digest[:12], 16)
+
+
+def default_workers(num_points: int | None = None) -> int:
+    """A sensible pool size: all cores, but never more than the points."""
+    cores = os.cpu_count() or 1
+    if num_points is None:
+        return cores
+    return max(1, min(cores, num_points))
+
+
+def _timed_call(fn: Callable[..., Any], kwargs: dict) -> tuple[Any, float]:
+    """Execute one point and measure it (runs inside pool workers)."""
+    t0 = time.perf_counter()
+    value = fn(**kwargs)
+    return value, time.perf_counter() - t0
+
+
+class _UnaryCall:
+    """Adapter turning ``fn(value)`` into a kwargs-style point callable.
+
+    Module-level class so instances pickle whenever ``fn`` does.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+        # Delegate identity to the wrapped function so cache namespaces and
+        # code tokens are stable across processes and invocations (an
+        # instance repr would embed a memory address).
+        self.__qualname__ = f"unary:{getattr(fn, '__qualname__', type(fn).__name__)}"
+        self.__module__ = getattr(fn, "__module__", "?")
+        self.__code_token__ = code_token(fn)
+
+    def __call__(self, *, arg: Any) -> Any:
+        return self.fn(arg)
+
+
+class SweepRunner:
+    """Executes independent grid points, in parallel, through the cache.
+
+    Args:
+        workers: pool size; <= 1 means serial in-process execution.
+        cache: optional :class:`ResultCache`; when present, points are
+            looked up before computing and stored after.
+        metrics: registry receiving ``runtime.sweep.*`` and
+            ``runtime.cache.*`` series (shared with the cache).
+        tracer: span tracer; each :meth:`map` emits one ``runtime`` span.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        mp_context=None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if cache is not None and cache.metrics is not self.metrics:
+            # share one registry so cache + sweep counters merge trivially
+            cache.metrics = self.metrics
+        self.cache = cache
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._mp_context = mp_context
+
+    # -- public API ---------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        points: Sequence[dict],
+        namespace: str | None = None,
+        use_cache: bool = True,
+    ) -> list[Any]:
+        """Evaluate ``fn(**point)`` for every point; results in input order.
+
+        Cached results are returned without recomputation; the remaining
+        misses run on the pool (or serially).  ``fn`` must be deterministic
+        in its parameters for the cache to be sound.
+        """
+        points = list(points)
+        ns = namespace or f"{fn.__module__}.{fn.__qualname__}"
+        results: list[Any] = [MISS] * len(points)
+        cache = self.cache if use_cache else None
+        token = code_token(fn) if cache is not None else ""
+
+        miss_indices: list[int] = []
+        keys: list[str | None] = [None] * len(points)
+        for i, params in enumerate(points):
+            if cache is not None:
+                key = cache.key(ns, params, code=token)
+                keys[i] = key
+                value = cache.load(ns, key)
+                if value is not MISS:
+                    results[i] = value
+                    continue
+            miss_indices.append(i)
+
+        t_start = time.perf_counter()
+        with self.tracer.span(
+            f"sweep:{ns}",
+            "runtime",
+            points=len(points),
+            cached=len(points) - len(miss_indices),
+            workers=self.workers,
+        ):
+            busy = self._execute(fn, points, miss_indices, results)
+        wall = time.perf_counter() - t_start
+
+        if cache is not None:
+            for i in miss_indices:
+                cache.store(ns, keys[i], results[i], params=points[i])
+
+        counter = self.metrics.counter("runtime.sweep.points")
+        counter.inc(len(points))
+        counter.labels(namespace=ns).inc(len(points))
+        self.metrics.counter("runtime.sweep.computed").inc(len(miss_indices))
+        if miss_indices and wall > 0:
+            effective = min(max(self.workers, 1), len(miss_indices))
+            self.metrics.gauge("runtime.sweep.utilization").set(
+                min(1.0, busy / (wall * effective))
+            )
+            self.metrics.gauge("runtime.sweep.workers").set(effective)
+        return results
+
+    def map_values(
+        self,
+        fn: Callable[[Any], Any],
+        values: Sequence[Any],
+        namespace: str | None = None,
+        use_cache: bool = False,
+    ) -> list[Any]:
+        """Like :meth:`map` for single-argument functions.
+
+        Caching defaults off here because ad-hoc unary objectives (tuning
+        closures) rarely have stable source to key on.
+        """
+        ns = namespace or f"{fn.__module__}.{getattr(fn, '__qualname__', repr(fn))}"
+        return self.map(
+            _UnaryCall(fn),
+            [{"arg": v} for v in values],
+            namespace=ns,
+            use_cache=use_cache,
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute(
+        self,
+        fn: Callable[..., Any],
+        points: list[dict],
+        miss_indices: list[int],
+        results: list[Any],
+    ) -> float:
+        """Run the missing points; fills ``results``; returns busy seconds."""
+        if not miss_indices:
+            return 0.0
+        durations = self.metrics.histogram("runtime.sweep.point_seconds")
+        busy = 0.0
+        if self.workers >= 2 and len(miss_indices) > 1 and self._picklable(fn, points):
+            max_workers = min(self.workers, len(miss_indices))
+            with ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=self._mp_context
+            ) as pool:
+                futures = [
+                    pool.submit(_timed_call, fn, points[i]) for i in miss_indices
+                ]
+                for i, future in zip(miss_indices, futures):
+                    value, dt = future.result()
+                    results[i] = value
+                    durations.observe(dt)
+                    busy += dt
+            return busy
+        for i in miss_indices:
+            value, dt = _timed_call(fn, points[i])
+            results[i] = value
+            durations.observe(dt)
+            busy += dt
+        return busy
+
+    def _picklable(self, fn: Callable[..., Any], points: list[dict]) -> bool:
+        """Pre-flight check: can this work cross a process boundary?"""
+        try:
+            pickle.dumps(fn)
+            return True
+        except Exception:
+            self.metrics.counter("runtime.sweep.serial_fallback").inc()
+            return False

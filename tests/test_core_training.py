@@ -65,6 +65,50 @@ class TestTrainer:
         assert np.isfinite(result.final_loss)
 
 
+class TestTrainerBudgetAccounting:
+    """The partial-final-batch and stream-exhaustion contracts."""
+
+    def test_final_batch_counted_in_full(self, tiny_config, tiny_generator):
+        # Budget 100 with batch 64: the second batch crosses the budget and
+        # every example in it trained the model, so examples_seen reports
+        # the true count (128), not the budget.
+        result = _trainer(tiny_config).train(
+            tiny_generator.batches(64), max_examples=100
+        )
+        assert result.steps == 2
+        assert result.examples_seen == 128
+
+    def test_examples_seen_never_undercounts(self, tiny_config, tiny_generator):
+        result = _trainer(tiny_config).train(
+            tiny_generator.batches(48), max_examples=100
+        )
+        assert result.examples_seen == 48 * result.steps
+        assert result.examples_seen >= 100
+
+    def test_early_exhaustion_names_budget(self, tiny_config, tiny_generator):
+        # A finite stream that ends before the example budget must fail
+        # loudly, naming the budget and the progress made.
+        stream = [tiny_generator.batch(32) for _ in range(2)]
+        with pytest.raises(ValueError, match=r"max_examples=320") as exc:
+            _trainer(tiny_config).train(iter(stream), max_examples=320)
+        assert "64 examples" in str(exc.value)
+        assert "2 steps" in str(exc.value)
+
+    def test_early_exhaustion_names_step_budget(self, tiny_config, tiny_generator):
+        stream = [tiny_generator.batch(16)]
+        with pytest.raises(ValueError, match=r"max_steps=9"):
+            _trainer(tiny_config).train(iter(stream), max_steps=9)
+
+    def test_stream_meeting_budget_exactly_is_fine(self, tiny_config, tiny_generator):
+        stream = [tiny_generator.batch(32) for _ in range(3)]
+        result = _trainer(tiny_config).train(iter(stream), max_examples=96)
+        assert result.examples_seen == 96 and result.steps == 3
+
+    def test_empty_stream_message_names_budget(self, tiny_config):
+        with pytest.raises(ValueError, match=r"empty before the first step.*max_steps=5"):
+            _trainer(tiny_config).train(iter([]), max_steps=5)
+
+
 class TestEvaluate:
     def test_metrics_present(self, tiny_config, tiny_generator):
         model = DLRM(tiny_config, rng=0)

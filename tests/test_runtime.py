@@ -1,0 +1,304 @@
+"""Tests for repro.runtime: cache keying/storage and the sweep runner.
+
+The two contracts pinned here:
+
+* **Cache soundness** — a key changes whenever the namespace, the point
+  function's code, or any parameter changes; values round-trip exactly.
+* **Determinism** — ``SweepRunner`` returns results in input order and a
+  parallel run is bit-identical to a serial one (the figure sweeps rely on
+  this to keep golden numbers stable under ``--workers``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.config import InteractionType, MLPSpec, ModelConfig, uniform_tables
+from repro.obs.registry import MetricsRegistry
+from repro.runtime import (
+    MISS,
+    ResultCache,
+    SweepRunner,
+    canonical_json,
+    code_token,
+    default_workers,
+    derive_seed,
+    fingerprint,
+)
+
+# Fork start method: cheap worker startup and inherited sys.modules, so the
+# module-level point functions below are picklable into workers.
+FORK = multiprocessing.get_context("fork")
+
+
+def square_point(x: int) -> int:
+    """Module-level, picklable grid point."""
+    return x * x
+
+
+def noisy_point(x: int, seed: int) -> float:
+    """A point whose value depends only on its explicit seed (derive_seed)."""
+    rng = np.random.default_rng(seed)
+    return float(x + rng.standard_normal())
+
+
+def _model() -> ModelConfig:
+    return ModelConfig(
+        name="rt",
+        num_dense=6,
+        tables=uniform_tables(2, 40, dim=4, mean_lookups=2.0),
+        bottom_mlp=MLPSpec((8, 4)),
+        top_mlp=MLPSpec((6,)),
+        interaction=InteractionType.DOT,
+    )
+
+
+# ---------------------------------------------------------------------------
+# canonicalization + keys
+# ---------------------------------------------------------------------------
+
+
+class TestCanonical:
+    def test_dict_order_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_dataclass_and_enum_canonicalize(self):
+        a = fingerprint({"model": _model()})
+        b = fingerprint({"model": _model()})
+        assert a == b
+
+    def test_config_change_changes_key(self):
+        import dataclasses
+
+        other = dataclasses.replace(_model(), num_dense=7)
+        assert fingerprint({"m": _model()}) != fingerprint({"m": other})
+
+    def test_ndarray_content_keyed(self):
+        x = np.arange(5)
+        assert fingerprint(x) == fingerprint(np.arange(5))
+        assert fingerprint(x) != fingerprint(np.arange(6))
+
+    def test_numpy_scalars_match_python(self):
+        assert fingerprint(np.int64(3)) == fingerprint(3)
+
+    def test_uncanonicalizable_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_json(object())
+
+    def test_code_token_tracks_source(self):
+        assert code_token(square_point) == code_token(square_point)
+        assert code_token(square_point) != code_token(noisy_point)
+
+    def test_code_token_override(self):
+        class Fn:
+            __code_token__ = "stable-token"
+
+            def __call__(self):  # pragma: no cover
+                return 0
+
+        assert code_token(Fn()) == "stable-token"
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, "fig15", 128) == derive_seed(0, "fig15", 128)
+
+    def test_sensitive_to_parts_and_base(self):
+        seeds = {
+            derive_seed(0, "a"),
+            derive_seed(0, "b"),
+            derive_seed(1, "a"),
+            derive_seed(0, "a", 1),
+        }
+        assert len(seeds) == 4
+
+    def test_fits_in_rng_seed_range(self):
+        s = derive_seed(123, "x")
+        assert 0 <= s < 2**48
+        np.random.default_rng(s)  # must be a valid seed
+
+
+# ---------------------------------------------------------------------------
+# ResultCache
+# ---------------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_roundtrip_exact_floats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        value = {"ne": 0.1 + 0.2, "steps": 7}
+        key = cache.key("ns", {"x": 1})
+        cache.store("ns", key, value, params={"x": 1})
+        loaded = cache.load("ns", key)
+        assert loaded == value
+        assert loaded["ne"] == value["ne"]  # bit-exact via repr round-trip
+
+    def test_miss_sentinel(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("ns", cache.key("ns", {"x": 2})) is MISS
+
+    def test_key_sensitivity(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key("ns", {"x": 1}, code="c1")
+        assert cache.key("ns", {"x": 2}, code="c1") != base
+        assert cache.key("other", {"x": 1}, code="c1") != base
+        assert cache.key("ns", {"x": 1}, code="c2") != base
+
+    def test_cached_none_distinct_from_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("ns", {})
+        cache.store("ns", key, None)
+        assert cache.load("ns", key) is None
+
+    def test_disabled_cache_never_hits(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=False)
+        key = cache.key("ns", {"x": 1})
+        cache.store("ns", key, 42)
+        assert cache.load("ns", key) is MISS
+        assert cache.entries() == []
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for x in range(3):
+            cache.store("ns", cache.key("ns", {"x": x}), x)
+        assert len(cache.entries()) == 3
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 3
+        assert cache.entries() == []
+        stats = cache.stats()
+        assert stats["stores"] == 3
+
+    def test_namespace_with_separator_is_safe(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("a/b", {})
+        cache.store("a/b", key, 1)
+        assert cache.load("a/b", key) == 1
+        assert all(tmp_path in p.parents or p.is_relative_to(tmp_path) for p in cache.entries())
+
+
+# ---------------------------------------------------------------------------
+# SweepRunner
+# ---------------------------------------------------------------------------
+
+
+class TestSweepRunner:
+    def test_results_in_input_order(self):
+        runner = SweepRunner(workers=1)
+        out = runner.map(square_point, [{"x": x} for x in (3, 1, 2)])
+        assert out == [9, 1, 4]
+
+    def test_parallel_bit_identical_to_serial(self):
+        points = [{"x": x, "seed": derive_seed(0, "noisy", x)} for x in range(8)]
+        serial = SweepRunner(workers=1).map(noisy_point, points)
+        parallel = SweepRunner(workers=4, mp_context=FORK).map(noisy_point, points)
+        assert serial == parallel  # float equality: bit-identical
+
+    def test_closure_falls_back_to_serial(self):
+        registry = MetricsRegistry()
+        runner = SweepRunner(workers=4, metrics=registry, mp_context=FORK)
+        y = 10
+        out = runner.map_values(lambda x: x + y, [1, 2, 3])
+        assert out == [11, 12, 13]
+        assert registry.get("runtime.sweep.serial_fallback").value == 1
+
+    def test_cache_hits_skip_recompute(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=registry)
+        runner = SweepRunner(workers=1, cache=cache, metrics=registry)
+        points = [{"x": x} for x in range(5)]
+        first = runner.map(square_point, points, namespace="sq")
+        second = runner.map(square_point, points, namespace="sq")
+        assert first == second == [0, 1, 4, 9, 16]
+        assert registry.get("runtime.cache.stores").value == 5
+        assert registry.get("runtime.cache.hits").value == 5
+        # second map computed nothing
+        assert registry.get("runtime.sweep.computed").value == 5
+
+    def test_parallel_warm_cache_equivalence(self, tmp_path):
+        points = [{"x": x, "seed": derive_seed(1, x)} for x in range(6)]
+        serial = SweepRunner(workers=1).map(noisy_point, points)
+        cache = ResultCache(tmp_path)
+        par = SweepRunner(workers=3, cache=cache, mp_context=FORK)
+        cold = par.map(noisy_point, points, namespace="warm")
+        warm = par.map(noisy_point, points, namespace="warm")
+        assert serial == cold == warm
+
+    def test_use_cache_false_bypasses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        runner.map(square_point, [{"x": 2}], use_cache=False)
+        assert cache.entries() == []
+
+    def test_metrics_and_span_emitted(self):
+        from repro.obs import Tracer
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        runner = SweepRunner(workers=1, metrics=registry, tracer=tracer)
+        runner.map(square_point, [{"x": x} for x in range(4)], namespace="m")
+        assert registry.get("runtime.sweep.points").value == 4
+        labeled = registry.get("runtime.sweep.points").labels(namespace="m")
+        assert labeled.value == 4
+        spans = [s for s in tracer.spans if s.category == "runtime"]
+        assert len(spans) == 1 and spans[0].name == "sweep:m"
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=-1)
+
+    def test_default_workers(self):
+        assert default_workers(1) == 1
+        assert 1 <= default_workers() <= 256
+        assert default_workers(10**9) == default_workers()
+
+
+# ---------------------------------------------------------------------------
+# figure sweeps through the runner (the contract the goldens rely on)
+# ---------------------------------------------------------------------------
+
+
+class TestFigureParity:
+    def test_fig11_runner_matches_serial(self, tmp_path):
+        from repro.experiments import fig11_batch_scaling as f11
+
+        serial = f11.run()
+        runner = SweepRunner(workers=2, cache=ResultCache(tmp_path), mp_context=FORK)
+        cold = f11.run(runner=runner)
+        warm = f11.run(runner=runner)
+        assert serial == cold == warm
+
+    def test_fig13_runner_matches_serial(self, tmp_path):
+        from repro.experiments import fig13_mlp_dims as f13
+
+        serial = f13.run()
+        runner = SweepRunner(workers=2, cache=ResultCache(tmp_path), mp_context=FORK)
+        assert serial == f13.run(runner=runner) == f13.run(runner=runner)
+
+    def test_fig15_micro_parity(self, tmp_path):
+        from repro.experiments import fig15_accuracy as f15
+
+        kw = dict(
+            baseline_batch=64,
+            gpu_batches=(128,),
+            example_budget=1536,
+            tuning_trials=2,
+            num_seeds=1,
+            seed=0,
+        )
+        serial = f15.run(**kw)
+        runner = SweepRunner(workers=2, cache=ResultCache(tmp_path), mp_context=FORK)
+        cold = f15.run(**kw, runner=runner)
+        warm = f15.run(**kw, runner=runner)
+        assert serial == cold == warm
+
+    def test_tuning_runner_parity(self):
+        from repro.core.tuning import grid_search
+
+        serial = grid_search(square_point, 1e-2, 1.0, num=5)
+        parallel = grid_search(
+            square_point, 1e-2, 1.0, num=5, runner=SweepRunner(workers=2, mp_context=FORK)
+        )
+        assert serial == parallel
