@@ -33,6 +33,15 @@ Subpackages
     counter/gauge/histogram metrics registry with fleet-wide merging, and
     ambient profiling hooks.  Off by default (NullTracer) on every hot
     path.
+``repro.runtime``
+    Experiment runtime: parallel memoized sweep runner with deterministic
+    per-point seeding, a content-addressed on-disk result cache, and
+    bounded retries for worker-process crashes.
+``repro.resilience``
+    Fault injection and recovery: declarative fault plans (MTBF crashes,
+    request drops, degradation windows), retry policies with capped
+    backoff, checkpoint-restore cost model with Young/Daly intervals,
+    and the goodput ledger used by the cluster simulation.
 ``repro.analysis``
     KDE, distribution statistics, power-law fits, ASCII table rendering.
 ``repro.configs``

@@ -12,7 +12,10 @@
 * ``fleet`` — fleet characterization report;
 * ``train`` — quick functional training run on synthetic data;
 * ``trace`` — run an experiment with span tracing on and write a Chrome
-  ``chrome://tracing`` / Perfetto JSON trace (see ``repro.obs``).
+  ``chrome://tracing`` / Perfetto JSON trace (see ``repro.obs``);
+* ``faults`` — fault-injection scenarios against the cluster simulation
+  (goodput, availability, retry/recovery telemetry; see
+  ``repro.resilience`` and ``docs/resilience.md``).
 """
 
 from __future__ import annotations
@@ -261,6 +264,134 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro faults <scenario>`` choices: name -> what gets injected.
+FAULT_SCENARIOS = ("ps-crash", "trainer-crash", "mtbf", "drops", "degraded",
+                   "interval-sweep")
+
+
+def _fault_plan_for(scenario: str, horizon_s: float, mtbf_s: float, seed: int):
+    """Build the FaultPlan for one named scenario."""
+    from .resilience import (
+        ComponentKind,
+        DegradationWindow,
+        FaultEvent,
+        FaultPlan,
+    )
+
+    if scenario == "ps-crash":
+        return FaultPlan(
+            scheduled_crashes=(
+                FaultEvent(ComponentKind.SPARSE_PS, 1, 0.5 * horizon_s),
+            ),
+            seed=seed,
+        )
+    if scenario == "trainer-crash":
+        return FaultPlan(
+            scheduled_crashes=(
+                FaultEvent(ComponentKind.TRAINER, 0, 0.5 * horizon_s),
+            ),
+            seed=seed,
+        )
+    if scenario == "mtbf":
+        return FaultPlan(sparse_ps_mtbf_s=mtbf_s, trainer_mtbf_s=4 * mtbf_s, seed=seed)
+    if scenario == "drops":
+        return FaultPlan(drop_probability=0.02, seed=seed)
+    if scenario == "degraded":
+        return FaultPlan(
+            degradations=(
+                DegradationWindow(
+                    ComponentKind.SPARSE_PS, 0,
+                    start_s=0.25 * horizon_s,
+                    duration_s=0.5 * horizon_s,
+                    slowdown=4.0,
+                ),
+            ),
+            seed=seed,
+        )
+    raise ValueError(f"unknown fault scenario {scenario!r}")
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from .distributed import ClusterConfig, SyncMode, simulate_cpu_cluster
+
+    if args.scenario == "interval-sweep":
+        from .experiments import ext_fault_tolerance
+
+        result = ext_fault_tolerance.run(
+            horizon_s=args.horizon, mtbf_s=args.mtbf, seed=args.seed
+        )
+        if args.json:
+            payload = {
+                "scenario": "interval-sweep",
+                "young_daly_s": result.young_daly_s,
+                "best_interval_s": result.best_interval_s(),
+                "failure_free_goodput": result.failure_free_goodput,
+                "intervals": [
+                    {"interval_s": p.interval_s, "goodput": p.goodput,
+                     "goodput_fraction": p.goodput_fraction,
+                     "analytic_fraction": p.analytic_fraction}
+                    for p in result.interval_points
+                ],
+                "modes": {
+                    o.sync_mode: {"goodput": o.goodput,
+                                  "availability": o.availability,
+                                  "lost_examples": o.lost_examples}
+                    for o in result.mode_outcomes
+                },
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(ext_fault_tolerance.render(result))
+        return 0
+
+    model = resolve_model(args.model)
+    plan = _fault_plan_for(args.scenario, args.horizon, args.mtbf, args.seed)
+    modes = [args.mode] if args.mode != "both" else list(SyncMode.ALL)
+    payload = {
+        "scenario": args.scenario,
+        "model": model.name,
+        "horizon_s": args.horizon,
+        "checkpoint_interval_s": args.checkpoint_interval,
+        "results": {},
+    }
+    for mode in modes:
+        cfg = ClusterConfig(
+            num_trainers=args.trainers,
+            num_sparse_ps=args.sparse_ps,
+            num_dense_ps=args.dense_ps,
+            sync_mode=mode,
+            fault_plan=plan,
+            checkpoint_interval_s=args.checkpoint_interval,
+            seed=args.seed,
+        )
+        result = simulate_cpu_cluster(model, cfg, horizon_s=args.horizon)
+        summary = result.resilience_summary()
+        summary["fault_events"] = [
+            {"kind": e.kind, "index": e.index, "time_s": e.time_s}
+            for e in result.fault_events
+        ]
+        payload["results"][mode] = summary
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    for mode in modes:
+        s = payload["results"][mode]
+        rows = [[k, f"{v:,.1f}" if isinstance(v, float) else str(v)]
+                for k, v in s.items() if k != "fault_events"]
+        print(
+            render_table(
+                ["metric", "value"],
+                rows,
+                title=f"Scenario {args.scenario!r}, sync_mode={mode} "
+                      f"({len(s['fault_events'])} fault event(s))",
+            )
+        )
+        print()
+    return 0
+
+
 #: ``repro trace <experiment>`` targets: name -> tracing driver.
 TRACE_EXPERIMENTS = ("fig11", "fig14", "table3", "cpu_sim", "gpu_sim", "train")
 
@@ -395,6 +526,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="model spec for cpu_sim/gpu_sim/train targets")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "faults", help="fault-injection scenarios on the cluster simulation"
+    )
+    p.add_argument("scenario", choices=FAULT_SCENARIOS)
+    p.add_argument("--model", default="test:128x8",
+                   help="model spec; checkpoint bytes (and so recovery cost)"
+                        " scale with the embedding tables")
+    p.add_argument("--mode", default="both", choices=["sync", "async", "both"],
+                   help="synchronization discipline(s) to simulate")
+    p.add_argument("--horizon", type=float, default=1.0,
+                   help="simulated seconds (default 1.0)")
+    p.add_argument("--checkpoint-interval", type=float, default=0.25,
+                   help="seconds between checkpoints (default 0.25; must"
+                        " exceed the checkpoint write cost to make progress)")
+    p.add_argument("--mtbf", type=float, default=1.0,
+                   help="per-sparse-PS MTBF seconds for the mtbf/interval-sweep"
+                        " scenarios (default 1.0)")
+    p.add_argument("--trainers", type=int, default=8)
+    p.add_argument("--sparse-ps", type=int, default=4)
+    p.add_argument("--dense-ps", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("train", help="functional training run on synthetic data")
     p.add_argument("--model", default="test:32x8")

@@ -85,6 +85,50 @@ class Trainer:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._step_index = 0
 
+    # -- kill-and-restore (see repro.resilience.harness) ---------------------
+
+    @property
+    def step_index(self) -> int:
+        """Number of optimizer steps taken so far (resume cursor)."""
+        return self._step_index
+
+    def _checkpointable_optimizer(self):
+        """The optimizer, when :mod:`repro.core.checkpoint` can serialize
+        its state (Adagrad-shaped); ``None`` otherwise."""
+        opt = self.optimizer
+        if hasattr(opt, "_dense_state") and hasattr(opt, "_table_state"):
+            return opt
+        return None
+
+    def save_checkpoint(self, path) -> int:
+        """Write model + optimizer state to ``path``; returns bytes written.
+
+        Together with :meth:`load_checkpoint` this is the kill-and-restore
+        path: a run interrupted after step *k* and restored from a step-*k*
+        checkpoint continues bit-identically to an uninterrupted run (the
+        guarantee pinned by ``tests/test_resilience.py``).
+        """
+        from .checkpoint import save_checkpoint
+
+        with self.tracer.span("checkpoint_save", "checkpoint", step=self._step_index):
+            return save_checkpoint(path, self.model, self._checkpointable_optimizer())
+
+    def load_checkpoint(self, path, step_index: int | None = None) -> None:
+        """Restore model + optimizer state in place.
+
+        ``step_index`` (optional) resets the step cursor so traces/logs of
+        a resumed run line up with the original timeline; it does not
+        affect the numerics.
+        """
+        from .checkpoint import load_checkpoint
+
+        with self.tracer.span("checkpoint_restore", "checkpoint"):
+            load_checkpoint(path, self.model, self._checkpointable_optimizer())
+        if step_index is not None:
+            if step_index < 0:
+                raise ValueError("step_index must be >= 0")
+            self._step_index = step_index
+
     def train_step(self, batch: Batch) -> float:
         """One forward/backward/update; returns the batch loss."""
         tracer = self.tracer

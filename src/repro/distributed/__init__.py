@@ -1,9 +1,10 @@
 """Distributed training: functional sync algorithms and event-level cluster sim."""
 
-from .cluster import ClusterConfig, ClusterResult, simulate_cpu_cluster
+from .cluster import ClusterConfig, ClusterResult, SyncMode, simulate_cpu_cluster
 from .gpu_sim import GpuServerSimResult, simulate_gpu_server
 from .simulator import Event, Resource, Simulator
 from .sync import (
+    ClusterStalledError,
     DelayedGradientTrainer,
     EASGDConfig,
     EASGDTrainer,
@@ -17,6 +18,8 @@ __all__ = [
     "Event",
     "ClusterConfig",
     "ClusterResult",
+    "ClusterStalledError",
+    "SyncMode",
     "simulate_cpu_cluster",
     "GpuServerSimResult",
     "simulate_gpu_server",

@@ -8,6 +8,27 @@ the event dynamics rather than closed-form caps.
 
 This cross-validates the analytical model in :mod:`repro.perf` and produces
 the per-run utilization samples behind Figure 5.
+
+Fault tolerance (paper §III-A.6, §IV-B): when a
+:class:`~repro.resilience.FaultPlan` is attached, trainers and parameter
+servers crash (exponential MTBF or scripted), requests drop in flight and
+are retried with capped exponential backoff + deadline
+(:class:`~repro.resilience.RetryPolicy`), and crashed servers come back
+after a restore delay priced from checkpoint bytes over the platform's
+NIC/memory bandwidth (:mod:`repro.resilience.recovery`).  The two
+synchronization modes recover differently, reproducing the paper's
+async-resilience argument:
+
+* ``sync_mode="async"`` (EASGD/Hogwild, the production default): the
+  cluster re-shards lookups across surviving sparse PS and keeps training;
+  a crash loses only the failed shard's work since the last checkpoint.
+* ``sync_mode="sync"`` (fully synchronous): any failure stalls the whole
+  cluster until recovery and rolls every trainer back to the last
+  checkpoint.
+
+The result carries **goodput** (throughput net of lost + recovered work),
+availability, and retry/recovery telemetry via
+:class:`~repro.resilience.GoodputLedger`.
 """
 
 from __future__ import annotations
@@ -24,9 +45,29 @@ from ..perf.pipeline import _aggregate_cpu_device, _cache_penalty, _dense_comput
 from ..hardware.device import op_time
 from ..obs.registry import MetricsRegistry
 from ..obs.tracer import NullTracer, Tracer
+from ..resilience import (
+    ComponentKind,
+    DEFAULT_RETRY_POLICY,
+    FaultInjector,
+    FaultPlan,
+    GoodputLedger,
+    RetryPolicy,
+    checkpoint_write_time_s,
+    model_checkpoint_bytes,
+    restore_time_s,
+)
 from .simulator import Resource, Simulator
 
-__all__ = ["ClusterConfig", "ClusterResult", "simulate_cpu_cluster"]
+__all__ = ["SyncMode", "ClusterConfig", "ClusterResult", "simulate_cpu_cluster"]
+
+
+class SyncMode:
+    """Cluster-wide synchronization discipline (string constants)."""
+
+    ASYNC = "async"  #: EASGD + Hogwild — continues on surviving members.
+    SYNC = "sync"  #: fully synchronous — stalls and rolls back on failure.
+
+    ALL = (ASYNC, SYNC)
 
 
 @dataclass(frozen=True)
@@ -55,6 +96,17 @@ class ClusterConfig:
     num_readers: int | None = None
     reader_examples_per_s: float = 150_000.0
     seed: int = 0
+    #: Synchronization discipline under failures: ``"async"`` continues on
+    #: surviving members, ``"sync"`` stalls and rolls back (§III-A.6).
+    sync_mode: str = SyncMode.ASYNC
+    #: Optional failure schedule; ``None`` reproduces the failure-free
+    #: simulation bit-for-bit.
+    fault_plan: FaultPlan | None = None
+    #: Retry discipline for dropped/timed-out PS requests.
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    #: Seconds of simulated time between cluster-wide checkpoints; ``None``
+    #: disables periodic checkpoints (a failure then rolls back to t=0).
+    checkpoint_interval_s: float | None = None
 
     def __post_init__(self) -> None:
         if min(self.num_trainers, self.num_sparse_ps, self.num_dense_ps) < 1:
@@ -71,6 +123,12 @@ class ClusterConfig:
             raise ValueError("num_readers must be >= 1 when set")
         if self.reader_examples_per_s <= 0:
             raise ValueError("reader_examples_per_s must be positive")
+        if self.sync_mode not in SyncMode.ALL:
+            raise ValueError(
+                f"sync_mode must be one of {SyncMode.ALL}, got {self.sync_mode!r}"
+            )
+        if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint_interval_s must be positive when set")
 
 
 @dataclass
@@ -85,6 +143,24 @@ class ClusterResult:
     sparse_ps_mem_utilization: list[float] = field(default_factory=list)
     sparse_ps_nic_utilization: list[float] = field(default_factory=list)
     dense_ps_nic_utilization: list[float] = field(default_factory=list)
+    # -- resilience outcome (== throughput-equivalent when failure-free) ----
+    #: useful examples/s: completed minus work lost to rollbacks.
+    goodput: float = 0.0
+    #: fraction of cluster capacity available over the window (1.0 = no
+    #: stalls, no component downtime).
+    availability: float = 1.0
+    useful_examples: int = 0
+    lost_examples: int = 0
+    crashes: int = 0
+    retries: int = 0
+    requests_dropped: int = 0
+    failed_iterations: int = 0
+    recovery_time: float = 0.0
+    stall_time: float = 0.0
+    checkpoint_time: float = 0.0
+    checkpoints_taken: int = 0
+    #: the concrete failures injected (kind, index, time), for reporting.
+    fault_events: list = field(default_factory=list)
 
     def utilization_summary(self) -> dict[str, float]:
         return {
@@ -93,6 +169,24 @@ class ClusterResult:
             "sparse_ps_mem": float(np.mean(self.sparse_ps_mem_utilization)),
             "sparse_ps_nic": float(np.mean(self.sparse_ps_nic_utilization)),
             "dense_ps_nic": float(np.mean(self.dense_ps_nic_utilization)),
+        }
+
+    def resilience_summary(self) -> dict[str, float]:
+        """Headline fault-tolerance numbers (JSON-friendly)."""
+        return {
+            "goodput": float(self.goodput),
+            "throughput": float(self.throughput),
+            "availability": float(self.availability),
+            "useful_examples": float(self.useful_examples),
+            "lost_examples": float(self.lost_examples),
+            "crashes": float(self.crashes),
+            "retries": float(self.retries),
+            "requests_dropped": float(self.requests_dropped),
+            "failed_iterations": float(self.failed_iterations),
+            "recovery_time_s": float(self.recovery_time),
+            "stall_time_s": float(self.stall_time),
+            "checkpoint_time_s": float(self.checkpoint_time),
+            "checkpoints_taken": float(self.checkpoints_taken),
         }
 
 
@@ -118,41 +212,125 @@ class _Trainer:
         self.tracer = tracer
         self._iter_start = 0.0
         self._compute_end = 0.0
+        # Crash/rollback bookkeeping: the trainer's own incarnation number
+        # (bumped when *it* crashes) and the cluster rollback generation it
+        # started the current iteration under.  A mismatch at any phase
+        # means the in-flight iteration's work is void.
+        self.epoch = 0
+        self.down_until = 0.0
+        self._iter_epoch = 0
+        self._iter_generation = 0
 
     def start(self) -> None:
         # Desynchronize trainer start times.
         self.sim.schedule(float(self.rng.uniform(0, self.compute_time)), self.begin_iteration)
 
-    def begin_iteration(self) -> None:
-        # Acquire the next mini-batch from the reader tier first: trainers
-        # stall here when readers are under-provisioned (§IV-B.2).
-        self._iter_start = self.sim.now
-        wait = 0.0
-        if self.cluster.reader is not None:
-            ready = self.cluster.reader.submit(
-                self.sim.now, float(self.cluster.cfg.batch_per_trainer)
-            )
-            wait = max(0.0, ready - self.sim.now)
-        jittered = self.compute_time * float(self.rng.lognormal(0.0, 0.05))
-        self.busy_compute += jittered
-        self._compute_end = self.sim.now + wait + jittered
-        self.sim.schedule(wait + jittered, self.issue_lookups)
+    # -- fault plumbing -----------------------------------------------------
 
-    def issue_lookups(self) -> None:
+    def _abandoned(self) -> bool:
+        """True when the in-flight iteration must be thrown away (the
+        trainer crashed mid-iteration, or a sync-mode rollback voided it).
+        Reschedules a fresh iteration after the blocking condition."""
         c = self.cluster
         now = self.sim.now
-        # Shard the lookup work round-robin across sparse PS; the iteration
-        # resumes when the slowest response lands.
-        per_ps_req = c.req_bytes / c.cfg.num_sparse_ps
-        per_ps_resp = c.pooled_bytes / c.cfg.num_sparse_ps
-        per_ps_mem = c.ps_mem_bytes / c.cfg.num_sparse_ps
+        resume = now
+        void = False
+        if self._iter_epoch != self.epoch or now < self.down_until:
+            void = True
+            resume = max(resume, self.down_until)
+        if self._iter_generation != c.generation:
+            void = True
+            resume = max(resume, c.stall_until)
+        if not void:
+            return False
+        self.sim.schedule_at(max(resume, now), self.begin_iteration)
+        return True
+
+    def crash(self, restore_until: float) -> None:
+        """Kill this trainer; it rejoins (from checkpoint) at ``restore_until``."""
+        self.epoch += 1
+        self.down_until = max(self.down_until, restore_until)
+
+    # -- iteration phases ---------------------------------------------------
+
+    def begin_iteration(self) -> None:
+        c = self.cluster
+        now = self.sim.now
+        # Respect trainer downtime and any cluster-wide stall (sync-mode
+        # recovery or a checkpoint write) before starting new work.
+        barrier = max(self.down_until, c.stall_until)
+        if now < barrier:
+            self.sim.schedule_at(barrier, self.begin_iteration)
+            return
+        self._iter_epoch = self.epoch
+        self._iter_generation = c.generation
+        # Acquire the next mini-batch from the reader tier first: trainers
+        # stall here when readers are under-provisioned (§IV-B.2).
+        self._iter_start = now
+        wait = 0.0
+        if c.reader is not None:
+            ready = c.reader.submit(now, float(c.cfg.batch_per_trainer))
+            wait = max(0.0, ready - now)
+        jittered = self.compute_time * float(self.rng.lognormal(0.0, 0.05))
+        self.busy_compute += jittered
+        self._compute_end = now + wait + jittered
+        self.sim.schedule(wait + jittered, self.issue_lookups)
+
+    def _request_delay(self) -> float | None:
+        """Pre-service delay from transient request drops: each dropped
+        attempt burns its deadline plus backoff-with-jitter before the
+        retry.  Returns ``None`` when every attempt drops (request failed)."""
+        c = self.cluster
+        if c.injector is None or c.cfg.fault_plan.drop_probability == 0.0:
+            return 0.0
+        delay = 0.0
+        failures = 0
+        retry = c.cfg.retry
+        while c.injector.drops_request():
+            failures += 1
+            c.ledger.requests_dropped += 1
+            if failures >= retry.max_attempts:
+                return None
+            c.ledger.retries += 1
+            delay += retry.deadline_s + retry.backoff_s(failures, self.rng)
+        return delay
+
+    def issue_lookups(self) -> None:
+        if self._abandoned():
+            return
+        c = self.cluster
+        now = self.sim.now
+        # Shard the lookup work across the *reachable* sparse PS; async
+        # clusters route around crashed shards, sync clusters always target
+        # all of them (the global stall holds trainers back instead).
+        if c.cfg.sync_mode == SyncMode.ASYNC:
+            live = c.live_sparse(now)
+            if not live:
+                # Every shard is down: wait for the earliest recovery.
+                resume = min(r.down_until for r in c.sparse_nic)
+                self.sim.schedule_at(max(resume, now), self.issue_lookups)
+                return
+        else:
+            live = list(range(c.cfg.num_sparse_ps))
+        shards = len(live)
+        per_ps_req = c.req_bytes / shards
+        per_ps_resp = c.pooled_bytes / shards
+        per_ps_mem = c.ps_mem_bytes / shards
         latest = now
-        for ps_nic, ps_mem in zip(c.sparse_nic, c.sparse_mem):
-            t1 = ps_nic.submit(now, per_ps_req + 2.0 * per_ps_resp, c.nic_latency)
-            t2 = ps_mem.submit(t1, per_ps_mem)
+        for i in live:
+            delay = self._request_delay()
+            if delay is None:
+                # Retries exhausted: the iteration fails outright; the
+                # trainer re-reads its batch and starts over.
+                c.ledger.failed_iterations += 1
+                self.sim.schedule(c.cfg.retry.deadline_s, self.begin_iteration)
+                return
+            arrival = now + delay
+            t1 = c.sparse_nic[i].submit(arrival, per_ps_req + 2.0 * per_ps_resp, c.nic_latency)
+            t2 = c.sparse_mem[i].submit(t1, per_ps_mem)
             latest = max(latest, t2)
         # Trainer-side NIC serializes its own traffic too.
-        t_self = self.cluster.trainer_nic[self.index].submit(
+        t_self = c.trainer_nic[self.index].submit(
             now, c.req_bytes + 2.0 * c.pooled_bytes, c.nic_latency
         )
         latest = max(latest, t_self)
@@ -164,8 +342,11 @@ class _Trainer:
         self.sim.schedule_at(latest, self.finish_iteration)
 
     def finish_iteration(self) -> None:
-        self.cluster.completed_examples += self.cluster.cfg.batch_per_trainer
-        self.cluster.completed_iterations += 1
+        if self._abandoned():
+            return
+        cluster = self.cluster
+        cluster.ledger.credit(cluster.cfg.batch_per_trainer)
+        cluster.completed_iterations += 1
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             now = self.sim.now
@@ -273,8 +454,52 @@ class _Cluster:
             else None
         )
         self._rng = rng
-        self.completed_examples = 0
         self.completed_iterations = 0
+
+        # -- resilience state ------------------------------------------------
+        self.ledger = GoodputLedger()
+        self.injector = (
+            FaultInjector(cfg.fault_plan)
+            if cfg.fault_plan is not None and not cfg.fault_plan.is_noop
+            else None
+        )
+        #: Cluster-wide barrier (sync-mode recovery, checkpoint writes):
+        #: trainers do not start new iterations before this time.
+        self.stall_until = 0.0
+        #: Rollback generation: bumped on every sync-mode rollback; in-flight
+        #: iterations from an older generation are void (their work was
+        #: rolled back with everything else).
+        self.generation = 0
+        #: Capacity-weighted component downtime (for availability).
+        self.weighted_downtime = 0.0
+        # Recovery pricing: restore a crashed server's checkpoint shard over
+        # NIC + memory; write checkpoints sharded across the sparse PS tier.
+        full_ckpt = model_checkpoint_bytes(model)
+        sparse_ckpt = 2 * model.embedding_bytes  # tables + Adagrad state
+        dense_ckpt = 2 * model.dense_parameter_bytes
+        self.sparse_restore_s = restore_time_s(
+            sparse_ckpt, cfg.platform, shards=cfg.num_sparse_ps
+        )
+        self.dense_restore_s = restore_time_s(
+            dense_ckpt, cfg.platform, shards=cfg.num_dense_ps
+        )
+        self.trainer_restore_s = restore_time_s(dense_ckpt, cfg.platform)
+        self.checkpoint_cost_s = checkpoint_write_time_s(
+            full_ckpt, cfg.platform, shards=cfg.num_sparse_ps
+        )
+
+    def live_sparse(self, now: float) -> list[int]:
+        """Indices of sparse PS currently up (async routing set)."""
+        return [
+            i for i, r in enumerate(self.sparse_nic) if not r.is_down(now)
+        ]
+
+    def extend_stall(self, now: float, until: float) -> None:
+        """Merge a full-cluster stall window into the running account."""
+        start = max(now, self.stall_until)
+        if until > start:
+            self.ledger.stall_time_s += until - start
+        self.stall_until = max(self.stall_until, until)
 
 
 def simulate_cpu_cluster(
@@ -289,10 +514,10 @@ def simulate_cpu_cluster(
 
     ``tracer`` (optional) receives one ``iteration`` span per completed
     trainer iteration on the simulated timeline, with ``compute`` and
-    ``ps_roundtrip`` child spans; ``registry`` (optional) receives
-    per-resource queue-depth/wait/busy histograms from every
-    :class:`~repro.distributed.simulator.Resource`.  Both default to off and
-    leave the simulation numerically untouched.
+    ``ps_roundtrip`` child spans, plus ``fault``-category spans for every
+    crash/recovery window; ``registry`` (optional) receives per-resource
+    queue-depth/wait/busy histograms and ``resilience.*`` counters.  Both
+    default to off and leave the simulation numerically untouched.
     """
     if horizon_s <= 0:
         raise ValueError("horizon_s must be positive")
@@ -302,12 +527,129 @@ def simulate_cpu_cluster(
         _Trainer(i, sim, cluster, cluster.compute_time, cluster._rng, tracer=tracer)
         for i in range(cfg.num_trainers)
     ]
+    ledger = cluster.ledger
+
+    def record_fault_span(name: str, t0: float, duration: float, **attrs) -> None:
+        if tracer is not None and tracer.enabled:
+            tracer.record(name, "fault", t0=t0, duration=duration, **attrs)
+
+    def handle_crash(kind: str, index: int) -> None:
+        now = sim.now
+        ledger.crashes += 1
+        if kind == ComponentKind.TRAINER:
+            restore = cluster.trainer_restore_s
+            trainers[index % cfg.num_trainers].crash(now + restore)
+            weight = 1.0 / cfg.num_trainers
+        elif kind == ComponentKind.SPARSE_PS:
+            restore = cluster.sparse_restore_s
+            i = index % cfg.num_sparse_ps
+            cluster.sparse_nic[i].fail(now, now + restore)
+            cluster.sparse_mem[i].fail(now, now + restore)
+            weight = 1.0 / cfg.num_sparse_ps
+        else:  # dense PS
+            restore = cluster.dense_restore_s
+            cluster.dense_nic[index % cfg.num_dense_ps].fail(now, now + restore)
+            weight = 1.0 / cfg.num_dense_ps
+        ledger.recovery_time_s += restore
+        visible = min(now + restore, horizon_s) - now
+        cluster.weighted_downtime += max(0.0, visible) * weight
+        record_fault_span(
+            f"{kind}{index}_down", now, max(0.0, visible), kind=kind, index=index
+        )
+        if cfg.sync_mode == SyncMode.SYNC:
+            # Synchronous training cannot proceed without every member:
+            # the whole cluster stalls through recovery and rolls back to
+            # the last checkpoint (in-flight work is void).
+            lost = ledger.rollback(1.0)
+            cluster.generation += 1
+            cluster.extend_stall(now, now + restore)
+            record_fault_span(
+                "sync_rollback", now, max(0.0, visible), lost_examples=lost
+            )
+        else:
+            # Async: surviving members keep going; only the failed shard's
+            # uncheckpointed work is lost (restored from its checkpoint).
+            ledger.rollback(weight)
+
+    def handle_degradation_start(w) -> None:
+        factor = w.slowdown
+        if w.kind == ComponentKind.TRAINER:
+            trainers[w.index % cfg.num_trainers].compute_time *= factor
+        elif w.kind == ComponentKind.SPARSE_PS:
+            cluster.sparse_nic[w.index % cfg.num_sparse_ps].rate /= factor
+            cluster.sparse_mem[w.index % cfg.num_sparse_ps].rate /= factor
+        else:
+            cluster.dense_nic[w.index % cfg.num_dense_ps].rate /= factor
+        record_fault_span(
+            f"{w.kind}{w.index}_degraded", w.start_s, w.duration_s, slowdown=factor
+        )
+
+    def handle_degradation_end(w) -> None:
+        factor = w.slowdown
+        if w.kind == ComponentKind.TRAINER:
+            trainers[w.index % cfg.num_trainers].compute_time /= factor
+        elif w.kind == ComponentKind.SPARSE_PS:
+            cluster.sparse_nic[w.index % cfg.num_sparse_ps].rate *= factor
+            cluster.sparse_mem[w.index % cfg.num_sparse_ps].rate *= factor
+        else:
+            cluster.dense_nic[w.index % cfg.num_dense_ps].rate *= factor
+
+    def take_checkpoint() -> None:
+        now = sim.now
+        cost = cluster.checkpoint_cost_s
+        # A consistent snapshot pauses new iterations for the write window
+        # (the Young/Daly overhead term); in-flight iterations drain.
+        cluster.extend_stall(now, now + cost)
+        ledger.mark_checkpoint(cost)
+        sim.schedule(cfg.checkpoint_interval_s, take_checkpoint)
+
+    if cluster.injector is not None:
+        counts = {
+            ComponentKind.TRAINER: cfg.num_trainers,
+            ComponentKind.SPARSE_PS: cfg.num_sparse_ps,
+            ComponentKind.DENSE_PS: cfg.num_dense_ps,
+        }
+        for event in cluster.injector.sample_crashes(counts, horizon_s):
+            sim.schedule_at(
+                event.time_s,
+                lambda e=event: handle_crash(e.kind, e.index),
+            )
+        for window in cfg.fault_plan.degradations:
+            if window.start_s < horizon_s:
+                sim.schedule_at(
+                    window.start_s, lambda w=window: handle_degradation_start(w)
+                )
+                if window.end_s < horizon_s:
+                    sim.schedule_at(
+                        window.end_s, lambda w=window: handle_degradation_end(w)
+                    )
+    if cfg.checkpoint_interval_s is not None:
+        sim.schedule(cfg.checkpoint_interval_s, take_checkpoint)
+
     for t in trainers:
         t.start()
     sim.run(horizon_s)
 
+    # Availability: 1 minus the fraction of aggregate capacity lost to
+    # full-cluster stalls plus (async only — sync stalls already cover the
+    # member outage) capacity-weighted component downtime.
+    stall = min(ledger.stall_time_s, horizon_s)
+    unavailable = stall
+    if cfg.sync_mode == SyncMode.ASYNC:
+        unavailable += cluster.weighted_downtime
+    availability = float(np.clip(1.0 - unavailable / horizon_s, 0.0, 1.0))
+
+    if registry is not None:
+        registry.counter("resilience.crashes").inc(ledger.crashes)
+        registry.counter("resilience.retries").inc(ledger.retries)
+        registry.counter("resilience.requests_dropped").inc(ledger.requests_dropped)
+        registry.counter("resilience.lost_examples").inc(ledger.lost_examples)
+        registry.counter("resilience.checkpoints").inc(ledger.checkpoints_taken)
+        registry.gauge("resilience.goodput").set(ledger.goodput(horizon_s))
+        registry.gauge("resilience.availability").set(availability)
+
     return ClusterResult(
-        throughput=cluster.completed_examples / horizon_s,
+        throughput=ledger.completed_examples / horizon_s,
         sim_time=horizon_s,
         iterations_completed=cluster.completed_iterations,
         trainer_cpu_utilization=[
@@ -325,4 +667,17 @@ def simulate_cpu_cluster(
         dense_ps_nic_utilization=[
             r.utilization(horizon_s) for r in cluster.dense_nic
         ],
+        goodput=ledger.goodput(horizon_s),
+        availability=availability,
+        useful_examples=ledger.useful_examples,
+        lost_examples=ledger.lost_examples,
+        crashes=ledger.crashes,
+        retries=ledger.retries,
+        requests_dropped=ledger.requests_dropped,
+        failed_iterations=ledger.failed_iterations,
+        recovery_time=ledger.recovery_time_s,
+        stall_time=ledger.stall_time_s,
+        checkpoint_time=ledger.checkpoint_time_s,
+        checkpoints_taken=ledger.checkpoints_taken,
+        fault_events=list(cluster.injector.injected) if cluster.injector else [],
     )

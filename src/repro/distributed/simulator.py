@@ -49,6 +49,11 @@ class Resource:
         self._free_at = 0.0
         self.busy_time = 0.0
         self.jobs_served = 0
+        # Outage state (see fail()): while down, arriving jobs queue behind
+        # the recovery point instead of being served.
+        self._down_until = 0.0
+        self.down_time = 0.0
+        self.outages = 0
         # Optional telemetry: queue-depth-at-arrival and per-job wait/service
         # histograms, labeled by resource name (see repro.obs.registry).
         self._pending: deque[float] | None = None
@@ -87,11 +92,46 @@ class Resource:
             self._pending.append(self._free_at)
         return self._free_at + extra_latency
 
+    def fail(self, now: float, until: float) -> None:
+        """Take the server offline for ``[now, until)`` (crash + restore).
+
+        Work already queued and work arriving during the outage resumes
+        *after* recovery — the FIFO queue survives (requests are retried /
+        replayed against the restored server), it just stops draining.
+        Overlapping outages merge; ``down_time`` counts the union.
+        """
+        if until < now:
+            raise ValueError(f"outage must end after it starts ({until} < {now})")
+        if now < 0:
+            raise ValueError("now must be >= 0")
+        self.outages += 1
+        # Only the extension beyond any outage already in force counts.
+        extension_start = max(now, self._down_until)
+        if until > extension_start:
+            self.down_time += until - extension_start
+        self._down_until = max(self._down_until, until)
+        self._free_at = max(self._free_at, self._down_until)
+
+    def is_down(self, now: float) -> bool:
+        """True while the server is crashed/restoring at time ``now``."""
+        return now < self._down_until
+
+    @property
+    def down_until(self) -> float:
+        """Recovery time of the outage in force (<= now when healthy)."""
+        return self._down_until
+
     def utilization(self, horizon: float) -> float:
         """Fraction of ``[0, horizon]`` this resource spent serving."""
         if horizon <= 0:
             raise ValueError("horizon must be positive")
         return min(1.0, self.busy_time / horizon)
+
+    def availability(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` this resource was not in an outage."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return max(0.0, 1.0 - min(self.down_time, horizon) / horizon)
 
 
 class Simulator:

@@ -33,12 +33,29 @@ from ..core.optim import Adagrad
 from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "ClusterStalledError",
     "EASGDConfig",
     "EASGDTrainer",
     "DelayedGradientTrainer",
     "SyncSGDTrainer",
     "ShadowSyncTrainer",
 ]
+
+
+class ClusterStalledError(RuntimeError):
+    """A fully-synchronous step cannot proceed: a worker is down.
+
+    This is the functional face of the paper's resilience argument
+    (§III-A.6): synchronous training blocks on every member, so a single
+    failed worker stalls the whole cluster until it is restored, while the
+    asynchronous trainers below keep making progress on survivors.
+    """
+
+    def __init__(self, dropped: list[int]) -> None:
+        super().__init__(
+            f"synchronous step requires all workers; worker(s) {dropped} are down"
+        )
+        self.dropped = dropped
 
 
 @dataclass(frozen=True)
@@ -113,6 +130,46 @@ class EASGDTrainer:
         self.loss = BCEWithLogitsLoss()
         self.steps = 0
         self.examples_seen = 0
+        self._lr = lr
+        #: Worker liveness: dropped workers take no steps and are skipped by
+        #: the elastic sync until they rejoin (host failure + restore).
+        self.active = [True] * easgd.num_workers
+        self.drops = 0
+        self.rejoins = 0
+
+    # -- membership (worker dropout / rejoin, paper §III-A.6) ----------------
+
+    def active_workers(self) -> list[int]:
+        """Indices of workers currently participating."""
+        return [i for i, up in enumerate(self.active) if up]
+
+    def drop_worker(self, index: int) -> None:
+        """A worker host fails: it stops contributing steps and elastic
+        syncs.  Training continues on the survivors — the async-resilience
+        property the paper's production design relies on."""
+        if not 0 <= index < self.easgd.num_workers:
+            raise ValueError(f"no worker {index}")
+        if not self.active[index]:
+            raise ValueError(f"worker {index} is already down")
+        if sum(self.active) == 1:
+            raise ValueError("cannot drop the last active worker")
+        self.active[index] = False
+        self.drops += 1
+
+    def rejoin_worker(self, index: int) -> None:
+        """The failed worker comes back: it restores its dense replica from
+        the center copy (the EASGD 'checkpoint' every worker is elastically
+        tied to) with fresh optimizer state, exactly as a restarted host
+        re-registers with the dense parameter server."""
+        if not 0 <= index < self.easgd.num_workers:
+            raise ValueError(f"no worker {index}")
+        if self.active[index]:
+            raise ValueError(f"worker {index} is not down")
+        worker = self.workers[index]
+        worker.set_dense_state(self.center_state)
+        self.optimizers[index] = Adagrad(worker.dense_parameters(), [], lr=self._lr)
+        self.active[index] = True
+        self.rejoins += 1
 
     def _elastic_sync(self, worker_idx: int) -> None:
         alpha = self.easgd.alpha
@@ -123,28 +180,29 @@ class EASGDTrainer:
             center += alpha * diff
 
     def round(self, batches: list[Batch]) -> float:
-        """One round: each worker takes one local step on its own batch.
+        """One round: each *active* worker takes one local step on its own
+        batch (one batch per active worker, in index order).
 
         Returns the mean worker loss.  Elastic syncs fire per-worker on
-        their own step counters.
+        their own step counters; dropped workers neither step nor sync.
         """
-        if len(batches) != self.easgd.num_workers:
+        live = self.active_workers()
+        if len(batches) != len(live):
             raise ValueError(
-                f"need {self.easgd.num_workers} batches, got {len(batches)}"
+                f"need {len(live)} batches (one per active worker), got {len(batches)}"
             )
         synced = (self.steps + 1) % self.easgd.tau == 0
         with self.tracer.span(
             "easgd_round",
             "iteration",
             step=self.steps,
-            workers=self.easgd.num_workers,
+            workers=len(live),
             tau=self.easgd.tau,
             synced=synced,
         ):
             losses = []
-            for i, (worker, opt, batch) in enumerate(
-                zip(self.workers, self.optimizers, batches)
-            ):
+            for i, batch in zip(live, batches):
+                worker, opt = self.workers[i], self.optimizers[i]
                 with self.tracer.span("worker_step", "compute", worker=i, tid=i + 1):
                     opt.zero_grad()
                     logits = worker.forward(batch)
@@ -160,7 +218,7 @@ class EASGDTrainer:
                 with self.tracer.span(
                     "elastic_sync", "comm", alpha=self.easgd.alpha
                 ):
-                    for i in range(self.easgd.num_workers):
+                    for i in live:
                         self._elastic_sync(i)
         return float(np.mean(losses))
 
@@ -170,7 +228,7 @@ class EASGDTrainer:
             raise ValueError("max_examples must be >= 1")
         history = []
         while self.examples_seen < max_examples:
-            batches = [next(batch_stream) for _ in range(self.easgd.num_workers)]
+            batches = [next(batch_stream) for _ in self.active_workers()]
             history.append(self.round(batches))
         return history
 
@@ -275,8 +333,40 @@ class SyncSGDTrainer:
         self.num_workers = num_workers
         self.loss = BCEWithLogitsLoss()
         self.examples_seen = 0
+        #: Worker liveness.  Unlike EASGD, a synchronous step *requires*
+        #: every member: stepping with any worker down raises
+        #: :class:`ClusterStalledError` — the stall the paper's async design
+        #: avoids.
+        self.active = [True] * num_workers
+        self.stalled_steps = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def drop_worker(self, index: int) -> None:
+        """A worker host fails.  The all-reduce now blocks: every
+        subsequent :meth:`step` raises until :meth:`restore_worker`."""
+        if not 0 <= index < self.num_workers:
+            raise ValueError(f"no worker {index}")
+        if not self.active[index]:
+            raise ValueError(f"worker {index} is already down")
+        self.active[index] = False
+
+    def restore_worker(self, index: int) -> None:
+        """The worker is restored (from checkpoint) and the barrier clears."""
+        if not 0 <= index < self.num_workers:
+            raise ValueError(f"no worker {index}")
+        if self.active[index]:
+            raise ValueError(f"worker {index} is not down")
+        self.active[index] = True
+
+    def dropped_workers(self) -> list[int]:
+        return [i for i, up in enumerate(self.active) if not up]
 
     def step(self, batches: list[Batch]) -> float:
+        dropped = self.dropped_workers()
+        if dropped:
+            self.stalled_steps += 1
+            raise ClusterStalledError(dropped)
         if len(batches) != self.num_workers:
             raise ValueError(f"need {self.num_workers} batches, got {len(batches)}")
         with self.tracer.span(

@@ -7,6 +7,7 @@ examples reuse them, so the figure logic lives in exactly one place.
 """
 
 from . import (
+    ext_fault_tolerance,
     ext_hash_accuracy,
     report,
     fig01_production,
@@ -41,5 +42,6 @@ __all__ = [
     "table2_models",
     "table3_comparison",
     "report",
+    "ext_fault_tolerance",
     "ext_hash_accuracy",
 ]

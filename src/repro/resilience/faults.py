@@ -1,0 +1,203 @@
+"""Fault model: what breaks, when, and for how long.
+
+The paper's asynchronous production design (§III-A.6, §IV-B) exists
+because at hundreds of trainers and parameter servers, host failures and
+"the tail at scale" are routine.  This module describes those failures as
+*data*:
+
+* :class:`FaultPlan` — declarative plan: exponential MTBF per component
+  class, explicitly scheduled crashes (for reproducible scenarios and
+  tests), a transient request-drop probability, and degradation windows
+  (a component running N-times slower for a while — the soft-failure
+  mode behind stragglers).
+* :class:`FaultInjector` — samples the plan into a concrete, seeded list
+  of :class:`FaultEvent` s over a horizon and answers per-request
+  questions ("does this request drop?") deterministically.
+
+The injector never touches the simulator directly; the cluster model
+(:mod:`repro.distributed.cluster`) consumes the sampled events and owns
+the recovery semantics (sync stalls, async re-sharding, restore delays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ComponentKind",
+    "DegradationWindow",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+
+class ComponentKind:
+    """String constants naming the failable component classes."""
+
+    TRAINER = "trainer"
+    SPARSE_PS = "sparse_ps"
+    DENSE_PS = "dense_ps"
+
+    ALL = (TRAINER, SPARSE_PS, DENSE_PS)
+
+
+@dataclass(frozen=True)
+class DegradationWindow:
+    """A soft failure: ``component[index]`` runs ``slowdown``x slower
+    during ``[start_s, start_s + duration_s)``."""
+
+    kind: str
+    index: int
+    start_s: float
+    duration_s: float
+    slowdown: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ComponentKind.ALL:
+            raise ValueError(f"unknown component kind {self.kind!r}")
+        if self.index < 0:
+            raise ValueError("index must be >= 0")
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("window must have start >= 0 and duration > 0")
+        if self.slowdown < 1:
+            raise ValueError("slowdown must be >= 1")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One sampled hard failure of ``kind[index]`` at ``time_s``."""
+
+    kind: str
+    index: int
+    time_s: float
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative failure plan for one simulated training window.
+
+    ``*_mtbf_s`` of ``None`` disables random crashes for that class;
+    otherwise each component of the class draws crash times from an
+    exponential inter-arrival distribution with that mean — the standard
+    memoryless host-failure model (and the one Young/Daly checkpoint
+    analysis assumes).
+
+    ``scheduled_crashes`` adds deterministic crashes on top (the tool for
+    scenario scripts and tests: "kill sparse PS 2 at t=0.5").
+
+    ``drop_probability`` is the per-request chance a trainer->PS request
+    is lost in flight (transient network fault); dropped requests burn a
+    deadline and are retried per the cluster's
+    :class:`~repro.resilience.retry.RetryPolicy`.
+    """
+
+    trainer_mtbf_s: float | None = None
+    sparse_ps_mtbf_s: float | None = None
+    dense_ps_mtbf_s: float | None = None
+    scheduled_crashes: tuple[FaultEvent, ...] = ()
+    drop_probability: float = 0.0
+    degradations: tuple[DegradationWindow, ...] = ()
+    #: Safety valve: at most this many *sampled* crashes per component
+    #: class (scheduled crashes are never capped).
+    max_random_crashes: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("trainer_mtbf_s", "sparse_ps_mtbf_s", "dense_ps_mtbf_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set")
+        if not 0 <= self.drop_probability < 1:
+            raise ValueError(
+                f"drop_probability must be in [0, 1), got {self.drop_probability}"
+            )
+        if self.max_random_crashes < 0:
+            raise ValueError("max_random_crashes must be >= 0")
+
+    def mtbf_for(self, kind: str) -> float | None:
+        return {
+            ComponentKind.TRAINER: self.trainer_mtbf_s,
+            ComponentKind.SPARSE_PS: self.sparse_ps_mtbf_s,
+            ComponentKind.DENSE_PS: self.dense_ps_mtbf_s,
+        }[kind]
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan can never perturb a run."""
+        return (
+            self.trainer_mtbf_s is None
+            and self.sparse_ps_mtbf_s is None
+            and self.dense_ps_mtbf_s is None
+            and not self.scheduled_crashes
+            and self.drop_probability == 0.0
+            and not self.degradations
+        )
+
+
+class FaultInjector:
+    """Samples a :class:`FaultPlan` into concrete events, deterministically.
+
+    One injector is built per simulated run; its RNG stream is seeded from
+    ``plan.seed`` alone, so identical plans produce identical fault
+    timelines regardless of what else the simulation draws.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._crash_rng = np.random.default_rng(plan.seed + 0x5AFE)
+        self._drop_rng = np.random.default_rng(plan.seed + 0xD509)
+        self.injected: list[FaultEvent] = []
+
+    def sample_crashes(
+        self, counts: dict[str, int], horizon_s: float
+    ) -> list[FaultEvent]:
+        """All hard failures over ``[0, horizon_s)``: scheduled + sampled.
+
+        ``counts`` maps component kind -> population size.  Returned
+        events are sorted by time; the list is also retained on
+        ``self.injected`` for reporting.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        events: list[FaultEvent] = [
+            e for e in self.plan.scheduled_crashes if e.time_s < horizon_s
+        ]
+        for kind in ComponentKind.ALL:
+            mtbf = self.plan.mtbf_for(kind)
+            if mtbf is None:
+                continue
+            for index in range(counts.get(kind, 0)):
+                t = 0.0
+                drawn = 0
+                while drawn < self.plan.max_random_crashes:
+                    t += float(self._crash_rng.exponential(mtbf))
+                    if t >= horizon_s:
+                        break
+                    events.append(FaultEvent(kind=kind, index=index, time_s=t))
+                    drawn += 1
+        events.sort(key=lambda e: (e.time_s, e.kind, e.index))
+        self.injected = events
+        return events
+
+    def drops_request(self) -> bool:
+        """Per-request transient-loss draw (independent Bernoulli)."""
+        p = self.plan.drop_probability
+        if p == 0.0:
+            return False
+        return bool(self._drop_rng.uniform() < p)
+
+    def slowdown_at(self, kind: str, index: int, now: float) -> float:
+        """Multiplicative service-time factor from any active degradation
+        window covering ``(kind, index)`` at time ``now`` (1.0 = healthy)."""
+        factor = 1.0
+        for w in self.plan.degradations:
+            if w.kind == kind and w.index == index and w.start_s <= now < w.end_s:
+                factor = max(factor, w.slowdown)
+        return factor

@@ -1,0 +1,145 @@
+"""Functional kill-and-restore harness for the single-node trainer.
+
+The event-level simulator prices failures in *time*; this harness measures
+them in *model state*: it actually kills a numpy training run, restores it
+from its last :mod:`repro.core.checkpoint`, replays the lost window, and
+hands back the final parameters so tests can assert the paper-relevant
+guarantee — **a restored run is bit-identical to an uninterrupted one**
+(same seed, same data order).  The accuracy cost of a failure is therefore
+exactly the wall-clock cost of recomputing the lost window, never silent
+model divergence.
+
+Determinism contract: ``stream_factory()`` must return a fresh iterator
+producing the same batch sequence every call (seeded generator), and all
+model randomness must come from ``seed``.  The harness replays the stream
+from the start on restore and skips the first ``checkpoint_at_step``
+batches — the position cursor a production reader checkpoint would hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..core.model import Batch, DLRM
+from ..core.optim import Adagrad
+from ..core.training import Trainer
+
+__all__ = ["KillRestoreReport", "kill_and_restore_run", "uninterrupted_run"]
+
+
+@dataclass(frozen=True)
+class KillRestoreReport:
+    """Outcome of one kill-and-restore training run."""
+
+    total_steps: int
+    checkpoint_at_step: int
+    kill_at_step: int
+    #: steps whose work was thrown away by the crash (kill - checkpoint).
+    lost_steps: int
+    #: steps executed in total, including the replayed window.
+    executed_steps: int
+    final_loss: float
+    loss_history: tuple[float, ...]
+    checkpoint_bytes: int
+
+    @property
+    def recompute_overhead(self) -> float:
+        """Fraction of extra work paid to recover (lost / total)."""
+        return self.lost_steps / self.total_steps
+
+
+def _make_trainer(config: ModelConfig, lr: float, seed: int) -> Trainer:
+    model = DLRM(config, rng=seed)
+    return Trainer(
+        model,
+        lambda m: Adagrad(m.dense_parameters(), m.embedding_tables(), lr=lr),
+    )
+
+
+def _skip(stream: Iterator[Batch], n: int) -> Iterator[Batch]:
+    for _ in range(n):
+        next(stream)
+    return stream
+
+
+def uninterrupted_run(
+    config: ModelConfig,
+    stream_factory: Callable[[], Iterator[Batch]],
+    total_steps: int,
+    lr: float = 0.05,
+    seed: int = 0,
+) -> tuple[DLRM, list[float]]:
+    """The failure-free reference: train ``total_steps`` straight through."""
+    trainer = _make_trainer(config, lr, seed)
+    result = trainer.train(stream_factory(), max_steps=total_steps)
+    return trainer.model, result.loss_history
+
+
+def kill_and_restore_run(
+    config: ModelConfig,
+    stream_factory: Callable[[], Iterator[Batch]],
+    total_steps: int,
+    kill_at_step: int,
+    checkpoint_path,
+    checkpoint_at_step: int | None = None,
+    lr: float = 0.05,
+    seed: int = 0,
+) -> tuple[DLRM, KillRestoreReport]:
+    """Train, checkpoint, crash at step ``kill_at_step``, restore, finish.
+
+    ``checkpoint_at_step`` (default: the kill step) is where the last
+    checkpoint landed; any steps between it and the kill are lost work that
+    the resumed run replays from the stream.  Returns the post-recovery
+    model plus a report; the model's final state is bit-identical to
+    :func:`uninterrupted_run` with the same arguments.
+    """
+    if total_steps < 1:
+        raise ValueError("total_steps must be >= 1")
+    if not 1 <= kill_at_step < total_steps:
+        raise ValueError(
+            f"kill_at_step must be in [1, total_steps), got {kill_at_step}"
+        )
+    if checkpoint_at_step is None:
+        checkpoint_at_step = kill_at_step
+    if not 1 <= checkpoint_at_step <= kill_at_step:
+        raise ValueError(
+            "checkpoint_at_step must be in [1, kill_at_step], got "
+            f"{checkpoint_at_step}"
+        )
+
+    # Phase 1: the doomed incarnation.  Train to the checkpoint, persist,
+    # keep going until the crash; everything after the checkpoint is lost.
+    victim = _make_trainer(config, lr, seed)
+    stream = stream_factory()
+    history_kept: list[float] = []
+    result = victim.train(stream, max_steps=checkpoint_at_step)
+    history_kept.extend(result.loss_history)
+    ckpt_bytes = victim.save_checkpoint(checkpoint_path)
+    if kill_at_step > checkpoint_at_step:
+        victim.train(stream, max_steps=kill_at_step - checkpoint_at_step)
+    del victim  # the host is gone
+
+    # Phase 2: a fresh process restores the checkpoint and resumes.  The
+    # replacement model's init RNG is irrelevant — restore overwrites every
+    # parameter and the optimizer accumulators.
+    survivor = _make_trainer(config, lr, seed + 991)
+    survivor.load_checkpoint(checkpoint_path, step_index=checkpoint_at_step)
+    resumed = _skip(stream_factory(), checkpoint_at_step)
+    result2 = survivor.train(resumed, max_steps=total_steps - checkpoint_at_step)
+    history_kept.extend(result2.loss_history)
+
+    report = KillRestoreReport(
+        total_steps=total_steps,
+        checkpoint_at_step=checkpoint_at_step,
+        kill_at_step=kill_at_step,
+        lost_steps=kill_at_step - checkpoint_at_step,
+        executed_steps=kill_at_step + (total_steps - checkpoint_at_step),
+        final_loss=float(history_kept[-1]),
+        loss_history=tuple(float(x) for x in history_kept),
+        checkpoint_bytes=int(ckpt_bytes),
+    )
+    return survivor.model, report

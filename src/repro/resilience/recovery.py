@@ -1,0 +1,189 @@
+"""Checkpoint/restore cost model and goodput accounting.
+
+Recovery in scale-out DLRM training is dominated by moving checkpoint
+bytes: the embedding tables are GBs-to-TBs (paper §IV-B.1), so a crashed
+parameter server is down for roughly::
+
+    restart_overhead + bytes / NIC_bandwidth + bytes / memory_bandwidth
+
+(pull the checkpoint over the network, then materialize it in DRAM).
+This module derives those costs from the same
+:class:`~repro.hardware.specs.PlatformSpec` numbers the rest of the
+performance model uses, provides the classic Young/Daly optimal
+checkpoint interval, and defines **goodput** — the metric the
+fault-tolerance experiment sweeps:
+
+    goodput = (useful examples) / wall-clock
+            = (completed - lost-to-rollback) / horizon
+
+where work done since the last checkpoint is lost when a failure forces a
+rollback.  Frequent checkpoints shrink the loss term but add overhead;
+the optimum is the Young/Daly point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from ..core.config import ModelConfig
+from ..hardware.specs import PlatformSpec
+
+__all__ = [
+    "model_checkpoint_bytes",
+    "checkpoint_write_time_s",
+    "restore_time_s",
+    "young_daly_interval_s",
+    "expected_goodput_fraction",
+    "GoodputLedger",
+]
+
+#: Process restart + scheduling + reconnect cost before any bytes move.
+#: Engineering estimate (documented in docs/resilience.md); small next to
+#: checkpoint I/O for production-size tables.
+RESTART_OVERHEAD_S = 0.05
+
+#: Optimizer state multiplier: Adagrad keeps one accumulator per weight,
+#: so checkpoints that include optimizer state double the payload.
+ADAGRAD_STATE_FACTOR = 2.0
+
+
+def model_checkpoint_bytes(
+    model: ModelConfig, include_optimizer: bool = True
+) -> int:
+    """Checkpoint payload for a model *config* (no live model needed).
+
+    Mirrors :func:`repro.core.checkpoint.checkpoint_bytes` — dense
+    parameters + embedding tables, times the Adagrad accumulator factor
+    when optimizer state is included — but computed from the config so the
+    event-level simulator can price recovery without instantiating
+    production-size tables.
+    """
+    payload = model.dense_parameter_bytes + model.embedding_bytes
+    if include_optimizer:
+        payload = int(payload * ADAGRAD_STATE_FACTOR)
+    return payload
+
+
+def checkpoint_write_time_s(
+    checkpoint_bytes: float, platform: PlatformSpec, shards: int = 1
+) -> float:
+    """Time to write one checkpoint, sharded over ``shards`` writers.
+
+    Each writer streams its shard out over its NIC (remote checkpoint
+    store — the production pattern); memory reads overlap the send, so
+    the NIC is the bottleneck.
+    """
+    if checkpoint_bytes < 0:
+        raise ValueError("checkpoint_bytes must be >= 0")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    per_shard = checkpoint_bytes / shards
+    return per_shard / platform.nic.bandwidth + platform.nic.latency_s
+
+
+def restore_time_s(
+    checkpoint_bytes: float, platform: PlatformSpec, shards: int = 1
+) -> float:
+    """Downtime of a crashed server restoring its checkpoint shard.
+
+    Restart overhead + pull the shard over the NIC + materialize it
+    through the memory system (writes do not overlap the fetch on the
+    restoring host: it is cold).
+    """
+    if checkpoint_bytes < 0:
+        raise ValueError("checkpoint_bytes must be >= 0")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    per_shard = checkpoint_bytes / shards
+    nic_s = per_shard / platform.nic.bandwidth + platform.nic.latency_s
+    mem_s = per_shard / platform.system_mem_effective_bandwidth
+    return RESTART_OVERHEAD_S + nic_s + mem_s
+
+
+def young_daly_interval_s(mtbf_s: float, checkpoint_cost_s: float) -> float:
+    """Young's first-order optimal checkpoint interval
+    ``sqrt(2 * delta * MTBF)`` (Daly's refinement matters only when the
+    interval approaches the MTBF, which healthy plans avoid)."""
+    if mtbf_s <= 0:
+        raise ValueError("mtbf_s must be positive")
+    if checkpoint_cost_s <= 0:
+        raise ValueError("checkpoint_cost_s must be positive")
+    return math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+
+
+def expected_goodput_fraction(
+    interval_s: float, checkpoint_cost_s: float, mtbf_s: float, restore_s: float = 0.0
+) -> float:
+    """First-order expected goodput fraction of a checkpointed run.
+
+    Three loss terms relative to failure-free throughput: checkpoint
+    overhead ``delta / (tau + delta)``, expected rollback ``tau / 2`` per
+    failure, and restore downtime per failure — the analytical curve the
+    event simulation's measured goodput is compared against.
+    """
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    if checkpoint_cost_s < 0 or restore_s < 0:
+        raise ValueError("costs must be >= 0")
+    if mtbf_s <= 0:
+        raise ValueError("mtbf_s must be positive")
+    overhead = interval_s / (interval_s + checkpoint_cost_s)
+    loss_per_failure = interval_s / 2.0 + restore_s
+    availability = max(0.0, 1.0 - loss_per_failure / mtbf_s)
+    return overhead * availability
+
+
+@dataclass
+class GoodputLedger:
+    """Running account of useful vs. lost work in one simulated window.
+
+    The cluster simulation credits completed examples as they finish
+    (``completed_examples`` is gross and monotone), marks checkpoints
+    (moving the rollback watermark), and debits rollbacks on failure.
+    ``useful = completed - lost``; ``goodput(horizon)`` is the headline
+    number.
+    """
+
+    completed_examples: int = 0
+    checkpointed_examples: int = 0
+    lost_examples: int = 0
+    checkpoints_taken: int = 0
+    checkpoint_time_s: float = 0.0
+    recovery_time_s: float = 0.0
+    stall_time_s: float = 0.0
+    crashes: int = 0
+    retries: int = 0
+    requests_dropped: int = 0
+    failed_iterations: int = 0
+
+    def credit(self, examples: int) -> None:
+        if examples < 0:
+            raise ValueError("examples must be >= 0")
+        self.completed_examples += examples
+
+    def mark_checkpoint(self, cost_s: float) -> None:
+        """Advance the rollback watermark to the current useful total."""
+        self.checkpointed_examples = self.useful_examples
+        self.checkpoints_taken += 1
+        self.checkpoint_time_s += cost_s
+
+    def rollback(self, fraction: float = 1.0) -> int:
+        """Lose ``fraction`` of the work since the last checkpoint;
+        returns the examples lost.  Async crashes lose only the failed
+        shard's share (fraction = 1/num_shards); sync crashes lose all."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        at_risk = self.useful_examples - self.checkpointed_examples
+        lost = int(round(at_risk * fraction))
+        self.lost_examples += lost
+        return lost
+
+    @property
+    def useful_examples(self) -> int:
+        return self.completed_examples - self.lost_examples
+
+    def goodput(self, horizon_s: float) -> float:
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        return self.useful_examples / horizon_s

@@ -1,0 +1,106 @@
+"""Retry policy: capped exponential backoff with decorrelated jitter.
+
+One policy object serves every layer that retries:
+
+* the event-level cluster simulation (trainer requests against parameter
+  servers that drop packets or are down),
+* the :class:`~repro.runtime.runner.SweepRunner` (worker-process crashes),
+* any future RPC-ish surface.
+
+The policy itself is a frozen value object — it never sleeps and holds no
+randomness.  Delay sequences are *derived* from a caller-supplied
+``numpy`` generator (simulated time) or consumed by a caller that sleeps
+(wall-clock time), so the same policy is exact in the simulator and
+practical in the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY", "RetriesExhausted"]
+
+
+class RetriesExhausted(RuntimeError):
+    """Raised when an operation fails on every permitted attempt."""
+
+    def __init__(self, what: str, attempts: int, last_error: str = "") -> None:
+        msg = f"{what}: failed after {attempts} attempt(s)"
+        if last_error:
+            msg += f" (last error: {last_error})"
+        super().__init__(msg)
+        self.what = what
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff + jitter, plus a per-request deadline.
+
+    Attributes:
+        max_attempts: total tries including the first (>= 1).
+        base_delay_s: backoff before the first retry.
+        multiplier: exponential growth factor between retries.
+        max_delay_s: cap on any single backoff delay.
+        jitter: fraction of the delay randomized away, in ``[0, 1]``.
+            ``0.5`` means the drawn delay is uniform in
+            ``[0.5 * d, d]`` — "equal jitter", which decorrelates
+            retry storms without ever halving below ``d/2``.
+        deadline_s: how long a single attempt may be outstanding before
+            it is declared failed (request timeout).  The simulator
+            charges this much waiting per failed attempt.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.005
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+    deadline_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+
+    def backoff_s(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based: the delay
+        between the first failure and the second try is ``attempt=1``)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(
+            self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1)
+        )
+        if self.jitter and rng is not None:
+            lo = delay * (1.0 - self.jitter)
+            delay = float(rng.uniform(lo, delay))
+        return delay
+
+    def total_penalty_s(self, failures: int, rng: np.random.Generator | None = None) -> float:
+        """Simulated-time cost of ``failures`` consecutive failed attempts:
+        each burns its deadline plus the backoff before the next try."""
+        if failures < 0:
+            raise ValueError("failures must be >= 0")
+        total = 0.0
+        for attempt in range(1, failures + 1):
+            total += self.deadline_s + self.backoff_s(attempt, rng)
+        return total
+
+    def retries(self) -> int:
+        """Number of *re*-tries permitted after the first attempt."""
+        return self.max_attempts - 1
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()

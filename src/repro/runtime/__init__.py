@@ -3,7 +3,9 @@
 Public surface:
 
 * :class:`SweepRunner` — executes independent grid points across a process
-  pool with cache lookups and obs-integrated telemetry;
+  pool with cache lookups, obs-integrated telemetry, and bounded retries
+  for worker-process crashes (``on_error="partial"`` returns
+  :class:`PointFailure` slots instead of raising :class:`SweepPointError`);
 * :class:`ResultCache` — content-addressed on-disk JSON result store
   (config-hash -> value) with code-change invalidation;
 * :func:`derive_seed` — deterministic per-point seed derivation;
@@ -14,11 +16,19 @@ determinism contract (parallel == serial, bit for bit).
 """
 
 from .cache import MISS, ResultCache, canonical, canonical_json, code_token, fingerprint
-from .runner import SweepRunner, default_workers, derive_seed
+from .runner import (
+    PointFailure,
+    SweepPointError,
+    SweepRunner,
+    default_workers,
+    derive_seed,
+)
 
 __all__ = [
     "MISS",
+    "PointFailure",
     "ResultCache",
+    "SweepPointError",
     "SweepRunner",
     "canonical",
     "canonical_json",

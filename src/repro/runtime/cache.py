@@ -161,20 +161,46 @@ class ResultCache:
     # -- storage ------------------------------------------------------------
 
     def load(self, namespace: str, key: str) -> Any:
-        """Return the cached value for ``key`` or the :data:`MISS` sentinel."""
+        """Return the cached value for ``key`` or the :data:`MISS` sentinel.
+
+        Structurally-invalid entries — unparseable JSON, or JSON that is
+        not a dict carrying a ``"value"`` key (torn write, foreign file,
+        old format) — are treated as corrupt: the file is evicted, a
+        ``runtime.cache.corrupt`` counter ticks, and the lookup counts as
+        a miss so the point is simply recomputed.
+        """
         if not self.enabled:
             return MISS
         path = self._path(namespace, key)
         try:
             with open(path, encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
-            self.metrics.counter("runtime.cache.misses").inc()
-            self.metrics.counter("runtime.cache.misses").labels(namespace=namespace).inc()
+        except FileNotFoundError:
+            self._count_miss(namespace)
+            return MISS
+        except json.JSONDecodeError:
+            self._evict_corrupt(path, namespace)
+            return MISS
+        if not isinstance(entry, dict) or "value" not in entry:
+            self._evict_corrupt(path, namespace)
             return MISS
         self.metrics.counter("runtime.cache.hits").inc()
         self.metrics.counter("runtime.cache.hits").labels(namespace=namespace).inc()
         return entry["value"]
+
+    def _count_miss(self, namespace: str) -> None:
+        self.metrics.counter("runtime.cache.misses").inc()
+        self.metrics.counter("runtime.cache.misses").labels(namespace=namespace).inc()
+
+    def _evict_corrupt(self, path: pathlib.Path, namespace: str) -> None:
+        """Remove a structurally-invalid entry and account for it."""
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing eviction is benign
+            pass
+        self.metrics.counter("runtime.cache.corrupt").inc()
+        self.metrics.counter("runtime.cache.corrupt").labels(namespace=namespace).inc()
+        self._count_miss(namespace)
 
     def store(self, namespace: str, key: str, value: Any, params: dict | None = None) -> None:
         """Atomically persist ``value`` (must be JSON-serializable)."""
@@ -220,7 +246,7 @@ class ResultCache:
     def stats(self) -> dict[str, float]:
         """Current hit/miss/store counts."""
         out = {}
-        for name in ("hits", "misses", "stores"):
+        for name in ("hits", "misses", "stores", "corrupt"):
             metric = f"runtime.cache.{name}"
             out[name] = (
                 self.metrics.get(metric).value if metric in self.metrics else 0.0

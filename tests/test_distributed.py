@@ -405,3 +405,175 @@ class TestReaderTier:
             ClusterConfig(1, 1, 1, num_readers=0)
         with pytest.raises(ValueError):
             ClusterConfig(1, 1, 1, reader_examples_per_s=0)
+
+
+class TestDegradationWindows:
+    """Soft failures via FaultPlan.degradations: a component running N-times
+    slower for a window (the resilience-layer route to stragglers)."""
+
+    def test_degraded_ps_costs_throughput(self):
+        from repro.resilience import ComponentKind, DegradationWindow, FaultPlan
+
+        m = make_test_model(64, 64, hash_size=1_000_000)
+        healthy = simulate_cpu_cluster(
+            m, ClusterConfig(8, 4, 1, seed=2), horizon_s=0.5
+        )
+        plan = FaultPlan(
+            degradations=(
+                DegradationWindow(
+                    ComponentKind.SPARSE_PS, 0, start_s=0.0, duration_s=0.5,
+                    slowdown=4.0,
+                ),
+            )
+        )
+        degraded = simulate_cpu_cluster(
+            m, ClusterConfig(8, 4, 1, seed=2, fault_plan=plan), horizon_s=0.5
+        )
+        assert degraded.throughput < 0.85 * healthy.throughput
+
+    def test_window_end_restores_service(self):
+        from repro.resilience import ComponentKind, DegradationWindow, FaultPlan
+
+        m = make_test_model(64, 64, hash_size=1_000_000)
+
+        def run(duration):
+            plan = FaultPlan(
+                degradations=(
+                    DegradationWindow(
+                        ComponentKind.SPARSE_PS, 0, start_s=0.0,
+                        duration_s=duration, slowdown=8.0,
+                    ),
+                )
+            )
+            return simulate_cpu_cluster(
+                m, ClusterConfig(8, 4, 1, seed=2, fault_plan=plan), horizon_s=0.5
+            ).throughput
+
+        # a window covering 20% of the horizon hurts less than one covering
+        # all of it (service rates are restored at end_s)
+        assert run(0.1) > run(0.5)
+
+    def test_degraded_trainer_only_slows_itself(self):
+        from repro.resilience import ComponentKind, DegradationWindow, FaultPlan
+
+        m = make_test_model(512, 16)
+        plan = FaultPlan(
+            degradations=(
+                DegradationWindow(
+                    ComponentKind.TRAINER, 0, start_s=0.0, duration_s=0.5,
+                    slowdown=4.0,
+                ),
+            )
+        )
+        r = simulate_cpu_cluster(
+            m, ClusterConfig(4, 2, 1, seed=0, fault_plan=plan), horizon_s=0.5
+        )
+        base = simulate_cpu_cluster(
+            m, ClusterConfig(4, 2, 1, seed=0), horizon_s=0.5
+        )
+        # async cluster: one slow trainer dents aggregate throughput by
+        # roughly its own share, not 4x
+        assert 0.6 * base.throughput < r.throughput < base.throughput
+
+
+class TestEASGDMembership:
+    """Worker dropout/rejoin (§III-A.6): async training degrades gracefully."""
+
+    def test_drop_and_continue_on_survivors(self, tiny_config, tiny_generator):
+        trainer = EASGDTrainer(
+            tiny_config, EASGDConfig(num_workers=3, tau=2), lr=0.05, rng=0
+        )
+        stream = tiny_generator.batches(16)
+        trainer.round([next(stream) for _ in range(3)])
+        trainer.drop_worker(1)
+        assert trainer.active_workers() == [0, 2]
+        loss = trainer.round([next(stream) for _ in range(2)])
+        assert np.isfinite(loss)
+        assert trainer.drops == 1
+
+    def test_round_batch_count_follows_membership(self, tiny_config, tiny_generator):
+        trainer = EASGDTrainer(
+            tiny_config, EASGDConfig(num_workers=3), lr=0.05, rng=0
+        )
+        trainer.drop_worker(0)
+        stream = tiny_generator.batches(8)
+        with pytest.raises(ValueError):
+            trainer.round([next(stream) for _ in range(3)])
+
+    def test_train_keeps_learning_after_dropout(self, tiny_config, tiny_generator):
+        trainer = EASGDTrainer(
+            tiny_config, EASGDConfig(num_workers=3, tau=2), lr=0.05, rng=0
+        )
+        stream = tiny_generator.batches(64)
+        trainer.train(stream, max_examples=6000)
+        trainer.drop_worker(2)
+        history = trainer.train(stream, max_examples=16000)
+        assert np.mean(history[-5:]) < np.mean(history[:5]) + 0.05
+
+    def test_rejoin_restores_from_center(self, tiny_config, tiny_generator):
+        trainer = EASGDTrainer(
+            tiny_config, EASGDConfig(num_workers=2, tau=1), lr=0.05, rng=0
+        )
+        stream = tiny_generator.batches(16)
+        trainer.round([next(stream) for _ in range(2)])
+        trainer.drop_worker(1)
+        trainer.round([next(stream)])
+        trainer.rejoin_worker(1)
+        assert trainer.active_workers() == [0, 1]
+        assert trainer.rejoins == 1
+        # the rejoined replica restarted from the center copy, bit for bit
+        for p, center in zip(
+            trainer.workers[1].dense_parameters(), trainer.center_state
+        ):
+            assert np.array_equal(p.value, center)
+
+    def test_membership_validation(self, tiny_config):
+        trainer = EASGDTrainer(tiny_config, EASGDConfig(num_workers=2), rng=0)
+        with pytest.raises(ValueError):
+            trainer.drop_worker(5)
+        with pytest.raises(ValueError):
+            trainer.rejoin_worker(0)  # not down
+        trainer.drop_worker(0)
+        with pytest.raises(ValueError):
+            trainer.drop_worker(0)  # already down
+        with pytest.raises(ValueError):
+            trainer.drop_worker(1)  # last active worker
+
+
+class TestSyncSGDStall:
+    """The synchronous counterpoint: one failed worker stalls every step."""
+
+    def test_step_raises_while_worker_down(self, tiny_config, tiny_generator):
+        from repro.distributed import ClusterStalledError
+
+        trainer = SyncSGDTrainer(tiny_config, num_workers=2, lr=0.05, rng=0)
+        stream = tiny_generator.batches(16)
+        trainer.step([next(stream), next(stream)])
+        trainer.drop_worker(0)
+        with pytest.raises(ClusterStalledError) as err:
+            trainer.step([next(stream), next(stream)])
+        assert err.value.dropped == [0]
+        assert trainer.stalled_steps == 1
+
+    def test_restore_clears_the_barrier(self, tiny_config, tiny_generator):
+        from repro.distributed import ClusterStalledError
+
+        trainer = SyncSGDTrainer(tiny_config, num_workers=2, lr=0.05, rng=0)
+        stream = tiny_generator.batches(16)
+        trainer.drop_worker(1)
+        with pytest.raises(ClusterStalledError):
+            trainer.step([next(stream), next(stream)])
+        trainer.restore_worker(1)
+        loss = trainer.step([next(stream), next(stream)])
+        assert np.isfinite(loss)
+        assert trainer.dropped_workers() == []
+
+    def test_membership_validation(self, tiny_config):
+        trainer = SyncSGDTrainer(tiny_config, num_workers=2, rng=0)
+        with pytest.raises(ValueError):
+            trainer.drop_worker(9)
+        with pytest.raises(ValueError):
+            trainer.restore_worker(0)  # not down
+        trainer.drop_worker(0)
+        with pytest.raises(ValueError):
+            trainer.drop_worker(0)

@@ -12,15 +12,19 @@ The two contracts pinned here:
 from __future__ import annotations
 
 import multiprocessing
+import os
 
 import numpy as np
 import pytest
 
 from repro.core.config import InteractionType, MLPSpec, ModelConfig, uniform_tables
 from repro.obs.registry import MetricsRegistry
+from repro.resilience import RetryPolicy
 from repro.runtime import (
     MISS,
+    PointFailure,
     ResultCache,
+    SweepPointError,
     SweepRunner,
     canonical_json,
     code_token,
@@ -302,3 +306,165 @@ class TestFigureParity:
             square_point, 1e-2, 1.0, num=5, runner=SweepRunner(workers=2, mp_context=FORK)
         )
         assert serial == parallel
+
+
+# ---------------------------------------------------------------------------
+# corrupt-entry eviction
+
+
+class TestCacheCorruption:
+    def _entry_path(self, cache, ns, key):
+        return cache._path(ns, key)
+
+    def test_unparseable_json_is_evicted_and_counted(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=registry)
+        key = cache.key("ns", {"x": 1})
+        cache.store("ns", key, 42)
+        path = self._entry_path(cache, "ns", key)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.load("ns", key) is MISS
+        assert not path.exists()  # evicted
+        assert registry.get("runtime.cache.corrupt").value == 1
+        assert registry.get("runtime.cache.misses").value == 1
+
+    def test_json_without_value_key_is_corrupt(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=registry)
+        key = cache.key("ns", {"x": 2})
+        cache.store("ns", key, 7)
+        path = self._entry_path(cache, "ns", key)
+        path.write_text('{"key": "orphan", "namespace": "ns"}', encoding="utf-8")
+        assert cache.load("ns", key) is MISS
+        assert not path.exists()
+        assert registry.get("runtime.cache.corrupt").value == 1
+
+    def test_non_dict_json_is_corrupt(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=registry)
+        key = cache.key("ns", {"x": 3})
+        path = self._entry_path(cache, "ns", key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        assert cache.load("ns", key) is MISS
+        assert registry.get("runtime.cache.corrupt").value == 1
+
+    def test_recompute_after_eviction_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(cache=cache)
+        points = [{"x": i} for i in range(3)]
+        first = runner.map(square_point, points, namespace="sq")
+        # corrupt one stored entry behind the cache's back
+        victim = cache.entries()[0]
+        victim.write_text("garbage", encoding="utf-8")
+        again = runner.map(square_point, points, namespace="sq")
+        assert again == first
+        assert cache.stats()["corrupt"] == 1
+
+    def test_stats_include_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stats()["corrupt"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# worker-crash recovery
+
+_CRASH_SENTINEL_ENV = "REPRO_TEST_CRASH_SENTINEL"
+
+#: zero-delay retries: tests should not sleep
+FAST_RETRY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.0, multiplier=1.0, max_delay_s=0.0,
+    jitter=0.0, deadline_s=1.0,
+)
+
+
+def crash_once_point(x: int) -> int:
+    """Hard-kills its worker process the first time x == 2 (sentinel file
+    marks the crash), succeeds on retry — a transient OOM-kill stand-in."""
+    sentinel = os.environ.get(_CRASH_SENTINEL_ENV)
+    if x == 2 and sentinel and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(13)
+    return x * 10
+
+
+def always_failing_point(x: int) -> int:
+    if x == 2:
+        raise ValueError("deterministically bad point")
+    return x + 100
+
+
+class TestSweepCrashRecovery:
+    def test_transient_worker_crash_is_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_CRASH_SENTINEL_ENV, str(tmp_path / "crashed"))
+        registry = MetricsRegistry()
+        runner = SweepRunner(
+            workers=2, metrics=registry, mp_context=FORK, retry=FAST_RETRY
+        )
+        out = runner.map(
+            crash_once_point, [{"x": i} for i in range(5)], use_cache=False
+        )
+        # the sweep completed: the crashed point was retried on a fresh pool
+        assert out == [0, 10, 20, 30, 40]
+        assert (tmp_path / "crashed").exists()
+        assert registry.get("runtime.sweep.pool_restarts").value >= 1
+        assert registry.get("runtime.sweep.point_retries").value >= 1
+
+    def test_permanent_failure_raises_named_error(self):
+        runner = SweepRunner(workers=2, mp_context=FORK, retry=FAST_RETRY)
+        with pytest.raises(SweepPointError) as err:
+            runner.map(
+                always_failing_point, [{"x": i} for i in range(4)], use_cache=False
+            )
+        failure = err.value.failure
+        assert failure.params == {"x": 2}
+        assert failure.index == 2
+        assert failure.attempts == FAST_RETRY.max_attempts
+        assert failure.error_type == "ValueError"
+
+    def test_partial_mode_keeps_successes(self):
+        registry = MetricsRegistry()
+        runner = SweepRunner(
+            workers=2, metrics=registry, mp_context=FORK, retry=FAST_RETRY
+        )
+        out = runner.map(
+            always_failing_point,
+            [{"x": i} for i in range(4)],
+            use_cache=False,
+            on_error="partial",
+        )
+        assert out[0] == 100 and out[1] == 101 and out[3] == 103
+        assert isinstance(out[2], PointFailure)
+        assert "x': 2" in out[2].describe()
+        assert registry.get("runtime.sweep.point_failures").value == 1
+
+    def test_partial_mode_serial_path(self):
+        runner = SweepRunner(workers=1, retry=FAST_RETRY)
+        out = runner.map(
+            always_failing_point,
+            [{"x": i} for i in range(4)],
+            use_cache=False,
+            on_error="partial",
+        )
+        assert isinstance(out[2], PointFailure)
+        assert out[3] == 103
+
+    def test_failures_are_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(
+            workers=1, cache=cache, retry=FAST_RETRY
+        )
+        runner.map(
+            always_failing_point,
+            [{"x": i} for i in range(4)],
+            namespace="boom",
+            on_error="partial",
+        )
+        bad_key = cache.key_for(always_failing_point, {"x": 2}, namespace="boom")
+        good_key = cache.key_for(always_failing_point, {"x": 0}, namespace="boom")
+        assert cache.load("boom", bad_key) is MISS
+        assert cache.load("boom", good_key) == 100
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner().map(square_point, [{"x": 1}], on_error="ignore")
