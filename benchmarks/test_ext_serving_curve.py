@@ -1,0 +1,87 @@
+"""Bench (extension): online serving at full scale — throughput-latency
+curve, cache cross-validation, SLO-constrained capacity, and staleness.
+
+Fast qualitative versions of these claims run in tier-1
+(``tests/test_serving.py``, ``tests/test_serving_cache.py``); this bench
+re-runs them at paper-scale request counts and asserts the headline
+shapes:
+
+* p99 rises monotonically with offered load over the congestion regime
+  and stays within the default SLO (the serving analogue of §V-B's
+  throughput-vs-batch-size trade-off);
+* the measured steady-state cache hit rate tracks the analytic
+  prediction (Che approximation for LRU, top-k Zipf mass for LFU)
+  within 5 points at every (policy, capacity) grid point, and the
+  finite-window raw/warm rates bracket it;
+* SLO-constrained capacity plans are feasible and sit at or above the
+  work-conserving lower bound;
+* serving a stale snapshot loses accuracy, and an in-flight checkpoint
+  refresh recovers most of it: fresh < refreshed < stale in log loss.
+"""
+
+from bench_utils import record, run_once
+
+from repro.experiments import ext_serving
+
+
+class TestServingCurve:
+    def test_curve_monotone_within_slo(self, benchmark):
+        result = run_once(
+            benchmark, ext_serving.run_curve, requests_per_point=4000
+        )
+        record("ext_serving_curve", ext_serving.render_curve(result))
+        assert result.p99_monotone
+        assert not result.slo_violations()
+        # adaptive batching: batches grow with load
+        batches = [p.mean_batch for p in result.points]
+        assert batches[-1] > batches[0]
+
+
+class TestServingCache:
+    def test_measured_tracks_analytic(self, benchmark):
+        result = run_once(
+            benchmark,
+            ext_serving.run_cache,
+            num_requests=8000,
+            steady_accesses=400_000,
+        )
+        record("ext_serving_cache", ext_serving.render_cache(result))
+        assert result.max_abs_error < 0.05
+        assert all(p.brackets_prediction for p in result.points)
+        # bigger caches hit more, for both policies
+        for policy in ("lru", "lfu"):
+            rates = [
+                p.steady_state_hit_rate
+                for p in result.points
+                if p.policy == policy
+            ]
+            assert all(b > a for a, b in zip(rates, rates[1:]))
+
+
+class TestServingSLO:
+    def test_capacity_plans_feasible(self, benchmark):
+        result = run_once(
+            benchmark, ext_serving.run_slo, requests_per_point=1500
+        )
+        record("ext_serving_slo", ext_serving.render_slo(result))
+        assert all(p.feasible for p in result.points)
+        for p in result.points:
+            assert p.num_replicas >= p.lower_bound_replicas
+            assert p.p99_ms <= result.slo.p99_ms
+        # more demand never needs fewer replicas
+        replicas = [p.num_replicas for p in result.points]
+        assert replicas == sorted(replicas)
+
+
+class TestServingStaleness:
+    def test_refresh_recovers_accuracy(self, benchmark):
+        result = run_once(benchmark, ext_serving.run_staleness)
+        record("ext_serving_staleness", ext_serving.render_staleness(result))
+        fresh = result.phase("fresh")
+        refreshed = result.phase("refreshed")
+        stale = result.phase("stale")
+        assert fresh.log_loss < refreshed.log_loss < stale.log_loss
+        # the refresh itself costs tail latency but serves every request
+        assert refreshed.p99_ms >= fresh.p99_ms
+        assert refreshed.refreshes > 0
+        assert refreshed.completed == fresh.completed

@@ -212,15 +212,17 @@ class EmbeddingTable:
             )
         return indices
 
-    def forward(self, indices: RaggedIndices) -> np.ndarray:
+    def forward(self, indices: RaggedIndices, *, training: bool = True) -> np.ndarray:
         """Pooled lookup; returns ``(batch, dim)``.
 
         Samples with zero activated indices produce a zero vector (a
         legitimate event for optional sparse features).
         """
-        return self.forward_batched([indices])[0]
+        return self.forward_batched([indices], training=training)[0]
 
-    def forward_batched(self, features: list[RaggedIndices]) -> list[np.ndarray]:
+    def forward_batched(
+        self, features: list[RaggedIndices], *, training: bool = True
+    ) -> list[np.ndarray]:
         """Pooled lookups for several features sharing this table in one
         fused kernel dispatch.
 
@@ -232,6 +234,10 @@ class EmbeddingTable:
         features map to them.  Saved forward contexts are pushed in
         feature order, so :meth:`backward` (called in reverse feature
         order by the collection) pops them correctly.
+
+        ``training=False`` (the inference fast path) skips pushing forward
+        contexts entirely: nothing is saved, nothing needs discarding, and
+        the ``_saved`` stack cannot grow across inference-only forwards.
         """
         # _prepare validates bounds (or accepts the safe_bound certificate),
         # so the pooled product may skip its own check.
@@ -259,7 +265,8 @@ class EmbeddingTable:
             if self.pooling is PoolingType.MEAN:
                 divisor = np.maximum(lengths, 1).astype(pooled.dtype)
                 pooled = pooled / divisor[:, None]
-            self._saved.append((p, lengths))
+            if training:
+                self._saved.append((p, lengths))
             outs.append(pooled)
         return outs
 
@@ -335,7 +342,9 @@ class EmbeddingBagCollection:
             by_table.setdefault(self.feature_to_table[feature], []).append(feature)
         self._table_groups = list(by_table.items())
 
-    def forward(self, batch: dict[str, RaggedIndices]) -> dict[str, np.ndarray]:
+    def forward(
+        self, batch: dict[str, RaggedIndices], *, training: bool = True
+    ) -> dict[str, np.ndarray]:
         """Look up every feature; returns feature name -> (batch, dim)."""
         missing = set(self.feature_names) - set(batch.keys())
         if missing:
@@ -343,7 +352,9 @@ class EmbeddingBagCollection:
         out: dict[str, np.ndarray] = {}
         for table_name, features in self._table_groups:
             table = self.tables[table_name]
-            pooled = table.forward_batched([batch[f] for f in features])
+            pooled = table.forward_batched(
+                [batch[f] for f in features], training=training
+            )
             for feature, vec in zip(features, pooled):
                 out[feature] = vec
         return out

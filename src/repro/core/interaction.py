@@ -29,10 +29,13 @@ class ConcatInteraction:
     def out_features(self, dense_width: int) -> int:
         return dense_width + self.num_sparse * self.dim
 
-    def forward(self, dense: np.ndarray, embs: list[np.ndarray]) -> np.ndarray:
+    def forward(
+        self, dense: np.ndarray, embs: list[np.ndarray], *, training: bool = True
+    ) -> np.ndarray:
         if len(embs) != self.num_sparse:
             raise ValueError(f"expected {self.num_sparse} embeddings, got {len(embs)}")
-        self._dense_width = dense.shape[1]
+        if training:
+            self._dense_width = dense.shape[1]
         return np.concatenate([dense] + embs, axis=1)
 
     def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
@@ -76,7 +79,9 @@ class DotInteraction:
             )
         return self.dim + self.num_pairs
 
-    def forward(self, dense: np.ndarray, embs: list[np.ndarray]) -> np.ndarray:
+    def forward(
+        self, dense: np.ndarray, embs: list[np.ndarray], *, training: bool = True
+    ) -> np.ndarray:
         if len(embs) != self.num_sparse:
             raise ValueError(f"expected {self.num_sparse} embeddings, got {len(embs)}")
         if dense.shape[1] != self.dim:
@@ -84,7 +89,8 @@ class DotInteraction:
                 f"dense width {dense.shape[1]} != embedding dim {self.dim}"
             )
         stack = np.stack([dense] + embs, axis=1)  # (B, n+1, d)
-        self._stack = stack
+        if training:
+            self._stack = stack
         gram = stack @ stack.transpose(0, 2, 1)  # (B, n+1, n+1)
         pairs = gram[:, self._tril[0], self._tril[1]]  # (B, num_pairs)
         return np.concatenate([dense, pairs], axis=1)

@@ -78,12 +78,13 @@ class Linear:
     def out_features(self) -> int:
         return self.weight.shape[0]
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"expected input of shape (batch, {self.in_features}), got {x.shape}"
             )
-        self._input = x
+        if training:
+            self._input = x
         return x @ self.weight.value.T + self.bias.value
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -105,7 +106,9 @@ class ReLU:
     def __init__(self) -> None:
         self._mask: np.ndarray | None = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        if not training:
+            return np.maximum(x, 0.0)
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
@@ -127,13 +130,14 @@ class Sigmoid:
     def __init__(self) -> None:
         self._out: np.ndarray | None = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
         out = np.empty_like(x)
         pos = x >= 0
         out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
         ex = np.exp(x[~pos])
         out[~pos] = ex / (1.0 + ex)
-        self._out = out
+        if training:
+            self._out = out
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -175,9 +179,12 @@ class MLP:
         self.in_features = in_features
         self.out_features = prev
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        """Run the stack; ``training=False`` is the inference fast path that
+        skips caching activations entirely (nothing to discard afterwards,
+        and ``backward`` on an inference-only forward raises)."""
         for layer in self.layers:
-            x = layer.forward(x)
+            x = layer.forward(x, training=training)
         return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

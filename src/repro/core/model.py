@@ -103,19 +103,30 @@ class DLRM:
 
     # -- forward / backward -------------------------------------------------
 
-    def forward(self, batch: Batch) -> np.ndarray:
-        """Compute click logits for a batch; returns shape ``(batch,)``."""
+    def forward(self, batch: Batch, *, training: bool = True) -> np.ndarray:
+        """Compute click logits for a batch; returns shape ``(batch,)``.
+
+        ``training=False`` is the inference fast path: no activations are
+        cached anywhere in the stack (MLP inputs, ReLU masks, interaction
+        stacks, embedding forward contexts), so inference-only forwards
+        allocate less, run faster, and leave no state to discard — the
+        serving replicas (:mod:`repro.serving.replica`) and
+        :meth:`predict_proba` use it.  ``backward`` after an
+        inference-only forward raises.
+        """
         if batch.dense.shape[1] != self.config.num_dense:
             raise ValueError(
                 f"batch has {batch.dense.shape[1]} dense features, "
                 f"model expects {self.config.num_dense}"
             )
-        dense_out = self.bottom_mlp.forward(batch.dense.astype(self.dtype, copy=False))
-        emb_out = self.embeddings.forward(batch.sparse)
+        dense_out = self.bottom_mlp.forward(
+            batch.dense.astype(self.dtype, copy=False), training=training
+        )
+        emb_out = self.embeddings.forward(batch.sparse, training=training)
         embs = [emb_out[name] for name in self._feature_order]
-        interacted = self.interaction.forward(dense_out, embs)
-        top_out = self.top_mlp.forward(interacted)
-        logits = self.scorer.forward(top_out)
+        interacted = self.interaction.forward(dense_out, embs, training=training)
+        top_out = self.top_mlp.forward(interacted, training=training)
+        logits = self.scorer.forward(top_out, training=training)
         return logits.reshape(-1)
 
     def backward(self, grad_logits: np.ndarray) -> None:
@@ -130,18 +141,28 @@ class DLRM:
         self.bottom_mlp.backward(grad_dense)
 
     def predict_proba(self, batch: Batch) -> np.ndarray:
-        """Click probabilities (no gradient bookkeeping is kept afterwards)."""
+        """Click probabilities via the inference fast path.
+
+        Runs ``forward(training=False)``: activations are never cached in
+        the first place (rather than cached and then discarded via
+        :meth:`_discard_forward_state`, the historical behaviour), which
+        skips the per-layer stash writes and the embedding forward-context
+        pushes entirely — see ``docs/perf_notes.md`` for the measured win.
+        """
         from .loss import sigmoid
 
-        logits = self.forward(batch)
-        self._discard_forward_state()
+        logits = self.forward(batch, training=False)
         return sigmoid(logits)
 
     def _discard_forward_state(self) -> None:
-        """Drop cached activations after an inference-only forward.
+        """Drop cached activations after a *training-mode* forward whose
+        backward will never run (e.g. numeric gradient checks that probe
+        ``forward`` directly).
 
         Embedding tables stack forward contexts (to support shared tables),
-        so inference-only forwards must clear them or the stack grows.
+        so such forwards must clear them or the stack grows.  Inference
+        callers should prefer ``forward(training=False)``, which never
+        saves state in the first place.
         """
         for table in self.embeddings.tables.values():
             table._saved.clear()

@@ -96,6 +96,22 @@ class QuantizedEmbeddingTable:
     def storage_bytes(self) -> float:
         return quantized_table_bytes(self.spec, self.bits)
 
+    @property
+    def row_bytes(self) -> float:
+        """Stored bytes per row (codes + the per-row scale)."""
+        return self.spec.dim * self.bits / 8.0 + 4.0
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        """Dequantize the given row indices; returns ``(len(rows), dim)``.
+
+        The serving hot-row cache (:mod:`repro.serving.cache`) fills cache
+        lines through this when quantized backing storage is enabled.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) and (rows.min() < 0 or rows.max() >= self.spec.hash_size):
+            raise IndexError(f"rows out of range for table {self.spec.name}")
+        return self.codes[rows].astype(np.float64) * self.scales[rows][:, None]
+
     def forward(self, indices: RaggedIndices) -> np.ndarray:
         """Pooled lookup over dequantized rows; mirrors EmbeddingTable.forward."""
         if self.spec.truncation is not None:

@@ -4,6 +4,7 @@ from .click_model import ClickModel
 from .dataset import FixedDataset
 from .distributions import (
     power_law_mean_lengths,
+    sample_discrete_zipf,
     sample_lognormal_with_mean,
     sample_power_law,
     zipf_probabilities,
@@ -24,6 +25,7 @@ __all__ = [
     "sample_power_law",
     "sample_lognormal_with_mean",
     "zipf_probabilities",
+    "sample_discrete_zipf",
     "power_law_mean_lengths",
     "SyntheticDataGenerator",
     "sample_lengths",

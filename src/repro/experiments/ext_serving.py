@@ -1,0 +1,662 @@
+"""Extension experiment — online serving of the trained model.
+
+The paper characterizes *training* efficiency, but its models exist to
+serve live click traffic (§II-A); the same batch-size and memory-system
+economics (§V-B) govern the serving side.  Four measured views over the
+:mod:`repro.serving` event simulation:
+
+1. **Throughput–latency curve** (``run_curve``) — sweep offered load as a
+   fraction of pool saturation and measure latency quantiles; the serving
+   analogue of the paper's throughput-vs-batch-size trade-off.
+2. **SLO-constrained capacity** (``run_slo``) — smallest replica pool per
+   target QPS under a p99 bound, with the fleet-style power bill; the
+   headroom above the work-conserving bound is the price of tail latency.
+3. **Hot-row cache cross-validation** (``run_cache``) — measured LRU/LFU
+   hit rates on Zipf traffic vs the analytic predictions in
+   :mod:`repro.placement.cache` (Che approximation / top-k mass), plus
+   the latency the cache buys.
+4. **Checkpoint-refresh staleness** (``run_staleness``) — serve real
+   scores from a stale snapshot, refresh to a trained checkpoint
+   mid-traffic (:meth:`repro.core.Trainer.save_checkpoint` format), and
+   measure the model-quality recovery alongside the refresh's latency
+   cost.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..analysis import render_table
+from ..configs import make_test_model
+from ..core.config import ModelConfig
+from ..serving import (
+    DEFAULT_CURVE_LOADS,
+    SLO,
+    CacheConfig,
+    ServingConfig,
+    TrafficConfig,
+    plan_serving_capacity,
+    replica_capacity_qps,
+    simulate_serving,
+    throughput_latency_curve,
+)
+
+__all__ = [
+    "CurvePoint",
+    "ServingCurveResult",
+    "CapacityPoint",
+    "ServingSLOResult",
+    "CachePoint",
+    "ServingCacheResult",
+    "StalenessPhase",
+    "ServingStalenessResult",
+    "steady_state_hit_rate",
+    "run_curve",
+    "run_slo",
+    "run_cache",
+    "run_staleness",
+    "render_curve",
+    "render_slo",
+    "render_cache",
+    "render_staleness",
+]
+
+
+def default_model() -> ModelConfig:
+    """Small enough that the event loop runs in seconds, big enough that
+    the cache-capacity sweep spans interesting hit rates."""
+    return make_test_model(64, 8, hash_size=50_000)
+
+
+def _default_config(
+    num_replicas: int, platform: str, cache: CacheConfig, seed: int
+) -> ServingConfig:
+    return ServingConfig(
+        num_replicas=num_replicas, platform=platform, cache=cache, seed=seed
+    )
+
+
+# -- 1. throughput-latency curve ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    load_fraction: float
+    offered_qps: float
+    completed_qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_batch: float
+    cache_hit_rate: float
+    warm_cache_hit_rate: float
+
+
+@dataclass(frozen=True)
+class ServingCurveResult:
+    model_name: str
+    platform: str
+    num_replicas: int
+    per_replica_capacity_qps: float
+    predicted_cache_hit_rate: float
+    slo: SLO
+    points: tuple[CurvePoint, ...]
+
+    @property
+    def p99_monotone(self) -> bool:
+        """p99 must rise with load over the congestion-dominated regime."""
+        p = [pt.p99_ms for pt in self.points]
+        return all(a <= b for a, b in zip(p, p[1:]))
+
+    def slo_violations(self) -> list[float]:
+        """Load fractions whose p99 breaks the SLO."""
+        bound = self.slo.p99_ms
+        if bound is None:
+            return []
+        return [pt.load_fraction for pt in self.points if pt.p99_ms > bound]
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model_name,
+            "platform": self.platform,
+            "replicas": self.num_replicas,
+            "per_replica_capacity_qps": self.per_replica_capacity_qps,
+            "predicted_cache_hit_rate": self.predicted_cache_hit_rate,
+            "slo_p99_ms": self.slo.p99_ms,
+            "p99_monotone": self.p99_monotone,
+            "points": [
+                {
+                    "load_fraction": p.load_fraction,
+                    "offered_qps": p.offered_qps,
+                    "completed_qps": p.completed_qps,
+                    "p50_ms": p.p50_ms,
+                    "p95_ms": p.p95_ms,
+                    "p99_ms": p.p99_ms,
+                    "mean_batch": p.mean_batch,
+                    "cache_hit_rate": p.cache_hit_rate,
+                    "warm_cache_hit_rate": p.warm_cache_hit_rate,
+                }
+                for p in self.points
+            ],
+        }
+
+
+def run_curve(
+    model: ModelConfig | None = None,
+    num_replicas: int = 2,
+    platform: str = "cpu",
+    cache_rows: int = 4096,
+    policy: str = "lru",
+    loads: tuple[float, ...] = DEFAULT_CURVE_LOADS,
+    requests_per_point: int = 2000,
+    slo: SLO = SLO(p99_ms=25.0),
+    seed: int = 0,
+) -> ServingCurveResult:
+    model = model or default_model()
+    cfg = _default_config(
+        num_replicas, platform, CacheConfig(capacity_rows=cache_rows, policy=policy), seed
+    )
+    curve = throughput_latency_curve(
+        model, cfg, loads=loads, requests_per_point=requests_per_point, seed=seed
+    )
+    per_replica = replica_capacity_qps(model, cfg)
+    points = tuple(
+        CurvePoint(
+            load_fraction=frac,
+            offered_qps=qps,
+            completed_qps=res.completed_qps,
+            p50_ms=res.p50_ms,
+            p95_ms=res.p95_ms,
+            p99_ms=res.p99_ms,
+            mean_batch=float(np.mean(res.batch_sizes)) if len(res.batch_sizes) else 0.0,
+            cache_hit_rate=res.measured_cache_hit_rate,
+            warm_cache_hit_rate=res.warm_cache_hit_rate,
+        )
+        for frac, (qps, res) in zip(loads, curve)
+    )
+    return ServingCurveResult(
+        model_name=model.name,
+        platform=platform,
+        num_replicas=num_replicas,
+        per_replica_capacity_qps=per_replica,
+        predicted_cache_hit_rate=curve[0][1].predicted_cache_hit_rate,
+        slo=slo,
+        points=points,
+    )
+
+
+def render_curve(result: ServingCurveResult) -> str:
+    rows = [
+        [
+            f"{p.load_fraction:.0%}",
+            f"{p.offered_qps:,.0f}",
+            f"{p.completed_qps:,.0f}",
+            f"{p.p50_ms:.2f}",
+            f"{p.p95_ms:.2f}",
+            f"{p.p99_ms:.2f}",
+            f"{p.mean_batch:.1f}",
+            f"{100 * p.cache_hit_rate:.1f}%",
+        ]
+        for p in result.points
+    ]
+    return render_table(
+        ["load", "offered qps", "completed qps", "p50 ms", "p95 ms", "p99 ms",
+         "mean batch", "cache hit"],
+        rows,
+        title=(
+            f"Extension: throughput-latency curve — {result.model_name} on "
+            f"{result.platform}, {result.num_replicas} replicas "
+            f"(saturation {result.per_replica_capacity_qps * result.num_replicas:,.0f} qps; "
+            f"p99 monotone: {result.p99_monotone})"
+        ),
+    )
+
+
+# -- 2. SLO-constrained capacity ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    target_qps: float
+    num_replicas: int
+    lower_bound_replicas: int  # work-conserving bound (demand / saturation)
+    feasible: bool
+    p99_ms: float
+    power_watts: float
+    qps_per_watt: float
+
+
+@dataclass(frozen=True)
+class ServingSLOResult:
+    model_name: str
+    platform: str
+    slo: SLO
+    per_replica_capacity_qps: float
+    points: tuple[CapacityPoint, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model_name,
+            "platform": self.platform,
+            "slo_p99_ms": self.slo.p99_ms,
+            "per_replica_capacity_qps": self.per_replica_capacity_qps,
+            "points": [
+                {
+                    "target_qps": p.target_qps,
+                    "replicas": p.num_replicas,
+                    "lower_bound_replicas": p.lower_bound_replicas,
+                    "feasible": p.feasible,
+                    "p99_ms": p.p99_ms,
+                    "power_watts": p.power_watts,
+                    "qps_per_watt": p.qps_per_watt,
+                }
+                for p in self.points
+            ],
+        }
+
+
+def run_slo(
+    model: ModelConfig | None = None,
+    platform: str = "cpu",
+    cache_rows: int = 4096,
+    policy: str = "lru",
+    slo: SLO = SLO(p99_ms=5.0),
+    target_multiples: tuple[float, ...] = (1.5, 3.0, 6.0),
+    requests_per_point: int = 1200,
+    seed: int = 0,
+) -> ServingSLOResult:
+    """Capacity plans at several demand levels (multiples of one replica's
+    saturation throughput)."""
+    model = model or default_model()
+    cfg = _default_config(
+        1, platform, CacheConfig(capacity_rows=cache_rows, policy=policy), seed
+    )
+    per_replica = replica_capacity_qps(model, cfg)
+    points = []
+    for mult in target_multiples:
+        target = mult * per_replica
+        plan = plan_serving_capacity(
+            model, target, slo, cfg, requests_per_point=requests_per_point, seed=seed
+        )
+        lower = max(1, int(np.ceil(target / per_replica)))
+        points.append(
+            CapacityPoint(
+                target_qps=target,
+                num_replicas=plan.num_replicas,
+                lower_bound_replicas=lower,
+                feasible=plan.feasible,
+                p99_ms=plan.p99_ms,
+                power_watts=plan.power_watts,
+                qps_per_watt=plan.qps_per_watt,
+            )
+        )
+    return ServingSLOResult(
+        model_name=model.name,
+        platform=platform,
+        slo=slo,
+        per_replica_capacity_qps=per_replica,
+        points=tuple(points),
+    )
+
+
+def render_slo(result: ServingSLOResult) -> str:
+    rows = [
+        [
+            f"{p.target_qps:,.0f}",
+            f"{p.num_replicas}",
+            f"{p.lower_bound_replicas}",
+            "yes" if p.feasible else "NO",
+            f"{p.p99_ms:.2f}",
+            f"{p.power_watts:,.0f}",
+            f"{p.qps_per_watt:.2f}",
+        ]
+        for p in result.points
+    ]
+    return render_table(
+        ["target qps", "replicas", "lower bound", "feasible", "p99 ms", "watts",
+         "qps/W"],
+        rows,
+        title=(
+            f"Extension: SLO-constrained capacity — {result.model_name} on "
+            f"{result.platform}, p99 <= {result.slo.p99_ms} ms "
+            f"(replica saturation {result.per_replica_capacity_qps:,.0f} qps; "
+            "headroom above the lower bound is the price of tail latency)"
+        ),
+    )
+
+
+# -- 3. hot-row cache cross-validation ---------------------------------------
+
+
+@dataclass(frozen=True)
+class CachePoint:
+    policy: str
+    capacity_rows: int
+    measured_hit_rate: float  # raw in-window, includes cold-start misses
+    warm_hit_rate: float  # cold-start (first-touch) misses excluded
+    steady_state_hit_rate: float  # long-stream, warm-up discarded
+    predicted_hit_rate: float
+    p99_ms: float
+
+    @property
+    def abs_error(self) -> float:
+        """Steady-state measurement vs analytic prediction — the
+        like-for-like pair (both model a warmed cache)."""
+        return abs(self.steady_state_hit_rate - self.predicted_hit_rate)
+
+    @property
+    def brackets_prediction(self) -> bool:
+        """Finite-window consistency: raw (pessimistic) and warm
+        (optimistic) estimates should bracket the steady-state value."""
+        return self.measured_hit_rate <= self.predicted_hit_rate + 0.02 and (
+            self.predicted_hit_rate <= self.warm_hit_rate + 0.02
+        )
+
+
+@dataclass(frozen=True)
+class ServingCacheResult:
+    model_name: str
+    qps: float
+    num_requests: int
+    no_cache_p99_ms: float
+    points: tuple[CachePoint, ...]
+
+    @property
+    def max_abs_error(self) -> float:
+        return max(p.abs_error for p in self.points)
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model_name,
+            "qps": self.qps,
+            "requests": self.num_requests,
+            "no_cache_p99_ms": self.no_cache_p99_ms,
+            "max_abs_error": self.max_abs_error,
+            "points": [
+                {
+                    "policy": p.policy,
+                    "capacity_rows": p.capacity_rows,
+                    "measured_hit_rate": p.measured_hit_rate,
+                    "warm_hit_rate": p.warm_hit_rate,
+                    "steady_state_hit_rate": p.steady_state_hit_rate,
+                    "predicted_hit_rate": p.predicted_hit_rate,
+                    "abs_error": p.abs_error,
+                    "brackets_prediction": p.brackets_prediction,
+                    "p99_ms": p.p99_ms,
+                }
+                for p in self.points
+            ],
+        }
+
+
+def steady_state_hit_rate(
+    policy: str,
+    num_rows: int,
+    capacity_rows: int,
+    skew: float = 1.05,
+    accesses: int = 200_000,
+    warmup_fraction: float = 0.5,
+    seed: int = 0,
+) -> float:
+    """Measured steady-state hit rate of one :class:`HotRowCache` on a
+    long synthetic Zipf stream, warm-up window discarded.
+
+    This is the like-for-like counterpart of the analytic predictions in
+    :mod:`repro.placement.cache` (Che approximation for LRU, top-k mass
+    for LFU), both of which model a warmed cache.
+    """
+    from ..data.distributions import sample_discrete_zipf
+    from ..serving.cache import HotRowCache
+
+    rng = np.random.default_rng(seed)
+    cache = HotRowCache(min(capacity_rows, num_rows), policy)
+    stream = sample_discrete_zipf(rng, accesses, num_rows, skew=skew)
+    cut = int(len(stream) * warmup_fraction)
+    cache.access(stream[:cut])
+    h0, a0 = cache.hits, cache.accesses
+    cache.access(stream[cut:])
+    measured = cache.accesses - a0
+    return (cache.hits - h0) / measured if measured else 0.0
+
+
+def run_cache(
+    model: ModelConfig | None = None,
+    num_replicas: int = 1,
+    platform: str = "cpu",
+    load_fraction: float = 0.7,
+    capacities: tuple[int, ...] = (1024, 4096, 16384),
+    policies: tuple[str, ...] = ("lru", "lfu"),
+    num_requests: int = 6000,
+    steady_accesses: int = 200_000,
+    seed: int = 0,
+) -> ServingCacheResult:
+    """Measured vs analytic hit rate per (policy, capacity).
+
+    Two measurements per point: the *in-window* serving rates (raw and
+    warm, which bracket the steady state over a finite traffic window)
+    and the *steady-state* rate on a long dedicated Zipf stream with the
+    warm-up discarded — the latter is what the analytics predict, so
+    ``abs_error`` compares those two.  Single replica so one cache sees
+    the whole stream (the analytic model's regime).
+    """
+    model = model or default_model()
+    base = _default_config(num_replicas, platform, CacheConfig(), seed)
+    qps = load_fraction * num_replicas * replica_capacity_qps(model, base)
+    traffic = TrafficConfig(qps=qps, duration_s=num_requests / qps, seed=seed)
+    baseline = simulate_serving(model, traffic, base)
+    hash_size = model.tables[0].hash_size
+    points = []
+    for policy in policies:
+        for rows in capacities:
+            cfg = replace(base, cache=CacheConfig(capacity_rows=rows, policy=policy))
+            res = simulate_serving(model, traffic, cfg)
+            points.append(
+                CachePoint(
+                    policy=policy,
+                    capacity_rows=rows,
+                    measured_hit_rate=res.measured_cache_hit_rate,
+                    warm_hit_rate=res.warm_cache_hit_rate,
+                    steady_state_hit_rate=steady_state_hit_rate(
+                        policy, hash_size, rows, skew=traffic.skew,
+                        accesses=steady_accesses, seed=seed,
+                    ),
+                    predicted_hit_rate=res.predicted_cache_hit_rate,
+                    p99_ms=res.p99_ms,
+                )
+            )
+    return ServingCacheResult(
+        model_name=model.name,
+        qps=qps,
+        num_requests=baseline.arrived,
+        no_cache_p99_ms=baseline.p99_ms,
+        points=tuple(points),
+    )
+
+
+def render_cache(result: ServingCacheResult) -> str:
+    rows = [
+        [
+            p.policy,
+            f"{p.capacity_rows:,}",
+            f"{100 * p.measured_hit_rate:.1f}%",
+            f"{100 * p.warm_hit_rate:.1f}%",
+            f"{100 * p.steady_state_hit_rate:.1f}%",
+            f"{100 * p.predicted_hit_rate:.1f}%",
+            f"{100 * p.abs_error:.1f} pts",
+            f"{p.p99_ms:.2f}",
+        ]
+        for p in result.points
+    ]
+    return render_table(
+        ["policy", "rows/table", "raw hit", "warm hit", "steady", "predicted",
+         "|error|", "p99 ms"],
+        rows,
+        title=(
+            f"Extension: hot-row cache vs analytics — {result.model_name}, "
+            f"{result.num_requests:,} requests at {result.qps:,.0f} qps "
+            f"(no-cache p99 {result.no_cache_p99_ms:.2f} ms; "
+            f"max |error| {100 * result.max_abs_error:.1f} pts)"
+        ),
+    )
+
+
+# -- 4. checkpoint-refresh staleness -----------------------------------------
+
+
+@dataclass(frozen=True)
+class StalenessPhase:
+    scenario: str  # "stale", "refreshed", "fresh"
+    log_loss: float
+    normalized_entropy: float
+    p99_ms: float
+    refreshes: int
+    completed: int
+
+
+@dataclass(frozen=True)
+class ServingStalenessResult:
+    model_name: str
+    train_steps: int
+    phases: tuple[StalenessPhase, ...]
+
+    def phase(self, scenario: str) -> StalenessPhase:
+        for p in self.phases:
+            if p.scenario == scenario:
+                return p
+        raise KeyError(scenario)
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model_name,
+            "train_steps": self.train_steps,
+            "phases": [
+                {
+                    "scenario": p.scenario,
+                    "log_loss": p.log_loss,
+                    "normalized_entropy": p.normalized_entropy,
+                    "p99_ms": p.p99_ms,
+                    "refreshes": p.refreshes,
+                    "completed": p.completed,
+                }
+                for p in self.phases
+            ],
+        }
+
+
+def _log_loss(scores: np.ndarray, labels: np.ndarray) -> float:
+    eps = 1e-7
+    p = np.clip(scores, eps, 1 - eps)
+    return float(-np.mean(labels * np.log(p) + (1 - labels) * np.log(1 - p)))
+
+
+def _normalized_entropy(scores: np.ndarray, labels: np.ndarray) -> float:
+    base = float(np.clip(labels.mean(), 1e-7, 1 - 1e-7))
+    h = -(base * np.log(base) + (1 - base) * np.log(1 - base))
+    return _log_loss(scores, labels) / h if h > 0 else float("inf")
+
+
+def run_staleness(
+    model: ModelConfig | None = None,
+    num_replicas: int = 2,
+    qps: float = 1000.0,
+    duration_s: float = 1.5,
+    train_steps: int = 150,
+    batch_size: int = 512,
+    seed: int = 0,
+) -> ServingStalenessResult:
+    """Quality cost of serving a stale snapshot, and what a mid-traffic
+    checkpoint refresh buys back.
+
+    Trains a student on teacher-labeled data, snapshots it early (stale)
+    and late (fresh), then serves teacher-labeled traffic three ways:
+    stale throughout, stale-then-refreshed at mid-window, fresh
+    throughout.  Log loss orders stale > refreshed > fresh; the refresh
+    run also pays the rollout's latency hit.
+    """
+    if model is None:
+        model = make_test_model(64, 8, hash_size=2000)
+    from ..core import Adagrad, DLRM, Trainer
+    from ..data import SyntheticDataGenerator
+
+    gen = SyntheticDataGenerator(model, rng=seed, seed_teacher=True)
+    assert gen.teacher is not None
+    student = DLRM(model, rng=seed + 1)
+    trainer = Trainer(
+        student,
+        lambda m: Adagrad(m.dense_parameters(), m.embedding_tables(), lr=0.05),
+    )
+    traffic = TrafficConfig(qps=qps, duration_s=duration_s, seed=seed + 2)
+    with tempfile.TemporaryDirectory() as tmp:
+        stale_path = os.path.join(tmp, "stale.npz")
+        fresh_path = os.path.join(tmp, "fresh.npz")
+        early = max(1, train_steps // 10)
+        for _ in range(early):
+            trainer.train_step(gen.batch(batch_size))
+        trainer.save_checkpoint(stale_path)
+        for _ in range(train_steps - early):
+            trainer.train_step(gen.batch(batch_size))
+        trainer.save_checkpoint(fresh_path)
+
+        cache = CacheConfig(capacity_rows=512, policy="lru")
+        phases = []
+        for scenario, start_path, refresh in (
+            ("stale", stale_path, None),
+            ("refreshed", stale_path, fresh_path),
+            ("fresh", fresh_path, None),
+        ):
+            from ..core.checkpoint import load_checkpoint
+
+            serving_model = DLRM(model, rng=0)
+            load_checkpoint(start_path, serving_model)
+            cfg = ServingConfig(
+                num_replicas=num_replicas,
+                cache=cache,
+                execute=True,
+                refresh_at_s=(0.5 * duration_s,) if refresh else (),
+                refresh_path=refresh,
+                seed=seed,
+            )
+            res = simulate_serving(
+                model, traffic, cfg, model=serving_model, teacher=gen.teacher
+            )
+            phases.append(
+                StalenessPhase(
+                    scenario=scenario,
+                    log_loss=_log_loss(res.scores, res.labels),
+                    normalized_entropy=_normalized_entropy(res.scores, res.labels),
+                    p99_ms=res.p99_ms,
+                    refreshes=res.refreshes,
+                    completed=res.completed,
+                )
+            )
+    return ServingStalenessResult(
+        model_name=model.name, train_steps=train_steps, phases=tuple(phases)
+    )
+
+
+def render_staleness(result: ServingStalenessResult) -> str:
+    rows = [
+        [
+            p.scenario,
+            f"{p.log_loss:.4f}",
+            f"{p.normalized_entropy:.4f}",
+            f"{p.p99_ms:.2f}",
+            f"{p.refreshes}",
+            f"{p.completed:,}",
+        ]
+        for p in result.phases
+    ]
+    return render_table(
+        ["snapshot", "log loss", "NE", "p99 ms", "refreshes", "completed"],
+        rows,
+        title=(
+            f"Extension: checkpoint-refresh staleness — {result.model_name}, "
+            f"student trained {result.train_steps} steps "
+            "(refresh swaps stale->fresh weights mid-traffic and pays the "
+            "rollout pause in p99)"
+        ),
+    )

@@ -14,7 +14,7 @@ from .planner import (
     plan_system_memory,
     table_footprint,
 )
-from .cache import CachePlan, plan_cache, zipf_hit_rate
+from .cache import CachePlan, lru_hit_rate, plan_cache, zipf_hit_rate
 from .strategies import (
     Location,
     LocationKind,
@@ -44,4 +44,5 @@ __all__ = [
     "CachePlan",
     "plan_cache",
     "zipf_hit_rate",
+    "lru_hit_rate",
 ]

@@ -1,0 +1,76 @@
+"""Online inference serving: queues, dynamic batching, caches, SLOs.
+
+Training efficiency (the paper's subject) is half of a recommendation
+model's life; the other half is serving the trained snapshot online.
+This package closes the loop with a discrete-event simulation priced by
+the *same* operator cost catalog as training (:mod:`repro.perf`):
+
+* :mod:`repro.serving.traffic` — seeded Poisson/diurnal request streams
+  with Zipf-skewed sparse ids;
+* :mod:`repro.serving.batcher` — dynamic batching (fill-or-timeout,
+  size-adaptive under load);
+* :mod:`repro.serving.cache` — functional LRU/LFU hot-row embedding
+  caches (optionally int8-quantized rows);
+* :mod:`repro.serving.replica` — replicas priced via the platform
+  roofline, optionally executing real inference through the shared
+  :class:`~repro.core.model.DLRM`;
+* :mod:`repro.serving.engine` — the event loop: arrivals, dispatch,
+  crashes + retries (:mod:`repro.resilience`), checkpoint refreshes;
+* :mod:`repro.serving.slo` — tail-latency SLOs, throughput-latency
+  curves, and SLO-constrained capacity planning.
+"""
+
+from __future__ import annotations
+
+from .batcher import BatchPolicy, DynamicBatcher
+from .cache import (
+    CacheBank,
+    CacheConfig,
+    CachedEmbeddingBagCollection,
+    HotRowCache,
+    predicted_hit_rate,
+)
+from .engine import ServingConfig, ServingResult, resolve_platform, simulate_serving
+from .replica import CACHE_HIT_SPEEDUP, Replica, serving_device
+from .slo import (
+    DEFAULT_CURVE_LOADS,
+    SLO,
+    ServingCapacityPlan,
+    plan_serving_capacity,
+    replica_capacity_qps,
+    throughput_latency_curve,
+)
+from .traffic import Request, TrafficConfig, generate_requests, requests_to_batch
+
+__all__ = [
+    # traffic
+    "TrafficConfig",
+    "Request",
+    "generate_requests",
+    "requests_to_batch",
+    # batcher
+    "BatchPolicy",
+    "DynamicBatcher",
+    # cache
+    "CacheConfig",
+    "HotRowCache",
+    "CacheBank",
+    "CachedEmbeddingBagCollection",
+    "predicted_hit_rate",
+    # replica
+    "Replica",
+    "serving_device",
+    "CACHE_HIT_SPEEDUP",
+    # engine
+    "ServingConfig",
+    "ServingResult",
+    "simulate_serving",
+    "resolve_platform",
+    # slo
+    "SLO",
+    "DEFAULT_CURVE_LOADS",
+    "replica_capacity_qps",
+    "throughput_latency_curve",
+    "ServingCapacityPlan",
+    "plan_serving_capacity",
+]

@@ -1,0 +1,115 @@
+"""Dynamic request batching for serving replicas.
+
+Inference efficiency follows the same batch-size economics as training
+(§V-B: larger batches amortize per-launch overheads) but serving cannot
+wait forever: every queued millisecond is user-visible latency.  The
+standard resolution is **dynamic batching**: dispatch when a batch fills
+*or* when the oldest request has waited a timeout, whichever comes first,
+and — when a replica is idle anyway — dispatch greedily with whatever is
+queued (waiting would add latency without improving utilization).  The
+batch size therefore adapts to load by itself: near-empty queues serve
+singletons, saturated queues serve full batches.
+
+The batcher is a pure data structure in virtual time (the engine owns the
+clock), which keeps its invariants directly testable:
+
+* FIFO: requests dispatch in enqueue order, never reordered or lost;
+* ``len(batch) <= max_batch_requests``;
+* a ready batch exists whenever the oldest wait reaches ``max_wait_s``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .traffic import Request
+
+__all__ = ["BatchPolicy", "DynamicBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Dispatch policy of the dynamic batcher.
+
+    Attributes:
+        max_batch_requests: hard cap on requests per dispatched batch.
+        max_wait_s: oldest-request wait bound; at this age a batch is
+            dispatched even if not full (the tail-latency guard).
+        adaptive: dispatch partial batches immediately when a replica is
+            idle (self-adapting batch size; disabling it forces strict
+            fill-or-timeout batching).
+    """
+
+    max_batch_requests: int = 8
+    max_wait_s: float = 0.005
+    adaptive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_requests < 1:
+            raise ValueError(
+                f"max_batch_requests must be >= 1, got {self.max_batch_requests}"
+            )
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+
+
+class DynamicBatcher:
+    """FIFO queue that forms batches under a :class:`BatchPolicy`."""
+
+    def __init__(self, policy: BatchPolicy) -> None:
+        self.policy = policy
+        self._queue: deque[tuple[Request, float]] = deque()
+        self.enqueued = 0
+        self.dispatched = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, request: Request, now: float) -> None:
+        """Append a request (arrival or retry) to the queue tail."""
+        self._queue.append((request, now))
+        self.enqueued += 1
+
+    def requeue_front(self, requests: list[Request], now: float) -> None:
+        """Put a failed batch back at the queue *head*, preserving its
+        internal order (crash retries should not leapfrog behind traffic
+        that arrived after them)."""
+        for req in reversed(requests):
+            self._queue.appendleft((req, now))
+        self.enqueued += len(requests)
+
+    def oldest_wait(self, now: float) -> float:
+        """Seconds the head request has been queued (0 when empty)."""
+        if not self._queue:
+            return 0.0
+        return now - self._queue[0][1]
+
+    def ready(self, now: float, idle_replica: bool = False) -> bool:
+        """Should a batch dispatch right now?
+
+        True when the queue holds a full batch, the head request has
+        aged past ``max_wait_s``, or (adaptive policy) a replica is idle
+        and anything at all is queued.
+        """
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.policy.max_batch_requests:
+            return True
+        if self.oldest_wait(now) >= self.policy.max_wait_s:
+            return True
+        return self.policy.adaptive and idle_replica
+
+    def next_deadline(self) -> float | None:
+        """Virtual time at which the head request hits ``max_wait_s``
+        (None when empty) — the engine schedules a timeout event here."""
+        if not self._queue:
+            return None
+        return self._queue[0][1] + self.policy.max_wait_s
+
+    def pop_batch(self, now: float) -> list[Request]:
+        """Dequeue up to ``max_batch_requests`` requests in FIFO order."""
+        take = min(len(self._queue), self.policy.max_batch_requests)
+        batch = [self._queue.popleft()[0] for _ in range(take)]
+        self.dispatched += len(batch)
+        return batch

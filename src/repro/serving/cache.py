@@ -1,0 +1,434 @@
+"""Functional hot-row embedding caches for serving replicas.
+
+The paper points out that skewed row popularity makes "caching popular
+embeddings" attractive (§III-A.2).  :mod:`repro.placement.cache` answers
+the question analytically; this module answers it *functionally*: an
+actual LRU/LFU cache processes the access stream, measures its own hit
+rate, and (optionally) stores rows 8/4/2-bit quantized via
+:mod:`repro.core.quantization` so the same capacity holds more rows.
+
+Layers:
+
+* :class:`HotRowCache` — one table's cache.  ``access`` does bookkeeping
+  only (the pricing path); ``get_rows`` also returns row vectors (the
+  functional path).
+* :class:`CacheBank` — per-table caches for a model config, driven by
+  ragged index batches; the unit a serving replica owns.
+* :class:`CachedEmbeddingBagCollection` — a drop-in pooled-lookup wrapper
+  around :class:`~repro.core.embedding.EmbeddingBagCollection` that fills
+  cache lines from the real tables (exact rows, or lossy quantized rows
+  when ``bits`` is set).
+
+Measured hit rates are cross-validated against
+:func:`repro.placement.cache.lru_hit_rate` (LRU / Che) and
+:func:`repro.placement.cache.zipf_hit_rate` (LFU / top-k mass) in
+``tests/test_serving_cache.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import FP32_BYTES, ModelConfig, PoolingType
+from ..core.embedding import EmbeddingBagCollection, RaggedIndices
+from ..core.quantization import dequantize_rows, quantize_rows
+from ..placement.cache import lru_hit_rate, zipf_hit_rate
+
+__all__ = [
+    "CacheConfig",
+    "HotRowCache",
+    "CacheBank",
+    "CachedEmbeddingBagCollection",
+    "predicted_hit_rate",
+]
+
+_POLICIES = ("lru", "lfu")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Sizing and policy of the per-table hot-row caches.
+
+    Attributes:
+        capacity_rows: rows cached per table (0 disables caching).
+        policy: ``"lru"`` (recency) or ``"lfu"`` (frequency).
+        bits: when set (8/4/2), cached rows are stored quantized — lossy
+            hits, but ``row_bytes`` shrinks accordingly.
+    """
+
+    capacity_rows: int = 0
+    policy: str = "lru"
+    bits: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_rows < 0:
+            raise ValueError(f"capacity_rows must be >= 0, got {self.capacity_rows}")
+        if self.policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, got {self.policy!r}")
+        if self.bits is not None and self.bits not in (2, 4, 8):
+            raise ValueError(f"bits must be one of (2, 4, 8), got {self.bits}")
+
+    def row_bytes(self, dim: int) -> float:
+        """Stored bytes per cached row (codes + scale when quantized)."""
+        if self.bits is None:
+            return dim * FP32_BYTES
+        return dim * self.bits / 8.0 + 4.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity_rows > 0
+
+
+def predicted_hit_rate(
+    policy: str, num_rows: int, capacity_rows: int, skew: float = 1.05
+) -> float:
+    """Analytic hit-rate prediction matching a :class:`HotRowCache` policy.
+
+    LFU converges to caching the most popular rows, so its steady-state
+    hit rate is the top-k Zipf mass (:func:`zipf_hit_rate`); LRU keeps
+    recently-used rows and lands strictly lower (:func:`lru_hit_rate`).
+    """
+    if policy == "lfu":
+        return zipf_hit_rate(num_rows, capacity_rows, skew)
+    if policy == "lru":
+        return lru_hit_rate(num_rows, capacity_rows, skew)
+    raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+
+
+class HotRowCache:
+    """One embedding table's hot-row cache with a measured hit rate.
+
+    Entries map row id -> stored payload (``None`` on the pricing-only
+    path).  LRU is an :class:`~collections.OrderedDict` used as a
+    recency list; LFU keeps per-row frequencies and evicts the
+    least-frequent via a lazy heap (stale heap entries are skipped on
+    pop), so both policies are O(log n) worst case per access.
+    """
+
+    def __init__(self, capacity_rows: int, policy: str = "lru") -> None:
+        if capacity_rows < 0:
+            raise ValueError(f"capacity_rows must be >= 0, got {capacity_rows}")
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+        self.capacity = capacity_rows
+        self.policy = policy
+        self.hits = 0
+        self.misses = 0
+        #: Misses on rows never seen before (cold-start fills).  A finite
+        #: window cannot avoid these, but the steady-state analytics
+        #: (:func:`predicted_hit_rate`) assume a warmed cache — so
+        #: cross-validation compares against :attr:`warm_hit_rate`.
+        self.compulsory_misses = 0
+        self._seen: set[int] = set()
+        self._store: OrderedDict[int, object] = OrderedDict()
+        # LFU state: row -> access count, plus a lazy min-heap of
+        # (count, seq, row) candidates.
+        self._freq: dict[int, int] = {}
+        self._heap: list[tuple[int, int, int]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, row: int) -> bool:
+        return row in self._store
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Hit rate with cold-start (first-touch) misses excluded.
+
+        An *optimistic* estimator: in steady state rare rows would still
+        miss on most accesses, but here their first touch is simply
+        dropped.  Together with the pessimistic raw :attr:`hit_rate`
+        (which charges every cold fill) the pair brackets the
+        steady-state hit rate over a finite window:
+        ``hit_rate <= steady_state <= warm_hit_rate``.
+        """
+        warm = self.accesses - self.compulsory_misses
+        return self.hits / warm if warm else 0.0
+
+    def invalidate(self) -> None:
+        """Drop all entries (checkpoint refresh / replica cold start).
+
+        Hit/miss counters survive — measured hit rates deliberately
+        include the cold re-warm cost of invalidations.
+        """
+        self._store.clear()
+        self._freq.clear()
+        self._heap.clear()
+
+    # -- internals ----------------------------------------------------------
+
+    def _lfu_push(self, row: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._freq[row], self._seq, row))
+
+    def _evict_one(self) -> None:
+        if self.policy == "lru":
+            self._store.popitem(last=False)
+            return
+        while self._heap:
+            count, _, row = heapq.heappop(self._heap)
+            if row in self._store and self._freq.get(row) == count:
+                del self._store[row]
+                del self._freq[row]
+                return
+        # Heap exhausted by stale entries: rebuild from live rows.
+        for row in self._store:  # pragma: no cover - defensive
+            self._lfu_push(row)
+        if self._heap:
+            self._evict_one()  # pragma: no cover - defensive
+
+    def _touch(self, row: int) -> bool:
+        """Record one access; returns True on hit."""
+        hit = row in self._store
+        if hit:
+            self.hits += 1
+            if self.policy == "lru":
+                self._store.move_to_end(row)
+            else:
+                self._freq[row] += 1
+                self._lfu_push(row)
+        else:
+            self.misses += 1
+            if row not in self._seen:
+                self.compulsory_misses += 1
+                self._seen.add(row)
+        return hit
+
+    def _insert(self, row: int, payload: object) -> None:
+        if self.capacity == 0:
+            return
+        if len(self._store) >= self.capacity:
+            self._evict_one()
+        self._store[row] = payload
+        if self.policy == "lfu":
+            self._freq[row] = self._freq.get(row, 0) + 1
+            self._lfu_push(row)
+
+    # -- public access paths -------------------------------------------------
+
+    def access(self, rows: np.ndarray) -> int:
+        """Bookkeeping-only pass over an access stream; returns hits.
+
+        Used by the pricing path (``execute=False`` serving runs): the
+        cache state and hit statistics evolve exactly as the functional
+        path, but no row data moves.
+        """
+        batch_hits = 0
+        for row in rows.tolist():
+            if self._touch(row):
+                batch_hits += 1
+            else:
+                self._insert(row, None)
+        return batch_hits
+
+    def get_rows(self, rows: np.ndarray, fetch, quant_bits: int | None) -> np.ndarray:
+        """Serve row vectors through the cache; returns ``(len(rows), dim)``.
+
+        ``fetch(row_ids) -> (k, dim)`` fills misses from backing storage.
+        With ``quant_bits`` set, payloads are stored quantized and hits
+        are dequantized — the lossy-compression serving option.
+        """
+        out: list[np.ndarray] = []
+        for row in rows.tolist():
+            if self._touch(row):
+                payload = self._store[row]
+                if quant_bits is None:
+                    out.append(payload)  # type: ignore[arg-type]
+                else:
+                    codes, scale = payload  # type: ignore[misc]
+                    out.append(dequantize_rows(codes, scale)[0])
+            else:
+                vec = np.asarray(fetch(np.array([row], dtype=np.int64))[0], dtype=float)
+                if quant_bits is None:
+                    self._insert(row, vec)
+                    out.append(vec)
+                else:
+                    codes, scales = quantize_rows(vec[None, :], quant_bits)
+                    self._insert(row, (codes, scales))
+                    out.append(dequantize_rows(codes, scales)[0])
+        if not out:
+            return np.empty((0, 0))
+        return np.stack(out)
+
+
+class CacheBank:
+    """Per-table hot-row caches for one model config.
+
+    Each serving replica owns a bank, so hit rates reflect the traffic
+    that replica actually saw (and go cold independently when a replica
+    restarts).
+    """
+
+    def __init__(self, model: ModelConfig, config: CacheConfig) -> None:
+        self.model = model
+        self.config = config
+        self.caches: dict[str, HotRowCache] = {
+            spec.name: HotRowCache(
+                min(config.capacity_rows, spec.hash_size), config.policy
+            )
+            for spec in model.tables
+        }
+        self._truncation = {spec.name: spec.truncation for spec in model.tables}
+
+    @property
+    def hits(self) -> int:
+        return sum(c.hits for c in self.caches.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(c.misses for c in self.caches.values())
+
+    @property
+    def compulsory_misses(self) -> int:
+        return sum(c.compulsory_misses for c in self.caches.values())
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        warm = self.accesses - self.compulsory_misses
+        return self.hits / warm if warm else 0.0
+
+    def per_table_hit_rate(self) -> dict[str, float]:
+        return {name: c.hit_rate for name, c in self.caches.items()}
+
+    @property
+    def capacity_bytes(self) -> float:
+        return sum(
+            self.config.row_bytes(self.model.embedding_dim) * c.capacity
+            for c in self.caches.values()
+        )
+
+    def invalidate(self) -> None:
+        for c in self.caches.values():
+            c.invalidate()
+
+    def _prepared_values(self, name: str, indices: RaggedIndices) -> np.ndarray:
+        trunc = self._truncation[name]
+        if trunc is not None:
+            indices = indices.truncate(trunc)
+        return indices.values
+
+    def access_batch(self, sparse: dict[str, RaggedIndices]) -> int:
+        """Bookkeeping pass over one merged batch; returns batch hits."""
+        batch_hits = 0
+        for name, cache in self.caches.items():
+            batch_hits += cache.access(self._prepared_values(name, sparse[name]))
+        return batch_hits
+
+    def predicted_hit_rate(self, skew: float = 1.05) -> float:
+        """Lookup-weighted analytic hit rate for this bank's policy."""
+        total = max(self.model.mean_total_lookups, 1e-12)
+        rate = 0.0
+        for spec in self.model.tables:
+            rate += (
+                spec.effective_mean_lookups
+                * predicted_hit_rate(
+                    self.config.policy,
+                    spec.hash_size,
+                    self.caches[spec.name].capacity,
+                    skew,
+                )
+                / total
+            )
+        return min(1.0, rate)
+
+
+class CachedEmbeddingBagCollection:
+    """Pooled embedding lookups served through a hot-row cache.
+
+    Mirrors :meth:`EmbeddingBagCollection.forward` (inference mode only:
+    nothing is saved for backward) but routes every row gather through
+    the bank; misses fill from the real table weights.  With
+    ``config.bits`` set, cached rows are quantized — hits return lossy
+    rows while misses stay exact, which is how a quantized cache tier
+    actually behaves.
+    """
+
+    def __init__(self, ebc: EmbeddingBagCollection, config: CacheConfig) -> None:
+        self.ebc = ebc
+        self.config = config
+        specs = ebc.specs
+        self.caches: dict[str, HotRowCache] = {
+            spec.name: HotRowCache(
+                min(config.capacity_rows, spec.hash_size), config.policy
+            )
+            for spec in specs
+        }
+
+    @property
+    def hits(self) -> int:
+        return sum(c.hits for c in self.caches.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(c.misses for c in self.caches.values())
+
+    @property
+    def compulsory_misses(self) -> int:
+        return sum(c.compulsory_misses for c in self.caches.values())
+
+    @property
+    def hit_rate(self) -> float:
+        acc = self.hits + self.misses
+        return self.hits / acc if acc else 0.0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        warm = self.hits + self.misses - self.compulsory_misses
+        return self.hits / warm if warm else 0.0
+
+    def invalidate(self) -> None:
+        for c in self.caches.values():
+            c.invalidate()
+
+    def forward(self, batch: dict[str, RaggedIndices]) -> dict[str, np.ndarray]:
+        """Cache-served pooled lookup; returns feature name -> (batch, dim).
+
+        Agrees exactly with ``EmbeddingBagCollection.forward(...,
+        training=False)`` when ``bits`` is None (the cache stores exact
+        rows), and within quantization error otherwise.
+        """
+        out: dict[str, np.ndarray] = {}
+        for feature in self.ebc.feature_names:
+            table = self.ebc.tables[self.ebc.feature_to_table[feature]]
+            indices = batch[feature]
+            if table.spec.truncation is not None:
+                indices = indices.truncate(table.spec.truncation)
+            cache = self.caches[self.ebc.feature_to_table[feature]]
+            gathered = cache.get_rows(
+                indices.values,
+                fetch=lambda rows, w=table.weight: w[rows],
+                quant_bits=self.config.bits,
+            )
+            lengths = indices.lengths()
+            pooled = np.zeros(
+                (indices.batch_size, table.dim), dtype=table.weight.dtype
+            )
+            if len(indices.values):
+                sample_of = np.repeat(np.arange(indices.batch_size), lengths)
+                np.add.at(pooled, sample_of, gathered)
+            if table.pooling is PoolingType.MEAN:
+                pooled = pooled / np.maximum(lengths, 1).astype(pooled.dtype)[:, None]
+            out[feature] = pooled
+        return out

@@ -1,0 +1,464 @@
+"""Discrete-event serving simulation: queue -> batcher -> replica pool.
+
+One shared FIFO :class:`~repro.serving.batcher.DynamicBatcher` feeds a
+pool of :class:`~repro.serving.replica.Replica` s in virtual time — the
+single-queue/multi-server shape production inference tiers use.  The
+event loop is a seeded heap with deterministic tie-breaking, so the same
+configuration reproduces the same latency sample bit-for-bit.
+
+Event kinds:
+
+* ``arrival`` — a request enters the queue;
+* ``timeout`` — the batcher's oldest-wait deadline fires;
+* ``done`` — a replica finishes a batch (stale if the replica crashed
+  mid-service);
+* ``crash`` / ``restore`` — hard failures from a
+  :class:`~repro.resilience.faults.FaultPlan` (replicas map to
+  ``ComponentKind.TRAINER``); in-flight requests are retried under the
+  :class:`~repro.resilience.retry.RetryPolicy` or dropped, and the
+  replica is down for the checkpoint-restore time
+  (:func:`repro.resilience.recovery.restore_time_s`);
+* ``requeue`` — a retried request re-enters the queue after backoff;
+* ``refresh`` — a checkpoint refresh swaps model weights mid-traffic
+  (staleness experiments), invalidating caches and pausing replicas in a
+  staggered rollout.
+
+The loop also integrates the number of in-system requests over time, so
+results self-check against Little's law (``L = lambda W``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..core.model import DLRM
+from ..hardware.specs import DUAL_SOCKET_CPU, PLATFORMS, PlatformSpec
+from ..obs import MetricsRegistry
+from ..resilience.faults import ComponentKind, FaultInjector, FaultPlan
+from ..resilience.recovery import model_checkpoint_bytes, restore_time_s
+from ..resilience.retry import RetryPolicy
+from .batcher import BatchPolicy, DynamicBatcher
+from .cache import CacheConfig
+from .replica import Replica
+from .traffic import Request, TrafficConfig, generate_requests
+
+__all__ = ["ServingConfig", "ServingResult", "simulate_serving", "resolve_platform"]
+
+
+def resolve_platform(name: str) -> PlatformSpec:
+    """Map a serving platform name (``cpu`` or a Table I platform)."""
+    if name == "cpu":
+        return DUAL_SOCKET_CPU
+    if name in PLATFORMS:
+        return PLATFORMS[name]
+    raise ValueError(f"unknown platform {name!r}; use 'cpu' or one of {sorted(PLATFORMS)}")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """One serving deployment to simulate.
+
+    Attributes:
+        num_replicas: servers in the pool.
+        platform: ``"cpu"`` (dual-socket server per replica) or a GPU
+            platform name (one GPU per replica).
+        policy: dynamic batching policy.
+        cache: hot-row cache sizing (``capacity_rows=0`` disables).
+        execute: run real model math (scores per request) instead of the
+            pricing-only path.  Pricing is identical either way; execute
+            adds functional outputs for accuracy/staleness work.
+        fault_plan: optional replica-crash plan (``trainer`` components).
+        retry: retry policy for requests in-flight on a crashed replica;
+            ``None`` drops them.
+        refresh_at_s: virtual times at which a checkpoint refresh rolls
+            over the replica pool.
+        refresh_path: checkpoint to load at each refresh (``execute``
+            mode; pricing-only refreshes still pay the pause and cache
+            invalidation).
+        seed: engine seed (model init in execute mode, retry jitter).
+    """
+
+    num_replicas: int = 2
+    platform: str = "cpu"
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    execute: bool = False
+    fault_plan: FaultPlan | None = None
+    retry: RetryPolicy | None = None
+    refresh_at_s: tuple[float, ...] = ()
+    refresh_path: str | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {self.num_replicas}")
+        resolve_platform(self.platform)
+
+
+@dataclass
+class ServingResult:
+    """Outcome of one simulated serving window."""
+
+    model_name: str
+    config: ServingConfig
+    horizon_s: float
+    end_s: float
+    offered_qps: float
+    arrived: int
+    completed: int
+    dropped: int
+    retried: int
+    crashes: int
+    refreshes: int
+    latencies_s: np.ndarray  # completion order
+    batch_sizes: np.ndarray
+    scores: np.ndarray  # empty unless execute
+    labels: np.ndarray  # aligned with scores
+    cache_hits: int
+    cache_accesses: int
+    cache_compulsory_misses: int
+    predicted_cache_hit_rate: float
+    mean_in_system: float
+    metrics: MetricsRegistry
+
+    @property
+    def completed_qps(self) -> float:
+        return self.completed / self.end_s if self.end_s > 0 else 0.0
+
+    @property
+    def measured_cache_hit_rate(self) -> float:
+        return self.cache_hits / self.cache_accesses if self.cache_accesses else 0.0
+
+    @property
+    def warm_cache_hit_rate(self) -> float:
+        """Hit rate excluding cold-start (first-touch) misses — the
+        optimistic bound of the ``[measured, warm]`` bracket around the
+        steady-state hit rate (see
+        :attr:`repro.serving.cache.HotRowCache.warm_hit_rate`)."""
+        warm = self.cache_accesses - self.cache_compulsory_misses
+        return self.cache_hits / warm if warm else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(self.latencies_s.mean()) if len(self.latencies_s) else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        if not len(self.latencies_s):
+            return 0.0
+        return float(np.quantile(self.latencies_s, q))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_quantile(0.50) * 1e3
+
+    @property
+    def p95_ms(self) -> float:
+        return self.latency_quantile(0.95) * 1e3
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_quantile(0.99) * 1e3
+
+    def littles_law_gap(self) -> float:
+        """Relative gap between the time-averaged in-system count ``L``
+        and ``lambda * W`` — an internal-consistency check on the event
+        loop (small unless many requests dropped mid-sojourn)."""
+        lam = self.completed / self.end_s if self.end_s > 0 else 0.0
+        lw = lam * self.mean_latency_s
+        if max(self.mean_in_system, lw) <= 0:
+            return 0.0
+        return abs(self.mean_in_system - lw) / max(self.mean_in_system, lw)
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model_name,
+            "platform": self.config.platform,
+            "replicas": self.config.num_replicas,
+            "offered_qps": self.offered_qps,
+            "completed_qps": self.completed_qps,
+            "arrived": self.arrived,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "retried": self.retried,
+            "crashes": self.crashes,
+            "refreshes": self.refreshes,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_latency_ms": self.mean_latency_s * 1e3,
+            "mean_batch_size": float(self.batch_sizes.mean())
+            if len(self.batch_sizes)
+            else 0.0,
+            "cache_hit_rate": self.measured_cache_hit_rate,
+            "warm_cache_hit_rate": self.warm_cache_hit_rate,
+            "predicted_cache_hit_rate": self.predicted_cache_hit_rate,
+            "littles_law_gap": self.littles_law_gap(),
+            "mean_in_system": self.mean_in_system,
+        }
+
+
+# Event kinds (heap entries are (time, seq, kind, payload); seq makes
+# ordering total and deterministic).
+_ARRIVAL = "arrival"
+_TIMEOUT = "timeout"
+_DONE = "done"
+_CRASH = "crash"
+_RESTORE = "restore"
+_REQUEUE = "requeue"
+_REFRESH = "refresh"
+
+
+def simulate_serving(
+    model_cfg: ModelConfig,
+    traffic: TrafficConfig,
+    cfg: ServingConfig = ServingConfig(),
+    model: DLRM | None = None,
+    requests: list[Request] | None = None,
+    teacher=None,
+    tracer=None,
+) -> ServingResult:
+    """Run one serving window and return its measured behaviour.
+
+    ``requests`` overrides traffic generation (tests inject exact
+    streams); ``model`` supplies a trained DLRM for ``execute`` mode
+    (a fresh one is initialized from ``cfg.seed`` otherwise).
+    """
+    platform = resolve_platform(cfg.platform)
+    if cfg.execute and model is None:
+        model = DLRM(model_cfg, rng=cfg.seed)
+    if requests is None:
+        requests = generate_requests(model_cfg, traffic, teacher=teacher)
+    replicas = [
+        Replica(
+            i,
+            model_cfg,
+            cfg.cache,
+            platform,
+            model=model if cfg.execute else None,
+        )
+        for i in range(cfg.num_replicas)
+    ]
+    batcher = DynamicBatcher(cfg.policy)
+    metrics = MetricsRegistry()
+    retry_rng = np.random.default_rng(cfg.seed + 0x5E21)
+
+    events: list[tuple[float, int, str, object]] = []
+    seq = 0
+
+    def push(t: float, kind: str, payload: object = None) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, seq, kind, payload))
+        seq += 1
+
+    for i, req in enumerate(requests):
+        push(req.arrival_s, _ARRIVAL, i)
+
+    # -- faults ---------------------------------------------------------------
+    crash_count = 0
+    restore_s = restore_time_s(
+        model_checkpoint_bytes(model_cfg, include_optimizer=False), platform
+    )
+    if cfg.fault_plan is not None:
+        injector = FaultInjector(cfg.fault_plan)
+        for event in injector.sample_crashes(
+            {ComponentKind.TRAINER: cfg.num_replicas}, traffic.duration_s
+        ):
+            if event.kind == ComponentKind.TRAINER and event.index < cfg.num_replicas:
+                push(event.time_s, _CRASH, event.index)
+    else:
+        injector = None
+
+    # -- checkpoint refreshes (staggered one replica at a time) ---------------
+    refreshes = 0
+    for t_refresh in cfg.refresh_at_s:
+        for r in range(cfg.num_replicas):
+            push(t_refresh + r * restore_s, _REFRESH, r)
+
+    # -- bookkeeping ----------------------------------------------------------
+    completed = dropped = retried = 0
+    latencies: list[float] = []
+    scores: list[float] = []
+    labels: list[float] = []
+    batch_sizes: list[int] = []
+    in_system = 0
+    area = 0.0
+    last_t = 0.0
+    c_completed = metrics.counter("serving.completed")
+    c_dropped = metrics.counter("serving.dropped")
+    c_retried = metrics.counter("serving.retried")
+    c_crashes = metrics.counter("serving.crashes")
+    h_latency = metrics.histogram("serving.latency_s")
+    h_batch = metrics.histogram("serving.batch_size")
+    h_service = metrics.histogram("serving.service_s")
+
+    def advance(t: float) -> None:
+        nonlocal area, last_t
+        if t > last_t:
+            area += in_system * (t - last_t)
+            last_t = t
+
+    def begin_service(rep: Replica, reqs: list[Request], now: float) -> None:
+        if cfg.execute and cfg.cache.enabled:
+            before_h, before_m = rep.cache_hits, rep.cache_misses
+            batch_scores = rep.predict(reqs)
+            hits = rep.cache_hits - before_h
+            lookups = hits + (rep.cache_misses - before_m)
+        elif cfg.execute:
+            batch_scores = rep.predict(reqs)
+            hits, lookups = 0, sum(r.total_lookups for r in reqs)
+        else:
+            batch_scores = None
+            hits, lookups = rep.touch_cache(reqs)
+        slowdown = (
+            injector.slowdown_at(ComponentKind.TRAINER, rep.index, now)
+            if injector is not None
+            else 1.0
+        )
+        svc = rep.service_time(len(reqs), lookups, hits, slowdown)
+        rep.inflight = reqs
+        batch_sizes.append(len(reqs))
+        h_batch.observe(len(reqs))
+        h_service.observe(svc)
+        if tracer is not None and tracer.enabled:
+            tracer.record(
+                f"serve_batch[{len(reqs)}]",
+                "serving",
+                t0=now,
+                duration=svc,
+                tid=rep.index,
+            )
+        push(now + svc, _DONE, (rep.index, rep.epoch, reqs, batch_scores))
+
+    def dispatch(now: float) -> None:
+        while True:
+            idle = [
+                r
+                for r in replicas
+                if r.alive and r.inflight is None and r.pause_until <= now
+            ]
+            if not idle or not batcher.ready(now, idle_replica=True):
+                break
+            begin_service(idle[0], batcher.pop_batch(now), now)
+        if len(batcher):
+            deadline = batcher.next_deadline()
+            if deadline is not None and deadline > now:
+                push(deadline, _TIMEOUT)
+
+    # -- event loop -----------------------------------------------------------
+    while events:
+        now, _, kind, payload = heapq.heappop(events)
+        advance(now)
+        if kind == _ARRIVAL:
+            req = requests[payload]  # type: ignore[index]
+            in_system += 1
+            batcher.enqueue(req, now)
+            dispatch(now)
+        elif kind == _TIMEOUT:
+            dispatch(now)
+        elif kind == _DONE:
+            r_idx, epoch, reqs, batch_scores = payload  # type: ignore[misc]
+            rep = replicas[r_idx]
+            if rep.epoch != epoch:
+                continue  # replica crashed mid-service; batch was requeued
+            rep.inflight = None
+            for j, req in enumerate(reqs):
+                latencies.append(now - req.arrival_s)
+                h_latency.observe(now - req.arrival_s)
+                if batch_scores is not None:
+                    scores.append(float(batch_scores[j]))
+                    labels.append(req.label)
+            completed += len(reqs)
+            c_completed.inc(len(reqs))
+            in_system -= len(reqs)
+            dispatch(now)
+        elif kind == _CRASH:
+            rep = replicas[payload]  # type: ignore[index]
+            if not rep.alive:
+                continue  # already down; coincident crash is a no-op
+            rep.alive = False
+            rep.epoch += 1
+            crash_count += 1
+            c_crashes.inc()
+            if rep.inflight is not None:
+                for req in rep.inflight:
+                    req.attempts += 1
+                    if (
+                        cfg.retry is not None
+                        and req.attempts < cfg.retry.max_attempts
+                    ):
+                        delay = cfg.retry.backoff_s(req.attempts, retry_rng)
+                        push(now + delay, _REQUEUE, req)
+                        retried += 1
+                        c_retried.inc()
+                    else:
+                        dropped += 1
+                        c_dropped.inc()
+                        in_system -= 1
+                rep.inflight = None
+            push(now + restore_s, _RESTORE, rep.index)
+        elif kind == _RESTORE:
+            rep = replicas[payload]  # type: ignore[index]
+            rep.alive = True
+            rep.invalidate_cache()  # cold restart
+            dispatch(now)
+        elif kind == _REQUEUE:
+            batcher.enqueue(payload, now)  # type: ignore[arg-type]
+            dispatch(now)
+        elif kind == _REFRESH:
+            rep = replicas[payload]  # type: ignore[index]
+            if payload == 0 and cfg.execute and cfg.refresh_path is not None:
+                from ..core.checkpoint import load_checkpoint
+
+                assert model is not None
+                load_checkpoint(cfg.refresh_path, model)
+            rep.invalidate_cache()
+            rep.pause_until = now + restore_s
+            refreshes += 1
+            push(rep.pause_until, _TIMEOUT)
+
+    end_s = max(last_t, traffic.duration_s)
+    cache_hits = sum(r.cache_hits for r in replicas)
+    cache_accesses = cache_hits + sum(r.cache_misses for r in replicas)
+    cache_compulsory = sum(r.cache_compulsory_misses for r in replicas)
+    predicted = 0.0
+    if cfg.cache.enabled:
+        bank = replicas[0].bank
+        if bank is not None:
+            predicted = bank.predicted_hit_rate(skew=traffic.skew)
+        else:
+            from .cache import CacheBank
+
+            predicted = CacheBank(model_cfg, cfg.cache).predicted_hit_rate(
+                skew=traffic.skew
+            )
+    metrics.gauge("serving.cache_hit_rate").set(
+        cache_hits / cache_accesses if cache_accesses else 0.0
+    )
+    metrics.gauge("serving.mean_in_system").set(area / end_s if end_s > 0 else 0.0)
+    return ServingResult(
+        model_name=model_cfg.name,
+        config=cfg,
+        horizon_s=traffic.duration_s,
+        end_s=end_s,
+        offered_qps=len(requests) / traffic.duration_s,
+        arrived=len(requests),
+        completed=completed,
+        dropped=dropped,
+        retried=retried,
+        crashes=crash_count,
+        refreshes=refreshes,
+        latencies_s=np.asarray(latencies),
+        batch_sizes=np.asarray(batch_sizes, dtype=np.int64),
+        scores=np.asarray(scores),
+        labels=np.asarray(labels),
+        cache_hits=cache_hits,
+        cache_accesses=cache_accesses,
+        cache_compulsory_misses=cache_compulsory,
+        predicted_cache_hit_rate=predicted,
+        mean_in_system=area / end_s if end_s > 0 else 0.0,
+        metrics=metrics,
+    )

@@ -1,0 +1,200 @@
+"""A serving replica: priced by the perf cost catalog, executed by the model.
+
+Each replica owns a hot-row cache (:mod:`repro.serving.cache`) and serves
+dynamic batches two ways at once:
+
+* **pricing** — per-batch service time from the same operator catalog the
+  training model uses (:func:`repro.perf.ops.inference_dense_cost` for
+  the dense forward slice, plus cache-discounted embedding gather bytes),
+  mapped through the platform roofline
+  (:func:`repro.hardware.device.op_time`).  This keeps training and
+  serving throughput claims mutually consistent: inference is priced as
+  the forward slice of the training iteration.
+* **execution** (optional) — actual click probabilities through the
+  shared :class:`~repro.core.model.DLRM` using the inference fast path
+  (``training=False``) with embeddings served from the replica's cache.
+
+Replicas share one model's weights (production replicas serve the same
+snapshot) but own their caches, so cache warmth is per-replica state that
+a crash or checkpoint refresh wipes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import FP32_BYTES, ModelConfig
+from ..core.loss import sigmoid
+from ..core.model import DLRM
+from ..hardware.device import DeviceSpec, OpCost, op_time
+from ..hardware.specs import DUAL_SOCKET_CPU, PlatformSpec
+from ..perf.calibration import DEFAULT_CALIBRATION, Calibration
+from ..perf.ops import EMB_RANDOM_ACCESS_PENALTY, inference_dense_cost
+from ..perf.pipeline import _aggregate_cpu_device
+from .cache import CacheBank, CacheConfig, CachedEmbeddingBagCollection
+from .traffic import Request, requests_to_batch
+
+__all__ = ["Replica", "serving_device", "CACHE_HIT_SPEEDUP"]
+
+#: Effective-bandwidth multiplier for cache hits: hot rows live in a
+#: fast tier (LLC / pinned HBM slab) instead of being random DRAM
+#: gathers, so a hit moves bytes ~an order of magnitude faster than the
+#: penalized miss path.
+CACHE_HIT_SPEEDUP = 8.0
+
+
+def serving_device(
+    platform: PlatformSpec, calib: Calibration = DEFAULT_CALIBRATION
+) -> DeviceSpec:
+    """The roofline device one replica runs on.
+
+    CPU platforms aggregate all sockets (one replica per server, the
+    production CPU-serving shape); GPU platforms dedicate one GPU per
+    replica (inference never needs the 8-GPU data-parallel gang).
+    """
+    if platform.has_gpus:
+        assert platform.gpu is not None
+        return platform.gpu
+    return _aggregate_cpu_device(platform, calib)
+
+
+class Replica:
+    """One serving replica: cache + pricing + optional execution."""
+
+    def __init__(
+        self,
+        index: int,
+        model_cfg: ModelConfig,
+        cache_cfg: CacheConfig,
+        platform: PlatformSpec = DUAL_SOCKET_CPU,
+        model: DLRM | None = None,
+        calib: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.index = index
+        self.model_cfg = model_cfg
+        self.cache_cfg = cache_cfg
+        self.platform = platform
+        self.device = serving_device(platform, calib)
+        self._overhead_s = (
+            calib.gpu_iteration_overhead_s
+            if platform.has_gpus
+            else calib.cpu_iteration_overhead_s
+        )
+        self.model = model
+        if model is not None:
+            self.cached = CachedEmbeddingBagCollection(model.embeddings, cache_cfg)
+            self.bank: CacheBank | None = None
+        else:
+            self.cached = None
+            self.bank = CacheBank(model_cfg, cache_cfg)
+        # -- engine-owned scheduling state ----------------------------------
+        self.alive = True
+        self.busy_until = 0.0
+        self.pause_until = 0.0
+        self.inflight: list[Request] | None = None
+        self.epoch = 0  # bumped on crash so stale completions are ignored
+
+    # -- cache statistics ----------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        src = self.cached if self.cached is not None else self.bank
+        return src.hits if src is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        src = self.cached if self.cached is not None else self.bank
+        return src.misses if src is not None else 0
+
+    @property
+    def cache_compulsory_misses(self) -> int:
+        src = self.cached if self.cached is not None else self.bank
+        return src.compulsory_misses if src is not None else 0
+
+    def invalidate_cache(self) -> None:
+        if self.cached is not None:
+            self.cached.invalidate()
+        if self.bank is not None:
+            self.bank.invalidate()
+
+    # -- service --------------------------------------------------------------
+
+    def touch_cache(self, requests: list[Request]) -> tuple[int, int]:
+        """Run the batch's accesses through the cache (bookkeeping only);
+        returns ``(hits, lookups)`` for pricing."""
+        if not self.cache_cfg.enabled:
+            return 0, sum(r.total_lookups for r in requests)
+        batch = requests_to_batch(requests, self.model_cfg)
+        before_h = self.cache_hits
+        before_a = before_h + self.cache_misses
+        if self.bank is not None:
+            self.bank.access_batch(batch.sparse)
+        else:
+            assert self.cached is not None
+            # Bookkeeping through the functional caches without gathers.
+            for feature in self.cached.ebc.feature_names:
+                table = self.cached.ebc.tables[self.cached.ebc.feature_to_table[feature]]
+                indices = batch.sparse[feature]
+                if table.spec.truncation is not None:
+                    indices = indices.truncate(table.spec.truncation)
+                cache = self.cached.caches[self.cached.ebc.feature_to_table[feature]]
+                cache.access(indices.values)
+        hits = self.cache_hits - before_h
+        lookups = (self.cache_hits + self.cache_misses) - before_a
+        return hits, lookups
+
+    def predict(self, requests: list[Request]) -> np.ndarray:
+        """Functional inference through the shared model + this replica's
+        cache; returns click probabilities aligned with ``requests``."""
+        if self.model is None or self.cached is None:
+            raise RuntimeError("replica built without a model cannot execute")
+        batch = requests_to_batch(requests, self.model_cfg)
+        model = self.model
+        dense_out = model.bottom_mlp.forward(
+            batch.dense.astype(model.dtype, copy=False), training=False
+        )
+        if self.cache_cfg.enabled:
+            emb_out = self.cached.forward(batch.sparse)
+        else:
+            emb_out = model.embeddings.forward(batch.sparse, training=False)
+        embs = [emb_out[name] for name in (t.name for t in self.model_cfg.tables)]
+        interacted = model.interaction.forward(dense_out, embs, training=False)
+        top_out = model.top_mlp.forward(interacted, training=False)
+        logits = model.scorer.forward(top_out, training=False)
+        return sigmoid(logits.reshape(-1))
+
+    # -- pricing --------------------------------------------------------------
+
+    def embedding_cost(self, lookups: int, hits: int, batch: int) -> OpCost:
+        """Gather+pool cost with hit traffic served from the fast tier.
+
+        Misses pay the full irregular-gather penalty of
+        :func:`repro.perf.ops.embedding_lookup_cost`; hits move
+        ``row_bytes / CACHE_HIT_SPEEDUP`` equivalent bytes (smaller still
+        when the cache stores quantized rows).
+        """
+        d = self.model_cfg.embedding_dim
+        misses = lookups - hits
+        hit_row_bytes = self.cache_cfg.row_bytes(d)
+        gather_bytes = EMB_RANDOM_ACCESS_PENALTY * (
+            misses * d * FP32_BYTES + hits * hit_row_bytes / CACHE_HIT_SPEEDUP
+        )
+        pooled_bytes = batch * self.model_cfg.num_sparse * d * FP32_BYTES
+        return OpCost(
+            flops=float(lookups * d),
+            bytes=gather_bytes + pooled_bytes,
+            kernels=self.model_cfg.num_sparse,
+        )
+
+    def service_time(
+        self, batch: int, lookups: int, hits: int, slowdown: float = 1.0
+    ) -> float:
+        """Per-batch service time: fixed overhead + dense forward +
+        cache-discounted embedding path, times any degradation factor."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if not 0 <= hits <= lookups:
+            raise ValueError(f"hits {hits} outside [0, {lookups}]")
+        dense = op_time(self.device, inference_dense_cost(self.model_cfg, batch))
+        emb = op_time(self.device, self.embedding_cost(lookups, hits, batch))
+        return self._overhead_s + (dense + emb) * slowdown

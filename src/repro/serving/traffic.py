@@ -1,0 +1,230 @@
+"""Request traffic for the online serving simulation.
+
+Training throughput is only half of the efficiency story: the models the
+paper characterizes are trained *continually* because they serve live
+click-through traffic (§II-A).  This module synthesizes that traffic:
+
+* seeded **Poisson arrivals** at a target QPS, optionally modulated by a
+  diurnal sine (the daily load swing production capacity is planned
+  around), thinned from the peak rate so the process stays exact;
+* per-request sparse features whose row ids follow the **exact discrete
+  Zipf** law (:func:`repro.data.distributions.sample_discrete_zipf`), so
+  measured hot-row-cache hit rates are comparable with the analytic
+  predictions in :mod:`repro.placement.cache`;
+* optional labels from a :class:`repro.data.click_model.ClickModel`
+  teacher so staleness experiments can score NE on served traffic.
+
+Generation is vectorized: all arrivals, dense features and lookups are
+drawn in bulk and then sliced into per-:class:`Request` views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..core.embedding import RaggedIndices
+from ..core.model import Batch
+from ..data.click_model import ClickModel
+from ..data.distributions import sample_discrete_zipf
+from ..data.synthetic import sample_lengths
+
+__all__ = ["TrafficConfig", "Request", "generate_requests", "requests_to_batch"]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of one serving-traffic window.
+
+    Attributes:
+        qps: mean request arrival rate (requests/second).
+        duration_s: window length in simulated seconds.
+        num_flows: independent client flows; requests are tagged so
+            per-flow ordering invariants can be checked.
+        skew: Zipf exponent of row popularity (1.05 matches the training
+            data generator and the cache analytics).
+        diurnal_amplitude: ``A`` in ``rate(t) = qps * (1 + A sin(2 pi t /
+            period))``; 0 disables modulation.  Must leave the rate
+            positive (``A < 1``).
+        diurnal_period_s: period of the modulation.
+        seed: RNG seed; identical configs generate identical traffic.
+    """
+
+    qps: float
+    duration_s: float
+    num_flows: int = 4
+    skew: float = 1.05
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive, got {self.qps}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.num_flows < 1:
+            raise ValueError(f"num_flows must be >= 1, got {self.num_flows}")
+        if self.skew < 0:
+            raise ValueError(f"skew must be >= 0, got {self.skew}")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1), got {self.diurnal_amplitude}"
+            )
+        if self.diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be positive")
+
+
+class Request:
+    """One inference request: a single example plus queueing bookkeeping.
+
+    ``sparse`` maps feature name -> 1-D index array (the example's
+    activated rows for that feature).  ``attempts`` counts service
+    attempts consumed by replica crashes (see
+    :mod:`repro.serving.engine`).
+    """
+
+    __slots__ = ("rid", "flow", "arrival_s", "dense", "sparse", "label", "attempts")
+
+    def __init__(
+        self,
+        rid: int,
+        flow: int,
+        arrival_s: float,
+        dense: np.ndarray,
+        sparse: dict[str, np.ndarray],
+        label: float = 0.0,
+    ) -> None:
+        self.rid = rid
+        self.flow = flow
+        self.arrival_s = arrival_s
+        self.dense = dense
+        self.sparse = sparse
+        self.label = label
+        self.attempts = 0
+
+    @property
+    def total_lookups(self) -> int:
+        return sum(len(v) for v in self.sparse.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Request(rid={self.rid}, flow={self.flow}, t={self.arrival_s:.4f})"
+
+
+def _poisson_arrivals(cfg: TrafficConfig, rng: np.random.Generator) -> np.ndarray:
+    """Arrival times over ``[0, duration_s)``; exact thinning for diurnal."""
+    peak = cfg.qps * (1.0 + cfg.diurnal_amplitude)
+    # Draw gaps in bulk at the peak rate; top up until past the horizon.
+    times: list[np.ndarray] = []
+    t, total = 0.0, 0
+    expect = int(peak * cfg.duration_s * 1.2) + 16
+    while t < cfg.duration_s:
+        gaps = rng.exponential(1.0 / peak, size=expect)
+        arr = t + np.cumsum(gaps)
+        times.append(arr)
+        t = float(arr[-1])
+        total += len(arr)
+        if total > 50_000_000:  # pragma: no cover - defensive
+            raise ValueError("traffic config generates unreasonably many requests")
+    arrivals = np.concatenate(times)
+    arrivals = arrivals[arrivals < cfg.duration_s]
+    if cfg.diurnal_amplitude > 0:
+        rate = cfg.qps * (
+            1.0
+            + cfg.diurnal_amplitude
+            * np.sin(2.0 * np.pi * arrivals / cfg.diurnal_period_s)
+        )
+        keep = rng.uniform(size=len(arrivals)) < rate / peak
+        arrivals = arrivals[keep]
+    return arrivals
+
+
+def generate_requests(
+    model: ModelConfig,
+    cfg: TrafficConfig,
+    teacher: ClickModel | None = None,
+) -> list[Request]:
+    """Materialize the full request list for one traffic window.
+
+    Deterministic under ``cfg.seed``; all random draws (arrivals, flows,
+    dense features, lengths, row ids, labels) come from one seeded
+    generator in a fixed order.
+    """
+    rng = np.random.default_rng(cfg.seed)
+    arrivals = _poisson_arrivals(cfg, rng)
+    n = len(arrivals)
+    if n == 0:
+        return []
+    flows = rng.integers(0, cfg.num_flows, size=n)
+    dense = rng.normal(0.0, 1.0, size=(n, model.num_dense))
+
+    per_table_values: dict[str, np.ndarray] = {}
+    per_table_offsets: dict[str, np.ndarray] = {}
+    for spec in model.tables:
+        lengths = sample_lengths(rng, n, spec.mean_lookups, spec.truncation)
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        values = sample_discrete_zipf(
+            rng, int(offsets[-1]), spec.hash_size, skew=cfg.skew
+        )
+        per_table_values[spec.name] = values
+        per_table_offsets[spec.name] = offsets
+
+    if teacher is not None:
+        ragged = {
+            name: RaggedIndices(
+                values=per_table_values[name],
+                offsets=per_table_offsets[name],
+                safe_bound=spec.hash_size,
+            )
+            for name, spec in ((s.name, s) for s in model.tables)
+        }
+        labels = np.asarray(teacher.sample_labels(dense, ragged, rng=rng), dtype=float)
+    else:
+        labels = np.zeros(n)
+
+    requests: list[Request] = []
+    for i in range(n):
+        sparse = {
+            name: per_table_values[name][
+                per_table_offsets[name][i] : per_table_offsets[name][i + 1]
+            ]
+            for name in per_table_values
+        }
+        requests.append(
+            Request(
+                rid=i,
+                flow=int(flows[i]),
+                arrival_s=float(arrivals[i]),
+                dense=dense[i],
+                sparse=sparse,
+                label=float(labels[i]),
+            )
+        )
+    return requests
+
+
+def requests_to_batch(requests: list[Request], model: ModelConfig) -> Batch:
+    """Merge a dynamic batch of requests into one model :class:`Batch`.
+
+    Request order is preserved; row ``i`` of every tensor belongs to
+    ``requests[i]``, which is how the engine maps scores back to
+    requests.
+    """
+    if not requests:
+        raise ValueError("cannot build a batch from zero requests")
+    dense = np.stack([r.dense for r in requests])
+    sparse: dict[str, RaggedIndices] = {}
+    for spec in model.tables:
+        parts = [r.sparse[spec.name] for r in requests]
+        lengths = np.array([len(p) for p in parts], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        values = (
+            np.concatenate(parts) if len(parts) else np.empty(0, dtype=np.int64)
+        )
+        sparse[spec.name] = RaggedIndices(
+            values=values, offsets=offsets, safe_bound=spec.hash_size
+        )
+    labels = np.array([r.label for r in requests])
+    return Batch(dense=dense, sparse=sparse, labels=labels)

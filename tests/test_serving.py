@@ -1,0 +1,384 @@
+"""Tests for the online serving subsystem (repro.serving).
+
+Covers the event engine's conservation and determinism guarantees, the
+dynamic batcher's invariants (hypothesis), execute-mode numerical
+equivalence with ``DLRM.predict_proba``, crash/retry semantics, the
+checkpoint-refresh path, and the SLO / capacity-planning layer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.configs import make_test_model
+from repro.core.checkpoint import save_checkpoint
+from repro.core.model import DLRM
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.serving import (
+    SLO,
+    BatchPolicy,
+    CacheConfig,
+    DynamicBatcher,
+    Replica,
+    Request,
+    ServingConfig,
+    TrafficConfig,
+    generate_requests,
+    plan_serving_capacity,
+    replica_capacity_qps,
+    requests_to_batch,
+    simulate_serving,
+    throughput_latency_curve,
+)
+
+MODEL = make_test_model(64, 8, hash_size=2000)
+
+
+def _traffic(qps=2000.0, duration=0.5, seed=0, **kw) -> TrafficConfig:
+    return TrafficConfig(qps=qps, duration_s=duration, seed=seed, **kw)
+
+
+# -- traffic ------------------------------------------------------------------
+
+
+class TestTraffic:
+    def test_deterministic_generation(self):
+        a = generate_requests(MODEL, _traffic())
+        b = generate_requests(MODEL, _traffic())
+        assert len(a) == len(b) > 0
+        for ra, rb in zip(a, b):
+            assert ra.arrival_s == rb.arrival_s and ra.flow == rb.flow
+            np.testing.assert_array_equal(ra.dense, rb.dense)
+            for name in ra.sparse:
+                np.testing.assert_array_equal(ra.sparse[name], rb.sparse[name])
+
+    def test_arrivals_sorted_and_rate(self):
+        reqs = generate_requests(MODEL, _traffic(qps=5000, duration=1.0))
+        times = [r.arrival_s for r in reqs]
+        assert times == sorted(times)
+        assert all(0 <= t < 1.0 for t in times)
+        # Poisson(5000): 5 sigma is ~350
+        assert abs(len(reqs) - 5000) < 400
+
+    def test_diurnal_thinning_reduces_count(self):
+        flat = generate_requests(MODEL, _traffic(qps=5000, duration=1.0))
+        wavy = generate_requests(
+            MODEL,
+            _traffic(qps=5000, duration=1.0, diurnal_amplitude=0.8,
+                     diurnal_period_s=0.5),
+        )
+        # over whole periods the modulation preserves the mean rate
+        assert abs(len(wavy) - len(flat)) < 600
+
+    def test_requests_to_batch_preserves_rows(self):
+        reqs = generate_requests(MODEL, _traffic(qps=200, duration=0.1))
+        batch = requests_to_batch(reqs, MODEL)
+        assert batch.size == len(reqs)
+        for i, r in enumerate(reqs):
+            np.testing.assert_array_equal(batch.dense[i], r.dense)
+            for spec in MODEL.tables:
+                np.testing.assert_array_equal(
+                    batch.sparse[spec.name].sample(i), r.sparse[spec.name]
+                )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(qps=0, duration_s=1.0)
+        with pytest.raises(ValueError):
+            TrafficConfig(qps=10, duration_s=0)
+        with pytest.raises(ValueError):
+            TrafficConfig(qps=10, duration_s=1.0, diurnal_amplitude=1.0)
+
+
+# -- dynamic batcher ----------------------------------------------------------
+
+
+def _mk_request(rid: int, t: float) -> Request:
+    return Request(rid=rid, flow=rid % 3, arrival_s=t, dense=np.zeros(2), sparse={})
+
+
+class TestDynamicBatcher:
+    def test_fill_dispatch(self):
+        b = DynamicBatcher(BatchPolicy(max_batch_requests=4, max_wait_s=1.0))
+        for i in range(4):
+            b.enqueue(_mk_request(i, 0.0), 0.0)
+        assert b.ready(0.0)
+        assert [r.rid for r in b.pop_batch(0.0)] == [0, 1, 2, 3]
+
+    def test_timeout_dispatch(self):
+        b = DynamicBatcher(BatchPolicy(max_batch_requests=8, max_wait_s=0.01,
+                                       adaptive=False))
+        b.enqueue(_mk_request(0, 0.0), 0.0)
+        assert not b.ready(0.005)
+        assert b.ready(0.01)
+        assert b.next_deadline() == pytest.approx(0.01)
+
+    def test_adaptive_dispatches_to_idle_replica(self):
+        b = DynamicBatcher(BatchPolicy(max_batch_requests=8, max_wait_s=1.0))
+        b.enqueue(_mk_request(0, 0.0), 0.0)
+        assert not b.ready(0.0, idle_replica=False)
+        assert b.ready(0.0, idle_replica=True)
+
+    def test_requeue_front_preserves_order(self):
+        b = DynamicBatcher(BatchPolicy(max_batch_requests=2, max_wait_s=0.0))
+        for i in range(4):
+            b.enqueue(_mk_request(i, 0.0), 0.0)
+        first = b.pop_batch(0.0)
+        b.requeue_front(first, 0.0)
+        assert [r.rid for r in b.pop_batch(0.0)] == [0, 1]
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.1), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=9),
+        st.floats(min_value=0.0, max_value=0.02),
+    )
+    def test_invariants_no_loss_no_reorder(self, gaps, max_batch, max_wait):
+        """FIFO order, batch-size cap, and wait bound hold for any
+        arrival pattern and policy."""
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_requests=max_batch, max_wait_s=max_wait,
+                        adaptive=False)
+        )
+        now, dispatched = 0.0, []
+        for i, gap in enumerate(gaps):
+            now += gap
+            batcher.enqueue(_mk_request(i, now), now)
+            while batcher.ready(now):
+                batch = batcher.pop_batch(now)
+                assert 1 <= len(batch) <= max_batch
+                assert batcher.oldest_wait(now) <= max_wait or len(batcher) == 0
+                dispatched.extend(r.rid for r in batch)
+        # drain
+        end = now + max_wait + 1.0
+        while len(batcher):
+            assert batcher.ready(end)
+            dispatched.extend(r.rid for r in batcher.pop_batch(end))
+        assert dispatched == list(range(len(gaps)))  # nothing lost or reordered
+        assert batcher.dispatched == batcher.enqueued == len(gaps)
+
+
+# -- engine: conservation, determinism, Little's law --------------------------
+
+
+class TestEngine:
+    def test_all_requests_complete_without_faults(self):
+        res = simulate_serving(MODEL, _traffic(), ServingConfig())
+        assert res.arrived > 0
+        assert res.completed == res.arrived
+        assert res.dropped == 0 and res.crashes == 0
+        assert len(res.latencies_s) == res.completed
+        assert np.all(res.latencies_s > 0)
+
+    def test_seeded_determinism_bit_identical(self):
+        cfg = ServingConfig(cache=CacheConfig(capacity_rows=200, policy="lfu"))
+        a = simulate_serving(MODEL, _traffic(), cfg)
+        b = simulate_serving(MODEL, _traffic(), cfg)
+        assert np.array_equal(a.latencies_s, b.latencies_s)
+        assert np.array_equal(a.batch_sizes, b.batch_sizes)
+        assert a.cache_hits == b.cache_hits
+
+    def test_littles_law_self_check(self):
+        res = simulate_serving(MODEL, _traffic(qps=4000, duration=1.0),
+                               ServingConfig())
+        assert res.littles_law_gap() < 0.05
+
+    def test_metrics_registry_populated(self):
+        res = simulate_serving(MODEL, _traffic(), ServingConfig())
+        assert "serving.completed" in res.metrics
+        assert "serving.latency_s" in res.metrics
+        assert res.metrics.counter("serving.completed").value == res.completed
+
+    def test_higher_load_degrades_tail(self):
+        lo = simulate_serving(MODEL, _traffic(qps=2000, duration=0.5),
+                              ServingConfig())
+        hi = simulate_serving(MODEL, _traffic(qps=20000, duration=0.5),
+                              ServingConfig())
+        assert hi.p99_ms > lo.p99_ms
+
+    def test_gpu_platform_runs(self):
+        res = simulate_serving(
+            MODEL, _traffic(qps=2000, duration=0.2),
+            ServingConfig(num_replicas=1, platform="BigBasin"),
+        )
+        assert res.completed == res.arrived
+
+
+# -- execute mode: real scores ------------------------------------------------
+
+
+class TestExecuteMode:
+    def test_matches_predict_proba_without_cache(self):
+        model = DLRM(MODEL, rng=3)
+        tc = _traffic(qps=1500, duration=0.3, seed=5)
+        reqs = generate_requests(MODEL, tc)
+        cfg = ServingConfig(num_replicas=1, execute=True, cache=CacheConfig())
+        res = simulate_serving(MODEL, tc, cfg, model=model, requests=reqs)
+        ref = model.predict_proba(requests_to_batch(reqs, MODEL))
+        # single replica + FIFO => completion order == arrival order
+        np.testing.assert_allclose(res.scores, ref, atol=1e-12)
+
+    def test_fp32_cache_is_exact(self):
+        tc = _traffic(qps=1500, duration=0.3, seed=5)
+        ref = DLRM(MODEL, rng=3).predict_proba(
+            requests_to_batch(generate_requests(MODEL, tc), MODEL)
+        )
+        cfg = ServingConfig(
+            num_replicas=1, execute=True,
+            cache=CacheConfig(capacity_rows=500, policy="lru"),
+        )
+        res = simulate_serving(MODEL, tc, cfg, model=DLRM(MODEL, rng=3))
+        np.testing.assert_allclose(res.scores, ref, atol=1e-12)
+
+    def test_quantized_cache_close_not_exact(self):
+        tc = _traffic(qps=1500, duration=0.3, seed=5)
+        ref = DLRM(MODEL, rng=3).predict_proba(
+            requests_to_batch(generate_requests(MODEL, tc), MODEL)
+        )
+        cfg = ServingConfig(
+            num_replicas=1, execute=True,
+            cache=CacheConfig(capacity_rows=500, policy="lru", bits=8),
+        )
+        res = simulate_serving(MODEL, tc, cfg, model=DLRM(MODEL, rng=3))
+        err = np.abs(res.scores - ref)
+        assert 0 < err.max() < 0.05  # lossy but tight at 8 bits
+
+
+# -- crashes, retries, refresh ------------------------------------------------
+
+
+class TestFaultsAndRefresh:
+    def test_crash_with_retries_drops_nothing(self):
+        tc = _traffic(qps=3000, duration=1.0, seed=7)
+        base = simulate_serving(MODEL, tc, ServingConfig())
+        plan = FaultPlan(trainer_mtbf_s=0.5, seed=11)
+        res = simulate_serving(
+            MODEL, tc,
+            ServingConfig(fault_plan=plan,
+                          retry=RetryPolicy(base_delay_s=0.002, max_delay_s=0.02)),
+        )
+        assert res.crashes > 0
+        assert res.retried > 0
+        assert res.dropped == 0
+        assert res.completed == res.arrived
+        assert res.p99_ms > base.p99_ms  # crashes degrade the tail
+
+    def test_crash_without_retries_drops_inflight(self):
+        tc = _traffic(qps=3000, duration=1.0, seed=7)
+        plan = FaultPlan(trainer_mtbf_s=0.5, seed=11)
+        res = simulate_serving(MODEL, tc, ServingConfig(fault_plan=plan, retry=None))
+        assert res.crashes > 0
+        assert res.dropped > 0
+        assert res.completed + res.dropped == res.arrived
+
+    def test_refresh_pauses_and_invalidates(self):
+        tc = _traffic(qps=2500, duration=1.0, seed=3)
+        res = simulate_serving(
+            MODEL, tc,
+            ServingConfig(cache=CacheConfig(capacity_rows=200),
+                          refresh_at_s=(0.5,)),
+        )
+        assert res.refreshes == 2  # staggered: one per replica
+        assert res.dropped == 0
+        assert res.completed == res.arrived
+
+    def test_refresh_swaps_weights_in_execute_mode(self, tmp_path):
+        model = DLRM(MODEL, rng=3)
+        fresh = DLRM(MODEL, rng=99)
+        path = str(tmp_path / "snap.npz")
+        save_checkpoint(path, fresh)
+        tc = _traffic(qps=1500, duration=0.6, seed=2)
+        cfg = ServingConfig(
+            num_replicas=2, execute=True,
+            cache=CacheConfig(capacity_rows=300),
+            refresh_at_s=(0.3,), refresh_path=path,
+        )
+        res = simulate_serving(MODEL, tc, cfg, model=model)
+        assert res.refreshes == 2 and res.dropped == 0
+        np.testing.assert_allclose(
+            model.embedding_tables()[0].weight, fresh.embedding_tables()[0].weight
+        )
+
+
+# -- replica pricing ----------------------------------------------------------
+
+
+class TestReplicaPricing:
+    def test_service_time_monotone_in_batch(self):
+        rep = Replica(0, MODEL, CacheConfig())
+        lookups = int(MODEL.mean_total_lookups)
+        t1 = rep.service_time(1, lookups, 0)
+        t8 = rep.service_time(8, 8 * lookups, 0)
+        assert 0 < t1 < t8
+        # but sublinear: batching amortizes the fixed overhead
+        assert t8 < 8 * t1
+
+    def test_cache_hits_reduce_service_time(self):
+        rep = Replica(0, MODEL, CacheConfig(capacity_rows=500))
+        lookups = 8 * int(MODEL.mean_total_lookups)
+        assert rep.service_time(8, lookups, lookups) < rep.service_time(8, lookups, 0)
+
+    def test_validation(self):
+        rep = Replica(0, MODEL, CacheConfig())
+        with pytest.raises(ValueError):
+            rep.service_time(0, 10, 0)
+        with pytest.raises(ValueError):
+            rep.service_time(1, 10, 11)
+
+    def test_pricing_only_replica_cannot_execute(self):
+        rep = Replica(0, MODEL, CacheConfig())
+        with pytest.raises(RuntimeError):
+            rep.predict([])
+
+
+# -- SLO / capacity planning --------------------------------------------------
+
+
+class TestSLO:
+    def test_violations_and_satisfaction(self):
+        res = simulate_serving(MODEL, _traffic(), ServingConfig())
+        tight = SLO(p99_ms=res.p99_ms / 2)
+        loose = SLO(p99_ms=res.p99_ms * 2)
+        assert not tight.satisfied_by(res)
+        assert "p99_ms" in tight.violations(res)
+        assert loose.satisfied_by(res)
+
+    def test_unconstrained_slo_always_satisfied(self):
+        res = simulate_serving(MODEL, _traffic(), ServingConfig())
+        assert SLO(p99_ms=None).satisfied_by(res)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO(p99_ms=0.0)
+
+    def test_curve_p99_monotone_over_congested_regime(self):
+        cfg = ServingConfig(cache=CacheConfig(capacity_rows=200, policy="lru"))
+        curve = throughput_latency_curve(MODEL, cfg, requests_per_point=1500)
+        p99 = [r.p99_ms for _, r in curve]
+        assert all(a <= b for a, b in zip(p99, p99[1:]))
+        qps = [q for q, _ in curve]
+        assert qps == sorted(qps)
+
+    def test_capacity_plan_meets_slo(self):
+        cfg = ServingConfig(cache=CacheConfig(capacity_rows=200))
+        per = replica_capacity_qps(MODEL, cfg)
+        plan = plan_serving_capacity(
+            MODEL, target_qps=3 * per, slo=SLO(p99_ms=5.0), cfg=cfg,
+            requests_per_point=800,
+        )
+        assert plan.feasible
+        assert plan.num_replicas >= 3  # at least the work-conserving bound
+        assert plan.p99_ms <= 5.0
+        assert plan.power_watts > 0 and plan.qps_per_watt > 0
+
+    def test_capacity_plan_infeasible_when_pool_capped(self):
+        cfg = ServingConfig(cache=CacheConfig(capacity_rows=200))
+        per = replica_capacity_qps(MODEL, cfg)
+        plan = plan_serving_capacity(
+            MODEL, target_qps=6 * per, slo=SLO(p99_ms=5.0), cfg=cfg,
+            max_replicas=2, requests_per_point=600,
+        )
+        assert not plan.feasible
+        assert plan.num_replicas == 2

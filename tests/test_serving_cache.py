@@ -1,0 +1,244 @@
+"""Cross-validation of the functional hot-row caches (repro.serving.cache)
+against the analytic hit-rate models (repro.placement.cache), plus cache
+data-structure invariants and the quantized-cache round-trip property.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.configs import make_test_model
+from repro.core import EmbeddingTable, QuantizedEmbeddingTable, TableSpec
+from repro.core.embedding import EmbeddingBagCollection
+from repro.core.model import DLRM
+from repro.data.distributions import sample_discrete_zipf
+from repro.experiments.ext_serving import steady_state_hit_rate
+from repro.placement import lru_hit_rate, zipf_hit_rate
+from repro.serving import (
+    CacheBank,
+    CacheConfig,
+    CachedEmbeddingBagCollection,
+    HotRowCache,
+    ServingConfig,
+    TrafficConfig,
+    generate_requests,
+    requests_to_batch,
+    simulate_serving,
+)
+
+MODEL = make_test_model(64, 8, hash_size=2000)
+
+
+# -- measured vs analytic hit rates -------------------------------------------
+
+
+class TestAnalyticCrossValidation:
+    def test_lru_matches_che_approximation(self):
+        """Measured steady-state LRU hit rate vs the Che characteristic-time
+        prediction, across capacity ratios."""
+        for n, c in ((2000, 100), (2000, 400), (20_000, 2000)):
+            measured = steady_state_hit_rate("lru", n, c, skew=1.05,
+                                             accesses=120_000, seed=1)
+            predicted = lru_hit_rate(n, c, 1.05)
+            assert measured == pytest.approx(predicted, abs=0.02), (n, c)
+
+    def test_lfu_matches_topk_mass(self):
+        """Measured steady-state LFU hit rate vs the top-k Zipf mass.  LFU
+        converges to caching exactly the most popular rows, but finite
+        windows keep it slightly below the ideal — top-k is an upper
+        bound."""
+        for n, c in ((2000, 200), (20_000, 2000)):
+            measured = steady_state_hit_rate("lfu", n, c, skew=1.05,
+                                             accesses=120_000, seed=1)
+            predicted = zipf_hit_rate(n, c, 1.05)
+            assert measured <= predicted + 0.01, (n, c)
+            assert measured == pytest.approx(predicted, abs=0.04), (n, c)
+
+    def test_lfu_beats_lru_on_skewed_traffic(self):
+        lru = steady_state_hit_rate("lru", 5000, 500, accesses=100_000, seed=2)
+        lfu = steady_state_hit_rate("lfu", 5000, 500, accesses=100_000, seed=2)
+        assert lfu > lru
+
+    def test_engine_measured_within_5pct_of_prediction(self):
+        """End-to-end acceptance: serving-sim measured hit rate within 5%
+        (relative) of the analytic prediction."""
+        cfg = ServingConfig(cache=CacheConfig(capacity_rows=200, policy="lru"))
+        res = simulate_serving(
+            MODEL, TrafficConfig(qps=4000, duration_s=2.0), cfg
+        )
+        assert res.predicted_cache_hit_rate > 0.3
+        rel = abs(res.measured_cache_hit_rate - res.predicted_cache_hit_rate)
+        rel /= res.predicted_cache_hit_rate
+        assert rel < 0.05
+
+    def test_raw_and_warm_bracket_steady_state(self):
+        """Finite-window raw (pessimistic) and warm (optimistic) rates
+        bracket the steady-state measurement."""
+        cfg = ServingConfig(cache=CacheConfig(capacity_rows=200, policy="lru"))
+        res = simulate_serving(MODEL, TrafficConfig(qps=4000, duration_s=1.0), cfg)
+        steady = steady_state_hit_rate("lru", 2000, 200, accesses=120_000)
+        assert res.measured_cache_hit_rate <= steady + 0.02
+        assert steady <= res.warm_cache_hit_rate + 0.02
+
+
+# -- HotRowCache invariants ---------------------------------------------------
+
+
+class TestHotRowCache:
+    def test_capacity_never_exceeded(self):
+        cache = HotRowCache(10, "lru")
+        cache.access(np.arange(100))
+        assert len(cache) == 10
+
+    def test_lru_evicts_least_recent(self):
+        cache = HotRowCache(2, "lru")
+        cache.access(np.array([1, 2]))
+        cache.access(np.array([1]))  # 2 is now LRU
+        cache.access(np.array([3]))  # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_lfu_evicts_least_frequent(self):
+        cache = HotRowCache(2, "lfu")
+        cache.access(np.array([1, 1, 1, 2]))
+        cache.access(np.array([3]))  # evicts 2 (freq 1) not 1 (freq 3)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_hit_miss_accounting(self):
+        cache = HotRowCache(4, "lru")
+        hits = cache.access(np.array([5, 5, 6, 5]))
+        assert hits == 2
+        assert cache.hits == 2 and cache.misses == 2
+        assert cache.compulsory_misses == 2  # rows 5 and 6, first touches
+        assert cache.hit_rate == 0.5
+        assert cache.warm_hit_rate == 1.0  # every non-first touch hit
+
+    def test_invalidate_keeps_counters(self):
+        cache = HotRowCache(4, "lru")
+        cache.access(np.array([1, 1]))
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.hits == 1 and cache.misses == 1
+        # post-invalidation re-miss is NOT compulsory (row seen before)
+        cache.access(np.array([1]))
+        assert cache.misses == 2 and cache.compulsory_misses == 1
+
+    def test_zero_capacity_never_stores(self):
+        cache = HotRowCache(0, "lru")
+        cache.access(np.array([1, 1, 1]))
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 3
+
+    def test_get_rows_returns_exact_rows(self, rng):
+        weights = rng.normal(size=(50, 8))
+        cache = HotRowCache(16, "lru")
+        rows = np.array([3, 7, 3, 11])
+        out = cache.get_rows(rows, fetch=lambda r: weights[r], quant_bits=None)
+        np.testing.assert_allclose(out, weights[rows])
+        # hit path returns the cached copy, still exact
+        out2 = cache.get_rows(rows, fetch=lambda r: weights[r], quant_bits=None)
+        np.testing.assert_allclose(out2, weights[rows])
+        assert cache.hits == 5  # one dup in first call, all four in second
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.sampled_from(["lru", "lfu"]),
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200),
+    )
+    def test_property_capacity_and_conservation(self, capacity, policy, rows):
+        cache = HotRowCache(capacity, policy)
+        hits = cache.access(np.array(rows, dtype=np.int64))
+        assert len(cache) <= capacity
+        assert hits == cache.hits
+        assert cache.hits + cache.misses == len(rows)
+        assert 0 <= cache.compulsory_misses <= cache.misses
+        # every distinct row's first access is exactly one compulsory miss
+        assert cache.compulsory_misses == len(set(rows))
+
+
+# -- CacheBank / CachedEmbeddingBagCollection ---------------------------------
+
+
+class TestCacheBankAndCachedEBC:
+    def test_bank_capacity_clamped_to_hash_size(self):
+        bank = CacheBank(MODEL, CacheConfig(capacity_rows=10_000))
+        for spec in MODEL.tables:
+            assert bank.caches[spec.name].capacity == spec.hash_size
+
+    def test_bank_access_batch_counts(self):
+        bank = CacheBank(MODEL, CacheConfig(capacity_rows=100))
+        reqs = generate_requests(MODEL, TrafficConfig(qps=200, duration_s=0.2))
+        batch = requests_to_batch(reqs, MODEL)
+        hits = bank.access_batch(batch.sparse)
+        assert bank.accesses == sum(r.total_lookups for r in reqs)
+        assert hits == bank.hits
+
+    def test_cached_ebc_matches_plain_forward_fp32(self):
+        model = DLRM(MODEL, rng=0)
+        cached = CachedEmbeddingBagCollection(
+            model.embeddings, CacheConfig(capacity_rows=300)
+        )
+        reqs = generate_requests(MODEL, TrafficConfig(qps=500, duration_s=0.2))
+        batch = requests_to_batch(reqs, MODEL)
+        got = cached.forward(batch.sparse)
+        want = model.embeddings.forward(batch.sparse, training=False)
+        for name in want:
+            np.testing.assert_allclose(got[name], want[name], atol=1e-12)
+
+    def test_cached_ebc_quantized_close(self):
+        model = DLRM(MODEL, rng=0)
+        cached = CachedEmbeddingBagCollection(
+            model.embeddings, CacheConfig(capacity_rows=300, bits=8)
+        )
+        reqs = generate_requests(MODEL, TrafficConfig(qps=500, duration_s=0.2))
+        batch = requests_to_batch(reqs, MODEL)
+        got = cached.forward(batch.sparse)
+        want = model.embeddings.forward(batch.sparse, training=False)
+        for name in want:
+            err = np.abs(got[name] - want[name]).max()
+            assert 0 < err < 0.1  # lossy hits, exact misses
+
+    def test_row_bytes_shrink_with_bits(self):
+        fp32 = CacheConfig(capacity_rows=10).row_bytes(64)
+        int8 = CacheConfig(capacity_rows=10, bits=8).row_bytes(64)
+        int4 = CacheConfig(capacity_rows=10, bits=4).row_bytes(64)
+        assert fp32 > int8 > int4
+
+
+# -- quantized-table round-trip property (serving-cache backing store) --------
+
+
+class TestQuantizedRoundTripProperty:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=16),
+        st.sampled_from([2, 4, 8]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_gather_roundtrip_within_half_step(self, rows, dim, bits, seed):
+        """QuantizedEmbeddingTable.gather reconstructs every row within
+        half a quantization step of the original weights."""
+        rng = np.random.default_rng(seed)
+        spec = TableSpec(name="t", hash_size=rows, dim=dim, mean_lookups=1.0)
+        table = EmbeddingTable(spec, rng)
+        q = QuantizedEmbeddingTable(table, bits=bits)
+        idx = np.arange(rows, dtype=np.int64)
+        recon = q.gather(idx)
+        step = q.scales[:, None]
+        assert np.all(np.abs(recon - table.weight) <= 0.5 * step + 1e-12)
+
+    def test_gather_matches_cache_payload_roundtrip(self, rng):
+        """The hot-row cache's quantize-on-fill/dequantize-on-hit path
+        agrees with QuantizedEmbeddingTable.gather row by row."""
+        spec = TableSpec(name="t", hash_size=32, dim=8, mean_lookups=1.0)
+        table = EmbeddingTable(spec, rng)
+        q = QuantizedEmbeddingTable(table, bits=8)
+        cache = HotRowCache(32, "lru")
+        idx = np.arange(32, dtype=np.int64)
+        via_cache = cache.get_rows(
+            idx, fetch=lambda r: table.weight[r], quant_bits=8
+        )
+        np.testing.assert_allclose(via_cache, q.gather(idx), atol=1e-12)
