@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-baseline figures examples all clean
+.PHONY: install test bench bench-smoke bench-baseline bench-dense bench-dense-baseline figures examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -18,6 +18,15 @@ bench-smoke:
 # Refresh the committed baseline (run on a quiet machine, then commit).
 bench-baseline:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernels.py --quick --out BENCH_kernels.json
+
+# CI-sized dense fast-path benchmark (fused MLP/interaction/loss/optimizer
+# kernels + workspace arena), gated against the committed baseline.
+bench-dense:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_dense.py --quick --check BENCH_dense.json
+
+# Refresh the committed dense baseline (quiet machine, then commit).
+bench-dense-baseline:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_dense.py --quick --out BENCH_dense.json
 
 figures:
 	$(PYTHON) -m repro figures

@@ -26,7 +26,8 @@ from .embedding import (
     SparseGrad,
     hash_raw_ids,
 )
-from . import kernels
+from . import dense_kernels, kernels
+from .dense_kernels import Workspace, stable_sigmoid
 from .interaction import ConcatInteraction, DotInteraction, make_interaction
 from .loss import BCEWithLogitsLoss, sigmoid
 from .metrics import (
@@ -68,6 +69,9 @@ from .tuning import SearchResult, Trial, bayesian_search, grid_search, random_se
 
 __all__ = [
     "kernels",
+    "dense_kernels",
+    "Workspace",
+    "stable_sigmoid",
     "FP32_BYTES",
     "InteractionType",
     "PoolingType",

@@ -167,6 +167,13 @@ class ModelConfig:
     #: ``"float32"`` matches the paper's production precision (§VI) and
     #: halves memory bandwidth on the embedding/MLP hot paths.
     compute_dtype: str = "float64"
+    #: Run the fused dense-path kernels (:mod:`repro.core.dense_kernels`)
+    #: through a per-model workspace arena: ``Linear``/``ReLU``/interaction
+    #: forward+backward and the fused BCE write into reused buffers, so the
+    #: steady-state train step performs zero fresh large dense allocations.
+    #: Bit-identical to the naive path in both compute dtypes; set ``False``
+    #: to fall back for debugging.
+    fused_dense: bool = True
 
     def __post_init__(self) -> None:
         if self.compute_dtype not in ("float32", "float64"):

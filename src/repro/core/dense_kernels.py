@@ -1,0 +1,646 @@
+"""Fused dense-path kernels and the step-level workspace arena.
+
+PR 2's sparse kernels (:mod:`repro.core.kernels`) moved the embedding half
+of the train step off the profile; the measured hot path of every
+functional-training experiment is now the *dense* half — ``Linear``/
+``ReLU``/``DotInteraction`` backward, Adagrad's temporary-heavy updates and
+the BCE loss.  That matches the paper's own characterization: on CPU
+platforms the bottom/top MLP stacks dominate model compute (§III-A.4,
+Fig 5), which is why Kalamkar et al. (arXiv:2005.04680) build fused,
+allocation-free BLAS kernels for DLRM MLPs on CPU clusters.
+
+This module provides the same treatment for our numpy training step:
+
+* :class:`Workspace` — a per-model buffer arena.  Buffers are keyed by
+  ``(key, shape, dtype)`` and reused across steps, so the steady-state
+  train step performs **zero fresh large allocations** on the dense path
+  (every matmul/elementwise op writes into a preallocated buffer via
+  ``out=``).  Reuse is observable through the ``dense.workspace.hits`` /
+  ``dense.workspace.misses`` counters.
+* Fused kernels — ``linear_forward``/``linear_backward`` (GEMM into
+  workspace buffers, gradient accumulation without the ``grad_out.T @ x``
+  temporary), ``relu_forward``/``relu_backward`` (in-place ``np.maximum``
+  forward, mask-free sign-based backward), ``bce_forward``/``bce_backward``
+  (one ``exp(-|x|)`` pass shared between the loss value and the logit
+  gradient — no double sigmoid), ``dot_backward`` (triangle scattered once
+  into both halves, no dense zeros+symmetrize round trip), and fused
+  in-place Adagrad/SGD steps with no ``grad*grad`` / ``sqrt`` temporaries.
+
+Numerical contract
+------------------
+Every fused kernel is **bit-identical** to its ``naive_*`` reference (the
+historical implementation), in both float64 and float32 compute modes, in
+the :func:`numpy.array_equal` sense used by :mod:`repro.core.kernels`'s
+fused sparse paths.  The fusions only (a) reuse output storage via
+``out=`` — numpy ufuncs and ``matmul`` produce the same values regardless
+of where the result lands — and (b) re-associate nothing: every fused
+sequence applies the exact same elementwise operations in the exact same
+order as the reference expression.  Two details worth calling out:
+
+* the sign-based ReLU backward multiplies by a boolean mask, which maps a
+  negative gradient at an inactive unit to ``-0.0`` where ``np.where``
+  produces ``+0.0``; a final ``+ 0.0`` pass normalizes the zero sign so the
+  result is bit-identical, not merely value-equal;
+* the fused BCE evaluates the stable sigmoid from the shared
+  ``e = exp(-|x|)``: for ``x >= 0``, ``exp(-x) == exp(-|x|)`` elementwise,
+  so ``1/(1+e)`` and ``e/(1+e)`` reproduce the two branches of
+  :func:`stable_sigmoid` exactly.
+
+Opt-out: set ``ModelConfig(fused_dense=False)`` to fall back to the naive
+layer implementations for debugging (the optimizers take ``fused=False``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs.registry import MetricsRegistry
+
+__all__ = [
+    "Workspace",
+    "stable_sigmoid",
+    "linear_forward",
+    "naive_linear_forward",
+    "linear_backward",
+    "naive_linear_backward",
+    "relu_forward",
+    "naive_relu_forward",
+    "relu_backward",
+    "naive_relu_backward",
+    "bce_forward",
+    "naive_bce_forward",
+    "bce_backward",
+    "naive_bce_backward",
+    "dot_forward",
+    "naive_dot_forward",
+    "dot_backward",
+    "naive_dot_backward",
+    "adagrad_dense_step",
+    "naive_adagrad_dense_step",
+    "sgd_dense_step",
+    "naive_sgd_dense_step",
+    "adagrad_sparse_step",
+    "naive_adagrad_sparse_step",
+]
+
+
+class Workspace:
+    """A buffer arena for the fused dense train step.
+
+    ``get(key, shape, dtype)`` returns a preallocated buffer, allocating on
+    first use and reusing it on every subsequent call with the same
+    ``(key, shape, dtype)``.  Callers use distinct keys per layer/slot so no
+    two live tensors ever alias.  Distinct batch sizes get distinct buffers
+    (exact-shape matching avoids reallocation ping-pong when two batch
+    sizes interleave, e.g. a ragged final batch); the arena's footprint is
+    bounded by the number of distinct shapes seen, which for a training run
+    is the per-layer activation set times the number of batch sizes.
+
+    The arena is observable: ``dense.workspace.hits`` / ``.misses``
+    counters tick on every ``get`` (a *miss* is a fresh allocation), so a
+    steady-state train step shows only hits.
+
+    Pickling drops the buffers (they are pure caches), so models carrying a
+    workspace remain cheap to ship through :class:`repro.runtime.SweepRunner`
+    process pools — each worker re-warms its own arena.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self._owned: set[int] = set()
+        # ``get`` runs several times per layer per step; resolve the two
+        # counters once (registry lookup per call is measurable on small
+        # models) and bump ``.value`` directly on the hot path.
+        self._hits = self.metrics.counter("dense.workspace.hits")
+        self._misses = self.metrics.counter("dense.workspace.misses")
+
+    # -- allocation ----------------------------------------------------------
+
+    def get(self, key, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Return a reusable buffer of exactly ``shape``/``dtype`` for ``key``.
+
+        The buffer's contents are unspecified (callers must fully overwrite
+        it); the first call allocates, subsequent calls reuse.
+        """
+        slot = (key, shape, np.dtype(dtype))
+        buf = self._buffers.get(slot)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[slot] = buf
+            self._owned.add(id(buf))
+            self._misses.value += 1.0
+        else:
+            self._hits.value += 1.0
+        return buf
+
+    def get_rows(self, key, rows: int, trailing: tuple[int, ...], dtype) -> np.ndarray:
+        """Return a ``(rows, *trailing)`` view of a capacity-grown buffer.
+
+        For slots whose leading dimension varies every step (e.g. the number
+        of unique embedding rows touched by a batch), exact-shape matching
+        would allocate every step.  Instead the arena keeps one buffer per
+        ``(key, trailing, dtype)`` whose capacity grows geometrically, and
+        returns a leading-dimension slice — steady state reaches a high-water
+        mark and stops allocating.
+        """
+        slot = ("rows", key, tuple(trailing), np.dtype(dtype))
+        buf = self._buffers.get(slot)
+        if buf is None or buf.shape[0] < rows:
+            capacity = rows if buf is None else max(rows, 2 * buf.shape[0])
+            buf = np.empty((capacity, *trailing), dtype=dtype)
+            self._buffers[slot] = buf
+            self._owned.add(id(buf))
+            self._misses.value += 1.0
+        else:
+            self._hits.value += 1.0
+        return buf[:rows]
+
+    # -- introspection -------------------------------------------------------
+
+    def owns(self, arr: np.ndarray) -> bool:
+        """True if ``arr`` is an arena buffer (or a view of one).
+
+        The in-place fusions (ReLU forward, ReLU backward on the incoming
+        gradient) are only legal on arena-owned storage — never on arrays
+        the caller handed us.
+        """
+        seen = 0
+        while isinstance(arr, np.ndarray):
+            if id(arr) in self._owned:
+                return True
+            base = arr.base
+            if base is None or seen > 8:
+                return False
+            arr = base
+            seen += 1
+        return False
+
+    def total_bytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def stats(self) -> dict[str, int]:
+        """Arena counters + footprint (mirrors ``runtime.cache.stats``)."""
+        return {
+            "buffers": len(self._buffers),
+            "bytes": self.total_bytes(),
+            "hits": int(self._hits.value),
+            "misses": int(self._misses.value),
+        }
+
+    def clear(self) -> None:
+        self._buffers.clear()
+        self._owned.clear()
+
+    # -- pickling (SweepRunner process pools) --------------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_buffers"] = {}
+        state["_owned"] = set()
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
+
+# ---------------------------------------------------------------------------
+# stable sigmoid (single shared implementation — see loss.py / mlp.py)
+# ---------------------------------------------------------------------------
+
+
+def stable_sigmoid(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Numerically stable logistic function, dtype-preserving.
+
+    The single implementation behind both :class:`repro.core.mlp.Sigmoid`
+    and :func:`repro.core.loss.sigmoid` (historically two copies, one of
+    which silently upcast float32 logits to float64).  Float inputs keep
+    their dtype; non-float inputs (ints/bools) compute in float64.
+    """
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.floating):
+        x = x.astype(np.float64)
+    if out is None:
+        out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Linear
+# ---------------------------------------------------------------------------
+
+
+def naive_linear_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """Reference: ``y = x @ W.T + b`` with fresh output/temporary."""
+    return x @ weight.T + bias
+
+
+def linear_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Fused: GEMM straight into ``out``, bias added in place.
+
+    Bit-identity: ``matmul`` computes the same values regardless of output
+    storage, and ``out += bias`` applies the identical broadcast add.
+    """
+    np.matmul(x, weight.T, out=out)
+    out += bias
+    return out
+
+
+def naive_linear_backward(
+    grad_out: np.ndarray, x: np.ndarray, weight: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference: returns ``(dW, db, dx)`` as fresh arrays."""
+    return grad_out.T @ x, grad_out.sum(axis=0), grad_out @ weight
+
+
+def linear_backward(
+    grad_out: np.ndarray,
+    x: np.ndarray,
+    weight: np.ndarray,
+    weight_grad: np.ndarray,
+    bias_grad: np.ndarray,
+    grad_in: np.ndarray,
+    wg_buf: np.ndarray,
+    bg_buf: np.ndarray,
+) -> np.ndarray:
+    """Fused: accumulate ``dW``/``db`` into the parameter gradients through
+    reused scratch buffers (no fresh ``grad_out.T @ x`` temporary) and write
+    ``dx`` into ``grad_in``.
+
+    Bit-identity: ``+=`` of the buffered GEMM result matches ``+=`` of a
+    fresh temporary holding the same values; ``np.sum(..., out=)`` and
+    ``np.matmul(..., out=)`` likewise only change where results land.
+    """
+    np.matmul(grad_out.T, x, out=wg_buf)
+    weight_grad += wg_buf
+    np.sum(grad_out, axis=0, out=bg_buf)
+    bias_grad += bg_buf
+    np.matmul(grad_out, weight, out=grad_in)
+    return grad_in
+
+
+# ---------------------------------------------------------------------------
+# ReLU
+# ---------------------------------------------------------------------------
+
+
+def naive_relu_forward(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Reference: returns ``(y, mask)`` the way the historical layer did."""
+    mask = x > 0
+    return np.where(mask, x, 0.0), mask
+
+
+def relu_forward(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Fused: ``np.maximum(x, 0, out=out)`` — ``out`` may be ``x`` itself
+    (in-place) when the caller owns the storage.
+
+    Bit-identity: for any non-NaN ``v``, ``maximum(v, 0.0)`` equals
+    ``where(v > 0, v, 0.0)`` including the sign of zero (both return
+    ``+0.0`` for ``v = ±0.0``).  No mask is materialized: the backward
+    recovers activity from the *output* sign (``y > 0  ⇔  x > 0``).
+    """
+    return np.maximum(x, 0.0, out=out)
+
+
+def naive_relu_backward(grad_out: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Reference: ``np.where(mask, grad_out, 0.0)`` with a fresh output."""
+    return np.where(mask, grad_out, 0.0)
+
+
+def relu_backward(
+    grad_out: np.ndarray, y: np.ndarray, out: np.ndarray, mask_buf: np.ndarray
+) -> np.ndarray:
+    """Fused mask-free backward: ``dx = grad_out * (y > 0)``.
+
+    ``out`` may alias ``grad_out`` (in-place on the incoming gradient
+    buffer).  The boolean multiply maps a negative gradient at an inactive
+    unit to ``-0.0``; the final ``+ 0.0`` normalizes zero signs so the
+    result is bit-identical to the ``np.where`` reference (for all finite
+    ``v``, ``v + 0.0 == v`` with ``-0.0 → +0.0``).
+    """
+    np.greater(y, 0, out=mask_buf)
+    np.multiply(grad_out, mask_buf, out=out)
+    np.add(out, 0.0, out=out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Sigmoid + BCE (fused loss)
+# ---------------------------------------------------------------------------
+
+
+def naive_bce_forward(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Reference: stable BCE ``max(x,0) - x·y + log1p(exp(-|x|))``."""
+    per_example = (
+        np.maximum(logits, 0.0)
+        - logits * labels
+        + np.log1p(np.exp(-np.abs(logits)))
+    )
+    return float(per_example.mean())
+
+
+def naive_bce_backward(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Reference: ``(sigmoid(x) - y) / batch`` with its own sigmoid pass."""
+    return (stable_sigmoid(logits) - labels) / len(logits)
+
+
+def bce_forward(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    e_buf: np.ndarray,
+    per_buf: np.ndarray,
+    tmp_buf: np.ndarray,
+    sig_buf: np.ndarray,
+    denom_buf: np.ndarray,
+    pos_buf: np.ndarray,
+) -> float:
+    """Fused sigmoid+BCE forward: one ``e = exp(-|x|)`` pass serves both the
+    loss value and the sigmoid needed by the backward (left in ``sig_buf``),
+    eliminating the second sigmoid evaluation of the naive pair.
+
+    Bit-identity: the loss accumulates ``max(x,0)``, ``- x·y`` and
+    ``+ log1p(e)`` in the reference expression's association order; the
+    sigmoid branches ``1/(1+e)`` (for ``x ≥ 0``) and ``e/(1+e)`` (else)
+    evaluate exactly the same scalar expressions as :func:`stable_sigmoid`,
+    since ``exp(-x) = exp(-|x|)`` when ``x ≥ 0`` and ``exp(x) = exp(-|x|)``
+    when ``x < 0``.
+    """
+    np.abs(logits, out=e_buf)
+    np.negative(e_buf, out=e_buf)
+    np.exp(e_buf, out=e_buf)  # e = exp(-|x|)
+    # loss = mean(max(x,0) - x*y + log1p(e)), same association as reference
+    np.maximum(logits, 0.0, out=per_buf)
+    np.multiply(logits, labels, out=tmp_buf)
+    per_buf -= tmp_buf
+    np.log1p(e_buf, out=tmp_buf)
+    per_buf += tmp_buf
+    # sigmoid from the same e, into sig_buf for the backward
+    np.add(e_buf, 1.0, out=denom_buf)
+    np.divide(e_buf, denom_buf, out=sig_buf)  # x < 0 branch: e / (1 + e)
+    np.divide(1.0, denom_buf, out=denom_buf)  # x >= 0 branch: 1 / (1 + e)
+    np.greater_equal(logits, 0, out=pos_buf)
+    np.copyto(sig_buf, denom_buf, where=pos_buf)
+    return float(per_buf.mean())
+
+
+def bce_backward(
+    sig: np.ndarray, labels: np.ndarray, grad_buf: np.ndarray
+) -> np.ndarray:
+    """Fused backward from the forward's saved sigmoid: ``(σ(x) - y) / B``.
+
+    Bit-identity: the subtraction and scalar division match the reference's
+    ``(sigmoid(x) - labels) / len(...)`` order exactly; the sigmoid values
+    are the forward's, which are bit-identical to a fresh
+    :func:`stable_sigmoid` pass (see :func:`bce_forward`).
+    """
+    np.subtract(sig, labels, out=grad_buf)
+    np.divide(grad_buf, len(grad_buf), out=grad_buf)
+    return grad_buf
+
+
+# ---------------------------------------------------------------------------
+# Dot interaction
+# ---------------------------------------------------------------------------
+
+
+def naive_dot_forward(
+    stack: np.ndarray, tril: tuple[np.ndarray, np.ndarray], dense: np.ndarray
+) -> np.ndarray:
+    """Reference: fresh gram matrix, fancy-index gather, concatenate."""
+    gram = stack @ stack.transpose(0, 2, 1)
+    pairs = gram[:, tril[0], tril[1]]
+    return np.concatenate([dense, pairs], axis=1)
+
+
+def dot_forward(
+    stack: np.ndarray,
+    flat_tril: np.ndarray,
+    dense: np.ndarray,
+    gram_buf: np.ndarray,
+    pairs_buf: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Fused: GEMM into ``gram_buf``, triangle gathered via ``np.take`` on
+    the flattened gram (no fancy-index temporary), halves slice-assigned
+    into ``out``.
+
+    Bit-identity: ``take`` over ``i*n + j`` flat offsets reads exactly the
+    elements ``gram[:, i, j]`` the reference gathers, and slice assignment
+    reproduces ``concatenate`` element-for-element.
+    """
+    batch, n_vec, _ = stack.shape
+    dim = dense.shape[1]
+    np.matmul(stack, stack.transpose(0, 2, 1), out=gram_buf)
+    np.take(gram_buf.reshape(batch, n_vec * n_vec), flat_tril, axis=1, out=pairs_buf)
+    out[:, :dim] = dense
+    out[:, dim:] = pairs_buf
+    return out
+
+
+def naive_dot_backward(
+    stack: np.ndarray,
+    tril: tuple[np.ndarray, np.ndarray],
+    grad_pairs: np.ndarray,
+) -> np.ndarray:
+    """Reference: dense zeros + scatter + symmetrize + batched GEMM."""
+    batch, n_vec, _ = stack.shape
+    gram_grad = np.zeros((batch, n_vec, n_vec), dtype=stack.dtype)
+    gram_grad[:, tril[0], tril[1]] = grad_pairs
+    gram_grad = gram_grad + gram_grad.transpose(0, 2, 1)
+    return gram_grad @ stack
+
+
+def symmetric_pair_map(n_vec: int, tril: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """Flat gather map building the symmetrized pair-gradient matrix in one
+    ``np.take``: cell ``(i, j)`` maps to its pair index (both triangles map
+    to the *same* index — the transpose is folded into the map) and the
+    diagonal maps to slot ``P``, which callers keep at zero.
+    """
+    num_pairs = len(tril[0])
+    full_map = np.full((n_vec, n_vec), num_pairs, dtype=np.intp)
+    pair_idx = np.arange(num_pairs, dtype=np.intp)
+    full_map[tril[0], tril[1]] = pair_idx
+    full_map[tril[1], tril[0]] = pair_idx
+    return full_map.reshape(-1)
+
+
+def dot_backward(
+    stack: np.ndarray,
+    pair_map: np.ndarray,
+    grad_pairs: np.ndarray,
+    pairs_ext_buf: np.ndarray,
+    gram_buf: np.ndarray,
+    grad_stack_buf: np.ndarray,
+) -> np.ndarray:
+    """Fused: build the symmetrized pair-gradient matrix with a single
+    ``np.take`` through :func:`symmetric_pair_map` (the transpose *and* the
+    scatter are folded into the gather map — no dense zeros, no
+    ``G + G^T`` round trip, no fancy-index scatters, which dominate the
+    reference at large table counts), then one batched GEMM into
+    ``grad_stack_buf``.
+
+    ``pairs_ext_buf`` is a ``(batch, P+1)`` staging buffer whose last
+    column is the diagonal's zero slot.
+
+    Bit-identity: the reference's symmetrized ``G + G^T`` holds ``v + 0 =
+    v`` at every triangle position and ``0.0`` on the diagonal (the
+    triangle is strict); gathering ``v`` into both mirror positions and
+    ``0.0`` onto the diagonal produces the identical matrix, and the GEMM
+    is unchanged.
+    """
+    batch, n_vec, _ = stack.shape
+    num_pairs = grad_pairs.shape[1]
+    pairs_ext_buf[:, :num_pairs] = grad_pairs
+    pairs_ext_buf[:, num_pairs] = 0.0
+    np.take(pairs_ext_buf, pair_map, axis=1, out=gram_buf.reshape(batch, n_vec * n_vec))
+    np.matmul(gram_buf, stack, out=grad_stack_buf)
+    return grad_stack_buf
+
+
+# ---------------------------------------------------------------------------
+# Optimizer steps
+# ---------------------------------------------------------------------------
+
+
+def naive_adagrad_dense_step(
+    value: np.ndarray, grad: np.ndarray, state: np.ndarray, lr: float, eps: float
+) -> None:
+    """Reference Adagrad update (temporary-per-operation)."""
+    state += grad * grad
+    value -= lr * grad / (np.sqrt(state) + eps)
+
+
+def adagrad_dense_step(
+    value: np.ndarray,
+    grad: np.ndarray,
+    state: np.ndarray,
+    lr: float,
+    eps: float,
+    t_buf: np.ndarray,
+    u_buf: np.ndarray,
+) -> None:
+    """Fused Adagrad: both temporaries replaced by reused scratch buffers.
+
+    Bit-identity: the reference evaluates ``(lr * grad) / (sqrt(state) +
+    eps)`` — numerator first — and the fused sequence preserves exactly
+    that association (``u = grad * lr``; ``u /= t``), so no rounding
+    differs.
+    """
+    np.multiply(grad, grad, out=t_buf)
+    state += t_buf
+    np.sqrt(state, out=t_buf)
+    np.add(t_buf, eps, out=t_buf)
+    np.multiply(grad, lr, out=u_buf)
+    np.divide(u_buf, t_buf, out=u_buf)
+    value -= u_buf
+
+
+def naive_sgd_dense_step(
+    value: np.ndarray,
+    grad: np.ndarray,
+    lr: float,
+    weight_decay: float = 0.0,
+    momentum: float = 0.0,
+    velocity: np.ndarray | None = None,
+) -> None:
+    """Reference SGD update (temporary-per-operation)."""
+    if weight_decay:
+        grad = grad + weight_decay * value
+    if velocity is not None:
+        velocity *= momentum
+        velocity += grad
+        value -= lr * velocity
+    else:
+        value -= lr * grad
+
+
+def sgd_dense_step(
+    value: np.ndarray,
+    grad: np.ndarray,
+    lr: float,
+    t_buf: np.ndarray,
+    weight_decay: float = 0.0,
+    momentum: float = 0.0,
+    velocity: np.ndarray | None = None,
+) -> None:
+    """Fused SGD: the ``weight_decay * value``, effective-gradient and
+    ``lr * v`` temporaries all land in one reused scratch buffer.
+
+    Bit-identity: each fused line computes the same scalar expression in
+    the same order as the reference (``wd*value`` then ``grad + ·``;
+    ``v*m`` in place then ``+ grad``; ``lr * g`` then subtract).
+    """
+    if weight_decay:
+        np.multiply(value, weight_decay, out=t_buf)
+        np.add(grad, t_buf, out=t_buf)
+        grad = t_buf
+    if velocity is not None:
+        velocity *= momentum
+        velocity += grad
+        np.multiply(velocity, lr, out=t_buf)
+        value -= t_buf
+    else:
+        np.multiply(grad, lr, out=t_buf)
+        value -= t_buf
+
+
+def naive_adagrad_sparse_step(
+    weight: np.ndarray,
+    state: np.ndarray,
+    rows: np.ndarray,
+    values: np.ndarray,
+    lr: float,
+    eps: float,
+) -> None:
+    """Reference row-sparse Adagrad (the historical three-pass update):
+    gather state, write it back, then a second gather/scatter round trip
+    through ``weight[rows] -= ...`` plus five elementwise temporaries."""
+    state_rows = state[rows]
+    state_rows += values * values
+    state[rows] = state_rows
+    weight[rows] -= lr * values / (np.sqrt(state_rows) + eps)
+
+
+def adagrad_sparse_step(
+    weight: np.ndarray,
+    state: np.ndarray,
+    rows: np.ndarray,
+    values: np.ndarray,
+    lr: float,
+    eps: float,
+    t_buf: np.ndarray,
+    u_buf: np.ndarray,
+) -> None:
+    """Fused row-sparse Adagrad: one gather and one scatter per array, with
+    every elementwise temporary replaced by the two reused row buffers.
+
+    ``rows`` must be unique (coalesced) — :class:`repro.core.embedding.
+    SparseGrad` guarantees sorted-unique rows — so the in-place updates on
+    the gathered slabs are exact.  A plain fancy gather is used rather than
+    ``np.take(..., out=)``, which measures ~3x slower on this container;
+    the zero-allocation guarantee is scoped to the dense arena path (the
+    gathered row slab is one allocation per step, already required by the
+    reference).
+
+    Bit-identity: same gather, same ``+= v*v``, same scatter, and the
+    weight update evaluates ``(lr*v) / (sqrt(s)+eps)`` in the reference's
+    association order before one ``weight[rows] -= u`` round trip (numpy's
+    fancy in-place subtract performs the identical gather/isub/scatter).
+    """
+    state_rows = state[rows]  # single gather of the state slab
+    np.multiply(values, values, out=t_buf)
+    state_rows += t_buf
+    state[rows] = state_rows  # single scatter back
+    np.sqrt(state_rows, out=t_buf)
+    np.add(t_buf, eps, out=t_buf)
+    np.multiply(values, lr, out=u_buf)
+    np.divide(u_buf, t_buf, out=u_buf)
+    weight[rows] -= u_buf  # single fancy round trip on the weights

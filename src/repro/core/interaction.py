@@ -15,6 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import dense_kernels
+from .dense_kernels import Workspace
+
 __all__ = ["ConcatInteraction", "DotInteraction", "make_interaction"]
 
 
@@ -25,6 +28,13 @@ class ConcatInteraction:
         self.num_sparse = num_sparse
         self.dim = dim
         self._dense_width: int | None = None
+        self.workspace: Workspace | None = None
+        self._ws_key = "concat"
+
+    def set_workspace(self, workspace: Workspace | None, key: str | None = None) -> None:
+        self.workspace = workspace
+        if key is not None:
+            self._ws_key = key
 
     def out_features(self, dense_width: int) -> int:
         return dense_width + self.num_sparse * self.dim
@@ -36,6 +46,18 @@ class ConcatInteraction:
             raise ValueError(f"expected {self.num_sparse} embeddings, got {len(embs)}")
         if training:
             self._dense_width = dense.shape[1]
+        ws = self.workspace
+        if ws is not None and all(e.dtype == dense.dtype for e in embs):
+            w = dense.shape[1]
+            out = ws.get(
+                (self._ws_key, "out"),
+                (dense.shape[0], w + self.num_sparse * self.dim),
+                dense.dtype,
+            )
+            out[:, :w] = dense
+            for i, emb in enumerate(embs):
+                out[:, w + i * self.dim : w + (i + 1) * self.dim] = emb
+            return out
         return np.concatenate([dense] + embs, axis=1)
 
     def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
@@ -64,7 +86,23 @@ class DotInteraction:
         self.dim = dim
         n_vec = num_sparse + 1
         self._tril = np.tril_indices(n_vec, k=-1)
+        #: Flat offsets ``i * n + j`` of the strict lower triangle — the
+        #: fused forward gathers them with ``np.take`` on the flattened
+        #: gram matrix (no fancy-index temporary).
+        self._flat_tril = (self._tril[0] * n_vec + self._tril[1]).astype(np.intp)
+        #: Symmetrized gather map of the fused backward (see
+        #: :func:`repro.core.dense_kernels.symmetric_pair_map`).
+        self._pair_map = dense_kernels.symmetric_pair_map(n_vec, self._tril)
         self._stack: np.ndarray | None = None
+        self.workspace: Workspace | None = None
+        self._ws_key = "dot"
+
+    def set_workspace(self, workspace: Workspace | None, key: str | None = None) -> None:
+        """Attach a buffer arena; forward/backward then run the fused
+        kernels of :mod:`repro.core.dense_kernels` (bit-identical)."""
+        self.workspace = workspace
+        if key is not None:
+            self._ws_key = key
 
     @property
     def num_pairs(self) -> int:
@@ -88,6 +126,26 @@ class DotInteraction:
             raise ValueError(
                 f"dense width {dense.shape[1]} != embedding dim {self.dim}"
             )
+        ws = self.workspace
+        if ws is not None and all(e.dtype == dense.dtype for e in embs):
+            batch = dense.shape[0]
+            n_vec = self.num_sparse + 1
+            key = self._ws_key
+            dt = dense.dtype
+            stack = ws.get((key, "stack"), (batch, n_vec, self.dim), dt)
+            stack[:, 0, :] = dense
+            for i, emb in enumerate(embs):
+                stack[:, i + 1, :] = emb
+            if training:
+                self._stack = stack
+            return dense_kernels.dot_forward(
+                stack,
+                self._flat_tril,
+                dense,
+                ws.get((key, "gram"), (batch, n_vec, n_vec), dt),
+                ws.get((key, "pairs"), (batch, self.num_pairs), dt),
+                ws.get((key, "out"), (batch, self.dim + self.num_pairs), dt),
+            )
         stack = np.stack([dense] + embs, axis=1)  # (B, n+1, d)
         if training:
             self._stack = stack
@@ -103,6 +161,25 @@ class DotInteraction:
         batch, n_vec, _ = stack.shape
         grad_dense_direct = grad_out[:, : self.dim]
         grad_pairs = grad_out[:, self.dim :]
+        ws = self.workspace
+        if ws is not None and grad_out.dtype == stack.dtype:
+            key = self._ws_key
+            dt = stack.dtype
+            # The forward's gram buffer is dead by now — reuse it for the
+            # symmetrized pair gradients (transpose and scatter folded into
+            # one gather map; no dense zeros+symmetrize round trip).
+            grad_stack = dense_kernels.dot_backward(
+                stack,
+                self._pair_map,
+                grad_pairs,
+                ws.get((key, "pairs_ext"), (batch, self.num_pairs + 1), dt),
+                ws.get((key, "gram"), (batch, n_vec, n_vec), dt),
+                ws.get((key, "gstack"), (batch, n_vec, self.dim), dt),
+            )
+            grad_dense = ws.get((key, "gdense"), (batch, self.dim), dt)
+            np.add(grad_stack[:, 0, :], grad_dense_direct, out=grad_dense)
+            grad_embs = [grad_stack[:, i + 1, :] for i in range(self.num_sparse)]
+            return grad_dense, grad_embs
         # Scatter pair gradients into a symmetric (n+1, n+1) matrix; since
         # gram = T @ T^T, dT = (G + G^T) @ T, with G holding the triangle.
         # Follow the activation dtype so float32 compute mode stays float32

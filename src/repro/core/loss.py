@@ -4,23 +4,34 @@ Recommendation models at Facebook are binary classifiers trained with
 cross-entropy; model quality is tracked as *normalized entropy* (paper §VI-C).
 The loss here is binary cross-entropy computed directly from logits in a
 numerically stable form.
+
+With a :class:`~repro.core.dense_kernels.Workspace` attached,
+:class:`BCEWithLogitsLoss` runs the fused sigmoid+BCE kernel: one
+``exp(-|x|)`` pass serves both the loss value and the logit gradient (the
+naive pair evaluates the sigmoid's exponential twice), and every temporary
+lands in a reused arena buffer.  Bit-identical to the naive path — see
+:mod:`repro.core.dense_kernels` for the argument.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import dense_kernels
+from .dense_kernels import Workspace, stable_sigmoid
+
 __all__ = ["BCEWithLogitsLoss", "sigmoid"]
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    out = np.empty_like(x, dtype=np.float64)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
+    """Numerically stable logistic function.
+
+    Delegates to the single shared implementation
+    (:func:`repro.core.dense_kernels.stable_sigmoid`); float inputs keep
+    their dtype (historically this copy silently upcast float32 logits to
+    float64, diverging from :class:`repro.core.mlp.Sigmoid`).
+    """
+    return stable_sigmoid(x)
 
 
 class BCEWithLogitsLoss:
@@ -29,10 +40,18 @@ class BCEWithLogitsLoss:
     Uses ``max(x, 0) - x * y + log(1 + exp(-|x|))`` which never overflows.
     ``backward`` returns the gradient with respect to the logits:
     ``(sigmoid(x) - y) / batch``.
+
+    The loss computes in float64 regardless of the model's compute dtype
+    (the historical contract: a float32 model still gets a float64 loss
+    scalar and logit gradient, which :meth:`repro.core.model.DLRM.backward`
+    casts back down).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, workspace: Workspace | None = None) -> None:
         self._saved: tuple[np.ndarray, np.ndarray] | None = None
+        #: Optional buffer arena enabling the fused sigmoid+BCE kernel.
+        self.workspace = workspace
+        self._sig: np.ndarray | None = None
 
     def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
         logits = np.asarray(logits, dtype=np.float64).reshape(-1)
@@ -44,6 +63,23 @@ class BCEWithLogitsLoss:
         if labels.min() < 0 or labels.max() > 1:
             raise ValueError("labels must lie in [0, 1]")
         self._saved = (logits, labels)
+        ws = self.workspace
+        if ws is not None:
+            shape = logits.shape
+            sig = ws.get(("bce", "sig"), shape, np.float64)
+            loss = dense_kernels.bce_forward(
+                logits,
+                labels,
+                ws.get(("bce", "e"), shape, np.float64),
+                ws.get(("bce", "per"), shape, np.float64),
+                ws.get(("bce", "tmp"), shape, np.float64),
+                sig,
+                ws.get(("bce", "denom"), shape, np.float64),
+                ws.get(("bce", "pos"), shape, bool),
+            )
+            self._sig = sig
+            return loss
+        self._sig = None
         per_example = (
             np.maximum(logits, 0.0)
             - logits * labels
@@ -57,5 +93,13 @@ class BCEWithLogitsLoss:
             raise RuntimeError("backward called before forward")
         logits, labels = self._saved
         self._saved = None
+        ws = self.workspace
+        if ws is not None and self._sig is not None:
+            sig = self._sig
+            self._sig = None
+            grad = dense_kernels.bce_backward(
+                sig, labels, ws.get(("bce", "grad"), logits.shape, np.float64)
+            )
+            return grad.reshape(-1, 1)
         grad = (sigmoid(logits) - labels) / len(logits)
         return grad.reshape(-1, 1)

@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from .config import MLPSpec
+from . import dense_kernels
+from .dense_kernels import Workspace, stable_sigmoid
 
 __all__ = ["Parameter", "Linear", "ReLU", "Sigmoid", "MLP"]
 
@@ -69,6 +71,15 @@ class Linear:
         )
         self.bias = Parameter(np.zeros(out_features), f"{name}.bias", dtype=dtype)
         self._input: np.ndarray | None = None
+        self.workspace: Workspace | None = None
+        self._ws_key = name
+
+    def set_workspace(self, workspace: Workspace | None, key: str | None = None) -> None:
+        """Attach a buffer arena; forward/backward then run the fused
+        allocation-free kernels (bit-identical to the naive path)."""
+        self.workspace = workspace
+        if key is not None:
+            self._ws_key = key
 
     @property
     def in_features(self) -> int:
@@ -85,15 +96,37 @@ class Linear:
             )
         if training:
             self._input = x
+        ws = self.workspace
+        if ws is not None and x.dtype == self.weight.value.dtype:
+            out = ws.get((self._ws_key, "out"), (x.shape[0], self.out_features), x.dtype)
+            return dense_kernels.linear_forward(
+                x, self.weight.value, self.bias.value, out
+            )
         return x @ self.weight.value.T + self.bias.value
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._input is None:
             raise RuntimeError("backward called before forward")
         x = self._input
+        self._input = None
+        ws = self.workspace
+        dtype = self.weight.value.dtype
+        if (
+            ws is not None
+            and grad_out.dtype == dtype
+            and x.dtype == dtype
+            and grad_out.ndim == 2
+        ):
+            key = self._ws_key
+            grad_in = ws.get((key, "gin"), (grad_out.shape[0], self.in_features), dtype)
+            wg = ws.get((key, "wg"), self.weight.value.shape, dtype)
+            bg = ws.get((key, "bg"), self.bias.value.shape, dtype)
+            return dense_kernels.linear_backward(
+                grad_out, x, self.weight.value,
+                self.weight.grad, self.bias.grad, grad_in, wg, bg,
+            )
         self.weight.grad += grad_out.T @ x
         self.bias.grad += grad_out.sum(axis=0)
-        self._input = None
         return grad_out @ self.weight.value
 
     def parameters(self) -> list[Parameter]:
@@ -101,18 +134,54 @@ class Linear:
 
 
 class ReLU:
-    """Rectified linear activation."""
+    """Rectified linear activation.
+
+    With a workspace attached the fused path runs ``np.maximum`` in place
+    on arena-owned inputs and recovers activity in the backward from the
+    *output* sign (``y > 0  ⇔  x > 0``) — no boolean mask array is saved.
+    Bit-identical to the mask-based path (see
+    :mod:`repro.core.dense_kernels`).
+    """
 
     def __init__(self) -> None:
         self._mask: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+        self.workspace: Workspace | None = None
+        self._ws_key = "relu"
+
+    def set_workspace(self, workspace: Workspace | None, key: str | None = None) -> None:
+        self.workspace = workspace
+        if key is not None:
+            self._ws_key = key
 
     def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        ws = self.workspace
+        if ws is not None:
+            if ws.owns(x):
+                out = x  # in-place: the pre-activation is dead after this
+            else:
+                out = ws.get((self._ws_key, "y"), x.shape, x.dtype)
+            dense_kernels.relu_forward(x, out)
+            if training:
+                self._out = out
+                self._mask = None
+            return out
         if not training:
             return np.maximum(x, 0.0)
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        ws = self.workspace
+        if self._out is not None and ws is not None:
+            y = self._out
+            self._out = None
+            mask_buf = ws.get((self._ws_key, "m"), y.shape, bool)
+            if ws.owns(grad_out) and grad_out.dtype == y.dtype:
+                out = grad_out  # in-place on the incoming gradient buffer
+            else:
+                out = ws.get((self._ws_key, "g"), grad_out.shape, grad_out.dtype)
+            return dense_kernels.relu_backward(grad_out, y, out, mask_buf)
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         grad = np.where(self._mask, grad_out, 0.0)
@@ -125,17 +194,18 @@ class ReLU:
 
 class Sigmoid:
     """Logistic activation (used only when a probability output is needed;
-    training goes through the numerically-stable loss in :mod:`repro.core.loss`)."""
+    training goes through the numerically-stable loss in :mod:`repro.core.loss`).
+
+    Shares the single stable-sigmoid implementation
+    (:func:`repro.core.dense_kernels.stable_sigmoid`) with
+    :func:`repro.core.loss.sigmoid` — historically two copies with
+    inconsistent dtype behaviour."""
 
     def __init__(self) -> None:
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
-        out = np.empty_like(x)
-        pos = x >= 0
-        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-        ex = np.exp(x[~pos])
-        out[~pos] = ex / (1.0 + ex)
+        out = stable_sigmoid(x)
         if training:
             self._out = out
         return out
@@ -168,6 +238,7 @@ class MLP:
         dtype: np.dtype | type = np.float64,
     ) -> None:
         self.spec = spec
+        self.name = name
         self.layers: list[object] = []
         prev = in_features
         for i, width in enumerate(spec.layer_sizes):
@@ -178,6 +249,17 @@ class MLP:
             prev = width
         self.in_features = in_features
         self.out_features = prev
+
+    def set_workspace(self, workspace: Workspace | None) -> None:
+        """Attach a buffer arena to every layer (fused allocation-free path).
+
+        Layer keys derive from the stack name and position, so one arena can
+        serve several MLPs (e.g. a DLRM's bottom/top stacks) without buffer
+        aliasing.
+        """
+        for idx, layer in enumerate(self.layers):
+            if hasattr(layer, "set_workspace"):
+                layer.set_workspace(workspace, key=f"{self.name}[{idx}]")
 
     def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
         """Run the stack; ``training=False`` is the inference fast path that

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from .config import InteractionType, ModelConfig, PoolingType
+from .dense_kernels import Workspace
 from .embedding import EmbeddingBagCollection, RaggedIndices
 from .interaction import make_interaction
 from .mlp import MLP, Linear, Parameter
@@ -100,6 +101,18 @@ class DLRM:
             config.top_mlp.out_features, 1, rng, name="scorer", dtype=self.dtype
         )
         self._feature_order = [t.name for t in config.tables]
+        #: Buffer arena of the fused dense path (``config.fused_dense``);
+        #: ``None`` disables fusion and restores the naive per-op
+        #: allocations.  The fused kernels are bit-identical — see
+        #: :mod:`repro.core.dense_kernels`.
+        self.workspace: Workspace | None = (
+            Workspace() if getattr(config, "fused_dense", True) else None
+        )
+        if self.workspace is not None:
+            self.bottom_mlp.set_workspace(self.workspace)
+            self.top_mlp.set_workspace(self.workspace)
+            self.scorer.set_workspace(self.workspace, key="scorer")
+            self.interaction.set_workspace(self.workspace, key="interaction")
 
     # -- forward / backward -------------------------------------------------
 
@@ -127,7 +140,13 @@ class DLRM:
         interacted = self.interaction.forward(dense_out, embs, training=training)
         top_out = self.top_mlp.forward(interacted, training=training)
         logits = self.scorer.forward(top_out, training=training)
-        return logits.reshape(-1)
+        out = logits.reshape(-1)
+        if self.workspace is not None and self.workspace.owns(out):
+            # The caller owns the returned logits (they must survive the
+            # next forward); peel them off the arena.  (batch,) floats —
+            # the only steady-state allocation of the fused forward.
+            return out.copy()
+        return out
 
     def backward(self, grad_logits: np.ndarray) -> None:
         """Backpropagate ``dLoss/dlogits`` of shape ``(batch, 1)`` or ``(batch,)``."""

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import dense_kernels
+from .dense_kernels import Workspace
 from .embedding import EmbeddingTable, SparseGrad
 from .mlp import Parameter
 
@@ -21,19 +23,37 @@ __all__ = ["SGD", "Adagrad"]
 
 
 class _OptimizerBase:
-    """Shared bookkeeping: the optimizer owns dense params and sparse tables."""
+    """Shared bookkeeping: the optimizer owns dense params and sparse tables.
+
+    ``fused=True`` (default) runs the allocation-free update kernels of
+    :mod:`repro.core.dense_kernels` through a private buffer arena; the
+    updates are bit-identical to the naive temporary-per-operation path
+    (``fused=False``), which is kept for debugging.
+    """
 
     def __init__(
         self,
         dense_params: list[Parameter],
         tables: list[EmbeddingTable] | None = None,
         lr: float = 0.01,
+        fused: bool = True,
     ) -> None:
         if lr <= 0:
             raise ValueError(f"lr must be positive, got {lr}")
         self.dense_params = list(dense_params)
         self.tables = list(tables or [])
         self.lr = lr
+        self.fused = fused
+        self.workspace: Workspace | None = Workspace() if fused else None
+
+    def _row_buffers(self, rows: int, dim: int, dtype) -> tuple[np.ndarray, np.ndarray]:
+        """Two ``(rows, dim)`` scratch slabs from the capacity-grown arena
+        (the row count varies per batch; steady state stops allocating)."""
+        ws = self.workspace
+        return (
+            ws.get_rows("opt.rows.t", rows, (dim,), dtype),
+            ws.get_rows("opt.rows.u", rows, (dim,), dtype),
+        )
 
     def zero_grad(self) -> None:
         for p in self.dense_params:
@@ -71,8 +91,9 @@ class SGD(_OptimizerBase):
         lr: float = 0.01,
         momentum: float = 0.0,
         weight_decay: float = 0.0,
+        fused: bool = True,
     ) -> None:
-        super().__init__(dense_params, tables, lr)
+        super().__init__(dense_params, tables, lr, fused=fused)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         if weight_decay < 0:
@@ -84,18 +105,35 @@ class SGD(_OptimizerBase):
         )
 
     def _dense_step(self, idx: int, p: Parameter) -> None:
-        grad = p.grad
-        if self.weight_decay:
-            grad = grad + self.weight_decay * p.value
-        if self._velocity is not None:
-            v = self._velocity[idx]
-            v *= self.momentum
-            v += grad
-            p.value -= self.lr * v
-        else:
-            p.value -= self.lr * grad
+        velocity = self._velocity[idx] if self._velocity is not None else None
+        if self.workspace is not None:
+            dense_kernels.sgd_dense_step(
+                p.value,
+                p.grad,
+                self.lr,
+                self.workspace.get("opt.t", p.value.shape, p.value.dtype),
+                weight_decay=self.weight_decay,
+                momentum=self.momentum,
+                velocity=velocity,
+            )
+            return
+        dense_kernels.naive_sgd_dense_step(
+            p.value,
+            p.grad,
+            self.lr,
+            weight_decay=self.weight_decay,
+            momentum=self.momentum,
+            velocity=velocity,
+        )
 
     def _sparse_step(self, idx: int, table: EmbeddingTable, grad: SparseGrad) -> None:
+        if self.workspace is not None:
+            u = self.workspace.get_rows(
+                "opt.rows.u", len(grad.rows), grad.values.shape[1:], grad.values.dtype
+            )
+            np.multiply(grad.values, self.lr, out=u)
+            table.weight[grad.rows] -= u
+            return
         table.weight[grad.rows] -= self.lr * grad.values
 
 
@@ -114,8 +152,9 @@ class Adagrad(_OptimizerBase):
         lr: float = 0.01,
         eps: float = 1e-10,
         initial_accumulator: float = 0.0,
+        fused: bool = True,
     ) -> None:
-        super().__init__(dense_params, tables, lr)
+        super().__init__(dense_params, tables, lr, fused=fused)
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         if initial_accumulator < 0:
@@ -130,15 +169,46 @@ class Adagrad(_OptimizerBase):
 
     def _dense_step(self, idx: int, p: Parameter) -> None:
         state = self._dense_state[idx]
-        state += p.grad * p.grad
-        p.value -= self.lr * p.grad / (np.sqrt(state) + self.eps)
+        if self.workspace is not None:
+            dense_kernels.adagrad_dense_step(
+                p.value,
+                p.grad,
+                state,
+                self.lr,
+                self.eps,
+                self.workspace.get("opt.t", p.value.shape, p.value.dtype),
+                self.workspace.get("opt.u", p.value.shape, p.value.dtype),
+            )
+            return
+        dense_kernels.naive_adagrad_dense_step(p.value, p.grad, state, self.lr, self.eps)
 
     def _sparse_step(self, idx: int, table: EmbeddingTable, grad: SparseGrad) -> None:
-        state_rows = self._table_state[idx][grad.rows]
-        state_rows += grad.values * grad.values
-        self._table_state[idx][grad.rows] = state_rows
-        table.weight[grad.rows] -= self.lr * grad.values / (
-            np.sqrt(state_rows) + self.eps
+        # ``SparseGrad.rows`` are coalesced (sorted unique), so the
+        # single-gather/single-scatter update below is exact; see the
+        # regression test pinning bit-identity against the historical
+        # three-pass form.
+        if self.workspace is not None:
+            t, u = self._row_buffers(
+                len(grad.rows), grad.values.shape[1], grad.values.dtype
+            )
+            dense_kernels.adagrad_sparse_step(
+                table.weight,
+                self._table_state[idx],
+                grad.rows,
+                grad.values,
+                self.lr,
+                self.eps,
+                t,
+                u,
+            )
+            return
+        dense_kernels.naive_adagrad_sparse_step(
+            table.weight,
+            self._table_state[idx],
+            grad.rows,
+            grad.values,
+            self.lr,
+            self.eps,
         )
 
     def state_bytes(self) -> int:

@@ -79,7 +79,14 @@ class Trainer:
     ) -> None:
         self.model = model
         self.optimizer = optimizer_factory(model)
-        self.loss = loss or BCEWithLogitsLoss()
+        # The default loss joins the model's workspace arena so the fused
+        # sigmoid+BCE kernel runs allocation-free (bit-identical either way).
+        self.loss = loss or BCEWithLogitsLoss(
+            workspace=getattr(model, "workspace", None)
+        )
+        #: Whether the model runs the fused dense path (annotated on trace
+        #: spans so Chrome traces distinguish fast-path slices).
+        self.fused = getattr(model, "workspace", None) is not None
         #: Observability hook (see :mod:`repro.obs`); defaults to the no-op
         #: tracer, so instrumentation costs nothing unless opted in.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -132,15 +139,23 @@ class Trainer:
     def train_step(self, batch: Batch) -> float:
         """One forward/backward/update; returns the batch loss."""
         tracer = self.tracer
-        with tracer.span("train_step", "iteration", step=self._step_index, batch=batch.size):
+        fused = self.fused
+        with tracer.span(
+            "train_step", "iteration",
+            step=self._step_index, batch=batch.size, fused=fused,
+        ):
             self.optimizer.zero_grad()
-            with tracer.span("forward", "compute"):
-                logits = self.model.forward(batch)
-                loss_value = self.loss.forward(logits, batch.labels)
-            with tracer.span("backward", "compute"):
-                grad = self.loss.backward()
-                self.model.backward(grad)
-            with tracer.span("optimizer_step", "compute"):
+            with tracer.span("forward", "compute", fused=fused):
+                with tracer.span("model_forward", "compute"):
+                    logits = self.model.forward(batch)
+                with tracer.span("loss_forward", "compute"):
+                    loss_value = self.loss.forward(logits, batch.labels)
+            with tracer.span("backward", "compute", fused=fused):
+                with tracer.span("loss_backward", "compute"):
+                    grad = self.loss.backward()
+                with tracer.span("model_backward", "compute"):
+                    self.model.backward(grad)
+            with tracer.span("optimizer_step", "compute", fused=fused):
                 self.optimizer.step()
         self._step_index += 1
         return loss_value

@@ -119,6 +119,35 @@ class TestCommandsExtra:
         assert code == 0
 
 
+class TestTraceCommand:
+    def test_trace_train_emits_fused_step_spans(self, capsys, tmp_path):
+        """``repro trace train`` runs the fused Trainer and the exported
+        Chrome trace carries the per-phase spans with ``fused`` marked."""
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main(["trace", "train", "--model", "test:16x4:2000",
+                     "--out", str(out)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        events = json.loads(out.read_text())["traceEvents"]
+        names = {e["name"] for e in events}
+        # the fused train step's span structure
+        for expected in ("train_step", "forward", "model_forward",
+                         "loss_forward", "backward", "loss_backward",
+                         "model_backward", "optimizer_step"):
+            assert expected in names, f"missing span {expected!r}"
+        steps = [e for e in events if e["name"] == "train_step"]
+        assert len(steps) == 25
+        # the CLI trains with the default fused dense path; spans say so
+        assert all(e["args"].get("fused") is True for e in steps)
+        fwd = [e for e in events if e["name"] == "forward"]
+        assert fwd and all(e["args"].get("fused") is True for e in fwd)
+        # sub-spans are parented into the step structure
+        assert any(e["args"].get("parent") == "forward"
+                   for e in events if e["name"] == "model_forward")
+
+
 class TestServeCommand:
     def test_serve_curve_json(self, capsys):
         import json
