@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-baseline bench-dense bench-dense-baseline figures examples all clean
+.PHONY: install test conformance bench bench-backends bench-backends-baseline figures examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -8,25 +8,21 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Backend conformance suite against the numpy reference, all backends.
+conformance:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/conformance -q
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# CI-sized old-vs-new kernel benchmark, gated against the committed baseline.
-bench-smoke:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernels.py --quick --check BENCH_kernels.json
+# CI-sized unified benchmark run (kernels + dense + backends suites),
+# gated against the committed baseline.
+bench-backends:
+	PYTHONPATH=src $(PYTHON) -m repro.bench --quick --check BENCH_backends.json
 
 # Refresh the committed baseline (run on a quiet machine, then commit).
-bench-baseline:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernels.py --quick --out BENCH_kernels.json
-
-# CI-sized dense fast-path benchmark (fused MLP/interaction/loss/optimizer
-# kernels + workspace arena), gated against the committed baseline.
-bench-dense:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_dense.py --quick --check BENCH_dense.json
-
-# Refresh the committed dense baseline (quiet machine, then commit).
-bench-dense-baseline:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_dense.py --quick --out BENCH_dense.json
+bench-backends-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro.bench --quick --out BENCH_backends.json
 
 figures:
 	$(PYTHON) -m repro figures

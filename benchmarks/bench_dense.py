@@ -1,428 +1,30 @@
 #!/usr/bin/env python
-"""Old-vs-new dense-path benchmark (fused kernels + workspace), with a CI gate.
+"""Deprecated shim: the dense-path benchmarks moved to ``repro.bench``.
 
-Measures the fused dense kernels (:mod:`repro.core.dense_kernels`) against
-the historical implementations they replaced (kept as ``naive_*``
-references), plus the *end-to-end* fused train step — a full
-:class:`~repro.core.Trainer` loop with ``fused_dense=True`` against the
-identical model/optimizer with every fusion disabled.
+Equivalent invocation::
 
-Usage::
+    python -m repro.bench --suite dense [--quick] [--out F] [--check F]
 
-    python benchmarks/bench_dense.py --quick --out BENCH_dense.json
-    python benchmarks/bench_dense.py --quick --check BENCH_dense.json
-
-``--check`` compares *speedup ratios* (old/new measured in the same
-process, so machine speed cancels) against the committed baseline and
-fails when any gated benchmark regresses by more than ``GATE_FACTOR``
-(1.25x).  The headline end-to-end entry
-(``train_step_interaction_b2048``) is additionally gated on an absolute
-floor: the fused step must be at least ``STEP_MIN_SPEEDUP`` (2x) faster
-than the naive step at batch 2048 on the interaction-heavy config.
-
-Interpreting the end-to-end numbers: the speedup is config-dependent.
-Where GEMMs dominate (wide-MLP configs), both paths run the same
-near-peak BLAS calls and the fused win is the allocation/temporary
-traffic around them (~1.1-1.5x).  Where the pairwise-dot interaction and
-elementwise traffic dominate (many tables, small dim — the M3 shape),
-the naive path's zeros+scatter+symmetrize round trips and ``np.where``
-ReLUs are most of the step and fusion wins >2x.
-
-Timing protocol: warm-up rounds (which also warm the workspace arena to
-steady state), then best-of-N (min is the robust estimator under
-scheduler noise).
+This shim forwards its arguments with ``--suite dense`` pinned so
+existing automation keeps working.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
 import pathlib
 import sys
-import time
-from dataclasses import replace
 
 # Allow running as a plain script from the repo root without PYTHONPATH.
 _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-import numpy as np  # noqa: E402
-
-from repro.core import (  # noqa: E402
-    Adagrad,
-    Batch,
-    DLRM,
-    RaggedIndices,
-    Trainer,
-    Workspace,
-    dense_kernels,
-)
-from repro.core.config import (  # noqa: E402
-    InteractionType,
-    MLPSpec,
-    ModelConfig,
-    TableSpec,
-)
-
-GATE_FACTOR = 1.25
-STEP_MIN_SPEEDUP = 2.0
-
-
-def best_of(fn, reps: int, warmup: int = 2) -> float:
-    """Best-of-``reps`` wall time of ``fn()`` after ``warmup`` discarded runs."""
-    for _ in range(warmup):
-        fn()
-    best = float("inf")
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
-def _entry(old_s: float, new_s: float, **extra) -> dict:
-    return {"old_s": old_s, "new_s": new_s, "speedup": old_s / new_s,
-            "gate": True, **extra}
-
-
-# ---------------------------------------------------------------------------
-# per-kernel benchmarks (old vs new)
-# ---------------------------------------------------------------------------
-
-
-def bench_linear(reps: int) -> dict:
-    """Forward + backward of a 512->512 layer at batch 2048 (float64)."""
-    rng = np.random.default_rng(0)
-    x = rng.standard_normal((2048, 512))
-    w = rng.standard_normal((512, 512))
-    b = rng.standard_normal(512)
-    g = rng.standard_normal((2048, 512))
-    wg = np.zeros_like(w)
-    bg = np.zeros_like(b)
-    ws = Workspace()
-    out = ws.get("y", (2048, 512), x.dtype)
-    gin = ws.get("gin", (2048, 512), x.dtype)
-    wbuf = ws.get("wg", w.shape, x.dtype)
-    bbuf = ws.get("bg", b.shape, x.dtype)
-
-    def old():
-        dense_kernels.naive_linear_forward(x, w, b)
-        dw, db, _ = dense_kernels.naive_linear_backward(g, x, w)
-        wg_l = wg + dw  # historical accumulate allocates  # noqa: F841
-        bg_l = bg + db  # noqa: F841
-
-    def new():
-        dense_kernels.linear_forward(x, w, b, out)
-        dense_kernels.linear_backward(g, x, w, wg, bg, gin, wbuf, bbuf)
-
-    return _entry(best_of(old, reps), best_of(new, reps))
-
-
-def bench_relu(reps: int) -> dict:
-    """Forward + backward over a (2048, 1024) activation (float64)."""
-    rng = np.random.default_rng(1)
-    x = rng.standard_normal((2048, 1024))
-    g = rng.standard_normal((2048, 1024))
-    ws = Workspace()
-    y = ws.get("y", x.shape, x.dtype)
-    gx = ws.get("gx", x.shape, x.dtype)
-    m = ws.get("m", x.shape, np.bool_)
-
-    def old():
-        out, mask = dense_kernels.naive_relu_forward(x)
-        dense_kernels.naive_relu_backward(g, mask)
-
-    def new():
-        dense_kernels.relu_forward(x, y)
-        dense_kernels.relu_backward(g, y, gx, m)
-
-    return _entry(best_of(old, reps), best_of(new, reps))
-
-
-def bench_bce(reps: int) -> dict:
-    """Loss forward + logit gradient at batch 65536 (float64)."""
-    rng = np.random.default_rng(2)
-    logits = rng.standard_normal(65536)
-    labels = rng.integers(0, 2, size=65536).astype(np.float64)
-    ws = Workspace()
-    bufs = [ws.get(k, logits.shape, np.float64)
-            for k in ("e", "per", "tmp", "sig", "den")]
-    pos = ws.get("pos", logits.shape, np.bool_)
-    grad = ws.get("grad", logits.shape, np.float64)
-
-    def old():
-        dense_kernels.naive_bce_forward(logits, labels)
-        dense_kernels.naive_bce_backward(logits, labels)
-
-    def new():
-        dense_kernels.bce_forward(logits, labels, *bufs, pos)
-        dense_kernels.bce_backward(bufs[3], labels, grad)
-
-    return _entry(best_of(old, reps), best_of(new, reps))
-
-
-def _dot_setup(batch: int, n_vec: int, dim: int):
-    rng = np.random.default_rng(3)
-    stack = rng.standard_normal((batch, n_vec, dim))
-    tril = np.tril_indices(n_vec, k=-1)
-    num_pairs = len(tril[0])
-    grad_pairs = rng.standard_normal((batch, num_pairs))
-    return stack, tril, num_pairs, grad_pairs
-
-
-def bench_dot_forward(reps: int) -> dict:
-    """Pairwise-dot forward at (2048, 101 vectors, dim 32)."""
-    stack, tril, num_pairs, _ = _dot_setup(2048, 101, 32)
-    dense = stack[:, 0, :].copy()
-    flat = (tril[0] * 101 + tril[1]).astype(np.intp)
-    ws = Workspace()
-    gram = ws.get("gram", (2048, 101, 101), stack.dtype)
-    pairs = ws.get("pairs", (2048, num_pairs), stack.dtype)
-    out = ws.get("out", (2048, 32 + num_pairs), stack.dtype)
-    old = best_of(lambda: dense_kernels.naive_dot_forward(stack, tril, dense), reps)
-    new = best_of(
-        lambda: dense_kernels.dot_forward(stack, flat, dense, gram, pairs, out), reps
-    )
-    return _entry(old, new)
-
-
-def bench_dot_backward(reps: int) -> dict:
-    """Pairwise-dot backward at (2048, 101 vectors, dim 32)."""
-    stack, tril, num_pairs, grad_pairs = _dot_setup(2048, 101, 32)
-    pair_map = dense_kernels.symmetric_pair_map(101, tril)
-    ws = Workspace()
-    ext = ws.get("ext", (2048, num_pairs + 1), stack.dtype)
-    gram = ws.get("gram", (2048, 101, 101), stack.dtype)
-    gstack = ws.get("gs", stack.shape, stack.dtype)
-    old = best_of(
-        lambda: dense_kernels.naive_dot_backward(stack, tril, grad_pairs), reps
-    )
-    new = best_of(
-        lambda: dense_kernels.dot_backward(
-            stack, pair_map, grad_pairs, ext, gram, gstack
-        ),
-        reps,
-    )
-    return _entry(old, new)
-
-
-def bench_adagrad_dense(reps: int) -> dict:
-    """Dense Adagrad update over a 1024x1024 parameter (float64)."""
-    rng = np.random.default_rng(4)
-    value = rng.standard_normal((1024, 1024))
-    grad = rng.standard_normal((1024, 1024))
-    state = np.abs(rng.standard_normal((1024, 1024)))
-    ws = Workspace()
-    t = ws.get("t", value.shape, value.dtype)
-    u = ws.get("u", value.shape, value.dtype)
-    old = best_of(
-        lambda: dense_kernels.naive_adagrad_dense_step(value, grad, state, 0.01, 1e-10),
-        reps,
-    )
-    new = best_of(
-        lambda: dense_kernels.adagrad_dense_step(value, grad, state, 0.01, 1e-10, t, u),
-        reps,
-    )
-    return _entry(old, new)
-
-
-def bench_adagrad_sparse(reps: int) -> dict:
-    """Row-sparse Adagrad over 20k unique rows of a 100k x 64 table."""
-    rng = np.random.default_rng(5)
-    weight = rng.standard_normal((100_000, 64))
-    state = np.abs(rng.standard_normal((100_000, 64)))
-    rows = np.sort(rng.choice(100_000, size=20_000, replace=False))
-    values = rng.standard_normal((20_000, 64))
-    ws = Workspace()
-    t = ws.get_rows("t", len(rows), (64,), weight.dtype)
-    u = ws.get_rows("u", len(rows), (64,), weight.dtype)
-    old = best_of(
-        lambda: dense_kernels.naive_adagrad_sparse_step(
-            weight, state, rows, values, 0.01, 1e-10
-        ),
-        reps,
-    )
-    new = best_of(
-        lambda: dense_kernels.adagrad_sparse_step(
-            weight, state, rows, values, 0.01, 1e-10, t, u
-        ),
-        reps,
-    )
-    return _entry(old, new)
-
-
-# ---------------------------------------------------------------------------
-# end-to-end train step (fused model+optimizer+loss vs all-naive)
-# ---------------------------------------------------------------------------
-
-
-def _make_config(num_dense, n_tables, hash_size, dim, mean_lookups, bottom, top,
-                 interaction, dtype) -> ModelConfig:
-    tables = [
-        TableSpec(f"t{i}", hash_size=hash_size, dim=dim, mean_lookups=mean_lookups)
-        for i in range(n_tables)
-    ]
-    return ModelConfig(
-        name="bench", num_dense=num_dense, tables=tables,
-        bottom_mlp=MLPSpec(bottom), top_mlp=MLPSpec(top),
-        interaction=interaction, compute_dtype=dtype,
-    )
-
-
-#: Interaction-heavy config (the production-M3 shape: ~120 tables, small
-#: dim): the pairwise-dot triangle is (121 choose 2) = 7260 pairs, and the
-#: naive path's (B, 121, 121) zeros/scatter/symmetrize round trips dominate.
-INTERACTION_CONFIG = _make_config(
-    16, 120, 1000, 16, 1.0, (32, 16), (64,), InteractionType.DOT, "float32"
-)
-
-#: MLP-heavy config (the production-M1/M2 shape: wide stacked MLPs, concat
-#: interaction): GEMM-bound, so the fused win is the smaller remainder.
-MLP_CONFIG = _make_config(
-    256, 8, 5000, 64, 2.0, (512, 256, 64), (512, 512, 256),
-    InteractionType.CONCAT, "float32",
-)
-
-
-def _make_batches(config: ModelConfig, batch: int, n: int, seed: int = 0):
-    rng = np.random.default_rng(seed)
-    out = []
-    for _ in range(n):
-        dense = rng.standard_normal((batch, config.num_dense))
-        sparse = {}
-        for t in config.tables:
-            lengths = np.maximum(
-                rng.poisson(t.mean_lookups, size=batch), 1
-            ).astype(np.int64)
-            offsets = np.concatenate([[0], np.cumsum(lengths)])
-            values = rng.integers(0, t.hash_size, size=int(offsets[-1]))
-            sparse[t.name] = RaggedIndices(
-                values=values, offsets=offsets, safe_bound=t.hash_size
-            )
-        labels = rng.integers(0, 2, size=batch)
-        out.append(Batch(dense, sparse, labels))
-    return out
-
-
-def _time_train_step(config: ModelConfig, batches, fused: bool,
-                     reps: int, warmup: int) -> float:
-    model = DLRM(replace(config, fused_dense=fused), rng=0)
-    trainer = Trainer(
-        model,
-        lambda m: Adagrad(
-            m.dense_parameters(), m.embedding_tables(), lr=0.01, fused=fused
-        ),
-    )
-
-    def run():
-        for b in batches:
-            trainer.train_step(b)
-
-    return best_of(run, reps, warmup=warmup) / len(batches)
-
-
-def bench_train_step(config: ModelConfig, batch: int, quick: bool,
-                     **extra) -> dict:
-    n_batches = 2 if quick else 4
-    reps = 3 if quick else 5
-    batches = _make_batches(config, batch, n_batches)
-    old = _time_train_step(config, batches, fused=False, reps=reps, warmup=2)
-    new = _time_train_step(config, batches, fused=True, reps=reps, warmup=2)
-    return _entry(old, new, batch=batch, **extra)
-
-
-# ---------------------------------------------------------------------------
-# driver
-# ---------------------------------------------------------------------------
-
-
-def run_all(quick: bool) -> dict:
-    reps = 5 if quick else 12
-    results = {
-        "linear_fwd_bwd": bench_linear(reps),
-        "relu_fwd_bwd": bench_relu(reps),
-        "bce_fwd_bwd": bench_bce(reps),
-        "dot_forward": bench_dot_forward(reps),
-        "dot_backward": bench_dot_backward(reps),
-        "adagrad_dense": bench_adagrad_dense(reps),
-        "adagrad_sparse": bench_adagrad_sparse(reps),
-        "train_step_mlp_b512": bench_train_step(MLP_CONFIG, 512, quick),
-        "train_step_mlp_b2048": bench_train_step(MLP_CONFIG, 2048, quick),
-        "train_step_interaction_b512": bench_train_step(
-            INTERACTION_CONFIG, 512, quick
-        ),
-        "train_step_interaction_b2048": bench_train_step(
-            INTERACTION_CONFIG, 2048, quick, min_speedup=STEP_MIN_SPEEDUP
-        ),
-    }
-    return {
-        "meta": {
-            "mode": "quick" if quick else "full",
-            "python": sys.version.split()[0],
-            "numpy": np.__version__,
-            "cpu_count": os.cpu_count(),
-        },
-        "benchmarks": results,
-    }
-
-
-def check(current: dict, baseline_path: str) -> int:
-    baseline = json.loads(pathlib.Path(baseline_path).read_text())
-    failures = []
-    for name, entry in current["benchmarks"].items():
-        base = baseline.get("benchmarks", {}).get(name)
-        if entry.get("gate") and base is not None:
-            floor = base["speedup"] / GATE_FACTOR
-            if entry["speedup"] < floor:
-                failures.append(
-                    f"{name}: speedup {entry['speedup']:.2f}x < floor {floor:.2f}x "
-                    f"(baseline {base['speedup']:.2f}x / {GATE_FACTOR})"
-                )
-        if "min_speedup" in entry and entry["speedup"] < entry["min_speedup"]:
-            failures.append(
-                f"{name}: end-to-end fused speedup {entry['speedup']:.2f}x < "
-                f"required {entry['min_speedup']:.2f}x"
-            )
-    if failures:
-        print("REGRESSION GATE FAILED:")
-        for f in failures:
-            print(f"  - {f}")
-        return 1
-    print(f"regression gate passed ({len(current['benchmarks'])} benchmarks)")
-    return 0
-
-
-def render(results: dict) -> str:
-    lines = [f"dense-path benchmarks ({results['meta']['mode']} mode, "
-             f"{results['meta']['cpu_count']} cpus, numpy {results['meta']['numpy']})"]
-    for name, e in results["benchmarks"].items():
-        tag = f" (B={e['batch']})" if "batch" in e else ""
-        lines.append(
-            f"  {name:<30} old {e['old_s'] * 1e3:9.3f} ms   "
-            f"new {e['new_s'] * 1e3:9.3f} ms   {e['speedup']:5.2f}x{tag}"
-        )
-    return "\n".join(lines)
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="CI-sized run")
-    parser.add_argument("--out", default=None, help="write results JSON here")
-    parser.add_argument("--check", default=None, metavar="BASELINE",
-                        help="fail if gated speedups regress >%.2fx vs BASELINE"
-                             % GATE_FACTOR)
-    args = parser.parse_args(argv)
-    results = run_all(quick=args.quick)
-    print(render(results))
-    if args.out:
-        pathlib.Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
-        print(f"wrote {args.out}")
-    if args.check:
-        return check(results, args.check)
-    return 0
-
+from repro.bench import main  # noqa: E402
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    print(
+        "note: benchmarks/bench_dense.py is deprecated; "
+        "use `python -m repro.bench --suite dense`",
+        file=sys.stderr,
+    )
+    raise SystemExit(main(sys.argv[1:] + ["--suite", "dense"]))

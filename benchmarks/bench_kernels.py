@@ -1,263 +1,30 @@
 #!/usr/bin/env python
-"""Old-vs-new kernel benchmark and sweep-runner benchmark, with a CI gate.
+"""Deprecated shim: the kernel benchmarks moved to ``repro.bench``.
 
-Measures the fast-path kernels (:mod:`repro.core.kernels`) against the
-historical implementations they replaced (kept as ``naive_*`` references),
-plus the Figure 15 sweep through the parallel/memoized
-:class:`~repro.runtime.SweepRunner` against the serial path.
+Equivalent invocation::
 
-Usage::
+    python -m repro.bench --suite kernels [--quick] [--out F] [--check F]
 
-    python benchmarks/bench_kernels.py --quick --out BENCH_kernels.json
-    python benchmarks/bench_kernels.py --quick --check BENCH_kernels.json
-
-``--check`` compares *speedup ratios* (old/new measured in the same
-process, so machine speed cancels) against the committed baseline and
-fails the run when any gated benchmark regresses by more than
-``GATE_FACTOR`` (1.25x).  The fig15 sweep entry is gated on an absolute
-floor instead: the runner (4 workers + result cache) must cut wall clock
-by at least ``SWEEP_MIN_SPEEDUP`` (2x) — on single-core machines the win
-comes from memoization, on multicore from both.
-
-Timing protocol: two warm-up rounds, then best-of-N (min is the robust
-estimator under scheduler noise; means drift badly on shared boxes).
+This shim forwards its arguments with ``--suite kernels`` pinned so
+existing automation keeps working.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
 import pathlib
 import sys
-import tempfile
-import time
 
 # Allow running as a plain script from the repo root without PYTHONPATH.
 _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-import numpy as np  # noqa: E402
-
-from repro.core import EmbeddingTable, RaggedIndices, TableSpec, kernels  # noqa: E402
-
-GATE_FACTOR = 1.25
-SWEEP_MIN_SPEEDUP = 2.0
-
-
-def best_of(fn, reps: int, warmup: int = 2) -> float:
-    """Best-of-``reps`` wall time of ``fn()`` after ``warmup`` discarded runs."""
-    for _ in range(warmup):
-        fn()
-    best = float("inf")
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
-# ---------------------------------------------------------------------------
-# kernel benchmarks (old vs new)
-# ---------------------------------------------------------------------------
-
-
-def _make_ragged(rng, batch: int, hash_size: int, mean: float = 30.0):
-    lengths = rng.poisson(mean, size=batch).astype(np.int64)
-    offsets = np.concatenate([[0], np.cumsum(lengths)])
-    values = rng.integers(0, hash_size, size=int(offsets[-1]))
-    return RaggedIndices(values=values, offsets=offsets, safe_bound=hash_size)
-
-
-def _old_fwd_bwd(weight, ind, grad_out, truncation):
-    """The pre-optimization pooled fwd+bwd, composed from naive kernels."""
-    v, o = kernels.naive_truncate_ragged(ind.values, ind.offsets, truncation)
-    if (v < 0).any() or (v >= weight.shape[0]).any():  # two-pass bounds check
-        raise IndexError("out of range")
-    rows = weight[v]
-    pooled = kernels.naive_segment_sum(rows, o)
-    per_lookup = np.repeat(grad_out, np.diff(o), axis=0)
-    return pooled, kernels.naive_coalesce_rows(v, per_lookup)
-
-
-def _new_fwd_bwd(table, ind, grad_out):
-    out = table.forward(ind)
-    table.backward(grad_out)
-    return out, table.pop_grad()
-
-
-def bench_embedding(batch: int, reps: int) -> dict:
-    rng = np.random.default_rng(0)
-    spec = TableSpec("bench", hash_size=100_000, dim=64, mean_lookups=30.0, truncation=32)
-    table = EmbeddingTable(spec, rng)
-    ind = _make_ragged(rng, batch, spec.hash_size)
-    grad = rng.standard_normal((batch, spec.dim))
-    old_s = best_of(lambda: _old_fwd_bwd(table.weight, ind, grad, 32), reps)
-    new_s = best_of(lambda: _new_fwd_bwd(table, ind, grad), reps)
-    return {"old_s": old_s, "new_s": new_s, "speedup": old_s / new_s, "gate": True}
-
-
-def bench_segment_pool(reps: int) -> dict:
-    rng = np.random.default_rng(1)
-    ind = _make_ragged(rng, 2048, 100_000)
-    rows = rng.standard_normal((ind.total_lookups, 64))
-    old_s = best_of(lambda: kernels.naive_segment_sum(rows, ind.offsets), reps)
-    new_s = best_of(lambda: kernels.segment_sum(rows, ind.offsets), reps)
-    return {"old_s": old_s, "new_s": new_s, "speedup": old_s / new_s, "gate": True}
-
-
-def bench_coalesce(reps: int) -> dict:
-    rng = np.random.default_rng(2)
-    indices = rng.integers(0, 100_000, size=60_000)
-    grads = rng.standard_normal((60_000, 64))
-    old_s = best_of(lambda: kernels.naive_coalesce_rows(indices, grads), reps)
-    new_s = best_of(lambda: kernels.coalesce_rows(indices, grads), reps)
-    return {"old_s": old_s, "new_s": new_s, "speedup": old_s / new_s, "gate": True}
-
-
-def bench_truncate(reps: int) -> dict:
-    rng = np.random.default_rng(3)
-    ind = _make_ragged(rng, 8192, 100_000)
-    old_s = best_of(
-        lambda: kernels.naive_truncate_ragged(ind.values, ind.offsets, 24), reps
-    )
-    new_s = best_of(lambda: kernels.truncate_ragged(ind.values, ind.offsets, 24), reps)
-    return {"old_s": old_s, "new_s": new_s, "speedup": old_s / new_s, "gate": True}
-
-
-# ---------------------------------------------------------------------------
-# sweep runner benchmark (serial vs 4 workers + cache)
-# ---------------------------------------------------------------------------
-
-
-def bench_fig15_sweep(quick: bool) -> dict:
-    from repro.experiments import fig15_accuracy as f15
-    from repro.runtime import ResultCache, SweepRunner
-
-    kw = dict(
-        baseline_batch=64,
-        gpu_batches=(128,) if quick else (128, 256),
-        example_budget=2048 if quick else 8192,
-        tuning_trials=2 if quick else 3,
-        num_seeds=1 if quick else 2,
-        seed=0,
-    )
-    t0 = time.perf_counter()
-    serial = f15.run(**kw)
-    serial_s = time.perf_counter() - t0
-
-    with tempfile.TemporaryDirectory() as tmp:
-        runner = SweepRunner(workers=4, cache=ResultCache(tmp))
-        t0 = time.perf_counter()
-        cold = f15.run(**kw, runner=runner)
-        cold_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        warm = f15.run(**kw, runner=runner)
-        warm_s = time.perf_counter() - t0
-    if not (serial == cold == warm):  # determinism contract, checked for free
-        raise AssertionError("fig15 runner results diverged from serial")
-    return {
-        "serial_s": serial_s,
-        "parallel4_cold_s": cold_s,
-        "parallel4_warm_s": warm_s,
-        "parallel_speedup": serial_s / cold_s,
-        "cached_speedup": serial_s / warm_s,
-        "speedup": serial_s / min(cold_s, warm_s),
-        "min_speedup": SWEEP_MIN_SPEEDUP,
-        "gate": False,  # ratio-gated separately via min_speedup (absolute)
-    }
-
-
-# ---------------------------------------------------------------------------
-# driver
-# ---------------------------------------------------------------------------
-
-
-def run_all(quick: bool) -> dict:
-    reps = 5 if quick else 12
-    results = {
-        "embedding_fwd_bwd_b512": bench_embedding(512, reps),
-        "embedding_fwd_bwd_b2048": bench_embedding(2048, reps),
-        "segment_pool": bench_segment_pool(reps),
-        "coalesce": bench_coalesce(reps),
-        "truncate": bench_truncate(reps),
-        "fig15_sweep": bench_fig15_sweep(quick),
-    }
-    return {
-        "meta": {
-            "mode": "quick" if quick else "full",
-            "python": sys.version.split()[0],
-            "numpy": np.__version__,
-            "cpu_count": os.cpu_count(),
-        },
-        "benchmarks": results,
-    }
-
-
-def check(current: dict, baseline_path: str) -> int:
-    baseline = json.loads(pathlib.Path(baseline_path).read_text())
-    failures = []
-    for name, entry in current["benchmarks"].items():
-        base = baseline.get("benchmarks", {}).get(name)
-        if entry.get("gate") and base is not None:
-            floor = base["speedup"] / GATE_FACTOR
-            if entry["speedup"] < floor:
-                failures.append(
-                    f"{name}: speedup {entry['speedup']:.2f}x < floor {floor:.2f}x "
-                    f"(baseline {base['speedup']:.2f}x / {GATE_FACTOR})"
-                )
-        if "min_speedup" in entry:
-            best = max(entry["parallel_speedup"], entry["cached_speedup"])
-            if best < entry["min_speedup"]:
-                failures.append(
-                    f"{name}: best runner speedup {best:.2f}x < required "
-                    f"{entry['min_speedup']:.2f}x"
-                )
-    if failures:
-        print("REGRESSION GATE FAILED:")
-        for f in failures:
-            print(f"  - {f}")
-        return 1
-    print(f"regression gate passed ({len(current['benchmarks'])} benchmarks)")
-    return 0
-
-
-def render(results: dict) -> str:
-    lines = [f"kernel/runner benchmarks ({results['meta']['mode']} mode, "
-             f"{results['meta']['cpu_count']} cpus, numpy {results['meta']['numpy']})"]
-    for name, e in results["benchmarks"].items():
-        if "old_s" in e:
-            lines.append(
-                f"  {name:<24} old {e['old_s'] * 1e3:8.2f} ms   "
-                f"new {e['new_s'] * 1e3:8.2f} ms   {e['speedup']:5.2f}x"
-            )
-        else:
-            lines.append(
-                f"  {name:<24} serial {e['serial_s']:.2f} s   "
-                f"4w cold {e['parallel4_cold_s']:.2f} s ({e['parallel_speedup']:.2f}x)   "
-                f"warm {e['parallel4_warm_s']:.3f} s ({e['cached_speedup']:.0f}x)"
-            )
-    return "\n".join(lines)
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="CI-sized run")
-    parser.add_argument("--out", default=None, help="write results JSON here")
-    parser.add_argument("--check", default=None, metavar="BASELINE",
-                        help="fail if gated speedups regress >%.2fx vs BASELINE"
-                             % GATE_FACTOR)
-    args = parser.parse_args(argv)
-    results = run_all(quick=args.quick)
-    print(render(results))
-    if args.out:
-        pathlib.Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
-        print(f"wrote {args.out}")
-    if args.check:
-        return check(results, args.check)
-    return 0
-
+from repro.bench import main  # noqa: E402
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    print(
+        "note: benchmarks/bench_kernels.py is deprecated; "
+        "use `python -m repro.bench --suite kernels`",
+        file=sys.stderr,
+    )
+    raise SystemExit(main(sys.argv[1:] + ["--suite", "kernels"]))

@@ -1,0 +1,38 @@
+"""Unified benchmark harness and suites (``python -m repro.bench``).
+
+Replaces the historical ``benchmarks/bench_kernels.py`` and
+``benchmarks/bench_dense.py`` scripts (which live on as thin shims): one
+timing protocol, one entry schema, one regression gate, with suites for
+the sparse kernels, the fused dense path, and the registered compute
+backends.
+"""
+
+from .harness import (
+    GATE_FACTOR,
+    STEP_MIN_SPEEDUP,
+    SWEEP_MIN_SPEEDUP,
+    best_of,
+    check,
+    entry,
+    main,
+    render,
+    run_suites,
+    timed_infer,
+    timed_train,
+)
+from .suites import SUITES
+
+__all__ = [
+    "GATE_FACTOR",
+    "STEP_MIN_SPEEDUP",
+    "SWEEP_MIN_SPEEDUP",
+    "SUITES",
+    "best_of",
+    "check",
+    "entry",
+    "main",
+    "render",
+    "run_suites",
+    "timed_infer",
+    "timed_train",
+]

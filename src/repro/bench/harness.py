@@ -1,0 +1,223 @@
+"""Unified benchmark harness: timing protocol, entry schema, CI gate.
+
+Every benchmark in :mod:`repro.bench.suites` produces an *entry* — a dict
+with ``old_s`` / ``new_s`` / ``speedup`` (ratios measured in the same
+process, so machine speed cancels) plus optional extras.  The harness
+provides:
+
+* :func:`best_of` — the shared timing protocol: warm-up rounds (which
+  also warm the workspace arena to steady state), then best-of-N wall
+  time (min is the robust estimator under scheduler noise; means drift
+  badly on shared boxes).
+* :func:`timed_train` / :func:`timed_infer` — end-to-end per-step wall
+  time of a full :class:`~repro.core.Trainer` loop (or ``predict_proba``
+  sweep) under a named compute backend, via the backend seam.
+* :func:`check` — the single regression gate: entries with
+  ``gate: true`` are compared by *speedup ratio* against the committed
+  baseline (fails on a > ``GATE_FACTOR`` regression); entries carrying
+  ``min_speedup`` are additionally held to that absolute floor.
+* :func:`main` — the CLI behind ``python -m repro.bench``.
+
+Usage::
+
+    python -m repro.bench --quick --out BENCH_backends.json
+    python -m repro.bench --quick --check BENCH_backends.json
+    python -m repro.bench --quick --suite backends
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core import DLRM, Adagrad, ModelConfig, Trainer
+
+GATE_FACTOR = 1.25
+#: Absolute floor for the fig15 sweep-runner entry: parallel workers +
+#: result cache must at least halve wall clock (memoization alone
+#: suffices on single-core machines).
+SWEEP_MIN_SPEEDUP = 2.0
+#: Absolute floor for the headline fused train step at batch 2048 on the
+#: interaction-heavy config.
+STEP_MIN_SPEEDUP = 2.0
+
+
+def best_of(fn, reps: int, warmup: int = 2) -> float:
+    """Best-of-``reps`` wall time of ``fn()`` after ``warmup`` discarded runs."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def entry(old_s: float, new_s: float, *, gate: bool = True, **extra) -> dict:
+    """The common benchmark-entry schema (``speedup`` = old / new)."""
+    return {"old_s": old_s, "new_s": new_s, "speedup": old_s / new_s,
+            "gate": gate, **extra}
+
+
+# ---------------------------------------------------------------------------
+# end-to-end timing through the backend seam
+# ---------------------------------------------------------------------------
+
+
+def timed_train(config: ModelConfig, batches, backend, reps: int,
+                warmup: int = 2, lr: float = 0.01) -> float:
+    """Per-batch seconds of a full train step under ``backend``."""
+    model = DLRM(config, rng=0, backend=backend)
+    trainer = Trainer(
+        model,
+        lambda m: Adagrad(
+            m.dense_parameters(), m.embedding_tables(), lr=lr, backend=m.backend
+        ),
+    )
+
+    def run():
+        for b in batches:
+            trainer.train_step(b)
+
+    return best_of(run, reps, warmup=warmup) / len(batches)
+
+
+def timed_infer(config: ModelConfig, batches, backend, reps: int,
+                warmup: int = 2) -> float:
+    """Per-batch seconds of ``predict_proba`` under ``backend``."""
+    model = DLRM(config, rng=0, backend=backend)
+
+    def run():
+        for b in batches:
+            model.predict_proba(b)
+
+    return best_of(run, reps, warmup=warmup) / len(batches)
+
+
+# ---------------------------------------------------------------------------
+# suite runner / gate / report
+# ---------------------------------------------------------------------------
+
+
+def run_suites(quick: bool, names=None) -> dict:
+    """Run the named suites (default: all) and merge their entries."""
+    from .suites import SUITES
+
+    names = list(SUITES) if names is None else list(names)
+    unknown = [n for n in names if n not in SUITES]
+    if unknown:
+        raise ValueError(f"unknown suite(s) {unknown}; known: {list(SUITES)}")
+    benchmarks: dict = {}
+    for name in names:
+        for key, e in SUITES[name](quick).items():
+            if key in benchmarks:
+                raise ValueError(f"duplicate benchmark name {key!r}")
+            benchmarks[key] = e
+    return {
+        "meta": {
+            "mode": "quick" if quick else "full",
+            "suites": names,
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def check(current: dict, baseline_path: str) -> int:
+    """The single regression gate over every entry of every suite.
+
+    Ratio gate: ``gate: true`` entries must keep ``speedup`` within
+    ``GATE_FACTOR`` of the committed baseline's.  Absolute gate: entries
+    carrying ``min_speedup`` must meet that floor outright (for the
+    fig15 sweep ``speedup`` is already serial over the best runner
+    time, so one comparison covers both historical styles).
+    """
+    path = pathlib.Path(baseline_path)
+    if not path.is_file():
+        print(f"baseline {baseline_path} not found; generate it with "
+              f"`python -m repro.bench --quick --out {baseline_path}`")
+        return 1
+    baseline = json.loads(path.read_text())
+    failures = []
+    for name, e in current["benchmarks"].items():
+        base = baseline.get("benchmarks", {}).get(name)
+        if e.get("gate") and base is not None:
+            floor = base["speedup"] / GATE_FACTOR
+            if e["speedup"] < floor:
+                failures.append(
+                    f"{name}: speedup {e['speedup']:.2f}x < floor {floor:.2f}x "
+                    f"(baseline {base['speedup']:.2f}x / {GATE_FACTOR})"
+                )
+        if "min_speedup" in e and e["speedup"] < e["min_speedup"]:
+            failures.append(
+                f"{name}: speedup {e['speedup']:.2f}x < required "
+                f"{e['min_speedup']:.2f}x (absolute floor)"
+            )
+    if failures:
+        print("REGRESSION GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"regression gate passed ({len(current['benchmarks'])} benchmarks)")
+    return 0
+
+
+def render(results: dict) -> str:
+    meta = results["meta"]
+    lines = [
+        f"benchmarks ({meta['mode']} mode, suites {'+'.join(meta['suites'])}, "
+        f"{meta['cpu_count']} cpus, numpy {meta['numpy']})"
+    ]
+    for name, e in results["benchmarks"].items():
+        if "serial_s" in e:
+            lines.append(
+                f"  {name:<30} serial {e['serial_s']:.2f} s   "
+                f"4w cold {e['parallel4_cold_s']:.2f} s ({e['parallel_speedup']:.2f}x)   "
+                f"warm {e['parallel4_warm_s']:.3f} s ({e['cached_speedup']:.0f}x)"
+            )
+            continue
+        tags = []
+        if "batch" in e:
+            tags.append(f"B={e['batch']}")
+        if "resolved" in e and e["resolved"] != e.get("backend"):
+            tags.append(f"-> {e['resolved']}")
+        tag = f" ({', '.join(tags)})" if tags else ""
+        lines.append(
+            f"  {name:<30} old {e['old_s'] * 1e3:9.3f} ms   "
+            f"new {e['new_s'] * 1e3:9.3f} ms   {e['speedup']:5.2f}x{tag}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from .suites import SUITES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Unified kernel / dense-path / backend benchmark suites",
+    )
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--suite", action="append", choices=list(SUITES),
+                        help="run only this suite (repeatable; default: all)")
+    parser.add_argument("--out", default=None, help="write results JSON here")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail if gated speedups regress >%.2fx vs BASELINE"
+                             % GATE_FACTOR)
+    args = parser.parse_args(argv)
+    results = run_suites(quick=args.quick, names=args.suite)
+    print(render(results))
+    if args.out:
+        pathlib.Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        return check(results, args.check)
+    return 0

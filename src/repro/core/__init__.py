@@ -26,7 +26,15 @@ from .embedding import (
     SparseGrad,
     hash_raw_ids,
 )
-from . import dense_kernels, kernels
+from . import backends, dense_kernels, kernels
+from .backends import (
+    Backend,
+    available_backends,
+    get_backend,
+    known_backends,
+    register_backend,
+    resolve_backend,
+)
 from .dense_kernels import Workspace, stable_sigmoid
 from .interaction import ConcatInteraction, DotInteraction, make_interaction
 from .loss import BCEWithLogitsLoss, sigmoid
@@ -70,6 +78,13 @@ from .tuning import SearchResult, Trial, bayesian_search, grid_search, random_se
 __all__ = [
     "kernels",
     "dense_kernels",
+    "backends",
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "known_backends",
+    "available_backends",
+    "resolve_backend",
     "Workspace",
     "stable_sigmoid",
     "FP32_BYTES",

@@ -1,0 +1,248 @@
+"""The compute-backend seam: one protocol for the dense-path hot ops.
+
+The paper's core method is running the *same* DLRM workload across
+hardware/software configurations and comparing training efficiency
+(§II, §VI).  Our functional model mirrors that by routing every hot
+dense-path operation — GEMM/linear forward+backward, ReLU, the fused
+sigmoid+BCE loss, the dot-product feature interaction, segment pooling
+and the optimizer update steps — through a small :class:`Backend`
+protocol, selected per :class:`repro.core.config.ModelConfig` via its
+``backend`` field.
+
+Three backends register here:
+
+* ``"numpy"`` — the naive reference implementations (the historical
+  layer code, one temporary per operation).  Every other backend is
+  validated *against* this one by the conformance suite
+  (``tests/conformance/``).
+* ``"fused"`` — the allocation-free kernels of
+  :mod:`repro.core.dense_kernels` / :mod:`repro.core.kernels` running
+  through a :class:`~repro.core.dense_kernels.Workspace` arena.
+  Bit-identical to ``"numpy"`` in both float64 and float32.
+* ``"threaded"`` — the fused kernels with the large GEMMs
+  row-partitioned across a thread pool (numpy releases the GIL inside
+  ``matmul``).  Tolerance-bounded rather than bit-identical: BLAS may
+  select different micro-kernels per block shape.  Falls back to
+  ``"fused"`` when fewer than two cores are available.
+
+A new backend is validated by registration alone: the conformance suite
+parametrizes over :func:`known_backends` and asserts every op against
+the ``"numpy"`` reference — exactly (``np.array_equal``) when the
+backend claims :attr:`Backend.bit_identical`, within
+:meth:`Backend.tolerance` otherwise.
+
+Pickling contract (``SweepRunner`` process pools): registered backends
+reduce to ``get_backend(name)``, so a model shipped to a worker process
+re-resolves the *worker's* registered instance — thread pools and other
+unpicklable state never cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "known_backends",
+    "available_backends",
+    "resolve_backend",
+    "reference_backend",
+    "DEFAULT_BACKEND",
+]
+
+#: The backend selected when a config does not say otherwise.
+DEFAULT_BACKEND = "fused"
+
+_REGISTRY: dict[str, "Backend"] = {}
+
+
+class Backend:
+    """Protocol for the dense-path hot ops.
+
+    Subclasses set the class attributes and implement every op.  Ops
+    that take ``ws``/``key`` may use the workspace arena for buffer
+    reuse (``uses_workspace=True`` backends are only dispatched with an
+    arena attached); reference-style backends ignore both.
+
+    ``linear_backward`` / the optimizer steps mutate their gradient /
+    parameter arguments in place, matching the layer contract.
+    """
+
+    #: Registry name (``ModelConfig.backend`` value).
+    name: str = ""
+    #: True if every op is bit-identical (``np.array_equal``) to the
+    #: ``"numpy"`` reference in both float64 and float32 — the claim the
+    #: conformance suite enforces.
+    bit_identical: bool = False
+    #: True if the backend's ops require a :class:`Workspace` arena.
+    uses_workspace: bool = False
+    #: Name of the backend :func:`resolve_backend` falls back to when
+    #: :meth:`available` is False (``None`` = no fallback).
+    fallback: str | None = None
+
+    # -- capability ----------------------------------------------------------
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run on the current machine."""
+        return True
+
+    def tolerance(self, dtype) -> tuple[float, float]:
+        """``(rtol, atol)`` bound vs the reference for non-bit-identical
+        backends; bit-identical backends return ``(0.0, 0.0)``."""
+        return (0.0, 0.0)
+
+    # -- linear --------------------------------------------------------------
+
+    def linear_forward(self, x, weight, bias, ws, key):
+        """``y = x @ W.T + b`` — returns ``(batch, out_features)``."""
+        raise NotImplementedError
+
+    def linear_backward(self, grad_out, x, weight, weight_grad, bias_grad, ws, key):
+        """Accumulate ``dW``/``db`` into ``weight_grad``/``bias_grad`` in
+        place and return ``dx``."""
+        raise NotImplementedError
+
+    # -- relu ----------------------------------------------------------------
+
+    def relu_forward(self, x, ws, key, *, training=True):
+        """Returns ``(y, ctx)``; ``ctx`` is backend-private state the
+        matching :meth:`relu_backward` consumes (``None`` if not training)."""
+        raise NotImplementedError
+
+    def relu_backward(self, grad_out, ctx, ws, key):
+        raise NotImplementedError
+
+    # -- bce loss ------------------------------------------------------------
+
+    def bce_forward(self, logits, labels, ws):
+        """Returns ``(loss, ctx)`` where ``loss`` is the float mean BCE."""
+        raise NotImplementedError
+
+    def bce_backward(self, logits, labels, ctx, ws):
+        """Returns the flat logit gradient ``(sigmoid(x) - y) / batch``."""
+        raise NotImplementedError
+
+    # -- feature interaction -------------------------------------------------
+
+    def dot_forward(self, dense, embs, tril, flat_tril, ws, key, *, training=True):
+        """Pairwise-dot interaction; returns ``(out, stack)`` where
+        ``stack`` is the ``(batch, n+1, d)`` feature stack the backward
+        consumes."""
+        raise NotImplementedError
+
+    def dot_backward(self, stack, grad_out, dim, tril, pair_map, ws, key):
+        """Returns ``(grad_dense, [grad_emb_i ...])``."""
+        raise NotImplementedError
+
+    def concat_forward(self, dense, embs, dim, ws, key):
+        """Concatenate ``[dense, emb_1, ..., emb_n]`` along features."""
+        raise NotImplementedError
+
+    # -- segment pooling (embedding bags) ------------------------------------
+
+    def segment_pool(self, weight, values, offsets):
+        """Pooled sum lookup: ``segment_sum(weight[values], offsets)``."""
+        raise NotImplementedError
+
+    def segment_pool_backward(self, values, lengths, grad_out):
+        """Coalesced row gradients of a pooled lookup; returns
+        ``(unique_rows, summed)``."""
+        raise NotImplementedError
+
+    # -- optimizer steps -----------------------------------------------------
+
+    def adagrad_dense_step(self, value, grad, state, lr, eps, ws):
+        raise NotImplementedError
+
+    def adagrad_sparse_step(self, weight, state, rows, values, lr, eps, ws):
+        raise NotImplementedError
+
+    def sgd_dense_step(self, value, grad, lr, ws, *, weight_decay=0.0,
+                       momentum=0.0, velocity=None):
+        raise NotImplementedError
+
+    def sgd_sparse_step(self, weight, rows, values, lr, ws):
+        raise NotImplementedError
+
+    # -- pickling ------------------------------------------------------------
+
+    def __reduce__(self):
+        # Registered instances reduce to a name lookup so process-pool
+        # workers re-resolve their own instance (satellite fix: sweeps
+        # round-trip the selected backend; thread pools never pickle).
+        if _REGISTRY.get(self.name) is self:
+            return (get_backend, (self.name,))
+        return super().__reduce__()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def register_backend(backend: Backend, *, overwrite: bool = False) -> Backend:
+    """Register ``backend`` under its :attr:`~Backend.name`.
+
+    Registration is all a new backend needs to be picked up by
+    ``ModelConfig(backend=...)``, the conformance suite and the unified
+    benchmark harness.
+    """
+    if not backend.name:
+        raise ValueError("backend must set a non-empty name")
+    if backend.name in _REGISTRY and not overwrite:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def known_backends() -> tuple[str, ...]:
+    """Names of all registered backends, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    """The registered backend instance for ``name`` (no fallback)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> tuple[Backend, ...]:
+    """Registered backends whose :meth:`~Backend.available` is True."""
+    return tuple(b for b in _REGISTRY.values() if b.available())
+
+
+def reference_backend() -> Backend:
+    """The ``"numpy"`` reference every backend is validated against."""
+    return get_backend("numpy")
+
+
+def resolve_backend(spec: "str | Backend | None") -> Backend:
+    """Resolve a config value to a usable backend instance.
+
+    ``None`` means :data:`DEFAULT_BACKEND`; instances pass through;
+    names resolve via the registry, walking each backend's
+    :attr:`~Backend.fallback` chain while :meth:`~Backend.available`
+    is False (e.g. ``"threaded"`` → ``"fused"`` on a single-core host).
+    """
+    if isinstance(spec, Backend):
+        return spec
+    backend = get_backend(spec if spec is not None else DEFAULT_BACKEND)
+    seen: set[str] = set()
+    while not backend.available():
+        if backend.fallback is None or backend.name in seen:
+            raise RuntimeError(
+                f"backend {backend.name!r} is unavailable and has no fallback"
+            )
+        seen.add(backend.name)
+        backend = get_backend(backend.fallback)
+    return backend

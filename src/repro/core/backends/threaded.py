@@ -1,0 +1,133 @@
+"""The ``"threaded"`` backend: row-partitioned GEMMs on a thread pool.
+
+Kalamkar et al. (arXiv:2005.04680) show the MLP GEMMs dominate DLRM
+training compute on CPUs and respond directly to intra-op threading.
+Numpy's ``matmul`` releases the GIL, so partitioning the *rows* of the
+batch (forward / ``dx``) or of the output features (``dW``) across a
+``ThreadPoolExecutor`` overlaps the BLAS calls without any re-association
+of the K-dimension reduction — each output element is still one
+contiguous dot product.
+
+Everything except the linear fwd/bwd GEMMs inherits the fused kernels.
+
+Numerical contract: *tolerance-bounded*, not bit-identical — BLAS
+implementations may select different micro-kernels (gemv vs gemm,
+different vector widths) for different block shapes, so per-element
+results can differ by rounding even though the reduction order of each
+dot product is unchanged.  In practice results are usually exact; the
+conformance suite asserts the :meth:`tolerance` bound.
+
+Availability: requires >= 2 cores; :func:`~repro.core.backends.base.
+resolve_backend` falls back to ``"fused"`` otherwise.  Small problems
+(fewer than ``2 * min_rows`` rows) skip the pool entirely.
+
+Fork/pickle safety: the pool is created lazily, per process (a pool
+inherited across ``fork`` has dead worker threads, so it is keyed by
+pid), and is dropped from pickles — a model shipped through a
+``SweepRunner`` process pool re-resolves the worker's own registered
+instance (see :meth:`Backend.__reduce__`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from .fused import FusedBackend
+
+__all__ = ["ThreadedBackend"]
+
+
+class ThreadedBackend(FusedBackend):
+    """Fused kernels with thread-parallel linear-layer GEMMs."""
+
+    name = "threaded"
+    bit_identical = False
+    fallback = "fused"
+
+    def __init__(self, workers: int | None = None, min_rows: int = 64) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if min_rows < 1:
+            raise ValueError(f"min_rows must be >= 1, got {min_rows}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        #: Minimum rows per partition — below ``2 * min_rows`` total the
+        #: pool dispatch overhead exceeds the BLAS win and we run serial.
+        self.min_rows = min_rows
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_pid: int | None = None
+
+    @classmethod
+    def available(cls) -> bool:
+        return (os.cpu_count() or 1) >= 2
+
+    def tolerance(self, dtype) -> tuple[float, float]:
+        if np.dtype(dtype) == np.float32:
+            return (1e-4, 1e-6)
+        return (1e-9, 1e-12)
+
+    # -- pool management -----------------------------------------------------
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        pid = os.getpid()
+        if self._pool is None or self._pool_pid != pid:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-gemm"
+            )
+            self._pool_pid = pid
+        return self._pool
+
+    def _spans(self, rows: int) -> list[tuple[int, int]] | None:
+        """Balanced row partitions, or ``None`` to run serial."""
+        parts = min(self.workers, rows // self.min_rows)
+        if parts < 2:
+            return None
+        bounds = [(rows * i) // parts for i in range(parts + 1)]
+        return list(zip(bounds[:-1], bounds[1:]))
+
+    def _matmul_rows(self, a, b, out) -> np.ndarray:
+        """``out = a @ b`` with ``a``'s rows partitioned across the pool."""
+        spans = self._spans(a.shape[0])
+        if spans is None:
+            return np.matmul(a, b, out=out)
+        pool = self._get_pool()
+        futures = [
+            pool.submit(np.matmul, a[lo:hi], b, out=out[lo:hi])
+            for lo, hi in spans
+        ]
+        for f in futures:
+            f.result()  # propagate worker exceptions
+        return out
+
+    # -- threaded linear ops -------------------------------------------------
+
+    def linear_forward(self, x, weight, bias, ws, key):
+        out = ws.get((key, "out"), (x.shape[0], weight.shape[0]), x.dtype)
+        self._matmul_rows(x, weight.T, out)
+        out += bias
+        return out
+
+    def linear_backward(self, grad_out, x, weight, weight_grad, bias_grad, ws, key):
+        dtype = weight.dtype
+        grad_in = ws.get((key, "gin"), (grad_out.shape[0], weight.shape[1]), dtype)
+        wg = ws.get((key, "wg"), weight.shape, dtype)
+        bg = ws.get((key, "bg"), bias_grad.shape, dtype)
+        self._matmul_rows(grad_out.T, x, wg)  # rows = out_features
+        weight_grad += wg
+        np.sum(grad_out, axis=0, out=bg)
+        bias_grad += bg
+        self._matmul_rows(grad_out, weight, grad_in)
+        return grad_in
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_pool_pid"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)

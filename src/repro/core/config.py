@@ -174,11 +174,26 @@ class ModelConfig:
     #: Bit-identical to the naive path in both compute dtypes; set ``False``
     #: to fall back for debugging.
     fused_dense: bool = True
+    #: Compute backend for the dense path (see :mod:`repro.core.backends`):
+    #: ``"numpy"`` (naive reference), ``"fused"`` (allocation-free arena
+    #: kernels, bit-identical to the reference — the default) or
+    #: ``"threaded"`` (fused + thread-parallel GEMMs, tolerance-bounded,
+    #: auto-falling back to ``"fused"`` on single-core hosts).  Any name
+    #: registered via :func:`repro.core.backends.register_backend` is
+    #: accepted.  ``fused_dense=False`` overrides this to ``"numpy"``.
+    backend: str = "fused"
 
     def __post_init__(self) -> None:
         if self.compute_dtype not in ("float32", "float64"):
             raise ValueError(
                 f"compute_dtype must be 'float32' or 'float64', got {self.compute_dtype!r}"
+            )
+        from .backends import known_backends
+
+        if self.backend not in known_backends():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; registered: "
+                f"{sorted(known_backends())}"
             )
         if self.num_dense < 0:
             raise ValueError(f"num_dense must be >= 0, got {self.num_dense}")
@@ -203,6 +218,12 @@ class ModelConfig:
         import numpy as np
 
         return np.dtype(self.compute_dtype)
+
+    @property
+    def effective_backend(self) -> str:
+        """The backend the model actually runs: :attr:`backend`, unless
+        ``fused_dense=False`` forces the naive ``"numpy"`` reference."""
+        return self.backend if self.fused_dense else "numpy"
 
     @property
     def num_sparse(self) -> int:

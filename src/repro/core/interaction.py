@@ -9,6 +9,11 @@ Two combiners are implemented, matching the paper:
   vectors are computed, and the resulting triangle is concatenated with the
   original dense output.  This captures dense-sparse and sparse-sparse
   interactions.
+
+The compute routes through the backend seam (:mod:`repro.core.backends`):
+the ``"numpy"`` reference materializes fresh temporaries, the ``"fused"``
+path runs the allocation-free kernels of :mod:`repro.core.dense_kernels`
+through the attached workspace arena (bit-identical).
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import dense_kernels
+from .backends import Backend, get_backend, reference_backend
 from .dense_kernels import Workspace
 
 __all__ = ["ConcatInteraction", "DotInteraction", "make_interaction"]
@@ -28,10 +34,22 @@ class ConcatInteraction:
         self.num_sparse = num_sparse
         self.dim = dim
         self._dense_width: int | None = None
+        self.backend: Backend = get_backend("fused")
         self.workspace: Workspace | None = None
         self._ws_key = "concat"
 
     def set_workspace(self, workspace: Workspace | None, key: str | None = None) -> None:
+        self.workspace = workspace
+        if key is not None:
+            self._ws_key = key
+
+    def set_backend(
+        self,
+        backend: Backend | str,
+        workspace: Workspace | None = None,
+        key: str | None = None,
+    ) -> None:
+        self.backend = backend if isinstance(backend, Backend) else get_backend(backend)
         self.workspace = workspace
         if key is not None:
             self._ws_key = key
@@ -46,19 +64,12 @@ class ConcatInteraction:
             raise ValueError(f"expected {self.num_sparse} embeddings, got {len(embs)}")
         if training:
             self._dense_width = dense.shape[1]
-        ws = self.workspace
-        if ws is not None and all(e.dtype == dense.dtype for e in embs):
-            w = dense.shape[1]
-            out = ws.get(
-                (self._ws_key, "out"),
-                (dense.shape[0], w + self.num_sparse * self.dim),
-                dense.dtype,
-            )
-            out[:, :w] = dense
-            for i, emb in enumerate(embs):
-                out[:, w + i * self.dim : w + (i + 1) * self.dim] = emb
-            return out
-        return np.concatenate([dense] + embs, axis=1)
+        be = self.backend
+        if be.uses_workspace and (
+            self.workspace is None or any(e.dtype != dense.dtype for e in embs)
+        ):
+            be = reference_backend()
+        return be.concat_forward(dense, embs, self.dim, self.workspace, self._ws_key)
 
     def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
         if self._dense_width is None:
@@ -94,12 +105,24 @@ class DotInteraction:
         #: :func:`repro.core.dense_kernels.symmetric_pair_map`).
         self._pair_map = dense_kernels.symmetric_pair_map(n_vec, self._tril)
         self._stack: np.ndarray | None = None
+        self.backend: Backend = get_backend("fused")
         self.workspace: Workspace | None = None
         self._ws_key = "dot"
 
     def set_workspace(self, workspace: Workspace | None, key: str | None = None) -> None:
         """Attach a buffer arena; forward/backward then run the fused
         kernels of :mod:`repro.core.dense_kernels` (bit-identical)."""
+        self.workspace = workspace
+        if key is not None:
+            self._ws_key = key
+
+    def set_backend(
+        self,
+        backend: Backend | str,
+        workspace: Workspace | None = None,
+        key: str | None = None,
+    ) -> None:
+        self.backend = backend if isinstance(backend, Backend) else get_backend(backend)
         self.workspace = workspace
         if key is not None:
             self._ws_key = key
@@ -126,71 +149,33 @@ class DotInteraction:
             raise ValueError(
                 f"dense width {dense.shape[1]} != embedding dim {self.dim}"
             )
-        ws = self.workspace
-        if ws is not None and all(e.dtype == dense.dtype for e in embs):
-            batch = dense.shape[0]
-            n_vec = self.num_sparse + 1
-            key = self._ws_key
-            dt = dense.dtype
-            stack = ws.get((key, "stack"), (batch, n_vec, self.dim), dt)
-            stack[:, 0, :] = dense
-            for i, emb in enumerate(embs):
-                stack[:, i + 1, :] = emb
-            if training:
-                self._stack = stack
-            return dense_kernels.dot_forward(
-                stack,
-                self._flat_tril,
-                dense,
-                ws.get((key, "gram"), (batch, n_vec, n_vec), dt),
-                ws.get((key, "pairs"), (batch, self.num_pairs), dt),
-                ws.get((key, "out"), (batch, self.dim + self.num_pairs), dt),
-            )
-        stack = np.stack([dense] + embs, axis=1)  # (B, n+1, d)
+        be = self.backend
+        if be.uses_workspace and (
+            self.workspace is None or any(e.dtype != dense.dtype for e in embs)
+        ):
+            be = reference_backend()
+        out, stack = be.dot_forward(
+            dense, embs, self._tril, self._flat_tril,
+            self.workspace, self._ws_key, training=training,
+        )
         if training:
             self._stack = stack
-        gram = stack @ stack.transpose(0, 2, 1)  # (B, n+1, n+1)
-        pairs = gram[:, self._tril[0], self._tril[1]]  # (B, num_pairs)
-        return np.concatenate([dense, pairs], axis=1)
+        return out
 
     def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
         if self._stack is None:
             raise RuntimeError("backward called before forward")
         stack = self._stack
         self._stack = None
-        batch, n_vec, _ = stack.shape
-        grad_dense_direct = grad_out[:, : self.dim]
-        grad_pairs = grad_out[:, self.dim :]
-        ws = self.workspace
-        if ws is not None and grad_out.dtype == stack.dtype:
-            key = self._ws_key
-            dt = stack.dtype
-            # The forward's gram buffer is dead by now — reuse it for the
-            # symmetrized pair gradients (transpose and scatter folded into
-            # one gather map; no dense zeros+symmetrize round trip).
-            grad_stack = dense_kernels.dot_backward(
-                stack,
-                self._pair_map,
-                grad_pairs,
-                ws.get((key, "pairs_ext"), (batch, self.num_pairs + 1), dt),
-                ws.get((key, "gram"), (batch, n_vec, n_vec), dt),
-                ws.get((key, "gstack"), (batch, n_vec, self.dim), dt),
-            )
-            grad_dense = ws.get((key, "gdense"), (batch, self.dim), dt)
-            np.add(grad_stack[:, 0, :], grad_dense_direct, out=grad_dense)
-            grad_embs = [grad_stack[:, i + 1, :] for i in range(self.num_sparse)]
-            return grad_dense, grad_embs
-        # Scatter pair gradients into a symmetric (n+1, n+1) matrix; since
-        # gram = T @ T^T, dT = (G + G^T) @ T, with G holding the triangle.
-        # Follow the activation dtype so float32 compute mode stays float32
-        # end-to-end (float64 inputs are unchanged).
-        gram_grad = np.zeros((batch, n_vec, n_vec), dtype=stack.dtype)
-        gram_grad[:, self._tril[0], self._tril[1]] = grad_pairs
-        gram_grad = gram_grad + gram_grad.transpose(0, 2, 1)
-        grad_stack = gram_grad @ stack  # (B, n+1, d)
-        grad_dense = grad_stack[:, 0, :] + grad_dense_direct
-        grad_embs = [grad_stack[:, i + 1, :] for i in range(self.num_sparse)]
-        return grad_dense, grad_embs
+        be = self.backend
+        if be.uses_workspace and (
+            self.workspace is None or grad_out.dtype != stack.dtype
+        ):
+            be = reference_backend()
+        return be.dot_backward(
+            stack, grad_out, self.dim, self._tril, self._pair_map,
+            self.workspace, self._ws_key,
+        )
 
 
 def make_interaction(kind, num_sparse: int, dim: int):

@@ -45,12 +45,13 @@ Numerical contract: within each segment/row group the additions cover the
 same elements as the ``np.add.at`` originals, but ``reduceat``'s vectorized
 inner loop may re-associate a sum, so individual outputs can differ from
 the originals by ~1 ULP (the agreement is pinned at 1e-12 by
-``tests/test_kernels.py``).  The kernels themselves are deterministic:
+``tests/conformance/test_conformance_sparse.py``).  The kernels
+themselves are deterministic:
 identical inputs produce identical bits on every run and in every worker
 process, which is what the runtime cache and the parallel-equals-serial
 sweep contract rely on.  The ``naive_*`` reference implementations of the
 replaced code paths are kept here for equivalence tests and the old-vs-new
-benchmark (``benchmarks/bench_kernels.py``).
+benchmark (``python -m repro.bench --suite kernels``).
 """
 
 from __future__ import annotations

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import dense_kernels
+from .backends import Backend, get_backend, reference_backend
 from .dense_kernels import Workspace, stable_sigmoid
 
 __all__ = ["BCEWithLogitsLoss", "sigmoid"]
@@ -47,11 +47,21 @@ class BCEWithLogitsLoss:
     casts back down).
     """
 
-    def __init__(self, workspace: Workspace | None = None) -> None:
+    def __init__(
+        self,
+        workspace: Workspace | None = None,
+        backend: Backend | str | None = None,
+    ) -> None:
         self._saved: tuple[np.ndarray, np.ndarray] | None = None
         #: Optional buffer arena enabling the fused sigmoid+BCE kernel.
         self.workspace = workspace
-        self._sig: np.ndarray | None = None
+        if backend is None:
+            backend = "fused"
+        self.backend: Backend = (
+            backend if isinstance(backend, Backend) else get_backend(backend)
+        )
+        self._ctx: np.ndarray | None = None
+        self._ctx_backend: Backend | None = None
 
     def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
         logits = np.asarray(logits, dtype=np.float64).reshape(-1)
@@ -63,29 +73,14 @@ class BCEWithLogitsLoss:
         if labels.min() < 0 or labels.max() > 1:
             raise ValueError("labels must lie in [0, 1]")
         self._saved = (logits, labels)
-        ws = self.workspace
-        if ws is not None:
-            shape = logits.shape
-            sig = ws.get(("bce", "sig"), shape, np.float64)
-            loss = dense_kernels.bce_forward(
-                logits,
-                labels,
-                ws.get(("bce", "e"), shape, np.float64),
-                ws.get(("bce", "per"), shape, np.float64),
-                ws.get(("bce", "tmp"), shape, np.float64),
-                sig,
-                ws.get(("bce", "denom"), shape, np.float64),
-                ws.get(("bce", "pos"), shape, bool),
-            )
-            self._sig = sig
-            return loss
-        self._sig = None
-        per_example = (
-            np.maximum(logits, 0.0)
-            - logits * labels
-            + np.log1p(np.exp(-np.abs(logits)))
-        )
-        return float(per_example.mean())
+        be = self.backend
+        if be.uses_workspace and self.workspace is None:
+            be = reference_backend()
+        loss, ctx = be.bce_forward(logits, labels, self.workspace)
+        self._ctx = ctx
+        # The backward must consume ctx with the backend that made it.
+        self._ctx_backend = be
+        return loss
 
     def backward(self) -> np.ndarray:
         """Gradient of the mean loss w.r.t. the logits, shape ``(batch, 1)``."""
@@ -93,13 +88,9 @@ class BCEWithLogitsLoss:
             raise RuntimeError("backward called before forward")
         logits, labels = self._saved
         self._saved = None
-        ws = self.workspace
-        if ws is not None and self._sig is not None:
-            sig = self._sig
-            self._sig = None
-            grad = dense_kernels.bce_backward(
-                sig, labels, ws.get(("bce", "grad"), logits.shape, np.float64)
-            )
-            return grad.reshape(-1, 1)
-        grad = (sigmoid(logits) - labels) / len(logits)
+        be = self._ctx_backend or reference_backend()
+        ctx = self._ctx
+        self._ctx = None
+        self._ctx_backend = None
+        grad = be.bce_backward(logits, labels, ctx, self.workspace)
         return grad.reshape(-1, 1)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from .config import MLPSpec
-from . import dense_kernels
+from .backends import Backend, get_backend, reference_backend
 from .dense_kernels import Workspace, stable_sigmoid
 
 __all__ = ["Parameter", "Linear", "ReLU", "Sigmoid", "MLP"]
@@ -71,12 +71,25 @@ class Linear:
         )
         self.bias = Parameter(np.zeros(out_features), f"{name}.bias", dtype=dtype)
         self._input: np.ndarray | None = None
+        self.backend: Backend = get_backend("fused")
         self.workspace: Workspace | None = None
         self._ws_key = name
 
     def set_workspace(self, workspace: Workspace | None, key: str | None = None) -> None:
         """Attach a buffer arena; forward/backward then run the fused
         allocation-free kernels (bit-identical to the naive path)."""
+        self.workspace = workspace
+        if key is not None:
+            self._ws_key = key
+
+    def set_backend(
+        self,
+        backend: Backend | str,
+        workspace: Workspace | None = None,
+        key: str | None = None,
+    ) -> None:
+        """Select the compute backend (and its arena, if it uses one)."""
+        self.backend = backend if isinstance(backend, Backend) else get_backend(backend)
         self.workspace = workspace
         if key is not None:
             self._ws_key = key
@@ -96,38 +109,33 @@ class Linear:
             )
         if training:
             self._input = x
-        ws = self.workspace
-        if ws is not None and x.dtype == self.weight.value.dtype:
-            out = ws.get((self._ws_key, "out"), (x.shape[0], self.out_features), x.dtype)
-            return dense_kernels.linear_forward(
-                x, self.weight.value, self.bias.value, out
-            )
-        return x @ self.weight.value.T + self.bias.value
+        be = self.backend
+        if be.uses_workspace and (
+            self.workspace is None or x.dtype != self.weight.value.dtype
+        ):
+            be = reference_backend()
+        return be.linear_forward(
+            x, self.weight.value, self.bias.value, self.workspace, self._ws_key
+        )
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._input is None:
             raise RuntimeError("backward called before forward")
         x = self._input
         self._input = None
-        ws = self.workspace
         dtype = self.weight.value.dtype
-        if (
-            ws is not None
-            and grad_out.dtype == dtype
-            and x.dtype == dtype
-            and grad_out.ndim == 2
+        be = self.backend
+        if be.uses_workspace and (
+            self.workspace is None
+            or grad_out.dtype != dtype
+            or x.dtype != dtype
+            or grad_out.ndim != 2
         ):
-            key = self._ws_key
-            grad_in = ws.get((key, "gin"), (grad_out.shape[0], self.in_features), dtype)
-            wg = ws.get((key, "wg"), self.weight.value.shape, dtype)
-            bg = ws.get((key, "bg"), self.bias.value.shape, dtype)
-            return dense_kernels.linear_backward(
-                grad_out, x, self.weight.value,
-                self.weight.grad, self.bias.grad, grad_in, wg, bg,
-            )
-        self.weight.grad += grad_out.T @ x
-        self.bias.grad += grad_out.sum(axis=0)
-        return grad_out @ self.weight.value
+            be = reference_backend()
+        return be.linear_backward(
+            grad_out, x, self.weight.value,
+            self.weight.grad, self.bias.grad, self.workspace, self._ws_key,
+        )
 
     def parameters(self) -> list[Parameter]:
         return [self.weight, self.bias]
@@ -144,8 +152,9 @@ class ReLU:
     """
 
     def __init__(self) -> None:
-        self._mask: np.ndarray | None = None
-        self._out: np.ndarray | None = None
+        self._ctx: np.ndarray | None = None
+        self._ctx_backend: Backend | None = None
+        self.backend: Backend = get_backend("fused")
         self.workspace: Workspace | None = None
         self._ws_key = "relu"
 
@@ -154,39 +163,36 @@ class ReLU:
         if key is not None:
             self._ws_key = key
 
+    def set_backend(
+        self,
+        backend: Backend | str,
+        workspace: Workspace | None = None,
+        key: str | None = None,
+    ) -> None:
+        self.backend = backend if isinstance(backend, Backend) else get_backend(backend)
+        self.workspace = workspace
+        if key is not None:
+            self._ws_key = key
+
     def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
-        ws = self.workspace
-        if ws is not None:
-            if ws.owns(x):
-                out = x  # in-place: the pre-activation is dead after this
-            else:
-                out = ws.get((self._ws_key, "y"), x.shape, x.dtype)
-            dense_kernels.relu_forward(x, out)
-            if training:
-                self._out = out
-                self._mask = None
-            return out
-        if not training:
-            return np.maximum(x, 0.0)
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        be = self.backend
+        if be.uses_workspace and self.workspace is None:
+            be = reference_backend()
+        y, ctx = be.relu_forward(x, self.workspace, self._ws_key, training=training)
+        if training:
+            self._ctx = ctx
+            # The backward must consume ctx with the backend that made it.
+            self._ctx_backend = be
+        return y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        ws = self.workspace
-        if self._out is not None and ws is not None:
-            y = self._out
-            self._out = None
-            mask_buf = ws.get((self._ws_key, "m"), y.shape, bool)
-            if ws.owns(grad_out) and grad_out.dtype == y.dtype:
-                out = grad_out  # in-place on the incoming gradient buffer
-            else:
-                out = ws.get((self._ws_key, "g"), grad_out.shape, grad_out.dtype)
-            return dense_kernels.relu_backward(grad_out, y, out, mask_buf)
-        if self._mask is None:
+        be = self._ctx_backend
+        if be is None:
             raise RuntimeError("backward called before forward")
-        grad = np.where(self._mask, grad_out, 0.0)
-        self._mask = None
-        return grad
+        ctx = self._ctx
+        self._ctx = None
+        self._ctx_backend = None
+        return be.relu_backward(grad_out, ctx, self.workspace, self._ws_key)
 
     def parameters(self) -> list[Parameter]:
         return []
@@ -260,6 +266,14 @@ class MLP:
         for idx, layer in enumerate(self.layers):
             if hasattr(layer, "set_workspace"):
                 layer.set_workspace(workspace, key=f"{self.name}[{idx}]")
+
+    def set_backend(self, backend: Backend | str, workspace: Workspace | None = None) -> None:
+        """Select the compute backend (and arena) on every layer of the
+        stack; keys derive from the stack name and position as in
+        :meth:`set_workspace`."""
+        for idx, layer in enumerate(self.layers):
+            if hasattr(layer, "set_backend"):
+                layer.set_backend(backend, workspace, key=f"{self.name}[{idx}]")
 
     def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
         """Run the stack; ``training=False`` is the inference fast path that

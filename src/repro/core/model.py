@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backends import Backend, resolve_backend
 from .config import InteractionType, ModelConfig, PoolingType
 from .dense_kernels import Workspace
 from .embedding import EmbeddingBagCollection, RaggedIndices
@@ -78,6 +79,7 @@ class DLRM:
         config: ModelConfig,
         rng: np.random.Generator | int | None = None,
         pooling: PoolingType = PoolingType.SUM,
+        backend: Backend | str | None = None,
     ) -> None:
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
@@ -101,18 +103,26 @@ class DLRM:
             config.top_mlp.out_features, 1, rng, name="scorer", dtype=self.dtype
         )
         self._feature_order = [t.name for t in config.tables]
-        #: Buffer arena of the fused dense path (``config.fused_dense``);
-        #: ``None`` disables fusion and restores the naive per-op
-        #: allocations.  The fused kernels are bit-identical — see
-        #: :mod:`repro.core.dense_kernels`.
-        self.workspace: Workspace | None = (
-            Workspace() if getattr(config, "fused_dense", True) else None
+        #: The compute backend of the dense path (see
+        #: :mod:`repro.core.backends`): ``config.effective_backend`` unless
+        #: overridden by the ``backend`` argument (a registered name or a
+        #: :class:`Backend` instance, no availability fallback applied to
+        #: explicit instances).  ``"fused"`` is bit-identical to the
+        #: ``"numpy"`` reference; ``"threaded"`` is tolerance-bounded.
+        self.backend: Backend = resolve_backend(
+            backend
+            if backend is not None
+            else getattr(config, "effective_backend", "fused")
         )
-        if self.workspace is not None:
-            self.bottom_mlp.set_workspace(self.workspace)
-            self.top_mlp.set_workspace(self.workspace)
-            self.scorer.set_workspace(self.workspace, key="scorer")
-            self.interaction.set_workspace(self.workspace, key="interaction")
+        #: Buffer arena of the workspace-backed backends; ``None`` under the
+        #: naive ``"numpy"`` reference (``config.fused_dense=False``).
+        self.workspace: Workspace | None = (
+            Workspace() if self.backend.uses_workspace else None
+        )
+        self.bottom_mlp.set_backend(self.backend, self.workspace)
+        self.top_mlp.set_backend(self.backend, self.workspace)
+        self.scorer.set_backend(self.backend, self.workspace, key="scorer")
+        self.interaction.set_backend(self.backend, self.workspace, key="interaction")
 
     # -- forward / backward -------------------------------------------------
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import dense_kernels
+from .backends import Backend, resolve_backend
 from .dense_kernels import Workspace
 from .embedding import EmbeddingTable, SparseGrad
 from .mlp import Parameter
@@ -25,10 +25,13 @@ __all__ = ["SGD", "Adagrad"]
 class _OptimizerBase:
     """Shared bookkeeping: the optimizer owns dense params and sparse tables.
 
-    ``fused=True`` (default) runs the allocation-free update kernels of
-    :mod:`repro.core.dense_kernels` through a private buffer arena; the
-    updates are bit-identical to the naive temporary-per-operation path
-    (``fused=False``), which is kept for debugging.
+    Updates route through the compute-backend seam
+    (:mod:`repro.core.backends`).  ``fused=True`` (default) selects the
+    ``"fused"`` backend — the allocation-free update kernels of
+    :mod:`repro.core.dense_kernels` through a private buffer arena,
+    bit-identical to the naive path — and ``fused=False`` the ``"numpy"``
+    reference (kept for debugging).  ``backend`` overrides either with an
+    explicit registered name or instance (e.g. the model's own backend).
     """
 
     def __init__(
@@ -37,22 +40,19 @@ class _OptimizerBase:
         tables: list[EmbeddingTable] | None = None,
         lr: float = 0.01,
         fused: bool = True,
+        backend: Backend | str | None = None,
     ) -> None:
         if lr <= 0:
             raise ValueError(f"lr must be positive, got {lr}")
         self.dense_params = list(dense_params)
         self.tables = list(tables or [])
         self.lr = lr
-        self.fused = fused
-        self.workspace: Workspace | None = Workspace() if fused else None
-
-    def _row_buffers(self, rows: int, dim: int, dtype) -> tuple[np.ndarray, np.ndarray]:
-        """Two ``(rows, dim)`` scratch slabs from the capacity-grown arena
-        (the row count varies per batch; steady state stops allocating)."""
-        ws = self.workspace
-        return (
-            ws.get_rows("opt.rows.t", rows, (dim,), dtype),
-            ws.get_rows("opt.rows.u", rows, (dim,), dtype),
+        if backend is None:
+            backend = "fused" if fused else "numpy"
+        self.backend: Backend = resolve_backend(backend)
+        self.fused = self.backend.uses_workspace
+        self.workspace: Workspace | None = (
+            Workspace() if self.backend.uses_workspace else None
         )
 
     def zero_grad(self) -> None:
@@ -92,8 +92,9 @@ class SGD(_OptimizerBase):
         momentum: float = 0.0,
         weight_decay: float = 0.0,
         fused: bool = True,
+        backend: Backend | str | None = None,
     ) -> None:
-        super().__init__(dense_params, tables, lr, fused=fused)
+        super().__init__(dense_params, tables, lr, fused=fused, backend=backend)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         if weight_decay < 0:
@@ -106,35 +107,20 @@ class SGD(_OptimizerBase):
 
     def _dense_step(self, idx: int, p: Parameter) -> None:
         velocity = self._velocity[idx] if self._velocity is not None else None
-        if self.workspace is not None:
-            dense_kernels.sgd_dense_step(
-                p.value,
-                p.grad,
-                self.lr,
-                self.workspace.get("opt.t", p.value.shape, p.value.dtype),
-                weight_decay=self.weight_decay,
-                momentum=self.momentum,
-                velocity=velocity,
-            )
-            return
-        dense_kernels.naive_sgd_dense_step(
+        self.backend.sgd_dense_step(
             p.value,
             p.grad,
             self.lr,
+            self.workspace,
             weight_decay=self.weight_decay,
             momentum=self.momentum,
             velocity=velocity,
         )
 
     def _sparse_step(self, idx: int, table: EmbeddingTable, grad: SparseGrad) -> None:
-        if self.workspace is not None:
-            u = self.workspace.get_rows(
-                "opt.rows.u", len(grad.rows), grad.values.shape[1:], grad.values.dtype
-            )
-            np.multiply(grad.values, self.lr, out=u)
-            table.weight[grad.rows] -= u
-            return
-        table.weight[grad.rows] -= self.lr * grad.values
+        self.backend.sgd_sparse_step(
+            table.weight, grad.rows, grad.values, self.lr, self.workspace
+        )
 
 
 class Adagrad(_OptimizerBase):
@@ -153,8 +139,9 @@ class Adagrad(_OptimizerBase):
         eps: float = 1e-10,
         initial_accumulator: float = 0.0,
         fused: bool = True,
+        backend: Backend | str | None = None,
     ) -> None:
-        super().__init__(dense_params, tables, lr, fused=fused)
+        super().__init__(dense_params, tables, lr, fused=fused, backend=backend)
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         if initial_accumulator < 0:
@@ -168,47 +155,22 @@ class Adagrad(_OptimizerBase):
         ]
 
     def _dense_step(self, idx: int, p: Parameter) -> None:
-        state = self._dense_state[idx]
-        if self.workspace is not None:
-            dense_kernels.adagrad_dense_step(
-                p.value,
-                p.grad,
-                state,
-                self.lr,
-                self.eps,
-                self.workspace.get("opt.t", p.value.shape, p.value.dtype),
-                self.workspace.get("opt.u", p.value.shape, p.value.dtype),
-            )
-            return
-        dense_kernels.naive_adagrad_dense_step(p.value, p.grad, state, self.lr, self.eps)
+        self.backend.adagrad_dense_step(
+            p.value, p.grad, self._dense_state[idx], self.lr, self.eps, self.workspace
+        )
 
     def _sparse_step(self, idx: int, table: EmbeddingTable, grad: SparseGrad) -> None:
-        # ``SparseGrad.rows`` are coalesced (sorted unique), so the
-        # single-gather/single-scatter update below is exact; see the
-        # regression test pinning bit-identity against the historical
-        # three-pass form.
-        if self.workspace is not None:
-            t, u = self._row_buffers(
-                len(grad.rows), grad.values.shape[1], grad.values.dtype
-            )
-            dense_kernels.adagrad_sparse_step(
-                table.weight,
-                self._table_state[idx],
-                grad.rows,
-                grad.values,
-                self.lr,
-                self.eps,
-                t,
-                u,
-            )
-            return
-        dense_kernels.naive_adagrad_sparse_step(
+        # ``SparseGrad.rows`` are coalesced (sorted unique), so the fused
+        # single-gather/single-scatter update is exact; see the conformance
+        # test pinning bit-identity against the historical three-pass form.
+        self.backend.adagrad_sparse_step(
             table.weight,
             self._table_state[idx],
             grad.rows,
             grad.values,
             self.lr,
             self.eps,
+            self.workspace,
         )
 
     def state_bytes(self) -> int:

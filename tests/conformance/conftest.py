@@ -1,0 +1,16 @@
+"""Conformance-suite bootstrap.
+
+The conformance modules import shared strategies/helpers from
+``backend_cases`` (this directory) and ``helpers`` (the parent test
+directory); running ``pytest tests/conformance`` alone must work, so the
+parent directory is put on ``sys.path`` here.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_TESTS_DIR = str(pathlib.Path(__file__).resolve().parent.parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)

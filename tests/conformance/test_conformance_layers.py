@@ -1,0 +1,185 @@
+"""Layer-level backend conformance: each layer under backend X vs "numpy".
+
+Two families:
+
+* the historical ``set_workspace``-only construction path (default
+  ``"fused"`` backend + arena attached, exactly how pre-seam code set up
+  the fast path) — kept verbatim so the legacy entry point stays pinned;
+* the generalized ``set_backend`` path, parametrized over every
+  registered backend plus the forced-split threaded instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BCEWithLogitsLoss, ConcatInteraction, DotInteraction, MLPSpec, Workspace
+from repro.core.mlp import MLP, Linear, ReLU
+
+from backend_cases import (
+    BACKEND_SPECS,
+    DTYPES,
+    assert_backend_matches,
+    assert_scalar_matches,
+    make_backend,
+    make_workspace,
+    rand,
+)
+
+backend_specs = pytest.mark.parametrize("spec", BACKEND_SPECS)
+all_dtypes = pytest.mark.parametrize("dtype", DTYPES)
+
+
+# ---------------------------------------------------------------------------
+# generalized: every backend vs the numpy reference
+# ---------------------------------------------------------------------------
+
+
+@backend_specs
+@all_dtypes
+def test_linear_layer_conforms(spec, dtype):
+    be = make_backend(spec)
+    rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+    subject = Linear(7, 5, rng_a, dtype=dtype)
+    ref = Linear(7, 5, rng_b, dtype=dtype)
+    subject.set_backend(be, make_workspace(be))
+    ref.set_backend("numpy")
+    x = rand(1, (11, 7), dtype)
+    g = rand(2, (11, 5), dtype)
+    assert_backend_matches(be, subject.forward(x), ref.forward(x), "linear fwd")
+    assert_backend_matches(be, subject.backward(g), ref.backward(g), "linear bwd")
+    assert_backend_matches(be, subject.weight.grad, ref.weight.grad, "weight grad")
+    assert_backend_matches(be, subject.bias.grad, ref.bias.grad, "bias grad")
+
+
+@backend_specs
+@all_dtypes
+def test_relu_layer_conforms(spec, dtype):
+    be = make_backend(spec)
+    subject, ref = ReLU(), ReLU()
+    subject.set_backend(be, make_workspace(be))
+    ref.set_backend("numpy")
+    x = rand(3, (9, 6), dtype)
+    g = rand(4, (9, 6), dtype)
+    assert_backend_matches(be, subject.forward(x.copy()), ref.forward(x), "relu fwd")
+    assert_backend_matches(be, subject.backward(g), ref.backward(g), "relu bwd")
+
+
+@backend_specs
+@all_dtypes
+def test_mlp_conforms(spec, dtype):
+    be = make_backend(spec)
+    rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+    subject = MLP(6, MLPSpec((8, 4)), rng_a, dtype=dtype)
+    ref = MLP(6, MLPSpec((8, 4)), rng_b, dtype=dtype)
+    subject.set_backend(be, make_workspace(be))
+    ref.set_backend("numpy")
+    x = rand(6, (13, 6), dtype)
+    g = rand(7, (13, 4), dtype)
+    assert_backend_matches(be, subject.forward(x), ref.forward(x), "mlp fwd")
+    assert_backend_matches(be, subject.backward(g), ref.backward(g), "mlp bwd")
+
+
+@backend_specs
+@all_dtypes
+@pytest.mark.parametrize("cls", [DotInteraction, ConcatInteraction])
+def test_interaction_conforms(spec, cls, dtype):
+    be = make_backend(spec)
+    num_sparse, dim, batch = 4, 5, 7
+    subject, ref = cls(num_sparse, dim), cls(num_sparse, dim)
+    subject.set_backend(be, make_workspace(be))
+    ref.set_backend("numpy")
+    dense = rand(8, (batch, dim), dtype)
+    embs = [rand(9 + i, (batch, dim), dtype) for i in range(num_sparse)]
+    out_s = subject.forward(dense, embs)
+    out_r = ref.forward(dense, embs)
+    assert_backend_matches(be, out_s, out_r, "interaction fwd")
+    g = rand(20, out_r.shape, dtype)
+    gd_s, ge_s = subject.backward(g)
+    gd_r, ge_r = ref.backward(g)
+    assert_backend_matches(be, gd_s, gd_r, "interaction grad_dense")
+    for i, (a, b) in enumerate(zip(ge_s, ge_r)):
+        assert_backend_matches(be, a, b, f"interaction grad_emb[{i}]")
+
+
+@backend_specs
+def test_bce_loss_conforms(spec):
+    be = make_backend(spec)
+    subject = BCEWithLogitsLoss(workspace=make_workspace(be), backend=be)
+    ref = BCEWithLogitsLoss(backend="numpy")
+    logits = np.random.default_rng(10).standard_normal(31) * 6
+    labels = np.random.default_rng(11).integers(0, 2, size=31)
+    assert_scalar_matches(
+        be, subject.forward(logits, labels), ref.forward(logits, labels), "bce loss"
+    )
+    assert_backend_matches(be, subject.backward(), ref.backward(), "bce grad")
+
+
+# ---------------------------------------------------------------------------
+# legacy set_workspace path (default backend + arena, pre-seam API)
+# ---------------------------------------------------------------------------
+
+
+@all_dtypes
+def test_linear_layer_fused_matches_naive(dtype):
+    rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+    fused = Linear(7, 5, rng_a, dtype=dtype)
+    naive = Linear(7, 5, rng_b, dtype=dtype)
+    fused.set_workspace(Workspace())
+    x = rand(1, (11, 7), dtype)
+    g = rand(2, (11, 5), dtype)
+    assert np.array_equal(fused.forward(x), naive.forward(x))
+    assert np.array_equal(fused.backward(g), naive.backward(g))
+    assert np.array_equal(fused.weight.grad, naive.weight.grad)
+    assert np.array_equal(fused.bias.grad, naive.bias.grad)
+
+
+@all_dtypes
+def test_relu_layer_fused_matches_naive(dtype):
+    fused, naive = ReLU(), ReLU()
+    fused.set_workspace(Workspace())
+    x = rand(3, (9, 6), dtype)
+    g = rand(4, (9, 6), dtype)
+    assert np.array_equal(fused.forward(x.copy()), naive.forward(x))
+    assert np.array_equal(fused.backward(g), naive.backward(g))
+
+
+@all_dtypes
+def test_mlp_fused_matches_naive(dtype):
+    rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+    fused = MLP(6, MLPSpec((8, 4)), rng_a, dtype=dtype)
+    naive = MLP(6, MLPSpec((8, 4)), rng_b, dtype=dtype)
+    fused.set_workspace(Workspace())
+    x = rand(6, (13, 6), dtype)
+    g = rand(7, (13, 4), dtype)
+    assert np.array_equal(fused.forward(x), naive.forward(x))
+    assert np.array_equal(fused.backward(g), naive.backward(g))
+
+
+@all_dtypes
+@pytest.mark.parametrize("cls", [DotInteraction, ConcatInteraction])
+def test_interaction_fused_matches_naive(cls, dtype):
+    num_sparse, dim, batch = 4, 5, 7
+    fused, naive = cls(num_sparse, dim), cls(num_sparse, dim)
+    fused.set_workspace(Workspace())
+    dense = rand(8, (batch, dim), dtype)
+    embs = [rand(9 + i, (batch, dim), dtype) for i in range(num_sparse)]
+    out_f = fused.forward(dense, embs)
+    out_n = naive.forward(dense, embs)
+    assert np.array_equal(out_f, out_n)
+    g = rand(20, out_n.shape, dtype)
+    gd_f, ge_f = fused.backward(g)
+    gd_n, ge_n = naive.backward(g)
+    assert np.array_equal(gd_f, gd_n)
+    for a, b in zip(ge_f, ge_n):
+        assert np.array_equal(a, b)
+
+
+def test_bce_loss_fused_matches_naive():
+    fused = BCEWithLogitsLoss(workspace=Workspace())
+    naive = BCEWithLogitsLoss()
+    logits = np.random.default_rng(10).standard_normal(31) * 6
+    labels = np.random.default_rng(11).integers(0, 2, size=31)
+    assert fused.forward(logits, labels) == naive.forward(logits, labels)
+    assert np.array_equal(fused.backward(), naive.backward())

@@ -1,0 +1,358 @@
+"""Op-level backend conformance: every protocol op vs the numpy reference.
+
+These generalize the historical naive-vs-fused kernel equivalence tests
+(formerly in ``tests/test_dense_kernels.py``) over *every* registered
+backend: hypothesis draws adversarial shapes (batch 1, single features,
+odd widths, saturating logits, exact-zero pre-activations) and each op
+is asserted against the ``"numpy"`` reference — exactly for
+bit-identical backends, within the declared tolerance otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dense_kernels
+
+from backend_cases import (
+    BACKEND_SPECS,
+    DTYPES,
+    assert_backend_matches,
+    assert_scalar_matches,
+    make_backend,
+    make_workspace,
+    rand,
+    reference,
+)
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def mat_shapes(draw):
+    """(batch, in_features, out_features) with degenerate sizes included."""
+    return (
+        draw(st.integers(min_value=1, max_value=17)),
+        draw(st.integers(min_value=1, max_value=9)),
+        draw(st.integers(min_value=1, max_value=9)),
+    )
+
+
+@st.composite
+def dot_shapes(draw):
+    """(batch, n_vec, dim) for pairwise-dot interaction tests."""
+    return (
+        draw(st.integers(min_value=1, max_value=9)),
+        draw(st.integers(min_value=2, max_value=8)),
+        draw(st.integers(min_value=1, max_value=6)),
+    )
+
+
+@st.composite
+def ragged_layout(draw):
+    """(lengths, offsets) of a CSR ragged batch with empty segments."""
+    num_segments = draw(st.integers(min_value=0, max_value=10))
+    lengths = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=6),
+                min_size=num_segments,
+                max_size=num_segments,
+            )
+        ),
+        dtype=np.int64,
+    )
+    offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    return lengths, offsets
+
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+dtypes = st.sampled_from(DTYPES)
+backend_specs = pytest.mark.parametrize("spec", BACKEND_SPECS)
+
+
+# ---------------------------------------------------------------------------
+# linear
+# ---------------------------------------------------------------------------
+
+
+@backend_specs
+@settings(max_examples=25, deadline=None)
+@given(shape=mat_shapes(), seed=seeds, dtype=dtypes)
+def test_linear_forward_conforms(spec, shape, seed, dtype):
+    be = make_backend(spec)
+    batch, fin, fout = shape
+    x = rand(seed, (batch, fin), dtype)
+    w = rand(seed + 1, (fout, fin), dtype)
+    b = rand(seed + 2, (fout,), dtype)
+    ref = reference().linear_forward(x, w, b, None, "lin")
+    out = be.linear_forward(x, w, b, make_workspace(be), "lin")
+    assert_backend_matches(be, out, ref, "linear_forward")
+
+
+@backend_specs
+@settings(max_examples=25, deadline=None)
+@given(shape=mat_shapes(), seed=seeds, dtype=dtypes)
+def test_linear_backward_conforms(spec, shape, seed, dtype):
+    be = make_backend(spec)
+    batch, fin, fout = shape
+    x = rand(seed, (batch, fin), dtype)
+    w = rand(seed + 1, (fout, fin), dtype)
+    g = rand(seed + 2, (batch, fout), dtype)
+    wg0 = rand(seed + 3, (fout, fin), dtype)  # pre-existing accumulation
+    bg0 = rand(seed + 4, (fout,), dtype)
+    wg_ref, bg_ref = wg0.copy(), bg0.copy()
+    dx_ref = reference().linear_backward(g, x, w, wg_ref, bg_ref, None, "lin")
+    wg, bg = wg0.copy(), bg0.copy()
+    dx = be.linear_backward(g, x, w, wg, bg, make_workspace(be), "lin")
+    assert_backend_matches(be, dx, dx_ref, "linear_backward dx")
+    assert_backend_matches(be, wg, wg_ref, "linear_backward dW accumulation")
+    assert_backend_matches(be, bg, bg_ref, "linear_backward db accumulation")
+
+
+# ---------------------------------------------------------------------------
+# relu
+# ---------------------------------------------------------------------------
+
+
+@backend_specs
+@settings(max_examples=25, deadline=None)
+@given(shape=mat_shapes(), seed=seeds, dtype=dtypes)
+def test_relu_conforms_including_zero_signs(spec, shape, seed, dtype):
+    be = make_backend(spec)
+    batch, fin, _ = shape
+    x = rand(seed, (batch, fin), dtype)
+    x.reshape(-1)[0] = 0.0  # force an exact-zero pre-activation
+    g = rand(seed + 1, (batch, fin), dtype)
+    y_ref, ctx_ref = reference().relu_forward(x.copy(), None, "r")
+    ws = make_workspace(be)
+    y, ctx = be.relu_forward(x.copy(), ws, "r")
+    assert_backend_matches(be, y, y_ref, "relu_forward")
+    gx_ref = reference().relu_backward(g.copy(), ctx_ref, None, "r")
+    gx = be.relu_backward(g.copy(), ctx, ws, "r")
+    assert_backend_matches(be, gx, gx_ref, "relu_backward")
+    if be.bit_identical:
+        # the mask-free path must not leak -0.0 where the reference has +0.0
+        assert np.array_equal(np.signbit(y), np.signbit(y_ref))
+        assert np.array_equal(np.signbit(gx), np.signbit(gx_ref))
+
+
+@backend_specs
+def test_relu_inference_mode_has_no_ctx(spec):
+    be = make_backend(spec)
+    x = rand(0, (5, 3), np.float64)
+    y, ctx = be.relu_forward(x, make_workspace(be), "r", training=False)
+    assert ctx is None
+    assert_backend_matches(be, y, np.maximum(x, 0.0), "relu inference")
+
+
+# ---------------------------------------------------------------------------
+# bce loss
+# ---------------------------------------------------------------------------
+
+
+@backend_specs
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=33),
+    seed=seeds,
+    scale=st.floats(min_value=0.1, max_value=50.0),
+)
+def test_bce_conforms(spec, batch, seed, scale):
+    be = make_backend(spec)
+    rng = np.random.default_rng(seed)
+    logits = rng.standard_normal(batch) * scale  # include saturating logits
+    labels = rng.integers(0, 2, size=batch).astype(np.float64)
+    loss_ref, ctx_ref = reference().bce_forward(logits, labels, None)
+    ws = make_workspace(be)
+    loss, ctx = be.bce_forward(logits, labels, ws)
+    assert_scalar_matches(be, loss, loss_ref, "bce loss")
+    grad_ref = reference().bce_backward(logits, labels, ctx_ref, None)
+    grad = be.bce_backward(logits, labels, ctx, ws)
+    assert_backend_matches(be, grad, grad_ref, "bce grad")
+
+
+# ---------------------------------------------------------------------------
+# dot interaction
+# ---------------------------------------------------------------------------
+
+
+@backend_specs
+@settings(max_examples=25, deadline=None)
+@given(shape=dot_shapes(), seed=seeds, dtype=dtypes)
+def test_dot_interaction_conforms(spec, shape, seed, dtype):
+    be = make_backend(spec)
+    batch, n_vec, dim = shape
+    dense = rand(seed, (batch, dim), dtype)
+    embs = [rand(seed + 1 + i, (batch, dim), dtype) for i in range(n_vec - 1)]
+    tril = np.tril_indices(n_vec, k=-1)
+    num_pairs = len(tril[0])
+    flat_tril = (tril[0] * n_vec + tril[1]).astype(np.intp)
+    pair_map = dense_kernels.symmetric_pair_map(n_vec, tril)
+
+    out_ref, stack_ref = reference().dot_forward(dense, embs, tril, flat_tril, None, "d")
+    ws = make_workspace(be)
+    out, stack = be.dot_forward(dense, embs, tril, flat_tril, ws, "d")
+    assert_backend_matches(be, out, out_ref, "dot_forward")
+
+    grad_out = rand(seed + 50, (batch, dim + num_pairs), dtype)
+    gd_ref, ge_ref = reference().dot_backward(
+        stack_ref, grad_out, dim, tril, pair_map, None, "d"
+    )
+    gd, ge = be.dot_backward(stack, grad_out, dim, tril, pair_map, ws, "d")
+    assert_backend_matches(be, gd, gd_ref, "dot_backward grad_dense")
+    assert len(ge) == len(ge_ref)
+    for i, (a, r) in enumerate(zip(ge, ge_ref)):
+        assert_backend_matches(be, a, r, f"dot_backward grad_emb[{i}]")
+
+
+@backend_specs
+@settings(max_examples=15, deadline=None)
+@given(shape=dot_shapes(), seed=seeds, dtype=dtypes)
+def test_concat_forward_conforms(spec, shape, seed, dtype):
+    be = make_backend(spec)
+    batch, n_vec, dim = shape
+    dense = rand(seed, (batch, dim), dtype)
+    embs = [rand(seed + 1 + i, (batch, dim), dtype) for i in range(n_vec - 1)]
+    ref = reference().concat_forward(dense, embs, dim, None, "c")
+    out = be.concat_forward(dense, embs, dim, make_workspace(be), "c")
+    assert_backend_matches(be, out, ref, "concat_forward")
+
+
+# ---------------------------------------------------------------------------
+# segment pooling (embedding bags)
+# ---------------------------------------------------------------------------
+
+
+@backend_specs
+@settings(max_examples=25, deadline=None)
+@given(layout=ragged_layout(), seed=seeds, dtype=dtypes)
+def test_segment_pool_conforms(spec, layout, seed, dtype):
+    be = make_backend(spec)
+    lengths, offsets = layout
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((9, 3)).astype(dtype)
+    values = rng.integers(0, 9, size=int(offsets[-1]))
+    ref = reference().segment_pool(weight, values, offsets)
+    out = be.segment_pool(weight, values, offsets)
+    assert_backend_matches(be, out, ref, "segment_pool")
+
+
+@backend_specs
+@settings(max_examples=25, deadline=None)
+@given(layout=ragged_layout(), seed=seeds, dtype=dtypes)
+def test_segment_pool_backward_conforms(spec, layout, seed, dtype):
+    be = make_backend(spec)
+    lengths, offsets = layout
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 6, size=int(offsets[-1]))
+    grad_out = rng.standard_normal((len(lengths), 3)).astype(dtype)
+    rows_ref, summed_ref = reference().segment_pool_backward(values, lengths, grad_out)
+    rows, summed = be.segment_pool_backward(values, lengths, grad_out)
+    assert np.array_equal(rows, rows_ref)
+    assert_backend_matches(be, summed, summed_ref, "segment_pool_backward")
+
+
+# ---------------------------------------------------------------------------
+# optimizer steps
+# ---------------------------------------------------------------------------
+
+
+@backend_specs
+@settings(max_examples=25, deadline=None)
+@given(shape=mat_shapes(), seed=seeds, dtype=dtypes)
+def test_adagrad_dense_step_conforms(spec, shape, seed, dtype):
+    be = make_backend(spec)
+    rows, cols, _ = shape
+    value = rand(seed, (rows, cols), dtype)
+    grad = rand(seed + 1, (rows, cols), dtype)
+    state = np.abs(rand(seed + 2, (rows, cols), dtype))
+    v_ref, s_ref = value.copy(), state.copy()
+    reference().adagrad_dense_step(v_ref, grad, s_ref, 0.05, 1e-10, None)
+    be.adagrad_dense_step(value, grad, state, 0.05, 1e-10, make_workspace(be))
+    assert_backend_matches(be, value, v_ref, "adagrad value")
+    assert_backend_matches(be, state, s_ref, "adagrad state")
+
+
+@backend_specs
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=mat_shapes(),
+    seed=seeds,
+    dtype=dtypes,
+    momentum=st.sampled_from([0.0, 0.9]),
+    weight_decay=st.sampled_from([0.0, 1e-3]),
+)
+def test_sgd_dense_step_conforms(spec, shape, seed, dtype, momentum, weight_decay):
+    be = make_backend(spec)
+    rows, cols, _ = shape
+    value = rand(seed, (rows, cols), dtype)
+    grad = rand(seed + 1, (rows, cols), dtype)
+    vel = np.zeros_like(value) if momentum else None
+    v_ref = value.copy()
+    vel_ref = vel.copy() if vel is not None else None
+    reference().sgd_dense_step(
+        v_ref, grad, 0.1, None,
+        weight_decay=weight_decay, momentum=momentum, velocity=vel_ref,
+    )
+    be.sgd_dense_step(
+        value, grad, 0.1, make_workspace(be),
+        weight_decay=weight_decay, momentum=momentum, velocity=vel,
+    )
+    assert_backend_matches(be, value, v_ref, "sgd value")
+    if vel is not None:
+        assert_backend_matches(be, vel, vel_ref, "sgd velocity")
+
+
+@backend_specs
+@settings(max_examples=25, deadline=None)
+@given(
+    num_rows=st.integers(min_value=1, max_value=40),
+    touched=st.integers(min_value=1, max_value=12),
+    dim=st.integers(min_value=1, max_value=6),
+    seed=seeds,
+    dtype=dtypes,
+)
+def test_adagrad_sparse_step_conforms(spec, num_rows, touched, dim, seed, dtype):
+    """The single-gather/single-scatter sparse Adagrad must match the
+    historical three-pass update on coalesced (duplicate-free sorted)
+    rows — the form ``SparseGrad`` guarantees."""
+    be = make_backend(spec)
+    touched = min(touched, num_rows)
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((num_rows, dim)).astype(dtype)
+    state = np.abs(rng.standard_normal((num_rows, dim))).astype(dtype)
+    rows = np.sort(rng.choice(num_rows, size=touched, replace=False))
+    values = rng.standard_normal((touched, dim)).astype(dtype)
+    w_ref, s_ref = weight.copy(), state.copy()
+    reference().adagrad_sparse_step(w_ref, s_ref, rows, values, 0.05, 1e-10, None)
+    be.adagrad_sparse_step(weight, state, rows, values, 0.05, 1e-10, make_workspace(be))
+    assert_backend_matches(be, weight, w_ref, "sparse adagrad weight")
+    assert_backend_matches(be, state, s_ref, "sparse adagrad state")
+
+
+@backend_specs
+@settings(max_examples=15, deadline=None)
+@given(
+    num_rows=st.integers(min_value=1, max_value=40),
+    touched=st.integers(min_value=1, max_value=12),
+    dim=st.integers(min_value=1, max_value=6),
+    seed=seeds,
+    dtype=dtypes,
+)
+def test_sgd_sparse_step_conforms(spec, num_rows, touched, dim, seed, dtype):
+    be = make_backend(spec)
+    touched = min(touched, num_rows)
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((num_rows, dim)).astype(dtype)
+    rows = np.sort(rng.choice(num_rows, size=touched, replace=False))
+    values = rng.standard_normal((touched, dim)).astype(dtype)
+    w_ref = weight.copy()
+    reference().sgd_sparse_step(w_ref, rows, values, 0.05, None)
+    be.sgd_sparse_step(weight, rows, values, 0.05, make_workspace(be))
+    assert_backend_matches(be, weight, w_ref, "sparse sgd weight")

@@ -1,0 +1,151 @@
+"""Sparse fast-path vs naive equivalences (moved from ``tests/test_kernels.py``).
+
+The fast sparse kernels of :mod:`repro.core.kernels` claim *bit-identical*
+results vs the historical ``np.add.at`` / Python-loop implementations
+(which live on as ``naive_*`` references inside the kernels module).
+Hypothesis generates adversarial ragged layouts — empty segments, empty
+batches, duplicate indices — and we assert exact equality (stronger than
+the 1e-12 budget the contract allows).  These are the ``"fused"``
+backend's :meth:`segment_pool` / :meth:`segment_pool_backward`
+implementations; the per-backend generalization lives in
+``test_conformance_ops.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SparseGrad, kernels
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def ragged_layout(draw):
+    """(data, offsets): a CSR ragged batch with possibly-empty segments."""
+    num_segments = draw(st.integers(min_value=0, max_value=10))
+    lengths = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=6),
+            min_size=num_segments,
+            max_size=num_segments,
+        )
+    )
+    offsets = np.concatenate([[0], np.cumsum(np.array(lengths, dtype=np.int64))])
+    total = int(offsets[-1])
+    dim = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    data = np.random.default_rng(seed).standard_normal((total, dim))
+    return data, offsets.astype(np.int64)
+
+
+@st.composite
+def duplicate_rows(draw):
+    """(indices, grads) with heavy row duplication for coalesce tests."""
+    n = draw(st.integers(min_value=0, max_value=40))
+    indices = np.array(
+        draw(st.lists(st.integers(0, 7), min_size=n, max_size=n)), dtype=np.int64
+    )
+    dim = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    grads = np.random.default_rng(seed).standard_normal((n, dim))
+    return indices, grads
+
+
+# ---------------------------------------------------------------------------
+# kernel equivalence (exact)
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentSumEquivalence:
+    @given(ragged_layout())
+    @settings(max_examples=60, deadline=None)
+    def test_segment_sum_matches_add_at_exactly(self, layout):
+        data, offsets = layout
+        fast = kernels.segment_sum(data, offsets)
+        naive = kernels.naive_segment_sum(data, offsets)
+        assert fast.dtype == naive.dtype
+        np.testing.assert_allclose(fast, naive, rtol=1e-12, atol=1e-12)
+
+    @given(ragged_layout())
+    @settings(max_examples=30, deadline=None)
+    def test_float32_segments_exact_vs_naive(self, layout):
+        data, offsets = layout
+        data32 = data.astype(np.float32)
+        fast = kernels.segment_sum(data32, offsets)
+        naive = kernels.naive_segment_sum(data32, offsets)
+        assert fast.dtype == np.float32
+        np.testing.assert_allclose(fast, naive, rtol=1e-6, atol=1e-6)
+
+
+class TestCoalesceEquivalence:
+    @given(duplicate_rows())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_unique_add_at_exactly(self, case):
+        indices, grads = case
+        rows_f, summed_f = kernels.coalesce_rows(indices, grads)
+        rows_n, summed_n = kernels.naive_coalesce_rows(indices, grads)
+        assert np.array_equal(rows_f, rows_n)
+        np.testing.assert_allclose(summed_f, summed_n, rtol=1e-12, atol=1e-12)
+
+
+class TestGatherPoolEquivalence:
+    """The fused forward: ``S @ weight`` vs materialized gather + pool."""
+
+    @given(ragged_layout(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_gather_then_segment_sum(self, layout, seed):
+        data, offsets = layout
+        rng = np.random.default_rng(seed)
+        weight = rng.standard_normal((9, 3))
+        values = rng.integers(0, 9, size=int(offsets[-1]))
+        fused = kernels.gather_pool(weight, values, offsets)
+        unfused = kernels.segment_sum(weight[values], offsets)
+        assert fused.dtype == weight.dtype
+        np.testing.assert_array_equal(fused, unfused)  # bit-identical
+
+
+class TestExpandCoalesceEquivalence:
+    """The fused backward: ``T @ grad_out`` vs repeat + coalesce."""
+
+    @given(ragged_layout(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_repeat_then_coalesce(self, layout, seed):
+        _, offsets = layout
+        lengths = np.diff(offsets)
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 6, size=int(offsets[-1]))
+        grad_out = rng.standard_normal((len(lengths), 3))
+        rows_f, summed_f = kernels.expand_coalesce(values, lengths, grad_out)
+        per_lookup = np.repeat(grad_out, lengths, axis=0)
+        rows_u, summed_u = kernels.coalesce_rows(values, per_lookup)
+        assert np.array_equal(rows_f, rows_u)
+        np.testing.assert_array_equal(summed_f, summed_u)  # bit-identical
+
+
+class TestTruncateEquivalence:
+    @given(ragged_layout(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_loop(self, layout, cap):
+        data, offsets = layout
+        values = np.arange(int(offsets[-1]), dtype=np.int64)
+        fast_v, fast_o = kernels.truncate_ragged(values, offsets, cap)
+        naive_v, naive_o = kernels.naive_truncate_ragged(values, offsets, cap)
+        assert np.array_equal(fast_v, naive_v)
+        assert np.array_equal(fast_o, naive_o)
+
+
+class TestSparseGradCoalesce:
+    def test_matches_historic_semantics(self):
+        indices = np.array([3, 1, 3, 3, 1])
+        grads = np.random.default_rng(0).standard_normal((5, 4))
+        grad = SparseGrad.coalesce(indices, grads)
+        rows_n, summed_n = kernels.naive_coalesce_rows(indices, grads)
+        assert np.array_equal(grad.rows, rows_n)
+        np.testing.assert_allclose(grad.values, summed_n, rtol=1e-12, atol=1e-12)
+        assert grad.nnz_rows == 2

@@ -1,0 +1,146 @@
+"""End-to-end training conformance: full Trainer runs per backend.
+
+* The legacy ``fused_dense``-flag construction (fused model/optimizer/loss
+  vs all-naive) stays pinned bit-for-bit, both dtypes, both optimizers.
+* The generalized per-backend run compares every backend spec against a
+  ``"numpy"`` model trained on the same batches — bit-identically for
+  bit-identical backends, within tolerance otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DLRM,
+    Adagrad,
+    InteractionType,
+    MLPSpec,
+    ModelConfig,
+    SGD,
+    Trainer,
+    uniform_tables,
+)
+
+from backend_cases import BACKEND_SPECS, assert_backend_matches, make_backend
+from helpers import make_batch
+
+
+def _train_config(dtype_name: str, interaction=InteractionType.DOT) -> ModelConfig:
+    return ModelConfig(
+        name="conformance-e2e",
+        num_dense=6,
+        tables=uniform_tables(4, 64, dim=4, mean_lookups=2.0),
+        bottom_mlp=MLPSpec((8, 4)),
+        top_mlp=MLPSpec((6,)),
+        interaction=interaction,
+        compute_dtype=dtype_name,
+    )
+
+
+def _run_training(config: ModelConfig, batches, backend, optimizer: str):
+    model = DLRM(config, rng=0, backend=backend)
+    if optimizer == "adagrad":
+        factory = lambda m: Adagrad(  # noqa: E731
+            m.dense_parameters(), m.embedding_tables(), lr=0.05, backend=m.backend
+        )
+    else:
+        factory = lambda m: SGD(  # noqa: E731
+            m.dense_parameters(), m.embedding_tables(),
+            lr=0.05, momentum=0.9, weight_decay=1e-4, backend=m.backend,
+        )
+    trainer = Trainer(model, factory)
+    losses = [trainer.train_step(b) for b in batches]
+    return losses, model
+
+
+# ---------------------------------------------------------------------------
+# generalized: every backend vs the numpy reference, end to end
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("spec", BACKEND_SPECS)
+@pytest.mark.parametrize("dtype_name", ["float64", "float32"])
+@pytest.mark.parametrize("optimizer", ["adagrad", "sgd"])
+def test_end_to_end_training_conforms(spec, dtype_name, optimizer):
+    be = make_backend(spec)
+    config = _train_config(dtype_name)
+    batches = [make_batch(config, 32, seed=s) for s in range(4)]
+
+    losses_b, model_b = _run_training(config, batches, be, optimizer)
+    losses_n, model_n = _run_training(config, batches, "numpy", optimizer)
+
+    if be.bit_identical:
+        assert losses_b == losses_n
+    else:
+        # the float64 loss scalar inherits the model dtype's rounding
+        rtol, atol = be.tolerance(np.dtype(dtype_name))
+        np.testing.assert_allclose(losses_b, losses_n, rtol=rtol, atol=atol)
+    for a, b in zip(model_b.get_dense_state(), model_n.get_dense_state()):
+        assert_backend_matches(be, a, b, "dense state")
+    for ta, tb in zip(model_b.embedding_tables(), model_n.embedding_tables()):
+        assert_backend_matches(be, ta.weight, tb.weight, "table weight")
+    # and inference agrees too
+    preds_b = model_b.predict_proba(batches[0])
+    preds_n = model_n.predict_proba(batches[0])
+    assert_backend_matches(be, preds_b, preds_n, "predict_proba")
+
+
+@pytest.mark.parametrize("spec", BACKEND_SPECS)
+def test_concat_interaction_training_conforms(spec):
+    be = make_backend(spec)
+    config = _train_config("float64", interaction=InteractionType.CONCAT)
+    batches = [make_batch(config, 24, seed=s) for s in range(3)]
+    losses_b, model_b = _run_training(config, batches, be, "adagrad")
+    losses_n, model_n = _run_training(config, batches, "numpy", "adagrad")
+    if be.bit_identical:
+        assert losses_b == losses_n
+    else:
+        rtol, atol = be.tolerance(np.float64)
+        np.testing.assert_allclose(losses_b, losses_n, rtol=rtol, atol=atol)
+    assert_backend_matches(
+        be, model_b.predict_proba(batches[0]), model_n.predict_proba(batches[0]),
+        "concat predict_proba",
+    )
+
+
+# ---------------------------------------------------------------------------
+# legacy fused_dense-flag path (pre-seam construction), pinned bit-for-bit
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dtype_name", ["float64", "float32"])
+@pytest.mark.parametrize("optimizer", ["adagrad", "sgd"])
+def test_end_to_end_training_bit_identical(dtype_name, optimizer):
+    config = _train_config(dtype_name)
+    batches = [make_batch(config, 32, seed=s) for s in range(6)]
+
+    def run(fused: bool):
+        model = DLRM(replace(config, fused_dense=fused), rng=0)
+        if optimizer == "adagrad":
+            factory = lambda m: Adagrad(  # noqa: E731
+                m.dense_parameters(), m.embedding_tables(), lr=0.05, fused=fused
+            )
+        else:
+            factory = lambda m: SGD(  # noqa: E731
+                m.dense_parameters(), m.embedding_tables(),
+                lr=0.05, momentum=0.9, weight_decay=1e-4, fused=fused,
+            )
+        trainer = Trainer(model, factory)
+        losses = [trainer.train_step(b) for b in batches]
+        return losses, model
+
+    losses_f, model_f = run(True)
+    losses_n, model_n = run(False)
+    assert losses_f == losses_n
+    for a, b in zip(model_f.get_dense_state(), model_n.get_dense_state()):
+        assert np.array_equal(a, b)
+    for ta, tb in zip(model_f.embedding_tables(), model_n.embedding_tables()):
+        assert np.array_equal(ta.weight, tb.weight)
+    # and inference agrees too
+    preds_f = model_f.predict_proba(batches[0])
+    preds_n = model_n.predict_proba(batches[0])
+    assert np.array_equal(preds_f, preds_n)

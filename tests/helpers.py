@@ -4,7 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import Batch, ModelConfig, RaggedIndices
+from repro.core import (
+    DLRM,
+    Adagrad,
+    Batch,
+    InteractionType,
+    MLPSpec,
+    ModelConfig,
+    RaggedIndices,
+    Trainer,
+    uniform_tables,
+)
 from repro.data import SyntheticDataGenerator
 
 
@@ -12,6 +22,39 @@ def make_batch(config: ModelConfig, batch_size: int, seed: int = 0) -> Batch:
     """Deterministic batch for a config (labels are coin flips)."""
     gen = SyntheticDataGenerator(config, rng=seed)
     return gen.batch(batch_size)
+
+
+def backend_sweep_point(backend: str, batch_seed: int, steps: int = 3,
+                        batch_size: int = 16) -> dict:
+    """Module-level (hence picklable) sweep grid point: a short deterministic
+    training run under the named compute backend.
+
+    Used by the conformance suite to pin that a :class:`SweepRunner`
+    process-pool sweep round-trips the selected backend and reproduces the
+    serial ``"numpy"`` results bit-for-bit.
+    """
+    config = ModelConfig(
+        name="sweep-backend",
+        num_dense=4,
+        tables=uniform_tables(3, 32, dim=4, mean_lookups=2.0),
+        bottom_mlp=MLPSpec((6, 4)),
+        top_mlp=MLPSpec((4,)),
+        interaction=InteractionType.DOT,
+        backend=backend,
+    )
+    model = DLRM(config, rng=0)
+    trainer = Trainer(
+        model,
+        lambda m: Adagrad(
+            m.dense_parameters(), m.embedding_tables(), lr=0.05, backend=m.backend
+        ),
+    )
+    losses = [
+        trainer.train_step(make_batch(config, batch_size, seed=batch_seed + i))
+        for i in range(steps)
+    ]
+    preds = model.predict_proba(make_batch(config, batch_size, seed=batch_seed + steps))
+    return {"backend": model.backend.name, "losses": losses, "preds": preds}
 
 
 def numeric_grad_scalar(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:

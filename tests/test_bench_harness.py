@@ -1,0 +1,157 @@
+"""Unit tests for the unified benchmark harness (repro.bench)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    GATE_FACTOR,
+    SUITES,
+    best_of,
+    check,
+    entry,
+    render,
+    run_suites,
+    timed_infer,
+    timed_train,
+)
+from repro.core import InteractionType, MLPSpec, ModelConfig, uniform_tables
+
+from helpers import make_batch
+
+
+# ---------------------------------------------------------------------------
+# entry schema + timing protocol
+# ---------------------------------------------------------------------------
+
+
+def test_entry_schema_and_speedup():
+    e = entry(2.0, 0.5, batch=64)
+    assert e == {"old_s": 2.0, "new_s": 0.5, "speedup": 4.0,
+                 "gate": True, "batch": 64}
+    assert entry(1.0, 1.0, gate=False)["gate"] is False
+
+
+def test_best_of_counts_calls_and_takes_min():
+    calls = []
+
+    def fn():
+        calls.append(None)
+
+    elapsed = best_of(fn, reps=3, warmup=2)
+    assert len(calls) == 5  # 2 warmup + 3 timed
+    assert elapsed >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# regression gate
+# ---------------------------------------------------------------------------
+
+
+def _results(**benchmarks):
+    return {"meta": {"mode": "quick", "suites": ["x"], "python": "3",
+                     "numpy": np.__version__, "cpu_count": 1},
+            "benchmarks": benchmarks}
+
+
+def _write_baseline(tmp_path, results):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(results))
+    return str(path)
+
+
+def test_check_passes_within_gate_factor(tmp_path, capsys):
+    baseline = _results(a=entry(1.0, 0.25))  # 4.0x
+    # a drop to 3.3x is within the 1.25x allowance (floor = 3.2x)
+    current = _results(a=entry(1.0, 1 / 3.3))
+    assert check(current, _write_baseline(tmp_path, baseline)) == 0
+    assert "passed" in capsys.readouterr().out
+
+
+def test_check_fails_on_gated_ratio_regression(tmp_path, capsys):
+    baseline = _results(a=entry(1.0, 0.25))  # 4.0x
+    current = _results(a=entry(1.0, 0.5))  # 2.0x < 4.0/1.25 = 3.2x floor
+    assert check(current, _write_baseline(tmp_path, baseline)) == 1
+    assert "REGRESSION GATE FAILED" in capsys.readouterr().out
+
+
+def test_check_ignores_ungated_and_unknown_entries(tmp_path):
+    baseline = _results(a=entry(1.0, 0.25))
+    current = _results(
+        a=entry(1.0, 0.26),  # within gate
+        b=entry(1.0, 10.0, gate=False),  # slowdown, but ungated
+        c=entry(1.0, 10.0),  # gated but absent from baseline
+    )
+    assert check(current, _write_baseline(tmp_path, baseline)) == 0
+
+
+def test_check_enforces_absolute_min_speedup(tmp_path, capsys):
+    baseline = _results()
+    current = _results(e2e=entry(1.0, 0.8, min_speedup=2.0))  # 1.25x < 2x
+    assert check(current, _write_baseline(tmp_path, baseline)) == 1
+    assert "absolute floor" in capsys.readouterr().out
+    ok = _results(e2e=entry(1.0, 0.4, min_speedup=2.0))  # 2.5x >= 2x
+    assert check(ok, _write_baseline(tmp_path, baseline)) == 0
+
+
+def test_gate_factor_is_a_ratio_allowance():
+    assert GATE_FACTOR > 1.0
+
+
+# ---------------------------------------------------------------------------
+# report rendering
+# ---------------------------------------------------------------------------
+
+
+def test_render_handles_all_entry_shapes():
+    results = _results(
+        kern=entry(0.002, 0.001),
+        step=entry(0.2, 0.1, batch=512),
+        be=entry(0.2, 0.1, backend="threaded", resolved="fused"),
+        sweep={
+            "serial_s": 4.0, "parallel4_cold_s": 2.0, "parallel4_warm_s": 0.1,
+            "parallel_speedup": 2.0, "cached_speedup": 40.0, "speedup": 40.0,
+            "min_speedup": 2.0, "gate": False,
+        },
+    )
+    text = render(results)
+    assert "kern" in text and "2.00x" in text
+    assert "B=512" in text
+    assert "-> fused" in text  # resolved-name tag for the threaded row
+    assert "serial 4.00 s" in text
+
+
+# ---------------------------------------------------------------------------
+# suite registry + end-to-end timing helpers
+# ---------------------------------------------------------------------------
+
+
+def test_suite_registry_names():
+    assert set(SUITES) == {"kernels", "dense", "backends"}
+
+
+def test_run_suites_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown suite"):
+        run_suites(quick=True, names=["nope"])
+
+
+def _tiny_config():
+    return ModelConfig(
+        name="bench-smoke",
+        num_dense=4,
+        tables=uniform_tables(2, 16, dim=4, mean_lookups=1.0),
+        bottom_mlp=MLPSpec((6, 4)),
+        top_mlp=MLPSpec((4,)),
+        interaction=InteractionType.DOT,
+    )
+
+
+def test_timed_train_and_infer_smoke():
+    config = _tiny_config()
+    batches = [make_batch(config, 8, seed=s) for s in range(2)]
+    train_s = timed_train(config, batches, "fused", reps=1, warmup=1)
+    infer_s = timed_infer(config, batches, "fused", reps=1, warmup=1)
+    assert train_s > 0 and infer_s > 0

@@ -1,18 +1,14 @@
-"""Equivalence + steady-state-allocation tests for the fused dense path.
+"""Workspace-arena and steady-state-allocation tests for the fused dense path.
 
-The fused kernels of :mod:`repro.core.dense_kernels` claim *bit-identical*
-results vs the historical implementations (kept as ``naive_*`` references),
-in both float64 and float32 compute modes.  Hypothesis generates adversarial
-shapes (batch 1, single features, odd widths) and we assert exact equality.
+The naive-vs-fused *equivalence* tests that historically lived here moved
+to the parametrized backend conformance suite (``tests/conformance/``),
+which runs them against every registered backend.  What remains is
+internal to the fused path itself:
 
-Also covered here:
-
-* layer-level equivalence (Linear / ReLU / DotInteraction / BCE loss with a
-  workspace vs without),
-* end-to-end bit-identity of a fused vs naive training run, both dtypes,
-* the coalesced-rows sparse-Adagrad regression (single gather/scatter vs the
-  historical three-pass update),
 * the shared stable-sigmoid implementation (dtype preservation),
+* the ``fused_dense`` config flag wiring,
+* the workspace arena contract (reuse counters, ownership, row slabs,
+  pickling),
 * the zero-steady-state-allocation contract (workspace counters +
   ``tracemalloc``).
 """
@@ -24,315 +20,22 @@ import tracemalloc
 from dataclasses import replace
 
 import numpy as np
-import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import (
     DLRM,
     Adagrad,
-    BCEWithLogitsLoss,
-    ConcatInteraction,
-    DotInteraction,
     InteractionType,
     MLPSpec,
     ModelConfig,
-    SGD,
     Trainer,
     Workspace,
-    dense_kernels,
     stable_sigmoid,
     uniform_tables,
 )
 from repro.core.loss import sigmoid as loss_sigmoid
-from repro.core.mlp import MLP, Linear, ReLU, Sigmoid
+from repro.core.mlp import Sigmoid
 
 from helpers import make_batch
-
-DTYPES = [np.float64, np.float32]
-
-
-def _rand(seed: int, shape, dtype) -> np.ndarray:
-    return np.random.default_rng(seed).standard_normal(shape).astype(dtype)
-
-
-# ---------------------------------------------------------------------------
-# hypothesis strategies
-# ---------------------------------------------------------------------------
-
-
-@st.composite
-def mat_shapes(draw):
-    """(batch, in_features, out_features) with degenerate sizes included."""
-    return (
-        draw(st.integers(min_value=1, max_value=17)),
-        draw(st.integers(min_value=1, max_value=9)),
-        draw(st.integers(min_value=1, max_value=9)),
-    )
-
-
-@st.composite
-def dot_shapes(draw):
-    """(batch, n_vec, dim) for pairwise-dot interaction tests."""
-    return (
-        draw(st.integers(min_value=1, max_value=9)),
-        draw(st.integers(min_value=2, max_value=8)),
-        draw(st.integers(min_value=1, max_value=6)),
-    )
-
-
-seeds = st.integers(min_value=0, max_value=2**31 - 1)
-dtypes = st.sampled_from(DTYPES)
-
-
-# ---------------------------------------------------------------------------
-# kernel-level equivalence (fused vs naive, both dtypes)
-# ---------------------------------------------------------------------------
-
-
-@settings(max_examples=40, deadline=None)
-@given(shape=mat_shapes(), seed=seeds, dtype=dtypes)
-def test_linear_forward_bit_identical(shape, seed, dtype):
-    batch, fin, fout = shape
-    x = _rand(seed, (batch, fin), dtype)
-    w = _rand(seed + 1, (fout, fin), dtype)
-    b = _rand(seed + 2, (fout,), dtype)
-    ref = dense_kernels.naive_linear_forward(x, w, b)
-    out = dense_kernels.linear_forward(x, w, b, np.empty((batch, fout), dtype))
-    assert out.dtype == ref.dtype
-    assert np.array_equal(out, ref)
-
-
-@settings(max_examples=40, deadline=None)
-@given(shape=mat_shapes(), seed=seeds, dtype=dtypes)
-def test_linear_backward_bit_identical(shape, seed, dtype):
-    batch, fin, fout = shape
-    x = _rand(seed, (batch, fin), dtype)
-    w = _rand(seed + 1, (fout, fin), dtype)
-    g = _rand(seed + 2, (batch, fout), dtype)
-    wg0 = _rand(seed + 3, (fout, fin), dtype)  # pre-existing accumulation
-    bg0 = _rand(seed + 4, (fout,), dtype)
-    dw, db, dx = dense_kernels.naive_linear_backward(g, x, w)
-    wg_ref, bg_ref = wg0 + dw, bg0 + db
-    wg, bg = wg0.copy(), bg0.copy()
-    gin = dense_kernels.linear_backward(
-        g, x, w, wg, bg, np.empty_like(x),
-        np.empty_like(w), np.empty_like(bg0),
-    )
-    assert np.array_equal(gin, dx)
-    assert np.array_equal(wg, wg_ref)
-    assert np.array_equal(bg, bg_ref)
-
-
-@settings(max_examples=40, deadline=None)
-@given(shape=mat_shapes(), seed=seeds, dtype=dtypes)
-def test_relu_bit_identical_including_zero_signs(shape, seed, dtype):
-    batch, fin, _ = shape
-    x = _rand(seed, (batch, fin), dtype)
-    x.reshape(-1)[0] = 0.0  # force an exact-zero pre-activation
-    g = _rand(seed + 1, (batch, fin), dtype)
-    y_ref, mask = dense_kernels.naive_relu_forward(x)
-    y = dense_kernels.relu_forward(x, np.empty_like(x))
-    assert np.array_equal(y, y_ref)
-    assert np.array_equal(np.signbit(y), np.signbit(y_ref))
-    gx_ref = dense_kernels.naive_relu_backward(g, mask)
-    gx = dense_kernels.relu_backward(
-        g, y, np.empty_like(g), np.empty(g.shape, dtype=bool)
-    )
-    assert np.array_equal(gx, gx_ref)
-    # the mask-free path must not leak -0.0 where the reference has +0.0
-    assert np.array_equal(np.signbit(gx), np.signbit(gx_ref))
-
-
-@settings(max_examples=40, deadline=None)
-@given(
-    batch=st.integers(min_value=1, max_value=33),
-    seed=seeds,
-    scale=st.floats(min_value=0.1, max_value=50.0),
-)
-def test_bce_bit_identical(batch, seed, scale):
-    rng = np.random.default_rng(seed)
-    logits = rng.standard_normal(batch) * scale  # include saturating logits
-    labels = rng.integers(0, 2, size=batch).astype(np.float64)
-    shape = logits.shape
-    bufs = [np.empty(shape) for _ in range(5)]
-    pos = np.empty(shape, dtype=bool)
-    loss = dense_kernels.bce_forward(logits, labels, *bufs, pos)
-    assert loss == dense_kernels.naive_bce_forward(logits, labels)
-    grad = dense_kernels.bce_backward(bufs[3], labels, np.empty(shape))
-    assert np.array_equal(grad, dense_kernels.naive_bce_backward(logits, labels))
-
-
-@settings(max_examples=40, deadline=None)
-@given(shape=dot_shapes(), seed=seeds, dtype=dtypes)
-def test_dot_kernels_bit_identical(shape, seed, dtype):
-    batch, n_vec, dim = shape
-    stack = _rand(seed, (batch, n_vec, dim), dtype)
-    dense = stack[:, 0, :].copy()
-    tril = np.tril_indices(n_vec, k=-1)
-    num_pairs = len(tril[0])
-    flat = (tril[0] * n_vec + tril[1]).astype(np.intp)
-    out = dense_kernels.dot_forward(
-        stack, flat, dense,
-        np.empty((batch, n_vec, n_vec), dtype),
-        np.empty((batch, num_pairs), dtype),
-        np.empty((batch, dim + num_pairs), dtype),
-    )
-    assert np.array_equal(out, dense_kernels.naive_dot_forward(stack, tril, dense))
-
-    grad_pairs = _rand(seed + 1, (batch, num_pairs), dtype)
-    pair_map = dense_kernels.symmetric_pair_map(n_vec, tril)
-    gs = dense_kernels.dot_backward(
-        stack, pair_map, grad_pairs,
-        np.empty((batch, num_pairs + 1), dtype),
-        np.empty((batch, n_vec, n_vec), dtype),
-        np.empty_like(stack),
-    )
-    assert np.array_equal(
-        gs, dense_kernels.naive_dot_backward(stack, tril, grad_pairs)
-    )
-
-
-@settings(max_examples=40, deadline=None)
-@given(shape=mat_shapes(), seed=seeds, dtype=dtypes)
-def test_adagrad_dense_step_bit_identical(shape, seed, dtype):
-    rows, cols, _ = shape
-    value = _rand(seed, (rows, cols), dtype)
-    grad = _rand(seed + 1, (rows, cols), dtype)
-    state = np.abs(_rand(seed + 2, (rows, cols), dtype))
-    v_ref, s_ref = value.copy(), state.copy()
-    dense_kernels.naive_adagrad_dense_step(v_ref, grad, s_ref, 0.05, 1e-10)
-    dense_kernels.adagrad_dense_step(
-        value, grad, state, 0.05, 1e-10,
-        np.empty_like(value), np.empty_like(value),
-    )
-    assert np.array_equal(value, v_ref)
-    assert np.array_equal(state, s_ref)
-
-
-@settings(max_examples=40, deadline=None)
-@given(
-    shape=mat_shapes(),
-    seed=seeds,
-    dtype=dtypes,
-    momentum=st.sampled_from([0.0, 0.9]),
-    weight_decay=st.sampled_from([0.0, 1e-3]),
-)
-def test_sgd_dense_step_bit_identical(shape, seed, dtype, momentum, weight_decay):
-    rows, cols, _ = shape
-    value = _rand(seed, (rows, cols), dtype)
-    grad = _rand(seed + 1, (rows, cols), dtype)
-    vel = np.zeros_like(value) if momentum else None
-    v_ref = value.copy()
-    vel_ref = vel.copy() if vel is not None else None
-    dense_kernels.naive_sgd_dense_step(
-        v_ref, grad, 0.1, weight_decay=weight_decay,
-        momentum=momentum, velocity=vel_ref,
-    )
-    dense_kernels.sgd_dense_step(
-        value, grad, 0.1, np.empty_like(value),
-        weight_decay=weight_decay, momentum=momentum, velocity=vel,
-    )
-    assert np.array_equal(value, v_ref)
-    if vel is not None:
-        assert np.array_equal(vel, vel_ref)
-
-
-@settings(max_examples=40, deadline=None)
-@given(
-    num_rows=st.integers(min_value=1, max_value=40),
-    touched=st.integers(min_value=1, max_value=12),
-    dim=st.integers(min_value=1, max_value=6),
-    seed=seeds,
-    dtype=dtypes,
-)
-def test_adagrad_sparse_step_bit_identical(num_rows, touched, dim, seed, dtype):
-    """Satellite regression: the single-gather/single-scatter sparse Adagrad
-    is bit-identical to the historical three-pass update on coalesced
-    (duplicate-free sorted) rows — the form ``SparseGrad`` guarantees."""
-    touched = min(touched, num_rows)
-    rng = np.random.default_rng(seed)
-    weight = rng.standard_normal((num_rows, dim)).astype(dtype)
-    state = np.abs(rng.standard_normal((num_rows, dim))).astype(dtype)
-    rows = np.sort(rng.choice(num_rows, size=touched, replace=False))
-    values = rng.standard_normal((touched, dim)).astype(dtype)
-    w_ref, s_ref = weight.copy(), state.copy()
-    dense_kernels.naive_adagrad_sparse_step(w_ref, s_ref, rows, values, 0.05, 1e-10)
-    dense_kernels.adagrad_sparse_step(
-        weight, state, rows, values, 0.05, 1e-10,
-        np.empty((touched, dim), dtype), np.empty((touched, dim), dtype),
-    )
-    assert np.array_equal(weight, w_ref)
-    assert np.array_equal(state, s_ref)
-
-
-# ---------------------------------------------------------------------------
-# layer-level equivalence (workspace attached vs not)
-# ---------------------------------------------------------------------------
-
-
-@pytest.mark.parametrize("dtype", DTYPES)
-def test_linear_layer_fused_matches_naive(dtype):
-    rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
-    fused = Linear(7, 5, rng_a, dtype=dtype)
-    naive = Linear(7, 5, rng_b, dtype=dtype)
-    fused.set_workspace(Workspace())
-    x = _rand(1, (11, 7), dtype)
-    g = _rand(2, (11, 5), dtype)
-    assert np.array_equal(fused.forward(x), naive.forward(x))
-    assert np.array_equal(fused.backward(g), naive.backward(g))
-    assert np.array_equal(fused.weight.grad, naive.weight.grad)
-    assert np.array_equal(fused.bias.grad, naive.bias.grad)
-
-
-@pytest.mark.parametrize("dtype", DTYPES)
-def test_relu_layer_fused_matches_naive(dtype):
-    fused, naive = ReLU(), ReLU()
-    fused.set_workspace(Workspace())
-    x = _rand(3, (9, 6), dtype)
-    g = _rand(4, (9, 6), dtype)
-    assert np.array_equal(fused.forward(x.copy()), naive.forward(x))
-    assert np.array_equal(fused.backward(g), naive.backward(g))
-
-
-@pytest.mark.parametrize("dtype", DTYPES)
-def test_mlp_fused_matches_naive(dtype):
-    rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
-    fused = MLP(6, MLPSpec((8, 4)), rng_a, dtype=dtype)
-    naive = MLP(6, MLPSpec((8, 4)), rng_b, dtype=dtype)
-    fused.set_workspace(Workspace())
-    x = _rand(6, (13, 6), dtype)
-    g = _rand(7, (13, 4), dtype)
-    assert np.array_equal(fused.forward(x), naive.forward(x))
-    assert np.array_equal(fused.backward(g), naive.backward(g))
-
-
-@pytest.mark.parametrize("dtype", DTYPES)
-@pytest.mark.parametrize("cls", [DotInteraction, ConcatInteraction])
-def test_interaction_fused_matches_naive(cls, dtype):
-    num_sparse, dim, batch = 4, 5, 7
-    fused, naive = cls(num_sparse, dim), cls(num_sparse, dim)
-    fused.set_workspace(Workspace())
-    dense = _rand(8, (batch, dim), dtype)
-    embs = [_rand(9 + i, (batch, dim), dtype) for i in range(num_sparse)]
-    out_f = fused.forward(dense, embs)
-    out_n = naive.forward(dense, embs)
-    assert np.array_equal(out_f, out_n)
-    g = _rand(20, out_n.shape, dtype)
-    gd_f, ge_f = fused.backward(g)
-    gd_n, ge_n = naive.backward(g)
-    assert np.array_equal(gd_f, gd_n)
-    for a, b in zip(ge_f, ge_n):
-        assert np.array_equal(a, b)
-
-
-def test_bce_loss_fused_matches_naive():
-    fused = BCEWithLogitsLoss(workspace=Workspace())
-    naive = BCEWithLogitsLoss()
-    logits = np.random.default_rng(10).standard_normal(31) * 6
-    labels = np.random.default_rng(11).integers(0, 2, size=31)
-    assert fused.forward(logits, labels) == naive.forward(logits, labels)
-    assert np.array_equal(fused.backward(), naive.backward())
 
 
 # ---------------------------------------------------------------------------
@@ -356,7 +59,7 @@ def test_sigmoid_single_implementation_and_dtypes():
 
 
 # ---------------------------------------------------------------------------
-# end-to-end bit-identity (fused model/optimizer/loss vs all-naive)
+# config flag wiring
 # ---------------------------------------------------------------------------
 
 
@@ -370,40 +73,6 @@ def _train_config(dtype_name: str) -> ModelConfig:
         interaction=InteractionType.DOT,
         compute_dtype=dtype_name,
     )
-
-
-@pytest.mark.parametrize("dtype_name", ["float64", "float32"])
-@pytest.mark.parametrize("optimizer", ["adagrad", "sgd"])
-def test_end_to_end_training_bit_identical(dtype_name, optimizer):
-    config = _train_config(dtype_name)
-    batches = [make_batch(config, 32, seed=s) for s in range(6)]
-
-    def run(fused: bool):
-        model = DLRM(replace(config, fused_dense=fused), rng=0)
-        if optimizer == "adagrad":
-            factory = lambda m: Adagrad(  # noqa: E731
-                m.dense_parameters(), m.embedding_tables(), lr=0.05, fused=fused
-            )
-        else:
-            factory = lambda m: SGD(  # noqa: E731
-                m.dense_parameters(), m.embedding_tables(),
-                lr=0.05, momentum=0.9, weight_decay=1e-4, fused=fused,
-            )
-        trainer = Trainer(model, factory)
-        losses = [trainer.train_step(b) for b in batches]
-        return losses, model
-
-    losses_f, model_f = run(True)
-    losses_n, model_n = run(False)
-    assert losses_f == losses_n
-    for a, b in zip(model_f.get_dense_state(), model_n.get_dense_state()):
-        assert np.array_equal(a, b)
-    for ta, tb in zip(model_f.embedding_tables(), model_n.embedding_tables()):
-        assert np.array_equal(ta.weight, tb.weight)
-    # and inference agrees too
-    preds_f = model_f.predict_proba(batches[0])
-    preds_n = model_n.predict_proba(batches[0])
-    assert np.array_equal(preds_f, preds_n)
 
 
 def test_fused_dense_flag_disables_workspace():

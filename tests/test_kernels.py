@@ -1,18 +1,17 @@
-"""Equivalence tests for repro.core.kernels and the batched embedding path.
+"""Unit tests for repro.core.kernels and the batched embedding path.
 
-The fast kernels claim *bit-identical* results vs the historical
-``np.add.at`` / Python-loop implementations (which live on as ``naive_*``
-references inside the kernels module).  Hypothesis generates adversarial
-ragged layouts — empty segments, empty batches, duplicate indices — and we
-assert exact equality (stronger than the 1e-12 budget the contract allows).
+The hypothesis-driven naive-vs-fast *equivalence* tests that historically
+lived here moved to the parametrized backend conformance suite
+(``tests/conformance/test_conformance_sparse.py``).  What remains is
+kernel-internal: edge-case handling (empty segments, bounds checks,
+dtype preservation), the batched embedding forward/backward bookkeeping,
+safe-bound certificates, and compute-dtype propagation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import (
     DLRM,
@@ -24,7 +23,6 @@ from repro.core import (
     ModelConfig,
     PoolingType,
     RaggedIndices,
-    SparseGrad,
     TableSpec,
     Trainer,
     hash_raw_ids,
@@ -37,57 +35,11 @@ from helpers import make_batch
 
 
 # ---------------------------------------------------------------------------
-# hypothesis strategies
-# ---------------------------------------------------------------------------
-
-
-@st.composite
-def ragged_layout(draw):
-    """(data, offsets): a CSR ragged batch with possibly-empty segments."""
-    num_segments = draw(st.integers(min_value=0, max_value=10))
-    lengths = draw(
-        st.lists(
-            st.integers(min_value=0, max_value=6),
-            min_size=num_segments,
-            max_size=num_segments,
-        )
-    )
-    offsets = np.concatenate([[0], np.cumsum(np.array(lengths, dtype=np.int64))])
-    total = int(offsets[-1])
-    dim = draw(st.integers(min_value=1, max_value=4))
-    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
-    data = np.random.default_rng(seed).standard_normal((total, dim))
-    return data, offsets.astype(np.int64)
-
-
-@st.composite
-def duplicate_rows(draw):
-    """(indices, grads) with heavy row duplication for coalesce tests."""
-    n = draw(st.integers(min_value=0, max_value=40))
-    indices = np.array(
-        draw(st.lists(st.integers(0, 7), min_size=n, max_size=n)), dtype=np.int64
-    )
-    dim = draw(st.integers(min_value=1, max_value=4))
-    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
-    grads = np.random.default_rng(seed).standard_normal((n, dim))
-    return indices, grads
-
-
-# ---------------------------------------------------------------------------
-# kernel equivalence (exact)
+# kernel edge cases
 # ---------------------------------------------------------------------------
 
 
 class TestSegmentOps:
-    @given(ragged_layout())
-    @settings(max_examples=60, deadline=None)
-    def test_segment_sum_matches_add_at_exactly(self, layout):
-        data, offsets = layout
-        fast = kernels.segment_sum(data, offsets)
-        naive = kernels.naive_segment_sum(data, offsets)
-        assert fast.dtype == naive.dtype
-        np.testing.assert_allclose(fast, naive, rtol=1e-12, atol=1e-12)
-
     def test_empty_segments_produce_zeros(self):
         data = np.arange(6, dtype=np.float64).reshape(3, 2)
         offsets = np.array([0, 0, 2, 2, 3, 3, 3])
@@ -108,27 +60,8 @@ class TestSegmentOps:
         with pytest.raises(ValueError, match="must equal data length"):
             kernels.segment_sum(np.zeros((3, 2)), np.array([0, 1]))
 
-    @given(ragged_layout())
-    @settings(max_examples=30, deadline=None)
-    def test_float32_segments_exact_vs_naive(self, layout):
-        data, offsets = layout
-        data32 = data.astype(np.float32)
-        fast = kernels.segment_sum(data32, offsets)
-        naive = kernels.naive_segment_sum(data32, offsets)
-        assert fast.dtype == np.float32
-        np.testing.assert_allclose(fast, naive, rtol=1e-6, atol=1e-6)
-
 
 class TestCoalesce:
-    @given(duplicate_rows())
-    @settings(max_examples=60, deadline=None)
-    def test_matches_unique_add_at_exactly(self, case):
-        indices, grads = case
-        rows_f, summed_f = kernels.coalesce_rows(indices, grads)
-        rows_n, summed_n = kernels.naive_coalesce_rows(indices, grads)
-        assert np.array_equal(rows_f, rows_n)
-        np.testing.assert_allclose(summed_f, summed_n, rtol=1e-12, atol=1e-12)
-
     def test_deterministic_across_runs(self):
         # The cache + parallel-sweep contract needs run-to-run bit identity.
         rng = np.random.default_rng(0)
@@ -153,19 +86,7 @@ class TestCoalesce:
 
 
 class TestGatherPool:
-    """The fused forward: ``S @ weight`` vs materialized gather + pool."""
-
-    @given(ragged_layout(), st.integers(min_value=0, max_value=2**31 - 1))
-    @settings(max_examples=60, deadline=None)
-    def test_matches_gather_then_segment_sum(self, layout, seed):
-        data, offsets = layout
-        rng = np.random.default_rng(seed)
-        weight = rng.standard_normal((9, 3))
-        values = rng.integers(0, 9, size=int(offsets[-1]))
-        fused = kernels.gather_pool(weight, values, offsets)
-        unfused = kernels.segment_sum(weight[values], offsets)
-        assert fused.dtype == weight.dtype
-        np.testing.assert_array_equal(fused, unfused)  # bit-identical
+    """Edge cases of the fused forward (``S @ weight``)."""
 
     def test_bounds_checked_by_default(self):
         weight = np.zeros((4, 2))
@@ -192,21 +113,7 @@ class TestGatherPool:
 
 
 class TestExpandCoalesce:
-    """The fused backward: ``T @ grad_out`` vs repeat + coalesce."""
-
-    @given(ragged_layout(), st.integers(min_value=0, max_value=2**31 - 1))
-    @settings(max_examples=60, deadline=None)
-    def test_matches_repeat_then_coalesce(self, layout, seed):
-        _, offsets = layout
-        lengths = np.diff(offsets)
-        rng = np.random.default_rng(seed)
-        values = rng.integers(0, 6, size=int(offsets[-1]))
-        grad_out = rng.standard_normal((len(lengths), 3))
-        rows_f, summed_f = kernels.expand_coalesce(values, lengths, grad_out)
-        per_lookup = np.repeat(grad_out, lengths, axis=0)
-        rows_u, summed_u = kernels.coalesce_rows(values, per_lookup)
-        assert np.array_equal(rows_f, rows_u)
-        np.testing.assert_array_equal(summed_f, summed_u)  # bit-identical
+    """Edge cases of the fused backward (``T @ grad_out``)."""
 
     def test_empty(self):
         rows, summed = kernels.expand_coalesce(
@@ -226,16 +133,6 @@ class TestExpandCoalesce:
 
 
 class TestTruncate:
-    @given(ragged_layout(), st.integers(min_value=1, max_value=5))
-    @settings(max_examples=60, deadline=None)
-    def test_matches_python_loop(self, layout, cap):
-        data, offsets = layout
-        values = np.arange(int(offsets[-1]), dtype=np.int64)
-        fast_v, fast_o = kernels.truncate_ragged(values, offsets, cap)
-        naive_v, naive_o = kernels.naive_truncate_ragged(values, offsets, cap)
-        assert np.array_equal(fast_v, naive_v)
-        assert np.array_equal(fast_o, naive_o)
-
     def test_noop_when_under_cap(self):
         values = np.array([1, 2, 3])
         offsets = np.array([0, 2, 3])
@@ -436,14 +333,3 @@ class TestComputeDtype:
         out64 = m64.forward(b64)
         out32 = m32.forward(b32)
         np.testing.assert_allclose(out32, out64, rtol=2e-4, atol=2e-4)
-
-
-class TestSparseGradCoalesce:
-    def test_matches_historic_semantics(self):
-        indices = np.array([3, 1, 3, 3, 1])
-        grads = np.random.default_rng(0).standard_normal((5, 4))
-        grad = SparseGrad.coalesce(indices, grads)
-        rows_n, summed_n = kernels.naive_coalesce_rows(indices, grads)
-        assert np.array_equal(grad.rows, rows_n)
-        np.testing.assert_allclose(grad.values, summed_n, rtol=1e-12, atol=1e-12)
-        assert grad.nnz_rows == 2
