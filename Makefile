@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test conformance bench bench-backends bench-backends-baseline figures examples all clean
+.PHONY: install test conformance bench bench-backends bench-backends-baseline mp-smoke mp-scaling figures examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -23,6 +23,14 @@ bench-backends:
 # Refresh the committed baseline (run on a quiet machine, then commit).
 bench-backends-baseline:
 	PYTHONPATH=src $(PYTHON) -m repro.bench --quick --out BENCH_backends.json
+
+# 2-worker hybrid-parallel run, bitwise-verified against the serial trainer.
+mp-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro mp train --workers-n 2 --steps 3 --batch 64 --verify
+
+# Measured multi-process scaling curve vs the simulator's prediction.
+mp-scaling:
+	PYTHONPATH=src $(PYTHON) -m repro mp scaling --workers 1,2,4 --steps 8 --reps 2
 
 figures:
 	$(PYTHON) -m repro figures

@@ -515,6 +515,103 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro mp <action>`` choices.
+MP_ACTIONS = ("train", "scaling")
+
+
+def _cmd_mp(args: argparse.Namespace) -> int:
+    import json
+
+    from .distributed.mp import HybridRunConfig, run_hybrid, run_hybrid_serial
+    from .experiments import ext_mp_scaling
+
+    if args.action == "scaling":
+        worker_counts = tuple(int(w) for w in args.workers.split(","))
+        result = ext_mp_scaling.run(
+            worker_counts=worker_counts,
+            batch_size=args.batch,
+            steps=args.steps,
+            seed=args.seed,
+            reps=args.reps,
+            reduction=args.reduction,
+        )
+        if args.json:
+            print(json.dumps({
+                "serial_step_s": result.serial_step_s,
+                "cores": result.cores,
+                "reduction": result.reduction,
+                "points": [vars(p) for p in result.points],
+            }, indent=2))
+        else:
+            print(ext_mp_scaling.render(result))
+        return 0
+
+    config = (
+        ext_mp_scaling.default_config()
+        if args.model is None
+        else resolve_model(args.model)
+    )
+    if config.embedding_parameters > 50_000_000:
+        print("model too large for a CLI mp demo; use a test:<...> spec",
+              file=sys.stderr)
+        return 2
+    run_cfg = HybridRunConfig(
+        workers=args.workers_n,
+        steps=args.steps,
+        batch_size=args.batch,
+        lr=args.lr,
+        seed=args.seed,
+        reduction=args.reduction,
+    )
+    result = run_hybrid(config, run_cfg)
+    verified = None
+    if args.verify:
+        ref = run_hybrid_serial(config, run_cfg)
+        bitwise = (
+            result.losses == ref.losses
+            and result.state_digest() == ref.state_digest()
+        )
+        if not bitwise and args.reduction == "ordered":
+            print("error: ordered-mode run diverged from the serial reference",
+                  file=sys.stderr)
+            return 1
+        verified = bitwise
+    if args.json:
+        print(json.dumps({
+            "workers": result.workers,
+            "steps": result.steps,
+            "batch_size": result.batch_size,
+            "reduction": result.reduction,
+            "losses": result.losses,
+            "step_time_s": result.step_time_s,
+            "mean_step_s": result.mean_step_s,
+            "comm_s": result.comm_s,
+            "phase_s": result.phase_s,
+            "state_digest": result.state_digest(),
+            "owner_bytes": result.plan.owner_bytes(config) if result.plan else [],
+            "verified_bitwise": verified,
+        }, indent=2))
+        return 0
+    losses = ", ".join(f"{v:.4f}" for v in result.losses[:8])
+    print(
+        f"{result.workers} workers x {result.steps} steps @ global batch "
+        f"{result.batch_size} ({result.reduction} allreduce)"
+    )
+    print(f"losses: {losses}{' ...' if len(result.losses) > 8 else ''}")
+    print(
+        f"step {result.step_time_s * 1e3:.2f} ms (best) / "
+        f"{result.mean_step_s * 1e3:.2f} ms (mean) | "
+        f"allreduce {result.comm_s * 1e3:.2f} ms total"
+    )
+    if result.plan is not None:
+        mb = [f"{b / 1e6:.1f}MB" for b in result.plan.owner_bytes(config)]
+        print(f"shard balance: {' / '.join(mb)}")
+    if verified is not None:
+        print(f"verified vs serial reference: "
+              f"{'bit-identical' if verified else 'tolerance (ring mode)'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -627,6 +724,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "mp", help="multi-process hybrid-parallel training (shared-memory shards)"
+    )
+    p.add_argument("action", choices=MP_ACTIONS)
+    p.add_argument("--model", default=None,
+                   help="model spec (default: the mp scaling test model)")
+    p.add_argument("--workers-n", type=int, default=2, metavar="N",
+                   dest="workers_n", help="worker processes for 'train' (default 2)")
+    p.add_argument("--workers", default="1,2,4",
+                   help="comma-separated worker counts for 'scaling' (default 1,2,4)")
+    p.add_argument("--steps", type=int, default=4)
+    p.add_argument("--batch", type=int, default=256,
+                   help="global batch size (split across workers)")
+    p.add_argument("--lr", type=float, default=0.01)
+    p.add_argument("--reps", type=int, default=2,
+                   help="measurement repetitions for 'scaling'")
+    p.add_argument("--reduction", default="ordered", choices=["ordered", "ring"],
+                   help="dense allreduce order: 'ordered' is bit-deterministic, "
+                        "'ring' is bandwidth-optimal")
+    p.add_argument("--verify", action="store_true",
+                   help="train: also run the serial reference and compare")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_mp)
 
     p = sub.add_parser("train", help="functional training run on synthetic data")
     p.add_argument("--model", default="test:32x8")

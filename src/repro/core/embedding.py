@@ -288,6 +288,27 @@ class EmbeddingTable:
         rows, summed = kernels.expand_coalesce(indices.values, lengths, grad_out)
         self.sparse_grads.append(SparseGrad(rows=rows, values=summed))
 
+    def adopt_weight(self, storage: np.ndarray) -> None:
+        """Swap the table's weight for externally-owned storage (zero copy).
+
+        The hybrid-parallel trainer (:mod:`repro.distributed.mp`) backs
+        every table with a ``multiprocessing.shared_memory`` segment: all
+        worker processes read rows straight out of the shared mapping, and
+        the shard's owner writes sparse updates into it.  ``storage`` must
+        match the existing weight's shape and dtype exactly — values are
+        *not* copied, the caller is responsible for initializing them.
+        """
+        storage = np.asarray(storage)
+        if storage.shape != self.weight.shape:
+            raise ValueError(
+                f"adopted storage shape {storage.shape} != {self.weight.shape}"
+            )
+        if storage.dtype != self.weight.dtype:
+            raise ValueError(
+                f"adopted storage dtype {storage.dtype} != {self.weight.dtype}"
+            )
+        self.weight = storage
+
     def zero_grad(self) -> None:
         self.sparse_grads.clear()
 

@@ -62,12 +62,31 @@ class _OptimizerBase:
             t.zero_grad()
 
     def step(self) -> None:
-        for i, p in enumerate(self.dense_params):
-            self._dense_step(i, p)
+        self.dense_step()
         for i, t in enumerate(self.tables):
             grad = t.pop_grad()
             if grad is not None:
                 self._sparse_step(i, t, grad)
+
+    def dense_step(self) -> None:
+        """Apply the dense half of :meth:`step` only.
+
+        The hybrid-parallel trainer (:mod:`repro.distributed.mp`) sequences
+        the two halves itself: dense parameters update on every replica
+        after the allreduce, while sparse updates run only on each shard's
+        owner from gradients merged across workers (:meth:`sparse_update`).
+        """
+        for i, p in enumerate(self.dense_params):
+            self._dense_step(i, p)
+
+    def sparse_update(self, idx: int, grad: SparseGrad) -> None:
+        """Apply one explicit sparse update to table ``idx``.
+
+        Unlike :meth:`step`, the gradient is supplied by the caller rather
+        than popped off the table — the mp shard owner passes the
+        rank-order-merged gradient of all workers' contributions here.
+        """
+        self._sparse_step(idx, self.tables[idx], grad)
 
     # subclass hooks ---------------------------------------------------------
 
@@ -153,6 +172,23 @@ class Adagrad(_OptimizerBase):
         self._table_state = [
             np.full_like(t.weight, initial_accumulator) for t in self.tables
         ]
+
+    def adopt_table_state(self, idx: int, state: np.ndarray) -> None:
+        """Swap table ``idx``'s accumulator for externally-owned storage.
+
+        Mirror of :meth:`EmbeddingTable.adopt_weight` for the optimizer
+        state: the mp shard owner keeps each table's Adagrad accumulator in
+        the same shared-memory segment family as its weights, so a restarted
+        or co-located process sees one consistent (weight, accumulator)
+        pair.  Shape/dtype must match; values are not copied.
+        """
+        state = np.asarray(state)
+        current = self._table_state[idx]
+        if state.shape != current.shape:
+            raise ValueError(f"adopted state shape {state.shape} != {current.shape}")
+        if state.dtype != current.dtype:
+            raise ValueError(f"adopted state dtype {state.dtype} != {current.dtype}")
+        self._table_state[idx] = state
 
     def _dense_step(self, idx: int, p: Parameter) -> None:
         self.backend.adagrad_dense_step(

@@ -2,6 +2,14 @@
 
 from .cluster import ClusterConfig, ClusterResult, SyncMode, simulate_cpu_cluster
 from .gpu_sim import GpuServerSimResult, simulate_gpu_server
+from .mp import (
+    HybridResult,
+    HybridRunConfig,
+    ShardPlan,
+    WorkerCrashError,
+    run_hybrid,
+    run_hybrid_serial,
+)
 from .simulator import Event, Resource, Simulator
 from .sync import (
     ClusterStalledError,
@@ -28,4 +36,10 @@ __all__ = [
     "DelayedGradientTrainer",
     "SyncSGDTrainer",
     "ShadowSyncTrainer",
+    "HybridRunConfig",
+    "HybridResult",
+    "ShardPlan",
+    "WorkerCrashError",
+    "run_hybrid",
+    "run_hybrid_serial",
 ]

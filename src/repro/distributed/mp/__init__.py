@@ -1,0 +1,54 @@
+"""True multi-process hybrid-parallel training (shared-memory + sockets).
+
+See :mod:`repro.distributed.mp.hybrid` for the execution model: embedding
+tables model-parallel in shared memory, MLPs data-parallel with a real
+ring/ordered allreduce over socketpairs, dense gradient exchange
+overlapped with backward compute.
+"""
+
+from .allreduce import (
+    GradReducer,
+    ordered_allreduce,
+    ordered_sum,
+    ring_allreduce,
+    ring_chunks,
+    ring_ordered_sum,
+    tree_sum,
+)
+from .channels import Channel, ChannelClosed, exchange_frames, transfer
+from .hybrid import (
+    HybridResult,
+    HybridRunConfig,
+    WorkerCrashError,
+    concat_batches,
+    run_hybrid,
+    run_hybrid_serial,
+)
+from .predict import CommProfile, StepPrediction, predict_step_time, probe_comm
+from .shards import ShardPlan, TableShards
+
+__all__ = [
+    "Channel",
+    "ChannelClosed",
+    "CommProfile",
+    "GradReducer",
+    "HybridResult",
+    "HybridRunConfig",
+    "ShardPlan",
+    "StepPrediction",
+    "TableShards",
+    "WorkerCrashError",
+    "concat_batches",
+    "exchange_frames",
+    "ordered_allreduce",
+    "ordered_sum",
+    "predict_step_time",
+    "probe_comm",
+    "ring_allreduce",
+    "ring_chunks",
+    "ring_ordered_sum",
+    "run_hybrid",
+    "run_hybrid_serial",
+    "transfer",
+    "tree_sum",
+]

@@ -1,0 +1,287 @@
+"""Allreduce over a ring of worker processes, with pinned reduction orders.
+
+Floating-point addition is commutative but not associative, so a
+deterministic allreduce must *declare* its reduction order.  Two modes:
+
+``"ordered"``
+    Rank-sequential: the partial sum travels the ring once
+    (``((g_0 + g_1) + g_2) + ...``) and the total travels it once more.
+    This is exactly the order a
+    serial trainer accumulating per-worker sub-batches produces — so an
+    N-worker run is bit-identical to the serial reference in every dtype.
+    Cost: 2(W-1) sequential full-payload hops — latency-bound, fine for
+    the small dense halves of recommendation models.
+
+``"ring"``
+    Bandwidth-optimal reduce-scatter + allgather: 2(W-1) hops of
+    ``payload/W`` each, all links busy simultaneously.  Chunk ``c`` is
+    accumulated in rotated rank order ``g_c + g_{c+1} + ... (mod W)`` —
+    deterministic (pinned by :func:`ring_ordered_sum` and the hypothesis
+    suite) but a different association than ``np.sum`` for W > 2, hence
+    tolerance-bounded against the serial reference in general and
+    bit-identical at W = 2 (two-term sums are order-insensitive).
+
+:class:`GradReducer` runs either mode on a dedicated communication thread
+so layer k's gradient exchange overlaps layer k-1's backward compute
+(sockets and BLAS both release the GIL).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import numpy as np
+
+from .channels import Channel, transfer
+
+__all__ = [
+    "tree_sum",
+    "ordered_sum",
+    "ring_ordered_sum",
+    "ring_chunks",
+    "ordered_allreduce",
+    "ring_allreduce",
+    "GradReducer",
+]
+
+
+# ---------------------------------------------------------------------------
+# reduction-order references (plain numpy, used by tests and the serial path)
+# ---------------------------------------------------------------------------
+
+
+def ordered_sum(arrays: list[np.ndarray]) -> np.ndarray:
+    """Left-associative rank-order sum — the canonical reduction order.
+
+    This is exactly the gradient accumulation a serial trainer performs
+    across sub-batches (``acc += g_r`` in rank order), and what
+    ``np.sum(np.stack(arrays), axis=0)`` computes for real gradient
+    shapes (numpy's axis-0 reduction walks rows sequentially; only the
+    degenerate single-element-row case may switch to pairwise order).
+    """
+    acc = arrays[0].astype(arrays[0].dtype, copy=True)
+    for a in arrays[1:]:
+        acc += a
+    return acc
+
+
+def tree_sum(arrays: list[np.ndarray]) -> np.ndarray:
+    """Balanced-tree (pairwise) sum — the classic reduction-tree order.
+
+    Provided as the reference for tree-structured reducers; agrees with
+    :func:`ordered_sum` bit-for-bit up to three operands and within
+    accumulation tolerance beyond.
+    """
+    if len(arrays) == 1:
+        return arrays[0].copy()
+    mid = (len(arrays) + 1) // 2
+    return tree_sum(arrays[:mid]) + tree_sum(arrays[mid:])
+
+
+def ring_chunks(n: int, world: int) -> list[slice]:
+    """The flat-index chunking a ring allreduce over ``world`` ranks uses."""
+    bounds = [(n * i) // world for i in range(world + 1)]
+    return [slice(bounds[i], bounds[i + 1]) for i in range(world)]
+
+
+def ring_ordered_sum(arrays: list[np.ndarray], world: int | None = None) -> np.ndarray:
+    """The exact result a ring reduce-scatter/allgather produces.
+
+    Chunk ``c`` accumulates contributions in rotated rank order
+    ``g_c, g_{c+1}, ..., g_{c+W-1} (mod W)``, left-associatively.
+    """
+    world = len(arrays) if world is None else world
+    flats = [a.ravel() for a in arrays]
+    out = np.empty_like(flats[0])
+    for c, sl in enumerate(ring_chunks(flats[0].size, world)):
+        acc = flats[c % len(arrays)][sl].copy()
+        for k in range(1, len(arrays)):
+            acc += flats[(c + k) % len(arrays)][sl]
+        out[sl] = acc
+    return out.reshape(arrays[0].shape)
+
+
+# ---------------------------------------------------------------------------
+# the wire algorithms
+# ---------------------------------------------------------------------------
+
+
+def ordered_allreduce(
+    rank: int,
+    world: int,
+    left: Channel,
+    right: Channel,
+    buf: np.ndarray,
+    scratch: np.ndarray,
+) -> None:
+    """Rank-sequential allreduce; ``buf`` is reduced in place on every rank.
+
+    Phase 1 walks the partial sum up the ring (rank r receives
+    ``g_0 + ... + g_{r-1}`` from its left neighbor and adds its own
+    contribution); phase 2 broadcasts the total from rank W-1 back around.
+    Every send is matched by a concurrently-posted receive on the peer, so
+    plain blocking sends cannot deadlock (the dependency graph is a chain).
+    """
+    if world == 1:
+        return
+    flat = buf.reshape(-1)
+    sview = scratch.reshape(-1)[: flat.size]
+    if rank > 0:
+        left.recv_into(sview)
+        flat += sview
+    right.send_array(flat)  # partial up the ring, or the total to rank 0
+    if rank < world - 1:
+        left.recv_into(flat)
+        if rank < world - 2:
+            right.send_array(flat)
+
+
+def ring_allreduce(
+    rank: int,
+    world: int,
+    left: Channel,
+    right: Channel,
+    buf: np.ndarray,
+    scratch: np.ndarray,
+) -> None:
+    """Bandwidth-optimal ring allreduce; ``buf`` reduced in place.
+
+    Reduce-scatter then allgather, both as W-1 rounds of simultaneous
+    send-right/receive-left over :func:`~repro.distributed.mp.channels.transfer`
+    (which cannot deadlock on large chunks).
+    """
+    if world == 1:
+        return
+    flat = buf.reshape(-1)
+    chunks = ring_chunks(flat.size, world)
+    sview = scratch.reshape(-1)
+    for step in range(world - 1):
+        send_c = chunks[(rank - step) % world]
+        recv_c = chunks[(rank - step - 1) % world]
+        incoming = sview[: recv_c.stop - recv_c.start]
+        transfer([(right, flat[send_c])], [(left, incoming)])
+        flat[recv_c] += incoming
+    for step in range(world - 1):
+        send_c = chunks[(rank + 1 - step) % world]
+        recv_c = chunks[(rank - step) % world]
+        transfer([(right, flat[send_c])], [(left, flat[recv_c])])
+
+
+ALLREDUCE_MODES = {"ordered": ordered_allreduce, "ring": ring_allreduce}
+
+
+# ---------------------------------------------------------------------------
+# the overlap engine
+# ---------------------------------------------------------------------------
+
+_SHUTDOWN = object()
+
+
+class GradReducer:
+    """Asynchronous gradient allreduce on a dedicated communication thread.
+
+    The backward pass submits each dense layer's gradient buffers as soon
+    as they are computed; the thread reduces them in place (FIFO, so every
+    rank's wire traffic lines up) while the main thread keeps running the
+    remaining backward.  ``flush()`` blocks until all submitted buckets are
+    reduced, re-raising any communication error.
+
+    The ring channels are owned exclusively by this thread between
+    construction and :meth:`shutdown` — the main thread must not touch
+    them (the sparse exchange uses the separate mesh channels).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        world: int,
+        left: Channel | None,
+        right: Channel | None,
+        mode: str = "ordered",
+        max_elems: int = 0,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        if mode not in ALLREDUCE_MODES:
+            raise ValueError(f"unknown allreduce mode {mode!r}; use {sorted(ALLREDUCE_MODES)}")
+        self.rank = rank
+        self.world = world
+        self.left = left
+        self.right = right
+        self.mode = mode
+        self._algo = ALLREDUCE_MODES[mode]
+        self._scratch = np.empty(max(1, max_elems), dtype=dtype)
+        self._queue: queue.Queue = queue.Queue()
+        self._errors: list[BaseException] = []
+        self.comm_seconds = 0.0
+        self._thread: threading.Thread | None = None
+        if world > 1:
+            self._thread = threading.Thread(
+                target=self._run, name=f"mp-reducer-{rank}", daemon=True
+            )
+            self._thread.start()
+
+    def submit(self, arrays: list[np.ndarray]) -> None:
+        """Enqueue gradient buffers for in-place allreduce."""
+        if self.world == 1 or not arrays:
+            return
+        self._queue.put(arrays)
+
+    def flush(self) -> None:
+        """Wait until every submitted bucket has been reduced."""
+        if self.world == 1:
+            return
+        self._queue.join()
+        if self._errors:
+            raise self._errors[0]
+
+    def shutdown(self) -> None:
+        if self._thread is None:
+            return
+        self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def _run(self) -> None:
+        import time
+
+        pack = np.empty(0, dtype=self._scratch.dtype)
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                t0 = time.perf_counter()
+                # Pack the bucket's arrays into one contiguous buffer so the
+                # whole bucket costs one allreduce (2(W-1) hops) instead of
+                # one per array.  Safe for bit-determinism: the reduction is
+                # element-wise, so each element's association is unchanged
+                # by where it sits in the pack.  Bucket boundaries are fixed
+                # by the submission protocol (every rank submits the same
+                # buckets in the same order), so wire sizes always agree.
+                if len(item) == 1:
+                    buf = item[0].reshape(-1)
+                else:
+                    total = sum(a.size for a in item)
+                    if pack.size < total or pack.dtype != item[0].dtype:
+                        pack = np.empty(total, dtype=item[0].dtype)
+                    buf = pack[:total]
+                    off = 0
+                    for a in item:
+                        buf[off : off + a.size] = a.reshape(-1)
+                        off += a.size
+                if buf.size > self._scratch.size or buf.dtype != self._scratch.dtype:
+                    self._scratch = np.empty(buf.size, dtype=buf.dtype)
+                self._algo(
+                    self.rank, self.world, self.left, self.right, buf, self._scratch
+                )
+                if len(item) > 1:
+                    off = 0
+                    for a in item:
+                        a.reshape(-1)[...] = buf[off : off + a.size]
+                        off += a.size
+                self.comm_seconds += time.perf_counter() - t0
+            except BaseException as err:  # noqa: BLE001 - surfaced via flush()
+                self._errors.append(err)
+            finally:
+                self._queue.task_done()

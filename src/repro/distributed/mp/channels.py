@@ -1,0 +1,182 @@
+"""Byte channels between worker processes over Unix socket pairs.
+
+``multiprocessing.Pipe`` sends block once the kernel buffer fills, so a
+ring of workers that all ``send`` before any ``recv`` (the reduce-scatter
+step of a ring allreduce) can circular-wait deadlock on large payloads.
+These channels are raw ``socket.socketpair()`` endpoints plus a
+select-driven :func:`transfer` engine that makes progress on *all* pending
+sends and receives of a communication round concurrently — a worker can be
+mid-send to its right neighbor while draining its left neighbor, so no
+payload size can wedge the ring.
+
+Channels are created in the parent before ``fork`` and inherited by both
+endpoint processes; everyone else (the parent included) closes their copies
+so a crashed worker's peers observe EOF instead of hanging.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+
+import numpy as np
+
+__all__ = ["Channel", "ChannelClosed", "transfer", "exchange_frames"]
+
+_LEN = struct.Struct("<Q")
+
+
+class ChannelClosed(ConnectionError):
+    """The peer closed its end (normally because its process died)."""
+
+
+class Channel:
+    """One full-duplex byte channel between exactly two processes."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+
+    @classmethod
+    def pair(cls) -> tuple["Channel", "Channel"]:
+        a, b = socket.socketpair()
+        return cls(a), cls(b)
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    # -- blocking framed messages (sequential protocols) ---------------------
+
+    def send_bytes(self, payload: bytes | memoryview) -> None:
+        """Length-prefixed blocking send (safe when the peer is receiving)."""
+        self.sock.sendall(_LEN.pack(len(payload)))
+        self.sock.sendall(payload)
+
+    def recv_bytes(self) -> bytearray:
+        header = self._recv_exact(_LEN.size)
+        return self._recv_exact(_LEN.unpack(bytes(header))[0])
+
+    def send_array(self, array: np.ndarray) -> None:
+        """Blocking raw send of a contiguous array's bytes (no framing —
+        the receiver knows the size from the matching buffer)."""
+        self.sock.sendall(memoryview(np.ascontiguousarray(array)).cast("B"))
+
+    def recv_into(self, array: np.ndarray) -> None:
+        """Blocking raw receive filling ``array`` completely."""
+        view = memoryview(array).cast("B")
+        got = 0
+        while got < len(view):
+            n = self.sock.recv_into(view[got:])
+            if n == 0:
+                raise ChannelClosed("peer closed during recv")
+            got += n
+
+    def _recv_exact(self, n: int) -> bytearray:
+        buf = bytearray(n)
+        view = memoryview(buf)
+        got = 0
+        while got < n:
+            k = self.sock.recv_into(view[got:])
+            if k == 0:
+                raise ChannelClosed("peer closed during recv")
+            got += k
+        return buf
+
+
+class _SendState:
+    __slots__ = ("channel", "view", "done")
+
+    def __init__(self, channel: Channel, payload) -> None:
+        self.channel = channel
+        self.view = memoryview(payload).cast("B")
+        self.done = len(self.view) == 0
+
+    def pump(self) -> None:
+        sent = self.channel.sock.send(self.view[: 1 << 20])
+        self.view = self.view[sent:]
+        self.done = len(self.view) == 0
+
+
+class _RecvState:
+    __slots__ = ("channel", "view", "got", "done")
+
+    def __init__(self, channel: Channel, buffer) -> None:
+        self.channel = channel
+        self.view = memoryview(buffer).cast("B")
+        self.got = 0
+        self.done = len(self.view) == 0
+
+    def pump(self) -> None:
+        n = self.channel.sock.recv_into(self.view[self.got :])
+        if n == 0:
+            raise ChannelClosed("peer closed during transfer")
+        self.got += n
+        self.done = self.got == len(self.view)
+
+
+def transfer(
+    sends: list[tuple[Channel, object]],
+    recvs: list[tuple[Channel, object]],
+) -> None:
+    """Complete all fixed-size sends and receives concurrently.
+
+    ``sends``/``recvs`` pair a channel with a contiguous buffer (ndarray,
+    bytes, memoryview); both sides must agree on sizes out of band.  The
+    select loop writes whatever the kernel will take and reads whatever has
+    arrived, so simultaneous exchanges between ring neighbors cannot
+    deadlock regardless of payload size relative to socket buffers.
+    """
+    send_states = [
+        _SendState(ch, np.ascontiguousarray(p) if isinstance(p, np.ndarray) else p)
+        for ch, p in sends
+    ]
+    recv_states = [_RecvState(ch, b) for ch, b in recvs]
+    pending_s = [s for s in send_states if not s.done]
+    pending_r = [r for r in recv_states if not r.done]
+    while pending_s or pending_r:
+        rlist = [r.channel.sock for r in pending_r]
+        wlist = [s.channel.sock for s in pending_s]
+        readable, writable, _ = select.select(rlist, wlist, [])
+        readable = set(readable)
+        writable = set(writable)
+        for r in pending_r:
+            if r.channel.sock in readable:
+                r.pump()
+        for s in pending_s:
+            if s.channel.sock in writable:
+                s.pump()
+        pending_s = [s for s in pending_s if not s.done]
+        pending_r = [r for r in pending_r if not r.done]
+
+
+def exchange_frames(
+    sends: list[tuple[Channel, bytes]],
+    recvs: list[Channel],
+) -> list[bytearray]:
+    """Concurrently send framed messages and receive one frame per channel.
+
+    Used for variable-size payloads (pickled sparse gradients).  Two
+    rounds: first every side exchanges fixed 8-byte size headers (too small
+    to fill any socket buffer, so the round always completes), then one
+    :func:`transfer` moves all payloads with both sides knowing every size
+    — keeping the no-deadlock guarantee for arbitrarily large frames.
+    Returns received payloads in ``recvs`` order.
+    """
+    headers = [bytearray(_LEN.size) for _ in recvs]
+    transfer(
+        [(ch, _LEN.pack(len(p))) for ch, p in sends],
+        list(zip(recvs, headers)),
+    )
+    sizes = [_LEN.unpack(bytes(h))[0] for h in headers]
+    payloads = [bytearray(n) for n in sizes]
+    transfer(
+        [(ch, p) for ch, p in sends if len(p)],
+        [(ch, p) for ch, p in zip(recvs, payloads) if len(p)],
+    )
+    return payloads

@@ -1,0 +1,735 @@
+"""True multi-process hybrid-parallel DLRM training.
+
+The execution style of Kalamkar et al.'s CPU-cluster DLRM training,
+realized with OS processes instead of an analytic model:
+
+* **Embedding tables are model-parallel.**  Every table's weights and
+  Adagrad accumulator live in shared memory (:mod:`.shards`); all workers
+  read rows zero-copy during the forward, and each table's *owner* rank
+  applies the merged sparse update.  Workers ship their local sparse
+  gradients to owners over pairwise mesh channels.
+* **MLPs are data-parallel.**  Every worker holds an identical replica
+  (same seeded init) and trains on its own slice of the global batch; dense
+  gradients are allreduced over ring channels (:mod:`.allreduce`), with
+  layer k's exchange overlapped against layer k-1's backward by a
+  dedicated communication thread.
+
+Determinism contract (pinned by ``tests/test_mp.py``): with the
+``"ordered"`` reduction an N-worker run is **bit-identical** — losses,
+dense parameters, and embedding shards — to :func:`run_hybrid_serial`,
+the single-process trainer walking the same fixed partition and seeded
+per-rank data split, in float64 *and* float32.  Against a plain
+full-batch serial trainer the match is tolerance-bounded (chunked
+sub-batch GEMMs sum in a different order than one full-batch GEMM).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...core import DLRM, Adagrad, Batch
+from ...core.config import ModelConfig
+from ...core.embedding import RaggedIndices, SparseGrad
+from ...core.loss import BCEWithLogitsLoss
+from ...core.mlp import Linear
+from ...data import SyntheticDataGenerator
+from ...obs.tracer import NULL_TRACER
+from ...runtime.runner import derive_seed
+from .allreduce import GradReducer
+from .channels import Channel, exchange_frames
+from .shards import ShardPlan, TableShards
+
+__all__ = [
+    "HybridRunConfig",
+    "HybridResult",
+    "WorkerCrashError",
+    "run_hybrid",
+    "run_hybrid_serial",
+    "concat_batches",
+]
+
+_PHASES = ("forward", "loss", "backward", "sparse_exchange", "dense_wait",
+           "optimizer", "barrier")
+
+
+@dataclass(frozen=True)
+class HybridRunConfig:
+    """One hybrid-parallel training run.
+
+    ``batch_size`` is the *global* batch; each worker trains on
+    ``batch_size // workers`` examples per step from its own seeded
+    stream (``derive_seed(seed, "data", rank)``).
+    """
+
+    workers: int = 2
+    steps: int = 4
+    batch_size: int = 256
+    lr: float = 0.01
+    seed: int = 0
+    reduction: str = "ordered"  # "ordered" (bit-deterministic) | "ring"
+    warmup_steps: int = 1
+    barrier_timeout_s: float = 120.0
+    collect_timeout_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+        if self.batch_size % self.workers:
+            raise ValueError(
+                f"batch_size {self.batch_size} not divisible by "
+                f"{self.workers} workers"
+            )
+        if self.reduction not in ("ordered", "ring"):
+            raise ValueError(f"unknown reduction {self.reduction!r}")
+
+    @property
+    def local_batch(self) -> int:
+        return self.batch_size // self.workers
+
+
+@dataclass
+class WorkerReport:
+    """What one worker sends back to the parent over its result pipe."""
+
+    rank: int
+    losses: list[float]
+    step_s: list[float]
+    phase_s: dict[str, float]
+    comm_s: float
+    dense_digest: str
+    pid: int
+
+
+@dataclass
+class HybridResult:
+    """Outcome of a hybrid run (multi-process or the serial reference)."""
+
+    workers: int
+    steps: int
+    batch_size: int
+    reduction: str
+    losses: list[float]  # combined global loss per step
+    per_rank_losses: list[list[float]]
+    step_time_s: float  # best post-warmup step wall time
+    mean_step_s: float
+    phase_s: dict[str, float]  # max over ranks, per phase
+    comm_s: float
+    dense_digest: str  # sha256 over the dense parameters (rank 0 replica)
+    table_digests: dict[str, str]  # sha256 over each embedding shard
+    plan: ShardPlan | None = None
+    per_rank_phase_s: list[dict[str, float]] = field(default_factory=list)
+
+    def state_digest(self) -> str:
+        """One digest over all trained state (dense replica + shards)."""
+        h = hashlib.sha256(self.dense_digest.encode())
+        for name in sorted(self.table_digests):
+            h.update(name.encode())
+            h.update(self.table_digests[name].encode())
+        return h.hexdigest()
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died before delivering its report.
+
+    ``rank``/``exitcode`` identify the primary casualty; ``dead`` lists
+    every rank that died (peers of a crashed worker typically die
+    secondarily from the broken channel).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        exitcode: int | None,
+        dead: list[tuple[int, int | None]] | None = None,
+    ) -> None:
+        dead = dead or [(rank, exitcode)]
+        super().__init__(
+            f"mp worker rank {rank} died (exitcode {exitcode}); "
+            f"dead ranks: {dead}"
+        )
+        self.rank = rank
+        self.exitcode = exitcode
+        self.dead = dead
+
+
+# ---------------------------------------------------------------------------
+# IPC fabric: every endpoint of one run, built pre-fork
+# ---------------------------------------------------------------------------
+
+
+class _Fabric:
+    """Ring + mesh channels and result pipes for ``world`` workers.
+
+    Built in the parent before ``fork``; each child calls :meth:`isolate`
+    to close every endpoint it does not own, and the parent calls
+    :meth:`close_parent_side` right after spawning — so a dead worker's
+    peers see EOF instead of hanging on a socket the parent still holds.
+    """
+
+    def __init__(self, world: int, ctx) -> None:
+        self.world = world
+        # ring_pairs[i] connects rank i -> rank (i+1) % world:
+        # element 0 is i's RIGHT endpoint, element 1 is (i+1)'s LEFT.
+        self.ring_pairs = (
+            [Channel.pair() for _ in range(world)] if world > 1 else []
+        )
+        self.mesh_pairs = {
+            (i, j): Channel.pair()
+            for i in range(world)
+            for j in range(i + 1, world)
+        }
+        self.pipes = [ctx.Pipe(duplex=False) for _ in range(world)]
+
+    def right(self, rank: int) -> Channel | None:
+        return self.ring_pairs[rank][0] if self.ring_pairs else None
+
+    def left(self, rank: int) -> Channel | None:
+        return self.ring_pairs[(rank - 1) % self.world][1] if self.ring_pairs else None
+
+    def mesh(self, rank: int) -> dict[int, Channel]:
+        out: dict[int, Channel] = {}
+        for (i, j), (a, b) in self.mesh_pairs.items():
+            if i == rank:
+                out[j] = a
+            elif j == rank:
+                out[i] = b
+        return out
+
+    def parent_conn(self, rank: int):
+        return self.pipes[rank][0]
+
+    def child_conn(self, rank: int):
+        return self.pipes[rank][1]
+
+    def _owned_by(self, rank: int) -> set[Channel]:
+        owned = set(self.mesh(rank).values())
+        if self.ring_pairs:
+            owned.add(self.right(rank))
+            owned.add(self.left(rank))
+        return owned
+
+    def _all_channels(self) -> list[Channel]:
+        chans = [c for pair in self.ring_pairs for c in pair]
+        chans.extend(c for pair in self.mesh_pairs.values() for c in pair)
+        return chans
+
+    def isolate(self, rank: int) -> None:
+        """Close (in a forked child) every endpoint not owned by ``rank``."""
+        owned = self._owned_by(rank)
+        for ch in self._all_channels():
+            if ch not in owned:
+                ch.close()
+        for r, (parent_end, child_end) in enumerate(self.pipes):
+            parent_end.close()
+            if r != rank:
+                child_end.close()
+
+    def close_parent_side(self) -> None:
+        """Close (in the parent) all channels and the children's pipe ends."""
+        for ch in self._all_channels():
+            ch.close()
+        for _, child_end in self.pipes:
+            child_end.close()
+
+    def close_all(self) -> None:
+        self.close_parent_side()
+        for parent_end, _ in self.pipes:
+            try:
+                parent_end.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+
+def _build_replica(config: ModelConfig, run: HybridRunConfig):
+    """The per-process model/loss pair; identical on every rank by seed."""
+    model = DLRM(config, rng=derive_seed(run.seed, "model"))
+    loss = BCEWithLogitsLoss(workspace=model.workspace, backend=model.backend)
+    return model, loss
+
+
+def _dense_digest(model: DLRM) -> str:
+    h = hashlib.sha256()
+    for p in model.dense_parameters():
+        h.update(np.ascontiguousarray(p.value).tobytes())
+    return h.hexdigest()
+
+
+def _backward_overlapped(model: DLRM, grad_logits: np.ndarray, submit) -> None:
+    """DLRM.backward with gradient-exchange hooks.
+
+    Operation order is identical to :meth:`repro.core.DLRM.backward`
+    (bit-identity depends on it).  ``submit`` receives two fixed buckets:
+    the top-of-net gradients (scorer + top MLP) the moment that half's
+    backward completes — so its allreduce overlaps the interaction /
+    embedding / bottom backward — and the bottom-MLP gradients at the end.
+    Two buckets per step keeps the hop count (and the per-hop scheduling
+    overhead on an oversubscribed host) low while still overlapping the
+    larger half of the exchange.
+    """
+    grad = np.asarray(grad_logits, dtype=model.dtype).reshape(-1, 1)
+    grad = model.scorer.backward(grad)
+    top_bucket = [model.scorer.weight.grad, model.scorer.bias.grad]
+    for layer in reversed(model.top_mlp.layers):
+        grad = layer.backward(grad)
+        if isinstance(layer, Linear):
+            top_bucket.extend((layer.weight.grad, layer.bias.grad))
+    submit(top_bucket)
+    grad_dense, grad_embs = model.interaction.backward(grad)
+    model.embeddings.backward(
+        {name: g for name, g in zip(model._feature_order, grad_embs)}
+    )
+    bottom_bucket = []
+    for layer in reversed(model.bottom_mlp.layers):
+        grad_dense = layer.backward(grad_dense)
+        if isinstance(layer, Linear):
+            bottom_bucket.extend((layer.weight.grad, layer.bias.grad))
+    submit(bottom_bucket)
+
+
+def _pack_sparse(grads: dict[str, SparseGrad | None]) -> bytes:
+    return pickle.dumps(
+        {
+            name: (None if g is None else (g.rows, g.values))
+            for name, g in grads.items()
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _unpack_sparse(payload) -> dict[str, SparseGrad | None]:
+    raw = pickle.loads(bytes(payload))
+    return {
+        name: (None if t is None else SparseGrad(rows=t[0], values=t[1]))
+        for name, t in raw.items()
+    }
+
+
+def _merge_rank_order(parts: list[SparseGrad | None]) -> SparseGrad | None:
+    """Merge per-rank contributions exactly like ``EmbeddingTable.pop_grad``:
+    single contribution passes through untouched, several concatenate in
+    rank order and coalesce once."""
+    present = [g for g in parts if g is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    rows = np.concatenate([g.rows for g in present])
+    vals = np.concatenate([g.values for g in present])
+    return SparseGrad.coalesce(rows, vals)
+
+
+def _exchange_sparse(
+    rank: int,
+    world: int,
+    plan: ShardPlan,
+    local: dict[str, SparseGrad | None],
+    mesh: dict[int, Channel],
+) -> dict[str, SparseGrad | None]:
+    """Ship local sparse grads to table owners; returns merged grads for
+    the tables this rank owns.
+
+    W-1 rounds of simultaneous framed exchange: in round ``off`` rank r
+    sends to ``(r+off) % W`` and receives from ``(r-off) % W`` — a
+    permutation per round, so no two ranks ever block on each other.
+    Contributions are merged in **rank order** regardless of arrival.
+    """
+    by_rank: list[dict[str, SparseGrad | None] | None] = [None] * world
+    by_rank[rank] = local
+    for off in range(1, world):
+        dst = (rank + off) % world
+        src = (rank - off) % world
+        outbound = _pack_sparse(
+            {name: local[name] for name in plan.owned(dst)}
+        )
+        (payload,) = exchange_frames(
+            [(mesh[dst], outbound)], [mesh[src]]
+        )
+        by_rank[src] = _unpack_sparse(payload)
+    merged: dict[str, SparseGrad | None] = {}
+    for name in plan.owned(rank):
+        merged[name] = _merge_rank_order(
+            [
+                by_rank[r][name] if by_rank[r] is not None and name in by_rank[r]
+                else (local[name] if r == rank else None)
+                for r in range(world)
+            ]
+        )
+    return merged
+
+
+def _worker_main(
+    rank: int,
+    world: int,
+    config: ModelConfig,
+    run: HybridRunConfig,
+    plan: ShardPlan,
+    shards: TableShards,
+    fabric: _Fabric,
+    barrier,
+    crash: tuple[int, int] | None,
+) -> None:
+    conn = fabric.child_conn(rank)
+    fabric.isolate(rank)
+    model, loss_fn = _build_replica(config, run)
+    # Zero-copy shard adoption: every rank reads all tables straight out of
+    # shared memory; only owned tables are ever written by this rank.
+    for name in (t.name for t in config.tables):
+        model.embeddings.tables[name].adopt_weight(shards.view(name, "weight"))
+    owned = plan.owned(rank)
+    optimizer = Adagrad(
+        model.dense_parameters(),
+        [model.embeddings.tables[n] for n in owned],
+        lr=run.lr,
+        backend=model.backend,
+    )
+    for i, name in enumerate(owned):
+        optimizer.adopt_table_state(i, shards.view(name, "accum"))
+
+    gen = SyntheticDataGenerator(config, rng=derive_seed(run.seed, "data", rank))
+    batches = [gen.batch(run.local_batch) for _ in range(run.steps)]
+
+    max_elems = sum(p.grad.size for p in model.dense_parameters())
+    reducer = GradReducer(
+        rank, world, fabric.left(rank), fabric.right(rank),
+        mode=run.reduction, max_elems=max_elems, dtype=model.dtype,
+    )
+    mesh = fabric.mesh(rank)
+    table_names = [t.name for t in config.tables]
+    inv_world = 1.0 / world
+    losses: list[float] = []
+    step_s: list[float] = []
+    phase_s = dict.fromkeys(_PHASES, 0.0)
+
+    def timed(phase: str, fn, *args):
+        t0 = time.perf_counter()
+        out = fn(*args)
+        phase_s[phase] += time.perf_counter() - t0
+        return out
+
+    try:
+        barrier.wait(timeout=run.barrier_timeout_s)
+        for step, batch in enumerate(batches):
+            t_step = time.perf_counter()
+            model.zero_grad()
+            optimizer.zero_grad()
+            logits = timed("forward", model.forward, batch)
+            loss_val = timed("loss", loss_fn.forward, logits, batch.labels)
+            if crash is not None and crash == (rank, step):
+                os._exit(41)  # simulated hard crash (tests only)
+            grad = loss_fn.backward()
+            # Exact global-batch normalization: every rank (and the serial
+            # reference) scales its local mean-loss gradient by the same
+            # 1/W constant, so the allreduced sum is the global gradient
+            # with identical rounding on every path.
+            grad *= inv_world
+            timed("backward", _backward_overlapped, model, grad, reducer.submit)
+            local = {
+                name: model.embeddings.tables[name].pop_grad()
+                for name in table_names
+            }
+            merged = timed(
+                "sparse_exchange", _exchange_sparse, rank, world, plan, local, mesh
+            )
+            timed("dense_wait", reducer.flush)
+
+            def _apply():
+                optimizer.dense_step()
+                for i, name in enumerate(owned):
+                    g = merged[name]
+                    if g is not None:
+                        optimizer.sparse_update(i, g)
+
+            timed("optimizer", _apply)
+            # All shard writes must land before any rank's next forward.
+            timed("barrier", barrier.wait, run.barrier_timeout_s)
+            losses.append(loss_val)
+            step_s.append(time.perf_counter() - t_step)
+        reducer.shutdown()
+        conn.send(
+            WorkerReport(
+                rank=rank,
+                losses=losses,
+                step_s=step_s,
+                phase_s=phase_s,
+                comm_s=reducer.comm_seconds,
+                dense_digest=_dense_digest(model),
+                pid=os.getpid(),
+            )
+        )
+        conn.close()
+    finally:
+        for ch in mesh.values():
+            ch.close()
+        if fabric.left(rank) is not None:
+            fabric.left(rank).close()
+            fabric.right(rank).close()
+
+
+# ---------------------------------------------------------------------------
+# parent orchestrator
+# ---------------------------------------------------------------------------
+
+
+def _combine_losses(per_rank: list[list[float]], steps: int) -> list[float]:
+    """Global per-step loss: rank-order left-associative sum / W — the same
+    association the serial reference uses, so f64 losses match bitwise."""
+    world = len(per_rank)
+    out = []
+    for t in range(steps):
+        acc = per_rank[0][t]
+        for r in range(1, world):
+            acc = acc + per_rank[r][t]
+        out.append(acc / world)
+    return out
+
+
+def _crash_error(procs, rank: int) -> WorkerCrashError:
+    """Build the crash report, attributing blame to the primary casualty.
+
+    Peers of a crashed worker usually die secondarily (broken channel →
+    uncaught ``ChannelClosed``, exitcode 1), so prefer a rank that died
+    from a signal or an explicit ``os._exit`` code over plain exitcode 1.
+    """
+    for p in procs:
+        p.join(timeout=5.0)
+    dead = [
+        (r, p.exitcode) for r, p in enumerate(procs) if p.exitcode not in (0, None)
+    ]
+    primary = next(
+        (d for d in dead if d[1] is not None and d[1] != 1),
+        dead[0] if dead else (rank, procs[rank].exitcode),
+    )
+    return WorkerCrashError(primary[0], primary[1], dead)
+
+
+def _collect_reports(procs, fabric: _Fabric, run: HybridRunConfig) -> list[WorkerReport]:
+    reports: dict[int, WorkerReport] = {}
+    deadline = time.monotonic() + run.collect_timeout_s
+    for rank, proc in enumerate(procs):
+        conn = fabric.parent_conn(rank)
+        while not conn.poll(0.05):
+            if not proc.is_alive() and not conn.poll(0.0):
+                raise _crash_error(procs, rank)
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"mp worker rank {rank} produced no report within "
+                    f"{run.collect_timeout_s:.0f}s"
+                )
+        try:
+            reports[rank] = conn.recv()
+        except EOFError as err:
+            raise _crash_error(procs, rank) from err
+    return [reports[r] for r in range(len(procs))]
+
+
+def run_hybrid(
+    config: ModelConfig,
+    run: HybridRunConfig | None = None,
+    tracer=None,
+    _crash: tuple[int, int] | None = None,
+) -> HybridResult:
+    """Train ``config`` across ``run.workers`` real OS processes.
+
+    Shards are created, initialized from the seeded model, and **always**
+    unlinked by the parent — including when a worker crashes (the partial
+    failure path raises :class:`WorkerCrashError` after cleanup).
+    """
+    run = run or HybridRunConfig()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    world = run.workers
+    plan = ShardPlan.greedy(config, world)
+    init_model, _ = _build_replica(config, run)
+    order = [t.name for t in config.tables]
+    shards = TableShards.create(
+        {name: init_model.embeddings.tables[name].weight for name in order}
+    )
+    del init_model
+    ctx = mp.get_context("fork")
+    fabric = _Fabric(world, ctx)
+    barrier = ctx.Barrier(world)
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(rank, world, config, run, plan, shards, fabric, barrier, _crash),
+            name=f"mp-worker-{rank}",
+        )
+        for rank in range(world)
+    ]
+    try:
+        for p in procs:
+            p.start()
+        fabric.close_parent_side()
+        reports = _collect_reports(procs, fabric, run)
+        for rank, p in enumerate(procs):
+            p.join(timeout=30.0)
+            if p.exitcode not in (0, None) and p.exitcode != 0:
+                raise WorkerCrashError(rank, p.exitcode)
+        # Reports are in; the final barrier guarantees all shard writes
+        # landed, so digests taken now are the post-training state.
+        table_digests = {
+            name: hashlib.sha256(shards.view(name, "weight").tobytes()).hexdigest()
+            for name in order
+        }
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=10.0)
+        fabric.close_all()
+        shards.close()
+
+    per_rank = [r.losses for r in reports]
+    # representative step time: per step take the max across ranks (the
+    # barrier makes the slowest rank the step's wall time), then the best
+    # post-warmup step (the harness's best-of estimator).
+    per_step_wall = [
+        max(r.step_s[t] for r in reports) for t in range(run.steps)
+    ]
+    effective = per_step_wall[run.warmup_steps:] or per_step_wall
+    phase_max = {
+        ph: max(r.phase_s[ph] for r in reports) for ph in _PHASES
+    }
+    for r in reports:
+        cursor = 0.0
+        for ph in _PHASES:
+            tracer.record(
+                f"mp.{ph}",
+                "comm" if ph in ("sparse_exchange", "dense_wait", "barrier") else "compute",
+                cursor,
+                r.phase_s[ph],
+                tid=r.rank + 1,
+                rank=r.rank,
+            )
+            cursor += r.phase_s[ph]
+    return HybridResult(
+        workers=world,
+        steps=run.steps,
+        batch_size=run.batch_size,
+        reduction=run.reduction,
+        losses=_combine_losses(per_rank, run.steps),
+        per_rank_losses=per_rank,
+        step_time_s=min(effective),
+        mean_step_s=sum(effective) / len(effective),
+        phase_s=phase_max,
+        comm_s=max(r.comm_s for r in reports),
+        dense_digest=reports[0].dense_digest,
+        table_digests=table_digests,
+        plan=plan,
+        per_rank_phase_s=[r.phase_s for r in reports],
+    )
+
+
+# ---------------------------------------------------------------------------
+# the serial reference: same partition, same math, one process
+# ---------------------------------------------------------------------------
+
+
+def run_hybrid_serial(
+    config: ModelConfig, run: HybridRunConfig | None = None
+) -> HybridResult:
+    """Single-process reference executing the *same fixed partition*.
+
+    One model, one optimizer; each step walks the W per-rank sub-batches
+    sequentially (gradients accumulate left-associatively in rank order —
+    exactly the ``"ordered"`` allreduce association) and applies one
+    optimizer step.  ``run_hybrid`` with ``reduction="ordered"`` matches
+    this bit-for-bit in f64 and f32; ``"ring"`` matches at W=2 and is
+    tolerance-bounded beyond.
+    """
+    run = run or HybridRunConfig()
+    world = run.workers
+    model, loss_fn = _build_replica(config, run)
+    optimizer = Adagrad(
+        model.dense_parameters(),
+        model.embedding_tables(),
+        lr=run.lr,
+        backend=model.backend,
+    )
+    gens = [
+        SyntheticDataGenerator(config, rng=derive_seed(run.seed, "data", r))
+        for r in range(world)
+    ]
+    rank_batches = [
+        [g.batch(run.local_batch) for _ in range(run.steps)] for g in gens
+    ]
+    inv_world = 1.0 / world
+    per_rank: list[list[float]] = [[] for _ in range(world)]
+    step_s: list[float] = []
+    for step in range(run.steps):
+        t0 = time.perf_counter()
+        model.zero_grad()
+        optimizer.zero_grad()
+        for r in range(world):
+            batch = rank_batches[r][step]
+            logits = model.forward(batch)
+            per_rank[r].append(loss_fn.forward(logits, batch.labels))
+            grad = loss_fn.backward()
+            grad *= inv_world
+            model.backward(grad)
+        optimizer.step()
+        step_s.append(time.perf_counter() - t0)
+    effective = step_s[run.warmup_steps:] or step_s
+    table_digests = {
+        t.name: hashlib.sha256(
+            model.embeddings.tables[t.name].weight.tobytes()
+        ).hexdigest()
+        for t in config.tables
+    }
+    return HybridResult(
+        workers=world,
+        steps=run.steps,
+        batch_size=run.batch_size,
+        reduction="serial",
+        losses=_combine_losses(per_rank, run.steps),
+        per_rank_losses=per_rank,
+        step_time_s=min(effective),
+        mean_step_s=sum(effective) / len(effective),
+        phase_s=dict.fromkeys(_PHASES, 0.0),
+        comm_s=0.0,
+        dense_digest=_dense_digest(model),
+        table_digests=table_digests,
+        plan=None,
+    )
+
+
+def concat_batches(batches: list[Batch]) -> Batch:
+    """Concatenate per-rank sub-batches into one full batch (rank order).
+
+    Used to compare the hybrid trajectory against a plain full-batch
+    serial :class:`~repro.core.Trainer` (tolerance-bounded: summed
+    sub-batch GEMMs associate differently than one full-batch GEMM).
+    """
+    dense = np.concatenate([b.dense for b in batches], axis=0)
+    labels = np.concatenate([b.labels for b in batches])
+    sparse: dict[str, RaggedIndices] = {}
+    for name in batches[0].sparse:
+        raggeds = [b.sparse[name] for b in batches]
+        values = np.concatenate([r.values for r in raggeds])
+        offsets = [np.asarray(raggeds[0].offsets)]
+        shift = raggeds[0].offsets[-1]
+        for r in raggeds[1:]:
+            offsets.append(np.asarray(r.offsets[1:]) + shift)
+            shift += r.offsets[-1]
+        bound = min(
+            (r.safe_bound for r in raggeds if r.safe_bound is not None),
+            default=None,
+        )
+        sparse[name] = RaggedIndices(
+            values=values, offsets=np.concatenate(offsets), safe_bound=bound
+        )
+    return Batch(dense=dense, sparse=sparse, labels=labels)

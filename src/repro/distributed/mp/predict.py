@@ -1,0 +1,378 @@
+"""Predicted hybrid-parallel step time, built on the event simulator.
+
+The scaling experiment (:mod:`repro.experiments.ext_mp_scaling`)
+cross-validates the *measured* multi-process step time of
+:func:`repro.distributed.mp.run_hybrid` against the prediction here, which
+reuses the same :class:`~repro.distributed.simulator.Resource` FIFO-server
+primitive the cluster simulator is built from:
+
+* **Compute** — ``world`` sub-batch jobs on ``min(world, cores)`` core
+  resources.  Each job costs the *measured* single-process step time at
+  the local batch size **plus** that rank's communication CPU (sparse
+  gradient framing is real compute: pickle, concat, coalesce), because on
+  an oversubscribed host comm CPU serializes with model compute instead of
+  hiding behind it.  ``cores < world`` then degenerates to time-sharing —
+  exactly what the OS scheduler does to the worker processes.
+* **Dense allreduce** — per-bucket hops on a link resource.  The per-hop
+  cost under load is *measured* by :func:`probe_comm` with the real
+  :class:`~repro.distributed.mp.allreduce.GradReducer` running against a
+  compute loop (GIL handoff + scheduler wakeups dominate idle wire
+  latency on a busy host).
+* **Sparse exchange & barrier** — framed-round costs and the measured
+  barrier wakeup, scaled by the round/waiter counts.
+
+Every parameter is measured, none fitted: socketpair latency/bandwidth,
+contended hop overhead, frame serialization cost (fixed + per-byte), and
+barrier cost all come from :func:`probe_comm` on the host being predicted.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.config import ModelConfig
+from ...runtime.runner import available_cores
+from ..simulator import Resource
+from .allreduce import GradReducer
+from .channels import Channel
+
+__all__ = ["CommProfile", "StepPrediction", "probe_comm", "predict_step_time"]
+
+_ROW_INDEX_BYTES = 8  # int64 row ids accompany each sparse gradient row
+
+
+@dataclass(frozen=True)
+class CommProfile:
+    """Measured communication characteristics of this host.
+
+    ``latency_s``/``bandwidth_bps`` describe an idle socketpair;
+    ``hop_overhead_s`` is the cost of one allreduce hop measured with a
+    communication thread running against main-thread compute (the
+    trainer's actual structure); ``frame_fixed_s``/``frame_byte_s`` model
+    pickling + unpickling one sparse-gradient frame; ``barrier_s`` is one
+    two-process barrier wait.
+    """
+
+    latency_s: float
+    bandwidth_bps: float
+    barrier_s: float
+    hop_overhead_s: float = 0.0
+    frame_fixed_s: float = 0.0
+    frame_byte_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class StepPrediction:
+    """Per-phase breakdown of one predicted hybrid training step."""
+
+    world: int
+    cores: int
+    compute_s: float
+    dense_comm_s: float
+    sparse_comm_s: float
+    barrier_s: float
+    overlap_credit_s: float
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.compute_s
+            + self.dense_comm_s
+            - self.overlap_credit_s
+            + self.sparse_comm_s
+            + self.barrier_s
+        )
+
+
+# ---------------------------------------------------------------------------
+# probes
+# ---------------------------------------------------------------------------
+
+
+def _latency_child(chan: Channel, pings: int, payload: int, reps: int, barrier, waits: int) -> None:
+    for _ in range(pings):
+        chan.send_bytes(chan.recv_bytes())
+    buf = np.empty(payload, dtype=np.uint8)
+    for _ in range(reps):
+        chan.recv_into(buf)
+    chan.send_bytes(b"ok")
+    for _ in range(waits):
+        barrier.wait(timeout=60.0)
+
+
+_HOP_ITERS = 20
+_HOP_BUCKETS = 2
+_HOP_ELEMS = 4096
+
+
+def _hop_compute_block(a: np.ndarray, b: np.ndarray) -> None:
+    for _ in range(12):
+        c = a @ b
+        c = np.maximum(c, 0)
+        c.T @ c
+
+
+def _hop_child(rank: int, left: Channel, right: Channel, out) -> None:
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((128, 64))
+    b = rng.standard_normal((64, 64))
+    bufs = [np.ones(_HOP_ELEMS) * rank for _ in range(_HOP_BUCKETS)]
+    reducer = GradReducer(rank, 2, left, right, max_elems=_HOP_ELEMS)
+    t0 = time.perf_counter()
+    for _ in range(_HOP_ITERS):
+        for buf in bufs:
+            reducer.submit([buf])
+        _hop_compute_block(a, b)
+        reducer.flush()
+    out.put(time.perf_counter() - t0)
+    reducer.shutdown()
+
+
+def _probe_hop_overhead(trials: int = 3) -> float:
+    """Per-hop cost of the reducer thread under main-thread compute.
+
+    Two forked ranks run the trainer's structure — submit buckets, compute,
+    flush — and the excess over pure time-shared compute, divided by the
+    hop count, is what one synchronization hop really costs on this host
+    (GIL handoffs and scheduler wakeups included).  Median of ``trials``
+    runs: scheduler noise makes single measurements swing several-fold.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((128, 64))
+    b = rng.standard_normal((64, 64))
+    _hop_compute_block(a, b)  # warm the kernels
+
+    def solo_time() -> float:
+        t0 = time.perf_counter()
+        for _ in range(_HOP_ITERS):
+            _hop_compute_block(a, b)
+        return time.perf_counter() - t0
+
+    def pair_time() -> float:
+        ctx = mp.get_context("fork")
+        pairs = [Channel.pair() for _ in range(2)]
+        out = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_hop_child,
+                args=(r, pairs[(r - 1) % 2][1], pairs[r][0], out),
+                name=f"mp-hop-probe-{r}",
+            )
+            for r in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for pair in pairs:
+            for ch in pair:
+                ch.close()
+        elapsed = max(out.get(timeout=60.0) for _ in procs)
+        for p in procs:
+            p.join(timeout=30.0)
+        return elapsed
+
+    hops = _HOP_ITERS * _HOP_BUCKETS * 2  # 2(W-1) with W=2
+    # With two cores the ranks compute concurrently (ideal = solo); on one
+    # core they time-share (ideal = 2x solo).
+    share = 2 if available_cores() < 2 else 1
+    estimates = []
+    for _ in range(trials):
+        solo = min(solo_time(), solo_time())
+        estimates.append(max(0.0, (pair_time() - solo * share) / hops))
+    return float(np.median(estimates))
+
+
+def _probe_frame_cost() -> tuple[float, float]:
+    """Fixed + per-byte cost of pickling and unpickling one sparse frame."""
+
+    def cost(rows: int, dim: int, reps: int = 30) -> tuple[float, int]:
+        rng = np.random.default_rng(0)
+        frame = {
+            f"table_{i}": (
+                rng.integers(0, 10_000, size=rows),
+                rng.standard_normal((rows, dim)).astype(np.float32),
+            )
+            for i in range(4)
+        }
+        blob = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            pickle.loads(pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL))
+        return (time.perf_counter() - t0) / reps, len(blob)
+
+    small_s, small_b = cost(8, 16)
+    large_s, large_b = cost(1024, 16)
+    per_byte = max(0.0, (large_s - small_s) / (large_b - small_b))
+    fixed = max(0.0, small_s - per_byte * small_b)
+    return fixed, per_byte
+
+
+def probe_comm(
+    pings: int = 50,
+    payload_bytes: int = 1 << 20,
+    payload_reps: int = 16,
+    barrier_waits: int = 20,
+) -> CommProfile:
+    """Measure every communication parameter of this host.
+
+    One forked child measures idle latency/bandwidth/barrier; a second
+    two-process probe measures the contended per-hop overhead with the
+    real reducer; the frame cost is measured in-process.
+    """
+    ctx = mp.get_context("fork")
+    parent, child = Channel.pair()
+    barrier = ctx.Barrier(2)
+    proc = ctx.Process(
+        target=_latency_child,
+        args=(child, pings, payload_bytes, payload_reps, barrier, barrier_waits),
+        name="mp-comm-probe",
+    )
+    proc.start()
+    child.close()
+    try:
+        ping = b"x" * 64
+        rtts = []
+        for _ in range(pings):
+            t0 = time.perf_counter()
+            parent.send_bytes(ping)
+            parent.recv_bytes()
+            rtts.append(time.perf_counter() - t0)
+        latency = float(np.median(rtts)) / 2.0
+
+        payload = np.zeros(payload_bytes, dtype=np.uint8)
+        t0 = time.perf_counter()
+        for _ in range(payload_reps):
+            parent.send_array(payload)
+        parent.recv_bytes()  # ack: all payloads fully drained
+        elapsed = time.perf_counter() - t0
+        bandwidth = payload_bytes * payload_reps / max(elapsed, 1e-9)
+
+        t0 = time.perf_counter()
+        for _ in range(barrier_waits):
+            barrier.wait(timeout=60.0)
+        barrier_s = (time.perf_counter() - t0) / barrier_waits
+    finally:
+        parent.close()
+        proc.join(timeout=30.0)
+        if proc.is_alive():  # pragma: no cover - probe child wedged
+            proc.terminate()
+            proc.join(timeout=5.0)
+
+    hop_overhead = _probe_hop_overhead()
+    frame_fixed, frame_byte = _probe_frame_cost()
+    return CommProfile(
+        latency_s=latency,
+        bandwidth_bps=bandwidth,
+        barrier_s=barrier_s,
+        hop_overhead_s=hop_overhead,
+        frame_fixed_s=frame_fixed,
+        frame_byte_s=frame_byte,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the model
+# ---------------------------------------------------------------------------
+
+
+def predict_step_time(
+    config: ModelConfig,
+    *,
+    world: int,
+    local_batch: int,
+    sub_batch_step_s: float,
+    comm: CommProfile,
+    cores: int | None = None,
+    reduction: str = "ordered",
+    dense_buckets: int = 2,
+) -> StepPrediction:
+    """Predict one hybrid step from a measured sub-batch compute time.
+
+    ``sub_batch_step_s`` is the measured single-process full train-step
+    time at ``local_batch`` (the experiment gets it from the bench
+    harness's ``timed_train``); everything else is composed from simulator
+    resources parameterized by the :func:`probe_comm` measurements.
+    ``dense_buckets`` mirrors the trainer's two-bucket gradient exchange.
+    """
+    cores = available_cores() if cores is None else cores
+    eff_cores = max(1, min(cores, world))
+    oversubscribed = cores < world
+
+    itemsize = np.dtype(config.np_dtype).itemsize
+    avg_dim = sum(t.dim for t in config.tables) / max(1, len(config.tables))
+    # Expected frame per mesh round: this rank's gradient rows destined for
+    # one owner (1/W of the tables), row ids + values.
+    round_bytes = (
+        local_batch
+        * config.mean_total_lookups
+        / world
+        * (avg_dim * itemsize + _ROW_INDEX_BYTES)
+        if world > 1
+        else 0.0
+    )
+    # Sparse-exchange CPU per rank: each of the W-1 rounds pickles one
+    # outbound frame and unpickles one inbound frame (the probe measures
+    # the dumps+loads pair), and the owner merges the received parts.
+    sparse_cpu_rank = (world - 1) * (
+        comm.frame_fixed_s + round_bytes * comm.frame_byte_s
+    )
+
+    # Compute: W jobs on eff_cores single-rate servers, seconds as "bytes";
+    # comm CPU rides on the same cores as model compute.
+    core_res = [Resource(f"core-{i}", rate=1.0) for i in range(eff_cores)]
+    compute_s = max(
+        core_res[rank % eff_cores].submit(0.0, sub_batch_step_s + sparse_cpu_rank)
+        for rank in range(world)
+    )
+
+    # Per-hop synchronization: idle latency with a core per worker, the
+    # measured contended hop (reducer thread vs compute) otherwise.
+    hop_sync = max(comm.latency_s, comm.hop_overhead_s if oversubscribed else 0.0)
+
+    dense_bytes = config.mlp_parameters * itemsize
+    dense_comm_s = 0.0
+    if world > 1:
+        link = Resource("dense-link", rate=comm.bandwidth_bps)
+        bucket_bytes = dense_bytes / dense_buckets
+        hop_bytes = bucket_bytes if reduction == "ordered" else bucket_bytes / world
+        now = 0.0
+        for _ in range(dense_buckets * 2 * (world - 1)):
+            now = link.submit(now, hop_bytes, extra_latency=hop_sync)
+        dense_comm_s = now
+
+    sparse_comm_s = 0.0
+    if world > 1:
+        link = Resource("sparse-link", rate=comm.bandwidth_bps)
+        now = 0.0
+        for _ in range(world - 1):
+            # exchange_frames: a size-header round then the payload round,
+            # each one synchronization point (the frame CPU is already on
+            # the core resources).
+            now = link.submit(now, 8.0, extra_latency=hop_sync)
+            now = link.submit(now, round_bytes, extra_latency=hop_sync)
+        sparse_comm_s = now
+
+    # One wakeup per waiter when contended, one round trip otherwise.
+    barrier_s = 0.0
+    if world > 1:
+        barrier_s = comm.barrier_s * (world - 1 if oversubscribed else 1)
+
+    # Overlap: with spare cores the reducer thread hides dense comm behind
+    # backward compute (~40% of a step); saturated hosts get no credit.
+    overlap = 0.0
+    if world > 1 and cores > world:
+        overlap = min(dense_comm_s, 0.4 * sub_batch_step_s)
+
+    return StepPrediction(
+        world=world,
+        cores=cores,
+        compute_s=compute_s,
+        dense_comm_s=dense_comm_s,
+        sparse_comm_s=sparse_comm_s,
+        barrier_s=barrier_s,
+        overlap_credit_s=overlap,
+    )

@@ -1,0 +1,153 @@
+"""Shared-memory embedding shards and their placement plan.
+
+Every embedding table (weights *and* Adagrad accumulator) lives in a
+``multiprocessing.shared_memory`` segment created — and, crucially,
+unlinked — by the parent process.  Workers inherit the mapping through
+``fork`` and wrap zero-copy ndarray views around it: all ranks read rows
+straight out of shared memory during the forward pass (this is what
+replaces the all-to-all of a message-passing design), while sparse
+updates to a table are applied only by the one rank that owns it.
+
+Lifecycle contract (pinned by ``tests/test_mp_shm.py``): the parent is the
+sole owner of ``unlink``.  Segments are removed in a ``finally`` whether
+workers exit cleanly or crash mid-step, so no ``/dev/shm`` entries and no
+resource-tracker "leaked shared_memory" warnings survive a run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ...core.config import ModelConfig
+
+__all__ = ["ShardPlan", "TableShards"]
+
+_SEGMENT_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Which rank owns each embedding table's sparse updates.
+
+    Greedy largest-first bin packing over table bytes: tables are assigned,
+    biggest first, to the currently-lightest rank — the same
+    capacity-balancing heuristic the paper's placement study uses for
+    multi-GPU sharding, here balancing per-worker update work.
+    """
+
+    owners: dict[str, int]
+    world: int
+
+    @classmethod
+    def greedy(cls, config: ModelConfig, world: int) -> "ShardPlan":
+        if world < 1:
+            raise ValueError(f"world must be >= 1, got {world}")
+        loads = [0] * world
+        owners: dict[str, int] = {}
+        tables = sorted(
+            config.tables,
+            key=lambda t: (-t.hash_size * t.dim, t.name),
+        )
+        for spec in tables:
+            rank = min(range(world), key=lambda r: (loads[r], r))
+            owners[spec.name] = rank
+            loads[rank] += spec.hash_size * spec.dim
+        return cls(owners=owners, world=world)
+
+    def owned(self, rank: int) -> list[str]:
+        """Tables owned by ``rank``, in the plan's insertion (size) order."""
+        return [name for name, r in self.owners.items() if r == rank]
+
+    def owner_bytes(self, config: ModelConfig) -> list[int]:
+        """Per-rank owned table bytes (weights only) — balance diagnostics."""
+        itemsize = np.dtype(config.np_dtype).itemsize
+        loads = [0] * self.world
+        for spec in config.tables:
+            loads[self.owners[spec.name]] += spec.hash_size * spec.dim * itemsize
+        return loads
+
+
+class TableShards:
+    """All embedding shards of one hybrid run, in named shared memory.
+
+    ``create`` builds two segments per table — ``weight`` initialized from
+    the seeded model (so every process sees the same init the serial
+    trainer would produce) and ``accum`` zeroed for the Adagrad state —
+    under explicit names carrying the parent pid and a run counter, which
+    the lifecycle tests use to detect leaks.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[tuple[str, str], shared_memory.SharedMemory] = {}
+        self._shapes: dict[str, tuple[int, int]] = {}
+        self._dtype: np.dtype | None = None
+        self._owner_pid = os.getpid()
+
+    @classmethod
+    def create(cls, weights: dict[str, np.ndarray]) -> "TableShards":
+        """Allocate and initialize segments from ``table name -> weights``."""
+        shards = cls()
+        run_id = next(_SEGMENT_COUNTER)
+        try:
+            for idx, (name, weight) in enumerate(weights.items()):
+                if shards._dtype is None:
+                    shards._dtype = weight.dtype
+                shards._shapes[name] = weight.shape
+                for kind, init in (("weight", weight), ("accum", None)):
+                    seg = shared_memory.SharedMemory(
+                        create=True,
+                        size=weight.nbytes,
+                        name=f"repro_mp_{os.getpid()}_{run_id}_{idx}_{kind}",
+                    )
+                    shards._segments[(name, kind)] = seg
+                    view = np.ndarray(weight.shape, dtype=weight.dtype, buffer=seg.buf)
+                    if init is None:
+                        view.fill(0.0)
+                    else:
+                        view[...] = init
+        except BaseException:
+            shards.close()
+            raise
+        return shards
+
+    def view(self, name: str, kind: str = "weight") -> np.ndarray:
+        """Zero-copy ndarray over a segment (valid in parent and children)."""
+        seg = self._segments[(name, kind)]
+        return np.ndarray(self._shapes[name], dtype=self._dtype, buffer=seg.buf)
+
+    @property
+    def segment_names(self) -> list[str]:
+        return [seg.name for seg in self._segments.values()]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(seg.size for seg in self._segments.values())
+
+    def close(self) -> None:
+        """Close the mapping and (in the creating process) unlink segments.
+
+        Idempotent; called from the parent's ``finally`` so segments are
+        removed even when a worker crashed mid-run.  Forked children also
+        inherit this object but must *not* unlink — only the creator does.
+        """
+        unlink = os.getpid() == self._owner_pid
+        for seg in self._segments.values():
+            # Unlink before close: shm_unlink removes the /dev/shm name (and
+            # the resource-tracker registration) regardless of live mappings,
+            # so a view still alive inside a model replica cannot leak the
+            # segment — it only delays freeing the memory until GC.
+            if unlink:
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - exported views alive
+                pass
+        self._segments.clear()

@@ -9,6 +9,7 @@ examples reuse them, so the figure logic lives in exactly one place.
 from . import (
     ext_fault_tolerance,
     ext_hash_accuracy,
+    ext_mp_scaling,
     report,
     fig01_production,
     fig02_workloads,
@@ -44,4 +45,5 @@ __all__ = [
     "report",
     "ext_fault_tolerance",
     "ext_hash_accuracy",
+    "ext_mp_scaling",
 ]

@@ -20,6 +20,7 @@ from .runner import (
     PointFailure,
     SweepPointError,
     SweepRunner,
+    available_cores,
     default_workers,
     derive_seed,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "ResultCache",
     "SweepPointError",
     "SweepRunner",
+    "available_cores",
     "canonical",
     "canonical_json",
     "code_token",

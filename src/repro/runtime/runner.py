@@ -41,6 +41,7 @@ __all__ = [
     "SweepRunner",
     "SweepPointError",
     "PointFailure",
+    "available_cores",
     "derive_seed",
     "default_workers",
 ]
@@ -104,9 +105,27 @@ def derive_seed(base_seed: int, *parts: Any) -> int:
     return int(digest[:12], 16)
 
 
+def available_cores() -> int:
+    """CPU cores *this process may actually run on*.
+
+    Containerized CI pins processes to a subset of the host's cores;
+    ``os.cpu_count()`` reports the host total and would oversubscribe the
+    pool.  ``os.sched_getaffinity`` reflects the pinned set (Linux); fall
+    back to ``os.cpu_count()`` where it doesn't exist (macOS, Windows).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
 def default_workers(num_points: int | None = None) -> int:
-    """A sensible pool size: all cores, but never more than the points."""
-    cores = os.cpu_count() or 1
+    """A sensible pool size: all *available* cores (respecting CPU
+    affinity, see :func:`available_cores`), but never more than the points."""
+    cores = available_cores()
     if num_points is None:
         return cores
     return max(1, min(cores, num_points))

@@ -183,3 +183,42 @@ class TestServeCommand:
     def test_serve_rejects_unknown_action(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "bogus"])
+
+
+class TestMpCommand:
+    def test_mp_train_verified_bitwise(self, capsys):
+        code = main([
+            "mp", "train", "--workers-n", "2", "--steps", "2",
+            "--batch", "32", "--verify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 workers x 2 steps" in out
+        assert "shard balance" in out
+        assert "bit-identical" in out
+
+    def test_mp_train_json(self, capsys):
+        import json
+
+        code = main([
+            "mp", "train", "--workers-n", "2", "--steps", "2",
+            "--batch", "32", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"] == 2
+        assert len(payload["losses"]) == 2
+        assert len(payload["owner_bytes"]) == 2
+        assert payload["state_digest"]
+
+    def test_mp_train_custom_model_spec(self, capsys):
+        code = main([
+            "mp", "train", "--model", "test:16x4:500", "--workers-n", "2",
+            "--steps", "2", "--batch", "16",
+        ])
+        assert code == 0
+        assert "2 workers" in capsys.readouterr().out
+
+    def test_mp_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mp", "bogus"])

@@ -1,0 +1,212 @@
+"""Multi-process hybrid-parallel trainer: the determinism contract.
+
+The headline claim of :mod:`repro.distributed.mp` is that an N-worker
+run with ``reduction="ordered"`` is *bit-identical* — losses, dense
+parameters, and every embedding shard — to the serial reference that
+trains the same sub-batches on one model.  These tests spawn real
+processes over shared-memory shards and sockets, so they are the
+ground truth for that claim, in both float64 and float32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DLRM, Adagrad, Batch, Trainer
+from repro.core.config import InteractionType, MLPSpec, ModelConfig, uniform_tables
+from repro.core.loss import BCEWithLogitsLoss
+from repro.data import SyntheticDataGenerator
+from repro.distributed.mp import (
+    CommProfile,
+    HybridRunConfig,
+    ShardPlan,
+    concat_batches,
+    predict_step_time,
+    run_hybrid,
+    run_hybrid_serial,
+)
+from repro.runtime.runner import derive_seed
+
+
+def small_config(dtype: str = "float64", num_tables: int = 5) -> ModelConfig:
+    return ModelConfig(
+        name=f"mp-test-{dtype}",
+        num_dense=8,
+        tables=uniform_tables(num_tables, hash_size=64, dim=8, mean_lookups=2.0),
+        bottom_mlp=MLPSpec((16, 8)),
+        top_mlp=MLPSpec((16,)),
+        interaction=InteractionType.DOT,
+        compute_dtype=dtype,
+    )
+
+
+def assert_bit_identical(a, b) -> None:
+    assert a.per_rank_losses == b.per_rank_losses
+    assert a.losses == b.losses
+    assert a.dense_digest == b.dense_digest
+    assert a.table_digests == b.table_digests
+    assert a.state_digest() == b.state_digest()
+
+
+class TestOrderedDeterminism:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_two_workers_bitwise_vs_serial(self, dtype):
+        config = small_config(dtype)
+        run = HybridRunConfig(workers=2, steps=3, batch_size=32, seed=7)
+        assert_bit_identical(run_hybrid(config, run), run_hybrid_serial(config, run))
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_four_workers_bitwise_vs_serial(self, dtype):
+        config = small_config(dtype)
+        run = HybridRunConfig(workers=4, steps=2, batch_size=32, seed=3)
+        assert_bit_identical(run_hybrid(config, run), run_hybrid_serial(config, run))
+
+    def test_single_worker_degenerate(self):
+        config = small_config()
+        run = HybridRunConfig(workers=1, steps=2, batch_size=16)
+        assert_bit_identical(run_hybrid(config, run), run_hybrid_serial(config, run))
+
+    def test_seed_changes_trajectory(self):
+        config = small_config()
+        a = run_hybrid_serial(config, HybridRunConfig(workers=2, steps=2, batch_size=16, seed=0))
+        b = run_hybrid_serial(config, HybridRunConfig(workers=2, steps=2, batch_size=16, seed=1))
+        assert a.losses != b.losses
+
+
+class TestRingReduction:
+    def test_two_workers_ring_bitwise(self):
+        # two-term floating-point sums are order-insensitive, so even the
+        # rotated ring association matches the serial reference exactly
+        config = small_config()
+        run = HybridRunConfig(workers=2, steps=3, batch_size=32, reduction="ring")
+        assert_bit_identical(run_hybrid(config, run), run_hybrid_serial(config, run))
+
+    def test_four_workers_ring_tolerance(self):
+        # W > 2 rotates the per-chunk association: tolerance, not bitwise
+        config = small_config()
+        run = HybridRunConfig(workers=4, steps=3, batch_size=32, reduction="ring")
+        got = run_hybrid(config, run)
+        ref = run_hybrid_serial(config, run)
+        np.testing.assert_allclose(got.losses, ref.losses, rtol=1e-9, atol=1e-12)
+
+
+class TestAgainstPlainTrainer:
+    def test_serial_reference_matches_full_batch_trainer(self):
+        """The serial reference IS a full-batch train loop, up to rounding.
+
+        Concatenating the per-rank sub-batches and running the plain
+        :class:`Trainer` accumulates gradients in a different association
+        (one backward over 32 rows vs. four over 8), so this is a
+        tolerance check — it anchors the hybrid contract to the code path
+        everything else in the repo uses.
+        """
+        config = small_config("float64")
+        run = HybridRunConfig(workers=4, steps=3, batch_size=32, seed=5)
+        ref = run_hybrid_serial(config, run)
+
+        gens = [
+            SyntheticDataGenerator(config, rng=derive_seed(run.seed, "data", r))
+            for r in range(run.workers)
+        ]
+        rank_batches = [
+            [g.batch(run.local_batch) for _ in range(run.steps)] for g in gens
+        ]
+        model = DLRM(config, rng=derive_seed(run.seed, "model"))
+        trainer = Trainer(
+            model,
+            lambda m: Adagrad(
+                m.dense_parameters(), m.embedding_tables(), lr=run.lr,
+                backend=m.backend,
+            ),
+        )
+        losses = [
+            trainer.train_step(concat_batches([rank_batches[r][s] for r in range(run.workers)]))
+            for s in range(run.steps)
+        ]
+        np.testing.assert_allclose(losses, ref.losses, rtol=1e-9, atol=1e-12)
+
+    def test_concat_batches_shapes(self):
+        config = small_config()
+        gen = SyntheticDataGenerator(config, rng=0)
+        parts = [gen.batch(4) for _ in range(3)]
+        whole = concat_batches(parts)
+        assert whole.dense.shape == (12, config.num_dense)
+        assert whole.labels.shape == (12,)
+        for t in config.tables:
+            ragged = whole.sparse[t.name]
+            assert ragged.offsets.shape == (13,)
+            assert ragged.offsets[-1] == sum(p.sparse[t.name].values.size for p in parts)
+
+
+class TestValidation:
+    def test_indivisible_batch_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            HybridRunConfig(workers=3, batch_size=32)
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(ValueError, match="reduction"):
+            HybridRunConfig(reduction="tree")
+
+
+class TestShardPlan:
+    def test_every_table_owned_once(self):
+        config = small_config(num_tables=7)
+        plan = ShardPlan.greedy(config, world=3)
+        owned = [n for r in range(3) for n in plan.owned(r)]
+        assert sorted(owned) == sorted(t.name for t in config.tables)
+
+    def test_greedy_balances_bytes(self):
+        config = ModelConfig(
+            name="mp-skew",
+            num_dense=4,
+            tables=uniform_tables(2, hash_size=1000, dim=8)
+            + uniform_tables(4, hash_size=50, dim=8, prefix="small"),
+            bottom_mlp=MLPSpec((8,)),
+            top_mlp=MLPSpec((8,)),
+            interaction=InteractionType.DOT,
+        )
+        plan = ShardPlan.greedy(config, world=2)
+        sizes = plan.owner_bytes(config)
+        # largest-first greedy puts one big table on each rank
+        assert max(sizes) < 2 * min(sizes)
+
+
+class TestPredictor:
+    def test_predicted_components_positive(self):
+        config = small_config()
+        comm = CommProfile(
+            latency_s=10e-6, bandwidth_bps=4e9, barrier_s=30e-6,
+            hop_overhead_s=80e-6, frame_fixed_s=50e-6, frame_byte_s=2e-10,
+        )
+        pred = predict_step_time(
+            config, world=4, local_batch=64, sub_batch_step_s=2e-3,
+            comm=comm, cores=1,
+        )
+        assert pred.total_s > pred.compute_s > 0
+        assert pred.dense_comm_s > 0 and pred.sparse_comm_s > 0
+
+    def test_oversubscription_serializes_compute(self):
+        # with one core, four workers' compute time-shares: predicted
+        # step must be at least ~4x the sub-batch compute
+        config = small_config()
+        comm = CommProfile(latency_s=10e-6, bandwidth_bps=4e9, barrier_s=30e-6)
+        pred = predict_step_time(
+            config, world=4, local_batch=64, sub_batch_step_s=2e-3,
+            comm=comm, cores=1,
+        )
+        assert pred.compute_s >= 4 * 2e-3
+
+    def test_dedicated_cores_overlap_credit(self):
+        config = small_config()
+        comm = CommProfile(latency_s=10e-6, bandwidth_bps=4e9, barrier_s=30e-6)
+        cramped = predict_step_time(
+            config, world=4, local_batch=64, sub_batch_step_s=2e-3,
+            comm=comm, cores=4,
+        )
+        roomy = predict_step_time(
+            config, world=4, local_batch=64, sub_batch_step_s=2e-3,
+            comm=comm, cores=8,
+        )
+        assert roomy.overlap_credit_s > 0
+        assert roomy.total_s <= cramped.total_s
