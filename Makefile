@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test conformance bench bench-backends bench-backends-baseline mp-smoke mp-scaling figures examples all clean
+.PHONY: install test conformance bench bench-backends bench-backends-baseline mp-smoke mp-scaling mp-faults figures examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -31,6 +31,11 @@ mp-smoke:
 # Measured multi-process scaling curve vs the simulator's prediction.
 mp-scaling:
 	PYTHONPATH=src $(PYTHON) -m repro mp scaling --workers 1,2,4 --steps 8 --reps 2
+
+# SIGKILL one rank mid-run, restart from the sharded checkpoint, gate on
+# bit-identity vs the uninterrupted reference.
+mp-faults:
+	PYTHONPATH=src $(PYTHON) -m repro mp faults --steps 6 --batch 64 --kill-step 3 --checkpoint-every 2
 
 figures:
 	$(PYTHON) -m repro figures

@@ -516,7 +516,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 #: ``repro mp <action>`` choices.
-MP_ACTIONS = ("train", "scaling")
+MP_ACTIONS = ("train", "scaling", "faults")
 
 
 def _cmd_mp(args: argparse.Namespace) -> int:
@@ -524,6 +524,34 @@ def _cmd_mp(args: argparse.Namespace) -> int:
 
     from .distributed.mp import HybridRunConfig, run_hybrid, run_hybrid_serial
     from .experiments import ext_mp_scaling
+
+    if args.action == "faults":
+        from .experiments import ext_mp_faults
+
+        result = ext_mp_faults.run(
+            workers=args.workers_n,
+            steps=args.steps,
+            batch_size=args.batch,
+            checkpoint_every=args.checkpoint_every or 2,
+            kill_rank=args.kill_rank,
+            kill_step=args.kill_step,
+            kill_phase=args.kill_phase,
+            restarts=args.restarts,
+            seed=args.seed,
+            dtype=args.dtype,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        if args.json:
+            print(json.dumps(vars(result) | {
+                "bitwise_identical": result.bitwise_identical,
+            }, indent=2))
+        else:
+            print(ext_mp_faults.render(result))
+        if not result.bitwise_identical:
+            print("error: restarted run diverged from the uninterrupted "
+                  "reference", file=sys.stderr)
+            return 1
+        return 0
 
     if args.action == "scaling":
         worker_counts = tuple(int(w) for w in args.workers.split(","))
@@ -555,15 +583,36 @@ def _cmd_mp(args: argparse.Namespace) -> int:
         print("model too large for a CLI mp demo; use a test:<...> spec",
               file=sys.stderr)
         return 2
-    run_cfg = HybridRunConfig(
-        workers=args.workers_n,
-        steps=args.steps,
-        batch_size=args.batch,
-        lr=args.lr,
-        seed=args.seed,
-        reduction=args.reduction,
-    )
-    result = run_hybrid(config, run_cfg)
+    import contextlib
+    import tempfile
+
+    ft = None
+    with contextlib.ExitStack() as stack:
+        ckpt_dir = args.checkpoint_dir
+        if args.checkpoint_every and ckpt_dir is None:
+            ckpt_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-mp-ckpt-")
+            )
+        run_cfg = HybridRunConfig(
+            workers=args.workers_n,
+            steps=args.steps,
+            batch_size=args.batch,
+            lr=args.lr,
+            seed=args.seed,
+            reduction=args.reduction,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=ckpt_dir,
+        )
+        if args.checkpoint_every:
+            from .distributed.mp import RestartPolicy, run_hybrid_ft
+
+            ft = run_hybrid_ft(
+                config, run_cfg,
+                policy=RestartPolicy(max_restarts=args.restarts),
+            )
+            result = ft.result
+        else:
+            result = run_hybrid(config, run_cfg)
     verified = None
     if args.verify:
         ref = run_hybrid_serial(config, run_cfg)
@@ -590,6 +639,8 @@ def _cmd_mp(args: argparse.Namespace) -> int:
             "state_digest": result.state_digest(),
             "owner_bytes": result.plan.owner_bytes(config) if result.plan else [],
             "verified_bitwise": verified,
+            "checkpoints": result.checkpoints,
+            "restarts_used": ft.restarts_used if ft is not None else 0,
         }, indent=2))
         return 0
     losses = ", ".join(f"{v:.4f}" for v in result.losses[:8])
@@ -606,6 +657,10 @@ def _cmd_mp(args: argparse.Namespace) -> int:
     if result.plan is not None:
         mb = [f"{b / 1e6:.1f}MB" for b in result.plan.owner_bytes(config)]
         print(f"shard balance: {' / '.join(mb)}")
+    if result.checkpoints:
+        steps = ", ".join(str(s) for s, _ in result.checkpoints)
+        print(f"checkpoints committed at steps: {steps}"
+              + (f" (restarts used: {ft.restarts_used})" if ft else ""))
     if verified is not None:
         print(f"verified vs serial reference: "
               f"{'bit-identical' if verified else 'tolerance (ring mode)'}")
@@ -747,6 +802,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="train: also run the serial reference and compare")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   dest="checkpoint_every",
+                   help="write a sharded checkpoint every N global steps "
+                        "(train/faults; enables elastic restart)")
+    p.add_argument("--checkpoint-dir", default=None, dest="checkpoint_dir",
+                   help="where checkpoints live (default: a temp dir)")
+    p.add_argument("--restarts", type=int, default=1,
+                   help="worker-set respawns permitted after a crash "
+                        "(default 1)")
+    p.add_argument("--kill-rank", type=int, default=1, dest="kill_rank",
+                   help="faults: rank to SIGKILL (default 1)")
+    p.add_argument("--kill-step", type=int, default=5, dest="kill_step",
+                   help="faults: global step to kill at (default 5)")
+    p.add_argument("--kill-phase", default="loss", dest="kill_phase",
+                   choices=["loss", "allreduce", "checkpoint"],
+                   help="faults: where inside the step the kill lands")
+    p.add_argument("--dtype", default="float64",
+                   choices=["float64", "float32"],
+                   help="faults: compute dtype for the bit-identity gate")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_mp)
 

@@ -16,9 +16,24 @@ from .allreduce import (
     tree_sum,
 )
 from .channels import Channel, ChannelClosed, exchange_frames, transfer
+from .ckpt import (
+    Manifest,
+    ResumeState,
+    build_resume,
+    latest_valid_manifest,
+    load_manifest,
+)
+from .ft import (
+    CrashRecord,
+    FtResult,
+    RestartPolicy,
+    kills_from_plan,
+    run_hybrid_ft,
+)
 from .hybrid import (
     HybridResult,
     HybridRunConfig,
+    KillSpec,
     WorkerCrashError,
     concat_batches,
     run_hybrid,
@@ -26,20 +41,33 @@ from .hybrid import (
 )
 from .predict import CommProfile, StepPrediction, predict_step_time, probe_comm
 from .shards import ShardPlan, TableShards
+from .timeouts import MpTimeouts, get_timeouts, set_timeouts
 
 __all__ = [
     "Channel",
     "ChannelClosed",
     "CommProfile",
+    "CrashRecord",
+    "FtResult",
     "GradReducer",
     "HybridResult",
     "HybridRunConfig",
+    "KillSpec",
+    "Manifest",
+    "MpTimeouts",
+    "RestartPolicy",
+    "ResumeState",
     "ShardPlan",
     "StepPrediction",
     "TableShards",
     "WorkerCrashError",
+    "build_resume",
     "concat_batches",
     "exchange_frames",
+    "get_timeouts",
+    "kills_from_plan",
+    "latest_valid_manifest",
+    "load_manifest",
     "ordered_allreduce",
     "ordered_sum",
     "predict_step_time",
@@ -48,7 +76,9 @@ __all__ = [
     "ring_chunks",
     "ring_ordered_sum",
     "run_hybrid",
+    "run_hybrid_ft",
     "run_hybrid_serial",
+    "set_timeouts",
     "transfer",
     "tree_sum",
 ]

@@ -33,7 +33,8 @@ import threading
 
 import numpy as np
 
-from .channels import Channel, transfer
+from .channels import Channel, ChannelClosed, transfer
+from .timeouts import get_timeouts
 
 __all__ = [
     "tree_sum",
@@ -239,18 +240,20 @@ class GradReducer:
         if self._thread is None:
             return
         self._queue.put(_SHUTDOWN)
-        self._thread.join(timeout=30.0)
+        self._thread.join(timeout=get_timeouts().join_s)
         self._thread = None
 
     def _run(self) -> None:
         import time
 
         pack = np.empty(0, dtype=self._scratch.dtype)
+        bucket_id = -1
         while True:
             item = self._queue.get()
             try:
                 if item is _SHUTDOWN:
                     return
+                bucket_id += 1
                 t0 = time.perf_counter()
                 # Pack the bucket's arrays into one contiguous buffer so the
                 # whole bucket costs one allreduce (2(W-1) hops) instead of
@@ -281,6 +284,18 @@ class GradReducer:
                         a.reshape(-1)[...] = buf[off : off + a.size]
                         off += a.size
                 self.comm_seconds += time.perf_counter() - t0
+            except ChannelClosed as err:
+                # A peer died mid-reduction: name it and the in-flight
+                # bucket, so attribution from inside an allreduce matches
+                # the parent's exitcode-based attribution.
+                self._errors.append(
+                    ChannelClosed(
+                        f"allreduce bucket {bucket_id} on rank {self.rank} "
+                        f"aborted: {err}",
+                        peer=err.peer,
+                        bucket=bucket_id,
+                    )
+                )
             except BaseException as err:  # noqa: BLE001 - surfaced via flush()
                 self._errors.append(err)
             finally:

@@ -28,14 +28,42 @@ _LEN = struct.Struct("<Q")
 
 
 class ChannelClosed(ConnectionError):
-    """The peer closed its end (normally because its process died)."""
+    """The peer closed its end (normally because its process died).
+
+    ``peer`` carries the remote rank when the channel was tagged at fabric
+    construction, and ``bucket`` the in-flight allreduce bucket id when the
+    close surfaced inside a :class:`~repro.distributed.mp.allreduce.GradReducer`
+    — together they let crash attribution from inside a reduction name the
+    same casualty the parent's exitcode scan does.
+    """
+
+    def __init__(
+        self,
+        message: str = "peer closed",
+        peer: int | None = None,
+        bucket: int | None = None,
+    ) -> None:
+        detail = message
+        if peer is not None:
+            detail += f" (peer rank {peer})"
+        if bucket is not None:
+            detail += f" (bucket {bucket})"
+        super().__init__(detail)
+        self.peer = peer
+        self.bucket = bucket
 
 
 class Channel:
-    """One full-duplex byte channel between exactly two processes."""
+    """One full-duplex byte channel between exactly two processes.
 
-    def __init__(self, sock: socket.socket) -> None:
+    ``peer`` is an optional rank tag set by whoever wires channels into a
+    topology; it flows into every :class:`ChannelClosed` this endpoint
+    raises so errors can name the dead neighbor.
+    """
+
+    def __init__(self, sock: socket.socket, peer: int | None = None) -> None:
         self.sock = sock
+        self.peer = peer
 
     @classmethod
     def pair(cls) -> tuple["Channel", "Channel"]:
@@ -74,7 +102,7 @@ class Channel:
         while got < len(view):
             n = self.sock.recv_into(view[got:])
             if n == 0:
-                raise ChannelClosed("peer closed during recv")
+                raise ChannelClosed("peer closed during recv", peer=self.peer)
             got += n
 
     def _recv_exact(self, n: int) -> bytearray:
@@ -84,7 +112,7 @@ class Channel:
         while got < n:
             k = self.sock.recv_into(view[got:])
             if k == 0:
-                raise ChannelClosed("peer closed during recv")
+                raise ChannelClosed("peer closed during recv", peer=self.peer)
             got += k
         return buf
 
@@ -115,7 +143,9 @@ class _RecvState:
     def pump(self) -> None:
         n = self.channel.sock.recv_into(self.view[self.got :])
         if n == 0:
-            raise ChannelClosed("peer closed during transfer")
+            raise ChannelClosed(
+                "peer closed during transfer", peer=self.channel.peer
+            )
         self.got += n
         self.done = self.got == len(self.view)
 

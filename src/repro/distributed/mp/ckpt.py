@@ -1,0 +1,306 @@
+"""Crash-safe sharded checkpoints for the hybrid-parallel trainer.
+
+Each rank persists exactly the state it owns — its ``TableShards``
+segments (weights **and** Adagrad accumulators) plus, on rank 0, one copy
+of the replicated dense parameters and their optimizer state — to a
+per-rank ``.npz`` file.  Rank 0 then commits a JSON **manifest** naming
+every shard file and its sha256.  Both writes are atomic (write a temp
+file, ``os.replace`` onto the final name), so a crash at any instant
+leaves either the previous complete checkpoint or the new complete
+checkpoint, never a torn one:
+
+* a shard temp that never renamed is invisible to :func:`latest_valid_manifest`;
+* a manifest temp that never renamed leaves the previous manifest current;
+* a manifest naming a shard whose content doesn't hash to the recorded
+  sha256 (or is missing) is rejected and restore falls back to the
+  previous step's manifest.
+
+Restore is **bit-exact**: weights, accumulators, dense replica and the
+per-rank loss histories all round-trip through ``.npz`` byte-for-byte
+(pinned by the hypothesis suite in ``tests/test_mp_ft.py``), which is
+what extends PR 3's kill-and-restore bit-identity contract to real
+processes.
+
+File layout under ``checkpoint_dir``::
+
+    shard-r<rank>-s<step>.npz   # per-rank state after <step> global steps
+    manifest-s<step>.json       # commit record, written last, rank 0 only
+
+This module is deliberately independent of :mod:`.hybrid` (no circular
+import): it knows about arrays and files, not about workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "Manifest",
+    "ResumeState",
+    "ShardEntry",
+    "shard_filename",
+    "manifest_filename",
+    "save_shard_file",
+    "load_shard_file",
+    "write_manifest",
+    "load_manifest",
+    "latest_valid_manifest",
+    "build_resume",
+]
+
+MANIFEST_VERSION = 1
+
+_MANIFEST_RE = re.compile(r"^manifest-s(\d+)\.json$")
+
+
+def shard_filename(rank: int, step: int) -> str:
+    return f"shard-r{rank}-s{step}.npz"
+
+
+def manifest_filename(step: int) -> str:
+    return f"manifest-s{step}.json"
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One rank's contribution to a committed checkpoint."""
+
+    rank: int
+    file: str
+    sha256: str
+    tables: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """A committed checkpoint: the rank-0 record naming every shard."""
+
+    step: int
+    world: int
+    total_steps: int
+    batch_size: int
+    seed: int
+    reduction: str
+    dtype: str
+    shards: tuple[ShardEntry, ...]
+    path: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": "repro-mp-checkpoint",
+                "version": MANIFEST_VERSION,
+                "step": self.step,
+                "world": self.world,
+                "total_steps": self.total_steps,
+                "batch_size": self.batch_size,
+                "seed": self.seed,
+                "reduction": self.reduction,
+                "dtype": self.dtype,
+                "shards": [
+                    {
+                        "rank": e.rank,
+                        "file": e.file,
+                        "sha256": e.sha256,
+                        "tables": list(e.tables),
+                    }
+                    for e in self.shards
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str, path: str = "") -> "Manifest":
+        doc = json.loads(text)
+        if doc.get("format") != "repro-mp-checkpoint":
+            raise ValueError(f"not an mp checkpoint manifest: {path or text[:40]!r}")
+        if doc.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {doc.get('version')!r} in {path}"
+            )
+        return cls(
+            step=int(doc["step"]),
+            world=int(doc["world"]),
+            total_steps=int(doc["total_steps"]),
+            batch_size=int(doc["batch_size"]),
+            seed=int(doc["seed"]),
+            reduction=str(doc["reduction"]),
+            dtype=str(doc["dtype"]),
+            shards=tuple(
+                ShardEntry(
+                    rank=int(e["rank"]),
+                    file=str(e["file"]),
+                    sha256=str(e["sha256"]),
+                    tables=tuple(e["tables"]),
+                )
+                for e in doc["shards"]
+            ),
+            path=path,
+        )
+
+
+@dataclass
+class ResumeState:
+    """Everything a fresh worker set needs to continue from step ``step``.
+
+    Arrays are plain in-process ndarrays (the parent loads them, forked
+    children inherit them); the run loop re-generates the batch streams
+    and slices off the first ``step`` batches, so data order is identical
+    to the uninterrupted run.
+    """
+
+    step: int
+    dense: list[np.ndarray] = field(default_factory=list)
+    opt_dense: list[np.ndarray] = field(default_factory=list)
+    table_weights: dict[str, np.ndarray] = field(default_factory=dict)
+    table_accums: dict[str, np.ndarray] = field(default_factory=dict)
+    per_rank_losses: list[list[float]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# atomic file IO
+# ---------------------------------------------------------------------------
+
+
+def _atomic_write(
+    path: pathlib.Path, data: bytes, kill_hook: Callable[[], None] | None = None
+) -> None:
+    """Write-temp + rename.  ``kill_hook`` (tests only) fires between the
+    two — the window the atomicity contract must survive."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if kill_hook is not None:
+        kill_hook()
+    os.replace(tmp, path)
+
+
+def save_shard_file(
+    path: str | pathlib.Path,
+    arrays: dict[str, np.ndarray],
+    kill_hook: Callable[[], None] | None = None,
+) -> str:
+    """Atomically persist ``arrays`` as ``.npz``; returns the file's sha256."""
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    data = buf.getvalue()
+    _atomic_write(pathlib.Path(path), data, kill_hook)
+    return hashlib.sha256(data).hexdigest()
+
+
+def load_shard_file(path: str | pathlib.Path) -> dict[str, np.ndarray]:
+    """Load a shard file back into plain in-memory arrays (bit-exact)."""
+    with np.load(path) as npz:
+        return {key: np.array(npz[key]) for key in npz.files}
+
+
+def _file_sha256(path: pathlib.Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# manifests
+# ---------------------------------------------------------------------------
+
+
+def write_manifest(
+    directory: str | pathlib.Path,
+    manifest: Manifest,
+    kill_hook: Callable[[], None] | None = None,
+) -> pathlib.Path:
+    """Atomically commit ``manifest`` under its step-derived filename."""
+    directory = pathlib.Path(directory)
+    path = directory / manifest_filename(manifest.step)
+    _atomic_write(path, manifest.to_json().encode(), kill_hook)
+    return path
+
+
+def load_manifest(path: str | pathlib.Path) -> Manifest:
+    path = pathlib.Path(path)
+    return Manifest.from_json(path.read_text(), path=str(path))
+
+
+def _manifest_steps(directory: pathlib.Path) -> list[int]:
+    steps = []
+    for p in directory.iterdir():
+        m = _MANIFEST_RE.match(p.name)
+        if m:
+            steps.append(int(m.group(1)))
+    return sorted(steps)
+
+
+def latest_valid_manifest(
+    directory: str | pathlib.Path, world: int | None = None
+) -> Manifest | None:
+    """Newest manifest whose every shard file exists and hashes correctly.
+
+    Scans step-descending and *falls back* past torn or corrupt commits —
+    a manifest written but pointing at a half-written (never-renamed, so
+    missing) shard, a shard whose bytes don't match the recorded sha256,
+    or a world size mismatching the restarting run are all skipped.
+    Returns ``None`` when no usable checkpoint exists (restart from
+    scratch).
+    """
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return None
+    for step in reversed(_manifest_steps(directory)):
+        try:
+            manifest = load_manifest(directory / manifest_filename(step))
+        except (ValueError, OSError, json.JSONDecodeError):
+            continue
+        if world is not None and manifest.world != world:
+            continue
+        if len(manifest.shards) != manifest.world:
+            continue
+        ok = True
+        for entry in manifest.shards:
+            shard_path = directory / entry.file
+            if not shard_path.is_file() or _file_sha256(shard_path) != entry.sha256:
+                ok = False
+                break
+        if ok:
+            return manifest
+    return None
+
+
+def build_resume(manifest: Manifest, directory: str | pathlib.Path) -> ResumeState:
+    """Materialize a :class:`ResumeState` from a verified manifest."""
+    directory = pathlib.Path(directory)
+    state = ResumeState(step=manifest.step)
+    state.per_rank_losses = [[] for _ in range(manifest.world)]
+    dense: dict[int, np.ndarray] = {}
+    opt_dense: dict[int, np.ndarray] = {}
+    for entry in sorted(manifest.shards, key=lambda e: e.rank):
+        arrays = load_shard_file(directory / entry.file)
+        for key, value in arrays.items():
+            if key == "losses":
+                state.per_rank_losses[entry.rank] = [float(x) for x in value]
+            elif key.startswith("weight/"):
+                state.table_weights[key.split("/", 1)[1]] = value
+            elif key.startswith("accum/"):
+                state.table_accums[key.split("/", 1)[1]] = value
+            elif key.startswith("dense/"):
+                dense[int(key.split("/", 1)[1])] = value
+            elif key.startswith("opt_dense/"):
+                opt_dense[int(key.split("/", 1)[1])] = value
+    state.dense = [dense[i] for i in sorted(dense)]
+    state.opt_dense = [opt_dense[i] for i in sorted(opt_dense)]
+    return state

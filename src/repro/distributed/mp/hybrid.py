@@ -21,6 +21,16 @@ the single-process trainer walking the same fixed partition and seeded
 per-rank data split, in float64 *and* float32.  Against a plain
 full-batch serial trainer the match is tolerance-bounded (chunked
 sub-batch GEMMs sum in a different order than one full-batch GEMM).
+
+Fault tolerance (``tests/test_mp_ft.py``): with ``checkpoint_every`` set,
+each rank writes its owned shards (plus rank 0's dense replica) to
+per-rank files and rank 0 atomically commits a manifest (:mod:`.ckpt`);
+a run resumed from that manifest (``resume=``) extends the bit-identity
+contract across a real SIGKILL.  On any worker death the parent poisons
+the survivors over dedicated control channels; a watcher thread in each
+worker aborts the step barrier and shuts down the data sockets, so
+survivors **drain** within ``drain_timeout_s`` instead of hanging out
+``collect_timeout_s``.  :mod:`.ft` builds capped elastic restarts on top.
 """
 
 from __future__ import annotations
@@ -28,9 +38,14 @@ from __future__ import annotations
 import hashlib
 import multiprocessing as mp
 import os
+import pathlib
 import pickle
+import signal
+import socket
+import threading
 import time
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 
 import numpy as np
 
@@ -42,13 +57,16 @@ from ...core.mlp import Linear
 from ...data import SyntheticDataGenerator
 from ...obs.tracer import NULL_TRACER
 from ...runtime.runner import derive_seed
+from . import ckpt
 from .allreduce import GradReducer
 from .channels import Channel, exchange_frames
 from .shards import ShardPlan, TableShards
+from .timeouts import get_timeouts
 
 __all__ = [
     "HybridRunConfig",
     "HybridResult",
+    "KillSpec",
     "WorkerCrashError",
     "run_hybrid",
     "run_hybrid_serial",
@@ -56,7 +74,12 @@ __all__ = [
 ]
 
 _PHASES = ("forward", "loss", "backward", "sparse_exchange", "dense_wait",
-           "optimizer", "barrier")
+           "optimizer", "checkpoint", "barrier")
+
+#: What a worker's main thread treats as "a peer is gone — drain":
+#: channel EOFs (ChannelClosed is a ConnectionError), socket errors from
+#: the watcher's shutdown, and the aborted step barrier.
+_DRAIN_EXC = (ConnectionError, OSError, threading.BrokenBarrierError)
 
 
 @dataclass(frozen=True)
@@ -66,6 +89,12 @@ class HybridRunConfig:
     ``batch_size`` is the *global* batch; each worker trains on
     ``batch_size // workers`` examples per step from its own seeded
     stream (``derive_seed(seed, "data", rank)``).
+
+    ``checkpoint_every`` > 0 writes a sharded checkpoint after every N
+    global steps into ``checkpoint_dir`` (required then); on a worker
+    death, survivors are poisoned and must drain within
+    ``drain_timeout_s`` — ``collect_timeout_s`` remains only the
+    no-progress backstop.
     """
 
     workers: int = 2
@@ -77,6 +106,9 @@ class HybridRunConfig:
     warmup_steps: int = 1
     barrier_timeout_s: float = 120.0
     collect_timeout_s: float = 600.0
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+    drain_timeout_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -90,10 +122,64 @@ class HybridRunConfig:
             )
         if self.reduction not in ("ordered", "ring"):
             raise ValueError(f"unknown reduction {self.reduction!r}")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_every and not self.checkpoint_dir:
+            raise ValueError("checkpoint_every > 0 requires checkpoint_dir")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
 
     @property
     def local_batch(self) -> int:
         return self.batch_size // self.workers
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """One injected real-process death for the fault harness.
+
+    ``rank`` dies during global step ``step`` at ``phase``:
+
+    * ``"loss"`` — right after the loss forward (the legacy ``_crash``
+      injection point; no rank has applied the step yet);
+    * ``"allreduce"`` — right after submitting the first dense gradient
+      bucket, so peers observe the death *inside* the ring protocol;
+    * ``"checkpoint"`` — between a checkpoint file's temp-write and its
+      rename (rank 0: the manifest; others: their shard file) — the torn-
+      commit window the atomicity contract must survive.
+
+    ``action`` is a real ``SIGKILL`` (no atexit, no finally) or an
+    ``os._exit(exit_code)``.  ``attempt`` scopes the kill to one restart
+    attempt (0 = the first run), so an elastic restart does not
+    re-trigger it.
+    """
+
+    rank: int
+    step: int
+    phase: str = "loss"
+    action: str = "sigkill"
+    exit_code: int = 41
+    attempt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.step < 0:
+            raise ValueError(f"step must be >= 0, got {self.step}")
+        if self.phase not in ("loss", "allreduce", "checkpoint"):
+            raise ValueError(f"unknown kill phase {self.phase!r}")
+        if self.action not in ("sigkill", "exit"):
+            raise ValueError(f"unknown kill action {self.action!r}")
+        if self.attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
+
+
+def _execute_kill(spec: KillSpec) -> None:
+    if spec.action == "exit":
+        os._exit(spec.exit_code)
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 @dataclass
@@ -127,6 +213,10 @@ class HybridResult:
     table_digests: dict[str, str]  # sha256 over each embedding shard
     plan: ShardPlan | None = None
     per_rank_phase_s: list[dict[str, float]] = field(default_factory=list)
+    #: committed checkpoints as ``(global step, max write seconds)``.
+    checkpoints: list[tuple[int, float]] = field(default_factory=list)
+    #: global step this run resumed from (0 = trained from scratch).
+    resumed_from: int = 0
 
     def state_digest(self) -> str:
         """One digest over all trained state (dense replica + shards)."""
@@ -141,8 +231,11 @@ class WorkerCrashError(RuntimeError):
     """A worker process died before delivering its report.
 
     ``rank``/``exitcode`` identify the primary casualty; ``dead`` lists
-    every rank that died (peers of a crashed worker typically die
-    secondarily from the broken channel).
+    every rank that died abnormally.  With the drain protocol, peers of a
+    crashed worker normally exit 0 after filing a drain report —
+    ``drained`` names them, ``progress`` maps every rank to its completed
+    global steps, ``checkpoints`` lists the checkpoints committed before
+    the crash, and ``drain_s`` is the measured detection-to-quiet time.
     """
 
     def __init__(
@@ -150,6 +243,11 @@ class WorkerCrashError(RuntimeError):
         rank: int,
         exitcode: int | None,
         dead: list[tuple[int, int | None]] | None = None,
+        *,
+        progress: dict[int, int] | None = None,
+        drained: list[int] | None = None,
+        checkpoints: list[tuple[int, float]] | None = None,
+        drain_s: float = 0.0,
     ) -> None:
         dead = dead or [(rank, exitcode)]
         super().__init__(
@@ -159,6 +257,10 @@ class WorkerCrashError(RuntimeError):
         self.rank = rank
         self.exitcode = exitcode
         self.dead = dead
+        self.progress = dict(progress or {})
+        self.drained = list(drained or [])
+        self.checkpoints = list(checkpoints or [])
+        self.drain_s = drain_s
 
 
 # ---------------------------------------------------------------------------
@@ -167,12 +269,16 @@ class WorkerCrashError(RuntimeError):
 
 
 class _Fabric:
-    """Ring + mesh channels and result pipes for ``world`` workers.
+    """Ring + mesh + control channels and result pipes for ``world`` workers.
 
     Built in the parent before ``fork``; each child calls :meth:`isolate`
     to close every endpoint it does not own, and the parent calls
     :meth:`close_parent_side` right after spawning — so a dead worker's
     peers see EOF instead of hanging on a socket the parent still holds.
+    The parent keeps one control channel per worker open for the lifetime
+    of the run: :meth:`poison` sends the drain frame on it when a
+    casualty is detected.  Ring and mesh endpoints are tagged with their
+    peer rank so channel errors can name the dead neighbor.
     """
 
     def __init__(self, world: int, ctx) -> None:
@@ -182,11 +288,19 @@ class _Fabric:
         self.ring_pairs = (
             [Channel.pair() for _ in range(world)] if world > 1 else []
         )
+        for i, (right_end, left_end) in enumerate(self.ring_pairs):
+            right_end.peer = (i + 1) % world
+            left_end.peer = i
         self.mesh_pairs = {
             (i, j): Channel.pair()
             for i in range(world)
             for j in range(i + 1, world)
         }
+        for (i, j), (a, b) in self.mesh_pairs.items():
+            a.peer = j
+            b.peer = i
+        # ctrl_pairs[r]: (parent end, worker end) — the poison path.
+        self.ctrl_pairs = [Channel.pair() for _ in range(world)]
         self.pipes = [ctx.Pipe(duplex=False) for _ in range(world)]
 
     def right(self, rank: int) -> Channel | None:
@@ -203,6 +317,17 @@ class _Fabric:
             elif j == rank:
                 out[i] = b
         return out
+
+    def ctrl(self, rank: int) -> Channel:
+        """The worker-side control endpoint (drain frames arrive here)."""
+        return self.ctrl_pairs[rank][1]
+
+    def poison(self, rank: int) -> None:
+        """Tell ``rank`` (from the parent) to abort its barrier and drain."""
+        try:
+            self.ctrl_pairs[rank][0].send_bytes(b"drain")
+        except OSError:
+            pass  # already dead — nothing to poison
 
     def parent_conn(self, rank: int):
         return self.pipes[rank][0]
@@ -228,20 +353,29 @@ class _Fabric:
         for ch in self._all_channels():
             if ch not in owned:
                 ch.close()
+        for r, (parent_end, worker_end) in enumerate(self.ctrl_pairs):
+            parent_end.close()
+            if r != rank:
+                worker_end.close()
         for r, (parent_end, child_end) in enumerate(self.pipes):
             parent_end.close()
             if r != rank:
                 child_end.close()
 
     def close_parent_side(self) -> None:
-        """Close (in the parent) all channels and the children's pipe ends."""
+        """Close (in the parent) all data channels and the children's pipe
+        and control ends — but keep the parent control ends for poison."""
         for ch in self._all_channels():
             ch.close()
+        for _, worker_end in self.ctrl_pairs:
+            worker_end.close()
         for _, child_end in self.pipes:
             child_end.close()
 
     def close_all(self) -> None:
         self.close_parent_side()
+        for parent_end, _ in self.ctrl_pairs:
+            parent_end.close()
         for parent_end, _ in self.pipes:
             try:
                 parent_end.close()
@@ -371,6 +505,30 @@ def _exchange_sparse(
     return merged
 
 
+def _watch_ctrl(ctrl: Channel, barrier, channels, finished, draining) -> None:
+    """Worker watcher thread: block on the control channel; on a poison
+    frame (or parent death), abort the step barrier and shut down every
+    data socket so the main thread unwedges wherever it is blocked."""
+    try:
+        ctrl.recv_bytes()
+    except (ConnectionError, OSError):
+        pass  # parent closed the channel (run over) or died
+    if finished.is_set():
+        return
+    draining.set()
+    try:
+        barrier.abort()
+    except Exception:  # pragma: no cover - barrier already broken
+        pass
+    for ch in channels:
+        if ch is None:
+            continue
+        try:
+            ch.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+
 def _worker_main(
     rank: int,
     world: int,
@@ -381,8 +539,11 @@ def _worker_main(
     fabric: _Fabric,
     barrier,
     crash: tuple[int, int] | None,
+    kills: list[KillSpec] | None = None,
+    resume: ckpt.ResumeState | None = None,
 ) -> None:
     conn = fabric.child_conn(rank)
+    ctrl = fabric.ctrl(rank)
     fabric.isolate(rank)
     model, loss_fn = _build_replica(config, run)
     # Zero-copy shard adoption: every rank reads all tables straight out of
@@ -399,8 +560,23 @@ def _worker_main(
     for i, name in enumerate(owned):
         optimizer.adopt_table_state(i, shards.view(name, "accum"))
 
+    start = 0
+    loss_prefix: list[float] = []
+    if resume is not None:
+        # Shard weights/accums were seeded by the parent when it created
+        # the shared segments; the replicated dense state is overwritten
+        # here, bit-exactly, on every rank.
+        start = resume.step
+        loss_prefix = list(resume.per_rank_losses[rank])
+        for p, value in zip(model.dense_parameters(), resume.dense):
+            p.value[...] = value
+        for slot, value in zip(optimizer._dense_state, resume.opt_dense):
+            slot[...] = value
+
     gen = SyntheticDataGenerator(config, rng=derive_seed(run.seed, "data", rank))
-    batches = [gen.batch(run.local_batch) for _ in range(run.steps)]
+    # Generate the full stream and skip the replayed prefix, so data order
+    # is identical to the uninterrupted run (the PR 3 restore contract).
+    batches = [gen.batch(run.local_batch) for _ in range(run.steps)][start:]
 
     max_elems = sum(p.grad.size for p in model.dense_parameters())
     reducer = GradReducer(
@@ -409,10 +585,25 @@ def _worker_main(
     )
     mesh = fabric.mesh(rank)
     table_names = [t.name for t in config.tables]
+    my_kills = {
+        (k.step, k.phase): k for k in (kills or []) if k.rank == rank
+    }
+    ckpt_dir = pathlib.Path(run.checkpoint_dir) if run.checkpoint_dir else None
     inv_world = 1.0 / world
     losses: list[float] = []
     step_s: list[float] = []
     phase_s = dict.fromkeys(_PHASES, 0.0)
+
+    finished = threading.Event()
+    draining = threading.Event()
+    data_channels = list(mesh.values()) + [fabric.left(rank), fabric.right(rank)]
+    watcher = threading.Thread(
+        target=_watch_ctrl,
+        args=(ctrl, barrier, data_channels, finished, draining),
+        name=f"mp-drain-watch-{rank}",
+        daemon=True,
+    )
+    watcher.start()
 
     def timed(phase: str, fn, *args):
         t0 = time.perf_counter()
@@ -420,23 +611,90 @@ def _worker_main(
         phase_s[phase] += time.perf_counter() - t0
         return out
 
+    def write_checkpoint(completed: int, kill_spec: KillSpec | None) -> None:
+        """Persist this rank's shard for ``completed`` global steps and,
+        on rank 0, gather digests and commit the manifest atomically."""
+        hook = (
+            (lambda: _execute_kill(kill_spec)) if kill_spec is not None else None
+        )
+        arrays: dict[str, np.ndarray] = {
+            "losses": np.asarray(loss_prefix + losses, dtype=np.float64)
+        }
+        for name in owned:
+            arrays[f"weight/{name}"] = shards.view(name, "weight")
+            arrays[f"accum/{name}"] = shards.view(name, "accum")
+        if rank == 0:
+            for i, p in enumerate(model.dense_parameters()):
+                arrays[f"dense/{i}"] = p.value
+            for i, slot in enumerate(optimizer._dense_state):
+                arrays[f"opt_dense/{i}"] = slot
+        t0 = time.perf_counter()
+        fname = ckpt.shard_filename(rank, completed)
+        sha = ckpt.save_shard_file(
+            ckpt_dir / fname, arrays,
+            kill_hook=None if rank == 0 else hook,
+        )
+        if rank == 0:
+            entries = [ckpt.ShardEntry(0, fname, sha, tuple(owned))]
+            if world > 1:
+                payloads = exchange_frames(
+                    [], [mesh[r] for r in range(1, world)]
+                )
+                for blob in payloads:
+                    r, peer_fname, peer_sha, tables = pickle.loads(bytes(blob))
+                    entries.append(
+                        ckpt.ShardEntry(r, peer_fname, peer_sha, tuple(tables))
+                    )
+            entries.sort(key=lambda e: e.rank)
+            manifest = ckpt.Manifest(
+                step=completed,
+                world=world,
+                total_steps=run.steps,
+                batch_size=run.batch_size,
+                seed=run.seed,
+                reduction=run.reduction,
+                dtype=str(np.dtype(config.np_dtype)),
+                shards=tuple(entries),
+            )
+            ckpt.write_manifest(ckpt_dir, manifest, kill_hook=hook)
+        elif world > 1:
+            blob = pickle.dumps(
+                (rank, fname, sha, list(owned)),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            exchange_frames([(mesh[0], blob)], [])
+        # The "ckpt" heartbeat doubles as the commit record: rank 0 sends
+        # only after the manifest rename, so the parent counts a
+        # checkpoint exactly when it became restorable.
+        conn.send(("ckpt", rank, completed, time.perf_counter() - t0))
+
     try:
         barrier.wait(timeout=run.barrier_timeout_s)
-        for step, batch in enumerate(batches):
+        for gstep, batch in enumerate(batches, start=start):
             t_step = time.perf_counter()
             model.zero_grad()
             optimizer.zero_grad()
             logits = timed("forward", model.forward, batch)
             loss_val = timed("loss", loss_fn.forward, logits, batch.labels)
-            if crash is not None and crash == (rank, step):
+            if crash is not None and crash == (rank, gstep):
                 os._exit(41)  # simulated hard crash (tests only)
+            loss_kill = my_kills.get((gstep, "loss"))
+            if loss_kill is not None:
+                _execute_kill(loss_kill)
             grad = loss_fn.backward()
             # Exact global-batch normalization: every rank (and the serial
             # reference) scales its local mean-loss gradient by the same
             # 1/W constant, so the allreduced sum is the global gradient
             # with identical rounding on every path.
             grad *= inv_world
-            timed("backward", _backward_overlapped, model, grad, reducer.submit)
+            ar_kill = my_kills.get((gstep, "allreduce"))
+            if ar_kill is None:
+                submit = reducer.submit
+            else:
+                def submit(bucket, _spec=ar_kill):
+                    reducer.submit(bucket)
+                    _execute_kill(_spec)
+            timed("backward", _backward_overlapped, model, grad, submit)
             local = {
                 name: model.embeddings.tables[name].pop_grad()
                 for name in table_names
@@ -454,23 +712,49 @@ def _worker_main(
                         optimizer.sparse_update(i, g)
 
             timed("optimizer", _apply)
+            losses.append(loss_val)
+            conn.send(("step", rank, gstep + 1, loss_val))
+            if run.checkpoint_every and (gstep + 1) % run.checkpoint_every == 0:
+                # After the optimizer, before the barrier: every rank
+                # serializes only state it wrote itself this step, so the
+                # snapshot is consistent without an extra barrier.
+                timed(
+                    "checkpoint", write_checkpoint,
+                    gstep + 1, my_kills.get((gstep, "checkpoint")),
+                )
             # All shard writes must land before any rank's next forward.
             timed("barrier", barrier.wait, run.barrier_timeout_s)
-            losses.append(loss_val)
             step_s.append(time.perf_counter() - t_step)
         reducer.shutdown()
-        conn.send(
-            WorkerReport(
-                rank=rank,
-                losses=losses,
-                step_s=step_s,
-                phase_s=phase_s,
-                comm_s=reducer.comm_seconds,
-                dense_digest=_dense_digest(model),
-                pid=os.getpid(),
-            )
-        )
+        finished.set()
+        conn.send(("report", WorkerReport(
+            rank=rank,
+            losses=losses,
+            step_s=step_s,
+            phase_s=phase_s,
+            comm_s=reducer.comm_seconds,
+            dense_digest=_dense_digest(model),
+            pid=os.getpid(),
+        )))
         conn.close()
+    except _DRAIN_EXC as err:
+        # A peer died (or the parent poisoned us): report what completed
+        # and exit cleanly instead of hanging in a blocked recv/barrier.
+        finished.set()
+        draining.set()
+        try:
+            reducer.shutdown()
+        except Exception:  # pragma: no cover - comm thread wedged
+            pass
+        suspect = getattr(err, "peer", None)
+        try:
+            conn.send(
+                ("drained", rank, start + len(losses), list(losses),
+                 suspect, repr(err))
+            )
+            conn.close()
+        except OSError:  # pragma: no cover - parent is gone too
+            pass
     finally:
         for ch in mesh.values():
             ch.close()
@@ -497,43 +781,157 @@ def _combine_losses(per_rank: list[list[float]], steps: int) -> list[float]:
     return out
 
 
-def _crash_error(procs, rank: int) -> WorkerCrashError:
+def _committed_checkpoints(
+    ckpt_events: list[tuple[int, int, float]],
+) -> list[tuple[int, float]]:
+    """Aggregate per-rank "ckpt" heartbeats into committed checkpoints.
+
+    A checkpoint exists only once rank 0 renamed the manifest (its event
+    fires after the commit); the recorded cost is the max write time over
+    all ranks at that step — the straggler defines the stall.
+    """
+    committed = sorted({step for r, step, _ in ckpt_events if r == 0})
+    return [
+        (step, max(secs for _, s, secs in ckpt_events if s == step))
+        for step in committed
+    ]
+
+
+def _crash_error(
+    procs,
+    progress: dict[int, int] | None = None,
+    drained: dict[int, tuple] | None = None,
+    ckpt_events: list[tuple[int, int, float]] | None = None,
+    drain_s: float = 0.0,
+) -> WorkerCrashError:
     """Build the crash report, attributing blame to the primary casualty.
 
-    Peers of a crashed worker usually die secondarily (broken channel →
-    uncaught ``ChannelClosed``, exitcode 1), so prefer a rank that died
-    from a signal or an explicit ``os._exit`` code over plain exitcode 1.
+    Preference order: a rank that died from a signal or an explicit
+    ``os._exit`` code (exitcode != 1) over plain exitcode-1 deaths, over
+    cleanly-drained survivors.  When *every* process drained cleanly (all
+    exit 0), the suspect peer named by the drain reports — the rank whose
+    channel EOF'd first — takes the blame; that is the same rank an
+    exitcode scan would name had the survivors died of broken pipes.
     """
+    timeouts = get_timeouts()
     for p in procs:
-        p.join(timeout=5.0)
+        p.join(timeout=timeouts.reap_s)
+    drained = drained or {}
     dead = [
         (r, p.exitcode) for r, p in enumerate(procs) if p.exitcode not in (0, None)
     ]
-    primary = next(
-        (d for d in dead if d[1] is not None and d[1] != 1),
-        dead[0] if dead else (rank, procs[rank].exitcode),
+    if dead:
+        primary = next(
+            (d for d in dead if d[1] is not None and d[1] != 1), dead[0]
+        )
+    else:
+        suspects = [m[4] for m in drained.values() if m[4] is not None]
+        rank = suspects[0] if suspects else (
+            next(iter(sorted(drained)), 0)
+        )
+        exitcode = procs[rank].exitcode if rank < len(procs) else None
+        primary = (rank, exitcode)
+        dead = [primary]
+    return WorkerCrashError(
+        primary[0], primary[1], dead,
+        progress=progress,
+        drained=sorted(drained),
+        checkpoints=_committed_checkpoints(ckpt_events or []),
+        drain_s=drain_s,
     )
-    return WorkerCrashError(primary[0], primary[1], dead)
 
 
-def _collect_reports(procs, fabric: _Fabric, run: HybridRunConfig) -> list[WorkerReport]:
-    reports: dict[int, WorkerReport] = {}
-    deadline = time.monotonic() + run.collect_timeout_s
-    for rank, proc in enumerate(procs):
+def _find_casualty(procs, reports, drained, fabric: _Fabric, open_conns):
+    """First rank that is dead (or spontaneously drained) without having
+    delivered a report — with its pipe fully drained, so buffered final
+    messages are never mistaken for a death."""
+    for rank, p in enumerate(procs):
+        if rank in reports:
+            continue
         conn = fabric.parent_conn(rank)
-        while not conn.poll(0.05):
-            if not proc.is_alive() and not conn.poll(0.0):
-                raise _crash_error(procs, rank)
-            if time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"mp worker rank {rank} produced no report within "
-                    f"{run.collect_timeout_s:.0f}s"
+        if conn in open_conns and conn.poll(0):
+            continue  # buffered messages still pending — let them land
+        if not p.is_alive():
+            return rank
+        if rank in drained:
+            return rank  # drained spontaneously (peer death it observed)
+    return None
+
+
+def _supervise(
+    procs, fabric: _Fabric, run: HybridRunConfig, start: int
+) -> tuple[list[WorkerReport], list[tuple[int, int, float]]]:
+    """Collect heartbeats and reports; detect deaths; poison and drain.
+
+    The healthy path returns every rank's final report plus the "ckpt"
+    commit events.  On a casualty the parent poisons all live workers,
+    waits up to ``run.drain_timeout_s`` for them to file drain reports
+    and exit, then raises the attributed :class:`WorkerCrashError` —
+    ``collect_timeout_s`` is only the no-progress backstop.
+    """
+    world = len(procs)
+    reports: dict[int, WorkerReport] = {}
+    drained: dict[int, tuple] = {}
+    progress: dict[int, int] = {r: start for r in range(world)}
+    ckpt_events: list[tuple[int, int, float]] = []
+    conn_rank = {fabric.parent_conn(r): r for r in range(world)}
+    open_conns = set(conn_rank)
+    poisoned = False
+    drain_deadline = 0.0
+    t_detect = 0.0
+    deadline = time.monotonic() + run.collect_timeout_s
+    while len(reports) < world:
+        if open_conns:
+            ready = mp_connection.wait(list(open_conns), timeout=0.05)
+        else:
+            ready = []
+            time.sleep(0.005)
+        for c in ready:
+            rank = conn_rank[c]
+            try:
+                while c.poll(0):
+                    msg = c.recv()
+                    tag = msg[0]
+                    if tag == "step":
+                        progress[rank] = max(progress[rank], msg[2])
+                    elif tag == "ckpt":
+                        ckpt_events.append((msg[1], msg[2], msg[3]))
+                    elif tag == "report":
+                        reports[rank] = msg[1]
+                        open_conns.discard(c)
+                    elif tag == "drained":
+                        drained[rank] = msg
+                        progress[rank] = max(progress[rank], msg[2])
+                        open_conns.discard(c)
+            except (EOFError, OSError):
+                open_conns.discard(c)
+        if len(reports) == world:
+            break
+        if not poisoned:
+            casualty = _find_casualty(procs, reports, drained, fabric, open_conns)
+            if casualty is not None:
+                t_detect = time.monotonic()
+                for rank, p in enumerate(procs):
+                    if p.is_alive():
+                        fabric.poison(rank)
+                poisoned = True
+                drain_deadline = time.monotonic() + run.drain_timeout_s
+        else:
+            quiet = all(not p.is_alive() for p in procs) and not any(
+                c.poll(0) for c in open_conns
+            )
+            if quiet or time.monotonic() > drain_deadline:
+                raise _crash_error(
+                    procs, progress, drained, ckpt_events,
+                    time.monotonic() - t_detect,
                 )
-        try:
-            reports[rank] = conn.recv()
-        except EOFError as err:
-            raise _crash_error(procs, rank) from err
-    return [reports[r] for r in range(len(procs))]
+        if time.monotonic() > deadline:
+            stuck = [r for r in range(world) if r not in reports]
+            raise TimeoutError(
+                f"mp workers {stuck} produced no report within "
+                f"{run.collect_timeout_s:.0f}s"
+            )
+    return [reports[r] for r in range(world)], ckpt_events
 
 
 def run_hybrid(
@@ -541,81 +939,110 @@ def run_hybrid(
     run: HybridRunConfig | None = None,
     tracer=None,
     _crash: tuple[int, int] | None = None,
+    *,
+    kills: list[KillSpec] | None = None,
+    resume: ckpt.ResumeState | None = None,
 ) -> HybridResult:
     """Train ``config`` across ``run.workers`` real OS processes.
 
-    Shards are created, initialized from the seeded model, and **always**
-    unlinked by the parent — including when a worker crashes (the partial
-    failure path raises :class:`WorkerCrashError` after cleanup).
+    Shards are created, initialized from the seeded model — or from a
+    checkpoint's :class:`~repro.distributed.mp.ckpt.ResumeState` when
+    ``resume`` is given — and **always** unlinked by the parent,
+    including when a worker crashes (the partial failure path raises
+    :class:`WorkerCrashError` after cleanup).  ``kills`` injects seeded
+    real-process deaths (see :class:`KillSpec`); restart orchestration
+    lives in :func:`repro.distributed.mp.ft.run_hybrid_ft`.
     """
     run = run or HybridRunConfig()
     tracer = tracer if tracer is not None else NULL_TRACER
     world = run.workers
+    if resume is not None and not 0 <= resume.step < run.steps:
+        raise ValueError(
+            f"resume.step must be in [0, {run.steps}), got {resume.step}"
+        )
+    if run.checkpoint_dir:
+        pathlib.Path(run.checkpoint_dir).mkdir(parents=True, exist_ok=True)
     plan = ShardPlan.greedy(config, world)
-    init_model, _ = _build_replica(config, run)
     order = [t.name for t in config.tables]
-    shards = TableShards.create(
-        {name: init_model.embeddings.tables[name].weight for name in order}
-    )
-    del init_model
+    if resume is not None:
+        shards = TableShards.create(
+            {name: resume.table_weights[name] for name in order},
+            accums={name: resume.table_accums[name] for name in order},
+        )
+    else:
+        init_model, _ = _build_replica(config, run)
+        shards = TableShards.create(
+            {name: init_model.embeddings.tables[name].weight for name in order}
+        )
+        del init_model
+    start = resume.step if resume is not None else 0
     ctx = mp.get_context("fork")
     fabric = _Fabric(world, ctx)
     barrier = ctx.Barrier(world)
     procs = [
         ctx.Process(
             target=_worker_main,
-            args=(rank, world, config, run, plan, shards, fabric, barrier, _crash),
+            args=(rank, world, config, run, plan, shards, fabric, barrier,
+                  _crash, kills, resume),
             name=f"mp-worker-{rank}",
         )
         for rank in range(world)
     ]
+    timeouts = get_timeouts()
     try:
         for p in procs:
             p.start()
         fabric.close_parent_side()
-        reports = _collect_reports(procs, fabric, run)
+        reports, ckpt_events = _supervise(procs, fabric, run, start)
         for rank, p in enumerate(procs):
-            p.join(timeout=30.0)
-            if p.exitcode not in (0, None) and p.exitcode != 0:
+            p.join(timeout=timeouts.join_s)
+            if p.exitcode not in (0, None):
                 raise WorkerCrashError(rank, p.exitcode)
         # Reports are in; the final barrier guarantees all shard writes
         # landed, so digests taken now are the post-training state.
-        table_digests = {
-            name: hashlib.sha256(shards.view(name, "weight").tobytes()).hexdigest()
-            for name in order
-        }
+        table_digests = {name: shards.digest(name, "weight") for name in order}
     finally:
         for p in procs:
             if p.is_alive():
                 p.terminate()
         for p in procs:
-            p.join(timeout=10.0)
+            p.join(timeout=timeouts.reap_s)
         fabric.close_all()
         shards.close()
 
-    per_rank = [r.losses for r in reports]
+    if resume is not None:
+        per_rank = [
+            resume.per_rank_losses[r.rank] + r.losses for r in reports
+        ]
+    else:
+        per_rank = [r.losses for r in reports]
+    executed = run.steps - start
     # representative step time: per step take the max across ranks (the
     # barrier makes the slowest rank the step's wall time), then the best
     # post-warmup step (the harness's best-of estimator).
     per_step_wall = [
-        max(r.step_s[t] for r in reports) for t in range(run.steps)
+        max(r.step_s[t] for r in reports) for t in range(executed)
     ]
     effective = per_step_wall[run.warmup_steps:] or per_step_wall
     phase_max = {
         ph: max(r.phase_s[ph] for r in reports) for ph in _PHASES
     }
+    checkpoints = _committed_checkpoints(ckpt_events)
     for r in reports:
         cursor = 0.0
         for ph in _PHASES:
             tracer.record(
                 f"mp.{ph}",
-                "comm" if ph in ("sparse_exchange", "dense_wait", "barrier") else "compute",
+                "comm" if ph in ("sparse_exchange", "dense_wait", "barrier")
+                else ("io" if ph == "checkpoint" else "compute"),
                 cursor,
                 r.phase_s[ph],
                 tid=r.rank + 1,
                 rank=r.rank,
             )
             cursor += r.phase_s[ph]
+    for step, secs in checkpoints:
+        tracer.record("mp.ft.checkpoint", "io", 0.0, secs, tid=0, step=step)
     return HybridResult(
         workers=world,
         steps=run.steps,
@@ -631,6 +1058,8 @@ def run_hybrid(
         table_digests=table_digests,
         plan=plan,
         per_rank_phase_s=[r.phase_s for r in reports],
+        checkpoints=checkpoints,
+        resumed_from=start,
     )
 
 

@@ -40,6 +40,7 @@ from ...runtime.runner import available_cores
 from ..simulator import Resource
 from .allreduce import GradReducer
 from .channels import Channel
+from .timeouts import get_timeouts
 
 __all__ = ["CommProfile", "StepPrediction", "probe_comm", "predict_step_time"]
 
@@ -95,6 +96,7 @@ class StepPrediction:
 
 
 def _latency_child(chan: Channel, pings: int, payload: int, reps: int, barrier, waits: int) -> None:
+    probe_s = get_timeouts().probe_s
     for _ in range(pings):
         chan.send_bytes(chan.recv_bytes())
     buf = np.empty(payload, dtype=np.uint8)
@@ -102,7 +104,7 @@ def _latency_child(chan: Channel, pings: int, payload: int, reps: int, barrier, 
         chan.recv_into(buf)
     chan.send_bytes(b"ok")
     for _ in range(waits):
-        barrier.wait(timeout=60.0)
+        barrier.wait(timeout=probe_s)
 
 
 _HOP_ITERS = 20
@@ -170,9 +172,10 @@ def _probe_hop_overhead(trials: int = 3) -> float:
         for pair in pairs:
             for ch in pair:
                 ch.close()
-        elapsed = max(out.get(timeout=60.0) for _ in procs)
+        timeouts = get_timeouts()
+        elapsed = max(out.get(timeout=timeouts.probe_s) for _ in procs)
         for p in procs:
-            p.join(timeout=30.0)
+            p.join(timeout=timeouts.join_s)
         return elapsed
 
     hops = _HOP_ITERS * _HOP_BUCKETS * 2  # 2(W-1) with W=2
@@ -253,14 +256,14 @@ def probe_comm(
 
         t0 = time.perf_counter()
         for _ in range(barrier_waits):
-            barrier.wait(timeout=60.0)
+            barrier.wait(timeout=get_timeouts().probe_s)
         barrier_s = (time.perf_counter() - t0) / barrier_waits
     finally:
         parent.close()
-        proc.join(timeout=30.0)
+        proc.join(timeout=get_timeouts().join_s)
         if proc.is_alive():  # pragma: no cover - probe child wedged
             proc.terminate()
-            proc.join(timeout=5.0)
+            proc.join(timeout=get_timeouts().reap_s)
 
     hop_overhead = _probe_hop_overhead()
     frame_fixed, frame_byte = _probe_frame_cost()

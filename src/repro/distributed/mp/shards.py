@@ -89,16 +89,26 @@ class TableShards:
         self._owner_pid = os.getpid()
 
     @classmethod
-    def create(cls, weights: dict[str, np.ndarray]) -> "TableShards":
-        """Allocate and initialize segments from ``table name -> weights``."""
+    def create(
+        cls,
+        weights: dict[str, np.ndarray],
+        accums: dict[str, np.ndarray] | None = None,
+    ) -> "TableShards":
+        """Allocate and initialize segments from ``table name -> weights``.
+
+        ``accums`` optionally seeds the Adagrad accumulator segments (the
+        checkpoint-restore path); absent tables get zeroed accumulators,
+        exactly like a fresh run.
+        """
         shards = cls()
+        accums = accums or {}
         run_id = next(_SEGMENT_COUNTER)
         try:
             for idx, (name, weight) in enumerate(weights.items()):
                 if shards._dtype is None:
                     shards._dtype = weight.dtype
                 shards._shapes[name] = weight.shape
-                for kind, init in (("weight", weight), ("accum", None)):
+                for kind, init in (("weight", weight), ("accum", accums.get(name))):
                     seg = shared_memory.SharedMemory(
                         create=True,
                         size=weight.nbytes,
@@ -119,6 +129,12 @@ class TableShards:
         """Zero-copy ndarray over a segment (valid in parent and children)."""
         seg = self._segments[(name, kind)]
         return np.ndarray(self._shapes[name], dtype=self._dtype, buffer=seg.buf)
+
+    def digest(self, name: str, kind: str = "weight") -> str:
+        """sha256 over a segment's current bytes (checkpoint verification)."""
+        import hashlib
+
+        return hashlib.sha256(self.view(name, kind).tobytes()).hexdigest()
 
     @property
     def segment_names(self) -> list[str]:

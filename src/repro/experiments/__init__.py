@@ -9,6 +9,7 @@ examples reuse them, so the figure logic lives in exactly one place.
 from . import (
     ext_fault_tolerance,
     ext_hash_accuracy,
+    ext_mp_faults,
     ext_mp_scaling,
     report,
     fig01_production,
@@ -45,5 +46,6 @@ __all__ = [
     "report",
     "ext_fault_tolerance",
     "ext_hash_accuracy",
+    "ext_mp_faults",
     "ext_mp_scaling",
 ]

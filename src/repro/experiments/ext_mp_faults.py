@@ -1,0 +1,275 @@
+"""Extension — real-process fault injection vs. the recovery analytics.
+
+The paper's resilience discussion (and PR 3's single-process harness)
+prices checkpoints and crash recovery analytically.  This extension closes
+that loop with *real* worker deaths: it trains the hybrid multi-process
+trainer twice —
+
+1. an **uninterrupted reference** run, and
+2. a **faulted** run with sharded checkpointing enabled, a chosen rank
+   SIGKILLed at a chosen step/phase, survivors drained, and the worker set
+   restarted from the newest valid manifest
+   (:func:`repro.distributed.mp.run_hybrid_ft`)
+
+— then gates on the restored run being **bit-identical** (losses, dense
+digest, every table digest) and cross-validates the measured recovery
+costs against the analytical model: measured checkpoint write time vs.
+:func:`~repro.resilience.recovery.checkpoint_write_time_s`, measured
+restore vs. :func:`~repro.resilience.recovery.restore_time_s`, and the
+goodput ledger's measured useful-work fraction vs.
+:func:`~repro.resilience.recovery.expected_goodput_fraction`.
+
+The analytics model a remote checkpoint store behind a NIC; the measured
+path writes to a local filesystem — so the "platform" fed to the model is
+a live probe of that filesystem (streaming bandwidth + create latency)
+duck-typed into the ``PlatformSpec`` surface the recovery functions read.
+Agreement is expected in order of magnitude, not percent: the point is
+that one analytical form prices both transports.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+from ..analysis import render_table
+from ..core.config import ModelConfig
+from ..distributed.mp import (
+    HybridRunConfig,
+    KillSpec,
+    RestartPolicy,
+    run_hybrid,
+    run_hybrid_ft,
+)
+from ..resilience.recovery import (
+    checkpoint_write_time_s,
+    expected_goodput_fraction,
+    restore_time_s,
+    young_daly_interval_s,
+)
+from .ext_mp_scaling import default_config
+
+__all__ = [
+    "MpFaultsResult",
+    "probe_disk",
+    "run",
+    "render",
+]
+
+
+@dataclass(frozen=True)
+class MpFaultsResult:
+    """One kill-and-restart experiment with its analytical cross-check."""
+
+    workers: int
+    steps: int
+    batch_size: int
+    dtype: str
+    kill_rank: int
+    kill_step: int
+    kill_phase: str
+    # -- the gates ----------------------------------------------------------
+    losses_identical: bool
+    state_identical: bool
+    restarts_used: int
+    crashes: int
+    resumed_step: int
+    lost_steps: int
+    checkpoints: int
+    # -- measured vs. predicted --------------------------------------------
+    checkpoint_bytes: int
+    measured_write_s: float
+    predicted_write_s: float
+    measured_restore_s: float
+    predicted_restore_s: float
+    measured_drain_s: float
+    measured_goodput: float  # useful / attempted examples
+    predicted_goodput: float
+    young_daly_s: float
+    disk_bw_gbps: float
+    wall_s: float
+
+    @property
+    def bitwise_identical(self) -> bool:
+        return self.losses_identical and self.state_identical
+
+
+def probe_disk(directory: str | pathlib.Path, probe_mb: int = 8):
+    """Duck-typed ``PlatformSpec`` view of a local filesystem.
+
+    ``nic.bandwidth`` is the measured streaming write bandwidth of
+    ``directory`` (one fsynced ``probe_mb``-sized file), ``nic.latency_s``
+    the create+fsync cost of an empty file, and
+    ``system_mem_effective_bandwidth`` the read-back bandwidth — the three
+    numbers :func:`~repro.resilience.recovery.checkpoint_write_time_s` /
+    :func:`restore_time_s` consume.
+    """
+    directory = pathlib.Path(directory)
+    payload = os.urandom(probe_mb << 20)
+    probe = directory / ".disk-probe"
+    t0 = time.perf_counter()
+    with open(probe, "wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    write_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    probe.read_bytes()
+    read_s = time.perf_counter() - t0
+    tiny = directory / ".disk-probe-tiny"
+    t0 = time.perf_counter()
+    with open(tiny, "wb") as fh:
+        fh.flush()
+        os.fsync(fh.fileno())
+    latency_s = time.perf_counter() - t0
+    probe.unlink()
+    tiny.unlink()
+    bandwidth = len(payload) / max(write_s, 1e-9)
+    return SimpleNamespace(
+        nic=SimpleNamespace(bandwidth=bandwidth, latency_s=latency_s),
+        system_mem_effective_bandwidth=len(payload) / max(read_s, 1e-9),
+    )
+
+
+def run(
+    workers: int = 2,
+    steps: int = 8,
+    batch_size: int = 256,
+    checkpoint_every: int = 2,
+    kill_rank: int = 1,
+    kill_step: int = 5,
+    kill_phase: str = "loss",
+    restarts: int = 1,
+    seed: int = 0,
+    dtype: str = "float64",
+    checkpoint_dir: str | None = None,
+    config: ModelConfig | None = None,
+) -> MpFaultsResult:
+    """Kill ``kill_rank`` at ``kill_step``, restart, and cross-validate.
+
+    ``checkpoint_dir`` defaults to a temporary directory cleaned up after
+    the run; pass a path to keep the manifests for inspection.
+    """
+    config = config or default_config(dtype=dtype)
+    base = dict(
+        workers=workers,
+        steps=steps,
+        batch_size=batch_size,
+        seed=seed,
+        reduction="ordered",
+    )
+    reference = run_hybrid(config, HybridRunConfig(**base))
+
+    tmp = None
+    if checkpoint_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-mp-faults-")
+        checkpoint_dir = tmp.name
+    try:
+        faulted_run = HybridRunConfig(
+            **base,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+        )
+        ft = run_hybrid_ft(
+            config,
+            faulted_run,
+            policy=RestartPolicy(max_restarts=restarts),
+            kills=[KillSpec(rank=kill_rank, step=kill_step, phase=kill_phase)],
+        )
+        ckpt_bytes = sum(
+            p.stat().st_size
+            for p in pathlib.Path(checkpoint_dir).glob("shard-*.npz")
+        )
+        platform = probe_disk(checkpoint_dir)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    measured_write = ft.checkpoint_write_s
+    predicted_write = checkpoint_write_time_s(
+        ckpt_bytes, platform, shards=workers
+    )
+    measured_restore = (
+        sum(c.restore_s for c in ft.crashes) / len(ft.crashes)
+        if ft.crashes
+        else 0.0
+    )
+    predicted_restore = restore_time_s(ckpt_bytes, platform, shards=workers)
+    # Goodput cross-check: the measured window saw exactly the injected
+    # crashes, so the model's MTBF is wall time / crashes; its interval is
+    # the measured time between checkpoints.
+    interval_s = checkpoint_every * ft.result.mean_step_s
+    mtbf_s = ft.wall_s / max(1, len(ft.crashes))
+    predicted_goodput = expected_goodput_fraction(
+        interval_s,
+        max(measured_write, 1e-9),
+        mtbf_s,
+        restore_s=measured_restore,
+    )
+    return MpFaultsResult(
+        workers=workers,
+        steps=steps,
+        batch_size=batch_size,
+        dtype=dtype,
+        kill_rank=kill_rank,
+        kill_step=kill_step,
+        kill_phase=kill_phase,
+        losses_identical=ft.result.losses == reference.losses,
+        state_identical=ft.result.state_digest() == reference.state_digest(),
+        restarts_used=ft.restarts_used,
+        crashes=len(ft.crashes),
+        resumed_step=ft.crashes[0].resumed_step if ft.crashes else -1,
+        lost_steps=sum(c.lost_steps for c in ft.crashes),
+        checkpoints=len(ft.checkpoints),
+        checkpoint_bytes=ckpt_bytes,
+        measured_write_s=measured_write,
+        predicted_write_s=predicted_write,
+        measured_restore_s=measured_restore,
+        predicted_restore_s=predicted_restore,
+        measured_drain_s=max((c.drain_s for c in ft.crashes), default=0.0),
+        measured_goodput=ft.goodput_fraction(),
+        predicted_goodput=predicted_goodput,
+        young_daly_s=young_daly_interval_s(mtbf_s, max(measured_write, 1e-9)),
+        disk_bw_gbps=platform.nic.bandwidth / 1e9,
+        wall_s=ft.wall_s,
+    )
+
+
+def render(result: MpFaultsResult) -> str:
+    gate = "bit-identical" if result.bitwise_identical else "MISMATCH"
+    rows = [
+        [
+            "checkpoint write (s)",
+            f"{result.measured_write_s:.4f}",
+            f"{result.predicted_write_s:.4f}",
+        ],
+        [
+            "restore (s)",
+            f"{result.measured_restore_s:.4f}",
+            f"{result.predicted_restore_s:.4f}",
+        ],
+        [
+            "goodput fraction",
+            f"{result.measured_goodput:.3f}",
+            f"{result.predicted_goodput:.3f}",
+        ],
+        ["drain (s)", f"{result.measured_drain_s:.4f}", "-"],
+        ["young-daly interval (s)", "-", f"{result.young_daly_s:.3f}"],
+    ]
+    return render_table(
+        ["recovery cost", "measured", "predicted"],
+        rows,
+        title=(
+            f"MP fault injection — W={result.workers} {result.dtype}, "
+            f"SIGKILL rank {result.kill_rank} @ step {result.kill_step} "
+            f"({result.kill_phase}); resumed from step {result.resumed_step}, "
+            f"{result.lost_steps} step(s) lost, {result.checkpoints} "
+            f"checkpoint(s) of {result.checkpoint_bytes / 1e6:.2f} MB total "
+            f"on a {result.disk_bw_gbps:.2f} GB/s store — restored run "
+            f"{gate} to the uninterrupted reference"
+        ),
+    )

@@ -236,3 +236,31 @@ class TestGradReducer:
             red.shutdown()
             for c in channels:
                 c.close()
+
+    def test_wire_error_names_peer_and_bucket(self):
+        """A ChannelClosed surfaced through flush() must carry the dead
+        neighbor's rank (from the channel's peer tag) and the in-flight
+        bucket id — the inputs crash attribution needs.  Rank 1's first
+        wire op in the ordered protocol is a recv, so closing rank 0's
+        endpoints surfaces as EOF (not a send-side broken pipe)."""
+        from repro.distributed.mp.channels import ChannelClosed
+
+        ring, channels = make_ring(2)
+        left, right = ring[1]
+        left.peer = right.peer = 0  # both of rank 1's neighbors are rank 0
+        red = GradReducer(1, 2, left, right, max_elems=8)
+        try:
+            for ch in ring[0]:  # rank 0 dies: close its left and right
+                ch.close()
+            red.submit([np.ones(8)])
+            with pytest.raises(ChannelClosed) as exc_info:
+                red.flush()
+            err = exc_info.value
+            assert err.peer == 0
+            assert err.bucket == 0
+            assert "peer rank 0" in str(err)
+            assert "bucket 0" in str(err)
+        finally:
+            red.shutdown()
+            for c in channels:
+                c.close()

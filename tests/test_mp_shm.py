@@ -22,6 +22,7 @@ import pytest
 from repro.core.config import InteractionType, MLPSpec, ModelConfig, uniform_tables
 from repro.distributed.mp import (
     HybridRunConfig,
+    KillSpec,
     TableShards,
     WorkerCrashError,
     run_hybrid,
@@ -107,6 +108,26 @@ class TestHybridLifecycle:
         assert exc_info.value.exitcode == 41
         assert shm_segments() == before
 
+    def test_sigkill_mid_allreduce_cleans_up(self):
+        """A real SIGKILL inside the ring protocol — the harshest death:
+        no atexit, no finally, the peer is mid-reduction on its comm
+        thread.  Attribution must name the signal and /dev/shm must
+        still come back clean."""
+        import signal
+
+        before = shm_segments()
+        with pytest.raises(WorkerCrashError) as exc_info:
+            run_hybrid(
+                small_config(),
+                HybridRunConfig(workers=2, steps=3, batch_size=16),
+                kills=[KillSpec(rank=1, step=1, phase="allreduce")],
+            )
+        err = exc_info.value
+        assert err.rank == 1
+        assert err.exitcode == -signal.SIGKILL
+        assert (1, -signal.SIGKILL) in err.dead
+        assert shm_segments() == before
+
 
 class TestResourceTracker:
     """The stderr contract: python's resource tracker must stay silent.
@@ -119,7 +140,9 @@ class TestResourceTracker:
 
     SCRIPT = """
 import sys
-from repro.distributed.mp import HybridRunConfig, WorkerCrashError, run_hybrid
+from repro.distributed.mp import (
+    HybridRunConfig, KillSpec, WorkerCrashError, run_hybrid,
+)
 from tests.test_mp_shm import small_config
 
 mode = sys.argv[1]
@@ -127,8 +150,12 @@ run = HybridRunConfig(workers=2, steps=2, batch_size=16)
 if mode == "clean":
     run_hybrid(small_config(), run)
 else:
+    kwargs = (
+        {"_crash": (1, 0)} if mode == "crash"
+        else {"kills": [KillSpec(rank=1, step=0, phase="allreduce")]}
+    )
     try:
-        run_hybrid(small_config(), run, _crash=(1, 0))
+        run_hybrid(small_config(), run, **kwargs)
     except WorkerCrashError:
         pass
     else:
@@ -136,7 +163,7 @@ else:
 print("OK")
 """
 
-    @pytest.mark.parametrize("mode", ["clean", "crash"])
+    @pytest.mark.parametrize("mode", ["clean", "crash", "sigkill"])
     def test_no_leak_warnings(self, mode, tmp_path):
         script = tmp_path / "drive.py"
         script.write_text(self.SCRIPT)
