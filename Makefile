@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test conformance bench bench-backends bench-backends-baseline mp-smoke mp-scaling mp-faults figures examples all clean
+.PHONY: install test conformance bench bench-backends bench-backends-baseline mp-smoke mp-scaling mp-faults tier-smoke figures examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -36,6 +36,12 @@ mp-scaling:
 # bit-identity vs the uninterrupted reference.
 mp-faults:
 	PYTHONPATH=src $(PYTHON) -m repro mp faults --steps 6 --batch 64 --kill-step 3 --checkpoint-every 2
+
+# Tiered embedding store: bit-identity of tiered vs flat training (both
+# dtypes) and the measured-vs-analytic tier-miss overhead gate.
+tier-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro tier train --steps 4 --batch 48
+	PYTHONPATH=src $(PYTHON) -m repro tier sweep
 
 figures:
 	$(PYTHON) -m repro figures

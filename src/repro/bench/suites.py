@@ -536,9 +536,73 @@ def run_mp(quick: bool) -> dict:
     return results
 
 
+# ---------------------------------------------------------------------------
+# tiering suite: flat embedding tables vs the tiered store's accounting
+# ---------------------------------------------------------------------------
+
+#: Tiering bench shape: embedding-heavy (many lookups per table) so the
+#: tier accounting path — frequency stats, chunk policy, cost charging —
+#: is exercised on every step, while the dense path stays small.
+TIERING_CONFIG = _make_config(
+    8, 4, 4000, 16, 8.0, (32, 16), (64,), InteractionType.CONCAT, "float32"
+)
+
+
+def _timed_tiered_train(config: ModelConfig, batches, tiering, reps: int) -> float:
+    """Per-batch seconds of a train step on a tiered-table model."""
+    from repro.core import Adagrad, Trainer
+
+    model = DLRM(config, rng=0, backend="fused", tiering=tiering)
+    trainer = Trainer(
+        model,
+        lambda m: Adagrad(
+            m.dense_parameters(), m.embedding_tables(), lr=0.01, backend=m.backend
+        ),
+    )
+
+    def run():
+        for b in batches:
+            trainer.train_step(b)
+
+    return best_of(run, reps) / len(batches)
+
+
+def run_tiering(quick: bool) -> dict:
+    """Flat train step vs the same step on tiered embedding tables.
+
+    The tiered store is numerically a no-op (bit-identical weights), so
+    ``speedup`` here is the *accounting overhead factor* — old is the
+    flat step, new is the tiered step, and the ratio gate fails the
+    build if per-step tier bookkeeping regresses > ``GATE_FACTOR`` vs
+    the committed baseline.
+    """
+    from repro.tiering import TieredStoreConfig
+
+    batch = 256 if quick else 1024
+    reps = 3 if quick else 6
+    batches = _make_batches(TIERING_CONFIG, batch, 2)
+    flat_s = timed_train(TIERING_CONFIG, batches, "fused", reps=reps)
+    results = {
+        "tiering_train_flat": entry(
+            flat_s, flat_s, gate=False, batch=batch, backend="fused"
+        ),
+    }
+    for policy in ("freq", "lru"):
+        tiering = TieredStoreConfig(
+            hot_fraction=0.05, chunk_rows=8, policy=policy
+        )
+        tiered_s = _timed_tiered_train(TIERING_CONFIG, batches, tiering, reps)
+        results[f"tiering_train_{policy}"] = entry(
+            flat_s, tiered_s, gate=policy == "freq", batch=batch,
+            policy=policy, hot_fraction=0.05, chunk_rows=8,
+        )
+    return results
+
+
 SUITES = {
     "kernels": run_kernels,
     "dense": run_dense,
     "backends": run_backends,
     "mp": run_mp,
+    "tiering": run_tiering,
 }

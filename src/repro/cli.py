@@ -667,6 +667,84 @@ def _cmd_mp(args: argparse.Namespace) -> int:
     return 0
 
 
+TIER_ACTIONS = ("train", "sweep")
+
+
+def _cmd_tier(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import ext_tiering
+
+    if args.action == "train":
+        # Bit-identity gate: the tiered store must reproduce the flat
+        # table exactly at every precision and hot fraction.
+        results = [
+            ext_tiering.run_train(
+                hot_fraction=args.hot_fraction,
+                policy=args.policy,
+                steps=args.steps,
+                batch=args.batch,
+                seed=args.seed,
+                dtype=dtype,
+                chunk_rows=args.chunk_rows,
+            )
+            for dtype in ("float64", "float32")
+        ]
+        if args.json:
+            print(json.dumps([
+                {
+                    "dtype": r.dtype,
+                    "hot_fraction": r.hot_fraction,
+                    "policy": r.policy,
+                    "steps": r.steps,
+                    "losses_identical": r.losses_identical,
+                    "digests_identical": r.digests_identical,
+                    "bit_identical": r.bit_identical,
+                    "state_digest": r.digest_tiered,
+                    "tier_stats": r.tier_stats,
+                    "metric_hits": r.metric_hits,
+                    "metric_misses": r.metric_misses,
+                }
+                for r in results
+            ], indent=2))
+        else:
+            print(ext_tiering.render_train(results))
+        if not all(r.bit_identical for r in results):
+            print("error: tiered training diverged from the flat table",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    # sweep: measured simulated overhead vs the analytic tier-miss model.
+    points = ext_tiering.run_sweep(
+        hot_fractions=tuple(float(f) for f in args.hot_fractions.split(",")),
+        skews=tuple(float(s) for s in args.skews.split(",")),
+        policies=tuple(args.policies.split(",")),
+        num_rows=args.rows,
+        chunk_rows=args.chunk_rows,
+        warmup=args.warmup,
+        measure=args.measure,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps({
+            "max_rel_err": args.max_rel_err,
+            "points": [vars(p) | {"rel_err": p.rel_err} for p in points],
+        }, indent=2))
+    else:
+        print(ext_tiering.render_sweep(points))
+    worst = max(points, key=lambda p: p.rel_err)
+    if worst.rel_err > args.max_rel_err:
+        print(
+            f"error: measured overhead diverges from the analytic model by "
+            f"{worst.rel_err:.1%} (> {args.max_rel_err:.0%}) at "
+            f"hot={worst.hot_fraction} skew={worst.skew} policy={worst.policy}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -823,6 +901,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="faults: compute dtype for the bit-identity gate")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=_cmd_mp)
+
+    p = sub.add_parser(
+        "tier", help="software-managed tiered embedding store (hot DRAM / cold SCM)"
+    )
+    p.add_argument("action", choices=TIER_ACTIONS)
+    p.add_argument("--hot-fraction", type=float, default=0.05, dest="hot_fraction",
+                   help="train: hot-tier capacity as a fraction of rows")
+    p.add_argument("--policy", default="freq", choices=["lru", "lfu", "freq"],
+                   help="train: hot-tier admission/eviction policy")
+    p.add_argument("--steps", type=int, default=8, help="train: optimizer steps")
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--chunk-rows", type=int, default=4, dest="chunk_rows",
+                   help="rows per migration chunk")
+    p.add_argument("--hot-fractions", default="0.02,0.05,0.1",
+                   dest="hot_fractions",
+                   help="sweep: comma-separated hot-tier fractions")
+    p.add_argument("--skews", default="0.9,1.05",
+                   help="sweep: comma-separated Zipf exponents")
+    p.add_argument("--policies", default="lru,freq",
+                   help="sweep: comma-separated policies")
+    p.add_argument("--rows", type=int, default=4096,
+                   help="sweep: table rows")
+    p.add_argument("--warmup", type=int, default=20_000,
+                   help="sweep: cache warm-up accesses (excluded)")
+    p.add_argument("--measure", type=int, default=40_000,
+                   help="sweep: measured accesses per point")
+    p.add_argument("--max-rel-err", type=float, default=0.25, dest="max_rel_err",
+                   help="sweep: per-point measured-vs-analytic gate")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=_cmd_tier)
 
     p = sub.add_parser("train", help="functional training run on synthetic data")
     p.add_argument("--model", default="test:32x8")

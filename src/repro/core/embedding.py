@@ -199,6 +199,17 @@ class EmbeddingTable:
     def dtype(self) -> np.dtype:
         return self.weight.dtype
 
+    def bytes_per_row(self) -> float:
+        """Stored bytes per row at this table's actual precision.
+
+        Tier-capacity planning (:mod:`repro.tiering`) sizes hot tiers in
+        bytes; pricing rows at their true width (f32 vs f64, and int8/int4
+        for :class:`~repro.core.quantization.QuantizedEmbeddingTable`)
+        instead of assuming fp32 is what makes quantization and tiering
+        compose — a 4-bit table fits ~8x more rows in the same hot tier.
+        """
+        return float(self.weight.dtype.itemsize * self.spec.dim)
+
     def _prepare(self, indices: RaggedIndices) -> RaggedIndices:
         """Apply truncation and validate bounds (single pass; skipped when
         the indices carry a sufficient ``safe_bound`` certificate)."""
@@ -333,6 +344,12 @@ class EmbeddingBagCollection:
     share one physical table (paper §III-A.2); by default each feature owns
     its own table.  Features mapped to the same physical table are looked
     up through the batched fast path — one fused gather per table per step.
+
+    ``table_factory`` swaps the table implementation — e.g.
+    :class:`repro.tiering.store.TieredEmbeddingTable` for the two-tier
+    store — and must accept the same ``(spec, rng, pooling=, dtype=)``
+    signature and consume rng identically (any drop-in subclass of
+    :class:`EmbeddingTable` does).
     """
 
     def __init__(
@@ -342,6 +359,7 @@ class EmbeddingBagCollection:
         pooling: PoolingType = PoolingType.SUM,
         feature_to_table: dict[str, str] | None = None,
         dtype: np.dtype | type = np.float64,
+        table_factory=None,
     ) -> None:
         if feature_to_table is None:
             feature_to_table = {s.name: s.name for s in specs}
@@ -349,10 +367,12 @@ class EmbeddingBagCollection:
         unknown = set(feature_to_table.values()) - table_names
         if unknown:
             raise ValueError(f"feature_to_table references unknown tables: {unknown}")
+        if table_factory is None:
+            table_factory = EmbeddingTable
         self.specs = specs
         self.feature_to_table = dict(feature_to_table)
         self.tables: dict[str, EmbeddingTable] = {
-            s.name: EmbeddingTable(s, rng, pooling=pooling, dtype=dtype) for s in specs
+            s.name: table_factory(s, rng, pooling=pooling, dtype=dtype) for s in specs
         }
         self.feature_names = list(feature_to_table.keys())
         # Features grouped by physical table, preserving feature order within

@@ -80,6 +80,7 @@ class DLRM:
         rng: np.random.Generator | int | None = None,
         pooling: PoolingType = PoolingType.SUM,
         backend: Backend | str | None = None,
+        tiering=None,
     ) -> None:
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
@@ -89,8 +90,22 @@ class DLRM:
         self.bottom_mlp = MLP(
             config.num_dense, config.bottom_mlp, rng, name="bottom", dtype=self.dtype
         )
+        #: With a :class:`repro.tiering.store.TieredStoreConfig`, embedding
+        #: tables become two-tier stores — numerically identical, but every
+        #: row access is priced by tier placement (see docs/tiering.md).
+        table_factory = None
+        if tiering is not None:
+            # Lazy import: repro.tiering depends on repro.core, not vice versa.
+            from ..tiering.store import TieredEmbeddingTable
+
+            def table_factory(spec, table_rng, pooling, dtype):
+                return TieredEmbeddingTable(
+                    spec, table_rng, pooling=pooling, dtype=dtype, tiering=tiering
+                )
+
         self.embeddings = EmbeddingBagCollection(
-            config.tables, rng, pooling=pooling, dtype=self.dtype
+            config.tables, rng, pooling=pooling, dtype=self.dtype,
+            table_factory=table_factory,
         )
         self.interaction = make_interaction(
             config.interaction, config.num_sparse, config.embedding_dim

@@ -101,6 +101,16 @@ class QuantizedEmbeddingTable:
         """Stored bytes per row (codes + the per-row scale)."""
         return self.spec.dim * self.bits / 8.0 + 4.0
 
+    def bytes_per_row(self) -> float:
+        """Stored bytes per row — the quantized width, not fp32.
+
+        Same contract as :meth:`EmbeddingTable.bytes_per_row`, so tier
+        capacity planning (:mod:`repro.tiering`) prices int8/int4 rows
+        correctly and a quantized cold tier holds proportionally more
+        rows per byte.
+        """
+        return float(self.row_bytes)
+
     def gather(self, rows: np.ndarray) -> np.ndarray:
         """Dequantize the given row indices; returns ``(len(rows), dim)``.
 

@@ -13,6 +13,7 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from ..obs.registry import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
 from .loss import BCEWithLogitsLoss, sigmoid
 from .metrics import auc, normalized_entropy
@@ -76,6 +77,7 @@ class Trainer:
         optimizer_factory: Callable[[DLRM], object],
         loss: BCEWithLogitsLoss | None = None,
         tracer: Tracer | NullTracer | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer_factory(model)
@@ -100,6 +102,19 @@ class Trainer:
         #: Observability hook (see :mod:`repro.obs`); defaults to the no-op
         #: tracer, so instrumentation costs nothing unless opted in.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional :class:`repro.obs.MetricsRegistry`.  When the model's
+        #: embedding tables are tiered stores (:mod:`repro.tiering`), each
+        #: step publishes per-table tier counters (hits/misses/promotions)
+        #: and simulated-cost gauges, and emits a ``tier`` trace span.
+        self.metrics = metrics
+        #: Tiered embedding tables, detected by duck type (``is_tiered``)
+        #: so core never imports repro.tiering.
+        self._tiered_tables = [
+            t for t in model.embedding_tables() if getattr(t, "is_tiered", False)
+        ]
+        self._tier_snapshots = {
+            t.spec.name: t.stats.snapshot() for t in self._tiered_tables
+        }
         self._step_index = 0
 
     # -- kill-and-restore (see repro.resilience.harness) ---------------------
@@ -168,8 +183,44 @@ class Trainer:
                     self.model.backward(grad)
             with tracer.span("optimizer_step", "compute", fused=fused):
                 self.optimizer.step()
+            if self._tiered_tables:
+                self._publish_tier_metrics()
         self._step_index += 1
         return loss_value
+
+    def _publish_tier_metrics(self) -> None:
+        """Emit per-table tier counters/gauges and a ``tier`` trace span.
+
+        Counters carry the per-step *delta* (so they accumulate correctly
+        and merge across trainers); gauges carry run totals.  Runs without
+        a metrics registry still get the trace span — tier placement is
+        part of the step timeline either way.
+        """
+        for table in self._tiered_tables:
+            name = table.spec.name
+            delta = table.stats.delta(self._tier_snapshots[name])
+            self._tier_snapshots[name] = table.stats.snapshot()
+            with self.tracer.span(
+                "tier", "tier",
+                table=name, step=self._step_index,
+                hits=delta.hot_hits, misses=delta.cold_misses,
+                promotions=delta.promotions,
+                overhead_s=delta.overhead_s,
+            ):
+                pass
+            if self.metrics is None:
+                continue
+            labels = {"table": name}
+            m = self.metrics
+            m.counter("tier_hot_hits").labels(**labels).inc(delta.hot_hits)
+            m.counter("tier_cold_misses").labels(**labels).inc(delta.cold_misses)
+            m.counter("tier_promotions").labels(**labels).inc(delta.promotions)
+            m.counter("tier_rejected").labels(**labels).inc(delta.rejected)
+            m.counter("tier_overhead_s").labels(**labels).inc(delta.overhead_s)
+            m.gauge("tier_hit_rate").labels(**labels).set(table.stats.hit_rate)
+            m.gauge("tier_hot_rows").labels(**labels).set(
+                len(table.hot) * table.chunk_rows
+            )
 
     def train(
         self,

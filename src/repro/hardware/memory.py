@@ -10,7 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["CapacityError", "MemoryPool", "usable_capacity"]
+__all__ = [
+    "CapacityError",
+    "MemoryPool",
+    "MemoryTierSpec",
+    "usable_capacity",
+    "DRAM_TIER",
+    "SCM_TIER",
+    "NVME_TIER",
+]
 
 #: Fraction of nameplate capacity usable for model state; the rest is
 #: reserved for activations, buffers, framework overhead.
@@ -36,6 +44,45 @@ def usable_capacity(raw_bytes: float, headroom: float = DEFAULT_HEADROOM) -> flo
     if not 0 < headroom <= 1:
         raise ValueError(f"headroom must be in (0, 1], got {headroom}")
     return raw_bytes * headroom
+
+
+@dataclass(frozen=True)
+class MemoryTierSpec:
+    """Access characteristics of one memory tier.
+
+    The software-managed tiered embedding store (:mod:`repro.tiering`)
+    prices row accesses and chunk movement from these numbers: a random
+    row read costs ``latency_s + row_bytes / bandwidth``.  Bandwidths are
+    per-stream effective numbers (not aggregate socket bandwidth), so the
+    latency term dominates for small rows — which is exactly why SCM/SSD
+    tiers need frequency-aware placement to hide their access cost.
+    """
+
+    name: str
+    bandwidth: float  # bytes/s, effective single-stream
+    latency_s: float  # seconds per random access
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"tier {self.name!r}: bandwidth must be > 0")
+        if self.latency_s < 0:
+            raise ValueError(f"tier {self.name!r}: latency_s must be >= 0")
+
+    def access_s(self, nbytes: float) -> float:
+        """Seconds to read/write ``nbytes`` at this tier (latency + transfer)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency_s + nbytes / self.bandwidth
+
+
+#: Host DRAM: ~100 ns load-to-use, ~tens of GB/s effective per stream.
+DRAM_TIER = MemoryTierSpec(name="dram", bandwidth=100e9, latency_s=100e-9)
+
+#: Storage-class memory (Optane-style AppDirect): ~1 us, a few GB/s.
+SCM_TIER = MemoryTierSpec(name="scm", bandwidth=2.5e9, latency_s=1e-6)
+
+#: NVMe flash: ~80 us random read, ~3 GB/s sequential.
+NVME_TIER = MemoryTierSpec(name="nvme", bandwidth=3.0e9, latency_s=80e-6)
 
 
 @dataclass

@@ -2,14 +2,12 @@
 
 Feature accesses are heavily skewed (Zipf-like; Figure 7), so a small cache
 of hot rows in fast memory can serve most lookups.  This module provides
-the analytical side of that what-if:
+the capacity-planning side of that what-if:
 
-* :func:`zipf_hit_rate` — expected cache hit rate when accesses follow a
-  Zipf(``skew``) law over ``num_rows`` and the cache holds the hottest
-  ``cached_rows`` (the static-optimal / steady-state-LFU hit rate);
-* :func:`lru_hit_rate` — the same question for an *LRU* cache via Che's
-  characteristic-time approximation (LRU keeps recently-used rather than
-  most-popular rows, so its hit rate is strictly lower);
+* :func:`zipf_hit_rate` / :func:`lru_hit_rate` — re-exported from
+  :mod:`repro.tiering.analytic`, the repo's single home for the analytic
+  hit-rate math (historically these lived here; the tiered embedding
+  store and the serving caches now share one implementation);
 * :class:`CachePlan` — sizing a per-table HBM cache under a byte budget and
   reporting the fraction of lookup traffic it absorbs.
 
@@ -25,137 +23,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.config import ModelConfig, TableSpec
 
+# Compatibility re-exports: the analytic implementations (and their
+# private helpers, kept importable for historical callers) moved to
+# repro.tiering.analytic.
+from ..tiering.analytic import (  # noqa: F401
+    _CHE_DENSE_LIMIT,
+    _EXACT_HARMONIC_LIMIT,
+    _che_popularities,
+    _generalized_harmonic,
+    _validate_cache_args,
+    lru_hit_rate,
+    zipf_hit_rate,
+)
+
 __all__ = ["zipf_hit_rate", "lru_hit_rate", "CachePlan", "plan_cache"]
-
-#: Below this rank count the generalized harmonic number is summed directly;
-#: beyond it the Euler–Maclaurin tail keeps the cost O(1).
-_EXACT_HARMONIC_LIMIT = 262_144
-
-
-def _generalized_harmonic(n: int, s: float) -> float:
-    """``H_n(s) = sum_{i=1..n} i^-s``, exact to ~1e-10 relative error.
-
-    Small ``n`` is summed directly (the old single-term integral
-    approximation drifted ~4-5% at n <~ 500, which broke the analytic vs.
-    measured cache cross-validation).  Large ``n`` splits into an exact
-    head plus the Euler–Maclaurin expansion of the tail::
-
-        sum_{i=m..n} i^-s ~= int_m^n x^-s dx + (m^-s + n^-s)/2
-                             + s/12 * (m^-(s+1) - n^-(s+1))
-    """
-    if n <= 0:
-        return 0.0
-    if n <= _EXACT_HARMONIC_LIMIT:
-        ranks = np.arange(1, n + 1, dtype=np.float64)
-        return float(np.sum(ranks**-s))
-    m = _EXACT_HARMONIC_LIMIT
-    ranks = np.arange(1, m, dtype=np.float64)  # exact head: 1 .. m-1
-    head = float(np.sum(ranks**-s))
-    if abs(s - 1.0) < 1e-12:
-        integral = float(np.log(n) - np.log(m))
-    else:
-        integral = (n ** (1.0 - s) - m ** (1.0 - s)) / (1.0 - s)
-    tail = (
-        integral
-        + 0.5 * (m**-s + float(n) ** -s)
-        + (s / 12.0) * (m ** -(s + 1.0) - float(n) ** -(s + 1.0))
-    )
-    return head + tail
-
-
-def _validate_cache_args(num_rows: int, cached_rows: int, skew: float) -> None:
-    if num_rows < 1:
-        raise ValueError(f"num_rows must be >= 1, got {num_rows}")
-    if cached_rows < 0:
-        raise ValueError(f"cached_rows must be >= 0, got {cached_rows}")
-    if skew < 0:
-        raise ValueError(f"skew must be >= 0, got {skew}")
-
-
-def zipf_hit_rate(num_rows: int, cached_rows: int, skew: float = 1.05) -> float:
-    """Fraction of accesses hitting the ``cached_rows`` most popular rows.
-
-    Zipf(s) mass of the top-k ranks, ``H_k(s) / H_n(s)`` with generalized
-    harmonic numbers (exact; see :func:`_generalized_harmonic`).  This is
-    the hit rate of a cache that pins the hottest rows — the limit an LFU
-    policy converges to, and an upper bound for LRU (see
-    :func:`lru_hit_rate`).
-    """
-    _validate_cache_args(num_rows, cached_rows, skew)
-    k = min(cached_rows, num_rows)
-    if k == 0:
-        return 0.0
-    if k == num_rows:
-        return 1.0
-    return min(
-        1.0, _generalized_harmonic(k, skew) / _generalized_harmonic(num_rows, skew)
-    )
-
-
-#: Rank count beyond which the Che fixed point uses log-spaced rank
-#: quadrature instead of the dense pmf (bounds memory at ~tens of KB).
-_CHE_DENSE_LIMIT = 2_097_152
-
-
-def _che_popularities(num_rows: int, skew: float) -> tuple[np.ndarray, np.ndarray]:
-    """Per-rank access probabilities ``p`` and multiplicities ``w`` such
-    that ``sum(w) == num_rows`` and ``sum(w * p) == 1``."""
-    if num_rows <= _CHE_DENSE_LIMIT:
-        ranks = np.arange(1, num_rows + 1, dtype=np.float64)
-        p = ranks**-skew
-        return p / p.sum(), np.ones_like(p)
-    # Log-spaced representative ranks; each bucket [lo, hi) is represented
-    # by its geometric-mean rank with multiplicity (hi - lo).
-    edges = np.unique(
-        np.round(np.geomspace(1, num_rows + 1, num=4096)).astype(np.int64)
-    )
-    lo, hi = edges[:-1], edges[1:]
-    w = (hi - lo).astype(np.float64)
-    reps = np.sqrt(lo * hi.astype(np.float64))
-    p = reps**-skew
-    p /= float(np.sum(w * p))
-    return p, w
-
-
-def lru_hit_rate(num_rows: int, cached_rows: int, skew: float = 1.05) -> float:
-    """Expected *LRU* hit rate under the independent-reference model.
-
-    Che's approximation: the characteristic time ``T`` solves
-    ``sum_i (1 - exp(-p_i T)) = C`` and the hit rate is
-    ``sum_i p_i (1 - exp(-p_i T))``.  Accurate to ~1% against the
-    functional LRU cache in :mod:`repro.serving.cache` on discrete-Zipf
-    traffic (pinned by ``tests/test_serving_cache.py``).
-    """
-    _validate_cache_args(num_rows, cached_rows, skew)
-    c = min(cached_rows, num_rows)
-    if c == 0:
-        return 0.0
-    if c == num_rows:
-        return 1.0
-    p, w = _che_popularities(num_rows, skew)
-
-    def occupancy(t: float) -> float:
-        return float(np.sum(w * -np.expm1(-p * t)))
-
-    # Bracket then bisect the monotone fixed point (no scipy dependency in
-    # this hot path; 60 iterations give ~1e-12 relative precision).
-    lo, hi = 0.0, float(c)
-    while occupancy(hi) < c:
-        hi *= 2.0
-        if hi > 1e18:  # pragma: no cover - defensive
-            break
-    for _ in range(60):
-        mid = 0.5 * (lo + hi)
-        if occupancy(mid) < c:
-            lo = mid
-        else:
-            hi = mid
-    t = 0.5 * (lo + hi)
-    return min(1.0, float(np.sum(w * p * -np.expm1(-p * t))))
 
 
 @dataclass(frozen=True)

@@ -9,9 +9,11 @@ rate, and (optionally) stores rows 8/4/2-bit quantized via
 
 Layers:
 
-* :class:`HotRowCache` — one table's cache.  ``access`` does bookkeeping
-  only (the pricing path); ``get_rows`` also returns row vectors (the
-  functional path).
+* :class:`HotRowCache` — one table's cache: a thin payload layer over the
+  shared :class:`repro.tiering.policy.PolicyCache` (eviction semantics and
+  hit accounting are written once for serving and the tiered training
+  store).  ``access`` does bookkeeping only (the pricing path);
+  ``get_rows`` also returns row vectors (the functional path).
 * :class:`CacheBank` — per-table caches for a model config, driven by
   ragged index batches; the unit a serving replica owns.
 * :class:`CachedEmbeddingBagCollection` — a drop-in pooled-lookup wrapper
@@ -20,15 +22,13 @@ Layers:
   when ``bits`` is set).
 
 Measured hit rates are cross-validated against
-:func:`repro.placement.cache.lru_hit_rate` (LRU / Che) and
-:func:`repro.placement.cache.zipf_hit_rate` (LFU / top-k mass) in
+:func:`repro.tiering.analytic.lru_hit_rate` (LRU / Che) and
+:func:`repro.tiering.analytic.zipf_hit_rate` (LFU / top-k mass) in
 ``tests/test_serving_cache.py``.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,7 +36,8 @@ import numpy as np
 from ..core.config import FP32_BYTES, ModelConfig, PoolingType
 from ..core.embedding import EmbeddingBagCollection, RaggedIndices
 from ..core.quantization import dequantize_rows, quantize_rows
-from ..placement.cache import lru_hit_rate, zipf_hit_rate
+from ..tiering.analytic import lru_hit_rate, zipf_hit_rate
+from ..tiering.policy import PolicyCache
 
 __all__ = [
     "CacheConfig",
@@ -99,14 +100,15 @@ def predicted_hit_rate(
     raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
 
 
-class HotRowCache:
+class HotRowCache(PolicyCache):
     """One embedding table's hot-row cache with a measured hit rate.
 
-    Entries map row id -> stored payload (``None`` on the pricing-only
-    path).  LRU is an :class:`~collections.OrderedDict` used as a
-    recency list; LFU keeps per-row frequencies and evicts the
-    least-frequent via a lazy heap (stale heap entries are skipped on
-    pop), so both policies are O(log n) worst case per access.
+    Eviction semantics, hit/miss/compulsory accounting and the warm/raw
+    hit-rate bracket all come from the shared
+    :class:`~repro.tiering.policy.PolicyCache`; this subclass restricts
+    the policy menu to the serving pair (LRU/LFU — frequency admission
+    needs training-side stats) and adds the row-payload path
+    (:meth:`get_rows`, optionally quantized).
     """
 
     def __init__(self, capacity_rows: int, policy: str = "lru") -> None:
@@ -114,126 +116,7 @@ class HotRowCache:
             raise ValueError(f"capacity_rows must be >= 0, got {capacity_rows}")
         if policy not in _POLICIES:
             raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
-        self.capacity = capacity_rows
-        self.policy = policy
-        self.hits = 0
-        self.misses = 0
-        #: Misses on rows never seen before (cold-start fills).  A finite
-        #: window cannot avoid these, but the steady-state analytics
-        #: (:func:`predicted_hit_rate`) assume a warmed cache — so
-        #: cross-validation compares against :attr:`warm_hit_rate`.
-        self.compulsory_misses = 0
-        self._seen: set[int] = set()
-        self._store: OrderedDict[int, object] = OrderedDict()
-        # LFU state: row -> access count, plus a lazy min-heap of
-        # (count, seq, row) candidates.
-        self._freq: dict[int, int] = {}
-        self._heap: list[tuple[int, int, int]] = []
-        self._seq = 0
-
-    def __len__(self) -> int:
-        return len(self._store)
-
-    def __contains__(self, row: int) -> bool:
-        return row in self._store
-
-    @property
-    def accesses(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
-
-    @property
-    def warm_hit_rate(self) -> float:
-        """Hit rate with cold-start (first-touch) misses excluded.
-
-        An *optimistic* estimator: in steady state rare rows would still
-        miss on most accesses, but here their first touch is simply
-        dropped.  Together with the pessimistic raw :attr:`hit_rate`
-        (which charges every cold fill) the pair brackets the
-        steady-state hit rate over a finite window:
-        ``hit_rate <= steady_state <= warm_hit_rate``.
-        """
-        warm = self.accesses - self.compulsory_misses
-        return self.hits / warm if warm else 0.0
-
-    def invalidate(self) -> None:
-        """Drop all entries (checkpoint refresh / replica cold start).
-
-        Hit/miss counters survive — measured hit rates deliberately
-        include the cold re-warm cost of invalidations.
-        """
-        self._store.clear()
-        self._freq.clear()
-        self._heap.clear()
-
-    # -- internals ----------------------------------------------------------
-
-    def _lfu_push(self, row: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self._freq[row], self._seq, row))
-
-    def _evict_one(self) -> None:
-        if self.policy == "lru":
-            self._store.popitem(last=False)
-            return
-        while self._heap:
-            count, _, row = heapq.heappop(self._heap)
-            if row in self._store and self._freq.get(row) == count:
-                del self._store[row]
-                del self._freq[row]
-                return
-        # Heap exhausted by stale entries: rebuild from live rows.
-        for row in self._store:  # pragma: no cover - defensive
-            self._lfu_push(row)
-        if self._heap:
-            self._evict_one()  # pragma: no cover - defensive
-
-    def _touch(self, row: int) -> bool:
-        """Record one access; returns True on hit."""
-        hit = row in self._store
-        if hit:
-            self.hits += 1
-            if self.policy == "lru":
-                self._store.move_to_end(row)
-            else:
-                self._freq[row] += 1
-                self._lfu_push(row)
-        else:
-            self.misses += 1
-            if row not in self._seen:
-                self.compulsory_misses += 1
-                self._seen.add(row)
-        return hit
-
-    def _insert(self, row: int, payload: object) -> None:
-        if self.capacity == 0:
-            return
-        if len(self._store) >= self.capacity:
-            self._evict_one()
-        self._store[row] = payload
-        if self.policy == "lfu":
-            self._freq[row] = self._freq.get(row, 0) + 1
-            self._lfu_push(row)
-
-    # -- public access paths -------------------------------------------------
-
-    def access(self, rows: np.ndarray) -> int:
-        """Bookkeeping-only pass over an access stream; returns hits.
-
-        Used by the pricing path (``execute=False`` serving runs): the
-        cache state and hit statistics evolve exactly as the functional
-        path, but no row data moves.
-        """
-        batch_hits = 0
-        for row in rows.tolist():
-            if self._touch(row):
-                batch_hits += 1
-            else:
-                self._insert(row, None)
-        return batch_hits
+        super().__init__(capacity_rows, policy)
 
     def get_rows(self, rows: np.ndarray, fetch, quant_bits: int | None) -> np.ndarray:
         """Serve row vectors through the cache; returns ``(len(rows), dim)``.
@@ -244,8 +127,8 @@ class HotRowCache:
         """
         out: list[np.ndarray] = []
         for row in rows.tolist():
-            if self._touch(row):
-                payload = self._store[row]
+            if self.touch(row):
+                payload = self.get(row)
                 if quant_bits is None:
                     out.append(payload)  # type: ignore[arg-type]
                 else:
@@ -254,11 +137,11 @@ class HotRowCache:
             else:
                 vec = np.asarray(fetch(np.array([row], dtype=np.int64))[0], dtype=float)
                 if quant_bits is None:
-                    self._insert(row, vec)
+                    self.insert(row, vec)
                     out.append(vec)
                 else:
                     codes, scales = quantize_rows(vec[None, :], quant_bits)
-                    self._insert(row, (codes, scales))
+                    self.insert(row, (codes, scales))
                     out.append(dequantize_rows(codes, scales)[0])
         if not out:
             return np.empty((0, 0))

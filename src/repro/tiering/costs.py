@@ -1,0 +1,78 @@
+"""Pricing model for the two-tier embedding store.
+
+The store is *functional* — every lookup really reads the flat weight
+array, so numerics are unchanged — but each access is priced as if the
+row lived in its current tier, using :class:`repro.hardware.memory.
+MemoryTierSpec` access characteristics.  This is the same
+simulate-the-cost-not-the-data approach the perf models use elsewhere
+in the repo, applied at row granularity.
+
+Overhead convention: the *tier-miss overhead* of a run is the simulated
+time in excess of an all-hot (everything in DRAM) run::
+
+    overhead = misses * (cold_access - hot_access) + moves * chunk_move
+
+:meth:`TierCostModel.predicted_overhead_s` evaluates the same expression
+from an analytic hit rate (:mod:`repro.tiering.analytic`), which is what
+the measured-vs-analytic gate in ``experiments/ext_tiering.py`` compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.memory import DRAM_TIER, SCM_TIER, MemoryTierSpec
+
+__all__ = ["TierCostModel"]
+
+
+@dataclass(frozen=True)
+class TierCostModel:
+    """Access and movement costs for a hot/cold tier pair."""
+
+    hot: MemoryTierSpec = DRAM_TIER
+    cold: MemoryTierSpec = SCM_TIER
+
+    def hot_access_s(self, row_bytes: float) -> float:
+        """Seconds to serve one row from the hot tier."""
+        return self.hot.access_s(row_bytes)
+
+    def cold_access_s(self, row_bytes: float) -> float:
+        """Seconds to serve one row from the cold tier."""
+        return self.cold.access_s(row_bytes)
+
+    def miss_penalty_s(self, row_bytes: float) -> float:
+        """Extra seconds a cold-tier access costs over a hot-tier one."""
+        return self.cold_access_s(row_bytes) - self.hot_access_s(row_bytes)
+
+    def chunk_move_s(self, chunk_bytes: float) -> float:
+        """Seconds to migrate one chunk between tiers (read + write).
+
+        Promotion reads the chunk from the cold tier and writes it to the
+        hot tier; demotion is the mirror image and costs the same, so one
+        number prices both directions.
+        """
+        return self.cold.access_s(chunk_bytes) + self.hot.access_s(chunk_bytes)
+
+    def predicted_overhead_s(
+        self,
+        lookups: float,
+        hit_rate: float,
+        row_bytes: float,
+        chunk_bytes: float,
+        moves_per_miss: float,
+    ) -> float:
+        """Analytic tier-miss overhead for ``lookups`` accesses.
+
+        ``moves_per_miss`` captures the policy's steady-state migration
+        behaviour: insert-on-miss policies (lru/lfu) move a chunk on every
+        miss, frequency-admission ("freq") converges to a stable hot set
+        and stops moving (0).
+        """
+        if not 0.0 <= hit_rate <= 1.0:
+            raise ValueError(f"hit_rate must be in [0, 1], got {hit_rate}")
+        misses = lookups * (1.0 - hit_rate)
+        return misses * (
+            self.miss_penalty_s(row_bytes)
+            + moves_per_miss * self.chunk_move_s(chunk_bytes)
+        )

@@ -1,0 +1,244 @@
+"""Generic keyed cache with pluggable admission/eviction policies.
+
+This is the one functional cache implementation in the repo.  The serving
+hot-row caches (:class:`repro.serving.cache.HotRowCache`) and the tiered
+embedding store's hot tier (:class:`repro.tiering.store.TieredEmbeddingTable`)
+are both built on :class:`PolicyCache`, so eviction semantics, hit/miss
+accounting, and the warm/raw hit-rate bracket are written (and
+cross-validated against :mod:`repro.tiering.analytic`) exactly once.
+
+Policies:
+
+* ``"lru"`` — evict the least recently used key (an
+  :class:`~collections.OrderedDict` used as a recency list).
+* ``"lfu"`` — evict the least frequently used key (per-key counts plus a
+  lazy min-heap of ``(count, seq, key)`` candidates; stale heap entries
+  are skipped on pop, so worst-case cost stays O(log n) per access).
+* ``"freq"`` — frequency-*admission*: eviction picks the cached key with
+  the lowest external score (a caller-supplied ``scorer``, e.g. a decayed
+  access-frequency EMA from :class:`repro.tiering.freq.FreqStats`), and a
+  missing key is only admitted when it outscores that victim.  This is
+  the policy MTrainS-style tiered stores use — the hot set converges to
+  the most-popular items and then stops churning, unlike insert-on-miss
+  LRU/LFU which pay a movement on every miss.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["PolicyCache", "POLICIES"]
+
+POLICIES = ("lru", "lfu", "freq")
+
+
+class PolicyCache:
+    """A capacity-bounded key -> payload cache with a measured hit rate.
+
+    ``touch(key)`` records one access (hit bookkeeping only); ``insert``
+    admits a missing key, possibly evicting — the two-step split lets
+    callers price hits, misses and movements separately.  ``access`` is
+    the fused convenience loop (touch + insert-on-miss).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "lru",
+        scorer: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if policy == "freq" and scorer is None:
+            raise ValueError("policy 'freq' requires a scorer")
+        self.capacity = capacity
+        self.policy = policy
+        self.scorer = scorer
+        self.hits = 0
+        self.misses = 0
+        #: Misses on keys never seen before (cold-start fills).  A finite
+        #: window cannot avoid these, but the steady-state analytics
+        #: (:mod:`repro.tiering.analytic`) assume a warmed cache — so
+        #: cross-validation compares against :attr:`warm_hit_rate`.
+        self.compulsory_misses = 0
+        #: Admissions that actually landed (each one is a tier movement).
+        self.insertions = 0
+        #: "freq"-policy misses whose key did not outscore the coldest
+        #: cached key — the miss is served from the cold tier with no
+        #: movement (the churn-avoidance that makes the policy cheap).
+        self.rejections = 0
+        self.evictions = 0
+        self._seen: set[int] = set()
+        self._store: OrderedDict[int, object] = OrderedDict()
+        # LFU state: key -> access count, plus a lazy min-heap of
+        # (count, seq, key) candidates.
+        self._freq: dict[int, int] = {}
+        self._heap: list[tuple[int, int, int]] = []
+        self._seq = 0
+        # "freq" victim memo: (victim, score), valid while neither the
+        # store membership nor the external scores have changed — so a
+        # run of rejected misses costs one scan, not one scan each.
+        self._victim_memo: tuple[int, float] | None = None
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._store
+
+    def keys(self) -> np.ndarray:
+        """Currently cached keys (insertion/recency order), int64."""
+        return np.fromiter(self._store.keys(), dtype=np.int64, count=len(self._store))
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Hit rate with cold-start (first-touch) misses excluded.
+
+        An *optimistic* estimator: in steady state rare keys would still
+        miss on most accesses, but here their first touch is simply
+        dropped.  Together with the pessimistic raw :attr:`hit_rate`
+        (which charges every cold fill) the pair brackets the
+        steady-state hit rate over a finite window:
+        ``hit_rate <= steady_state <= warm_hit_rate``.
+        """
+        warm = self.accesses - self.compulsory_misses
+        return self.hits / warm if warm else 0.0
+
+    def invalidate(self) -> None:
+        """Drop all entries (checkpoint refresh / replica cold start).
+
+        Hit/miss counters survive — measured hit rates deliberately
+        include the cold re-warm cost of invalidations.
+        """
+        self._store.clear()
+        self._freq.clear()
+        self._heap.clear()
+        self._victim_memo = None
+
+    def note_scores_changed(self) -> None:
+        """Invalidate the cached "freq" victim after the external scorer's
+        state moved (call once per stats update, not per access)."""
+        self._victim_memo = None
+
+    # -- internals ----------------------------------------------------------
+
+    def _lfu_push(self, key: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._freq[key], self._seq, key))
+
+    def _evict_one(self) -> int | None:
+        """Evict one key per policy (lru/lfu); returns the evicted key."""
+        if self.policy == "lru":
+            key, _ = self._store.popitem(last=False)
+            return key
+        while self._heap:
+            count, _, key = heapq.heappop(self._heap)
+            if key in self._store and self._freq.get(key) == count:
+                del self._store[key]
+                del self._freq[key]
+                return key
+        # Heap exhausted by stale entries: rebuild from live keys.
+        for key in self._store:  # pragma: no cover - defensive
+            self._lfu_push(key)
+        if self._heap:  # pragma: no cover - defensive
+            return self._evict_one()
+        return None  # pragma: no cover - defensive
+
+    def _freq_victim(self) -> tuple[int, float]:
+        """Lowest-scored cached key (ties broken by smallest key)."""
+        if self._victim_memo is None:
+            cached = self.keys()
+            scores = np.asarray(self.scorer(cached), dtype=np.float64)
+            idx = int(np.lexsort((cached, scores))[0])
+            self._victim_memo = (int(cached[idx]), float(scores[idx]))
+        return self._victim_memo
+
+    # -- access primitives ---------------------------------------------------
+
+    def touch(self, key: int) -> bool:
+        """Record one access; returns True on hit."""
+        hit = key in self._store
+        if hit:
+            self.hits += 1
+            if self.policy == "lru":
+                self._store.move_to_end(key)
+            elif self.policy == "lfu":
+                self._freq[key] += 1
+                self._lfu_push(key)
+            # "freq": recency/count state lives in the external scorer.
+        else:
+            self.misses += 1
+            if key not in self._seen:
+                self.compulsory_misses += 1
+                self._seen.add(key)
+        return hit
+
+    def insert(
+        self, key: int, payload: object = None, score: float | None = None
+    ) -> tuple[bool, int | None]:
+        """Admit a (missing) key; returns ``(inserted, evicted_key)``.
+
+        LRU/LFU always admit (insert-on-miss); "freq" only admits when the
+        key outscores the coldest cached key, otherwise the insert is
+        rejected and nothing moves.  ``score`` optionally supplies the
+        key's already-computed scorer value (must equal ``scorer([key])``)
+        so batch callers skip the per-miss scorer round trip.
+        """
+        if self.capacity == 0:
+            return False, None
+        evicted: int | None = None
+        if len(self._store) >= self.capacity:
+            if self.policy == "freq":
+                victim, victim_score = self._freq_victim()
+                if score is None:
+                    score = float(np.asarray(self.scorer(np.array([key])))[0])
+                if score <= victim_score:
+                    self.rejections += 1
+                    return False, None
+                del self._store[victim]
+                evicted = victim
+            else:
+                evicted = self._evict_one()
+            self.evictions += 1
+        self._store[key] = payload
+        self._victim_memo = None
+        if self.policy == "lfu":
+            self._freq[key] = self._freq.get(key, 0) + 1
+            self._lfu_push(key)
+        self.insertions += 1
+        return True, evicted
+
+    def get(self, key: int) -> object:
+        """Payload of a cached key (KeyError when absent)."""
+        return self._store[key]
+
+    # -- fused loop ----------------------------------------------------------
+
+    def access(self, keys: np.ndarray) -> int:
+        """Bookkeeping-only pass over an access stream; returns hits.
+
+        Misses insert a ``None`` payload (the pricing path): cache state
+        and hit statistics evolve exactly as the functional path, but no
+        data moves.
+        """
+        batch_hits = 0
+        for key in keys.tolist():
+            if self.touch(key):
+                batch_hits += 1
+            else:
+                self.insert(key, None)
+        return batch_hits

@@ -1,0 +1,441 @@
+"""Tests for the tiered embedding store (repro.tiering)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DLRM, Adagrad, MLPSpec, ModelConfig, Trainer, uniform_tables
+from repro.core.config import InteractionType, TableSpec
+from repro.core.embedding import EmbeddingTable
+from repro.core.quantization import QuantizedEmbeddingTable
+from repro.data import SyntheticDataGenerator
+from repro.hardware import DRAM_TIER, NVME_TIER, SCM_TIER, MemoryTierSpec
+from repro.obs import MetricsRegistry
+from repro.tiering import (
+    FreqStats,
+    PolicyCache,
+    TierCostModel,
+    TieredEmbeddingTable,
+    TieredStoreConfig,
+    TierStats,
+    policy_hit_rate_pmf,
+)
+
+
+# ---------------------------------------------------------------------------
+# MemoryTierSpec / TierCostModel
+# ---------------------------------------------------------------------------
+
+
+class TestTierSpecs:
+    def test_access_time_is_latency_plus_transfer(self):
+        tier = MemoryTierSpec("t", bandwidth=1e9, latency_s=1e-6)
+        assert tier.access_s(0) == pytest.approx(1e-6)
+        assert tier.access_s(1e9) == pytest.approx(1e-6 + 1.0)
+
+    def test_builtin_tiers_ordered_by_speed(self):
+        row = 256.0
+        assert DRAM_TIER.access_s(row) < SCM_TIER.access_s(row)
+        assert SCM_TIER.access_s(row) < NVME_TIER.access_s(row)
+
+    @pytest.mark.parametrize("kw", [
+        dict(bandwidth=0.0, latency_s=1e-6),
+        dict(bandwidth=-1.0, latency_s=1e-6),
+        dict(bandwidth=1e9, latency_s=-1e-9),
+    ])
+    def test_invalid_specs_rejected(self, kw):
+        with pytest.raises(ValueError):
+            MemoryTierSpec("bad", **kw)
+
+    def test_cost_model_components(self):
+        m = TierCostModel(hot=DRAM_TIER, cold=SCM_TIER)
+        row_b, chunk_b = 64.0, 512.0
+        assert m.miss_penalty_s(row_b) == pytest.approx(
+            m.cold_access_s(row_b) - m.hot_access_s(row_b)
+        )
+        assert m.chunk_move_s(chunk_b) == pytest.approx(
+            SCM_TIER.access_s(chunk_b) + DRAM_TIER.access_s(chunk_b)
+        )
+
+    def test_predicted_overhead_formula(self):
+        m = TierCostModel()
+        row_b, chunk_b = 64.0, 512.0
+        got = m.predicted_overhead_s(1000, 0.9, row_b, chunk_b, moves_per_miss=1.0)
+        misses = 1000 * 0.1
+        want = misses * (m.miss_penalty_s(row_b) + m.chunk_move_s(chunk_b))
+        assert got == pytest.approx(want)
+        # freq-style steady state: no movements, only the miss penalty.
+        got0 = m.predicted_overhead_s(1000, 0.9, row_b, chunk_b, moves_per_miss=0.0)
+        assert got0 == pytest.approx(misses * m.miss_penalty_s(row_b))
+
+    def test_predicted_overhead_rejects_bad_hit_rate(self):
+        with pytest.raises(ValueError):
+            TierCostModel().predicted_overhead_s(10, 1.5, 64, 512, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# PolicyCache
+# ---------------------------------------------------------------------------
+
+
+class TestPolicyCache:
+    def test_lru_evicts_least_recently_used(self):
+        c = PolicyCache(2, "lru")
+        c.access(np.array([1, 2]))
+        c.access(np.array([1]))       # 1 is now more recent than 2
+        c.access(np.array([3]))       # evicts 2
+        assert 1 in c and 3 in c and 2 not in c
+        assert c.evictions == 1
+
+    def test_lfu_evicts_least_frequent(self):
+        c = PolicyCache(2, "lfu")
+        c.access(np.array([1, 1, 1, 2]))
+        c.access(np.array([3]))       # 2 has count 1 < 1's count 3
+        assert 1 in c and 3 in c and 2 not in c
+
+    def test_freq_admission_rejects_cold_keys(self):
+        scores = {1: 5.0, 2: 4.0, 3: 1.0, 4: 9.0}
+        scorer = lambda ks: np.array([scores[int(k)] for k in ks])
+        c = PolicyCache(2, "freq", scorer=scorer)
+        c.access(np.array([1, 2]))    # fills
+        c.access(np.array([3]))       # score 1 < victim score 4 -> rejected
+        assert 3 not in c and c.rejections == 1
+        c.access(np.array([4]))       # score 9 > victim (2 @ 4.0) -> admitted
+        assert 4 in c and 2 not in c
+        assert c.insertions == 3 and c.evictions == 1
+
+    def test_capacity_zero_never_admits(self):
+        c = PolicyCache(0, "lru")
+        hits = c.access(np.array([1, 1, 1]))
+        assert hits == 0 and len(c) == 0 and c.misses == 3
+
+    def test_hit_rate_bracket(self):
+        c = PolicyCache(4, "lru")
+        c.access(np.array([1, 2, 3, 1, 2, 3, 1, 2, 3]))
+        # 3 compulsory cold fills, 6 warm hits.
+        assert c.hits == 6 and c.compulsory_misses == 3
+        assert c.hit_rate == pytest.approx(6 / 9)
+        assert c.warm_hit_rate == pytest.approx(1.0)
+        assert c.hit_rate <= c.warm_hit_rate
+
+    def test_invalidate_keeps_counters(self):
+        c = PolicyCache(2, "lru")
+        c.access(np.array([1, 1]))
+        c.invalidate()
+        assert len(c) == 0 and c.hits == 1 and c.misses == 1
+
+    def test_freq_requires_scorer(self):
+        with pytest.raises(ValueError, match="scorer"):
+            PolicyCache(2, "freq")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            PolicyCache(2, "mru")
+
+
+# ---------------------------------------------------------------------------
+# FreqStats (basics; stream-invariance properties live in test_tiering_freq)
+# ---------------------------------------------------------------------------
+
+
+class TestFreqStats:
+    def test_counts_and_window(self):
+        f = FreqStats(8, decay=0.9, window=4)
+        f.record(np.array([0, 1, 1, 2, 3, 3]))
+        np.testing.assert_array_equal(f.counts[:4], [1, 2, 1, 2])
+        # Window holds the last 4 accesses: 1, 2, 3, 3.
+        np.testing.assert_array_equal(f.win_counts[:4], [0, 1, 1, 2])
+        assert f.pos == 6
+
+    def test_scores_decay_toward_recent(self):
+        f = FreqStats(4, decay=0.5, window=8)
+        f.record(np.array([0, 1]))
+        s = f.scores()
+        # 0 was accessed one step before 1, so its score decayed once more.
+        assert s[1] == pytest.approx(1.0)
+        assert s[0] == pytest.approx(0.5)
+        assert s[2] == 0.0
+
+    def test_topk_breaks_ties_by_id(self):
+        f = FreqStats(4, decay=1.0, window=8)
+        f.record(np.array([3, 1]))  # decay 1.0: both score exactly 1
+        np.testing.assert_array_equal(f.topk(2), [1, 3])
+
+    def test_out_of_range_rejected(self):
+        f = FreqStats(4)
+        with pytest.raises(IndexError):
+            f.record(np.array([4]))
+        with pytest.raises(IndexError):
+            f.record(np.array([-1]))
+
+
+# ---------------------------------------------------------------------------
+# bytes_per_row — the tier-capacity pricing contract
+# ---------------------------------------------------------------------------
+
+
+class TestBytesPerRow:
+    def _table(self, dtype):
+        spec = TableSpec("t", hash_size=32, dim=16, mean_lookups=2.0)
+        return EmbeddingTable(spec, np.random.default_rng(0), dtype=dtype)
+
+    def test_flat_tables_priced_by_dtype(self):
+        assert self._table(np.float64).bytes_per_row() == 16 * 8
+        assert self._table(np.float32).bytes_per_row() == 16 * 4
+
+    @pytest.mark.parametrize("bits,want", [(8, 16 + 4), (4, 8 + 4), (2, 4 + 4)])
+    def test_quantized_tables_priced_by_bits(self, bits, want):
+        q = QuantizedEmbeddingTable(self._table(np.float64), bits)
+        assert q.bytes_per_row() == pytest.approx(want)
+
+    def test_hot_bytes_capacity_uses_row_width(self):
+        cfg = TieredStoreConfig(hot_fraction=None, hot_bytes=1024.0, chunk_rows=2)
+        # f64 rows are 128 B -> 8 rows -> 4 chunks; f32 rows 64 B -> 8 chunks.
+        assert cfg.capacity_chunks(32, 128.0) == 4
+        assert cfg.capacity_chunks(32, 64.0) == 8
+        # Quantized int8 rows (dim 16 -> 20 B) pack far more rows per byte.
+        assert cfg.capacity_chunks(1024, 20.0) == 25
+
+
+# ---------------------------------------------------------------------------
+# TieredStoreConfig validation
+# ---------------------------------------------------------------------------
+
+
+class TestTieredStoreConfig:
+    @pytest.mark.parametrize("kw", [
+        dict(hot_fraction=None, hot_bytes=None),
+        dict(hot_fraction=1.5),
+        dict(hot_fraction=-0.1),
+        dict(hot_bytes=-1.0),
+        dict(chunk_rows=0),
+        dict(policy="mru"),
+    ])
+    def test_invalid_configs_rejected(self, kw):
+        with pytest.raises(ValueError):
+            TieredStoreConfig(**kw)
+
+    def test_capacity_whole_chunks_capped_at_table(self):
+        cfg = TieredStoreConfig(hot_fraction=1.0, chunk_rows=8)
+        # 100 rows hold 12 whole 8-row chunks (the budget buys whole chunks).
+        assert cfg.capacity_chunks(100, 64.0) == 12
+        # chunk_rows=1: a full hot fraction covers every chunk exactly.
+        assert TieredStoreConfig(hot_fraction=1.0, chunk_rows=1).capacity_chunks(
+            100, 64.0
+        ) == 100
+
+
+# ---------------------------------------------------------------------------
+# TieredEmbeddingTable: accounting + bit identity
+# ---------------------------------------------------------------------------
+
+
+def _small_config(dtype="float64"):
+    return ModelConfig(
+        name="tiny-tier",
+        num_dense=4,
+        tables=uniform_tables(3, 200, dim=8, mean_lookups=3.0),
+        bottom_mlp=MLPSpec((8, 4)),
+        top_mlp=MLPSpec((8,)),
+        interaction=InteractionType.CONCAT,
+        compute_dtype=dtype,
+    )
+
+
+def _train(model, config, steps=4, batch=32, seed=0, metrics=None):
+    gen = SyntheticDataGenerator(config, rng=seed, seed_teacher=True)
+    trainer = Trainer(
+        model,
+        lambda m: Adagrad(m.dense_parameters(), m.embedding_tables(), lr=0.05),
+        metrics=metrics,
+    )
+    return [trainer.train_step(gen.batch(batch)) for _ in range(steps)]
+
+
+class TestTieredTable:
+    def test_accounting_invariants(self):
+        spec = TableSpec("t", hash_size=64, dim=4, mean_lookups=2.0)
+        table = TieredEmbeddingTable(
+            spec, np.random.default_rng(0),
+            tiering=TieredStoreConfig(hot_fraction=0.25, chunk_rows=4, policy="lru"),
+        )
+        rows = np.random.default_rng(1).integers(0, 64, size=500)
+        table.record_accesses(rows)
+        s = table.stats
+        assert s.accesses == 500
+        assert s.hot_hits + s.cold_misses == 500
+        assert s.promotions <= s.cold_misses
+        assert len(table.hot) <= table.capacity_chunks
+        assert s.total_time_s > 0 and s.overhead_s >= 0
+        assert table.freq.pos == 500
+
+    def test_freq_policy_rejections_skip_movement(self):
+        spec = TableSpec("t", hash_size=64, dim=4, mean_lookups=2.0)
+        table = TieredEmbeddingTable(
+            spec, np.random.default_rng(0),
+            tiering=TieredStoreConfig(hot_fraction=0.125, chunk_rows=4, policy="freq"),
+        )
+        # Skewed stream: a few hot rows dominate; the tail gets rejected.
+        rng = np.random.default_rng(2)
+        hot = rng.integers(0, 8, size=400)
+        tail = rng.integers(8, 64, size=100)
+        table.record_accesses(np.concatenate([hot, tail]))
+        s = table.stats
+        assert s.rejected > 0
+        assert s.promotions + s.rejected == s.cold_misses
+        # Rejected misses charge no move time.
+        assert s.move_time_s == pytest.approx(
+            s.promotions * table.cost_model.chunk_move_s(
+                table.bytes_per_row() * table.chunk_rows
+            )
+        )
+
+    def test_stats_delta_roundtrip(self):
+        s = TierStats(hot_hits=10, cold_misses=5, promotions=2,
+                      hot_time_s=1.0, cold_time_s=2.0, move_time_s=0.5)
+        snap = s.snapshot()
+        s.hot_hits += 3
+        s.cold_misses += 1
+        d = s.delta(snap)
+        assert d.hot_hits == 3 and d.cold_misses == 1 and d.promotions == 0
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("hot_fraction", [0.0, 0.1, 1.0])
+    def test_bit_identical_to_flat_table(self, dtype, hot_fraction):
+        config = _small_config(dtype)
+        flat = DLRM(config, rng=7)
+        tiered = DLRM(
+            config, rng=7,
+            tiering=TieredStoreConfig(hot_fraction=hot_fraction, chunk_rows=4),
+        )
+        flat_losses = _train(flat, config, seed=3)
+        tiered_losses = _train(tiered, config, seed=3)
+        assert flat_losses == tiered_losses
+        for ft, tt in zip(flat.embedding_tables(), tiered.embedding_tables()):
+            np.testing.assert_array_equal(ft.weight, tt.weight)
+        for fp, tp in zip(flat.dense_parameters(), tiered.dense_parameters()):
+            np.testing.assert_array_equal(fp.value, tp.value)
+
+    def test_inference_forward_not_accounted(self):
+        config = _small_config()
+        model = DLRM(config, rng=0, tiering=TieredStoreConfig(hot_fraction=0.1))
+        gen = SyntheticDataGenerator(config, rng=0)
+        model.predict_proba(gen.batch(16))
+        for t in model.embedding_tables():
+            assert t.stats.accesses == 0
+
+
+# ---------------------------------------------------------------------------
+# Trainer integration: tier metrics + spans
+# ---------------------------------------------------------------------------
+
+
+class TestTrainerTierMetrics:
+    def test_counters_and_gauges_published(self):
+        config = _small_config()
+        model = DLRM(config, rng=0, tiering=TieredStoreConfig(hot_fraction=0.1))
+        metrics = MetricsRegistry()
+        _train(model, config, steps=3, metrics=metrics)
+        hits = sum(
+            c.value for c in metrics.get("tier_hot_hits").children().values()
+        )
+        misses = sum(
+            c.value for c in metrics.get("tier_cold_misses").children().values()
+        )
+        total = sum(t.stats.accesses for t in model.embedding_tables())
+        assert hits + misses == total > 0
+        assert len(metrics.get("tier_hit_rate").children()) == len(config.tables)
+
+    def test_flat_model_publishes_nothing(self):
+        config = _small_config()
+        model = DLRM(config, rng=0)
+        metrics = MetricsRegistry()
+        _train(model, config, steps=2, metrics=metrics)
+        with pytest.raises(KeyError):
+            metrics.get("tier_hot_hits")
+
+    def test_tier_spans_emitted(self):
+        from repro.obs import Tracer
+
+        config = _small_config()
+        model = DLRM(config, rng=0, tiering=TieredStoreConfig(hot_fraction=0.1))
+        tracer = Tracer()
+        trainer = Trainer(
+            model,
+            lambda m: Adagrad(m.dense_parameters(), m.embedding_tables(), lr=0.05),
+            tracer=tracer,
+        )
+        gen = SyntheticDataGenerator(config, rng=0)
+        trainer.train_step(gen.batch(16))
+        tier_spans = [s for s in tracer.spans if s.name == "tier"]
+        assert len(tier_spans) == len(config.tables)
+
+
+# ---------------------------------------------------------------------------
+# measured vs analytic cross-validation (small; the full sweep is the CLI)
+# ---------------------------------------------------------------------------
+
+
+class TestMeasuredVsAnalytic:
+    def test_sweep_point_within_gate(self):
+        from repro.experiments.ext_tiering import run_sweep
+
+        points = run_sweep(
+            hot_fractions=(0.05,), skews=(1.05,), policies=("freq",),
+            num_rows=2048, chunk_rows=4, warmup=6000, measure=12000,
+        )
+        assert len(points) == 1
+        p = points[0]
+        assert 0.0 < p.measured_hit_rate < 1.0
+        assert p.rel_err < 0.25
+
+    def test_train_experiment_bit_identity(self):
+        from repro.experiments.ext_tiering import run_train
+
+        r = run_train(hot_fraction=0.05, policy="freq", steps=3, batch=32,
+                      dtype="float32")
+        assert r.bit_identical
+        assert r.tier_stats["hot_hits"] + r.tier_stats["cold_misses"] > 0
+
+    def test_chunk_popularity_is_pmf(self):
+        from repro.experiments.ext_tiering import chunk_popularity
+
+        p = chunk_popularity(num_rows=1000, chunk_rows=8, skew=1.05)
+        assert len(p) == 125
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+        # Sanity link to the analytic layer: a pmf-general hit rate over
+        # these chunks is a valid probability.
+        h = policy_hit_rate_pmf("lru", p, 12)
+        assert 0.0 < h < 1.0
+
+
+# ---------------------------------------------------------------------------
+# CLI smoke
+# ---------------------------------------------------------------------------
+
+
+class TestTierCLI:
+    def test_tier_train_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main(["tier", "train", "--steps", "2", "--batch", "16", "--json"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert [r["bit_identical"] for r in out] == [True, True]
+
+    def test_tier_sweep_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main([
+            "tier", "sweep", "--hot-fractions", "0.05", "--skews", "1.05",
+            "--policies", "freq", "--rows", "2048", "--warmup", "4000",
+            "--measure", "8000", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["max_rel_err"] == 0.25
+        assert all(p["rel_err"] < 0.25 for p in out["points"])
