@@ -50,6 +50,11 @@ STEP_MIN_SPEEDUP = 2.0
 #: only when the host actually has >= 4 cores (the ``mp`` suite measures
 #: honest oversubscription slowdowns elsewhere, which must not gate).
 MP_MIN_SPEEDUP = 2.0
+#: Absolute floor for the pipelined-vs-unpipelined hybrid train step on
+#: the prep-heavy config — attached only when the host has >= 4 cores
+#: (workers + prep + comm threads need real parallelism; on fewer cores
+#: the row still reports its honest ratio but only the ratio gate holds).
+PIPELINE_MIN_SPEEDUP = 1.15
 
 
 def best_of(fn, reps: int, warmup: int = 2) -> float:

@@ -30,6 +30,7 @@ from .config import PoolingType, TableSpec
 __all__ = [
     "RaggedIndices",
     "SparseGrad",
+    "TablePlan",
     "EmbeddingTable",
     "EmbeddingBagCollection",
     "hash_raw_ids",
@@ -160,6 +161,53 @@ class SparseGrad:
         return len(self.rows)
 
 
+@dataclass(frozen=True)
+class TablePlan:
+    """Model-state-independent precompute of one fused table lookup.
+
+    Everything :meth:`EmbeddingTable.forward_batched` and
+    :meth:`EmbeddingTable.backward` need that does *not* depend on the
+    weights: the prepared (truncated, bounds-checked) index streams, the
+    fused multi-feature CSR layout, per-sample lengths, and the per-feature
+    backward :class:`~repro.core.kernels.CoalescePlan`.  A plan built on a
+    prefetch thread and applied later produces bit-identical results to the
+    inline path, because the inline path *is* ``plan_forward`` + apply —
+    one implementation, not two.
+    """
+
+    #: Prepared per-feature index streams (truncation + bounds applied).
+    prepared: tuple[RaggedIndices, ...]
+    #: Per-feature per-sample lookup counts (MEAN divisors / backward).
+    lengths: tuple[np.ndarray, ...]
+    #: Per-feature backward coalesce plans (stable argsort precomputed).
+    grad_plans: tuple[kernels.CoalescePlan, ...]
+    #: Fused CSR layout over all features (the single gather dispatch).
+    all_values: np.ndarray
+    all_offsets: np.ndarray
+    #: Split points of the fused pooled output; ``None`` for one feature.
+    split_bounds: np.ndarray | None
+    #: Per-batch tier accounting captured at plan time (tiered tables only;
+    #: see :class:`repro.tiering.store.TieredEmbeddingTable.plan_forward`).
+    tier_delta: object | None = None
+
+    def touched_rows(self) -> np.ndarray:
+        """Unique rows this batch's backward will produce gradients for.
+
+        Matches the ``rows`` of :meth:`EmbeddingTable.pop_grad` exactly:
+        features with no lookups contribute nothing (their backward is
+        skipped), a single contributing feature passes its already-unique
+        rows through, and multiple contributors coalesce to the sorted
+        union.  Weight-independent, so the hybrid trainer can exchange the
+        next batch's row plan while the current batch is still computing.
+        """
+        nonempty = [g.rows for g in self.grad_plans if len(g.rows)]
+        if not nonempty:
+            return np.empty(0, dtype=np.int64)
+        if len(nonempty) == 1:
+            return nonempty[0]
+        return np.unique(np.concatenate(nonempty))
+
+
 class EmbeddingTable:
     """One embedding lookup table with pooled multi-hot reads.
 
@@ -184,7 +232,7 @@ class EmbeddingTable:
         self.weight = weight.astype(np.dtype(dtype), copy=False)
         # A stack of forward contexts: shared tables are looked up once per
         # feature, and the collection walks features in reverse on backward.
-        self._saved: list[tuple[RaggedIndices, np.ndarray]] = []
+        self._saved: list[tuple[RaggedIndices, np.ndarray, kernels.CoalescePlan]] = []
         self.sparse_grads: list[SparseGrad] = []
 
     @property
@@ -231,8 +279,49 @@ class EmbeddingTable:
         """
         return self.forward_batched([indices], training=training)[0]
 
-    def forward_batched(
+    def plan_forward(
         self, features: list[RaggedIndices], *, training: bool = True
+    ) -> TablePlan:
+        """Precompute everything about a lookup that the weights don't touch.
+
+        Truncation, bounds validation, the fused multi-feature CSR layout,
+        per-sample lengths and the backward coalesce plans are all pure
+        functions of the *indices* — this is the work the prefetch pipeline
+        (:mod:`repro.pipeline`) moves off the critical path.  ``training``
+        is unused here but part of the signature so stat-keeping subclasses
+        (the tiered store) can restrict accounting to training streams.
+        """
+        # _prepare validates bounds (or accepts the safe_bound certificate),
+        # so the pooled product may skip its own check.
+        prepared = [self._prepare(ind) for ind in features]
+        lengths = tuple(p.lengths() for p in prepared)
+        grad_plans = tuple(kernels.coalesce_plan(p.values) for p in prepared)
+        if len(prepared) == 1:
+            all_values = prepared[0].values
+            all_offsets = prepared[0].offsets
+            split_bounds = None
+        else:
+            all_values = np.concatenate([p.values for p in prepared])
+            shifts = np.cumsum([0] + [p.total_lookups for p in prepared])
+            all_offsets = np.concatenate(
+                [[0]] + [p.offsets[1:] + s for p, s in zip(prepared, shifts)]
+            )
+            split_bounds = np.cumsum([p.batch_size for p in prepared])[:-1]
+        return TablePlan(
+            prepared=tuple(prepared),
+            lengths=lengths,
+            grad_plans=grad_plans,
+            all_values=all_values,
+            all_offsets=all_offsets,
+            split_bounds=split_bounds,
+        )
+
+    def forward_batched(
+        self,
+        features: list[RaggedIndices],
+        *,
+        training: bool = True,
+        plan: TablePlan | None = None,
     ) -> list[np.ndarray]:
         """Pooled lookups for several features sharing this table in one
         fused kernel dispatch.
@@ -246,38 +335,33 @@ class EmbeddingTable:
         feature order, so :meth:`backward` (called in reverse feature
         order by the collection) pops them correctly.
 
+        ``plan`` supplies the index-side precompute from an earlier
+        :meth:`plan_forward` (the pipelined path); without one, the plan is
+        built inline — the two paths share every instruction that touches
+        data, so pipelined and unpipelined runs are bit-identical.
+
         ``training=False`` (the inference fast path) skips pushing forward
         contexts entirely: nothing is saved, nothing needs discarding, and
         the ``_saved`` stack cannot grow across inference-only forwards.
         """
-        # _prepare validates bounds (or accepts the safe_bound certificate),
-        # so the pooled product may skip its own check.
-        prepared = [self._prepare(ind) for ind in features]
-        if len(prepared) == 1:
-            splits = [
-                kernels.gather_pool(
-                    self.weight, prepared[0].values, prepared[0].offsets, check=False
-                )
-            ]
+        if plan is None:
+            plan = self.plan_forward(features, training=training)
+        pooled_cat = kernels.gather_pool(
+            self.weight, plan.all_values, plan.all_offsets, check=False
+        )
+        if plan.split_bounds is None:
+            splits = [pooled_cat]
         else:
-            all_values = np.concatenate([p.values for p in prepared])
-            shifts = np.cumsum([0] + [p.total_lookups for p in prepared])
-            all_offsets = np.concatenate(
-                [[0]] + [p.offsets[1:] + s for p, s in zip(prepared, shifts)]
-            )
-            pooled_cat = kernels.gather_pool(
-                self.weight, all_values, all_offsets, check=False
-            )
-            bounds = np.cumsum([p.batch_size for p in prepared])[:-1]
-            splits = np.split(pooled_cat, bounds)
+            splits = np.split(pooled_cat, plan.split_bounds)
         outs: list[np.ndarray] = []
-        for p, pooled in zip(prepared, splits):
-            lengths = p.lengths()
+        for p, lengths, gplan, pooled in zip(
+            plan.prepared, plan.lengths, plan.grad_plans, splits
+        ):
             if self.pooling is PoolingType.MEAN:
                 divisor = np.maximum(lengths, 1).astype(pooled.dtype)
                 pooled = pooled / divisor[:, None]
             if training:
-                self._saved.append((p, lengths))
+                self._saved.append((p, lengths, gplan))
             outs.append(pooled)
         return outs
 
@@ -285,7 +369,7 @@ class EmbeddingTable:
         """Scatter ``(batch, dim)`` output gradients back into touched rows."""
         if not self._saved:
             raise RuntimeError("backward called before forward")
-        indices, lengths = self._saved.pop()
+        indices, lengths, gplan = self._saved.pop()
         if grad_out.shape != (indices.batch_size, self.dim):
             raise ValueError(
                 f"grad shape {grad_out.shape} != ({indices.batch_size}, {self.dim})"
@@ -296,8 +380,8 @@ class EmbeddingTable:
         if self.pooling is PoolingType.MEAN:
             divisor = np.maximum(lengths, 1).astype(self.weight.dtype)[:, None]
             grad_out = grad_out / divisor
-        rows, summed = kernels.expand_coalesce(indices.values, lengths, grad_out)
-        self.sparse_grads.append(SparseGrad(rows=rows, values=summed))
+        summed = kernels.expand_apply(gplan, lengths, grad_out)
+        self.sparse_grads.append(SparseGrad(rows=gplan.rows, values=summed))
 
     def adopt_weight(self, storage: np.ndarray) -> None:
         """Swap the table's weight for externally-owned storage (zero copy).
@@ -383,10 +467,38 @@ class EmbeddingBagCollection:
             by_table.setdefault(self.feature_to_table[feature], []).append(feature)
         self._table_groups = list(by_table.items())
 
-    def forward(
+    def plan_batch(
         self, batch: dict[str, RaggedIndices], *, training: bool = True
+    ) -> dict[str, TablePlan]:
+        """Precompute every table's :class:`TablePlan` for one batch.
+
+        Walks the table groups in the same order as :meth:`forward`, so a
+        plan built ahead of time (on the prefetch thread) touches streams
+        and stat-keeping subclass state in exactly the inline order.
+        Returns table name -> plan.
+        """
+        missing = set(self.feature_names) - set(batch.keys())
+        if missing:
+            raise KeyError(f"batch is missing sparse features: {sorted(missing)}")
+        return {
+            table_name: self.tables[table_name].plan_forward(
+                [batch[f] for f in features], training=training
+            )
+            for table_name, features in self._table_groups
+        }
+
+    def forward(
+        self,
+        batch: dict[str, RaggedIndices],
+        *,
+        training: bool = True,
+        plans: dict[str, TablePlan] | None = None,
     ) -> dict[str, np.ndarray]:
-        """Look up every feature; returns feature name -> (batch, dim)."""
+        """Look up every feature; returns feature name -> (batch, dim).
+
+        ``plans`` (from an earlier :meth:`plan_batch`) skips the per-table
+        index precompute — the pipelined path.
+        """
         missing = set(self.feature_names) - set(batch.keys())
         if missing:
             raise KeyError(f"batch is missing sparse features: {sorted(missing)}")
@@ -394,7 +506,9 @@ class EmbeddingBagCollection:
         for table_name, features in self._table_groups:
             table = self.tables[table_name]
             pooled = table.forward_batched(
-                [batch[f] for f in features], training=training
+                [batch[f] for f in features],
+                training=training,
+                plan=None if plans is None else plans[table_name],
             )
             for feature, vec in zip(features, pooled):
                 out[feature] = vec

@@ -56,6 +56,8 @@ benchmark (``python -m repro.bench --suite kernels``).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 try:  # scipy is a normal dependency (repro.core.tuning uses scipy.special),
@@ -72,6 +74,10 @@ __all__ = [
     "segment_sum",
     "segment_mean",
     "gather_pool",
+    "CoalescePlan",
+    "coalesce_plan",
+    "coalesce_apply",
+    "expand_apply",
     "coalesce_rows",
     "expand_coalesce",
     "truncate_ragged",
@@ -201,6 +207,92 @@ def gather_pool(
     return segment_sum(weight[values], offsets)
 
 
+@dataclass(frozen=True)
+class CoalescePlan:
+    """Precomputed grouping of an index stream for gradient coalescing.
+
+    The sort/group half of :func:`coalesce_rows` depends only on the
+    *indices* — not on the gradients — so it can be computed ahead of time
+    (e.g. on a prefetch thread, while the previous batch is still in its
+    backward pass) and applied to gradients later with
+    :func:`coalesce_apply` / :func:`expand_apply`.  ``rows`` are the unique
+    row ids sorted ascending; ``order`` is the stable argsort of the input
+    stream; ``indptr[k]:indptr[k+1]`` delimits the occurrence positions
+    (into ``order``) contributing to ``rows[k]``.
+    """
+
+    rows: np.ndarray  # int64, shape (k,) — unique row ids, ascending
+    order: np.ndarray  # int64, shape (total,) — stable argsort of indices
+    indptr: np.ndarray  # int64, shape (k + 1,) — group boundaries in order
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+
+def coalesce_plan(indices: np.ndarray) -> CoalescePlan:
+    """Precompute the stable sort + group starts of a coalesce.
+
+    Pure function of the index stream: two plans built from equal indices
+    are bit-identical, and applying a plan reproduces
+    :func:`coalesce_rows` exactly (same kernel, same accumulation order).
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if len(indices) == 0:
+        zero = np.zeros(1, dtype=np.int64)
+        return CoalescePlan(rows=indices[:0], order=indices[:0], indptr=zero)
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    # group starts: positions where the sorted row id changes
+    starts = np.concatenate([[0], np.flatnonzero(np.diff(sorted_idx)) + 1])
+    rows = sorted_idx[starts]
+    indptr = np.concatenate([starts, [len(indices)]])
+    return CoalescePlan(rows=rows, order=order, indptr=indptr)
+
+
+def coalesce_apply(plan: CoalescePlan, grads: np.ndarray) -> np.ndarray:
+    """Sum duplicate-row contributions using a precomputed plan.
+
+    ``grads[j]`` is the contribution of occurrence ``j`` of the index
+    stream the plan was built from.  Bit-identical to the summed half of
+    ``coalesce_rows(indices, grads)``.
+    """
+    grads = np.asarray(grads)
+    if not np.issubdtype(grads.dtype, np.floating):
+        grads = grads.astype(np.float64)
+    if plan.num_rows == 0:
+        return grads[:0]
+    if _use_matmul(grads):
+        # The indicator matrix's columns are the stable-sorted occurrence
+        # positions, so the product permutes *and* group-reduces in one C
+        # pass — ``grads[order]`` is never materialized.
+        return _indicator_matmul(plan.order, plan.indptr, grads, plan.num_rows)
+    return np.add.reduceat(grads[plan.order], plan.indptr[:-1], axis=0)
+
+
+def expand_apply(
+    plan: CoalescePlan, lengths: np.ndarray, grad_out: np.ndarray
+) -> np.ndarray:
+    """Pooled-bag backward against a precomputed plan.
+
+    Bit-identical to the summed half of ``expand_coalesce(indices,
+    lengths, grad_out)`` for the index stream the plan was built from
+    (``lengths`` must be that stream's per-sample lengths).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    grad_out = np.asarray(grad_out)
+    if not np.issubdtype(grad_out.dtype, np.floating):
+        grad_out = grad_out.astype(np.float64)
+    if plan.num_rows == 0:
+        return grad_out[:0]
+    if not _use_matmul(grad_out):
+        return coalesce_apply(plan, np.repeat(grad_out, lengths, axis=0))
+    sample_of = np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+    return _indicator_matmul(
+        sample_of[plan.order], plan.indptr, grad_out, plan.num_rows
+    )
+
+
 def coalesce_rows(indices: np.ndarray, grads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Sum duplicate row contributions; returns ``(unique_rows, summed)``.
 
@@ -208,26 +300,14 @@ def coalesce_rows(indices: np.ndarray, grads: np.ndarray) -> tuple[np.ndarray, n
     each row group the contributions are gathered in occurrence order
     (stable sort) and summed, matching the ``np.add.at`` original to
     within ~1 ULP (see the module docstring's numerical contract).
+
+    Implemented as :func:`coalesce_plan` + :func:`coalesce_apply`, so the
+    inline path and any plan-ahead caller (the prefetch pipeline) share
+    one implementation — equality is by construction, not by parallel
+    maintenance.
     """
-    indices = np.asarray(indices, dtype=np.int64)
-    grads = np.asarray(grads)
-    if not np.issubdtype(grads.dtype, np.floating):
-        grads = grads.astype(np.float64)
-    if len(indices) == 0:
-        return indices[:0], grads[:0]
-    order = np.argsort(indices, kind="stable")
-    sorted_idx = indices[order]
-    # group starts: positions where the sorted row id changes
-    starts = np.concatenate([[0], np.flatnonzero(np.diff(sorted_idx)) + 1])
-    rows = sorted_idx[starts]
-    if _use_matmul(grads):
-        # The indicator matrix's columns are the stable-sorted occurrence
-        # positions, so the product permutes *and* group-reduces in one C
-        # pass — ``grads[order]`` is never materialized.
-        indptr = np.concatenate([starts, [len(indices)]])
-        return rows, _indicator_matmul(order, indptr, grads, len(rows))
-    summed = np.add.reduceat(grads[order], starts, axis=0)
-    return rows, summed
+    plan = coalesce_plan(indices)
+    return plan.rows, coalesce_apply(plan, grads)
 
 
 def expand_coalesce(
@@ -244,23 +324,12 @@ def expand_coalesce(
     re-reads rows of the small ``(batch, dim)`` gradient in the exact
     occurrence order :func:`coalesce_rows` would have summed the expanded
     copies (bit-identical results).  Returns ``(unique_rows, summed)``.
+
+    Implemented as :func:`coalesce_plan` + :func:`expand_apply` (see
+    :func:`coalesce_rows` on why the split exists).
     """
-    indices = np.asarray(indices, dtype=np.int64)
-    lengths = np.asarray(lengths, dtype=np.int64)
-    grad_out = np.asarray(grad_out)
-    if not np.issubdtype(grad_out.dtype, np.floating):
-        grad_out = grad_out.astype(np.float64)
-    if len(indices) == 0:
-        return indices[:0], grad_out[:0]
-    if not _use_matmul(grad_out):
-        return coalesce_rows(indices, np.repeat(grad_out, lengths, axis=0))
-    order = np.argsort(indices, kind="stable")
-    sorted_idx = indices[order]
-    starts = np.concatenate([[0], np.flatnonzero(np.diff(sorted_idx)) + 1])
-    rows = sorted_idx[starts]
-    sample_of = np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
-    indptr = np.concatenate([starts, [len(indices)]])
-    return rows, _indicator_matmul(sample_of[order], indptr, grad_out, len(rows))
+    plan = coalesce_plan(indices)
+    return plan.rows, expand_apply(plan, lengths, grad_out)
 
 
 def position_in_segment(offsets: np.ndarray) -> np.ndarray:

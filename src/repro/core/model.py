@@ -160,7 +160,12 @@ class DLRM:
         dense_out = self.bottom_mlp.forward(
             batch.dense.astype(self.dtype, copy=False), training=training
         )
-        emb_out = self.embeddings.forward(batch.sparse, training=training)
+        # Prefetch-pipelined batches (repro.pipeline.PreparedBatch) carry the
+        # precomputed per-table lookup plans; plain batches don't, and the
+        # collection rebuilds them inline from the same code path.
+        emb_out = self.embeddings.forward(
+            batch.sparse, training=training, plans=getattr(batch, "plans", None)
+        )
         embs = [emb_out[name] for name in self._feature_order]
         interacted = self.interaction.forward(dense_out, embs, training=training)
         top_out = self.top_mlp.forward(interacted, training=training)

@@ -30,6 +30,10 @@ class TrainResult:
     examples_seen: int
     final_loss: float
     loss_history: list[float] = field(default_factory=list)
+    #: Stall ledger of the prefetch pipeline (``None`` for inline runs):
+    #: ``prep_busy_s`` / ``prep_stall_s`` / ``compute_stall_s`` /
+    #: ``overlap_fraction`` / ``batches`` — see :mod:`repro.pipeline`.
+    pipeline: dict | None = None
 
     @property
     def smoothed_final_loss(self) -> float:
@@ -78,6 +82,7 @@ class Trainer:
         loss: BCEWithLogitsLoss | None = None,
         tracer: Tracer | NullTracer | None = None,
         metrics: "MetricsRegistry | None" = None,
+        pipeline: "bool | object" = False,
     ) -> None:
         self.model = model
         self.optimizer = optimizer_factory(model)
@@ -115,6 +120,17 @@ class Trainer:
         self._tier_snapshots = {
             t.spec.name: t.stats.snapshot() for t in self._tiered_tables
         }
+        #: Opt-in prefetch pipelining (``True`` or a
+        #: :class:`repro.pipeline.PipelineConfig`): :meth:`train` runs all
+        #: model-state-independent batch preparation on a background thread
+        #: behind a double buffer.  Bit-identical to inline training —
+        #: pinned by ``tests/test_pipeline.py``.  Lazy import: repro.core
+        #: must not depend on repro.pipeline at module level.
+        from ..pipeline import as_pipeline_config
+
+        self.pipeline_config = as_pipeline_config(pipeline)
+        #: Stall ledger of the most recent pipelined :meth:`train` call.
+        self.pipeline_stats = None
         self._step_index = 0
 
     # -- kill-and-restore (see repro.resilience.harness) ---------------------
@@ -184,21 +200,30 @@ class Trainer:
             with tracer.span("optimizer_step", "compute", fused=fused):
                 self.optimizer.step()
             if self._tiered_tables:
-                self._publish_tier_metrics()
+                self._publish_tier_metrics(getattr(batch, "plans", None))
         self._step_index += 1
         return loss_value
 
-    def _publish_tier_metrics(self) -> None:
+    def _publish_tier_metrics(self, plans=None) -> None:
         """Emit per-table tier counters/gauges and a ``tier`` trace span.
 
         Counters carry the per-step *delta* (so they accumulate correctly
         and merge across trainers); gauges carry run totals.  Runs without
         a metrics registry still get the trace span — tier placement is
         part of the step timeline either way.
+
+        Pipelined batches carry their tier accounting in the plan
+        (captured on the prep thread at plan time); the live-stats delta
+        would otherwise blend in whatever future batches the prep thread
+        has already ingested.
         """
         for table in self._tiered_tables:
             name = table.spec.name
-            delta = table.stats.delta(self._tier_snapshots[name])
+            plan = plans.get(name) if plans is not None else None
+            if plan is not None and plan.tier_delta is not None:
+                delta = plan.tier_delta
+            else:
+                delta = table.stats.delta(self._tier_snapshots[name])
             self._tier_snapshots[name] = table.stats.snapshot()
             with self.tracer.span(
                 "tier", "tier",
@@ -233,9 +258,50 @@ class Trainer:
         Figure 15's protocol fixes the *example* budget so that larger batch
         sizes take proportionally fewer optimizer steps — the mechanism
         behind the accuracy gap the paper reports.
+
+        With ``pipeline=`` enabled on the trainer, batch preparation runs
+        on a prefetch thread (see :mod:`repro.pipeline`): results are
+        bit-identical, but the source iterator is pulled up to
+        ``depth + 1`` batches ahead of the consuming step — callers
+        sharing one iterator across multiple ``train`` calls (checkpoint
+        resume) should account for the lookahead.
         """
         if max_examples is None and max_steps is None:
             raise ValueError("provide max_examples and/or max_steps")
+        if self.pipeline_config is not None:
+            from ..pipeline import PrefetchPipeline
+
+            embeddings = self.model.embeddings
+
+            def plan_fn(batch: Batch):
+                return embeddings.plan_batch(batch.sparse)
+
+            prefetch = PrefetchPipeline(
+                iter(batches), plan_fn, self.pipeline_config, tracer=self.tracer
+            )
+            with prefetch:
+                result = self._train_loop(prefetch, max_examples, max_steps)
+            self.pipeline_stats = prefetch.stats
+            result.pipeline = prefetch.stats.as_dict()
+            if self.metrics is not None:
+                m = self.metrics
+                m.counter("pipeline_prep_busy_s").inc(prefetch.stats.prep_busy_s)
+                m.counter("pipeline_prep_stall_s").inc(prefetch.stats.prep_stall_s)
+                m.counter("pipeline_compute_stall_s").inc(
+                    prefetch.stats.compute_stall_s
+                )
+                m.gauge("pipeline_overlap_fraction").set(
+                    prefetch.stats.overlap_fraction
+                )
+            return result
+        return self._train_loop(batches, max_examples, max_steps)
+
+    def _train_loop(
+        self,
+        batches: Iterator[Batch],
+        max_examples: int | None,
+        max_steps: int | None,
+    ) -> TrainResult:
         budget = " and ".join(
             part
             for part in (

@@ -145,3 +145,25 @@ class SyntheticDataGenerator:
         while num_batches is None or produced < num_batches:
             yield self.batch(batch_size)
             produced += 1
+
+    def batch_stream(
+        self, batch_size: int, num_batches: int, skip: int = 0
+    ):
+        """Lazily yield batches ``skip`` .. ``num_batches - 1`` of a run.
+
+        Consumes the rng *identically* to pre-generating all
+        ``num_batches`` batches up front and slicing
+        (``[gen.batch(n) for _ in range(num_batches)][skip:]``): the
+        skipped prefix is still generated, in order, to burn the exact
+        same random draws — each batch's draw count depends on its own
+        Poisson lengths, so there is no cheaper rng-faithful skip.  Unlike
+        the eager list this holds one batch at a time, which is what lets
+        the prefetch pipeline overlap generation with training instead of
+        paying for the whole run's data up front.
+        """
+        if skip < 0:
+            raise ValueError(f"skip must be >= 0, got {skip}")
+        for i in range(num_batches):
+            b = self.batch(batch_size)
+            if i >= skip:
+                yield b

@@ -179,6 +179,23 @@ ALLREDUCE_MODES = {"ordered": ordered_allreduce, "ring": ring_allreduce}
 _SHUTDOWN = object()
 
 
+class _Job:
+    """A generic callable queued FIFO between allreduce buckets.
+
+    The pipelined trainer uses these to run mesh-channel exchanges (id
+    plans for the next step, sparse gradient values for this one) on the
+    same communication thread as the dense buckets — one thread, one FIFO,
+    so every rank's wire traffic interleaves identically and overlapped
+    stages can never race each other on a socket.
+    """
+
+    __slots__ = ("fn", "stage")
+
+    def __init__(self, fn, stage: str | None) -> None:
+        self.fn = fn
+        self.stage = stage
+
+
 class GradReducer:
     """Asynchronous gradient allreduce on a dedicated communication thread.
 
@@ -187,6 +204,10 @@ class GradReducer:
     rank's wire traffic lines up) while the main thread keeps running the
     remaining backward.  ``flush()`` blocks until all submitted buckets are
     reduced, re-raising any communication error.
+
+    :meth:`submit_job` enqueues arbitrary communication work (e.g. the
+    pipelined sparse exchanges) into the same FIFO; ``flush()`` covers jobs
+    too.
 
     The ring channels are owned exclusively by this thread between
     construction and :meth:`shutdown` — the main thread must not touch
@@ -228,6 +249,16 @@ class GradReducer:
             return
         self._queue.put(arrays)
 
+    def submit_job(self, fn, stage: str | None = None) -> None:
+        """Enqueue a callable to run on the communication thread, FIFO with
+        the buckets.  Errors it raises surface at the next :meth:`flush`,
+        tagged with ``stage``.  Runs inline when there is no thread
+        (single-worker world)."""
+        if self._thread is None:
+            fn()
+            return
+        self._queue.put(_Job(fn, stage))
+
     def flush(self) -> None:
         """Wait until every submitted bucket has been reduced."""
         if self.world == 1:
@@ -253,6 +284,26 @@ class GradReducer:
             try:
                 if item is _SHUTDOWN:
                     return
+                if isinstance(item, _Job):
+                    t0 = time.perf_counter()
+                    try:
+                        item.fn()
+                    except ChannelClosed as err:
+                        self._errors.append(
+                            ChannelClosed(
+                                f"comm job on rank {self.rank} aborted: {err}",
+                                peer=err.peer,
+                                bucket=err.bucket,
+                                stage=item.stage,
+                            )
+                        )
+                    except BaseException as err:  # noqa: BLE001 - via flush()
+                        if item.stage is not None and hasattr(err, "add_note"):
+                            err.add_note(f"raised in comm job stage {item.stage!r}")
+                        self._errors.append(err)
+                    finally:
+                        self.comm_seconds += time.perf_counter() - t0
+                    continue
                 bucket_id += 1
                 t0 = time.perf_counter()
                 # Pack the bucket's arrays into one contiguous buffer so the

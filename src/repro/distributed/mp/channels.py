@@ -34,7 +34,10 @@ class ChannelClosed(ConnectionError):
     construction, and ``bucket`` the in-flight allreduce bucket id when the
     close surfaced inside a :class:`~repro.distributed.mp.allreduce.GradReducer`
     — together they let crash attribution from inside a reduction name the
-    same casualty the parent's exitcode scan does.
+    same casualty the parent's exitcode scan does.  ``stage`` names the
+    pipeline stage (``"idplan_exchange"``, ``"sparse_values"``, ...) whose
+    wire traffic was interrupted, so a pipelined run's error points at the
+    overlapped work that died, not just the socket.
     """
 
     def __init__(
@@ -42,15 +45,19 @@ class ChannelClosed(ConnectionError):
         message: str = "peer closed",
         peer: int | None = None,
         bucket: int | None = None,
+        stage: str | None = None,
     ) -> None:
         detail = message
         if peer is not None:
             detail += f" (peer rank {peer})"
         if bucket is not None:
             detail += f" (bucket {bucket})"
+        if stage is not None:
+            detail += f" (stage {stage})"
         super().__init__(detail)
         self.peer = peer
         self.bucket = bucket
+        self.stage = stage
 
 
 class Channel:
@@ -126,7 +133,10 @@ class _SendState:
         self.done = len(self.view) == 0
 
     def pump(self) -> None:
-        sent = self.channel.sock.send(self.view[: 1 << 20])
+        try:
+            sent = self.channel.sock.send(self.view[: 1 << 20])
+        except BlockingIOError:  # spurious writability — next select round
+            return
         self.view = self.view[sent:]
         self.done = len(self.view) == 0
 
@@ -141,7 +151,10 @@ class _RecvState:
         self.done = len(self.view) == 0
 
     def pump(self) -> None:
-        n = self.channel.sock.recv_into(self.view[self.got :])
+        try:
+            n = self.channel.sock.recv_into(self.view[self.got :])
+        except BlockingIOError:  # spurious readability — next select round
+            return
         if n == 0:
             raise ChannelClosed(
                 "peer closed during transfer", peer=self.channel.peer
@@ -169,20 +182,37 @@ def transfer(
     recv_states = [_RecvState(ch, b) for ch, b in recvs]
     pending_s = [s for s in send_states if not s.done]
     pending_r = [r for r in recv_states if not r.done]
-    while pending_s or pending_r:
-        rlist = [r.channel.sock for r in pending_r]
-        wlist = [s.channel.sock for s in pending_s]
-        readable, writable, _ = select.select(rlist, wlist, [])
-        readable = set(readable)
-        writable = set(writable)
-        for r in pending_r:
-            if r.channel.sock in readable:
-                r.pump()
-        for s in pending_s:
-            if s.channel.sock in writable:
-                s.pump()
-        pending_s = [s for s in pending_s if not s.done]
-        pending_r = [r for r in pending_r if not r.done]
+    # A *blocking* send() parks until its whole chunk fits in the socket
+    # buffer, so two peers both mid-send on frames larger than the buffer
+    # deadlock even though select gated the call (select only promises
+    # "some" space).  Non-blocking mode makes pump() write exactly what
+    # the kernel accepts and return; restored on exit because the framed
+    # sequential helpers above rely on blocking sockets.
+    toggled = {s.channel.sock for s in pending_s}
+    toggled.update(r.channel.sock for r in pending_r)
+    for sock in toggled:
+        sock.setblocking(False)
+    try:
+        while pending_s or pending_r:
+            rlist = [r.channel.sock for r in pending_r]
+            wlist = [s.channel.sock for s in pending_s]
+            readable, writable, _ = select.select(rlist, wlist, [])
+            readable = set(readable)
+            writable = set(writable)
+            for r in pending_r:
+                if r.channel.sock in readable:
+                    r.pump()
+            for s in pending_s:
+                if s.channel.sock in writable:
+                    s.pump()
+            pending_s = [s for s in pending_s if not s.done]
+            pending_r = [r for r in pending_r if not r.done]
+    finally:
+        for sock in toggled:
+            try:
+                sock.setblocking(True)
+            except OSError:  # pragma: no cover - socket died mid-transfer
+                pass
 
 
 def exchange_frames(

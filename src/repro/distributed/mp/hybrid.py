@@ -51,11 +51,13 @@ import numpy as np
 
 from ...core import DLRM, Adagrad, Batch
 from ...core.config import ModelConfig
-from ...core.embedding import RaggedIndices, SparseGrad
+from ...core.embedding import RaggedIndices, SparseGrad, TablePlan
+from ...core.kernels import CoalescePlan, coalesce_apply, coalesce_plan
 from ...core.loss import BCEWithLogitsLoss
 from ...core.mlp import Linear
 from ...data import SyntheticDataGenerator
 from ...obs.tracer import NULL_TRACER
+from ...pipeline import PipelineConfig, PrefetchPipeline
 from ...runtime.runner import derive_seed
 from . import ckpt
 from .allreduce import GradReducer
@@ -74,7 +76,7 @@ __all__ = [
 ]
 
 _PHASES = ("forward", "loss", "backward", "sparse_exchange", "dense_wait",
-           "optimizer", "checkpoint", "barrier")
+           "optimizer", "checkpoint", "prep_wait", "barrier")
 
 #: What a worker's main thread treats as "a peer is gone — drain":
 #: channel EOFs (ChannelClosed is a ConnectionError), socket errors from
@@ -95,6 +97,14 @@ class HybridRunConfig:
     death, survivors are poisoned and must drain within
     ``drain_timeout_s`` — ``collect_timeout_s`` remains only the
     no-progress backstop.
+
+    ``pipeline`` turns on the prefetched data path: batch generation and
+    lookup planning move to a prep thread
+    (:class:`~repro.pipeline.PrefetchPipeline`), the next step's sparse
+    id-plan exchange overlaps this step's compute, and the sparse value
+    exchange overlaps the bottom-MLP backward — all on the reducer's
+    communication thread, so the result stays bit-identical to the
+    unpipelined ``"ordered"`` run (and to :func:`run_hybrid_serial`).
     """
 
     workers: int = 2
@@ -109,6 +119,7 @@ class HybridRunConfig:
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
     drain_timeout_s: float = 30.0
+    pipeline: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -193,6 +204,9 @@ class WorkerReport:
     comm_s: float
     dense_digest: str
     pid: int
+    #: stall ledger of the prep pipeline (``PipelineStats.as_dict()``),
+    #: ``None`` when the run was not pipelined.
+    pipeline: dict[str, float] | None = None
 
 
 @dataclass
@@ -217,6 +231,10 @@ class HybridResult:
     checkpoints: list[tuple[int, float]] = field(default_factory=list)
     #: global step this run resumed from (0 = trained from scratch).
     resumed_from: int = 0
+    #: aggregated stall ledger of a pipelined run (straggler view: max
+    #: stalls over ranks, min overlap) — ``None`` when unpipelined.
+    pipeline: dict[str, float] | None = None
+    per_rank_pipeline: list[dict[str, float] | None] = field(default_factory=list)
 
     def state_digest(self) -> str:
         """One digest over all trained state (dense replica + shards)."""
@@ -402,7 +420,9 @@ def _dense_digest(model: DLRM) -> str:
     return h.hexdigest()
 
 
-def _backward_overlapped(model: DLRM, grad_logits: np.ndarray, submit) -> None:
+def _backward_overlapped(
+    model: DLRM, grad_logits: np.ndarray, submit, after_embeddings=None
+) -> None:
     """DLRM.backward with gradient-exchange hooks.
 
     Operation order is identical to :meth:`repro.core.DLRM.backward`
@@ -413,6 +433,11 @@ def _backward_overlapped(model: DLRM, grad_logits: np.ndarray, submit) -> None:
     Two buckets per step keeps the hop count (and the per-hop scheduling
     overhead on an oversubscribed host) low while still overlapping the
     larger half of the exchange.
+
+    ``after_embeddings`` fires once the embedding backward has produced
+    every table's sparse gradients but before the bottom-MLP backward —
+    the pipelined trainer ships the sparse values from right there, so
+    their exchange overlaps the remaining dense compute.
     """
     grad = np.asarray(grad_logits, dtype=model.dtype).reshape(-1, 1)
     grad = model.scorer.backward(grad)
@@ -426,6 +451,8 @@ def _backward_overlapped(model: DLRM, grad_logits: np.ndarray, submit) -> None:
     model.embeddings.backward(
         {name: g for name, g in zip(model._feature_order, grad_embs)}
     )
+    if after_embeddings is not None:
+        after_embeddings()
     bottom_bucket = []
     for layer in reversed(model.bottom_mlp.layers):
         grad_dense = layer.backward(grad_dense)
@@ -505,6 +532,162 @@ def _exchange_sparse(
     return merged
 
 
+class _SparsePipeline:
+    """Prefetched sparse exchange for one pipelined worker.
+
+    Splits :func:`_exchange_sparse` into two halves that both run as
+    generic jobs on the :class:`~.allreduce.GradReducer` communication
+    thread, FIFO with the dense buckets — so the mesh channels are only
+    ever touched by one thread per process, and every rank's per-step wire
+    traffic interleaves in the same global order::
+
+        [idplan g+1] [top bucket g] [values g] [bottom bucket g]
+
+    * The **id-plan exchange** for step ``g`` ships each table's touched
+      row ids (known at *plan* time — no weights involved, see
+      :meth:`~repro.core.embedding.TablePlan.touched_rows`) to the table's
+      owner one step ahead, overlapping step ``g-1``'s barrier and step
+      ``g``'s forward/loss/backward.  The owner pre-builds the rank-order
+      merge (a :class:`~repro.core.kernels.CoalescePlan` over the
+      concatenated ids) while it waits.
+    * The **value exchange** for step ``g`` then ships only the raw
+      gradient value matrices (sizes already known to both sides from the
+      id plans, so no pickling), overlapping the bottom-MLP backward; the
+      owner merges with the prepared plan — the exact association
+      :func:`_merge_rank_order` uses, so the result is bit-identical.
+
+    ``_ctx`` is comm-thread-only state; ``_merged`` is written by the comm
+    thread and read by the main thread strictly after ``reducer.flush()``
+    (the queue join is the synchronization point).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        world: int,
+        plan: ShardPlan,
+        mesh: dict[int, Channel],
+        table_dims: dict[str, int],
+        dtype,
+    ) -> None:
+        self.rank = rank
+        self.world = world
+        self.plan = plan
+        self.mesh = mesh
+        self.table_dims = table_dims
+        self.dtype = np.dtype(dtype)
+        self._ctx: dict[int, dict] = {}
+        self._merged: dict[int, dict[str, SparseGrad | None]] = {}
+
+    def submit_idplan(
+        self, reducer: GradReducer, gstep: int, plans: dict[str, TablePlan]
+    ) -> None:
+        reducer.submit_job(
+            lambda: self._idplan_job(gstep, plans), stage="idplan_exchange"
+        )
+
+    def submit_values(
+        self, reducer: GradReducer, gstep: int, local: dict[str, SparseGrad | None]
+    ) -> None:
+        reducer.submit_job(
+            lambda: self._values_job(gstep, local), stage="sparse_values"
+        )
+
+    def take_merged(self, gstep: int) -> dict[str, SparseGrad | None]:
+        """Collect step ``gstep``'s merged owner grads (call after flush)."""
+        return self._merged.pop(gstep)
+
+    def _idplan_job(self, gstep: int, plans: dict[str, TablePlan]) -> None:
+        rank, world = self.rank, self.world
+        rows_local = {name: plans[name].touched_rows() for name in plans}
+        by_rank: list[dict[str, np.ndarray] | None] = [None] * world
+        by_rank[rank] = rows_local
+        for off in range(1, world):
+            dst = (rank + off) % world
+            src = (rank - off) % world
+            outbound = pickle.dumps(
+                {name: rows_local[name] for name in self.plan.owned(dst)},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            (payload,) = exchange_frames(
+                [(self.mesh[dst], outbound)], [self.mesh[src]]
+            )
+            by_rank[src] = pickle.loads(bytes(payload))
+        ctx: dict[str, tuple] = {}
+        for name in self.plan.owned(rank):
+            parts = [
+                by_rank[r].get(name) if by_rank[r] is not None else None
+                for r in range(world)
+            ]
+            present = [
+                r for r in range(world) if parts[r] is not None and len(parts[r])
+            ]
+            merge: CoalescePlan | None = None
+            if len(present) > 1:
+                # Same rank-order concatenation _merge_rank_order feeds to
+                # SparseGrad.coalesce — precomputing its plan here moves
+                # the merge argsort off the critical path too.
+                merge = coalesce_plan(
+                    np.concatenate([parts[r] for r in present])
+                )
+            ctx[name] = (present, parts, merge)
+        self._ctx[gstep] = ctx
+
+    def _values_job(
+        self, gstep: int, local: dict[str, SparseGrad | None]
+    ) -> None:
+        rank, world = self.rank, self.world
+        itemsize = self.dtype.itemsize
+        ctx = self._ctx.pop(gstep)
+        recv_vals: dict[tuple[int, str], np.ndarray] = {}
+        for off in range(1, world):
+            dst = (rank + off) % world
+            src = (rank - off) % world
+            # Raw value bytes in the owner's fixed table order; each side
+            # knows every size from the id plans, so no framing per table.
+            outbound = b"".join(
+                memoryview(np.ascontiguousarray(local[name].values)).cast("B")
+                for name in self.plan.owned(dst)
+                if local[name] is not None
+            )
+            (payload,) = exchange_frames(
+                [(self.mesh[dst], outbound)], [self.mesh[src]]
+            )
+            offset = 0
+            for name in self.plan.owned(rank):
+                present, parts, _ = ctx[name]
+                if src not in present:
+                    continue
+                count = len(parts[src]) * self.table_dims[name]
+                recv_vals[(src, name)] = np.frombuffer(
+                    payload, dtype=self.dtype, count=count, offset=offset
+                ).reshape(len(parts[src]), self.table_dims[name])
+                offset += count * itemsize
+        merged: dict[str, SparseGrad | None] = {}
+        for name in self.plan.owned(rank):
+            present, parts, merge = ctx[name]
+            if not present:
+                merged[name] = None
+            elif len(present) == 1:
+                q = present[0]
+                merged[name] = (
+                    local[name]
+                    if q == rank
+                    else SparseGrad(rows=parts[q], values=recv_vals[(q, name)])
+                )
+            else:
+                vals = np.concatenate(
+                    [
+                        local[name].values if q == rank else recv_vals[(q, name)]
+                        for q in present
+                    ]
+                )
+                merged[name] = SparseGrad(
+                    rows=merge.rows, values=coalesce_apply(merge, vals)
+                )
+        self._merged[gstep] = merged
+
+
 def _watch_ctrl(ctrl: Channel, barrier, channels, finished, draining) -> None:
     """Worker watcher thread: block on the control channel; on a poison
     frame (or parent death), abort the step barrier and shut down every
@@ -574,9 +757,24 @@ def _worker_main(
             slot[...] = value
 
     gen = SyntheticDataGenerator(config, rng=derive_seed(run.seed, "data", rank))
-    # Generate the full stream and skip the replayed prefix, so data order
-    # is identical to the uninterrupted run (the PR 3 restore contract).
-    batches = [gen.batch(run.local_batch) for _ in range(run.steps)][start:]
+    pipelined = run.pipeline
+    prefetch: PrefetchPipeline | None = None
+    sparse_pipe: _SparsePipeline | None = None
+    if pipelined:
+        # Lazy stream + prep thread: batch_stream consumes the rng exactly
+        # like the eager pre-generation below (skipped prefix included),
+        # so the data order is identical to the unpipelined run.
+        prefetch = PrefetchPipeline(
+            gen.batch_stream(run.local_batch, run.steps, skip=start),
+            lambda b: model.embeddings.plan_batch(b.sparse),
+            PipelineConfig(),
+        )
+        batches = None
+    else:
+        # Generate the full stream and skip the replayed prefix, so data
+        # order is identical to the uninterrupted run (PR 3 restore
+        # contract).
+        batches = [gen.batch(run.local_batch) for _ in range(run.steps)][start:]
 
     max_elems = sum(p.grad.size for p in model.dense_parameters())
     reducer = GradReducer(
@@ -585,6 +783,12 @@ def _worker_main(
     )
     mesh = fabric.mesh(rank)
     table_names = [t.name for t in config.tables]
+    if pipelined:
+        sparse_pipe = _SparsePipeline(
+            rank, world, plan, mesh,
+            {n: model.embeddings.tables[n].weight.shape[1] for n in table_names},
+            model.dtype,
+        )
     my_kills = {
         (k.step, k.phase): k for k in (kills or []) if k.rank == rank
     }
@@ -669,8 +873,17 @@ def _worker_main(
         conn.send(("ckpt", rank, completed, time.perf_counter() - t0))
 
     try:
+        if pipelined:
+            prefetch.start()  # prep overlaps the spawn barrier already
         barrier.wait(timeout=run.barrier_timeout_s)
-        for gstep, batch in enumerate(batches, start=start):
+        next_prepared = None
+        if pipelined:
+            # First batch + its id-plan exchange: from here on the plans
+            # for step g+1 are always on the wire while step g computes.
+            next_prepared = timed("prep_wait", prefetch.__next__)
+            sparse_pipe.submit_idplan(reducer, start, next_prepared.plans)
+        for gstep in range(start, run.steps):
+            batch = next_prepared if pipelined else batches[gstep - start]
             t_step = time.perf_counter()
             model.zero_grad()
             optimizer.zero_grad()
@@ -694,15 +907,35 @@ def _worker_main(
                 def submit(bucket, _spec=ar_kill):
                     reducer.submit(bucket)
                     _execute_kill(_spec)
-            timed("backward", _backward_overlapped, model, grad, submit)
-            local = {
-                name: model.embeddings.tables[name].pop_grad()
-                for name in table_names
-            }
-            merged = timed(
-                "sparse_exchange", _exchange_sparse, rank, world, plan, local, mesh
-            )
-            timed("dense_wait", reducer.flush)
+            if pipelined:
+                def _ship_sparse(_gstep=gstep):
+                    # Fires inside the backward, right after the embedding
+                    # grads exist: their exchange overlaps the bottom-MLP
+                    # backward on the comm thread (the owner-side merge
+                    # plan was prefetched with the id-plan exchange).
+                    local = {
+                        name: model.embeddings.tables[name].pop_grad()
+                        for name in table_names
+                    }
+                    sparse_pipe.submit_values(reducer, _gstep, local)
+
+                timed(
+                    "backward", _backward_overlapped, model, grad, submit,
+                    _ship_sparse,
+                )
+                timed("dense_wait", reducer.flush)
+                merged = sparse_pipe.take_merged(gstep)
+            else:
+                timed("backward", _backward_overlapped, model, grad, submit)
+                local = {
+                    name: model.embeddings.tables[name].pop_grad()
+                    for name in table_names
+                }
+                merged = timed(
+                    "sparse_exchange", _exchange_sparse, rank, world, plan,
+                    local, mesh,
+                )
+                timed("dense_wait", reducer.flush)
 
             def _apply():
                 optimizer.dense_step()
@@ -722,6 +955,17 @@ def _worker_main(
                     "checkpoint", write_checkpoint,
                     gstep + 1, my_kills.get((gstep, "checkpoint")),
                 )
+            if pipelined and gstep + 1 < run.steps:
+                # Pull the next prepared batch (prep_wait is this rank's
+                # residual data stall) and enqueue its id-plan exchange so
+                # it overlaps the barrier and the next forward/backward.
+                # Strictly after the checkpoint: the comm thread and the
+                # checkpoint's mesh gather must never interleave sends on
+                # a socket.
+                next_prepared = timed("prep_wait", prefetch.__next__)
+                sparse_pipe.submit_idplan(
+                    reducer, gstep + 1, next_prepared.plans
+                )
             # All shard writes must land before any rank's next forward.
             timed("barrier", barrier.wait, run.barrier_timeout_s)
             step_s.append(time.perf_counter() - t_step)
@@ -735,6 +979,7 @@ def _worker_main(
             comm_s=reducer.comm_seconds,
             dense_digest=_dense_digest(model),
             pid=os.getpid(),
+            pipeline=prefetch.stats.as_dict() if prefetch is not None else None,
         )))
         conn.close()
     except _DRAIN_EXC as err:
@@ -756,6 +1001,8 @@ def _worker_main(
         except OSError:  # pragma: no cover - parent is gone too
             pass
     finally:
+        if prefetch is not None:
+            prefetch.close()
         for ch in mesh.values():
             ch.close()
         if fabric.left(rank) is not None:
@@ -1028,13 +1275,27 @@ def run_hybrid(
         ph: max(r.phase_s[ph] for r in reports) for ph in _PHASES
     }
     checkpoints = _committed_checkpoints(ckpt_events)
+    per_rank_pipeline = [r.pipeline for r in reports]
+    pipeline_agg = None
+    ledgers = [p for p in per_rank_pipeline if p is not None]
+    if ledgers:
+        # Straggler view: the worst stall on any rank stalls the step (the
+        # barrier couples them), and the weakest overlap bounds the win.
+        pipeline_agg = {
+            "prep_busy_s": max(p["prep_busy_s"] for p in ledgers),
+            "prep_stall_s": max(p["prep_stall_s"] for p in ledgers),
+            "compute_stall_s": max(p["compute_stall_s"] for p in ledgers),
+            "overlap_fraction": min(p["overlap_fraction"] for p in ledgers),
+            "batches": max(p["batches"] for p in ledgers),
+        }
     for r in reports:
         cursor = 0.0
         for ph in _PHASES:
             tracer.record(
                 f"mp.{ph}",
                 "comm" if ph in ("sparse_exchange", "dense_wait", "barrier")
-                else ("io" if ph == "checkpoint" else "compute"),
+                else ("io" if ph == "checkpoint"
+                      else ("pipeline" if ph == "prep_wait" else "compute")),
                 cursor,
                 r.phase_s[ph],
                 tid=r.rank + 1,
@@ -1060,6 +1321,8 @@ def run_hybrid(
         per_rank_phase_s=[r.phase_s for r in reports],
         checkpoints=checkpoints,
         resumed_from=start,
+        pipeline=pipeline_agg,
+        per_rank_pipeline=per_rank_pipeline,
     )
 
 

@@ -23,6 +23,9 @@ from .runner import (
     available_cores,
     default_workers,
     derive_seed,
+    release_core,
+    reserve_core,
+    reserved_cores,
 )
 
 __all__ = [
@@ -38,4 +41,7 @@ __all__ = [
     "default_workers",
     "derive_seed",
     "fingerprint",
+    "release_core",
+    "reserve_core",
+    "reserved_cores",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -44,6 +45,9 @@ __all__ = [
     "available_cores",
     "derive_seed",
     "default_workers",
+    "reserve_core",
+    "release_core",
+    "reserved_cores",
 ]
 
 #: Runner-appropriate defaults: a couple of bounded retries with short
@@ -122,10 +126,46 @@ def available_cores() -> int:
     return os.cpu_count() or 1
 
 
+# Cores claimed by service threads that run *concurrently with* compute —
+# the prefetch pipeline's prep thread, the GradReducer comm thread.  A
+# plain int guarded by the GIL would do, but the lock makes the
+# reserve/release pairing explicit and safe under free-threaded builds.
+_reserved_lock = threading.Lock()
+_reserved_cores = 0
+
+
+def reserve_core() -> None:
+    """Claim one core for a background service thread (prefetch/comm).
+
+    While reserved, :func:`default_workers` hands out one fewer worker so
+    a sweep started mid-pipeline doesn't oversubscribe a small (2-core CI)
+    machine.  Pair every call with :func:`release_core`; the pipeline does
+    so in its start/stop lifecycle.
+    """
+    global _reserved_cores
+    with _reserved_lock:
+        _reserved_cores += 1
+
+
+def release_core() -> None:
+    """Return a core claimed by :func:`reserve_core`."""
+    global _reserved_cores
+    with _reserved_lock:
+        _reserved_cores = max(0, _reserved_cores - 1)
+
+
+def reserved_cores() -> int:
+    """Cores currently claimed by active service threads."""
+    with _reserved_lock:
+        return _reserved_cores
+
+
 def default_workers(num_points: int | None = None) -> int:
     """A sensible pool size: all *available* cores (respecting CPU
-    affinity, see :func:`available_cores`), but never more than the points."""
-    cores = available_cores()
+    affinity, see :func:`available_cores`) minus any cores reserved for
+    active pipeline/comm service threads, but never more than the points
+    and never less than one."""
+    cores = max(1, available_cores() - reserved_cores())
     if num_points is None:
         return cores
     return max(1, min(cores, num_points))

@@ -22,12 +22,12 @@ chunk migration into :class:`TierStats`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..core.config import PoolingType, TableSpec
-from ..core.embedding import EmbeddingTable, RaggedIndices
+from ..core.embedding import EmbeddingTable, RaggedIndices, TablePlan
 from ..hardware.memory import DRAM_TIER, SCM_TIER, MemoryTierSpec
 from .costs import TierCostModel
 from .freq import FreqStats
@@ -248,14 +248,20 @@ class TieredEmbeddingTable(EmbeddingTable):
                 else:
                     stats.rejected += 1
 
-    def forward_batched(
+    def plan_forward(
         self, features: list[RaggedIndices], *, training: bool = True
-    ) -> list[np.ndarray]:
+    ) -> TablePlan:
         # Account on the *prepared* (truncated, bounds-checked) stream so
-        # priced lookups match what the kernel actually gathers; _prepare
-        # is idempotent, so the base class re-preparing is harmless.
-        prepared = [self._prepare(ind) for ind in features]
+        # priced lookups match what the kernel actually gathers.  Accounting
+        # happens at *plan* time: inline forwards build their plan right
+        # here (same stream order as before), while the prefetch pipeline
+        # builds plans ahead on its prep thread — the captured per-batch
+        # ``tier_delta`` lets the Trainer publish stats for the batch it is
+        # actually stepping, not whatever the prep thread touched since.
+        plan = super().plan_forward(features, training=training)
         if training:
-            for p in prepared:
+            before = self.stats.snapshot()
+            for p in plan.prepared:
                 self.record_accesses(p.values)
-        return super().forward_batched(prepared, training=training)
+            plan = replace(plan, tier_delta=self.stats.delta(before))
+        return plan

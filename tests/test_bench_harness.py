@@ -130,7 +130,7 @@ def test_render_handles_all_entry_shapes():
 
 
 def test_suite_registry_names():
-    assert set(SUITES) == {"kernels", "dense", "backends", "mp", "tiering"}
+    assert set(SUITES) == {"kernels", "dense", "backends", "mp", "tiering", "pipeline"}
 
 
 def test_run_suites_rejects_unknown_names():

@@ -67,6 +67,28 @@ class TestOrderedDeterminism:
         run = HybridRunConfig(workers=1, steps=2, batch_size=16)
         assert_bit_identical(run_hybrid(config, run), run_hybrid_serial(config, run))
 
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_two_workers_pipelined_bitwise_vs_serial(self, dtype):
+        # the prefetched data path + overlapped sparse exchange must not
+        # change a bit relative to the unpipelined serial reference
+        config = small_config(dtype)
+        run = HybridRunConfig(workers=2, steps=3, batch_size=32, seed=7, pipeline=True)
+        assert_bit_identical(run_hybrid(config, run), run_hybrid_serial(config, run))
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_pipelined_equals_unpipelined_multiprocess(self, dtype):
+        config = small_config(dtype)
+        base = dict(workers=2, steps=3, batch_size=32, seed=5)
+        piped = run_hybrid(config, HybridRunConfig(**base, pipeline=True))
+        plain = run_hybrid(config, HybridRunConfig(**base))
+        assert_bit_identical(piped, plain)
+        assert plain.pipeline is None
+        assert piped.pipeline is not None
+        assert piped.pipeline["batches"] == 3
+        assert 0.0 <= piped.pipeline["overlap_fraction"] <= 1.0
+        assert len(piped.per_rank_pipeline) == 2
+        assert all(p is not None for p in piped.per_rank_pipeline)
+
     def test_seed_changes_trajectory(self):
         config = small_config()
         a = run_hybrid_serial(config, HybridRunConfig(workers=2, steps=2, batch_size=16, seed=0))

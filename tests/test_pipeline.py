@@ -1,0 +1,388 @@
+"""Prefetch pipeline: the bit-identity contract and its supporting parts.
+
+The pipelined data path (:mod:`repro.pipeline`) claims that moving batch
+generation and lookup planning onto a background thread changes *nothing*
+about training — losses and every parameter bit-identical to the inline
+loop.  These tests pin that property-style (random architectures, dtypes
+and batch shapes), plus the pieces it is built from: plan-ahead coalesce
+kernels, ``touched_rows`` == ``pop_grad`` rows, the stall ledger, core
+reservation, error propagation with stage attribution, and the reducer's
+FIFO comm-job lane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DLRM,
+    Adagrad,
+    EmbeddingTable,
+    RaggedIndices,
+    TableSpec,
+    Trainer,
+)
+from repro.core import kernels
+from repro.core.config import InteractionType, MLPSpec, ModelConfig, uniform_tables
+from repro.data import SyntheticDataGenerator
+from repro.distributed.mp.allreduce import GradReducer
+from repro.distributed.mp.channels import ChannelClosed
+from repro.pipeline import (
+    PipelineConfig,
+    PrefetchPipeline,
+    as_pipeline_config,
+)
+from repro.runtime import reserved_cores
+
+common = settings(
+    max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+# ---------------------------------------------------------------------------
+# plan-ahead kernels: coalesce_plan/apply must equal the inline fused forms
+# ---------------------------------------------------------------------------
+
+index_streams = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=0, max_size=60
+)
+
+
+class TestPlanKernels:
+    @common
+    @given(index_streams, st.integers(min_value=1, max_value=6))
+    def test_plan_apply_matches_coalesce_rows(self, idx, dim):
+        indices = np.asarray(idx, dtype=np.int64)
+        grads = np.random.default_rng(len(idx)).normal(size=(len(idx), dim))
+        plan = kernels.coalesce_plan(indices)
+        rows_ref, vals_ref = kernels.coalesce_rows(indices, grads)
+        assert np.array_equal(plan.rows, rows_ref)
+        assert np.array_equal(kernels.coalesce_apply(plan, grads), vals_ref)
+
+    @common
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_expand_apply_matches_expand_coalesce(self, lengths, dim):
+        lengths = np.asarray(lengths, dtype=np.int64)
+        total = int(lengths.sum())
+        rng = np.random.default_rng(total + dim)
+        indices = rng.integers(0, 16, size=total)
+        grad_out = rng.normal(size=(len(lengths), dim))
+        plan = kernels.coalesce_plan(indices)
+        rows_ref, vals_ref = kernels.expand_coalesce(indices, lengths, grad_out)
+        assert np.array_equal(plan.rows, rows_ref)
+        assert np.array_equal(
+            kernels.expand_apply(plan, lengths, grad_out), vals_ref
+        )
+
+    @common
+    @given(index_streams)
+    def test_plan_is_pure_function_of_indices(self, idx):
+        a = kernels.coalesce_plan(np.asarray(idx, dtype=np.int64))
+        b = kernels.coalesce_plan(np.asarray(idx, dtype=np.int64))
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.order, b.order)
+        assert np.array_equal(a.indptr, b.indptr)
+
+
+# ---------------------------------------------------------------------------
+# touched_rows: the weight-independent id plan must name pop_grad's rows
+# ---------------------------------------------------------------------------
+
+ragged_features = st.lists(  # one entry per feature: per-sample index lists
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=31), max_size=4),
+        min_size=3,
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+class TestTouchedRows:
+    @common
+    @given(ragged_features)
+    def test_touched_rows_equals_pop_grad_rows(self, per_feature):
+        spec = TableSpec("t", hash_size=32, dim=4, mean_lookups=1.0)
+        table = EmbeddingTable(spec, rng=np.random.default_rng(0))
+        features = [RaggedIndices.from_lists(f) for f in per_feature]
+        plan = table.plan_forward(features)
+        outs = table.forward_batched(features, plan=plan)
+        for out in reversed(outs):  # saved contexts pop in reverse order
+            table.backward(np.ones_like(out))
+        grad = table.pop_grad()
+        touched = plan.touched_rows()
+        if grad is None:
+            assert len(touched) == 0
+        else:
+            assert np.array_equal(touched, grad.rows)
+
+
+# ---------------------------------------------------------------------------
+# the headline property: pipelined Trainer == inline Trainer, bit for bit
+# ---------------------------------------------------------------------------
+
+
+def _arch(draw):
+    num_tables = draw(st.integers(min_value=1, max_value=3))
+    return ModelConfig(
+        name="pipe-test",
+        num_dense=draw(st.sampled_from([2, 5])),
+        tables=uniform_tables(
+            num_tables,
+            hash_size=draw(st.sampled_from([16, 64])),
+            dim=4,
+            mean_lookups=draw(st.sampled_from([1.0, 3.0])),
+        ),
+        bottom_mlp=MLPSpec((8, 4)),
+        top_mlp=MLPSpec((8,)),
+        interaction=draw(st.sampled_from([InteractionType.DOT, InteractionType.CONCAT])),
+        compute_dtype=draw(st.sampled_from(["float64", "float32"])),
+    )
+
+
+def _train_state(config, batches, *, pipeline):
+    model = DLRM(config, rng=0)
+    trainer = Trainer(
+        model,
+        lambda m: Adagrad(
+            m.dense_parameters(), m.embedding_tables(), lr=0.05, backend=m.backend
+        ),
+        pipeline=pipeline,
+    )
+    result = trainer.train(iter(batches), max_steps=len(batches))
+    params = [np.array(p.value, copy=True) for p in model.dense_parameters()]
+    tables = {
+        t.spec.name: np.array(t.weight, copy=True) for t in model.embedding_tables()
+    }
+    return result, params, tables
+
+
+class TestTrainerBitIdentity:
+    @settings(
+        max_examples=8,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(st.data())
+    def test_pipelined_equals_inline_bitwise(self, data):
+        config = _arch(data.draw)
+        batch_size = data.draw(st.sampled_from([3, 8]))
+        steps = data.draw(st.integers(min_value=1, max_value=4))
+        seed = data.draw(st.integers(min_value=0, max_value=10_000))
+        gen = SyntheticDataGenerator(config, rng=seed, seed_teacher=True)
+        batches = [gen.batch(batch_size) for _ in range(steps)]
+
+        inline, params_i, tables_i = _train_state(config, batches, pipeline=False)
+        piped, params_p, tables_p = _train_state(config, batches, pipeline=True)
+
+        assert inline.loss_history == piped.loss_history
+        assert inline.final_loss == piped.final_loss
+        for a, b in zip(params_i, params_p):
+            assert np.array_equal(a, b)
+        assert tables_i.keys() == tables_p.keys()
+        for name in tables_i:
+            assert np.array_equal(tables_i[name], tables_p[name])
+        assert inline.pipeline is None
+        assert piped.pipeline is not None
+
+
+# ---------------------------------------------------------------------------
+# stall ledger, lifecycle, error propagation
+# ---------------------------------------------------------------------------
+
+
+def _tiny_config(dtype="float64"):
+    return ModelConfig(
+        name="pipe-tiny",
+        num_dense=4,
+        tables=uniform_tables(2, hash_size=16, dim=4, mean_lookups=2.0),
+        bottom_mlp=MLPSpec((8, 4)),
+        top_mlp=MLPSpec((8,)),
+        interaction=InteractionType.DOT,
+        compute_dtype=dtype,
+    )
+
+
+class TestStallLedger:
+    def test_ledger_shape_and_bounds(self):
+        config = _tiny_config()
+        gen = SyntheticDataGenerator(config, rng=3, seed_teacher=True)
+        model = DLRM(config, rng=0)
+        trainer = Trainer(
+            model,
+            lambda m: Adagrad(
+                m.dense_parameters(), m.embedding_tables(), lr=0.05, backend=m.backend
+            ),
+            pipeline=True,
+        )
+        result = trainer.train(gen.batches(8, 5), max_steps=5)
+        ledger = result.pipeline
+        assert ledger is not None
+        assert ledger == trainer.pipeline_stats.as_dict()
+        assert ledger["batches"] == 5
+        assert ledger["prep_busy_s"] > 0.0
+        assert ledger["prep_stall_s"] >= 0.0
+        assert ledger["compute_stall_s"] >= 0.0
+        assert 0.0 <= ledger["overlap_fraction"] <= 1.0
+
+    def test_inline_run_has_no_ledger(self):
+        config = _tiny_config()
+        gen = SyntheticDataGenerator(config, rng=3, seed_teacher=True)
+        model = DLRM(config, rng=0)
+        trainer = Trainer(
+            model,
+            lambda m: Adagrad(
+                m.dense_parameters(), m.embedding_tables(), lr=0.05, backend=m.backend
+            ),
+        )
+        result = trainer.train(gen.batches(8, 2), max_steps=2)
+        assert result.pipeline is None
+        assert trainer.pipeline_stats is None
+
+
+class TestLifecycle:
+    def test_core_reservation_paired_with_lifetime(self):
+        before = reserved_cores()
+        pipe = PrefetchPipeline(iter([]))
+        assert reserved_cores() == before  # not started yet
+        with pipe:
+            assert reserved_cores() == before + 1
+        assert reserved_cores() == before
+
+    def test_yields_source_order_with_seq(self):
+        with PrefetchPipeline(iter(range(7))) as pipe:
+            got = [(p.seq, p.batch) for p in pipe]
+        assert got == [(i, i) for i in range(7)]
+        assert pipe.stats.batches == 7
+
+    def test_close_is_idempotent_and_early(self):
+        pipe = PrefetchPipeline(iter(range(100)), config=PipelineConfig(depth=2))
+        pipe.start()
+        next(pipe)
+        pipe.close()
+        pipe.close()
+        assert reserved_cores() == 0
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError, match="depth"):
+            PipelineConfig(depth=0)
+
+    def test_as_pipeline_config_normalization(self):
+        assert as_pipeline_config(None) is None
+        assert as_pipeline_config(False) is None
+        assert as_pipeline_config(True) == PipelineConfig()
+        cfg = PipelineConfig(depth=3)
+        assert as_pipeline_config(cfg) is cfg
+        with pytest.raises(TypeError, match="pipeline"):
+            as_pipeline_config(3)
+
+
+class TestErrorPropagation:
+    def test_source_error_surfaces_in_stream_order_with_stage_note(self):
+        def source():
+            yield 1
+            yield 2
+            raise RuntimeError("generator exploded")
+
+        with PrefetchPipeline(source(), stage="prep") as pipe:
+            assert next(pipe).batch == 1
+            assert next(pipe).batch == 2
+            with pytest.raises(RuntimeError, match="generator exploded") as ei:
+                next(pipe)
+        assert any("stage='prep'" in n for n in getattr(ei.value, "__notes__", []))
+
+    def test_plan_fn_error_surfaces(self):
+        def bad_plan(_batch):
+            raise ValueError("bad plan")
+
+        with PrefetchPipeline(iter([1]), plan_fn=bad_plan) as pipe:
+            with pytest.raises(ValueError, match="bad plan"):
+                next(pipe)
+
+
+# ---------------------------------------------------------------------------
+# the reducer's comm-job lane (carries the pipelined sparse exchanges)
+# ---------------------------------------------------------------------------
+
+
+class TestSubmitJob:
+    def test_fifo_with_flush(self):
+        red = GradReducer(0, 2, None, None)
+        try:
+            order: list[int] = []
+            for i in range(20):
+                red.submit_job(lambda i=i: order.append(i), stage="idplan_exchange")
+            red.flush()
+            assert order == list(range(20))
+        finally:
+            red.shutdown()
+
+    def test_single_world_runs_inline(self):
+        red = GradReducer(0, 1, None, None)
+        ran: list[int] = []
+        red.submit_job(lambda: ran.append(1))
+        assert ran == [1]  # no thread: executed synchronously
+
+    def test_channel_closed_tagged_with_stage(self):
+        def die():
+            raise ChannelClosed("wire died", peer=1)
+
+        red = GradReducer(0, 2, None, None)
+        try:
+            red.submit_job(die, stage="sparse_values")
+            with pytest.raises(ChannelClosed) as ei:
+                red.flush()
+            assert ei.value.stage == "sparse_values"
+            assert ei.value.peer == 1
+            assert "sparse_values" in str(ei.value)
+        finally:
+            red.shutdown()
+
+    def test_generic_error_noted_with_stage(self):
+        def die():
+            raise ValueError("job exploded")
+
+        red = GradReducer(0, 2, None, None)
+        try:
+            red.submit_job(die, stage="idplan_exchange")
+            with pytest.raises(ValueError, match="job exploded") as ei:
+                red.flush()
+            assert any(
+                "idplan_exchange" in n for n in getattr(ei.value, "__notes__", [])
+            )
+        finally:
+            red.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# batch_stream: the lazy, rng-faithful source the hybrid workers prefetch from
+# ---------------------------------------------------------------------------
+
+
+class TestBatchStream:
+    @pytest.mark.parametrize("skip", [0, 2])
+    def test_stream_matches_eager_generation(self, skip):
+        config = _tiny_config()
+        eager_gen = SyntheticDataGenerator(config, rng=9, seed_teacher=True)
+        eager = [eager_gen.batch(6) for _ in range(5)][skip:]
+        lazy_gen = SyntheticDataGenerator(config, rng=9, seed_teacher=True)
+        lazy = list(lazy_gen.batch_stream(6, 5, skip=skip))
+        assert len(eager) == len(lazy)
+        for a, b in zip(eager, lazy):
+            assert np.array_equal(a.dense, b.dense)
+            assert np.array_equal(a.labels, b.labels)
+            assert a.sparse.keys() == b.sparse.keys()
+            for name in a.sparse:
+                assert np.array_equal(a.sparse[name].values, b.sparse[name].values)
+                assert np.array_equal(a.sparse[name].offsets, b.sparse[name].offsets)
+
+    def test_negative_skip_rejected(self):
+        gen = SyntheticDataGenerator(_tiny_config(), rng=0)
+        with pytest.raises(ValueError, match="skip"):
+            next(gen.batch_stream(4, 2, skip=-1))
